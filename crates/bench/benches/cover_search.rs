@@ -1,0 +1,89 @@
+//! Benchmarks of the cover-search algorithms (planning cost only):
+//! GCov vs ECov, and the Figure 9 ablation between the paper's cost
+//! model and the engine's internal estimator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use jucq_core::RdfDatabase;
+use jucq_datagen::lubm;
+use jucq_model::SchemaClosure;
+use jucq_optimizer::{ecov, gcov, CostConstants, CoverSearch, EngineCostModel, PaperCostModel};
+use jucq_reformulation::reformulate::ReformulationEnv;
+use jucq_reformulation::BgpQuery;
+use jucq_store::{EngineProfile, Store};
+
+struct Fixture {
+    closure: SchemaClosure,
+    rdf_type: jucq_model::TermId,
+    store: Store,
+    q1: BgpQuery,
+    q22: BgpQuery,
+}
+
+fn fixture() -> Fixture {
+    let graph = lubm::generate(&lubm::LubmConfig::new(1));
+    let mut db = RdfDatabase::from_graph(graph, EngineProfile::pg_like());
+    db.set_cost_constants(CostConstants::default());
+    let q1 = db.parse_query(&lubm::motivating_queries()[0].sparql).unwrap();
+    let q22 = {
+        let nq = lubm::workload().into_iter().find(|q| q.name == "Q22").unwrap();
+        db.parse_query(&nq.sparql).unwrap()
+    };
+    db.prepare();
+    Fixture {
+        closure: db.closure().clone(),
+        rdf_type: db.rdf_type(),
+        store: db.plain_store().clone(),
+        q1,
+        q22,
+    }
+}
+
+fn bench_search(c: &mut Criterion) {
+    let f = fixture();
+    let env = ReformulationEnv { closure: &f.closure, rdf_type: f.rdf_type };
+    let paper = PaperCostModel::new(f.store.table(), f.store.stats(), CostConstants::default());
+    let engine = EngineCostModel::new(&f.store);
+    let budget = Duration::from_secs(60);
+
+    let mut g = c.benchmark_group("cover_search");
+    g.sample_size(10);
+
+    g.bench_function("gcov_q1_paper_model", |b| {
+        b.iter(|| {
+            let search = CoverSearch::new(&f.q1, env, &paper);
+            black_box(gcov(&search, budget, 10_000).explored)
+        });
+    });
+    g.bench_function("ecov_q1_paper_model", |b| {
+        b.iter(|| {
+            let search = CoverSearch::new(&f.q1, env, &paper);
+            black_box(ecov(&search, budget).explored)
+        });
+    });
+    g.bench_function("gcov_q22_6atoms", |b| {
+        b.iter(|| {
+            let search = CoverSearch::new(&f.q22, env, &paper);
+            black_box(gcov(&search, budget, 10_000).explored)
+        });
+    });
+    g.bench_function("ecov_q22_6atoms", |b| {
+        b.iter(|| {
+            let search = CoverSearch::new(&f.q22, env, &paper);
+            black_box(ecov(&search, budget).explored)
+        });
+    });
+    // Ablation: engine-internal estimator instead of the paper model.
+    g.bench_function("gcov_q1_engine_model", |b| {
+        b.iter(|| {
+            let search = CoverSearch::new(&f.q1, env, &engine);
+            black_box(gcov(&search, budget, 10_000).explored)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

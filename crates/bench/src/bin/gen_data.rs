@@ -1,0 +1,31 @@
+//! Dump a generated benchmark dataset as a Turtle file, ready for the
+//! `jucq` CLI.
+//!
+//! ```text
+//! gen_data lubm <universities> <out.ttl>
+//! gen_data dblp <authors>      <out.ttl>
+//! ```
+
+use jucq_datagen::{dblp, lubm};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [kind, scale, path] = args.as_slice() else {
+        eprintln!("usage: gen_data lubm|dblp <scale> <out.ttl>");
+        std::process::exit(2);
+    };
+    let scale: usize = scale.parse()?;
+    let graph = match kind.as_str() {
+        "lubm" => lubm::generate(&lubm::LubmConfig::new(scale)),
+        "dblp" => dblp::generate(&dblp::DblpConfig::new(scale)),
+        other => {
+            eprintln!("unknown dataset `{other}`");
+            std::process::exit(2);
+        }
+    };
+    eprintln!("generated {} data triples, {} constraints", graph.len(), graph.schema().len());
+    let text = jucq_core::turtle::write(&graph);
+    std::fs::write(path, text)?;
+    eprintln!("wrote {path}");
+    Ok(())
+}

@@ -1,0 +1,11 @@
+//! # jucq-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (see `src/bin/`), plus the
+//! shared harness utilities in [`harness`]: dataset construction,
+//! workload loading, strategy runners and plain-text report rendering
+//! (the "figures" are rendered as aligned text tables; EXPERIMENTS.md
+//! records paper-vs-measured).
+
+#![warn(missing_docs)]
+
+pub mod harness;

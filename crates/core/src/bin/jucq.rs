@@ -1,0 +1,286 @@
+//! `jucq` — a command-line front end for the library.
+//!
+//! ```text
+//! jucq query <data.ttl> "<SPARQL>" [--strategy S] [--profile P] [--compare]
+//! jucq covers <data.ttl> "<SPARQL>"           # every cover, sized & timed
+//! jucq stats <data.ttl>                       # dataset & schema statistics
+//! jucq repl  <data.ttl>                       # interactive session
+//! ```
+//!
+//! Strategies: `sat`, `ucq`, `scq`, `ecov`, `gcov` (default).
+//! Profiles: `pg` (default), `db2`, `mysql`, `native`.
+
+use std::io::{BufRead, Write};
+
+use jucq_core::reformulation::Cover;
+use jucq_core::store::EngineProfile;
+use jucq_core::{AnswerError, RdfDatabase, Strategy};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  jucq query    <data.ttl|.snap> \"<SPARQL>\" [--strategy sat|ucq|scq|ecov|gcov] [--profile pg|db2|mysql|native] [--compare]\n  jucq covers   <data.ttl|.snap> \"<SPARQL>\"\n  jucq stats    <data.ttl|.snap>\n  jucq repl     <data.ttl|.snap> [--profile ...]\n  jucq snapshot <data.ttl> <out.snap>"
+    );
+    std::process::exit(2)
+}
+
+fn parse_strategy(name: &str) -> Option<Strategy> {
+    match name {
+        "sat" | "saturation" => Some(Strategy::Saturation),
+        "ucq" => Some(Strategy::Ucq),
+        "scq" => Some(Strategy::Scq),
+        "ecov" => Some(Strategy::ecov_default()),
+        "gcov" => Some(Strategy::gcov_default()),
+        _ => None,
+    }
+}
+
+fn parse_profile(name: &str) -> Option<EngineProfile> {
+    match name {
+        "pg" => Some(EngineProfile::pg_like()),
+        "db2" => Some(EngineProfile::db2_like()),
+        "mysql" => Some(EngineProfile::mysql_like()),
+        "native" => Some(EngineProfile::native_like()),
+        _ => None,
+    }
+}
+
+fn load(path: &str, profile: EngineProfile) -> Result<RdfDatabase, Box<dyn std::error::Error>> {
+    let bytes = std::fs::read(path)?;
+    // Snapshot files self-identify by magic; anything else is Turtle.
+    let db = if bytes.starts_with(b"JUCQSNAP") {
+        let graph = jucq_core::snapshot::load(&bytes)?;
+        RdfDatabase::from_graph(graph, profile)
+    } else {
+        let text = String::from_utf8(bytes)?;
+        let mut db = RdfDatabase::with_profile(profile);
+        db.load_turtle(&text)?;
+        db
+    };
+    eprintln!(
+        "loaded {} data triples, {} schema constraints",
+        db.graph().len(),
+        db.graph().schema().len()
+    );
+    Ok(db)
+}
+
+fn cmd_snapshot(args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
+    let [input, output] = args.as_slice() else { usage() };
+    let db = load(input, EngineProfile::pg_like())?;
+    let bytes = jucq_core::snapshot::save(db.graph());
+    std::fs::write(output, &bytes)?;
+    eprintln!("wrote {} ({} bytes)", output, bytes.len());
+    Ok(())
+}
+
+fn run_query(db: &mut RdfDatabase, sparql: &str, strategy: &Strategy, max_rows: usize) {
+    let q = match db.parse_query(sparql) {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("{e}");
+            return;
+        }
+    };
+    match db.answer(&q, strategy) {
+        Ok(report) => {
+            let rows = db.decode_rows(&report.rows);
+            for row in rows.iter().take(max_rows) {
+                let cells: Vec<String> = row.iter().map(ToString::to_string).collect();
+                println!("{}", cells.join("\t"));
+            }
+            if rows.len() > max_rows {
+                println!("... ({} more rows)", rows.len() - max_rows);
+            }
+            eprintln!(
+                "-- {}: {} rows, {} union terms, plan {:?} + eval {:?}{}",
+                report.strategy,
+                rows.len(),
+                report.union_terms,
+                report.planning_time,
+                report.eval_time,
+                report
+                    .cover
+                    .map(|c| format!(", cover {c}"))
+                    .unwrap_or_default(),
+            );
+        }
+        Err(AnswerError::Engine(e)) => eprintln!("engine failure: {e}"),
+        Err(e) => eprintln!("{e}"),
+    }
+}
+
+fn cmd_query(mut args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
+    if args.len() < 2 {
+        usage();
+    }
+    let mut strategy = Strategy::gcov_default();
+    let mut profile = EngineProfile::pg_like();
+    let mut compare = false;
+    let mut positional: Vec<String> = Vec::new();
+    while !args.is_empty() {
+        let a = args.remove(0);
+        match a.as_str() {
+            "--strategy" => {
+                let v = args.first().cloned().unwrap_or_default();
+                args.drain(..1.min(args.len()));
+                strategy = parse_strategy(&v).unwrap_or_else(|| usage());
+            }
+            "--profile" => {
+                let v = args.first().cloned().unwrap_or_default();
+                args.drain(..1.min(args.len()));
+                profile = parse_profile(&v).unwrap_or_else(|| usage());
+            }
+            "--compare" => compare = true,
+            _ => positional.push(a),
+        }
+    }
+    let [path, sparql] = positional.as_slice() else {
+        usage();
+    };
+    let mut db = load(path, profile)?;
+    if compare {
+        for s in [Strategy::Saturation, Strategy::Ucq, Strategy::Scq, Strategy::gcov_default()] {
+            run_query(&mut db, sparql, &s, 0);
+        }
+    } else {
+        run_query(&mut db, sparql, &strategy, 1000);
+    }
+    Ok(())
+}
+
+fn cmd_covers(args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
+    let [path, sparql] = args.as_slice() else {
+        usage();
+    };
+    let mut db = load(path, EngineProfile::pg_like())?;
+    let q = db.parse_query(sparql)?;
+    // Enumerate two-fragment covers plus the extremes, report sizes and
+    // measured times (the Table 2 experience for any query).
+    let mut covers: Vec<(String, Cover)> = Vec::new();
+    if let Ok(c) = Cover::single_fragment(&q) {
+        covers.push(("UCQ (single fragment)".into(), c));
+    }
+    if let Ok(c) = Cover::singletons(&q) {
+        covers.push(("SCQ (singletons)".into(), c));
+    }
+    let n = q.len();
+    for i in 0..n {
+        let rest: Vec<usize> = (0..n).filter(|&j| j != i).collect();
+        if rest.is_empty() {
+            continue;
+        }
+        if let Ok(c) = Cover::new(&q, vec![vec![i], rest.clone()]) {
+            covers.push((format!("{{t{}}} | rest", i + 1), c));
+        }
+    }
+    for (label, cover) in covers {
+        match db.answer(&q, &Strategy::FixedCover(cover)) {
+            Ok(r) => println!(
+                "{label:<24} {:>8} terms  {:>10.1} ms  {:>8} rows",
+                r.union_terms,
+                r.eval_time.as_secs_f64() * 1e3,
+                r.rows.len()
+            ),
+            Err(e) => println!("{label:<24} failed: {e}"),
+        }
+    }
+    let best = db.answer(&q, &Strategy::gcov_default())?;
+    println!(
+        "GCov chooses {} ({} terms, {:.1} ms)",
+        best.cover.expect("cover-based"),
+        best.union_terms,
+        best.eval_time.as_secs_f64() * 1e3
+    );
+    Ok(())
+}
+
+fn cmd_stats(args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
+    let [path] = args.as_slice() else { usage() };
+    let mut db = load(path, EngineProfile::pg_like())?;
+    db.prepare();
+    let plain = db.plain_store();
+    println!("data triples (plain store): {}", plain.stats().total());
+    println!("distinct predicates:        {}", plain.stats().distinct_predicates());
+    let sat = db.saturated_store();
+    println!("saturated triples:          {}", sat.stats().total());
+    let closure = db.closure();
+    println!("classes:                    {}", closure.classes().len());
+    println!("properties:                 {}", closure.properties().len());
+    let c = db.cost_constants();
+    println!("calibrated constants:       c_db={:.2e} c_t={:.2e} c_j={:.2e} c_m={:.2e} c_l={:.2e} c_k={:.2e}",
+        c.c_db, c.c_t, c.c_j, c.c_m, c.c_l, c.c_k);
+    Ok(())
+}
+
+fn cmd_repl(mut args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
+    let mut profile = EngineProfile::pg_like();
+    let mut positional = Vec::new();
+    while !args.is_empty() {
+        let a = args.remove(0);
+        if a == "--profile" {
+            let v = args.first().cloned().unwrap_or_default();
+            args.drain(..1.min(args.len()));
+            profile = parse_profile(&v).unwrap_or_else(|| usage());
+        } else {
+            positional.push(a);
+        }
+    }
+    let [path] = positional.as_slice() else { usage() };
+    let mut db = load(path, profile)?;
+    let mut strategy = Strategy::gcov_default();
+    eprintln!("jucq repl — enter a SPARQL query, or :strategy/:profile/:help/:quit");
+    let stdin = std::io::stdin();
+    loop {
+        eprint!("jucq> ");
+        std::io::stderr().flush()?;
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line)? == 0 {
+            break;
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(cmd) = line.strip_prefix(':') {
+            let mut parts = cmd.split_whitespace();
+            match (parts.next(), parts.next()) {
+                (Some("quit" | "q"), _) => break,
+                (Some("strategy"), Some(v)) => match parse_strategy(v) {
+                    Some(s) => strategy = s,
+                    None => eprintln!("unknown strategy `{v}`"),
+                },
+                (Some("profile"), Some(v)) => match parse_profile(v) {
+                    Some(p) => db.set_profile(p),
+                    None => eprintln!("unknown profile `{v}`"),
+                },
+                (Some("help"), _) => eprintln!(
+                    ":strategy sat|ucq|scq|ecov|gcov, :profile pg|db2|mysql|native, :quit"
+                ),
+                _ => eprintln!("unknown command; try :help"),
+            }
+            continue;
+        }
+        run_query(&mut db, line, &strategy, 50);
+    }
+    Ok(())
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let cmd = args.remove(0);
+    let result = match cmd.as_str() {
+        "query" => cmd_query(args),
+        "covers" => cmd_covers(args),
+        "stats" => cmd_stats(args),
+        "repl" => cmd_repl(args),
+        "snapshot" => cmd_snapshot(args),
+        _ => usage(),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

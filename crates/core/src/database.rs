@@ -1,0 +1,922 @@
+//! The `RdfDatabase` facade.
+//!
+//! Owns the RDF graph (dictionary + schema + data), lazily prepares the
+//! two engine-backed stores the paper compares —
+//!
+//! * the **plain store** (explicit data + materialized closed schema),
+//!   targeted by reformulation-based answering, and
+//! * the **saturated store** (`G∞` + the same schema triples), targeted
+//!   by saturation-based answering —
+//!
+//! and dispatches [`Strategy`]s over them, reporting the measurements
+//! the paper's experiments record (planning vs. evaluation time, union
+//! terms, covers explored).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use jucq_model::{Graph, SchemaClosure, Term, TermId, Triple};
+use jucq_optimizer::{
+    calibrate, ecov, gcov, CostConstants, CoverSearch, EngineCostModel, JucqCostEstimator,
+    PaperCostModel,
+};
+use jucq_reformulation::cover::CoverError;
+use jucq_reformulation::reformulate::ReformulationEnv;
+use jucq_reformulation::saturation::{saturate, schema_triples};
+use jucq_reformulation::incremental::IncrementalSaturation;
+use jucq_reformulation::jucq::jucq_for_cover_bounded;
+use jucq_reformulation::{BgpQuery, Cover};
+use jucq_store::exec::Counters;
+use jucq_store::{EngineError, EngineProfile, Relation, Store, StoreJucq};
+
+use crate::strategy::{CostSource, Strategy};
+
+/// Failures surfaced by [`RdfDatabase::answer`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnswerError {
+    /// The engine refused or aborted the evaluation (the paper's
+    /// missing bars).
+    Engine(EngineError),
+    /// The query admits no valid cover of the requested shape (e.g. a
+    /// cartesian-product body asked for a single-fragment cover).
+    Cover(CoverError),
+}
+
+impl fmt::Display for AnswerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnswerError::Engine(e) => write!(f, "engine: {e}"),
+            AnswerError::Cover(e) => write!(f, "cover: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AnswerError {}
+
+impl From<EngineError> for AnswerError {
+    fn from(e: EngineError) -> Self {
+        AnswerError::Engine(e)
+    }
+}
+
+impl From<CoverError> for AnswerError {
+    fn from(e: CoverError) -> Self {
+        AnswerError::Cover(e)
+    }
+}
+
+/// The outcome of a data update (see
+/// [`RdfDatabase::apply_data_updates`]).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct UpdateReport {
+    /// New explicit triples inserted.
+    pub inserted: usize,
+    /// Explicit triples removed.
+    pub deleted: usize,
+    /// Entailed triples added to the saturation (beyond the explicit).
+    pub entailed_added: usize,
+    /// Entailed triples dropped from the saturation.
+    pub entailed_removed: usize,
+    /// True iff the stores were maintained in place (no rebuild).
+    pub incremental: bool,
+}
+
+/// The outcome of answering one query under one strategy.
+#[derive(Debug, Clone)]
+pub struct AnswerReport {
+    /// Strategy short name (`SAT`, `UCQ`, `SCQ`, `ECov`, `GCov`,
+    /// `Cover`).
+    pub strategy: &'static str,
+    /// The deduplicated answer relation (columns = the query head).
+    pub rows: Relation,
+    /// Executor work counters.
+    pub counters: Counters,
+    /// Time spent evaluating the final (reformulated) query.
+    pub eval_time: Duration,
+    /// Time spent reformulating and searching covers.
+    pub planning_time: Duration,
+    /// Union terms in the evaluated query (the paper's `|q_ref|` for
+    /// UCQ; summed over fragments otherwise; 1 for saturation).
+    pub union_terms: usize,
+    /// The cover used, when the strategy is cover-based.
+    pub cover: Option<Cover>,
+    /// Covers explored by the search, when one ran.
+    pub covers_explored: Option<usize>,
+}
+
+struct Prepared {
+    closure: SchemaClosure,
+    rdf_type: TermId,
+    plain: Store,
+    saturated: Store,
+    constants: CostConstants,
+    /// The saturation under counting-based maintenance, enabling
+    /// incremental data updates (see [`RdfDatabase::apply_data_updates`]).
+    incremental: IncrementalSaturation,
+    /// The materialized closed-schema triples (shared by both stores).
+    schema_triples: Vec<jucq_model::TripleId>,
+}
+
+/// An RDF database answering BGP queries under RDFS constraints.
+pub struct RdfDatabase {
+    graph: Graph,
+    profile: EngineProfile,
+    constants: Option<CostConstants>,
+    prepared: Option<Prepared>,
+    plan_cache: Option<crate::plan_cache::PlanCache>,
+}
+
+impl Default for RdfDatabase {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RdfDatabase {
+    /// An empty database with the default (PostgreSQL-like) profile.
+    pub fn new() -> Self {
+        Self::with_profile(EngineProfile::pg_like())
+    }
+
+    /// An empty database with a specific engine profile.
+    pub fn with_profile(profile: EngineProfile) -> Self {
+        RdfDatabase { graph: Graph::new(), profile, constants: None, prepared: None, plan_cache: None }
+    }
+
+    /// Wrap an existing graph.
+    pub fn from_graph(graph: Graph, profile: EngineProfile) -> Self {
+        RdfDatabase { graph, profile, constants: None, prepared: None, plan_cache: None }
+    }
+
+    /// Insert one triple (invalidates prepared stores).
+    pub fn insert(&mut self, triple: &Triple) -> bool {
+        self.invalidate();
+        self.graph.insert(triple)
+    }
+
+    /// Bulk-insert triples (invalidates prepared stores).
+    pub fn extend<'a>(&mut self, triples: impl IntoIterator<Item = &'a Triple>) {
+        self.invalidate();
+        self.graph.extend(triples);
+    }
+
+    /// Load a Turtle-subset document (see [`crate::turtle`]).
+    pub fn load_turtle(&mut self, text: &str) -> Result<usize, crate::turtle::TurtleError> {
+        self.invalidate();
+        crate::turtle::load(&mut self.graph, text)
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The engine profile in use.
+    pub fn profile(&self) -> &EngineProfile {
+        &self.profile
+    }
+
+    /// Switch the engine profile (keeps data; rebuilds stores lazily
+    /// with the same triples but new execution behaviour).
+    pub fn set_profile(&mut self, profile: EngineProfile) {
+        self.profile = profile.clone();
+        if let Some(p) = &mut self.prepared {
+            p.plain.set_profile(profile.clone());
+            p.saturated.set_profile(profile);
+        }
+    }
+
+    /// Enable cover-plan caching for the ECov/GCov strategies: repeated
+    /// queries reuse the previously chosen cover instead of re-running
+    /// the search. Sound across data updates (any valid cover answers
+    /// correctly, Theorem 3.1); cleared when the database is re-prepared.
+    pub fn enable_plan_cache(&mut self, capacity: usize) {
+        self.plan_cache = Some(crate::plan_cache::PlanCache::new(capacity));
+    }
+
+    /// The plan cache's hit/miss counters, if caching is enabled.
+    pub fn plan_cache_stats(&self) -> Option<crate::plan_cache::PlanCacheStats> {
+        self.plan_cache.as_ref().map(|c| c.stats())
+    }
+
+    /// Pin the cost constants instead of calibrating.
+    pub fn set_cost_constants(&mut self, constants: CostConstants) {
+        self.constants = Some(constants);
+        if let Some(p) = &mut self.prepared {
+            p.constants = constants;
+        }
+    }
+
+    fn invalidate(&mut self) {
+        self.prepared = None;
+        if let Some(cache) = &mut self.plan_cache {
+            cache.clear();
+        }
+    }
+
+    /// Build the closure, the plain store and the saturated store.
+    /// Idempotent; [`RdfDatabase::answer`] calls it automatically.
+    pub fn prepare(&mut self) {
+        if self.prepared.is_some() {
+            return;
+        }
+        let closure = self.graph.schema_closure();
+        let rdf_type = self.graph.rdf_type();
+        let schema_ts = schema_triples(&mut self.graph, &closure);
+
+        let mut plain_triples = self.graph.data().to_vec();
+        plain_triples.extend_from_slice(&schema_ts);
+        plain_triples.sort_unstable();
+        plain_triples.dedup();
+        let plain = Store::from_triples(&plain_triples, self.profile.clone());
+
+        let mut sat_triples = saturate(&mut self.graph);
+        sat_triples.extend_from_slice(&schema_ts);
+        sat_triples.sort_unstable();
+        sat_triples.dedup();
+        let saturated = Store::from_triples(&sat_triples, self.profile.clone());
+
+        let incremental =
+            IncrementalSaturation::new(self.graph.data(), closure.clone(), rdf_type);
+        let constants = self.constants.unwrap_or_else(|| calibrate(&plain));
+        self.prepared = Some(Prepared {
+            closure,
+            rdf_type,
+            plain,
+            saturated,
+            constants,
+            incremental,
+            schema_triples: schema_ts,
+        });
+    }
+
+    /// True when `triple` can be absorbed without rebuilding: data-only
+    /// and not introducing a class or property unknown to the closure
+    /// (new vocabulary would change the instantiation rules' universe).
+    fn update_is_incremental(&self, p: &Prepared, t: &jucq_model::TripleId) -> bool {
+        if t.p == p.rdf_type {
+            !t.o.is_uri() || p.closure.classes().contains(&t.o)
+        } else {
+            p.closure.properties().contains(&t.p)
+        }
+    }
+
+    /// Apply a batch of data insertions and deletions.
+    ///
+    /// When the database is prepared and the update stays within the
+    /// known vocabulary, both stores are maintained **incrementally**:
+    /// the plain store by an index merge, the saturated store through
+    /// the counting-based [`IncrementalSaturation`] — the maintenance
+    /// cost the paper's §5.3 discussion weighs against reformulation.
+    /// Schema statements or new vocabulary fall back to invalidating
+    /// the preparation (rebuilt lazily on the next answer).
+    pub fn apply_data_updates(
+        &mut self,
+        inserts: &[Triple],
+        deletes: &[Triple],
+    ) -> UpdateReport {
+        use jucq_model::{FxHashSet, TripleId};
+        // Schema statements cannot be absorbed incrementally.
+        let is_schema = |t: &Triple| {
+            matches!(&t.p, Term::Uri(p) if jucq_model::vocab::is_schema_property(p))
+        };
+        if inserts.iter().chain(deletes).any(is_schema) {
+            for t in deletes {
+                // Schema deletion is not supported at the Graph level;
+                // data deletes are handled below after invalidation.
+                let _ = t;
+            }
+            self.extend(inserts);
+            let del: Vec<TripleId> = deletes
+                .iter()
+                .filter(|t| !is_schema(t))
+                .map(|t| self.encode_triple(t))
+                .collect();
+            let del_set: FxHashSet<TripleId> = del.into_iter().collect();
+            self.graph.remove_data_batch(&del_set);
+            self.invalidate();
+            return UpdateReport { incremental: false, ..Default::default() };
+        }
+
+        let ins_ids: Vec<TripleId> = inserts.iter().map(|t| self.encode_triple(t)).collect();
+        let del_ids: Vec<TripleId> = deletes.iter().map(|t| self.encode_triple(t)).collect();
+
+        let absorbable = match &self.prepared {
+            Some(p) => ins_ids.iter().all(|t| self.update_is_incremental(p, t)),
+            None => false,
+        };
+        if !absorbable {
+            let mut report = UpdateReport::default();
+            for &t in &ins_ids {
+                if self.graph.insert_data_encoded(t) {
+                    report.inserted += 1;
+                }
+            }
+            let del_set: FxHashSet<TripleId> = del_ids.iter().copied().collect();
+            report.deleted = self.graph.remove_data_batch(&del_set);
+            self.invalidate();
+            return report;
+        }
+
+        let mut report = UpdateReport { incremental: true, ..Default::default() };
+        let mut plain_ins: Vec<TripleId> = Vec::new();
+        let mut plain_del: FxHashSet<TripleId> = FxHashSet::default();
+        let mut sat_ins: Vec<TripleId> = Vec::new();
+        let mut sat_del: FxHashSet<TripleId> = FxHashSet::default();
+        {
+            let p = self.prepared.as_mut().expect("absorbable implies prepared");
+            for &t in &ins_ids {
+                if self.graph.insert_data_encoded(t) {
+                    report.inserted += 1;
+                    plain_ins.push(t);
+                    let delta = p.incremental.insert(t);
+                    report.entailed_added += delta.added.len().saturating_sub(1);
+                    sat_ins.extend(delta.added);
+                }
+            }
+            let present: Vec<TripleId> = del_ids
+                .iter()
+                .filter(|t| self.graph.contains_data(t))
+                .copied()
+                .collect();
+            let present_set: FxHashSet<TripleId> = present.iter().copied().collect();
+            report.deleted = self.graph.remove_data_batch(&present_set);
+            for t in &present {
+                plain_del.insert(*t);
+                let delta = p.incremental.delete(t);
+                report.entailed_removed += delta.removed.len().saturating_sub(1);
+                sat_del.extend(delta.removed);
+            }
+            // Schema triples are immutable here; shield them from
+            // accidental deletion by the saturation delta.
+            for st in &p.schema_triples {
+                sat_del.remove(st);
+            }
+            p.plain = p.plain.apply_delta(&plain_ins, &plain_del);
+            p.saturated = p.saturated.apply_delta(&sat_ins, &sat_del);
+        }
+        report
+    }
+
+    /// The ECov/GCov planning path, shared by the cached and uncached
+    /// branches of [`RdfDatabase::answer`].
+    #[allow(clippy::type_complexity)]
+    fn run_cover_search<'p>(
+        q: &BgpQuery,
+        env: &ReformulationEnv<'_>,
+        p: &'p Prepared,
+        cost: &CostSource,
+        strategy: &Strategy,
+        limit: usize,
+    ) -> Result<(StoreJucq, Option<Cover>, Option<usize>, &'p Store), AnswerError> {
+        let paper_model = PaperCostModel::new(p.plain.table(), p.plain.stats(), p.constants);
+        let engine_model = EngineCostModel::new(&p.plain);
+        let estimator: &dyn JucqCostEstimator = match cost {
+            CostSource::Paper => &paper_model,
+            CostSource::Engine => &engine_model,
+        };
+        let search = CoverSearch::new(q, *env, estimator).with_union_limit(limit);
+        let result = match strategy {
+            Strategy::ECov { budget, .. } => ecov(&search, *budget),
+            Strategy::GCov { budget, max_moves, .. } => gcov(&search, *budget, *max_moves),
+            _ => unreachable!("callers narrow to ECov/GCov"),
+        };
+        let jucq = jucq_for_cover_bounded(q, &result.cover, env, limit)
+            .map_err(|n| AnswerError::from(EngineError::UnionTooLarge { terms: n, limit }))?;
+        Ok((jucq, Some(result.cover), Some(result.explored), &p.plain))
+    }
+
+    fn encode_triple(&mut self, t: &Triple) -> jucq_model::TripleId {
+        let d = self.graph.dict_mut();
+        let s = d.encode(&t.s);
+        let p = d.encode(&t.p);
+        let o = d.encode(&t.o);
+        jucq_model::TripleId::new(s, p, o)
+    }
+
+    /// The plain (non-saturated) store, for direct engine access.
+    pub fn plain_store(&mut self) -> &Store {
+        self.prepare();
+        &self.prepared.as_ref().expect("prepared").plain
+    }
+
+    /// The saturated store.
+    pub fn saturated_store(&mut self) -> &Store {
+        self.prepare();
+        &self.prepared.as_ref().expect("prepared").saturated
+    }
+
+    /// The schema closure.
+    pub fn closure(&mut self) -> &SchemaClosure {
+        self.prepare();
+        &self.prepared.as_ref().expect("prepared").closure
+    }
+
+    /// The dictionary id of `rdf:type`.
+    pub fn rdf_type(&mut self) -> TermId {
+        self.prepare();
+        self.prepared.as_ref().expect("prepared").rdf_type
+    }
+
+    /// The calibrated (or pinned) cost constants.
+    pub fn cost_constants(&mut self) -> CostConstants {
+        self.prepare();
+        self.prepared.as_ref().expect("prepared").constants
+    }
+
+    /// Parse a SPARQL-BGP query against this database's dictionary
+    /// (interning constants as needed).
+    pub fn parse_query(&mut self, text: &str) -> Result<BgpQuery, crate::parser::ParseError> {
+        crate::parser::parse_query(self.graph.dict_mut(), text)
+    }
+
+    /// Intern a URI, for building queries programmatically. Interning
+    /// does not invalidate prepared stores (ids are append-only).
+    pub fn intern_uri(&mut self, uri: &str) -> TermId {
+        self.graph.dict_mut().encode_uri(uri)
+    }
+
+    /// Decode an answer relation's rows to terms, for display.
+    pub fn decode_rows(&self, rows: &Relation) -> Vec<Vec<Term>> {
+        rows.rows()
+            .map(|r| r.iter().map(|&id| self.graph.dict().decode(id)).collect())
+            .collect()
+    }
+
+    /// Answer `q` with `strategy`, reporting timings and plan shape.
+    pub fn answer(&mut self, q: &BgpQuery, strategy: &Strategy) -> Result<AnswerReport, AnswerError> {
+        self.prepare();
+        let p = self.prepared.as_ref().expect("prepared");
+        let env = ReformulationEnv { closure: &p.closure, rdf_type: p.rdf_type };
+
+        // Reformulation is bounded by the engine's union limit: a union
+        // the engine would reject is not materialized at all (the paper's
+        // engines likewise fail during parsing/planning, not execution).
+        let limit = self.profile.max_union_terms;
+        let bounded = |cover: &Cover| -> Result<StoreJucq, AnswerError> {
+            jucq_for_cover_bounded(q, cover, &env, limit)
+                .map_err(|n| EngineError::UnionTooLarge { terms: n, limit }.into())
+        };
+
+        let planning_start = Instant::now();
+        let (jucq, cover, explored, target): (StoreJucq, Option<Cover>, Option<usize>, &Store) =
+            match strategy {
+                Strategy::Saturation => {
+                    let cq = q.to_store_cq();
+                    let head = q.head.clone();
+                    let ucq = jucq_store::StoreUcq::new(vec![cq], head.clone());
+                    (StoreJucq::new(vec![ucq], head), None, None, &p.saturated)
+                }
+                Strategy::Ucq => {
+                    let cover = Cover::single_fragment(q)?;
+                    (bounded(&cover)?, Some(cover), None, &p.plain)
+                }
+                Strategy::Scq => {
+                    let cover = Cover::singletons(q)?;
+                    (bounded(&cover)?, Some(cover), None, &p.plain)
+                }
+                Strategy::MinimizedUcq { cap } => {
+                    let cover = Cover::single_fragment(q)?;
+                    let mut jucq = bounded(&cover)?;
+                    if jucq.union_terms() <= *cap {
+                        let minimized: Vec<_> = jucq
+                            .fragments
+                            .into_iter()
+                            .map(|f| jucq_reformulation::minimize_ucq(&f))
+                            .collect();
+                        jucq = StoreJucq::new(minimized, jucq.head);
+                    }
+                    (jucq, Some(cover), None, &p.plain)
+                }
+                Strategy::FixedCover(cover) => {
+                    (bounded(cover)?, Some(cover.clone()), None, &p.plain)
+                }
+                Strategy::ECov { cost, .. } | Strategy::GCov { cost, .. } => {
+                    // Plan-cache keys are canonical query forms, so
+                    // isomorphic queries (same shape, different variable
+                    // names or atom order) share one cached cover; the
+                    // cover's atom indices are canonical and translated
+                    // through this query's permutation.
+                    let canonical = self
+                        .plan_cache
+                        .is_some()
+                        .then(|| q.canonicalize());
+                    let cache_key = canonical
+                        .as_ref()
+                        .map(|(cq, _)| crate::plan_cache::PlanKey::new(cq.clone(), strategy.name()));
+                    if let (Some(cache), Some(key)) = (&mut self.plan_cache, &cache_key) {
+                        if let Some((canonical_cover, explored)) = cache.get(key) {
+                            let perm = &canonical.as_ref().expect("key implies canonical").1;
+                            let fragments: Vec<Vec<usize>> = canonical_cover
+                                .fragments()
+                                .into_iter()
+                                .map(|f| f.into_iter().map(|i| perm[i]).collect())
+                                .collect();
+                            let cover = Cover::new(q, fragments)
+                                .expect("canonical covers translate to valid covers");
+                            let jucq = jucq_for_cover_bounded(q, &cover, &env, limit)
+                                .map_err(|n| AnswerError::from(EngineError::UnionTooLarge { terms: n, limit }))?;
+                            (jucq, Some(cover), explored, &p.plain)
+                        } else {
+                            let (jucq, cover, explored, store) = Self::run_cover_search(
+                                q, &env, p, cost, strategy, limit,
+                            )?;
+                            if let Some(c) = &cover {
+                                // Store the cover in canonical indices.
+                                let perm = &canonical.as_ref().expect("key implies canonical").1;
+                                let inverse: jucq_model::FxHashMap<usize, usize> =
+                                    perm.iter().enumerate().map(|(ci, &oi)| (oi, ci)).collect();
+                                let fragments: Vec<Vec<usize>> = c
+                                    .fragments()
+                                    .into_iter()
+                                    .map(|f| f.into_iter().map(|i| inverse[&i]).collect())
+                                    .collect();
+                                let (cq, _) = canonical.as_ref().expect("canonical");
+                                if let Ok(canonical_cover) = Cover::new(cq, fragments) {
+                                    cache.put(key.clone(), canonical_cover, explored);
+                                }
+                            }
+                            (jucq, cover, explored, store)
+                        }
+                    } else {
+                        Self::run_cover_search(q, &env, p, cost, strategy, limit)?
+                    }
+                }
+            };
+        let planning_time = planning_start.elapsed();
+
+        let union_terms = jucq.union_terms();
+        let mut outcome = target.eval_jucq(&jucq)?;
+        if let Some(n) = q.limit {
+            outcome.relation.truncate(n);
+        }
+        Ok(AnswerReport {
+            strategy: strategy.name(),
+            rows: outcome.relation,
+            counters: outcome.counters,
+            eval_time: outcome.elapsed,
+            planning_time,
+            union_terms,
+            cover,
+            covers_explored: explored,
+        })
+    }
+
+    /// Convenience: parse then answer.
+    pub fn answer_sparql(
+        &mut self,
+        text: &str,
+        strategy: &Strategy,
+    ) -> Result<AnswerReport, Box<dyn std::error::Error>> {
+        let q = self.parse_query(text)?;
+        Ok(self.answer(&q, strategy)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jucq_model::vocab;
+    use jucq_store::{PatternTerm, StorePattern};
+
+    fn paper_db() -> RdfDatabase {
+        let mut db = RdfDatabase::new();
+        let t = |s: &str, p: &str, o: Term| Triple::new(Term::uri(s), Term::uri(p), o);
+        db.extend(&[
+            t("doi1", vocab::RDF_TYPE, Term::uri("Book")),
+            t("doi1", "writtenBy", Term::blank("b1")),
+            t("doi1", "hasTitle", Term::literal("Game of Thrones")),
+            Triple::new(Term::blank("b1"), Term::uri("hasName"), Term::literal("George R. R. Martin")),
+            t("doi1", "publishedIn", Term::literal("1996")),
+            t("Book", vocab::RDFS_SUBCLASS_OF, Term::uri("Publication")),
+            t("writtenBy", vocab::RDFS_SUBPROPERTY_OF, Term::uri("hasAuthor")),
+            t("writtenBy", vocab::RDFS_DOMAIN, Term::uri("Book")),
+            t("writtenBy", vocab::RDFS_RANGE, Term::uri("Person")),
+        ]);
+        db.set_cost_constants(CostConstants::default());
+        db
+    }
+
+    /// The paper's Example 3: q(x3):- x1 hasAuthor x2, x2 hasName x3,
+    /// x1 x4 "1996".
+    fn example3_query(db: &mut RdfDatabase) -> BgpQuery {
+        db.prepare();
+        let d = db.graph().dict();
+        let has_author = d.lookup(&Term::uri("hasAuthor")).unwrap();
+        let has_name = d.lookup(&Term::uri("hasName")).unwrap();
+        let lit = d.lookup(&Term::literal("1996")).unwrap();
+        BgpQuery::new(
+            vec![2],
+            vec![
+                StorePattern::new(PatternTerm::Var(0), PatternTerm::Const(has_author), PatternTerm::Var(1)),
+                StorePattern::new(PatternTerm::Var(1), PatternTerm::Const(has_name), PatternTerm::Var(2)),
+                StorePattern::new(PatternTerm::Var(0), PatternTerm::Var(3), PatternTerm::Const(lit)),
+            ],
+        )
+    }
+
+    #[test]
+    fn example3_all_strategies_agree() {
+        let mut db = paper_db();
+        let q = example3_query(&mut db);
+        let mut answers = Vec::new();
+        for s in [
+            Strategy::Saturation,
+            Strategy::Ucq,
+            Strategy::Scq,
+            Strategy::ecov_default(),
+            Strategy::gcov_default(),
+        ] {
+            let mut r = db.answer(&q, &s).unwrap();
+            r.rows.sort();
+            answers.push((s.name(), db.decode_rows(&r.rows)));
+        }
+        // The paper's expected answer: "George R. R. Martin".
+        for (name, rows) in &answers {
+            assert_eq!(
+                rows,
+                &vec![vec![Term::literal("George R. R. Martin")]],
+                "strategy {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn direct_evaluation_on_plain_store_is_incomplete() {
+        // The paper: "evaluating q directly against G leads to the
+        // empty answer".
+        let mut db = paper_db();
+        let q = example3_query(&mut db);
+        let store = db.plain_store();
+        let out = store.eval_cq(&q.to_store_cq()).unwrap();
+        assert!(out.relation.is_empty());
+    }
+
+    #[test]
+    fn fixed_cover_strategy_matches_ucq() {
+        let mut db = paper_db();
+        let q = example3_query(&mut db);
+        let cover = Cover::new(&q, vec![vec![0, 1], vec![0, 2]]).unwrap();
+        let mut a = db.answer(&q, &Strategy::FixedCover(cover)).unwrap();
+        let mut b = db.answer(&q, &Strategy::Ucq).unwrap();
+        a.rows.sort();
+        b.rows.sort();
+        assert_eq!(a.rows, b.rows);
+    }
+
+    #[test]
+    fn insert_invalidates_preparation() {
+        let mut db = paper_db();
+        let q = example3_query(&mut db);
+        let before = db.answer(&q, &Strategy::Ucq).unwrap().rows.len();
+        // A second book in 1996 whose author has a name.
+        let t = |s: &str, p: &str, o: Term| Triple::new(Term::uri(s), Term::uri(p), o);
+        db.extend(&[
+            t("doi2", "writtenBy", Term::uri("a2")),
+            t("a2", "hasName", Term::literal("Second Author")),
+            t("doi2", "publishedIn", Term::literal("1996")),
+        ]);
+        let after = db.answer(&q, &Strategy::Ucq).unwrap().rows.len();
+        assert_eq!(before + 1, after, "reformulation adapts to updates without re-saturation");
+    }
+
+    #[test]
+    fn report_carries_plan_shape() {
+        let mut db = paper_db();
+        let q = example3_query(&mut db);
+        let r = db.answer(&q, &Strategy::Scq).unwrap();
+        assert_eq!(r.strategy, "SCQ");
+        assert_eq!(r.cover.as_ref().unwrap().len(), 3);
+        assert!(r.union_terms >= 3);
+        let g = db.answer(&q, &Strategy::gcov_default()).unwrap();
+        assert!(g.covers_explored.unwrap() >= 1);
+    }
+
+    #[test]
+    fn schema_queries_answer_from_materialized_closure() {
+        let mut db = paper_db();
+        db.prepare();
+        let d = db.graph().dict();
+        let subclass = d.lookup(&Term::uri(vocab::RDFS_SUBCLASS_OF)).unwrap();
+        let q = BgpQuery::new(
+            vec![0, 1],
+            vec![StorePattern::new(PatternTerm::Var(0), PatternTerm::Const(subclass), PatternTerm::Var(1))],
+        );
+        let r = db.answer(&q, &Strategy::Ucq).unwrap();
+        assert_eq!(r.rows.len(), 1, "Book ⊑ Publication");
+        let s = db.answer(&q, &Strategy::Saturation).unwrap();
+        assert_eq!(s.rows.len(), 1);
+    }
+
+    #[test]
+    fn incremental_updates_keep_all_strategies_consistent() {
+        let mut db = paper_db();
+        let q = example3_query(&mut db);
+        db.prepare();
+        // A new 1996 book by a named author — within known vocabulary.
+        let t = |s: &str, p: &str, o: Term| Triple::new(Term::uri(s), Term::uri(p), o);
+        let batch = vec![
+            t("doi2", "writtenBy", Term::uri("a2")),
+            t("a2", "hasName", Term::literal("Second Author")),
+            t("doi2", "publishedIn", Term::literal("1996")),
+        ];
+        let report = db.apply_data_updates(&batch, &[]);
+        assert!(report.incremental, "stays within known vocabulary");
+        assert_eq!(report.inserted, 3);
+        assert!(report.entailed_added >= 2, "hasAuthor + types entailed");
+        for s in [Strategy::Saturation, Strategy::Ucq, Strategy::gcov_default()] {
+            let r = db.answer(&q, &s).unwrap();
+            assert_eq!(r.rows.len(), 2, "{}", s.name());
+        }
+        // Delete the new book again.
+        let report = db.apply_data_updates(&[], &batch);
+        assert!(report.incremental);
+        assert_eq!(report.deleted, 3);
+        for s in [Strategy::Saturation, Strategy::Ucq] {
+            let r = db.answer(&q, &s).unwrap();
+            assert_eq!(r.rows.len(), 1, "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn incremental_update_matches_full_rebuild() {
+        let t = |s: &str, p: &str, o: Term| Triple::new(Term::uri(s), Term::uri(p), o);
+        let batch = vec![
+            t("doi3", "writtenBy", Term::uri("a3")),
+            t("a3", "hasName", Term::literal("Third Author")),
+        ];
+        // Path A: incremental maintenance.
+        let mut inc = paper_db();
+        inc.prepare();
+        let r = inc.apply_data_updates(&batch, &[]);
+        assert!(r.incremental);
+        // Path B: full rebuild from scratch.
+        let mut full = paper_db();
+        full.extend(&batch);
+        full.prepare();
+        let q_text = "SELECT ?x WHERE { ?x rdf:type <Person> . }";
+        let qi = inc.parse_query(q_text).unwrap();
+        let qf = full.parse_query(q_text).unwrap();
+        for s in [Strategy::Saturation, Strategy::Ucq] {
+            let mut a = inc.answer(&qi, &s).unwrap().rows;
+            let mut b = full.answer(&qf, &s).unwrap().rows;
+            a.sort();
+            b.sort();
+            assert_eq!(inc.decode_rows(&a), full.decode_rows(&b), "{}", s.name());
+        }
+        // Saturated store contents agree exactly (decoded: the two
+        // databases intern terms in different orders).
+        let decode_all = |db: &mut RdfDatabase| -> Vec<String> {
+            let triples: Vec<_> = db.saturated_store().table().all().to_vec();
+            let mut out: Vec<String> =
+                triples.iter().map(|t| db.graph().decode(t).to_string()).collect();
+            out.sort();
+            out
+        };
+        assert_eq!(decode_all(&mut inc), decode_all(&mut full));
+    }
+
+    #[test]
+    fn new_vocabulary_falls_back_to_rebuild() {
+        let mut db = paper_db();
+        db.prepare();
+        let t = Triple::new(
+            Term::uri("x"),
+            Term::uri("brandNewProperty"),
+            Term::uri("y"),
+        );
+        let report = db.apply_data_updates(&[t], &[]);
+        assert!(!report.incremental, "unknown property forces a rebuild");
+        assert_eq!(report.inserted, 1);
+        // Still answers fine after the lazy rebuild.
+        let q = example3_query(&mut db);
+        assert!(db.answer(&q, &Strategy::Ucq).is_ok());
+    }
+
+    #[test]
+    fn schema_updates_fall_back_to_rebuild() {
+        let mut db = paper_db();
+        db.prepare();
+        let t = Triple::new(
+            Term::uri("Publication"),
+            Term::uri(vocab::RDFS_SUBCLASS_OF),
+            Term::uri("Document"),
+        );
+        let report = db.apply_data_updates(&[t], &[]);
+        assert!(!report.incremental);
+        // The new superclass is honoured after re-preparation.
+        let mut q = db
+            .parse_query("SELECT ?x WHERE { ?x rdf:type <Document> . }")
+            .unwrap();
+        let r = db.answer(&q, &Strategy::Ucq).unwrap();
+        assert_eq!(r.rows.len(), 1, "doi1 is now a Document");
+        q = db.parse_query("SELECT ?x WHERE { ?x rdf:type <Document> . }").unwrap();
+        let s = db.answer(&q, &Strategy::Saturation).unwrap();
+        assert_eq!(s.rows.len(), 1);
+    }
+
+    #[test]
+    fn plan_cache_reuses_covers() {
+        let mut db = paper_db();
+        db.enable_plan_cache(8);
+        let q = example3_query(&mut db);
+        let first = db.answer(&q, &Strategy::gcov_default()).unwrap();
+        let second = db.answer(&q, &Strategy::gcov_default()).unwrap();
+        assert_eq!(first.cover, second.cover);
+        let stats = db.plan_cache_stats().unwrap();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        // Cached answers are still correct.
+        let mut a = first.rows;
+        let mut b = second.rows;
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        // ECov caches separately.
+        db.answer(&q, &Strategy::ecov_default()).unwrap();
+        assert_eq!(db.plan_cache_stats().unwrap().misses, 2);
+    }
+
+    #[test]
+    fn plan_cache_hits_on_isomorphic_queries() {
+        let mut db = paper_db();
+        db.enable_plan_cache(8);
+        // The same query twice, with renamed variables and reordered
+        // atoms — must share one cached cover.
+        let a = db
+            .parse_query(
+                "SELECT ?n WHERE { ?b <hasAuthor> ?p . ?p <hasName> ?n . ?b <publishedIn> \"1996\" }",
+            )
+            .unwrap();
+        let b = db
+            .parse_query(
+                "SELECT ?out WHERE { ?who <hasName> ?out . ?doc <publishedIn> \"1996\" . ?doc <hasAuthor> ?who }",
+            )
+            .unwrap();
+        let ra = db.answer(&a, &Strategy::gcov_default()).unwrap();
+        let rb = db.answer(&b, &Strategy::gcov_default()).unwrap();
+        let stats = db.plan_cache_stats().unwrap();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1, "isomorphic query hits the canonical key");
+        let mut x = ra.rows;
+        let mut y = rb.rows;
+        x.sort();
+        y.sort();
+        assert_eq!(x, y, "translated cover answers identically");
+    }
+
+    #[test]
+    fn plan_cache_survives_incremental_updates() {
+        let mut db = paper_db();
+        db.enable_plan_cache(8);
+        let q = example3_query(&mut db);
+        db.answer(&q, &Strategy::gcov_default()).unwrap();
+        let t = |s: &str, p: &str, o: Term| Triple::new(Term::uri(s), Term::uri(p), o);
+        let batch = vec![
+            t("doi9", "writtenBy", Term::uri("a9")),
+            t("a9", "hasName", Term::literal("Nine")),
+            t("doi9", "publishedIn", Term::literal("1996")),
+        ];
+        let report = db.apply_data_updates(&batch, &[]);
+        assert!(report.incremental);
+        let r = db.answer(&q, &Strategy::gcov_default()).unwrap();
+        assert_eq!(db.plan_cache_stats().unwrap().hits, 1, "cover reused");
+        assert_eq!(r.rows.len(), 2, "cached cover sees the new data");
+        // A full invalidation clears the cache.
+        db.insert(&t("x", "brandNew", Term::uri("y")));
+        db.answer(&q, &Strategy::gcov_default()).unwrap();
+        assert_eq!(db.plan_cache_stats().unwrap().misses, 2);
+    }
+
+    #[test]
+    fn minimized_ucq_is_smaller_and_equivalent() {
+        let mut db = paper_db();
+        // q(x, y):- x rdf:type y: the instantiation members (x τ Book)
+        // etc. are subsumed by the original and must be dropped.
+        let q = db.parse_query("SELECT ?x ?y WHERE { ?x a ?y }").unwrap();
+        let full = db.answer(&q, &Strategy::Ucq).unwrap();
+        let min = db.answer(&q, &Strategy::minimized_ucq_default()).unwrap();
+        assert!(
+            min.union_terms < full.union_terms,
+            "minimization shrinks the union ({} vs {})",
+            min.union_terms,
+            full.union_terms
+        );
+        let mut a = full.rows;
+        let mut b = min.rows;
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "answers unchanged");
+    }
+
+    #[test]
+    fn profile_switch_affects_admission() {
+        let mut db = paper_db();
+        let q = example3_query(&mut db);
+        db.set_profile(EngineProfile::pg_like().with_max_union_terms(1));
+        let err = db.answer(&q, &Strategy::Ucq).unwrap_err();
+        assert!(matches!(err, AnswerError::Engine(EngineError::UnionTooLarge { .. })));
+        // Saturation is unaffected (single CQ).
+        assert!(db.answer(&q, &Strategy::Saturation).is_ok());
+    }
+}

@@ -1,0 +1,51 @@
+//! # jucq-core — reformulation-based RDF query answering, optimized
+//!
+//! The public facade of the `jucq` workspace: everything needed to
+//! reproduce *Optimizing Reformulation-based Query Answering in RDF*
+//! (Bursztyn, Goasdoué, Manolescu; EDBT 2015) end to end.
+//!
+//! ```
+//! use jucq_core::{CostSource, RdfDatabase, Strategy};
+//!
+//! let mut db = RdfDatabase::new();
+//! db.load_turtle(r#"
+//!     @prefix ex: <http://example.org/> .
+//!     ex:Book rdfs:subClassOf ex:Publication .
+//!     ex:writtenBy rdfs:domain ex:Book .
+//!     ex:doi1 ex:writtenBy ex:author1 .
+//! "#).unwrap();
+//! let q = db.parse_query(
+//!     "SELECT ?x WHERE { ?x rdf:type <http://example.org/Publication> . }",
+//! ).unwrap();
+//! let report = db.answer(&q, &Strategy::gcov_default()).unwrap();
+//! assert_eq!(report.rows.len(), 1); // doi1, via the domain constraint
+//! ```
+//!
+//! Modules:
+//! * [`database`] — [`RdfDatabase`]: graph + schema closure + the two
+//!   engine-backed stores (plain and saturated);
+//! * [`strategy`] — the answering strategies compared throughout the
+//!   paper's Section 5: saturation, UCQ, SCQ, ECov/GCov JUCQs, fixed
+//!   covers;
+//! * [`parser`] — a SPARQL-BGP subset parser (`SELECT … WHERE { … }`);
+//! * [`turtle`] — a Turtle-subset loader for examples and tests.
+
+#![warn(missing_docs)]
+
+pub mod database;
+pub mod parser;
+pub mod plan_cache;
+pub mod snapshot;
+pub mod strategy;
+pub mod turtle;
+
+pub use database::{AnswerError, AnswerReport, RdfDatabase};
+pub use plan_cache::{PlanCache, PlanCacheStats};
+pub use strategy::{CostSource, Strategy};
+
+// Re-export the lower layers so downstream users need a single
+// dependency.
+pub use jucq_model as model;
+pub use jucq_optimizer as optimizer;
+pub use jucq_reformulation as reformulation;
+pub use jucq_store as store;

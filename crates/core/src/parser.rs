@@ -1,0 +1,416 @@
+//! A parser for the SPARQL conjunctive (BGP) fragment.
+//!
+//! Grammar (whitespace-separated; `#` comments to end of line):
+//!
+//! ```text
+//! query    := prologue SELECT [DISTINCT] var+ WHERE { triple ( . triple? )* } [LIMIT n]
+//! prologue := ( PREFIX name: <iri> )*
+//! triple   := term term term
+//! term     := ?name | <iri> | prefix:local | "literal" | a
+//! ```
+//!
+//! `DISTINCT` is accepted and is a no-op — evaluation is under set
+//! semantics throughout (the reformulation algorithms require it).
+//!
+//! `a` abbreviates `rdf:type`; the `rdf:` and `rdfs:` prefixes are
+//! built in. Constants are interned into the database dictionary, so a
+//! query may mention values the data does not contain (it then simply
+//! has an empty extent for them).
+
+use std::fmt;
+
+use jucq_model::{Dictionary, FxHashMap, Term, vocab};
+use jucq_reformulation::BgpQuery;
+use jucq_store::{PatternTerm, StorePattern, VarId};
+
+/// A parse failure, with a human-readable description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError { message: message.into() })
+}
+
+/// Tokenize: brackets/braces/dots are their own tokens; quoted strings
+/// keep their spaces.
+fn tokenize(text: &str) -> Result<Vec<String>, ParseError> {
+    let mut tokens = Vec::new();
+    let mut chars = text.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            '#' => {
+                // Comment to end of line.
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        break;
+                    }
+                }
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '{' | '}' | '.' => {
+                chars.next();
+                tokens.push(c.to_string());
+            }
+            '<' => {
+                chars.next();
+                let mut iri = String::new();
+                loop {
+                    match chars.next() {
+                        Some('>') => break,
+                        Some(c) => iri.push(c),
+                        None => return err("unterminated IRI"),
+                    }
+                }
+                tokens.push(format!("<{iri}>"));
+            }
+            '"' => {
+                chars.next();
+                let mut lit = String::new();
+                loop {
+                    match chars.next() {
+                        Some('"') => break,
+                        Some('\\') => match chars.next() {
+                            Some(e) => lit.push(e),
+                            None => return err("unterminated escape"),
+                        },
+                        Some(c) => lit.push(c),
+                        None => return err("unterminated literal"),
+                    }
+                }
+                tokens.push(format!("\"{lit}\""));
+            }
+            _ => {
+                let mut word = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_whitespace() || matches!(c, '{' | '}' | '<' | '"') {
+                        break;
+                    }
+                    // A '.' ends a word only when followed by whitespace
+                    // or EOF (so prefixed names with dots would work;
+                    // our workloads do not use them, but IRIs do appear
+                    // in PREFIX declarations as separate tokens anyway).
+                    if c == '.' {
+                        let mut ahead = chars.clone();
+                        ahead.next();
+                        match ahead.peek() {
+                            None => break,
+                            Some(&n) if n.is_whitespace() || n == '}' => break,
+                            _ => {}
+                        }
+                    }
+                    word.push(c);
+                    chars.next();
+                }
+                if !word.is_empty() {
+                    tokens.push(word);
+                }
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+struct Cursor<'a> {
+    tokens: &'a [String],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<&'a str> {
+        self.tokens.get(self.pos).map(String::as_str)
+    }
+
+    fn next(&mut self) -> Option<&'a str> {
+        let t = self.peek();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(t) if t.eq_ignore_ascii_case(want) => Ok(()),
+            Some(t) => err(format!("expected `{want}`, found `{t}`")),
+            None => err(format!("expected `{want}`, found end of input")),
+        }
+    }
+}
+
+fn builtin_prefixes() -> FxHashMap<String, String> {
+    let mut m = FxHashMap::default();
+    m.insert("rdf".into(), "http://www.w3.org/1999/02/22-rdf-syntax-ns#".into());
+    m.insert("rdfs".into(), "http://www.w3.org/2000/01/rdf-schema#".into());
+    m
+}
+
+/// Resolve one term token to a pattern term, interning constants.
+fn parse_term(
+    token: &str,
+    dict: &mut Dictionary,
+    prefixes: &FxHashMap<String, String>,
+    vars: &mut FxHashMap<String, VarId>,
+) -> Result<PatternTerm, ParseError> {
+    if token == "a" {
+        return Ok(PatternTerm::Const(dict.encode_uri(vocab::RDF_TYPE)));
+    }
+    if let Some(name) = token.strip_prefix('?') {
+        if name.is_empty() {
+            return err("empty variable name");
+        }
+        let n = vars.len() as VarId;
+        let id = *vars.entry(name.to_owned()).or_insert(n);
+        return Ok(PatternTerm::Var(id));
+    }
+    if let Some(iri) = token.strip_prefix('<').and_then(|t| t.strip_suffix('>')) {
+        return Ok(PatternTerm::Const(dict.encode_uri(iri)));
+    }
+    if let Some(lit) = token.strip_prefix('"').and_then(|t| t.strip_suffix('"')) {
+        return Ok(PatternTerm::Const(dict.encode(&Term::literal(lit))));
+    }
+    if let Some((prefix, local)) = token.split_once(':') {
+        if let Some(base) = prefixes.get(prefix) {
+            return Ok(PatternTerm::Const(dict.encode_uri(&format!("{base}{local}"))));
+        }
+        return err(format!("unknown prefix `{prefix}:`"));
+    }
+    err(format!("cannot parse term `{token}`"))
+}
+
+/// Parse a `SELECT … WHERE { … }` query, interning constants in `dict`.
+pub fn parse_query(dict: &mut Dictionary, text: &str) -> Result<BgpQuery, ParseError> {
+    let tokens = tokenize(text)?;
+    let mut cur = Cursor { tokens: &tokens, pos: 0 };
+    let mut prefixes = builtin_prefixes();
+
+    // Prologue.
+    while cur.peek().is_some_and(|t| t.eq_ignore_ascii_case("prefix")) {
+        cur.next();
+        let Some(decl) = cur.next() else {
+            return err("PREFIX needs a name");
+        };
+        let Some(name) = decl.strip_suffix(':') else {
+            return err(format!("prefix `{decl}` must end with `:`"));
+        };
+        let Some(iri_tok) = cur.next() else {
+            return err("PREFIX needs an IRI");
+        };
+        let Some(iri) = iri_tok.strip_prefix('<').and_then(|t| t.strip_suffix('>')) else {
+            return err(format!("prefix IRI `{iri_tok}` must be `<…>`"));
+        };
+        prefixes.insert(name.to_owned(), iri.to_owned());
+    }
+
+    cur.expect("SELECT")?;
+    if cur.peek().is_some_and(|t| t.eq_ignore_ascii_case("distinct")) {
+        cur.next(); // set semantics anyway
+    }
+    let mut head_names: Vec<String> = Vec::new();
+    while let Some(t) = cur.peek() {
+        if t.eq_ignore_ascii_case("where") {
+            break;
+        }
+        match t.strip_prefix('?') {
+            Some(name) if !name.is_empty() => head_names.push(name.to_owned()),
+            _ => return err(format!("expected a ?variable in SELECT, found `{t}`")),
+        }
+        cur.next();
+    }
+    if head_names.is_empty() {
+        return err("SELECT needs at least one variable");
+    }
+    cur.expect("WHERE")?;
+    cur.expect("{")?;
+
+    let mut vars: FxHashMap<String, VarId> = FxHashMap::default();
+    // Reserve head variables first so their ids are 0..k in SELECT
+    // order.
+    for name in &head_names {
+        let n = vars.len() as VarId;
+        vars.entry(name.clone()).or_insert(n);
+    }
+
+    let mut atoms: Vec<StorePattern> = Vec::new();
+    loop {
+        match cur.peek() {
+            Some("}") => {
+                cur.next();
+                break;
+            }
+            Some(".") => {
+                cur.next();
+            }
+            Some(_) => {
+                let s = parse_term(cur.next().expect("peeked"), dict, &prefixes, &mut vars)?;
+                let p = match cur.next() {
+                    Some(t) => parse_term(t, dict, &prefixes, &mut vars)?,
+                    None => return err("triple missing its property"),
+                };
+                let o = match cur.next() {
+                    Some(t) => parse_term(t, dict, &prefixes, &mut vars)?,
+                    None => return err("triple missing its object"),
+                };
+                atoms.push(StorePattern::new(s, p, o));
+            }
+            None => return err("unterminated WHERE block"),
+        }
+    }
+    let mut limit: Option<usize> = None;
+    if cur.peek().is_some_and(|t| t.eq_ignore_ascii_case("limit")) {
+        cur.next();
+        match cur.next().map(str::parse::<usize>) {
+            Some(Ok(n)) => limit = Some(n),
+            _ => return err("LIMIT needs a non-negative integer"),
+        }
+    }
+    if cur.peek().is_some() {
+        return err(format!("trailing tokens after `}}`: `{}`", cur.peek().expect("peeked")));
+    }
+    if atoms.is_empty() {
+        return err("WHERE block has no triples");
+    }
+
+    let head: Vec<VarId> = head_names
+        .iter()
+        .map(|n| *vars.get(n).expect("reserved above"))
+        .collect();
+    // Safety: every head variable must occur in the body.
+    let body_vars: Vec<VarId> = atoms.iter().flat_map(StorePattern::variables).collect();
+    for (name, &v) in head_names.iter().zip(&head) {
+        if !body_vars.contains(&v) {
+            return err(format!("SELECT variable ?{name} does not occur in WHERE"));
+        }
+    }
+    let mut q = BgpQuery::new(head, atoms);
+    if let Some(n) = limit {
+        q = q.with_limit(n);
+    }
+    Ok(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> Result<(BgpQuery, Dictionary), ParseError> {
+        let mut dict = Dictionary::new();
+        let q = parse_query(&mut dict, text)?;
+        Ok((q, dict))
+    }
+
+    #[test]
+    fn simple_query() {
+        let (q, dict) = parse("SELECT ?x WHERE { ?x rdf:type <http://ex/Book> . }").unwrap();
+        assert_eq!(q.head, vec![0]);
+        assert_eq!(q.atoms.len(), 1);
+        assert!(dict.lookup_uri("http://ex/Book").is_some());
+        assert!(dict.lookup_uri(vocab::RDF_TYPE).is_some());
+    }
+
+    #[test]
+    fn a_abbreviates_rdf_type() {
+        let (q, dict) = parse("SELECT ?x WHERE { ?x a <http://ex/Book> }").unwrap();
+        let ty = dict.lookup_uri(vocab::RDF_TYPE).unwrap();
+        assert_eq!(q.atoms[0].p, PatternTerm::Const(ty));
+    }
+
+    #[test]
+    fn prefixes_and_multiple_triples() {
+        let (q, dict) = parse(
+            "PREFIX ub: <http://ub.org/> \
+             SELECT ?x ?y WHERE { ?x a ?y . ?x ub:degreeFrom <http://univ7.edu> . \
+             ?x ub:memberOf <http://dept0.univ7.edu> }",
+        )
+        .unwrap();
+        assert_eq!(q.atoms.len(), 3);
+        assert_eq!(q.head, vec![0, 1]);
+        assert!(dict.lookup_uri("http://ub.org/degreeFrom").is_some());
+    }
+
+    #[test]
+    fn literals_parse_with_spaces() {
+        let (q, dict) = parse(
+            "SELECT ?x WHERE { ?x <http://ex/title> \"Game of Thrones\" }",
+        )
+        .unwrap();
+        let lit = dict.lookup(&Term::literal("Game of Thrones")).unwrap();
+        assert_eq!(q.atoms[0].o, PatternTerm::Const(lit));
+    }
+
+    #[test]
+    fn head_order_follows_select() {
+        let (q, _) = parse("SELECT ?b ?a WHERE { ?a <http://p> ?b }").unwrap();
+        assert_eq!(q.head, vec![0, 1]);
+        // ?b is var 0 (first in SELECT), appearing as the object.
+        assert_eq!(q.atoms[0].o, PatternTerm::Var(0));
+        assert_eq!(q.atoms[0].s, PatternTerm::Var(1));
+    }
+
+    #[test]
+    fn variables_shared_across_triples_unify() {
+        let (q, _) =
+            parse("SELECT ?x WHERE { ?x <http://p> ?y . ?y <http://p> ?z }").unwrap();
+        assert_eq!(q.atoms[0].o, q.atoms[1].s);
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(parse("SELECT WHERE { ?x <http://p> ?y }")
+            .unwrap_err()
+            .message
+            .contains("SELECT"));
+        assert!(parse("SELECT ?x WHERE { ?x <http://p> }")
+            .unwrap_err()
+            .message
+            .contains("cannot parse term"));
+        assert!(parse("SELECT ?q WHERE { ?x <http://p> ?y }")
+            .unwrap_err()
+            .message
+            .contains("does not occur"));
+        assert!(parse("SELECT ?x WHERE { ?x foo:p ?y }")
+            .unwrap_err()
+            .message
+            .contains("unknown prefix"));
+    }
+
+    #[test]
+    fn distinct_and_limit() {
+        let (q, _) = parse(
+            "SELECT DISTINCT ?x WHERE { ?x <http://p> ?y } LIMIT 25",
+        )
+        .unwrap();
+        assert_eq!(q.limit, Some(25));
+        let (q, _) = parse("SELECT ?x WHERE { ?x <http://p> ?y }").unwrap();
+        assert_eq!(q.limit, None);
+        assert!(parse("SELECT ?x WHERE { ?x <http://p> ?y } LIMIT abc").is_err());
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let (q, _) = parse(
+            "# find everything\nSELECT ?x WHERE { ?x <http://p> ?y . # body\n }",
+        )
+        .unwrap();
+        assert_eq!(q.atoms.len(), 1);
+    }
+
+    #[test]
+    fn unterminated_constructs_error() {
+        assert!(parse("SELECT ?x WHERE { ?x <http://p ?y }").is_err());
+        assert!(parse("SELECT ?x WHERE { ?x <http://p> \"abc }").is_err());
+        assert!(parse("SELECT ?x WHERE { ?x <http://p> ?y ").is_err());
+    }
+}

@@ -1,0 +1,195 @@
+//! Plan caching: amortize cover-search time across repeated queries.
+//!
+//! GCov/ECov planning is cheap next to a bad evaluation, but it is not
+//! free (Figures 7–8: up to seconds on reformulation-heavy queries). A
+//! chosen [`Cover`] depends only on the *query structure* and the
+//! statistics snapshot — and by Theorem 3.1 **any** valid cover answers
+//! correctly — so a cached cover stays sound across arbitrary data
+//! updates; at worst it drifts from the cost optimum as statistics
+//! move. The cache is therefore kept through incremental updates and
+//! only dropped on re-preparation (schema/vocabulary changes).
+
+use std::collections::VecDeque;
+
+use jucq_model::FxHashMap;
+use jucq_reformulation::{BgpQuery, Cover};
+
+/// The cache key: the exact query plus the strategy family that chose
+/// the cover (ECov and GCov choices are cached separately).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    query: BgpQuery,
+    strategy: &'static str,
+}
+
+impl PlanKey {
+    /// Build a key.
+    pub fn new(query: BgpQuery, strategy: &'static str) -> Self {
+        PlanKey { query, strategy }
+    }
+}
+
+/// Hit/miss counters, for diagnostics.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: usize,
+    /// Lookups that required a fresh search.
+    pub misses: usize,
+    /// Entries evicted by the FIFO bound.
+    pub evictions: usize,
+}
+
+/// A bounded FIFO cover cache.
+#[derive(Debug)]
+pub struct PlanCache {
+    map: FxHashMap<PlanKey, (Cover, Option<usize>)>,
+    order: VecDeque<PlanKey>,
+    capacity: usize,
+    stats: PlanCacheStats,
+}
+
+impl PlanCache {
+    /// An empty cache holding at most `capacity` plans.
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            map: FxHashMap::default(),
+            order: VecDeque::new(),
+            capacity: capacity.max(1),
+            stats: PlanCacheStats::default(),
+        }
+    }
+
+    /// Look up a cached cover (and the covers-explored count of the
+    /// original search, for reporting).
+    pub fn get(&mut self, key: &PlanKey) -> Option<(Cover, Option<usize>)> {
+        match self.map.get(key) {
+            Some(hit) => {
+                self.stats.hits += 1;
+                Some(hit.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Store a cover under `key`, evicting the oldest entry when full.
+    pub fn put(&mut self, key: PlanKey, cover: Cover, explored: Option<usize>) {
+        if let Some(slot) = self.map.get_mut(&key) {
+            *slot = (cover, explored);
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            if let Some(old) = self.order.pop_front() {
+                self.map.remove(&old);
+                self.stats.evictions += 1;
+            }
+        }
+        self.order.push_back(key.clone());
+        self.map.insert(key, (cover, explored));
+    }
+
+    /// Drop every entry (keeps counters).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+    }
+
+    /// Cached plan count.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True iff no plan is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Hit/miss/eviction counters.
+    pub fn stats(&self) -> PlanCacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jucq_model::term::TermKind;
+    use jucq_model::TermId;
+    use jucq_store::{PatternTerm, StorePattern};
+
+    fn query(p: u32) -> BgpQuery {
+        BgpQuery::new(
+            vec![0],
+            vec![StorePattern::new(
+                PatternTerm::Var(0),
+                PatternTerm::Const(TermId::new(TermKind::Uri, p)),
+                PatternTerm::Var(1),
+            )],
+        )
+    }
+
+    fn cover(q: &BgpQuery) -> Cover {
+        Cover::single_fragment(q).unwrap()
+    }
+
+    #[test]
+    fn hit_after_put() {
+        let mut c = PlanCache::new(4);
+        let q = query(1);
+        let key = PlanKey::new(q.clone(), "GCov");
+        assert!(c.get(&key).is_none());
+        c.put(key.clone(), cover(&q), Some(7));
+        let (got, explored) = c.get(&key).unwrap();
+        assert_eq!(got, cover(&q));
+        assert_eq!(explored, Some(7));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn strategies_cached_separately() {
+        let mut c = PlanCache::new(4);
+        let q = query(1);
+        c.put(PlanKey::new(q.clone(), "GCov"), cover(&q), None);
+        assert!(c.get(&PlanKey::new(q.clone(), "ECov")).is_none());
+        assert!(c.get(&PlanKey::new(q, "GCov")).is_some());
+    }
+
+    #[test]
+    fn fifo_eviction() {
+        let mut c = PlanCache::new(2);
+        for p in 1..=3u32 {
+            let q = query(p);
+            c.put(PlanKey::new(q.clone(), "GCov"), cover(&q), None);
+        }
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().evictions, 1);
+        assert!(c.get(&PlanKey::new(query(1), "GCov")).is_none(), "oldest evicted");
+        assert!(c.get(&PlanKey::new(query(3), "GCov")).is_some());
+    }
+
+    #[test]
+    fn clear_keeps_counters() {
+        let mut c = PlanCache::new(2);
+        let q = query(1);
+        c.put(PlanKey::new(q.clone(), "GCov"), cover(&q), None);
+        c.get(&PlanKey::new(q, "GCov"));
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
+    fn reinsert_updates_in_place() {
+        let mut c = PlanCache::new(2);
+        let q = query(1);
+        let key = PlanKey::new(q.clone(), "GCov");
+        c.put(key.clone(), cover(&q), Some(1));
+        c.put(key.clone(), cover(&q), Some(2));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&key).unwrap().1, Some(2));
+    }
+}

@@ -1,0 +1,288 @@
+//! Binary graph snapshots: persist a loaded RDF graph (dictionary,
+//! schema, data) and reload it without re-parsing — the difference
+//! between re-tokenizing megabytes of Turtle and one sequential read.
+//!
+//! The format is a simple length-prefixed little-endian layout
+//! (built with the `bytes` crate):
+//!
+//! ```text
+//! magic  "JUCQSNAP"            8 bytes
+//! version u16                  currently 1
+//! uris    u32 count, then (u32 len, bytes)*     — ids are assigned
+//! literals u32 count, then (u32 len, bytes)*      densely per kind in
+//! blanks  u32 count, then (u32 len, bytes)*       file order
+//! schema  4 × (u32 count, then (u32 raw, u32 raw)*)
+//! data    u64 count, then (u32 s, u32 p, u32 o)*
+//! ```
+//!
+//! Everything is validated on load; corrupt or truncated input yields a
+//! typed [`SnapshotError`], never a panic.
+
+use std::fmt;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use jucq_model::term::TermKind;
+use jucq_model::{Dictionary, Graph, Schema, Term, TermId, TripleId};
+
+/// Snapshot format magic.
+const MAGIC: &[u8; 8] = b"JUCQSNAP";
+/// Current format version.
+const VERSION: u16 = 1;
+
+/// Why a snapshot failed to load.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The magic bytes are wrong (not a snapshot file).
+    BadMagic,
+    /// The version is newer than this build understands.
+    UnsupportedVersion(u16),
+    /// The input ended before the declared content.
+    Truncated {
+        /// What was being read.
+        reading: &'static str,
+    },
+    /// A string is not valid UTF-8.
+    BadString,
+    /// A term id references a dictionary slot that does not exist.
+    DanglingId(u32),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not a jucq snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            SnapshotError::Truncated { reading } => write!(f, "truncated snapshot while reading {reading}"),
+            SnapshotError::BadString => write!(f, "snapshot contains invalid UTF-8"),
+            SnapshotError::DanglingId(raw) => write!(f, "snapshot references unknown term id {raw:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+/// Serialize a graph to the snapshot format.
+pub fn save(graph: &Graph) -> Bytes {
+    let dict = graph.dict();
+    let mut buf = BytesMut::with_capacity(64 + graph.len() * 12);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+
+    // Dictionary sections, per kind, in dense id order.
+    for kind in [TermKind::Uri, TermKind::Literal, TermKind::Blank] {
+        let count = dict.kind_len(kind);
+        buf.put_u32_le(count as u32);
+        for idx in 0..count as u32 {
+            put_str(&mut buf, dict.lexical(TermId::new(kind, idx)));
+        }
+    }
+
+    // Schema sections.
+    let schema = graph.schema();
+    for list in [&schema.subclass, &schema.subproperty, &schema.domain, &schema.range] {
+        buf.put_u32_le(list.len() as u32);
+        for &(a, b) in list.iter() {
+            buf.put_u32_le(a.raw());
+            buf.put_u32_le(b.raw());
+        }
+    }
+
+    // Data triples.
+    buf.put_u64_le(graph.data().len() as u64);
+    for t in graph.data() {
+        buf.put_u32_le(t.s.raw());
+        buf.put_u32_le(t.p.raw());
+        buf.put_u32_le(t.o.raw());
+    }
+    buf.freeze()
+}
+
+fn get_slice<'a>(buf: &mut &'a [u8], n: usize, what: &'static str) -> Result<&'a [u8], SnapshotError> {
+    if buf.len() < n {
+        return Err(SnapshotError::Truncated { reading: what });
+    }
+    let (head, tail) = buf.split_at(n);
+    *buf = tail;
+    Ok(head)
+}
+
+fn get_u32(buf: &mut &[u8], what: &'static str) -> Result<u32, SnapshotError> {
+    Ok(get_slice(buf, 4, what)?.get_u32_le())
+}
+
+fn get_u64(buf: &mut &[u8], what: &'static str) -> Result<u64, SnapshotError> {
+    Ok(get_slice(buf, 8, what)?.get_u64_le())
+}
+
+fn get_str(buf: &mut &[u8], what: &'static str) -> Result<String, SnapshotError> {
+    let len = get_u32(buf, what)? as usize;
+    let bytes = get_slice(buf, len, what)?;
+    String::from_utf8(bytes.to_vec()).map_err(|_| SnapshotError::BadString)
+}
+
+/// Deserialize a snapshot back into a graph.
+pub fn load(data: &[u8]) -> Result<Graph, SnapshotError> {
+    let mut buf = data;
+    let magic = get_slice(&mut buf, 8, "magic")?;
+    if magic != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = get_slice(&mut buf, 2, "version")?.get_u16_le();
+    if version != VERSION {
+        return Err(SnapshotError::UnsupportedVersion(version));
+    }
+
+    let mut dict = Dictionary::new();
+    for kind in [TermKind::Uri, TermKind::Literal, TermKind::Blank] {
+        let count = get_u32(&mut buf, "dictionary count")? as usize;
+        for i in 0..count {
+            let lex = get_str(&mut buf, "dictionary entry")?;
+            let term = match kind {
+                TermKind::Uri => Term::Uri(lex),
+                TermKind::Literal => Term::Literal(lex),
+                TermKind::Blank => Term::Blank(lex),
+            };
+            let id = dict.encode(&term);
+            debug_assert_eq!(id.index() as usize, i, "dense id assignment");
+        }
+    }
+    let check = |raw: u32| -> Result<TermId, SnapshotError> {
+        let id = TermId::from_raw(raw);
+        if dict.contains_id(id) {
+            Ok(id)
+        } else {
+            Err(SnapshotError::DanglingId(raw))
+        }
+    };
+
+    let mut schema = Schema::new();
+    for list in [
+        &mut schema.subclass,
+        &mut schema.subproperty,
+        &mut schema.domain,
+        &mut schema.range,
+    ] {
+        let count = get_u32(&mut buf, "schema count")? as usize;
+        for _ in 0..count {
+            let a = check(get_u32(&mut buf, "schema pair")?)?;
+            let b = check(get_u32(&mut buf, "schema pair")?)?;
+            list.push((a, b));
+        }
+    }
+
+    let n = get_u64(&mut buf, "data count")? as usize;
+    let mut triples = Vec::with_capacity(n);
+    for _ in 0..n {
+        let s = check(get_u32(&mut buf, "triple")?)?;
+        let p = check(get_u32(&mut buf, "triple")?)?;
+        let o = check(get_u32(&mut buf, "triple")?)?;
+        triples.push(TripleId::new(s, p, o));
+    }
+    Ok(Graph::assemble(dict, schema, triples))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jucq_model::vocab;
+
+    fn sample() -> Graph {
+        let mut g = Graph::new();
+        crate::turtle::load(
+            &mut g,
+            r#"
+            @prefix ex: <http://example.org/> .
+            ex:Book rdfs:subClassOf ex:Publication .
+            ex:writtenBy rdfs:domain ex:Book .
+            ex:doi1 ex:writtenBy _:b1 .
+            ex:doi1 ex:hasTitle "Game of Thrones" .
+            ex:doi1 a ex:Book .
+            "#,
+        )
+        .unwrap();
+        g
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let g = sample();
+        let bytes = save(&g);
+        let g2 = load(&bytes).expect("loads");
+        assert_eq!(g.len(), g2.len());
+        assert_eq!(g.schema(), g2.schema());
+        assert_eq!(g.data(), g2.data(), "dense ids are reproduced exactly");
+        assert_eq!(g.dict().len(), g2.dict().len());
+        // Decoded views agree.
+        for (a, b) in g.data().iter().zip(g2.data()) {
+            assert_eq!(g.decode(a), g2.decode(b));
+        }
+    }
+
+    #[test]
+    fn round_trip_answers_identically() {
+        use crate::{RdfDatabase, Strategy};
+        let g = sample();
+        let bytes = save(&g);
+        let g2 = load(&bytes).unwrap();
+        let mut db1 = RdfDatabase::from_graph(g, Default::default());
+        let mut db2 = RdfDatabase::from_graph(g2, Default::default());
+        db1.set_cost_constants(Default::default());
+        db2.set_cost_constants(Default::default());
+        let text = "SELECT ?x WHERE { ?x a <http://example.org/Publication> }";
+        let q1 = db1.parse_query(text).unwrap();
+        let q2 = db2.parse_query(text).unwrap();
+        let a = db1.answer(&q1, &Strategy::Ucq).unwrap().rows.len();
+        let b = db2.answer(&q2, &Strategy::Ucq).unwrap().rows.len();
+        assert_eq!(a, b);
+        assert_eq!(a, 1);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(load(b"NOTASNAP\x01\x00").err(), Some(SnapshotError::BadMagic));
+    }
+
+    #[test]
+    fn unsupported_version_rejected() {
+        let mut bytes = save(&sample()).to_vec();
+        bytes[8] = 0xFF;
+        bytes[9] = 0xFF;
+        assert_eq!(load(&bytes).err(), Some(SnapshotError::UnsupportedVersion(0xFFFF)));
+    }
+
+    #[test]
+    fn truncation_detected_everywhere() {
+        let bytes = save(&sample());
+        for cut in [0, 5, 9, 11, 20, bytes.len() - 1] {
+            let r = load(&bytes[..cut]);
+            assert!(r.is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn empty_graph_round_trips() {
+        let g = Graph::new();
+        let bytes = save(&g);
+        let g2 = load(&bytes).unwrap();
+        assert!(g2.is_empty());
+        assert_eq!(g2.schema().len(), 0);
+    }
+
+    #[test]
+    fn rdf_type_survives() {
+        let mut g = Graph::new();
+        g.insert(&jucq_model::Triple::new(
+            Term::uri("a"),
+            Term::uri(vocab::RDF_TYPE),
+            Term::uri("C"),
+        ));
+        let g2 = load(&save(&g)).unwrap();
+        assert!(g2.rdf_type_id().is_some());
+    }
+}

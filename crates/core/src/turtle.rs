@@ -1,0 +1,346 @@
+//! A Turtle-subset loader for examples, tests and generated datasets.
+//!
+//! Supported:
+//!
+//! ```text
+//! @prefix ex: <http://example.org/> .
+//! <http://a> <http://p> <http://b> .
+//! ex:s ex:p "a literal" .
+//! ex:s a ex:Class .          # `a` = rdf:type
+//! _:b1 ex:p ex:o .           # blank nodes
+//! ```
+//!
+//! One triple per statement (no `;`/`,` abbreviations), `#` comments.
+
+use std::fmt;
+
+use jucq_model::{FxHashMap, Graph, Term, Triple, vocab};
+
+/// A load failure, with line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TurtleError {
+    /// 1-based line of the offending statement.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for TurtleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "turtle error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TurtleError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, TurtleError> {
+    Err(TurtleError { line, message: message.into() })
+}
+
+/// Split one logical statement into up to three term tokens (plus the
+/// trailing `.`), respecting quotes and angle brackets.
+fn statement_tokens(line: usize, stmt: &str) -> Result<Vec<String>, TurtleError> {
+    let mut tokens = Vec::new();
+    let mut chars = stmt.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '<' => {
+                chars.next();
+                let mut iri = String::new();
+                loop {
+                    match chars.next() {
+                        Some('>') => break,
+                        Some(ch) => iri.push(ch),
+                        None => return err(line, "unterminated IRI"),
+                    }
+                }
+                tokens.push(format!("<{iri}>"));
+            }
+            '"' => {
+                chars.next();
+                let mut lit = String::new();
+                loop {
+                    match chars.next() {
+                        Some('"') => break,
+                        Some('\\') => match chars.next() {
+                            Some(e) => lit.push(e),
+                            None => return err(line, "unterminated escape"),
+                        },
+                        Some(ch) => lit.push(ch),
+                        None => return err(line, "unterminated literal"),
+                    }
+                }
+                tokens.push(format!("\"{lit}\""));
+            }
+            _ => {
+                let mut word = String::new();
+                while let Some(&ch) = chars.peek() {
+                    if ch.is_whitespace() || ch == '<' || ch == '"' {
+                        break;
+                    }
+                    word.push(ch);
+                    chars.next();
+                }
+                if !word.is_empty() {
+                    tokens.push(word);
+                }
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn resolve_term(
+    line: usize,
+    token: &str,
+    prefixes: &FxHashMap<String, String>,
+) -> Result<Term, TurtleError> {
+    if token == "a" {
+        return Ok(Term::uri(vocab::RDF_TYPE));
+    }
+    if let Some(iri) = token.strip_prefix('<').and_then(|t| t.strip_suffix('>')) {
+        return Ok(Term::uri(iri));
+    }
+    if let Some(lit) = token.strip_prefix('"').and_then(|t| t.strip_suffix('"')) {
+        return Ok(Term::literal(lit));
+    }
+    if let Some(label) = token.strip_prefix("_:") {
+        return Ok(Term::blank(label));
+    }
+    if let Some((prefix, local)) = token.split_once(':') {
+        if let Some(base) = prefixes.get(prefix) {
+            return Ok(Term::uri(format!("{base}{local}")));
+        }
+        return err(line, format!("unknown prefix `{prefix}:`"));
+    }
+    err(line, format!("cannot parse term `{token}`"))
+}
+
+/// Serialize a graph (schema + data) to the Turtle subset this module
+/// loads; [`load`] of the output reproduces the graph exactly.
+pub fn write(graph: &Graph) -> String {
+    let mut out = String::new();
+    let dict = graph.dict();
+    let term = |t: &Term| t.to_string();
+    // Schema constraints first.
+    let schema = graph.schema();
+    let pairs: [(&str, &Vec<(jucq_model::TermId, jucq_model::TermId)>); 4] = [
+        (vocab::RDFS_SUBCLASS_OF, &schema.subclass),
+        (vocab::RDFS_SUBPROPERTY_OF, &schema.subproperty),
+        (vocab::RDFS_DOMAIN, &schema.domain),
+        (vocab::RDFS_RANGE, &schema.range),
+    ];
+    for (p, list) in pairs {
+        for &(s, o) in list {
+            out.push_str(&format!(
+                "{} <{}> {} .
+",
+                term(&dict.decode(s)),
+                p,
+                term(&dict.decode(o))
+            ));
+        }
+    }
+    for t in graph.data() {
+        let decoded = graph.decode(t);
+        out.push_str(&format!(
+            "{} {} {} .
+",
+            term(&decoded.s),
+            term(&decoded.p),
+            term(&decoded.o)
+        ));
+    }
+    out
+}
+
+/// Load `text` into `graph`, returning the number of (new) triples
+/// inserted.
+pub fn load(graph: &mut Graph, text: &str) -> Result<usize, TurtleError> {
+    let mut prefixes: FxHashMap<String, String> = FxHashMap::default();
+    prefixes.insert("rdf".into(), "http://www.w3.org/1999/02/22-rdf-syntax-ns#".into());
+    prefixes.insert("rdfs".into(), "http://www.w3.org/2000/01/rdf-schema#".into());
+    let mut inserted = 0usize;
+
+    for (i, raw_line) in text.lines().enumerate() {
+        let line = i + 1;
+        let stmt = match raw_line.find('#') {
+            // Only strip comments not inside quotes/IRIs — a heuristic
+            // adequate for generated data: treat '#' as a comment only
+            // when preceded by whitespace or at line start.
+            Some(pos)
+                if raw_line[..pos].chars().filter(|&c| c == '"').count() % 2 == 0
+                    && raw_line[..pos].matches('<').count()
+                        == raw_line[..pos].matches('>').count()
+                    && (pos == 0
+                        || raw_line[..pos].ends_with(char::is_whitespace)) =>
+            {
+                &raw_line[..pos]
+            }
+            _ => raw_line,
+        };
+        let stmt = stmt.trim();
+        if stmt.is_empty() {
+            continue;
+        }
+        let stmt = stmt.strip_suffix('.').unwrap_or(stmt).trim();
+        if stmt.is_empty() {
+            continue;
+        }
+        let tokens = statement_tokens(line, stmt)?;
+        if tokens.first().is_some_and(|t| t.eq_ignore_ascii_case("@prefix")) {
+            let [_, name, iri] = tokens.as_slice() else {
+                return err(line, "@prefix needs a name and an IRI");
+            };
+            let Some(name) = name.strip_suffix(':') else {
+                return err(line, format!("prefix `{name}` must end with `:`"));
+            };
+            let Some(iri) = iri.strip_prefix('<').and_then(|t| t.strip_suffix('>')) else {
+                return err(line, format!("prefix IRI `{iri}` must be `<…>`"));
+            };
+            prefixes.insert(name.to_owned(), iri.to_owned());
+            continue;
+        }
+        let [s, p, o] = tokens.as_slice() else {
+            return err(line, format!("expected 3 terms, found {}", tokens.len()));
+        };
+        let triple = Triple::new(
+            resolve_term(line, s, &prefixes)?,
+            resolve_term(line, p, &prefixes)?,
+            resolve_term(line, o, &prefixes)?,
+        );
+        if triple.p.is_literal() || triple.p.is_blank() {
+            return err(line, "property must be an IRI");
+        }
+        if graph.insert(&triple) {
+            inserted += 1;
+        }
+    }
+    Ok(inserted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loads_basic_triples() {
+        let mut g = Graph::new();
+        let n = load(
+            &mut g,
+            r#"
+            @prefix ex: <http://example.org/> .
+            ex:s ex:p ex:o .
+            <http://a> <http://p> "lit with spaces" .
+            _:b1 ex:p ex:o .
+            ex:s a ex:Class .
+            "#,
+        )
+        .unwrap();
+        assert_eq!(n, 4);
+        assert_eq!(g.len(), 4);
+    }
+
+    #[test]
+    fn schema_statements_route_to_schema() {
+        let mut g = Graph::new();
+        load(
+            &mut g,
+            "@prefix ex: <http://example.org/> .\nex:A rdfs:subClassOf ex:B .\nex:x a ex:A .",
+        )
+        .unwrap();
+        assert_eq!(g.schema().subclass.len(), 1);
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_triples_not_double_counted() {
+        let mut g = Graph::new();
+        let n = load(&mut g, "<http://a> <http://p> <http://b> .\n<http://a> <http://p> <http://b> .").unwrap();
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let mut g = Graph::new();
+        let n = load(&mut g, "# a comment\n\n<http://a> <http://p> <http://b> . # trailing\n").unwrap();
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let mut g = Graph::new();
+        let e = load(&mut g, "\n\n<http://a> <http://p> .").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("3 terms"));
+    }
+
+    #[test]
+    fn literal_property_rejected() {
+        let mut g = Graph::new();
+        let e = load(&mut g, "<http://a> \"p\" <http://b> .").unwrap_err();
+        assert!(e.message.contains("IRI"));
+    }
+
+    #[test]
+    fn unknown_prefix_rejected() {
+        let mut g = Graph::new();
+        let e = load(&mut g, "zz:a <http://p> <http://b> .").unwrap_err();
+        assert!(e.message.contains("unknown prefix"));
+    }
+
+    #[test]
+    fn write_load_round_trip() {
+        let mut g = Graph::new();
+        load(
+            &mut g,
+            r#"
+            @prefix ex: <http://example.org/> .
+            ex:Book rdfs:subClassOf ex:Publication .
+            ex:writtenBy rdfs:domain ex:Book .
+            ex:doi1 ex:writtenBy _:b1 .
+            ex:doi1 ex:hasTitle "Game of Thrones" .
+            ex:doi1 a ex:Book .
+            "#,
+        )
+        .unwrap();
+        let text = write(&g);
+        let mut g2 = Graph::new();
+        load(&mut g2, &text).unwrap();
+        assert_eq!(g.len(), g2.len());
+        assert_eq!(g.schema().len(), g2.schema().len());
+        // Semantically identical: every decoded triple matches.
+        let decode_all = |g: &Graph| {
+            let mut v: Vec<String> = g.data().iter().map(|t| g.decode(t).to_string()).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(decode_all(&g), decode_all(&g2));
+    }
+
+    #[test]
+    fn write_escapes_literals() {
+        let mut g = Graph::new();
+        load(&mut g, r#"<http://a> <http://p> "with \"quotes\" inside" ."#).unwrap();
+        let text = write(&g);
+        let mut g2 = Graph::new();
+        load(&mut g2, &text).unwrap();
+        assert_eq!(g2.len(), 1);
+        let lit = g2.decode(&g2.data()[0]).o;
+        assert_eq!(lit, Term::literal(r#"with "quotes" inside"#));
+    }
+
+    #[test]
+    fn hash_inside_iri_is_not_a_comment() {
+        let mut g = Graph::new();
+        let n = load(&mut g, "<http://a#frag> <http://p> <http://b> .").unwrap();
+        assert_eq!(n, 1);
+        assert!(g
+            .dict()
+            .lookup(&Term::uri("http://a#frag"))
+            .is_some());
+    }
+}

@@ -1,0 +1,9 @@
+//! The DBLP-like benchmark: ontology, generator, query workload.
+
+pub mod generator;
+pub mod ontology;
+pub mod queries;
+
+pub use generator::{generate, DblpConfig};
+pub use ontology::{Ontology, NS};
+pub use queries::workload;

@@ -1,0 +1,131 @@
+//! The bibliography-style (DBLP-like) RDFS ontology.
+//!
+//! Shaped after the RDF export of DBLP \[29\] used by the paper: a
+//! document/publication hierarchy, venue collections, and
+//! Dublin-Core-ish creator/part-of property hierarchies. Literal-valued
+//! properties (`title`, `year`, `pages`, `personName`) carry no class
+//! constraints.
+
+use jucq_model::{Graph, Term, Triple, vocab};
+
+/// The ontology namespace.
+pub const NS: &str = "http://jucq.example.org/dblp#";
+
+/// `(class, superclass)` pairs.
+pub const SUBCLASSES: &[(&str, &str)] = &[
+    ("Publication", "Document"),
+    ("Collection", "Document"),
+    ("Article", "Publication"),
+    ("InProceedings", "Publication"),
+    ("InCollection", "Publication"),
+    ("Book", "Publication"),
+    ("PhdThesis", "Publication"),
+    ("MastersThesis", "Publication"),
+    ("WebDocument", "Publication"),
+    ("JournalArticle", "Article"),
+    ("MagazineArticle", "Article"),
+    ("Journal", "Collection"),
+    ("Proceedings", "Collection"),
+    ("Series", "Collection"),
+    ("Magazine", "Collection"),
+    ("Person", "Agent"),
+    ("Author", "Person"),
+    ("Editor", "Person"),
+];
+
+/// `(property, superproperty)` pairs.
+pub const SUBPROPERTIES: &[(&str, &str)] = &[
+    ("author", "creator"),
+    ("editor", "creator"),
+    ("publishedInJournal", "partOf"),
+    ("inProceedings", "partOf"),
+    ("inSeries", "partOf"),
+];
+
+/// `(property, domain class)` pairs.
+pub const DOMAINS: &[(&str, &str)] = &[
+    ("creator", "Document"),
+    ("partOf", "Publication"),
+    ("cites", "Publication"),
+];
+
+/// `(property, range class)` pairs.
+pub const RANGES: &[(&str, &str)] = &[
+    ("creator", "Person"),
+    ("author", "Author"),
+    ("editor", "Editor"),
+    ("partOf", "Collection"),
+    ("publishedInJournal", "Journal"),
+    ("inProceedings", "Proceedings"),
+    ("inSeries", "Series"),
+    ("cites", "Publication"),
+];
+
+/// Handle on the ontology vocabulary.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ontology;
+
+impl Ontology {
+    /// The full URI of an ontology class or property.
+    pub fn uri(name: &str) -> String {
+        format!("{NS}{name}")
+    }
+
+    /// Insert every schema constraint into `graph`.
+    pub fn declare(graph: &mut Graph) {
+        let triple = |s: &str, p: &str, o: &str| {
+            Triple::new(Term::uri(Self::uri(s)), Term::uri(p), Term::uri(Self::uri(o)))
+        };
+        for &(sub, sup) in SUBCLASSES {
+            graph.insert(&triple(sub, vocab::RDFS_SUBCLASS_OF, sup));
+        }
+        for &(sub, sup) in SUBPROPERTIES {
+            graph.insert(&triple(sub, vocab::RDFS_SUBPROPERTY_OF, sup));
+        }
+        for &(p, c) in DOMAINS {
+            graph.insert(&triple(p, vocab::RDFS_DOMAIN, c));
+        }
+        for &(p, c) in RANGES {
+            graph.insert(&triple(p, vocab::RDFS_RANGE, c));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declares_everything() {
+        let mut g = Graph::new();
+        Ontology::declare(&mut g);
+        assert_eq!(g.schema().subclass.len(), SUBCLASSES.len());
+        assert_eq!(g.schema().subproperty.len(), SUBPROPERTIES.len());
+        assert_eq!(g.schema().domain.len(), DOMAINS.len());
+        assert_eq!(g.schema().range.len(), RANGES.len());
+    }
+
+    #[test]
+    fn creator_hierarchy_closes() {
+        let mut g = Graph::new();
+        Ontology::declare(&mut g);
+        let cl = g.schema_closure();
+        let d = g.dict();
+        let author = d.lookup(&Term::uri(Ontology::uri("author"))).unwrap();
+        let creator = d.lookup(&Term::uri(Ontology::uri("creator"))).unwrap();
+        assert!(cl.is_subproperty(author, creator));
+        // author's range Author widens to Person and Agent.
+        let person = d.lookup(&Term::uri(Ontology::uri("Person"))).unwrap();
+        assert!(cl.ranges(author).contains(&person));
+    }
+
+    #[test]
+    fn publication_has_deep_subtree() {
+        let mut g = Graph::new();
+        Ontology::declare(&mut g);
+        let cl = g.schema_closure();
+        let d = g.dict();
+        let publication = d.lookup(&Term::uri(Ontology::uri("Publication"))).unwrap();
+        assert!(cl.sub_classes(publication).len() >= 8);
+    }
+}

@@ -1,0 +1,43 @@
+//! # jucq-datagen — synthetic RDF benchmark data and workloads
+//!
+//! From-scratch re-implementations of the two datasets the paper
+//! evaluates on (§5.1):
+//!
+//! * [`lubm`] — a Univ-Bench-style ontology and scalable generator
+//!   (universities → departments → faculty / students / courses /
+//!   publications), with the paper's motivating queries q1/q2 and a
+//!   28-query workload Q01–Q28;
+//! * [`dblp`] — a bibliography-style ontology and generator (authors,
+//!   publications, venues with heavy-tailed authorship), with a
+//!   10-query workload Q01–Q10.
+//!
+//! Both generators are **deterministic** for a given configuration
+//! (seeded ChaCha RNG) so experiments are reproducible. Queries are
+//! exposed as SPARQL-BGP strings (parsed by `jucq-core`), referencing
+//! only entities guaranteed to exist at every scale (university 0,
+//! department 0).
+//!
+//! DESIGN.md §3 records why synthetic stand-ins preserve the paper's
+//! phenomena: reformulation sizes are driven by the ontology (which we
+//! model faithfully), and cardinalities by the data distributions
+//! (which we mirror).
+
+#![warn(missing_docs)]
+
+pub mod dblp;
+pub mod lubm;
+
+/// A named benchmark query: identifier + SPARQL text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NamedQuery {
+    /// Identifier, e.g. `Q07` or `q1`.
+    pub name: String,
+    /// SPARQL-BGP text.
+    pub sparql: String,
+}
+
+impl NamedQuery {
+    pub(crate) fn new(name: impl Into<String>, sparql: impl Into<String>) -> Self {
+        NamedQuery { name: name.into(), sparql: sparql.into() }
+    }
+}

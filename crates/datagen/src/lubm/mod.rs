@@ -1,0 +1,9 @@
+//! The LUBM-like benchmark: ontology, generator, query workload.
+
+pub mod generator;
+pub mod ontology;
+pub mod queries;
+
+pub use generator::{generate, LubmConfig};
+pub use ontology::{Ontology, NS};
+pub use queries::{motivating_queries, workload};

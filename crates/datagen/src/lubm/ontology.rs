@@ -1,0 +1,212 @@
+//! The Univ-Bench-style RDFS ontology.
+//!
+//! A faithful re-implementation of the query-relevant fragment of the
+//! LUBM ontology \[26\]: the class hierarchy under `Person`,
+//! `Organization`, `Publication` and `Work`, and the property
+//! hierarchies under `memberOf` and `degreeFrom`, with their domain and
+//! range constraints. Literal-valued properties (`name`,
+//! `emailAddress`, …) deliberately carry no class constraints: in LUBM
+//! they apply to entities of every kind, and constraining them would
+//! distort reformulation sizes (and type literals, see the generalized
+//! triple note in `jucq-reformulation::saturation`).
+
+use jucq_model::{Graph, Term, Triple, vocab};
+
+/// The ontology namespace.
+pub const NS: &str = "http://jucq.example.org/univ-bench#";
+
+/// `(class, superclass)` pairs of the class hierarchy.
+pub const SUBCLASSES: &[(&str, &str)] = &[
+    // Organizations.
+    ("University", "Organization"),
+    ("College", "Organization"),
+    ("Department", "Organization"),
+    ("Institute", "Organization"),
+    ("Program", "Organization"),
+    ("ResearchGroup", "Organization"),
+    // People.
+    ("Employee", "Person"),
+    ("Student", "Person"),
+    ("Director", "Person"),
+    ("TeachingAssistant", "Person"),
+    ("ResearchAssistant", "Person"),
+    ("Faculty", "Employee"),
+    ("AdministrativeStaff", "Employee"),
+    ("Professor", "Faculty"),
+    ("Lecturer", "Faculty"),
+    ("PostDoc", "Faculty"),
+    ("FullProfessor", "Professor"),
+    ("AssociateProfessor", "Professor"),
+    ("AssistantProfessor", "Professor"),
+    ("VisitingProfessor", "Professor"),
+    ("Chair", "Professor"),
+    ("Dean", "Professor"),
+    ("UndergraduateStudent", "Student"),
+    ("GraduateStudent", "Student"),
+    // Publications.
+    ("Article", "Publication"),
+    ("Book", "Publication"),
+    ("Manual", "Publication"),
+    ("Software", "Publication"),
+    ("Specification", "Publication"),
+    ("UnofficialPublication", "Publication"),
+    ("JournalArticle", "Article"),
+    ("ConferencePaper", "Article"),
+    ("TechnicalReport", "Article"),
+    // Works.
+    ("Course", "Work"),
+    ("Research", "Work"),
+    ("GraduateCourse", "Course"),
+];
+
+/// `(property, superproperty)` pairs.
+pub const SUBPROPERTIES: &[(&str, &str)] = &[
+    ("worksFor", "memberOf"),
+    ("headOf", "worksFor"),
+    ("undergraduateDegreeFrom", "degreeFrom"),
+    ("mastersDegreeFrom", "degreeFrom"),
+    ("doctoralDegreeFrom", "degreeFrom"),
+];
+
+/// `(property, domain class)` pairs.
+pub const DOMAINS: &[(&str, &str)] = &[
+    ("memberOf", "Person"),
+    ("degreeFrom", "Person"),
+    ("advisor", "Person"),
+    ("takesCourse", "Student"),
+    ("teacherOf", "Faculty"),
+    ("teachingAssistantOf", "TeachingAssistant"),
+    ("publicationAuthor", "Publication"),
+    ("subOrganizationOf", "Organization"),
+    ("researchProject", "ResearchGroup"),
+];
+
+/// `(property, range class)` pairs.
+pub const RANGES: &[(&str, &str)] = &[
+    ("memberOf", "Organization"),
+    ("degreeFrom", "University"),
+    ("advisor", "Professor"),
+    ("takesCourse", "Course"),
+    ("teacherOf", "Course"),
+    ("teachingAssistantOf", "Course"),
+    ("publicationAuthor", "Person"),
+    ("subOrganizationOf", "Organization"),
+    ("researchProject", "Research"),
+];
+
+/// Literal-valued properties, constraint-free by design.
+pub const LITERAL_PROPERTIES: &[&str] =
+    &["name", "emailAddress", "telephone", "researchInterest"];
+
+/// Handle on the ontology vocabulary.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ontology;
+
+impl Ontology {
+    /// The full URI of an ontology class or property.
+    pub fn uri(name: &str) -> String {
+        format!("{NS}{name}")
+    }
+
+    /// Insert every schema constraint into `graph`.
+    pub fn declare(graph: &mut Graph) {
+        let triple = |s: &str, p: &str, o: &str| {
+            Triple::new(
+                Term::uri(Self::uri(s)),
+                Term::uri(p),
+                Term::uri(Self::uri(o)),
+            )
+        };
+        for &(sub, sup) in SUBCLASSES {
+            graph.insert(&triple(sub, vocab::RDFS_SUBCLASS_OF, sup));
+        }
+        for &(sub, sup) in SUBPROPERTIES {
+            graph.insert(&triple(sub, vocab::RDFS_SUBPROPERTY_OF, sup));
+        }
+        for &(p, c) in DOMAINS {
+            graph.insert(&triple(p, vocab::RDFS_DOMAIN, c));
+        }
+        for &(p, c) in RANGES {
+            graph.insert(&triple(p, vocab::RDFS_RANGE, c));
+        }
+    }
+
+    /// Names of all declared classes (derived from the hierarchy).
+    pub fn class_names() -> Vec<&'static str> {
+        let mut out: Vec<&str> = Vec::new();
+        for &(a, b) in SUBCLASSES {
+            for c in [a, b] {
+                if !out.contains(&c) {
+                    out.push(c);
+                }
+            }
+        }
+        for &(_, c) in DOMAINS.iter().chain(RANGES) {
+            if !out.contains(&c) {
+                out.push(c);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declares_all_constraints() {
+        let mut g = Graph::new();
+        Ontology::declare(&mut g);
+        assert_eq!(g.schema().subclass.len(), SUBCLASSES.len());
+        assert_eq!(g.schema().subproperty.len(), SUBPROPERTIES.len());
+        assert_eq!(g.schema().domain.len(), DOMAINS.len());
+        assert_eq!(g.schema().range.len(), RANGES.len());
+        assert_eq!(g.len(), 0, "ontology is pure schema");
+    }
+
+    #[test]
+    fn hierarchy_depth_matches_lubm() {
+        // FullProfessor ⊑ Professor ⊑ Faculty ⊑ Employee ⊑ Person.
+        let mut g = Graph::new();
+        Ontology::declare(&mut g);
+        let cl = g.schema_closure();
+        let d = g.dict();
+        let full = d.lookup(&Term::uri(Ontology::uri("FullProfessor"))).unwrap();
+        let person = d.lookup(&Term::uri(Ontology::uri("Person"))).unwrap();
+        assert!(cl.is_subclass(full, person));
+        assert_eq!(cl.super_classes(full).len(), 4);
+    }
+
+    #[test]
+    fn degree_from_has_three_subproperties() {
+        let mut g = Graph::new();
+        Ontology::declare(&mut g);
+        let cl = g.schema_closure();
+        let d = g.dict();
+        let degree = d.lookup(&Term::uri(Ontology::uri("degreeFrom"))).unwrap();
+        assert_eq!(cl.sub_properties(degree).len(), 3, "paper Table 1: t2 has 4 reformulations");
+        let member = d.lookup(&Term::uri(Ontology::uri("memberOf"))).unwrap();
+        assert_eq!(cl.sub_properties(member).len(), 2, "paper Table 1: t3 has 3 reformulations");
+    }
+
+    #[test]
+    fn class_count_is_lubm_scale() {
+        let n = Ontology::class_names().len();
+        assert!((35..=50).contains(&n), "LUBM has ~43 classes, ours has {n}");
+    }
+
+    #[test]
+    fn deep_domains_widen() {
+        // teacherOf has domain Faculty; the closure widens it to
+        // Employee and Person, so (x τ Person) reformulates into
+        // (x teacherOf _).
+        let mut g = Graph::new();
+        Ontology::declare(&mut g);
+        let cl = g.schema_closure();
+        let d = g.dict();
+        let teacher_of = d.lookup(&Term::uri(Ontology::uri("teacherOf"))).unwrap();
+        let person = d.lookup(&Term::uri(Ontology::uri("Person"))).unwrap();
+        assert!(cl.properties_with_domain(person).contains(&teacher_of));
+    }
+}

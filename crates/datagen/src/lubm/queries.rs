@@ -1,0 +1,236 @@
+//! The LUBM query workload: the paper's motivating queries q1/q2 and
+//! the 28-query study workload Q01–Q28.
+//!
+//! The paper's appendix with the exact query texts is not part of the
+//! available source (DESIGN.md §3), so Q01–Q28 are reconstructed to
+//! span the same characteristics Table 4 reports: 1–7 atoms,
+//! reformulation sizes from 1 to several hundred thousand union terms
+//! (driven by class-variable atoms and the class/property hierarchies),
+//! and result sizes from empty to dataset-scale. Queries reference only
+//! entities that exist at every scale (university 0, department 0 of
+//! university 0).
+
+use super::generator::{department_uri, university_uri};
+use super::ontology::NS;
+use crate::NamedQuery;
+
+fn prefixed(body: &str) -> String {
+    format!("PREFIX ub: <{NS}>\n{body}")
+}
+
+/// The paper's motivating queries (Section 3): `q1` (3 atoms, Table 1/
+/// Table 2) and `q2` (6 atoms, Table 3).
+pub fn motivating_queries() -> Vec<NamedQuery> {
+    let univ0 = university_uri(0);
+    let dept0 = department_uri(0, 0);
+    vec![
+        NamedQuery::new(
+            "q1",
+            prefixed(&format!(
+                "SELECT ?x ?y WHERE {{ ?x a ?y . ?x ub:degreeFrom <{univ0}> . \
+                 ?x ub:memberOf <{dept0}> }}"
+            )),
+        ),
+        NamedQuery::new(
+            "q2",
+            prefixed(&format!(
+                "SELECT ?x ?u ?y ?v ?z WHERE {{ ?x a ?u . ?y a ?v . \
+                 ?x ub:mastersDegreeFrom <{univ0}> . ?y ub:doctoralDegreeFrom <{univ0}> . \
+                 ?x ub:memberOf ?z . ?y ub:memberOf ?z }}"
+            )),
+        ),
+    ]
+}
+
+/// The 28-query LUBM workload.
+pub fn workload() -> Vec<NamedQuery> {
+    let univ0 = university_uri(0);
+    let dept0 = department_uri(0, 0);
+    let q = |name: &str, body: String| NamedQuery::new(name, prefixed(&body));
+    vec![
+        // -- single atoms, increasing reformulation size --
+        // Q01: leaf class, no reformulation beyond the original.
+        q("Q01", "SELECT ?x WHERE { ?x a ub:FullProfessor }".into()),
+        // Q02: mid-hierarchy class (6 subclasses + advisor range).
+        q("Q02", "SELECT ?x WHERE { ?x a ub:Professor }".into()),
+        // Q03: top class Person — the classic expensive type atom.
+        q("Q03", "SELECT ?x WHERE { ?x a ub:Person }".into()),
+        // Q04: property hierarchy (memberOf ⊒ worksFor ⊒ headOf).
+        q("Q04", "SELECT ?x ?y WHERE { ?x ub:memberOf ?y }".into()),
+        // Q05: degreeFrom with a constant (4 reformulations; paper t2).
+        q("Q05", format!("SELECT ?x WHERE {{ ?x ub:degreeFrom <{univ0}> }}")),
+        // -- two atoms --
+        // Q06: Student (3 + takesCourse domain) joined with courses.
+        q("Q06", "SELECT ?x WHERE { ?x a ub:Student . ?x ub:takesCourse ?c }".into()),
+        // Q07: worksFor hierarchy × leaf class.
+        q("Q07", "SELECT ?x ?y WHERE { ?x ub:worksFor ?y . ?x a ub:FullProfessor }".into()),
+        // Q08: two selective constants (the good case for UCQ).
+        q(
+            "Q08",
+            format!("SELECT ?x WHERE {{ ?x ub:memberOf <{dept0}> . ?x ub:degreeFrom <{univ0}> }}"),
+        ),
+        // Q09: two class-variable atoms — quadratic reformulation that
+        // breaks the stricter engines (paper: Q9 fails on DB2/MySQL).
+        q(
+            "Q09",
+            "SELECT ?x ?y WHERE { ?x a ?cx . ?y a ?cy . ?x ub:advisor ?y }".into(),
+        ),
+        // Q10: one class variable + selective membership.
+        q("Q10", format!("SELECT ?x ?y WHERE {{ ?x a ?y . ?x ub:memberOf <{dept0}> }}")),
+        // -- three atoms --
+        // Q11: no reformulation at all (control).
+        q(
+            "Q11",
+            "SELECT ?s ?c WHERE { ?s ub:takesCourse ?c . ?p ub:teacherOf ?c . ?p a ub:FullProfessor }"
+                .into(),
+        ),
+        // Q12: Article hierarchy through publicationAuthor.
+        q("Q12", "SELECT ?p WHERE { ?pub ub:publicationAuthor ?p . ?pub a ub:Article }".into()),
+        // Q13: advisor chain to a department head.
+        q("Q13", "SELECT ?x WHERE { ?x ub:advisor ?a . ?a ub:headOf ?d }".into()),
+        // Q14: Employee (deep class) with a literal-valued property.
+        q("Q14", "SELECT ?x ?n WHERE { ?x a ub:Employee . ?x ub:name ?n }".into()),
+        // Q15: four atoms, leaf classes, selective.
+        q(
+            "Q15",
+            "SELECT ?x WHERE { ?x a ub:GraduateStudent . ?x ub:memberOf ?d . \
+             ?x ub:advisor ?p . ?p a ub:Chair }"
+                .into(),
+        ),
+        // Q16: class variable + three constants/functional atoms.
+        q(
+            "Q16",
+            format!(
+                "SELECT ?x ?t WHERE {{ ?x a ?t . ?x ub:worksFor <{dept0}> . \
+                 ?x ub:doctoralDegreeFrom ?u . ?x ub:emailAddress ?e }}"
+            ),
+        ),
+        // Q17: four-atom star, no reformulation.
+        q(
+            "Q17",
+            format!(
+                "SELECT ?p WHERE {{ ?p ub:teacherOf ?c . ?c a ub:GraduateCourse . \
+                 ?s ub:takesCourse ?c . ?s ub:undergraduateDegreeFrom <{univ0}> }}"
+            ),
+        ),
+        // Q18: five atoms mixing Faculty and both property hierarchies.
+        q(
+            "Q18",
+            "SELECT ?s WHERE { ?s ub:advisor ?p . ?p a ub:Faculty . ?p ub:worksFor ?d . \
+             ?s ub:memberOf ?d . ?s ub:takesCourse ?c }"
+                .into(),
+        ),
+        // Q19: class variable in a five-atom selective query.
+        q(
+            "Q19",
+            format!(
+                "SELECT ?x ?t WHERE {{ ?x a ?t . ?x ub:memberOf <{dept0}> . \
+                 ?x ub:undergraduateDegreeFrom <{univ0}> . ?x ub:name ?n . ?x ub:emailAddress ?e }}"
+            ),
+        ),
+        // Q20: organization structure, no reformulation.
+        q(
+            "Q20",
+            format!(
+                "SELECT ?d WHERE {{ ?d ub:subOrganizationOf <{univ0}> . \
+                 ?g ub:subOrganizationOf ?d . ?g a ub:ResearchGroup }}"
+            ),
+        ),
+        // Q21: Organization — wide class with many range-derived
+        // reformulations.
+        q("Q21", "SELECT ?x WHERE { ?x a ub:Organization }".into()),
+        // Q22: six atoms, small reformulation, cyclic join structure.
+        q(
+            "Q22",
+            "SELECT ?s ?p WHERE { ?s ub:advisor ?p . ?p a ub:FullProfessor . \
+             ?p ub:teacherOf ?c . ?s ub:takesCourse ?c . ?s ub:memberOf ?d . ?p ub:worksFor ?d }"
+                .into(),
+        ),
+        // Q23: Employee × selective membership.
+        q("Q23", format!("SELECT ?x WHERE {{ ?x a ub:Employee . ?x ub:memberOf <{dept0}> }}")),
+        // Q24: degreeFrom × University class × Chair.
+        q(
+            "Q24",
+            "SELECT ?x ?u WHERE { ?x ub:degreeFrom ?u . ?u a ub:University . ?x a ub:Chair }".into(),
+        ),
+        // Q25: seven atoms across the advising/teaching structure.
+        q(
+            "Q25",
+            "SELECT ?s WHERE { ?s a ub:UndergraduateStudent . ?s ub:takesCourse ?c . \
+             ?f ub:teacherOf ?c . ?f a ub:Professor . ?f ub:worksFor ?d . \
+             ?d ub:subOrganizationOf ?u . ?s ub:advisor ?f }"
+                .into(),
+        ),
+        // Q26: Publication hierarchy with a Chair author.
+        q(
+            "Q26",
+            "SELECT ?pub WHERE { ?pub a ub:Publication . ?pub ub:publicationAuthor ?a . \
+             ?a a ub:Chair }"
+                .into(),
+        ),
+        // Q27: property-variable atom (instantiated over the whole
+        // property universe).
+        q("Q27", format!("SELECT ?x ?p WHERE {{ ?x ?p <{univ0}> }}")),
+        // Q28: two class variables over joined members — the paper's
+        // "union of 318,096 CQs" shape that no engine accepts as a UCQ.
+        q(
+            "Q28",
+            "SELECT ?x ?y ?cx ?cy WHERE { ?x a ?cx . ?y a ?cy . ?x ub:memberOf ?d . \
+             ?y ub:memberOf ?d . ?x ub:advisor ?y }"
+                .into(),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_has_28_distinct_queries() {
+        let w = workload();
+        assert_eq!(w.len(), 28);
+        let mut names: Vec<&str> = w.iter().map(|q| q.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 28);
+    }
+
+    #[test]
+    fn motivating_queries_match_paper_shapes() {
+        let m = motivating_queries();
+        assert_eq!(m.len(), 2);
+        // q1 has 3 triples, q2 has 6.
+        assert_eq!(m[0].sparql.matches(" . ").count(), 2);
+        assert_eq!(m[1].sparql.matches(" . ").count(), 5);
+    }
+
+    #[test]
+    fn queries_only_reference_scale_safe_entities() {
+        for q in workload().iter().chain(&motivating_queries()) {
+            for uri_start in q.sparql.match_indices("<http://www.") {
+                let rest = &q.sparql[uri_start.0..];
+                let uri: &str = &rest[1..rest.find('>').expect("closed uri")];
+                assert!(
+                    uri == university_uri(0) || uri == department_uri(0, 0),
+                    "{}: unexpected entity {uri}",
+                    q.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn atom_counts_span_one_to_seven() {
+        let counts: Vec<usize> = workload()
+            .iter()
+            .map(|q| {
+                // Rough atom count: number of ' . '-separated groups in
+                // the WHERE block + 1.
+                q.sparql.split('{').nth(1).expect("where block").matches(" . ").count() + 1
+            })
+            .collect();
+        assert!(counts.contains(&1));
+        assert!(counts.iter().any(|&c| c >= 6));
+    }
+}

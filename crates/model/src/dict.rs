@@ -1,0 +1,219 @@
+//! The value dictionary: bidirectional `Term` ↔ [`TermId`] encoding.
+//!
+//! Mirrors the paper's experimental setup: "the `Triples(s,p,o)` table's
+//! data are dictionary-encoded, using a unique integer for each distinct
+//! value (URIs and literals). The dictionary is stored as a separate
+//! table, indexed both by the code and by the encoded value."
+
+use crate::hash::FxHashMap;
+use crate::term::{Term, TermKind};
+use crate::triple::TermId;
+
+/// Interns terms and hands out dense per-kind [`TermId`]s.
+///
+/// Encoding is append-only; ids are stable for the lifetime of the
+/// dictionary. Lookup by value uses a hash index; lookup by id is a
+/// direct vector access (the "indexed both by the code and by the
+/// encoded value" of the paper).
+#[derive(Debug, Default, Clone)]
+pub struct Dictionary {
+    by_value: FxHashMap<Term, TermId>,
+    uris: Vec<String>,
+    literals: Vec<String>,
+    blanks: Vec<String>,
+}
+
+impl Dictionary {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `term`, returning its (possibly pre-existing) id.
+    pub fn encode(&mut self, term: &Term) -> TermId {
+        if let Some(&id) = self.by_value.get(term) {
+            return id;
+        }
+        let store = match term.kind() {
+            TermKind::Uri => &mut self.uris,
+            TermKind::Literal => &mut self.literals,
+            TermKind::Blank => &mut self.blanks,
+        };
+        let id = TermId::new(term.kind(), store.len() as u32);
+        store.push(term.lexical().to_owned());
+        self.by_value.insert(term.clone(), id);
+        id
+    }
+
+    /// Shorthand: intern a URI by its string form.
+    pub fn encode_uri(&mut self, uri: &str) -> TermId {
+        self.encode(&Term::uri(uri))
+    }
+
+    /// Shorthand: intern a literal by its lexical form.
+    pub fn encode_literal(&mut self, lex: &str) -> TermId {
+        self.encode(&Term::literal(lex))
+    }
+
+    /// Shorthand: intern a blank node by its label.
+    pub fn encode_blank(&mut self, label: &str) -> TermId {
+        self.encode(&Term::blank(label))
+    }
+
+    /// Look up an already-interned term without interning it.
+    pub fn lookup(&self, term: &Term) -> Option<TermId> {
+        self.by_value.get(term).copied()
+    }
+
+    /// Look up an already-interned URI by its string form.
+    pub fn lookup_uri(&self, uri: &str) -> Option<TermId> {
+        // Avoid the owned-Term allocation on the happy path is not
+        // possible with a HashMap<Term, _> key; this is a cold path
+        // (query translation), so the allocation is acceptable.
+        self.by_value.get(&Term::Uri(uri.to_owned())).copied()
+    }
+
+    /// Decode an id back to its term.
+    ///
+    /// # Panics
+    /// Panics if the id was not produced by this dictionary.
+    pub fn decode(&self, id: TermId) -> Term {
+        let idx = id.index() as usize;
+        match id.kind() {
+            TermKind::Uri => Term::Uri(self.uris[idx].clone()),
+            TermKind::Literal => Term::Literal(self.literals[idx].clone()),
+            TermKind::Blank => Term::Blank(self.blanks[idx].clone()),
+        }
+    }
+
+    /// Decode an id to its lexical form without cloning the kind wrapper.
+    ///
+    /// # Panics
+    /// Panics if the id was not produced by this dictionary.
+    pub fn lexical(&self, id: TermId) -> &str {
+        let idx = id.index() as usize;
+        match id.kind() {
+            TermKind::Uri => &self.uris[idx],
+            TermKind::Literal => &self.literals[idx],
+            TermKind::Blank => &self.blanks[idx],
+        }
+    }
+
+    /// Number of distinct interned terms.
+    pub fn len(&self) -> usize {
+        self.uris.len() + self.literals.len() + self.blanks.len()
+    }
+
+    /// Number of interned terms of one kind (ids of that kind are the
+    /// dense range `0..kind_len`).
+    pub fn kind_len(&self, kind: TermKind) -> usize {
+        match kind {
+            TermKind::Uri => self.uris.len(),
+            TermKind::Literal => self.literals.len(),
+            TermKind::Blank => self.blanks.len(),
+        }
+    }
+
+    /// True iff `id` was produced by this dictionary.
+    pub fn contains_id(&self, id: TermId) -> bool {
+        (id.index() as usize) < self.kind_len(id.kind())
+    }
+
+    /// True iff no term has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Mint a fresh blank node that is guaranteed not to collide with
+    /// any parsed label (used by saturation for existential values).
+    pub fn fresh_blank(&mut self) -> TermId {
+        let mut n = self.blanks.len();
+        loop {
+            let label = format!("jucq-fresh-{n}");
+            let term = Term::Blank(label);
+            if self.by_value.contains_key(&term) {
+                n += 1;
+                continue;
+            }
+            return self.encode(&term);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.encode_uri("http://x/a");
+        let b = d.encode_uri("http://x/a");
+        assert_eq!(a, b);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn kinds_do_not_collide() {
+        let mut d = Dictionary::new();
+        let u = d.encode_uri("x");
+        let l = d.encode_literal("x");
+        let b = d.encode_blank("x");
+        assert_ne!(u, l);
+        assert_ne!(l, b);
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn decode_round_trip() {
+        let mut d = Dictionary::new();
+        for t in [Term::uri("u1"), Term::literal("l1"), Term::blank("b1")] {
+            let id = d.encode(&t);
+            assert_eq!(d.decode(id), t);
+            assert_eq!(d.lexical(id), t.lexical());
+        }
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let mut d = Dictionary::new();
+        assert_eq!(d.lookup(&Term::uri("nope")), None);
+        assert_eq!(d.lookup_uri("nope"), None);
+        assert!(d.is_empty());
+        let id = d.encode_uri("yes");
+        assert_eq!(d.lookup_uri("yes"), Some(id));
+    }
+
+    #[test]
+    fn ids_are_dense_per_kind() {
+        let mut d = Dictionary::new();
+        let a = d.encode_uri("a");
+        let b = d.encode_uri("b");
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        let l = d.encode_literal("a");
+        assert_eq!(l.index(), 0);
+    }
+
+    #[test]
+    fn kind_len_and_contains_id() {
+        let mut d = Dictionary::new();
+        let u = d.encode_uri("u");
+        d.encode_literal("l");
+        assert_eq!(d.kind_len(TermKind::Uri), 1);
+        assert_eq!(d.kind_len(TermKind::Literal), 1);
+        assert_eq!(d.kind_len(TermKind::Blank), 0);
+        assert!(d.contains_id(u));
+        assert!(!d.contains_id(TermId::new(TermKind::Uri, 1)));
+        assert!(!d.contains_id(TermId::new(TermKind::Blank, 0)));
+    }
+
+    #[test]
+    fn fresh_blank_avoids_collisions() {
+        let mut d = Dictionary::new();
+        d.encode_blank("jucq-fresh-0");
+        let f = d.fresh_blank();
+        assert!(f.is_blank());
+        assert_ne!(d.lexical(f), "jucq-fresh-0");
+    }
+}

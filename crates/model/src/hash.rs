@@ -1,0 +1,137 @@
+//! A small FxHash-style hasher for hot integer and string keys.
+//!
+//! The default `std` hasher (SipHash 1-3) is collision-resistant but slow
+//! for the short integer keys that dominate this workspace (term ids,
+//! triple components). We implement the well-known Fx multiply-rotate mix
+//! in-crate instead of pulling an extra dependency; HashDoS is not a
+//! concern for an in-process analytical engine over trusted data.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the Firefox/rustc Fx hash.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, non-cryptographic hasher (Fx algorithm).
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Consume 8 bytes at a time, then the tail.
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            self.add_to_hash(word);
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = 0u64;
+            for (i, b) in rest.iter().enumerate() {
+                word |= u64::from(*b) << (8 * i);
+            }
+            // Mix in the length so "a" and "a\0" differ.
+            self.add_to_hash(word ^ (rest.len() as u64).rotate_left(32));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Drop-in `HashMap` with the fast Fx hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// Drop-in `HashSet` with the fast Fx hasher.
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_one<T: Hash>(value: &T) -> u64 {
+        FxBuildHasher::default().hash_one(value)
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_one(&42u64), hash_one(&42u64));
+        assert_eq!(hash_one(&"hello"), hash_one(&"hello"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_integers() {
+        let h1 = hash_one(&1u64);
+        let h2 = hash_one(&2u64);
+        assert_ne!(h1, h2);
+    }
+
+    #[test]
+    fn distinguishes_prefix_strings() {
+        assert_ne!(hash_one(&"abc"), hash_one(&"abcd"));
+        assert_ne!(hash_one(&"abcdefgh"), hash_one(&"abcdefghi"));
+    }
+
+    #[test]
+    fn empty_input_hashes() {
+        // Must not panic; state is just the initial value.
+        let mut h = FxHasher::default();
+        h.write(&[]);
+        let _ = h.finish();
+    }
+
+    #[test]
+    fn map_and_set_usable() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(7, "seven");
+        assert_eq!(m.get(&7), Some(&"seven"));
+        let mut s: FxHashSet<&str> = FxHashSet::default();
+        assert!(s.insert("x"));
+        assert!(!s.insert("x"));
+    }
+
+    #[test]
+    fn spread_over_buckets() {
+        // Sequential keys should not all collide in low bits.
+        let mut low_bits: FxHashSet<u64> = FxHashSet::default();
+        for i in 0u64..64 {
+            low_bits.insert(hash_one(&i) >> 57);
+        }
+        assert!(low_bits.len() > 16, "hash distributes across high bits");
+    }
+}

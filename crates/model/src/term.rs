@@ -1,0 +1,139 @@
+//! RDF terms: URIs, literals and blank nodes.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The three syntactic categories of RDF values (Section 2.1 of the
+/// paper: "uniform resource identifiers (URIs), typed or un-typed
+/// literals (constants) and blank nodes").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum TermKind {
+    /// A resource identifier, e.g. `http://example.org/Book`.
+    Uri,
+    /// A constant, e.g. `"Game of Thrones"` or `"1996"`.
+    Literal,
+    /// An unknown URI/literal token, e.g. `_:b1`. Blank nodes behave
+    /// like the variables of incomplete relational V-tables.
+    Blank,
+}
+
+/// An RDF term (value). Owned, human-readable representation; the engine
+/// works on dictionary-encoded [`crate::TermId`]s instead.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Term {
+    /// A URI reference.
+    Uri(String),
+    /// A literal constant (the lexical form; we do not distinguish
+    /// datatypes, which play no role in the DB fragment).
+    Literal(String),
+    /// A blank node with a graph-local label.
+    Blank(String),
+}
+
+impl Term {
+    /// Convenience constructor for URIs.
+    pub fn uri(s: impl Into<String>) -> Self {
+        Term::Uri(s.into())
+    }
+
+    /// Convenience constructor for literals.
+    pub fn literal(s: impl Into<String>) -> Self {
+        Term::Literal(s.into())
+    }
+
+    /// Convenience constructor for blank nodes.
+    pub fn blank(s: impl Into<String>) -> Self {
+        Term::Blank(s.into())
+    }
+
+    /// The syntactic category of this term.
+    pub fn kind(&self) -> TermKind {
+        match self {
+            Term::Uri(_) => TermKind::Uri,
+            Term::Literal(_) => TermKind::Literal,
+            Term::Blank(_) => TermKind::Blank,
+        }
+    }
+
+    /// The lexical form, without any kind decoration.
+    pub fn lexical(&self) -> &str {
+        match self {
+            Term::Uri(s) | Term::Literal(s) | Term::Blank(s) => s,
+        }
+    }
+
+    /// True iff the term is a URI.
+    pub fn is_uri(&self) -> bool {
+        matches!(self, Term::Uri(_))
+    }
+
+    /// True iff the term is a literal.
+    pub fn is_literal(&self) -> bool {
+        matches!(self, Term::Literal(_))
+    }
+
+    /// True iff the term is a blank node.
+    pub fn is_blank(&self) -> bool {
+        matches!(self, Term::Blank(_))
+    }
+}
+
+impl fmt::Display for Term {
+    /// Turtle-ish rendering: URIs in angle brackets, literals quoted,
+    /// blank nodes with the `_: `prefix.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Uri(s) => write!(f, "<{s}>"),
+            Term::Literal(s) => write!(f, "{s:?}"),
+            Term::Blank(s) => write!(f, "_:{s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds() {
+        assert_eq!(Term::uri("u").kind(), TermKind::Uri);
+        assert_eq!(Term::literal("l").kind(), TermKind::Literal);
+        assert_eq!(Term::blank("b").kind(), TermKind::Blank);
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Term::uri("u").is_uri());
+        assert!(Term::literal("l").is_literal());
+        assert!(Term::blank("b").is_blank());
+        assert!(!Term::uri("u").is_literal());
+    }
+
+    #[test]
+    fn lexical_strips_kind() {
+        assert_eq!(Term::uri("http://x/y").lexical(), "http://x/y");
+        assert_eq!(Term::blank("b1").lexical(), "b1");
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Term::uri("http://x").to_string(), "<http://x>");
+        assert_eq!(Term::literal("1996").to_string(), "\"1996\"");
+        assert_eq!(Term::blank("b1").to_string(), "_:b1");
+    }
+
+    #[test]
+    fn same_lexical_different_kind_are_distinct() {
+        assert_ne!(Term::uri("x"), Term::literal("x"));
+        assert_ne!(Term::literal("x"), Term::blank("x"));
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = [Term::blank("b"), Term::uri("a"), Term::literal("c")];
+        v.sort();
+        // Uri < Literal < Blank by enum declaration order.
+        assert!(v[0].is_uri() && v[1].is_literal() && v[2].is_blank());
+    }
+}

@@ -1,0 +1,65 @@
+//! The `rdf:` / `rdfs:` built-in vocabulary used by the DB fragment.
+//!
+//! Only the five built-ins of the paper's Figure 2 matter here:
+//! `rdf:type` for class assertions and the four RDFS constraint
+//! properties. We use the full W3C URIs.
+
+/// `rdf:type` — class membership assertions.
+pub const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+/// `rdfs:subClassOf` — subclass constraints.
+pub const RDFS_SUBCLASS_OF: &str = "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+
+/// `rdfs:subPropertyOf` — subproperty constraints.
+pub const RDFS_SUBPROPERTY_OF: &str = "http://www.w3.org/2000/01/rdf-schema#subPropertyOf";
+
+/// `rdfs:domain` — domain typing constraints.
+pub const RDFS_DOMAIN: &str = "http://www.w3.org/2000/01/rdf-schema#domain";
+
+/// `rdfs:range` — range typing constraints.
+pub const RDFS_RANGE: &str = "http://www.w3.org/2000/01/rdf-schema#range";
+
+/// The four RDFS constraint property URIs (Figure 2, bottom).
+pub const SCHEMA_PROPERTIES: [&str; 4] = [
+    RDFS_SUBCLASS_OF,
+    RDFS_SUBPROPERTY_OF,
+    RDFS_DOMAIN,
+    RDFS_RANGE,
+];
+
+/// True iff `uri` is one of the four RDFS constraint properties.
+pub fn is_schema_property(uri: &str) -> bool {
+    SCHEMA_PROPERTIES.contains(&uri)
+}
+
+/// Abbreviate the well-known URIs back to their usual QNames for display.
+pub fn abbreviate(uri: &str) -> &str {
+    match uri {
+        RDF_TYPE => "rdf:type",
+        RDFS_SUBCLASS_OF => "rdfs:subClassOf",
+        RDFS_SUBPROPERTY_OF => "rdfs:subPropertyOf",
+        RDFS_DOMAIN => "rdfs:domain",
+        RDFS_RANGE => "rdfs:range",
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_property_detection() {
+        assert!(is_schema_property(RDFS_SUBCLASS_OF));
+        assert!(is_schema_property(RDFS_RANGE));
+        assert!(!is_schema_property(RDF_TYPE));
+        assert!(!is_schema_property("http://example.org/p"));
+    }
+
+    #[test]
+    fn abbreviations() {
+        assert_eq!(abbreviate(RDF_TYPE), "rdf:type");
+        assert_eq!(abbreviate(RDFS_DOMAIN), "rdfs:domain");
+        assert_eq!(abbreviate("http://x/p"), "http://x/p");
+    }
+}

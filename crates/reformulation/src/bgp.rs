@@ -1,0 +1,405 @@
+//! BGP (SPARQL conjunctive) queries.
+//!
+//! A BGP query `q(x̄):- t₁, …, tₙ` (paper §2.2) is a set of triple
+//! patterns plus distinguished (head) variables. We reuse the store IR's
+//! [`StorePattern`] for atoms — a pattern over dictionary-encoded
+//! constants and dense variables — so queries flow to reformulation and
+//! evaluation without re-encoding. Per the paper, blank nodes in queries
+//! behave exactly like non-distinguished variables and are assumed
+//! replaced by them upstream.
+
+use jucq_store::{PatternTerm, StoreCq, StorePattern, VarId};
+use serde::{Deserialize, Serialize};
+
+/// A BGP query: distinguished variables + triple-pattern body, with an
+/// optional answer limit (SPARQL `LIMIT`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BgpQuery {
+    /// The distinguished (answer) variables `x̄`.
+    pub head: Vec<VarId>,
+    /// The body triple patterns `t₁, …, tₙ`.
+    pub atoms: Vec<StorePattern>,
+    /// Keep at most this many answers (applied after deduplication).
+    pub limit: Option<usize>,
+}
+
+impl BgpQuery {
+    /// Build a query.
+    ///
+    /// # Panics
+    /// Panics if a head variable does not occur in the body.
+    pub fn new(head: Vec<VarId>, atoms: Vec<StorePattern>) -> Self {
+        let q = BgpQuery { head, atoms, limit: None };
+        for v in &q.head {
+            assert!(
+                q.variables().contains(v),
+                "distinguished variable ?{v} must occur in the body"
+            );
+        }
+        q
+    }
+
+    /// Attach an answer limit.
+    pub fn with_limit(mut self, limit: usize) -> Self {
+        self.limit = Some(limit);
+        self
+    }
+
+    /// All distinct variables of the body, in first-occurrence order.
+    pub fn variables(&self) -> Vec<VarId> {
+        let mut out = Vec::new();
+        for a in &self.atoms {
+            for v in a.variables() {
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// The largest variable id used (fresh variables allocate above it).
+    pub fn max_var(&self) -> Option<VarId> {
+        self.variables().into_iter().max()
+    }
+
+    /// Number of body atoms.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// True iff the body is empty.
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// True iff atoms `i` and `j` share a variable (join).
+    pub fn atoms_join(&self, i: usize, j: usize) -> bool {
+        let vi = self.atoms[i].variables();
+        self.atoms[j].variables().iter().any(|v| vi.contains(v))
+    }
+
+    /// True iff the set of atoms `set` forms a connected join graph
+    /// (no cartesian product inside a fragment). Singletons and the
+    /// empty set are connected.
+    pub fn atoms_connected(&self, set: &[usize]) -> bool {
+        if set.len() <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; set.len()];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(i) = stack.pop() {
+            for j in 0..set.len() {
+                if !seen[j] && self.atoms_join(set[i], set[j]) {
+                    seen[j] = true;
+                    count += 1;
+                    stack.push(j);
+                }
+            }
+        }
+        count == set.len()
+    }
+
+    /// View the query as a store CQ (all-variable head).
+    pub fn to_store_cq(&self) -> StoreCq {
+        StoreCq::new(
+            self.atoms.clone(),
+            self.head.iter().map(|&v| PatternTerm::Var(v)).collect(),
+        )
+    }
+
+    /// A canonical form for caching and workload deduplication:
+    /// variables renamed (head variables to `0..k` in head order, body
+    /// variables by first occurrence) and atoms sorted; two isomorphic
+    /// queries — equal up to variable names and atom order — share one
+    /// canonical form. Returns the canonical query together with the
+    /// permutation `perm` such that canonical atom `i` is the original
+    /// atom `perm[i]` (so cached atom-index structures like covers can
+    /// be translated back).
+    pub fn canonicalize(&self) -> (BgpQuery, Vec<usize>) {
+        use jucq_model::FxHashMap;
+        // Head variables first, in head order.
+        let mut rename: FxHashMap<VarId, VarId> = FxHashMap::default();
+        for &v in &self.head {
+            let next = rename.len() as VarId;
+            rename.entry(v).or_insert(next);
+        }
+        let head_count = rename.len() as VarId;
+
+        // Phase 1: sort atoms by a key blind to body-variable identity.
+        let key1 = |t: &PatternTerm, rename: &FxHashMap<VarId, VarId>| -> (u8, u32) {
+            match t {
+                PatternTerm::Const(c) => (0, c.raw()),
+                PatternTerm::Var(v) => match rename.get(v) {
+                    Some(&r) if r < head_count => (1, u32::from(r)),
+                    _ => (2, 0),
+                },
+            }
+        };
+        let mut order: Vec<usize> = (0..self.atoms.len()).collect();
+        order.sort_by_key(|&i| {
+            let a = &self.atoms[i];
+            [key1(&a.s, &rename), key1(&a.p, &rename), key1(&a.o, &rename)]
+        });
+
+        // Phase 2: rename body variables by first occurrence in that
+        // order, then apply.
+        let mut next = head_count;
+        for &i in &order {
+            for v in self.atoms[i].variables() {
+                rename.entry(v).or_insert_with(|| {
+                    let id = next;
+                    next += 1;
+                    id
+                });
+            }
+        }
+        let map_term = |t: PatternTerm| -> PatternTerm {
+            match t {
+                PatternTerm::Var(v) => PatternTerm::Var(rename[&v]),
+                c => c,
+            }
+        };
+        let mut renamed: Vec<(StorePattern, usize)> = order
+            .iter()
+            .map(|&i| {
+                let a = &self.atoms[i];
+                (StorePattern::new(map_term(a.s), map_term(a.p), map_term(a.o)), i)
+            })
+            .collect();
+        // Phase 3: final total order on the renamed atoms.
+        renamed.sort_by_key(|(a, _)| *a);
+
+        let head: Vec<VarId> = self.head.iter().map(|v| rename[v]).collect();
+        let atoms: Vec<StorePattern> = renamed.iter().map(|(a, _)| *a).collect();
+        let perm: Vec<usize> = renamed.iter().map(|(_, i)| *i).collect();
+        let canonical = BgpQuery { head, atoms, limit: self.limit };
+        (canonical, perm)
+    }
+
+    /// The subquery restricted to the given atom indices, with the head
+    /// computed per Definition 3.4 against an explicit set of atoms
+    /// belonging to *other fragments*: the distinguished variables of
+    /// the query occurring in the fragment, plus the fragment's
+    /// variables appearing in any of `other_atoms` (the join
+    /// variables). With overlapping covers, a shared atom belongs to
+    /// another fragment too, so its variables join — which is why the
+    /// context is the other fragments' atom set, not merely the
+    /// complement of `fragment`.
+    pub fn cover_query_in(&self, fragment: &[usize], other_atoms: &[usize]) -> BgpQuery {
+        let atoms: Vec<StorePattern> = fragment.iter().map(|&i| self.atoms[i]).collect();
+        let frag_vars: Vec<VarId> = {
+            let mut out = Vec::new();
+            for a in &atoms {
+                for v in a.variables() {
+                    if !out.contains(&v) {
+                        out.push(v);
+                    }
+                }
+            }
+            out
+        };
+        let other_vars: Vec<VarId> = {
+            let mut out = Vec::new();
+            for &i in other_atoms {
+                for v in self.atoms[i].variables() {
+                    if !out.contains(&v) {
+                        out.push(v);
+                    }
+                }
+            }
+            out
+        };
+        let head: Vec<VarId> = frag_vars
+            .into_iter()
+            .filter(|v| self.head.contains(v) || other_vars.contains(v))
+            .collect();
+        // Cover queries never carry the limit: fragments must produce
+        // complete intermediate results for Theorem 3.1 to hold.
+        BgpQuery { head, atoms, limit: None }
+    }
+
+    /// [`BgpQuery::cover_query_in`] with the other-fragment context
+    /// defaulting to the fragment's complement — exact for
+    /// non-overlapping covers; overlapping covers must supply the real
+    /// context (see [`crate::Cover::cover_queries`]).
+    pub fn cover_query(&self, fragment: &[usize]) -> BgpQuery {
+        let complement: Vec<usize> =
+            (0..self.atoms.len()).filter(|i| !fragment.contains(i)).collect();
+        self.cover_query_in(fragment, &complement)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jucq_model::term::TermKind;
+    use jucq_model::TermId;
+
+    fn c(i: u32) -> PatternTerm {
+        PatternTerm::Const(TermId::new(TermKind::Uri, i))
+    }
+
+    fn v(i: VarId) -> PatternTerm {
+        PatternTerm::Var(i)
+    }
+
+    /// The paper's q1 shape: (x type y)(x degreeFrom U)(x memberOf D).
+    fn q1() -> BgpQuery {
+        BgpQuery::new(
+            vec![0, 1],
+            vec![
+                StorePattern::new(v(0), c(100), v(1)),
+                StorePattern::new(v(0), c(101), c(200)),
+                StorePattern::new(v(0), c(102), c(201)),
+            ],
+        )
+    }
+
+    #[test]
+    fn variables_in_order() {
+        assert_eq!(q1().variables(), vec![0, 1]);
+        assert_eq!(q1().max_var(), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "must occur in the body")]
+    fn unsafe_head_rejected() {
+        BgpQuery::new(vec![9], vec![StorePattern::new(v(0), c(1), v(1))]);
+    }
+
+    #[test]
+    fn atom_join_graph() {
+        let q = q1();
+        assert!(q.atoms_join(0, 1));
+        assert!(q.atoms_join(1, 2));
+        assert!(q.atoms_connected(&[0, 1, 2]));
+        assert!(q.atoms_connected(&[0]));
+        assert!(q.atoms_connected(&[]));
+    }
+
+    #[test]
+    fn disconnected_sets_detected() {
+        // (x p y)(z p w): no shared variables.
+        let q = BgpQuery::new(
+            vec![0],
+            vec![
+                StorePattern::new(v(0), c(1), v(1)),
+                StorePattern::new(v(2), c(1), v(3)),
+            ],
+        );
+        assert!(!q.atoms_connected(&[0, 1]));
+    }
+
+    #[test]
+    fn cover_query_head_follows_definition_3_4() {
+        // The paper's example: cover {{t1},{t2,t3}} of q1 gives
+        // q_f1(x, y) and q_f2(x).
+        let q = q1();
+        let f1 = q.cover_query(&[0]);
+        assert_eq!(f1.head, vec![0, 1], "distinguished x, y plus join var x");
+        let f2 = q.cover_query(&[1, 2]);
+        assert_eq!(f2.head, vec![0], "x distinguished and shared; no other var");
+        assert_eq!(f2.atoms.len(), 2);
+    }
+
+    #[test]
+    fn cover_query_includes_pure_join_variables() {
+        // q(x):- (x p y)(y p z): cover {{0},{1}} must expose y on both
+        // sides even though y is not distinguished.
+        let q = BgpQuery::new(
+            vec![0],
+            vec![
+                StorePattern::new(v(0), c(1), v(1)),
+                StorePattern::new(v(1), c(1), v(2)),
+            ],
+        );
+        let f1 = q.cover_query(&[0]);
+        assert_eq!(f1.head, vec![0, 1]);
+        let f2 = q.cover_query(&[1]);
+        assert_eq!(f2.head, vec![1], "join var y only; z stays existential");
+    }
+
+    #[test]
+    fn canonical_forms_of_isomorphic_queries_agree() {
+        // Same query with different variable ids and atom order.
+        let a = BgpQuery::new(
+            vec![3],
+            vec![
+                StorePattern::new(v(3), c(1), v(9)),
+                StorePattern::new(v(9), c(2), v(4)),
+            ],
+        );
+        let b = BgpQuery::new(
+            vec![0],
+            vec![
+                StorePattern::new(v(7), c(2), v(2)),
+                StorePattern::new(v(0), c(1), v(7)),
+            ],
+        );
+        let (ca, perm_a) = a.canonicalize();
+        let (cb, perm_b) = b.canonicalize();
+        assert_eq!(ca, cb);
+        // Permutations map canonical atoms back to the originals.
+        assert_eq!(perm_a.len(), 2);
+        for (i, &orig) in perm_a.iter().enumerate() {
+            assert_eq!(ca.atoms[i].p, a.atoms[orig].p);
+        }
+        for (i, &orig) in perm_b.iter().enumerate() {
+            assert_eq!(cb.atoms[i].p, b.atoms[orig].p);
+        }
+    }
+
+    #[test]
+    fn canonical_form_distinguishes_structure() {
+        // (x p y)(y p z) vs (x p y)(x p z): different join shapes.
+        let chain = BgpQuery::new(
+            vec![0],
+            vec![
+                StorePattern::new(v(0), c(1), v(1)),
+                StorePattern::new(v(1), c(1), v(2)),
+            ],
+        );
+        let star = BgpQuery::new(
+            vec![0],
+            vec![
+                StorePattern::new(v(0), c(1), v(1)),
+                StorePattern::new(v(0), c(1), v(2)),
+            ],
+        );
+        assert_ne!(chain.canonicalize().0, star.canonicalize().0);
+    }
+
+    #[test]
+    fn canonicalize_is_idempotent() {
+        let q = q1();
+        let (c1, _) = q.canonicalize();
+        let (c2, _) = c1.canonicalize();
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn canonical_head_order_is_preserved() {
+        // Head (b, a): canonical head must stay two distinct columns in
+        // the same semantic order.
+        let q = BgpQuery::new(
+            vec![5, 2],
+            vec![StorePattern::new(v(2), c(1), v(5))],
+        );
+        let (c, _) = q.canonicalize();
+        assert_eq!(c.head, vec![0, 1]);
+        // Var 5 (first in head) is the object of the atom.
+        assert_eq!(c.atoms[0].o, PatternTerm::Var(0));
+        assert_eq!(c.atoms[0].s, PatternTerm::Var(1));
+    }
+
+    #[test]
+    fn to_store_cq_round_trip() {
+        let q = q1();
+        let cq = q.to_store_cq();
+        assert_eq!(cq.patterns, q.atoms);
+        assert_eq!(cq.head_vars(), q.head);
+    }
+}

@@ -1,0 +1,442 @@
+//! BGP query covers (Definition 3.3).
+//!
+//! A cover of `q(x̄):- t₁,…,tₙ` is a set of fragments (non-empty,
+//! possibly overlapping subsets of the atoms) such that:
+//!
+//! 1. the fragments' union is all of `{t₁,…,tₙ}`;
+//! 2. no fragment is included in another;
+//! 3. with more than one fragment, every fragment joins (shares a
+//!    variable) with at least one other.
+//!
+//! Following §3 ("In practice, however, we require each fragment to
+//! share a variable with another (if any), so that cover queries, hence
+//! cover-based reformulations do not feature cartesian products"), we
+//! additionally require each fragment's own join graph to be connected.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::bgp::BgpQuery;
+
+/// A cover: a set of fragments, each a sorted set of atom indices.
+/// Fragments are kept sorted for canonical comparison.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Cover {
+    fragments: BTreeSet<BTreeSet<usize>>,
+}
+
+/// Why a candidate cover is invalid for a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoverError {
+    /// A fragment is empty.
+    EmptyFragment,
+    /// A fragment references an atom index outside the query.
+    AtomOutOfRange {
+        /// The offending index.
+        index: usize,
+    },
+    /// The fragments' union misses some atom.
+    MissingAtom {
+        /// An uncovered atom index.
+        index: usize,
+    },
+    /// One fragment is a subset of another.
+    IncludedFragment,
+    /// A fragment's internal join graph is disconnected (cartesian
+    /// product inside a cover query).
+    DisconnectedFragment,
+    /// A fragment shares no variable with any other fragment.
+    IsolatedFragment,
+}
+
+impl fmt::Display for CoverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoverError::EmptyFragment => write!(f, "empty fragment"),
+            CoverError::AtomOutOfRange { index } => write!(f, "atom index {index} out of range"),
+            CoverError::MissingAtom { index } => write!(f, "atom {index} not covered"),
+            CoverError::IncludedFragment => write!(f, "fragment included in another"),
+            CoverError::DisconnectedFragment => write!(f, "fragment join graph disconnected"),
+            CoverError::IsolatedFragment => write!(f, "fragment joins no other fragment"),
+        }
+    }
+}
+
+impl std::error::Error for CoverError {}
+
+impl Cover {
+    /// Build a cover from fragments, validating Definition 3.3 against
+    /// `q` (plus internal fragment connectivity).
+    pub fn new(q: &BgpQuery, fragments: Vec<Vec<usize>>) -> Result<Self, CoverError> {
+        let n = q.len();
+        let mut sets: BTreeSet<BTreeSet<usize>> = BTreeSet::new();
+        for f in fragments {
+            if f.is_empty() {
+                return Err(CoverError::EmptyFragment);
+            }
+            if let Some(&bad) = f.iter().find(|&&i| i >= n) {
+                return Err(CoverError::AtomOutOfRange { index: bad });
+            }
+            sets.insert(f.into_iter().collect());
+        }
+        let cover = Cover { fragments: sets };
+        cover.validate(q)?;
+        Ok(cover)
+    }
+
+    /// The canonical single-fragment cover (the classical UCQ
+    /// reformulation shape) — requires a connected query body.
+    pub fn single_fragment(q: &BgpQuery) -> Result<Self, CoverError> {
+        Cover::new(q, vec![(0..q.len()).collect()])
+    }
+
+    /// The all-singletons cover (the SCQ reformulation of \[13\]).
+    pub fn singletons(q: &BgpQuery) -> Result<Self, CoverError> {
+        Cover::new(q, (0..q.len()).map(|i| vec![i]).collect())
+    }
+
+    fn validate(&self, q: &BgpQuery) -> Result<(), CoverError> {
+        // Union covers all atoms.
+        for i in 0..q.len() {
+            if !self.fragments.iter().any(|f| f.contains(&i)) {
+                return Err(CoverError::MissingAtom { index: i });
+            }
+        }
+        // No inclusion.
+        for a in &self.fragments {
+            for b in &self.fragments {
+                if a != b && a.is_subset(b) {
+                    return Err(CoverError::IncludedFragment);
+                }
+            }
+        }
+        // Internal connectivity.
+        for f in &self.fragments {
+            let idx: Vec<usize> = f.iter().copied().collect();
+            if !q.atoms_connected(&idx) {
+                return Err(CoverError::DisconnectedFragment);
+            }
+        }
+        // Pairwise join requirement.
+        if self.fragments.len() > 1 {
+            for f in &self.fragments {
+                let f_vars: BTreeSet<_> = f
+                    .iter()
+                    .flat_map(|&i| q.atoms[i].variables())
+                    .collect();
+                let joins_other = self.fragments.iter().any(|g| {
+                    g != f
+                        && g.iter()
+                            .flat_map(|&i| q.atoms[i].variables())
+                            .any(|v| f_vars.contains(&v))
+                });
+                if !joins_other {
+                    return Err(CoverError::IsolatedFragment);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The fragments, as sorted index vectors.
+    pub fn fragments(&self) -> Vec<Vec<usize>> {
+        self.fragments
+            .iter()
+            .map(|f| f.iter().copied().collect())
+            .collect()
+    }
+
+    /// Number of fragments.
+    pub fn len(&self) -> usize {
+        self.fragments.len()
+    }
+
+    /// True iff there are no fragments (only for the empty query).
+    pub fn is_empty(&self) -> bool {
+        self.fragments.is_empty()
+    }
+
+    /// The cover queries (Definition 3.4), in fragment order. Each
+    /// fragment's head exposes the variables shared with the atoms of
+    /// the *other fragments* — including overlap atoms, which belong to
+    /// both sides (the subtlety that makes overlapping covers sound).
+    pub fn cover_queries(&self, q: &BgpQuery) -> Vec<BgpQuery> {
+        let frags = self.fragments();
+        frags
+            .iter()
+            .enumerate()
+            .map(|(i, f)| {
+                let mut others: Vec<usize> = frags
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .flat_map(|(_, g)| g.iter().copied())
+                    .collect();
+                others.sort_unstable();
+                others.dedup();
+                q.cover_query_in(f, &others)
+            })
+            .collect()
+    }
+
+    /// The GCov move: add atom `atom` to fragment `frag_index`, dropping
+    /// fragments that became *included* in another (restoring
+    /// Definition 3.3). Returns `None` if the move is a no-op or yields
+    /// an invalid cover. Coverage-redundancy pruning (the paper's
+    /// cost-ordered removal) is a separate step:
+    /// [`Cover::prune_redundant_by`].
+    pub fn add_atom(&self, q: &BgpQuery, frag_index: usize, atom: usize) -> Option<Cover> {
+        let mut frags = self.fragments();
+        let target = frags.get_mut(frag_index)?;
+        if target.contains(&atom) {
+            return None;
+        }
+        target.push(atom);
+        target.sort_unstable();
+        // Drop fragments included in another (keeping one copy of
+        // duplicates).
+        let mut kept: Vec<Vec<usize>> = Vec::with_capacity(frags.len());
+        for (i, f) in frags.iter().enumerate() {
+            let fset: BTreeSet<usize> = f.iter().copied().collect();
+            let redundant = frags.iter().enumerate().any(|(j, g)| {
+                if i == j {
+                    return false;
+                }
+                let gset: BTreeSet<usize> = g.iter().copied().collect();
+                fset.is_subset(&gset) && (fset != gset || i > j)
+            });
+            if !redundant {
+                kept.push(f.clone());
+            }
+        }
+        let candidate = Cover::new(q, kept).ok()?;
+        if candidate == *self {
+            None
+        } else {
+            Some(candidate)
+        }
+    }
+
+    /// The paper's redundancy pruning (§4.3): "all the fragments of a
+    /// cover are kept sorted in the decreasing order of their cost ...
+    /// when a fragment is found redundant (with respect to the other
+    /// fragments in the cover), the fragment is removed". A fragment is
+    /// coverage-redundant when the remaining fragments still form a
+    /// valid cover of `q`; `cost` orders which redundant fragment to
+    /// drop first (costliest first).
+    pub fn prune_redundant_by(&self, q: &BgpQuery, mut cost: impl FnMut(&[usize]) -> f64) -> Cover {
+        let mut frags = self.fragments();
+        loop {
+            if frags.len() <= 1 {
+                break;
+            }
+            // Costliest-first inspection order.
+            let mut order: Vec<usize> = (0..frags.len()).collect();
+            order.sort_by(|&a, &b| {
+                cost(&frags[b])
+                    .partial_cmp(&cost(&frags[a]))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let mut removed = false;
+            for idx in order {
+                let rest: Vec<Vec<usize>> = frags
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != idx)
+                    .map(|(_, f)| f.clone())
+                    .collect();
+                if Cover::new(q, rest).is_ok() {
+                    frags.remove(idx);
+                    removed = true;
+                    break;
+                }
+            }
+            if !removed {
+                break;
+            }
+        }
+        Cover::new(q, frags).expect("pruning preserves validity")
+    }
+}
+
+impl fmt::Display for Cover {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self
+            .fragments
+            .iter()
+            .map(|frag| {
+                let ts: Vec<String> = frag.iter().map(|i| format!("t{}", i + 1)).collect();
+                format!("{{{}}}", ts.join(","))
+            })
+            .collect();
+        write!(f, "{{{}}}", parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jucq_model::term::TermKind;
+    use jucq_model::TermId;
+    use jucq_store::{PatternTerm, StorePattern, VarId};
+
+    fn c(i: u32) -> PatternTerm {
+        PatternTerm::Const(TermId::new(TermKind::Uri, i))
+    }
+
+    fn v(i: VarId) -> PatternTerm {
+        PatternTerm::Var(i)
+    }
+
+    /// q1 shape: three atoms all sharing x.
+    fn q1() -> BgpQuery {
+        BgpQuery::new(
+            vec![0, 1],
+            vec![
+                StorePattern::new(v(0), c(100), v(1)),
+                StorePattern::new(v(0), c(101), c(200)),
+                StorePattern::new(v(0), c(102), c(201)),
+            ],
+        )
+    }
+
+    #[test]
+    fn paper_example_cover_is_valid() {
+        // {{t1,t2},{t2,t3}} — the paper's example cover of q1.
+        let cover = Cover::new(&q1(), vec![vec![0, 1], vec![1, 2]]).unwrap();
+        assert_eq!(cover.len(), 2);
+        assert_eq!(cover.to_string(), "{{t1,t2}, {t2,t3}}");
+    }
+
+    #[test]
+    fn single_and_singleton_covers() {
+        let q = q1();
+        assert_eq!(Cover::single_fragment(&q).unwrap().len(), 1);
+        assert_eq!(Cover::singletons(&q).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn missing_atom_rejected() {
+        assert_eq!(
+            Cover::new(&q1(), vec![vec![0], vec![1]]),
+            Err(CoverError::MissingAtom { index: 2 })
+        );
+    }
+
+    #[test]
+    fn included_fragment_rejected() {
+        assert_eq!(
+            Cover::new(&q1(), vec![vec![0, 1, 2], vec![1]]),
+            Err(CoverError::IncludedFragment)
+        );
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert_eq!(
+            Cover::new(&q1(), vec![vec![0, 1, 2, 7]]),
+            Err(CoverError::AtomOutOfRange { index: 7 })
+        );
+    }
+
+    #[test]
+    fn empty_fragment_rejected() {
+        assert_eq!(
+            Cover::new(&q1(), vec![vec![], vec![0, 1, 2]]),
+            Err(CoverError::EmptyFragment)
+        );
+    }
+
+    #[test]
+    fn disconnected_fragment_rejected() {
+        // (x p y)(z p w)(x p z): atoms 0 and 1 share nothing.
+        let q = BgpQuery::new(
+            vec![0],
+            vec![
+                StorePattern::new(v(0), c(1), v(1)),
+                StorePattern::new(v(2), c(1), v(3)),
+                StorePattern::new(v(0), c(1), v(2)),
+            ],
+        );
+        assert_eq!(
+            Cover::new(&q, vec![vec![0, 1], vec![2]]),
+            Err(CoverError::DisconnectedFragment)
+        );
+        assert!(Cover::new(&q, vec![vec![0, 2], vec![1, 2]]).is_ok());
+    }
+
+    #[test]
+    fn isolated_fragment_rejected() {
+        // Two disconnected components: {t0}, {t1} cannot form a
+        // multi-fragment cover.
+        let q = BgpQuery::new(
+            vec![0],
+            vec![
+                StorePattern::new(v(0), c(1), v(1)),
+                StorePattern::new(v(2), c(1), v(3)),
+            ],
+        );
+        assert_eq!(
+            Cover::new(&q, vec![vec![0], vec![1]]),
+            Err(CoverError::IsolatedFragment)
+        );
+    }
+
+    #[test]
+    fn cover_queries_follow_definition() {
+        let q = q1();
+        let cover = Cover::new(&q, vec![vec![0], vec![1, 2]]).unwrap();
+        let cqs = cover.cover_queries(&q);
+        assert_eq!(cqs.len(), 2);
+        // Fragment {t1}: head (x, y); fragment {t2,t3}: head (x).
+        assert_eq!(cqs[0].head, vec![0, 1]);
+        assert_eq!(cqs[1].head, vec![0]);
+    }
+
+    #[test]
+    fn gcov_move_adds_and_prunes() {
+        // Paper §4.3's example: {{t1,t2},{t1,t3},{t3,t4}} + (f0 ← t4)
+        // ⇒ after coverage pruning: {{t1,t2,t4},{t1,t3}} (in a 4-atom
+        // star query where all atoms share a variable).
+        let q = BgpQuery::new(
+            vec![0],
+            vec![
+                StorePattern::new(v(0), c(1), v(1)),
+                StorePattern::new(v(0), c(2), v(2)),
+                StorePattern::new(v(0), c(3), v(3)),
+                StorePattern::new(v(0), c(4), v(4)),
+            ],
+        );
+        let cover = Cover::new(&q, vec![vec![0, 1], vec![0, 2], vec![2, 3]]).unwrap();
+        let pos = cover.fragments().iter().position(|f| f == &vec![0, 1]).unwrap();
+        let moved = cover.add_atom(&q, pos, 3).unwrap();
+        assert_eq!(
+            moved.fragments(),
+            vec![vec![0, 1, 3], vec![0, 2], vec![2, 3]],
+            "inclusion pruning alone keeps {{t3,t4}}"
+        );
+        // {t3,t4} is the costliest fragment here; coverage pruning
+        // removes it.
+        let pruned = moved.prune_redundant_by(&q, |f| if f == [2, 3] { 10.0 } else { 1.0 });
+        assert_eq!(pruned.fragments(), vec![vec![0, 1, 3], vec![0, 2]]);
+    }
+
+    #[test]
+    fn prune_keeps_necessary_fragments() {
+        let q = q1();
+        let cover = Cover::new(&q, vec![vec![0, 1], vec![1, 2]]).unwrap();
+        // Neither fragment is coverage-redundant: removing either loses
+        // an atom.
+        let pruned = cover.prune_redundant_by(&q, |_| 1.0);
+        assert_eq!(pruned, cover);
+    }
+
+    #[test]
+    fn gcov_move_noop_returns_none() {
+        let q = q1();
+        let cover = Cover::single_fragment(&q).unwrap();
+        assert!(cover.add_atom(&q, 0, 0).is_none(), "atom already present");
+    }
+}

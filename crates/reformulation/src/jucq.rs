@@ -1,0 +1,173 @@
+//! Cover-based JUCQ reformulations (Theorem 3.1).
+//!
+//! Given a cover `C = {f₁,…,fₘ}` of `q`, the JUCQ reformulation is
+//! `q_JUCQ(x̄):- q^UCQ_{f₁} ⋈ … ⋈ q^UCQ_{fₘ}`, where each `q^UCQ_{fᵢ}`
+//! is the CQ-to-UCQ reformulation of the cover query of `fᵢ`
+//! (Definition 3.4). The classical reformulations are the two extreme
+//! covers: UCQ = one fragment holding every atom ("pushing the joins
+//! below a single union"), SCQ = one singleton fragment per atom
+//! ("pushing all unions below the joins", \[13\]).
+
+use jucq_store::StoreJucq;
+
+use crate::bgp::BgpQuery;
+use crate::cover::{Cover, CoverError};
+use crate::reformulate::{reformulate, ReformulationEnv};
+
+/// The JUCQ reformulation of `q` for `cover` (Theorem 3.1), compiled to
+/// the engine IR.
+pub fn jucq_for_cover(q: &BgpQuery, cover: &Cover, env: &ReformulationEnv<'_>) -> StoreJucq {
+    let fragments = cover
+        .cover_queries(q)
+        .iter()
+        .map(|cq| reformulate(cq, env))
+        .collect();
+    StoreJucq::new(fragments, q.head.clone())
+}
+
+/// Like [`jucq_for_cover`] but aborting once the total number of union
+/// terms exceeds `limit` — `Err(n)` reports a lower bound on the size.
+/// Engines reject oversized unions anyway (the paper's stack-depth
+/// failures), so callers can fail fast without materializing a
+/// six-figure union.
+pub fn jucq_for_cover_bounded(
+    q: &BgpQuery,
+    cover: &Cover,
+    env: &ReformulationEnv<'_>,
+    limit: usize,
+) -> Result<StoreJucq, usize> {
+    use crate::reformulate::reformulate_with_limit;
+    let mut fragments = Vec::with_capacity(cover.len());
+    let mut total = 0usize;
+    for cq in cover.cover_queries(q) {
+        let remaining = limit - total;
+        match reformulate_with_limit(&cq, env, remaining) {
+            Ok(ucq) => {
+                total += ucq.len();
+                fragments.push(ucq);
+            }
+            Err(n) => return Err(total + n),
+        }
+    }
+    Ok(StoreJucq::new(fragments, q.head.clone()))
+}
+
+/// The classical UCQ reformulation (single-fragment cover).
+pub fn ucq_reformulation(q: &BgpQuery, env: &ReformulationEnv<'_>) -> Result<StoreJucq, CoverError> {
+    let cover = Cover::single_fragment(q)?;
+    Ok(jucq_for_cover(q, &cover, env))
+}
+
+/// The SCQ reformulation of \[13\] (all-singletons cover).
+pub fn scq_reformulation(q: &BgpQuery, env: &ReformulationEnv<'_>) -> Result<StoreJucq, CoverError> {
+    let cover = Cover::singletons(q)?;
+    Ok(jucq_for_cover(q, &cover, env))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jucq_model::{Graph, Term, TermId, Triple};
+    use jucq_store::{PatternTerm, StorePattern, VarId};
+
+    fn c(id: TermId) -> PatternTerm {
+        PatternTerm::Const(id)
+    }
+
+    fn v(i: VarId) -> PatternTerm {
+        PatternTerm::Var(i)
+    }
+
+    struct Fixture {
+        graph: Graph,
+        rdf_type: TermId,
+    }
+
+    fn fixture() -> Fixture {
+        let mut graph = Graph::new();
+        let t = |s: &str, p: &str, o: Term| Triple::new(Term::uri(s), Term::uri(p), o);
+        graph.extend(&[
+            t("doi1", jucq_model::vocab::RDF_TYPE, Term::uri("Book")),
+            t("Book", jucq_model::vocab::RDFS_SUBCLASS_OF, Term::uri("Publication")),
+            t("writtenBy", jucq_model::vocab::RDFS_SUBPROPERTY_OF, Term::uri("hasAuthor")),
+            t("writtenBy", jucq_model::vocab::RDFS_DOMAIN, Term::uri("Book")),
+            t("writtenBy", jucq_model::vocab::RDFS_RANGE, Term::uri("Person")),
+        ]);
+        let rdf_type = graph.rdf_type();
+        Fixture { graph, rdf_type }
+    }
+
+    fn uri(f: &Fixture, s: &str) -> TermId {
+        f.graph.dict().lookup(&Term::uri(s)).expect("known uri")
+    }
+
+    /// Two-atom query: (x τ Publication)(x hasAuthor y).
+    fn two_atom_query(f: &Fixture) -> BgpQuery {
+        BgpQuery::new(
+            vec![0, 1],
+            vec![
+                StorePattern::new(v(0), c(f.rdf_type), c(uri(f, "Publication"))),
+                StorePattern::new(v(0), c(uri(f, "hasAuthor")), v(1)),
+            ],
+        )
+    }
+
+    #[test]
+    fn ucq_is_one_fragment_with_product_size() {
+        let f = fixture();
+        let closure = f.graph.schema_closure();
+        let env = ReformulationEnv { closure: &closure, rdf_type: f.rdf_type };
+        let q = two_atom_query(&f);
+        let ucq = ucq_reformulation(&q, &env).unwrap();
+        assert_eq!(ucq.fragments.len(), 1);
+        // 3 reformulations of atom 1 × 2 of atom 2.
+        assert_eq!(ucq.union_terms(), 6);
+    }
+
+    #[test]
+    fn scq_is_one_fragment_per_atom_with_sum_size() {
+        let f = fixture();
+        let closure = f.graph.schema_closure();
+        let env = ReformulationEnv { closure: &closure, rdf_type: f.rdf_type };
+        let q = two_atom_query(&f);
+        let scq = scq_reformulation(&q, &env).unwrap();
+        assert_eq!(scq.fragments.len(), 2);
+        assert_eq!(scq.union_terms(), 5, "3 + 2");
+    }
+
+    #[test]
+    fn fragment_heads_expose_join_variables() {
+        let f = fixture();
+        let closure = f.graph.schema_closure();
+        let env = ReformulationEnv { closure: &closure, rdf_type: f.rdf_type };
+        let q = two_atom_query(&f);
+        let scq = scq_reformulation(&q, &env).unwrap();
+        // Fragment of atom 1 exposes x (distinguished + shared).
+        assert_eq!(scq.fragments[0].head, vec![0]);
+        // Fragment of atom 2 exposes x and y.
+        assert_eq!(scq.fragments[1].head, vec![0, 1]);
+        assert_eq!(scq.head, vec![0, 1]);
+    }
+
+    #[test]
+    fn custom_cover_matches_fragment_count() {
+        let f = fixture();
+        let closure = f.graph.schema_closure();
+        let env = ReformulationEnv { closure: &closure, rdf_type: f.rdf_type };
+        // Three-atom star query.
+        let q = BgpQuery::new(
+            vec![0],
+            vec![
+                StorePattern::new(v(0), c(f.rdf_type), c(uri(&f, "Publication"))),
+                StorePattern::new(v(0), c(uri(&f, "hasAuthor")), v(1)),
+                StorePattern::new(v(0), c(uri(&f, "writtenBy")), v(2)),
+            ],
+        );
+        let cover = Cover::new(&q, vec![vec![0, 1], vec![1, 2]]).unwrap();
+        let jucq = jucq_for_cover(&q, &cover, &env);
+        assert_eq!(jucq.fragments.len(), 2);
+        // Overlapping fragments both contain atom 1's reformulations.
+        assert_eq!(jucq.fragments[0].len(), 6, "{{t0,t1}}: 3 × 2");
+        assert_eq!(jucq.fragments[1].len(), 2, "{{t1,t2}}: 2 × 1");
+    }
+}

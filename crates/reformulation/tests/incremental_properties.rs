@@ -1,0 +1,142 @@
+//! Property test: counting-based incremental saturation maintenance is
+//! exactly equivalent to re-saturating from scratch, under arbitrary
+//! interleavings of insertions and deletions.
+
+use proptest::prelude::*;
+
+use jucq_model::{Graph, Term, Triple, TripleId, vocab};
+use jucq_reformulation::incremental::IncrementalSaturation;
+use jucq_reformulation::saturation::saturate_with;
+
+/// A random small schema over classes C0..C4 and properties p0..p3.
+#[derive(Debug, Clone)]
+struct SchemaDesc {
+    subclass: Vec<(usize, usize)>,
+    subprop: Vec<(usize, usize)>,
+    domain: Vec<(usize, usize)>,
+    range: Vec<(usize, usize)>,
+}
+
+fn schema_desc() -> impl Strategy<Value = SchemaDesc> {
+    (
+        proptest::collection::vec((0usize..5, 0usize..5), 0..5),
+        proptest::collection::vec((0usize..4, 0usize..4), 0..4),
+        proptest::collection::vec((0usize..4, 0usize..5), 0..4),
+        proptest::collection::vec((0usize..4, 0usize..5), 0..4),
+    )
+        .prop_map(|(subclass, subprop, domain, range)| SchemaDesc {
+            subclass,
+            subprop,
+            domain,
+            range,
+        })
+}
+
+/// An update script: (is_insert, subject, prop-or-type, object/class).
+type Op = (bool, usize, usize, usize);
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec((any::<bool>(), 0usize..6, 0usize..5, 0usize..6), 1..40)
+}
+
+fn build_graph(desc: &SchemaDesc) -> Graph {
+    let mut g = Graph::new();
+    let t = |s: String, p: String, o: String| {
+        Triple::new(Term::uri(s), Term::uri(p), Term::uri(o))
+    };
+    for &(a, b) in &desc.subclass {
+        g.insert(&t(format!("C{a}"), vocab::RDFS_SUBCLASS_OF.into(), format!("C{b}")));
+    }
+    for &(a, b) in &desc.subprop {
+        g.insert(&t(format!("p{a}"), vocab::RDFS_SUBPROPERTY_OF.into(), format!("p{b}")));
+    }
+    for &(p, c) in &desc.domain {
+        g.insert(&t(format!("p{p}"), vocab::RDFS_DOMAIN.into(), format!("C{c}")));
+    }
+    for &(p, c) in &desc.range {
+        g.insert(&t(format!("p{p}"), vocab::RDFS_RANGE.into(), format!("C{c}")));
+    }
+    // Pre-intern the data vocabulary so ops map to stable ids.
+    for i in 0..6 {
+        g.dict_mut().encode_uri(&format!("e{i}"));
+    }
+    for i in 0..4 {
+        g.dict_mut().encode_uri(&format!("p{i}"));
+    }
+    for i in 0..5 {
+        g.dict_mut().encode_uri(&format!("C{i}"));
+    }
+    g
+}
+
+fn op_triple(g: &mut Graph, op: &Op) -> TripleId {
+    let (_, s, p, o) = *op;
+    let rdf_type = g.rdf_type();
+    let d = g.dict_mut();
+    let subject = d.encode_uri(&format!("e{s}"));
+    // Property index 4 means an rdf:type assertion on class o%5.
+    if p == 4 {
+        let class = d.encode_uri(&format!("C{}", o % 5));
+        TripleId::new(subject, rdf_type, class)
+    } else {
+        let object = d.encode_uri(&format!("e{o}"));
+        TripleId::new(subject, d.encode_uri(&format!("p{p}")), object)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn incremental_equals_full_resaturation(desc in schema_desc(), script in ops()) {
+        let mut g = build_graph(&desc);
+        let closure = g.schema_closure();
+        let rdf_type = g.rdf_type();
+        let mut incremental = IncrementalSaturation::new(&[], closure.clone(), rdf_type);
+        let mut explicit: Vec<TripleId> = Vec::new();
+
+        for op in &script {
+            let t = op_triple(&mut g, op);
+            if op.0 {
+                incremental.insert(t);
+                if !explicit.contains(&t) {
+                    explicit.push(t);
+                }
+            } else {
+                incremental.delete(&t);
+                explicit.retain(|x| *x != t);
+            }
+            // Invariant after every step: incremental == full.
+            let full = saturate_with(&explicit, &closure, rdf_type);
+            prop_assert_eq!(incremental.triples(), full);
+        }
+    }
+
+    #[test]
+    fn deltas_partition_the_saturation_change(desc in schema_desc(), script in ops()) {
+        let mut g = build_graph(&desc);
+        let closure = g.schema_closure();
+        let rdf_type = g.rdf_type();
+        let mut incremental = IncrementalSaturation::new(&[], closure, rdf_type);
+
+        for op in &script {
+            let before: Vec<TripleId> = incremental.triples();
+            let t = op_triple(&mut g, op);
+            let delta = if op.0 { incremental.insert(t) } else { incremental.delete(&t) };
+            let after: Vec<TripleId> = incremental.triples();
+            // added = after \ before, removed = before \ after.
+            let mut added: Vec<TripleId> =
+                after.iter().filter(|x| before.binary_search(x).is_err()).copied().collect();
+            let mut removed: Vec<TripleId> =
+                before.iter().filter(|x| after.binary_search(x).is_err()).copied().collect();
+            added.sort_unstable();
+            removed.sort_unstable();
+            let mut da = delta.added.clone();
+            let mut dr = delta.removed.clone();
+            da.sort_unstable();
+            dr.sort_unstable();
+            prop_assert_eq!(da, added);
+            prop_assert_eq!(dr, removed);
+        }
+    }
+}

@@ -1,0 +1,322 @@
+//! The engine facade: load triples once, evaluate plans under a profile.
+
+use std::time::Duration;
+
+use jucq_model::TripleId;
+
+use crate::error::EngineError;
+use crate::exec::{join, union, Counters, ExecContext};
+use crate::ir::{StoreCq, StoreJucq, StoreUcq};
+use crate::profile::EngineProfile;
+use crate::relation::Relation;
+use crate::stats::Statistics;
+use crate::table::TripleTable;
+
+/// The result of a successful evaluation, with its work counters and
+/// wall-clock time (the measurements the experiment harness reports).
+#[derive(Debug, Clone)]
+pub struct EvalOutcome {
+    /// The answer relation (deduplicated; set semantics).
+    pub relation: Relation,
+    /// Executor work counters.
+    pub counters: Counters,
+    /// Wall-clock evaluation time.
+    pub elapsed: Duration,
+}
+
+/// A loaded store: triple table + statistics, evaluated under a profile.
+#[derive(Debug, Clone)]
+pub struct Store {
+    table: TripleTable,
+    stats: Statistics,
+    profile: EngineProfile,
+}
+
+impl Store {
+    /// Build a store from raw triples.
+    pub fn from_triples(triples: &[TripleId], profile: EngineProfile) -> Self {
+        let table = TripleTable::build(triples);
+        let stats = Statistics::build(&table);
+        Store { table, stats, profile }
+    }
+
+    /// The triple table.
+    pub fn table(&self) -> &TripleTable {
+        &self.table
+    }
+
+    /// The statistics.
+    pub fn stats(&self) -> &Statistics {
+        &self.stats
+    }
+
+    /// The active profile.
+    pub fn profile(&self) -> &EngineProfile {
+        &self.profile
+    }
+
+    /// Swap the profile (e.g. to rerun the same data under another
+    /// emulated engine).
+    pub fn set_profile(&mut self, profile: EngineProfile) {
+        self.profile = profile;
+    }
+
+    /// A new store with `inserts` merged and `deletes` removed, using
+    /// the merge-based index maintenance (no full re-sort) and a
+    /// near-linear statistics refresh.
+    pub fn apply_delta(
+        &self,
+        inserts: &[jucq_model::TripleId],
+        deletes: &jucq_model::FxHashSet<jucq_model::TripleId>,
+    ) -> Store {
+        let table = self.table.apply_delta(inserts, deletes);
+        let stats = Statistics::build(&table);
+        Store { table, stats, profile: self.profile.clone() }
+    }
+
+    /// Evaluate a single conjunctive query (deduplicated). The head must
+    /// be all-variable (constant heads only arise inside reformulated
+    /// unions).
+    pub fn eval_cq(&self, cq: &StoreCq) -> Result<EvalOutcome, EngineError> {
+        let head = cq.head_vars();
+        assert_eq!(head.len(), cq.head.len(), "standalone CQs use variable heads");
+        let ucq = StoreUcq::new(vec![cq.clone()], head.clone());
+        self.eval_jucq(&StoreJucq::new(vec![ucq], head))
+    }
+
+    /// Evaluate a UCQ (deduplicated).
+    pub fn eval_ucq(&self, ucq: &StoreUcq) -> Result<EvalOutcome, EngineError> {
+        self.eval_jucq(&StoreJucq::from_ucq(ucq.clone()))
+    }
+
+    /// Evaluate a JUCQ: admission control (union-term limit), fragment
+    /// evaluation, fragment joins (largest fragment pipelined, the rest
+    /// charged as materialized), final projection and duplicate
+    /// elimination.
+    pub fn eval_jucq(&self, q: &StoreJucq) -> Result<EvalOutcome, EngineError> {
+        let terms = q.union_terms();
+        if terms > self.profile.max_union_terms {
+            return Err(EngineError::UnionTooLarge { terms, limit: self.profile.max_union_terms });
+        }
+        let mut ctx = ExecContext::new(&self.profile);
+
+        // Evaluate each fragment UCQ.
+        let mut frags: Vec<Relation> = Vec::with_capacity(q.fragments.len());
+        for f in &q.fragments {
+            frags.push(union::eval_ucq(&self.table, f, &mut ctx)?);
+        }
+        if frags.is_empty() {
+            let relation = Relation::empty(q.head.clone());
+            return Ok(EvalOutcome { relation, counters: ctx.counters, elapsed: ctx.elapsed() });
+        }
+
+        // All but the largest-result fragment are materialized (§4.1:
+        // "the largest-result sub-query ... is the one pipelined").
+        if frags.len() > 1 {
+            let largest = frags
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, r)| r.len())
+                .map(|(i, _)| i)
+                .expect("non-empty fragments");
+            for (i, f) in frags.iter().enumerate() {
+                if i != largest {
+                    ctx.counters.tuples_materialized += f.len() as u64;
+                    ctx.check_memory(f.len())?;
+                }
+            }
+        }
+
+        // Join order: start anywhere, always join a fragment connected
+        // (sharing a variable) to the accumulated schema, smallest first.
+        let mut remaining: Vec<usize> = (0..frags.len()).collect();
+        remaining.sort_by_key(|&i| frags[i].len());
+        let first = remaining.remove(0);
+        let mut acc = frags[first].clone();
+        while !remaining.is_empty() {
+            let pos = remaining
+                .iter()
+                .position(|&i| frags[i].vars().iter().any(|v| acc.column_of(*v).is_some()))
+                .unwrap_or(0);
+            let next = remaining.remove(pos);
+            acc = join::fragment_join(&acc, &frags[next], &mut ctx)?;
+        }
+
+        let mut relation = acc.project(&q.head);
+        ctx.counters.tuples_deduped += relation.len() as u64;
+        relation.dedup_in_place();
+        Ok(EvalOutcome { relation, counters: ctx.counters, elapsed: ctx.elapsed() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{PatternTerm, StorePattern, VarId};
+    use jucq_model::term::TermKind;
+    use jucq_model::TermId;
+
+    fn id(i: u32) -> TermId {
+        TermId::new(TermKind::Uri, i)
+    }
+
+    fn t(s: u32, p: u32, o: u32) -> TripleId {
+        TripleId::new(id(s), id(p), id(o))
+    }
+
+    fn c(i: u32) -> PatternTerm {
+        PatternTerm::Const(id(i))
+    }
+
+    fn v(i: VarId) -> PatternTerm {
+        PatternTerm::Var(i)
+    }
+
+    /// people: 1,2 typed 50; 1 works-at 20, 2 works-at 21; 1 knows 2.
+    fn store() -> Store {
+        Store::from_triples(
+            &[
+                t(1, 10, 50),
+                t(2, 10, 50),
+                t(1, 11, 20),
+                t(2, 11, 21),
+                t(1, 12, 2),
+            ],
+            EngineProfile::pg_like(),
+        )
+    }
+
+    #[test]
+    fn jucq_of_two_fragments_joins_on_shared_var() {
+        let s = store();
+        // fragment A: ?x 10 50 ; fragment B: ?x 11 ?y.
+        let fa = StoreUcq::new(
+            vec![StoreCq::with_var_head(vec![StorePattern::new(v(0), c(10), c(50))], vec![0])],
+            vec![0],
+        );
+        let fb = StoreUcq::new(
+            vec![StoreCq::with_var_head(vec![StorePattern::new(v(0), c(11), v(1))], vec![0, 1])],
+            vec![0, 1],
+        );
+        let q = StoreJucq::new(vec![fa, fb], vec![0, 1]);
+        let out = s.eval_jucq(&q).unwrap();
+        let mut r = out.relation;
+        r.sort();
+        assert_eq!(
+            r.to_rows(),
+            vec![vec![id(1), id(20)], vec![id(2), id(21)]]
+        );
+    }
+
+    #[test]
+    fn jucq_equals_equivalent_single_ucq() {
+        let s = store();
+        // (?x 10 50)(?x 11 ?y) as one CQ vs as two fragments.
+        let cq = StoreCq::with_var_head(
+            vec![
+                StorePattern::new(v(0), c(10), c(50)),
+                StorePattern::new(v(0), c(11), v(1)),
+            ],
+            vec![0, 1],
+        );
+        let mono = s.eval_cq(&cq).unwrap();
+        let fa = StoreUcq::new(
+            vec![StoreCq::with_var_head(vec![StorePattern::new(v(0), c(10), c(50))], vec![0])],
+            vec![0],
+        );
+        let fb = StoreUcq::new(
+            vec![StoreCq::with_var_head(vec![StorePattern::new(v(0), c(11), v(1))], vec![0, 1])],
+            vec![0, 1],
+        );
+        let split = s.eval_jucq(&StoreJucq::new(vec![fa, fb], vec![0, 1])).unwrap();
+        let mut a = mono.relation;
+        let mut b = split.relation;
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn union_limit_rejects_up_front() {
+        let mut s = store();
+        s.set_profile(EngineProfile::pg_like().with_max_union_terms(1));
+        let member = StoreCq::with_var_head(vec![StorePattern::new(v(0), c(10), c(50))], vec![0]);
+        let ucq = StoreUcq::new(vec![member.clone(), member], vec![0]);
+        assert!(matches!(
+            s.eval_ucq(&ucq),
+            Err(EngineError::UnionTooLarge { terms: 2, limit: 1 })
+        ));
+    }
+
+    #[test]
+    fn final_result_is_set_semantics() {
+        let s = store();
+        // Project (?x 11 ?y) onto nothing shared: head [] would be
+        // boolean; instead project onto a column with duplicates: the
+        // type objects of both people are the same class 50.
+        let cq = StoreCq::with_var_head(vec![StorePattern::new(v(0), c(10), v(1))], vec![1]);
+        let out = s.eval_cq(&cq).unwrap();
+        assert_eq!(out.relation.len(), 1, "duplicate class collapsed");
+    }
+
+    #[test]
+    fn counters_record_work() {
+        let s = store();
+        let cq = StoreCq::with_var_head(vec![StorePattern::new(v(0), v(1), v(2))], vec![0, 1, 2]);
+        let out = s.eval_cq(&cq).unwrap();
+        assert_eq!(out.relation.len(), 5);
+        assert!(out.counters.tuples_scanned >= 5);
+    }
+
+    #[test]
+    fn empty_fragment_jucq_is_empty() {
+        let s = store();
+        let fa = StoreUcq::new(
+            vec![StoreCq::with_var_head(vec![StorePattern::new(v(0), c(99), v(1))], vec![0])],
+            vec![0],
+        );
+        let fb = StoreUcq::new(
+            vec![StoreCq::with_var_head(vec![StorePattern::new(v(0), c(11), v(1))], vec![0, 1])],
+            vec![0, 1],
+        );
+        let out = s.eval_jucq(&StoreJucq::new(vec![fa, fb], vec![0, 1])).unwrap();
+        assert!(out.relation.is_empty());
+    }
+
+    #[test]
+    fn apply_delta_updates_answers() {
+        let s = store();
+        let cq = StoreCq::with_var_head(vec![StorePattern::new(v(0), c(10), c(50))], vec![0]);
+        assert_eq!(s.eval_cq(&cq).unwrap().relation.len(), 2);
+        let mut deletes = jucq_model::FxHashSet::default();
+        deletes.insert(t(1, 10, 50));
+        let s2 = s.apply_delta(&[t(3, 10, 50)], &deletes);
+        assert_eq!(s2.eval_cq(&cq).unwrap().relation.len(), 2, "-1 +1");
+        assert_eq!(s2.stats().total(), s.stats().total());
+        // Original store is untouched (copy-on-write semantics).
+        assert_eq!(s.eval_cq(&cq).unwrap().relation.len(), 2);
+    }
+
+    #[test]
+    fn three_profiles_agree_on_answers() {
+        let cq = StoreCq::with_var_head(
+            vec![
+                StorePattern::new(v(0), c(10), c(50)),
+                StorePattern::new(v(0), c(12), v(1)),
+            ],
+            vec![0, 1],
+        );
+        let mut results = Vec::new();
+        for p in EngineProfile::rdbms_trio() {
+            let s = Store::from_triples(
+                &[t(1, 10, 50), t(2, 10, 50), t(1, 12, 2)],
+                p,
+            );
+            let mut r = s.eval_cq(&cq).unwrap().relation;
+            r.sort();
+            results.push(r);
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[1], results[2]);
+    }
+}

@@ -1,0 +1,316 @@
+//! Joins of materialized relations (the ⋈ between JUCQ fragments).
+//!
+//! Three algorithms, selected by the engine profile: hash join (build on
+//! the smaller side), sort-merge join, and block-nested-loop join (the
+//! deliberately weak algorithm of the MySQL-like profile). All three
+//! compute the natural join on the variables shared by the two schemas;
+//! with no shared variable they degrade to a cartesian product.
+
+use jucq_model::{FxHashMap, TermId};
+
+use crate::error::EngineError;
+use crate::exec::ExecContext;
+use crate::ir::VarId;
+use crate::profile::JoinAlgo;
+use crate::relation::Relation;
+
+/// Join `left` and `right` with the profile's fragment-join algorithm.
+pub fn fragment_join(
+    left: &Relation,
+    right: &Relation,
+    ctx: &mut ExecContext<'_>,
+) -> Result<Relation, EngineError> {
+    match ctx.profile().fragment_join {
+        JoinAlgo::Hash => hash_join(left, right, ctx),
+        JoinAlgo::SortMerge => sort_merge_join(left, right, ctx),
+        JoinAlgo::BlockNestedLoop => block_nested_loop_join(left, right, ctx),
+    }
+}
+
+/// The join plan shared by all algorithms: key columns on both sides and
+/// the output schema (left columns ++ right non-key columns).
+struct JoinPlan {
+    left_key: Vec<usize>,
+    right_key: Vec<usize>,
+    right_carry: Vec<usize>,
+    out_vars: Vec<VarId>,
+}
+
+fn plan(left: &Relation, right: &Relation) -> JoinPlan {
+    let shared: Vec<VarId> = left
+        .vars()
+        .iter()
+        .copied()
+        .filter(|v| right.column_of(*v).is_some())
+        .collect();
+    let left_key: Vec<usize> = shared.iter().map(|v| left.column_of(*v).expect("shared var")).collect();
+    let right_key: Vec<usize> = shared.iter().map(|v| right.column_of(*v).expect("shared var")).collect();
+    let right_carry: Vec<usize> = right
+        .vars()
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| !shared.contains(v))
+        .map(|(i, _)| i)
+        .collect();
+    let mut out_vars = left.vars().to_vec();
+    out_vars.extend(right_carry.iter().map(|&i| right.vars()[i]));
+    JoinPlan { left_key, right_key, right_carry, out_vars }
+}
+
+fn emit(
+    out: &mut Relation,
+    row_buf: &mut Vec<TermId>,
+    lrow: &[TermId],
+    rrow: &[TermId],
+    plan: &JoinPlan,
+) {
+    row_buf.clear();
+    row_buf.extend_from_slice(lrow);
+    row_buf.extend(plan.right_carry.iter().map(|&i| rrow[i]));
+    out.push_row(row_buf);
+}
+
+/// Hash join: build a table on the smaller input, probe with the larger.
+pub fn hash_join(
+    left: &Relation,
+    right: &Relation,
+    ctx: &mut ExecContext<'_>,
+) -> Result<Relation, EngineError> {
+    ctx.check_deadline()?;
+    let p = plan(left, right);
+    let mut out = Relation::empty(p.out_vars.clone());
+    if left.is_empty() || right.is_empty() {
+        return Ok(out);
+    }
+    // Build on the smaller side; probe from the larger. We always emit
+    // rows as (left ++ right-carry), so the build/probe choice only
+    // affects which side is hashed.
+    let build_left = left.len() <= right.len();
+    let (build, probe) = if build_left { (left, right) } else { (right, left) };
+    let (build_key, probe_key) =
+        if build_left { (&p.left_key, &p.right_key) } else { (&p.right_key, &p.left_key) };
+    let mut table: FxHashMap<Vec<TermId>, Vec<usize>> = FxHashMap::default();
+    for (i, row) in build.rows().enumerate() {
+        ctx.tick()?;
+        let key: Vec<TermId> = build_key.iter().map(|&c| row[c]).collect();
+        table.entry(key).or_default().push(i);
+    }
+    ctx.counters.tuples_materialized += build.len() as u64;
+    ctx.check_memory(build.len())?;
+    let mut row_buf: Vec<TermId> = Vec::with_capacity(out.width());
+    let mut key_buf: Vec<TermId> = Vec::with_capacity(probe_key.len());
+    for prow in probe.rows() {
+        ctx.tick()?;
+        key_buf.clear();
+        key_buf.extend(probe_key.iter().map(|&c| prow[c]));
+        if let Some(matches) = table.get(&key_buf) {
+            for &bi in matches {
+                ctx.tick()?;
+                ctx.counters.tuples_joined += 1;
+                let brow = build.row(bi);
+                let (lrow, rrow) = if build_left { (brow, prow) } else { (prow, brow) };
+                emit(&mut out, &mut row_buf, lrow, rrow, &p);
+            }
+            ctx.check_memory(out.len())?;
+        }
+    }
+    Ok(out)
+}
+
+/// Sort-merge join: sort both inputs on the key, merge equal runs.
+pub fn sort_merge_join(
+    left: &Relation,
+    right: &Relation,
+    ctx: &mut ExecContext<'_>,
+) -> Result<Relation, EngineError> {
+    ctx.check_deadline()?;
+    let p = plan(left, right);
+    let mut out = Relation::empty(p.out_vars.clone());
+    if left.is_empty() || right.is_empty() {
+        return Ok(out);
+    }
+    let key_of = |row: &[TermId], cols: &[usize]| -> Vec<TermId> {
+        cols.iter().map(|&c| row[c]).collect()
+    };
+    let mut lids: Vec<usize> = (0..left.len()).collect();
+    lids.sort_unstable_by_key(|&i| key_of(left.row(i), &p.left_key));
+    let mut rids: Vec<usize> = (0..right.len()).collect();
+    rids.sort_unstable_by_key(|&i| key_of(right.row(i), &p.right_key));
+    ctx.counters.tuples_materialized += (left.len() + right.len()) as u64;
+    ctx.check_memory(left.len() + right.len())?;
+
+    let mut row_buf: Vec<TermId> = Vec::with_capacity(out.width());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < lids.len() && j < rids.len() {
+        ctx.tick()?;
+        let lk = key_of(left.row(lids[i]), &p.left_key);
+        let rk = key_of(right.row(rids[j]), &p.right_key);
+        match lk.cmp(&rk) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                // Find the equal runs on both sides.
+                let i_end = (i..lids.len())
+                    .find(|&x| key_of(left.row(lids[x]), &p.left_key) != lk)
+                    .unwrap_or(lids.len());
+                let j_end = (j..rids.len())
+                    .find(|&x| key_of(right.row(rids[x]), &p.right_key) != rk)
+                    .unwrap_or(rids.len());
+                for &li in &lids[i..i_end] {
+                    for &rj in &rids[j..j_end] {
+                        ctx.tick()?;
+                        ctx.counters.tuples_joined += 1;
+                        emit(&mut out, &mut row_buf, left.row(li), right.row(rj), &p);
+                    }
+                }
+                ctx.check_memory(out.len())?;
+                i = i_end;
+                j = j_end;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Block-nested-loop join: compare every pair of rows. Quadratic by
+/// design — the weak spot of the MySQL-like profile.
+pub fn block_nested_loop_join(
+    left: &Relation,
+    right: &Relation,
+    ctx: &mut ExecContext<'_>,
+) -> Result<Relation, EngineError> {
+    ctx.check_deadline()?;
+    let p = plan(left, right);
+    let mut out = Relation::empty(p.out_vars.clone());
+    let mut row_buf: Vec<TermId> = Vec::with_capacity(out.width());
+    for lrow in left.rows() {
+        for rrow in right.rows() {
+            ctx.tick()?;
+            if p.left_key
+                .iter()
+                .zip(&p.right_key)
+                .all(|(&lc, &rc)| lrow[lc] == rrow[rc])
+            {
+                ctx.counters.tuples_joined += 1;
+                emit(&mut out, &mut row_buf, lrow, rrow, &p);
+            }
+        }
+        ctx.check_memory(out.len())?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::EngineProfile;
+    use jucq_model::term::TermKind;
+    use std::time::Duration;
+
+    fn id(i: u32) -> TermId {
+        TermId::new(TermKind::Uri, i)
+    }
+
+    fn rel(vars: Vec<VarId>, rows: &[&[u32]]) -> Relation {
+        let mut r = Relation::empty(vars);
+        for row in rows {
+            let ids: Vec<TermId> = row.iter().map(|&x| id(x)).collect();
+            r.push_row(&ids);
+        }
+        r
+    }
+
+    fn all_algos(left: &Relation, right: &Relation) -> Vec<Relation> {
+        let profile = EngineProfile::pg_like();
+        let mut out = Vec::new();
+        for f in [hash_join, sort_merge_join, block_nested_loop_join] {
+            let mut ctx = ExecContext::new(&profile);
+            let mut r = f(left, right, &mut ctx).expect("join succeeds");
+            r.sort();
+            out.push(r);
+        }
+        out
+    }
+
+    #[test]
+    fn natural_join_on_one_shared_var() {
+        let l = rel(vec![0, 1], &[&[1, 10], &[2, 20], &[3, 30]]);
+        let r = rel(vec![1, 2], &[&[10, 100], &[10, 101], &[30, 300]]);
+        let results = all_algos(&l, &r);
+        for res in &results {
+            assert_eq!(res.vars(), &[0, 1, 2]);
+            assert_eq!(
+                res.to_rows(),
+                vec![
+                    vec![id(1), id(10), id(100)],
+                    vec![id(1), id(10), id(101)],
+                    vec![id(3), id(30), id(300)],
+                ]
+            );
+        }
+    }
+
+    #[test]
+    fn join_on_two_shared_vars() {
+        let l = rel(vec![0, 1], &[&[1, 2], &[1, 3]]);
+        let r = rel(vec![0, 1, 2], &[&[1, 2, 9], &[1, 4, 8]]);
+        for res in all_algos(&l, &r) {
+            assert_eq!(res.to_rows(), vec![vec![id(1), id(2), id(9)]]);
+        }
+    }
+
+    #[test]
+    fn disjoint_schemas_give_cartesian_product() {
+        let l = rel(vec![0], &[&[1], &[2]]);
+        let r = rel(vec![1], &[&[7], &[8]]);
+        for res in all_algos(&l, &r) {
+            assert_eq!(res.len(), 4);
+        }
+    }
+
+    #[test]
+    fn empty_inputs_give_empty_output() {
+        let l = rel(vec![0, 1], &[]);
+        let r = rel(vec![1], &[&[7]]);
+        for res in all_algos(&l, &r) {
+            assert!(res.is_empty());
+            assert_eq!(res.vars(), &[0, 1]);
+        }
+    }
+
+    #[test]
+    fn duplicates_multiply() {
+        let l = rel(vec![0], &[&[1], &[1]]);
+        let r = rel(vec![0, 1], &[&[1, 5], &[1, 5]]);
+        for res in all_algos(&l, &r) {
+            assert_eq!(res.len(), 4, "bag semantics: 2×2 matches");
+        }
+    }
+
+    #[test]
+    fn memory_budget_fails_large_builds() {
+        let l = rel(vec![0], &[&[1], &[2], &[3]]);
+        let r = rel(vec![0], &[&[1], &[2], &[3], &[4]]);
+        let profile = EngineProfile::pg_like().with_memory_budget(2);
+        let mut ctx = ExecContext::new(&profile);
+        assert!(matches!(
+            hash_join(&l, &r, &mut ctx),
+            Err(EngineError::MemoryBudgetExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn timeout_aborts_block_nested_loop() {
+        let rows: Vec<Vec<u32>> = (0..2000).map(|i| vec![i]).collect();
+        let slices: Vec<&[u32]> = rows.iter().map(Vec::as_slice).collect();
+        let l = rel(vec![0], &slices);
+        let r = rel(vec![1], &slices);
+        let profile = EngineProfile::mysql_like().with_timeout(Duration::from_millis(0));
+        std::thread::sleep(Duration::from_millis(1));
+        let mut ctx = ExecContext::new(&profile);
+        assert!(matches!(
+            block_nested_loop_join(&l, &r, &mut ctx),
+            Err(EngineError::Timeout { .. })
+        ));
+    }
+}

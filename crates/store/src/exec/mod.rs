@@ -1,0 +1,136 @@
+//! The relational executor: σ, π, ⋈, ∪ and duplicate elimination.
+//!
+//! Split by operator family:
+//! * [`cq`] — conjunctive-query pipelines over the triple table
+//!   (index-nested-loop or hash);
+//! * [`join`] — joins of materialized relations (hash, sort-merge,
+//!   block-nested-loop);
+//! * [`union`] — unions of CQ results with set semantics.
+//!
+//! All operators run inside an [`ExecContext`] that enforces the engine
+//! profile's deadline and memory budget and records the counters the
+//! calibration layer fits cost constants against.
+
+pub mod cq;
+pub mod join;
+pub mod union;
+
+use std::time::Instant;
+
+use crate::error::EngineError;
+use crate::profile::EngineProfile;
+
+/// How often (in produced tuples) the deadline is polled.
+const DEADLINE_POLL_MASK: u64 = 0x3FFF; // every 16384 tuples
+
+/// Work counters, exposed for calibration and diagnostics.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Counters {
+    /// Tuples read from index scans.
+    pub tuples_scanned: u64,
+    /// Tuples emitted by join operators.
+    pub tuples_joined: u64,
+    /// Tuples copied into materialized intermediates.
+    pub tuples_materialized: u64,
+    /// Tuples examined by duplicate elimination.
+    pub tuples_deduped: u64,
+}
+
+/// Shared evaluation state: profile, deadline, counters.
+#[derive(Debug)]
+pub struct ExecContext<'a> {
+    profile: &'a EngineProfile,
+    started: Instant,
+    /// Cumulative work counters.
+    pub counters: Counters,
+    ticks: u64,
+}
+
+impl<'a> ExecContext<'a> {
+    /// Start an evaluation clock for `profile`.
+    pub fn new(profile: &'a EngineProfile) -> Self {
+        ExecContext { profile, started: Instant::now(), counters: Counters::default(), ticks: 0 }
+    }
+
+    /// The governing profile.
+    pub fn profile(&self) -> &EngineProfile {
+        self.profile
+    }
+
+    /// Cheap, amortized deadline check; call once per produced tuple.
+    #[inline]
+    pub fn tick(&mut self) -> Result<(), EngineError> {
+        self.ticks += 1;
+        if self.ticks & DEADLINE_POLL_MASK == 0 {
+            self.check_deadline()?;
+        }
+        Ok(())
+    }
+
+    /// Unconditional deadline check (call at operator boundaries).
+    pub fn check_deadline(&self) -> Result<(), EngineError> {
+        if self.started.elapsed() > self.profile.timeout {
+            Err(EngineError::Timeout { limit: self.profile.timeout })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Enforce the memory budget for a materialized intermediate of
+    /// `tuples` rows.
+    pub fn check_memory(&self, tuples: usize) -> Result<(), EngineError> {
+        if tuples > self.profile.memory_budget_tuples {
+            Err(EngineError::MemoryBudgetExceeded {
+                tuples,
+                budget: self.profile.memory_budget_tuples,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Time elapsed since the context was created.
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.started.elapsed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn deadline_enforced() {
+        let p = EngineProfile::pg_like().with_timeout(Duration::from_millis(0));
+        let ctx = ExecContext::new(&p);
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(matches!(ctx.check_deadline(), Err(EngineError::Timeout { .. })));
+    }
+
+    #[test]
+    fn memory_budget_enforced() {
+        let p = EngineProfile::pg_like().with_memory_budget(10);
+        let ctx = ExecContext::new(&p);
+        assert!(ctx.check_memory(10).is_ok());
+        assert!(matches!(
+            ctx.check_memory(11),
+            Err(EngineError::MemoryBudgetExceeded { tuples: 11, budget: 10 })
+        ));
+    }
+
+    #[test]
+    fn tick_is_cheap_and_eventually_polls() {
+        let p = EngineProfile::pg_like().with_timeout(Duration::from_millis(0));
+        let mut ctx = ExecContext::new(&p);
+        std::thread::sleep(Duration::from_millis(2));
+        let mut failed = false;
+        for _ in 0..=DEADLINE_POLL_MASK {
+            if ctx.tick().is_err() {
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed, "deadline must surface within one poll window");
+    }
+}

@@ -1,0 +1,154 @@
+//! `EXPLAIN` — human-readable plan rendering.
+//!
+//! The paper's Figure 9 harness extracts cost estimates from Postgres
+//! `EXPLAIN` output; this module is our engine's equivalent: a textual
+//! plan for a JUCQ showing admission, per-fragment shapes and
+//! estimates, the join algorithm, and the materialization decision.
+
+use std::fmt::Write as _;
+
+use crate::internal_cost;
+use crate::ir::StoreJucq;
+use crate::Store;
+
+/// Render the evaluation plan for `q` under the store's profile.
+pub fn explain(store: &Store, q: &StoreJucq) -> String {
+    let profile = store.profile();
+    let stats = store.stats();
+    let table = store.table();
+    let mut out = String::new();
+
+    let terms = q.union_terms();
+    let _ = writeln!(out, "JUCQ: {} fragment(s), {} union term(s)", q.fragments.len(), terms);
+    if terms > profile.max_union_terms {
+        let _ = writeln!(
+            out,
+            "ADMISSION: REJECTED — union of {terms} terms exceeds the {} limit ({})",
+            profile.max_union_terms, profile.name
+        );
+        return out;
+    }
+    let _ = writeln!(out, "ADMISSION: accepted under profile `{}`", profile.name);
+
+    let volumes: Vec<f64> = q
+        .fragments
+        .iter()
+        .map(|u| {
+            u.cqs
+                .iter()
+                .flat_map(|cq| cq.patterns.iter())
+                .map(|p| stats.pattern_card(table, p) as f64)
+                .sum()
+        })
+        .collect();
+    let largest = volumes
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite volume"))
+        .map(|(i, _)| i);
+    for (i, frag) in q.fragments.iter().enumerate() {
+        let card = stats.est_ucq(table, frag);
+        let pipelined = Some(i) == largest && q.fragments.len() > 1;
+        let _ = writeln!(
+            out,
+            "  Fragment {i}: {} member CQ(s), head {:?}, scan volume {:.0}, est. rows {:.0}{}",
+            frag.len(),
+            frag.head,
+            volumes[i],
+            card,
+            if q.fragments.len() <= 1 {
+                ""
+            } else if pipelined {
+                "  [pipelined]"
+            } else {
+                "  [materialized]"
+            },
+        );
+        for (k, cq) in frag.cqs.iter().take(3).enumerate() {
+            let shape: Vec<String> = cq.patterns.iter().map(ToString::to_string).collect();
+            let _ = writeln!(out, "    member {k}: {}", shape.join(" ⋈ "));
+        }
+        if frag.len() > 3 {
+            let _ = writeln!(out, "    … {} more members", frag.len() - 3);
+        }
+    }
+    if q.fragments.len() > 1 {
+        let _ = writeln!(out, "  Fragment join: {:?}", profile.fragment_join);
+    }
+    let _ = writeln!(
+        out,
+        "  Final: project {:?}, dedup; est. result {:.0} rows",
+        q.head,
+        stats.est_jucq(table, q)
+    );
+    let _ = writeln!(out, "  Internal cost estimate: {:.1}", internal_cost::estimate(store, q));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{PatternTerm, StoreCq, StorePattern, StoreUcq, VarId};
+    use crate::profile::EngineProfile;
+    use jucq_model::term::TermKind;
+    use jucq_model::{TermId, TripleId};
+
+    fn id(i: u32) -> TermId {
+        TermId::new(TermKind::Uri, i)
+    }
+
+    fn store() -> Store {
+        let triples: Vec<TripleId> = (0..20)
+            .map(|i| TripleId::new(id(i), id(100), id(i % 3)))
+            .collect();
+        Store::from_triples(&triples, EngineProfile::pg_like())
+    }
+
+    fn v(i: VarId) -> PatternTerm {
+        PatternTerm::Var(i)
+    }
+
+    fn sample_jucq(members: usize) -> StoreJucq {
+        let member = StoreCq::with_var_head(
+            vec![StorePattern::new(v(0), PatternTerm::Const(id(100)), v(1))],
+            vec![0, 1],
+        );
+        let fa = StoreUcq::new(vec![member; members], vec![0, 1]);
+        let fb = StoreUcq::new(
+            vec![StoreCq::with_var_head(
+                vec![StorePattern::new(v(0), PatternTerm::Const(id(100)), v(2))],
+                vec![0, 2],
+            )],
+            vec![0, 2],
+        );
+        StoreJucq::new(vec![fa, fb], vec![0, 1, 2])
+    }
+
+    #[test]
+    fn explains_accepted_plans() {
+        let s = store();
+        let text = explain(&s, &sample_jucq(2));
+        assert!(text.contains("ADMISSION: accepted"));
+        assert!(text.contains("Fragment 0"));
+        assert!(text.contains("Fragment join"));
+        assert!(text.contains("Internal cost estimate"));
+        assert!(text.contains("[pipelined]"));
+        assert!(text.contains("[materialized]"));
+    }
+
+    #[test]
+    fn explains_rejections() {
+        let mut s = store();
+        s.set_profile(EngineProfile::pg_like().with_max_union_terms(1));
+        let text = explain(&s, &sample_jucq(5));
+        assert!(text.contains("REJECTED"));
+        assert!(!text.contains("Fragment 0"), "no plan detail after rejection");
+    }
+
+    #[test]
+    fn truncates_long_unions() {
+        let s = store();
+        let text = explain(&s, &sample_jucq(10));
+        assert!(text.contains("… 7 more members"));
+    }
+}

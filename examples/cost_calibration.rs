@@ -1,0 +1,59 @@
+//! Cost-model calibration (§4.1): learn per-engine constants by running
+//! calibration queries, then check the model's predictions against
+//! measured evaluation times for the three covers of a two-atom query.
+//!
+//! Run with: `cargo run --release --example cost_calibration`
+
+use jucq_core::reformulation::jucq_for_cover;
+use jucq_core::reformulation::reformulate::ReformulationEnv;
+use jucq_core::reformulation::Cover;
+use jucq_core::{RdfDatabase, Strategy};
+use jucq_datagen::lubm;
+use jucq_optimizer::{calibrate, PaperCostModel};
+use jucq_store::EngineProfile;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let graph = lubm::generate(&lubm::LubmConfig::new(1));
+    println!("dataset: {} triples\n", graph.len());
+
+    for profile in EngineProfile::rdbms_trio() {
+        let name = profile.name.clone();
+        let mut db = RdfDatabase::from_graph(graph.clone(), profile);
+        db.prepare();
+        let constants = calibrate(db.plain_store());
+        db.set_cost_constants(constants);
+        println!("[{name}] calibrated constants:");
+        println!("  c_db = {:.3e}s  c_t = {:.3e}s/t  c_j = {:.3e}s/t", constants.c_db, constants.c_t, constants.c_j);
+        println!("  c_m  = {:.3e}s/t  c_l = {:.3e}s/t  c_k = {:.3e}s/t", constants.c_m, constants.c_l, constants.c_k);
+
+        // Predict vs measure on the three covers of a two-atom query.
+        let sparql = format!(
+            "PREFIX ub: <{}>\nSELECT ?x WHERE {{ ?x a ub:Student . ?x ub:memberOf ?d }}",
+            lubm::NS
+        );
+        let q = db.parse_query(&sparql)?;
+        let rdf_type = db.rdf_type();
+        let covers = vec![
+            ("UCQ  {{t1,t2}}", Cover::single_fragment(&q)?),
+            ("SCQ  {{t1},{t2}}", Cover::singletons(&q)?),
+        ];
+        println!("  cover predictions vs measurements:");
+        for (label, cover) in covers {
+            let (predicted, measured) = {
+                let closure = db.closure().clone();
+                let env = ReformulationEnv { closure: &closure, rdf_type };
+                let jucq = jucq_for_cover(&q, &cover, &env);
+                let store = db.plain_store();
+                let model = PaperCostModel::new(store.table(), store.stats(), constants);
+                let predicted = model.cost(&jucq);
+                let report = db.answer(&q, &Strategy::FixedCover(cover.clone()))?;
+                (predicted, report.eval_time.as_secs_f64())
+            };
+            println!(
+                "    {label:<18} predicted {predicted:>9.4}s   measured {measured:>9.4}s"
+            );
+        }
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! The DBLP-like workload: generate a bibliography graph, answer the
+//! Q01–Q10 workload under every strategy (Figure 6's comparison).
+//!
+//! Run with: `cargo run --release --example dblp_workload [authors]`
+
+use jucq_core::{AnswerError, RdfDatabase, Strategy};
+use jucq_datagen::dblp;
+use jucq_store::EngineProfile;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let authors: usize = std::env::args()
+        .nth(1)
+        .map(|a| a.parse())
+        .transpose()?
+        .unwrap_or(2_000);
+
+    eprintln!("generating DBLP-like data for {authors} authors...");
+    let graph = dblp::generate(&dblp::DblpConfig::new(authors));
+    eprintln!("  {} data triples", graph.len());
+
+    let mut db = RdfDatabase::from_graph(graph, EngineProfile::pg_like());
+    db.prepare();
+
+    println!(
+        "\n{:<4} {:>10} {:>10} {:>10} {:>10}   (evaluation ms; F = failure)",
+        "", "SAT", "UCQ", "SCQ", "GCov"
+    );
+    for nq in dblp::workload() {
+        let q = db.parse_query(&nq.sparql)?;
+        print!("{:<4}", nq.name);
+        for s in [
+            Strategy::Saturation,
+            Strategy::Ucq,
+            Strategy::Scq,
+            Strategy::gcov_default(),
+        ] {
+            match db.answer(&q, &s) {
+                Ok(r) => print!(" {:>10.1}", r.eval_time.as_secs_f64() * 1e3),
+                Err(AnswerError::Engine(_)) => print!(" {:>10}", "F"),
+                Err(e) => print!(" {:>10}", format!("{e:.6}")),
+            }
+        }
+        println!();
+    }
+
+    // Per-query reformulation sizes (|q_ref| of Table 4).
+    println!("\n|q_ref| per query (UCQ union terms):");
+    for nq in dblp::workload() {
+        let q = db.parse_query(&nq.sparql)?;
+        match db.answer(&q, &Strategy::Ucq) {
+            Ok(r) => println!("  {}: {}", nq.name, r.union_terms),
+            Err(AnswerError::Engine(e)) => println!("  {}: too large ({e})", nq.name),
+            Err(e) => println!("  {}: {e}", nq.name),
+        }
+    }
+    Ok(())
+}

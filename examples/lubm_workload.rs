@@ -1,0 +1,73 @@
+//! The LUBM-like workload, end to end: generate a university graph,
+//! answer the paper's motivating query q1 and a sample of the Q01–Q28
+//! workload under every strategy, and print a Figure-4-style
+//! comparison.
+//!
+//! Run with: `cargo run --release --example lubm_workload [universities]`
+
+use std::time::Duration;
+
+use jucq_core::{AnswerError, CostSource, RdfDatabase, Strategy};
+use jucq_datagen::lubm;
+use jucq_store::EngineProfile;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let universities: usize = std::env::args()
+        .nth(1)
+        .map(|a| a.parse())
+        .transpose()?
+        .unwrap_or(1);
+
+    eprintln!("generating LUBM-like data for {universities} university(ies)...");
+    let graph = lubm::generate(&lubm::LubmConfig::new(universities));
+    eprintln!("  {} data triples", graph.len());
+
+    let mut db = RdfDatabase::from_graph(graph, EngineProfile::pg_like());
+    eprintln!("preparing stores (plain + saturated) and calibrating...");
+    db.prepare();
+
+    let strategies: Vec<Strategy> = vec![
+        Strategy::Saturation,
+        Strategy::Ucq,
+        Strategy::Scq,
+        Strategy::GCov {
+            budget: Duration::from_secs(10),
+            max_moves: 2_000,
+            cost: CostSource::Paper,
+        },
+    ];
+
+    let mut queries = lubm::motivating_queries();
+    for name in ["Q01", "Q05", "Q08", "Q10", "Q14", "Q22"] {
+        queries.extend(lubm::workload().into_iter().filter(|q| q.name == name));
+    }
+
+    println!("\n{:<4} {:>12} {:>12} {:>12} {:>12}   (evaluation ms; F = engine failure)", "", "SAT", "UCQ", "SCQ", "GCov");
+    for nq in &queries {
+        let q = db.parse_query(&nq.sparql)?;
+        print!("{:<4}", nq.name);
+        for s in &strategies {
+            match db.answer(&q, s) {
+                Ok(r) => print!(" {:>12.1}", r.eval_time.as_secs_f64() * 1e3),
+                Err(AnswerError::Engine(e)) => {
+                    let tag = if e.to_string().contains("stack depth") { "F(union)" } else { "F" };
+                    print!(" {tag:>12}");
+                }
+                Err(e) => print!(" {:>12}", format!("{e:.8}")),
+            }
+        }
+        println!();
+    }
+
+    // Show the chosen cover for q1 — the paper's Table 2 story.
+    let q1 = db.parse_query(&lubm::motivating_queries()[0].sparql)?;
+    let report = db.answer(&q1, &Strategy::gcov_default())?;
+    println!(
+        "\nGCov chose cover {} for q1 ({} union terms, {} covers explored, {} answers)",
+        report.cover.as_ref().expect("cover-based strategy"),
+        report.union_terms,
+        report.covers_explored.unwrap_or(0),
+        report.rows.len(),
+    );
+    Ok(())
+}

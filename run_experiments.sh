@@ -1,0 +1,24 @@
+#!/bin/bash
+# Regenerate every table and figure; outputs under results/.
+# Prerequisite: cargo build --release --workspace --bins
+set -u
+cd "$(dirname "$0")"
+mkdir -p results
+BIN=./target/release
+for exp in table1 table2 table3 calibrate fig4 fig7 updates ablation est_quality; do
+  echo "=== $exp ==="
+  $BIN/$exp > results/$exp.txt 2> results/$exp.log && echo OK || echo FAILED
+done
+echo "=== table4 ==="
+$BIN/table4 > results/table4.txt 2> results/table4.log && echo OK || echo FAILED
+echo "=== fig6 ==="
+$BIN/fig6 > results/fig6.txt 2> results/fig6.log && echo OK || echo FAILED
+echo "=== fig8 ==="
+$BIN/fig8 > results/fig8.txt 2> results/fig8.log && echo OK || echo FAILED
+echo "=== fig9 ==="
+$BIN/fig9 > results/fig9.txt 2> results/fig9.log && echo OK || echo FAILED
+echo "=== fig10 ==="
+$BIN/fig10 8 8 > results/fig10.txt 2> results/fig10.log && echo OK || echo FAILED
+echo "=== fig5 ==="
+$BIN/fig5 12 > results/fig5.txt 2> results/fig5.log && echo OK || echo FAILED
+echo ALL DONE

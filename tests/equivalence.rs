@@ -1,0 +1,132 @@
+//! Cross-crate gold test: every answering strategy computes the same
+//! answer set on the full benchmark workloads.
+//!
+//! This is the paper's core correctness claim, exercised end to end:
+//! `q(db∞) = q_ref(db) = q_JUCQ(db)` for UCQ, SCQ and every
+//! ECov/GCov-chosen JUCQ (Theorem 3.1 + the reformulation algorithm).
+
+use jucq_core::{RdfDatabase, Strategy};
+use jucq_datagen::{dblp, lubm};
+use jucq_store::{EngineProfile, Relation};
+
+/// A permissive profile so the fixed reformulations rarely fail on the
+/// small test scale. Some queries (q2, Q28) have six-figure UCQ
+/// reformulations that are genuinely infeasible — the paper could not
+/// evaluate them either — so evaluation keeps a real deadline.
+fn permissive() -> EngineProfile {
+    EngineProfile::pg_like()
+        .with_max_union_terms(2_000_000)
+        .with_memory_budget(100_000_000)
+        .with_timeout(std::time::Duration::from_secs(30))
+}
+
+fn sorted_rows(mut r: Relation) -> Vec<Vec<jucq_model::TermId>> {
+    r.sort();
+    r.to_rows()
+}
+
+fn check_workload(db: &mut RdfDatabase, queries: &[jucq_datagen::NamedQuery]) {
+    let mut ucq_ok = 0usize;
+    for nq in queries {
+        let q = db.parse_query(&nq.sparql).expect("workload query parses");
+        let reference = sorted_rows(
+            db.answer(&q, &Strategy::Saturation)
+                .unwrap_or_else(|e| panic!("{}: saturation failed: {e}", nq.name))
+                .rows,
+        );
+        for strategy in [Strategy::Ucq, Strategy::Scq, Strategy::gcov_default()] {
+            let got = match db.answer(&q, &strategy) {
+                Ok(r) => sorted_rows(r.rows),
+                // UCQ/SCQ may legitimately exceed engine limits (the
+                // paper's missing bars); GCov must always complete —
+                // that is the paper's headline claim.
+                Err(jucq_core::AnswerError::Engine(e)) if strategy.name() != "GCov" => {
+                    eprintln!("{}: {} skipped ({e})", nq.name, strategy.name());
+                    continue;
+                }
+                Err(e) => panic!("{}: {} failed: {e}", nq.name, strategy.name()),
+            };
+            if strategy.name() == "UCQ" {
+                ucq_ok += 1;
+            }
+            assert_eq!(
+                got.len(),
+                reference.len(),
+                "{}: {} row count differs from saturation",
+                nq.name,
+                strategy.name()
+            );
+            assert_eq!(got, reference, "{}: {} rows differ", nq.name, strategy.name());
+        }
+    }
+    assert!(
+        ucq_ok * 4 >= queries.len() * 3,
+        "UCQ must succeed on at least 3/4 of the workload ({ucq_ok}/{})",
+        queries.len()
+    );
+}
+
+#[test]
+fn lubm_all_strategies_agree_on_all_queries() {
+    // A deliberately small scale so the full 28-query × 4-strategy
+    // matrix (including the six-figure-union Q28) stays fast.
+    let graph = lubm::generate(&lubm::LubmConfig { universities: 1, seed: 42 });
+    let mut db = RdfDatabase::from_graph(graph, permissive());
+    db.set_cost_constants(Default::default());
+    let mut queries = lubm::motivating_queries();
+    queries.extend(lubm::workload());
+    check_workload(&mut db, &queries);
+}
+
+#[test]
+fn dblp_all_strategies_agree_on_all_queries() {
+    let graph = dblp::generate(&dblp::DblpConfig { authors: 300, seed: 42 });
+    let mut db = RdfDatabase::from_graph(graph, permissive());
+    db.set_cost_constants(Default::default());
+    check_workload(&mut db, &dblp::workload());
+}
+
+#[test]
+fn ecov_agrees_on_a_sample() {
+    // ECov on every query would be slow; sample the interesting ones.
+    let graph = lubm::generate(&lubm::LubmConfig { universities: 1, seed: 42 });
+    let mut db = RdfDatabase::from_graph(graph, permissive());
+    db.set_cost_constants(Default::default());
+    for name in ["q1", "Q08", "Q15", "Q22"] {
+        let nq = lubm::motivating_queries()
+            .into_iter()
+            .chain(lubm::workload())
+            .find(|q| q.name == name)
+            .expect("known query");
+        let q = db.parse_query(&nq.sparql).unwrap();
+        let sat = sorted_rows(db.answer(&q, &Strategy::Saturation).unwrap().rows);
+        let ecov = sorted_rows(db.answer(&q, &Strategy::ecov_default()).unwrap().rows);
+        assert_eq!(sat, ecov, "{name}: ECov JUCQ differs from saturation");
+    }
+}
+
+#[test]
+fn strategies_agree_across_engine_profiles() {
+    // The three RDBMS-like profiles (different join algorithms and
+    // materialization policies) must not change answers — only
+    // performance and failure behaviour.
+    let graph = lubm::generate(&lubm::LubmConfig { universities: 1, seed: 7 });
+    let mut reference: Option<Vec<Vec<jucq_model::TermId>>> = None;
+    for profile in EngineProfile::rdbms_trio() {
+        let mut db = RdfDatabase::from_graph(
+            graph.clone(),
+            profile
+                .with_max_union_terms(2_000_000)
+                .with_memory_budget(100_000_000)
+                .with_timeout(std::time::Duration::from_secs(300)),
+        );
+        db.set_cost_constants(Default::default());
+        let nq = &lubm::workload()[7]; // Q08: selective two-atom query.
+        let q = db.parse_query(&nq.sparql).unwrap();
+        let rows = sorted_rows(db.answer(&q, &Strategy::Ucq).unwrap().rows);
+        match &reference {
+            None => reference = Some(rows),
+            Some(r) => assert_eq!(r, &rows),
+        }
+    }
+}

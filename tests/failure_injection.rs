@@ -1,0 +1,102 @@
+//! Failure injection: engine limits must surface as typed errors (the
+//! figures' missing bars), never as panics, and the cost-based
+//! strategies must keep working where the fixed reformulations fail.
+
+use std::time::Duration;
+
+use jucq_core::{AnswerError, RdfDatabase, Strategy};
+use jucq_datagen::lubm;
+use jucq_store::{EngineError, EngineProfile};
+
+fn graph() -> jucq_model::Graph {
+    lubm::generate(&lubm::LubmConfig { universities: 1, seed: 42 })
+}
+
+#[test]
+fn union_limit_failure_is_typed() {
+    let mut db = RdfDatabase::from_graph(graph(), EngineProfile::pg_like().with_max_union_terms(10));
+    db.set_cost_constants(Default::default());
+    let q = db.parse_query(&lubm::motivating_queries()[0].sparql).unwrap();
+    match db.answer(&q, &Strategy::Ucq) {
+        Err(AnswerError::Engine(EngineError::UnionTooLarge { limit: 10, .. })) => {}
+        other => panic!("expected UnionTooLarge, got {other:?}"),
+    }
+}
+
+#[test]
+fn memory_budget_failure_is_typed() {
+    let mut db = RdfDatabase::from_graph(graph(), EngineProfile::pg_like().with_memory_budget(50));
+    db.set_cost_constants(Default::default());
+    // Q03 (all people) produces thousands of rows.
+    let nq = lubm::workload().into_iter().find(|q| q.name == "Q03").unwrap();
+    let q = db.parse_query(&nq.sparql).unwrap();
+    match db.answer(&q, &Strategy::Ucq) {
+        Err(AnswerError::Engine(EngineError::MemoryBudgetExceeded { budget: 50, .. })) => {}
+        other => panic!("expected MemoryBudgetExceeded, got {other:?}"),
+    }
+}
+
+#[test]
+fn timeout_failure_is_typed() {
+    let mut db = RdfDatabase::from_graph(
+        graph(),
+        EngineProfile::mysql_like().with_timeout(Duration::from_millis(1)),
+    );
+    db.set_cost_constants(Default::default());
+    // SCQ on q2 under block-nested-loop joins: guaranteed to exceed 1ms.
+    let q = db.parse_query(&lubm::motivating_queries()[1].sparql).unwrap();
+    match db.answer(&q, &Strategy::Scq) {
+        Err(AnswerError::Engine(EngineError::Timeout { .. })) => {}
+        Ok(r) => panic!("expected timeout, finished with {} rows", r.rows.len()),
+        Err(other) => panic!("expected Timeout, got {other}"),
+    }
+}
+
+#[test]
+fn gcov_succeeds_where_ucq_fails() {
+    // The paper's headline: "our technique enables reformulation-based
+    // query answering where the state-of-the-art approaches are simply
+    // unfeasible". db2-like rejects q1's ~2k-member UCQ at limit 800;
+    // GCov picks a cover whose fragments fit.
+    let mut db =
+        RdfDatabase::from_graph(graph(), EngineProfile::db2_like().with_max_union_terms(800));
+    db.set_cost_constants(Default::default());
+    let q = db.parse_query(&lubm::motivating_queries()[0].sparql).unwrap();
+    assert!(matches!(
+        db.answer(&q, &Strategy::Ucq),
+        Err(AnswerError::Engine(EngineError::UnionTooLarge { .. }))
+    ));
+    let g = db
+        .answer(
+            &q,
+            &Strategy::GCov {
+                budget: Duration::from_secs(10),
+                max_moves: 2_000,
+                cost: jucq_core::CostSource::Paper,
+            },
+        )
+        .expect("GCov finds a feasible cover");
+    assert!(!g.rows.is_empty());
+
+    // And the answers match a permissive engine's UCQ answers.
+    let mut wide = RdfDatabase::from_graph(graph(), EngineProfile::pg_like());
+    wide.set_cost_constants(Default::default());
+    let qw = wide.parse_query(&lubm::motivating_queries()[0].sparql).unwrap();
+    let mut reference = wide.answer(&qw, &Strategy::Ucq).unwrap().rows;
+    let mut got = g.rows;
+    reference.sort();
+    got.sort();
+    assert_eq!(got, reference);
+}
+
+#[test]
+fn failures_do_not_poison_the_database() {
+    // After a failure the same database must answer other queries.
+    let mut db = RdfDatabase::from_graph(graph(), EngineProfile::pg_like().with_max_union_terms(5));
+    db.set_cost_constants(Default::default());
+    let q1 = db.parse_query(&lubm::motivating_queries()[0].sparql).unwrap();
+    assert!(db.answer(&q1, &Strategy::Ucq).is_err());
+    let nq = lubm::workload().into_iter().find(|q| q.name == "Q01").unwrap();
+    let q = db.parse_query(&nq.sparql).unwrap();
+    assert!(db.answer(&q, &Strategy::Ucq).is_ok(), "Q01 has a single-term union");
+}

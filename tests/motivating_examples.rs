@@ -1,0 +1,168 @@
+//! Reproduce the *shapes* of the paper's motivating examples
+//! (Section 3, Tables 1–3) on the LUBM-like dataset:
+//!
+//! * per-triple reformulation counts: `degreeFrom` → 4, `memberOf` → 3,
+//!   and a large count for the class-variable atom (paper: 188);
+//! * cover-based reformulation sizes combine per-fragment products and
+//!   across-fragment sums (Table 2's arithmetic);
+//! * the motivating query q2's UCQ reformulation is too large for the
+//!   strict engines.
+
+use jucq_core::{AnswerError, RdfDatabase, Strategy};
+use jucq_datagen::lubm;
+use jucq_reformulation::Cover;
+use jucq_store::{EngineError, EngineProfile};
+
+fn db() -> RdfDatabase {
+    let graph = lubm::generate(&lubm::LubmConfig { universities: 1, seed: 42 });
+    let mut db = RdfDatabase::from_graph(
+        graph,
+        EngineProfile::pg_like()
+            .with_max_union_terms(1_000_000)
+            .with_memory_budget(100_000_000),
+    );
+    db.set_cost_constants(Default::default());
+    db
+}
+
+/// Per-fragment union sizes for q1, computed through FixedCover runs.
+fn q1_terms(db: &mut RdfDatabase, fragments: Vec<Vec<usize>>) -> usize {
+    let q1 = db
+        .parse_query(&lubm::motivating_queries()[0].sparql)
+        .unwrap();
+    let cover = Cover::new(&q1, fragments).unwrap();
+    db.answer(&q1, &Strategy::FixedCover(cover)).unwrap().union_terms
+}
+
+#[test]
+fn table1_per_triple_reformulation_counts() {
+    let mut db = db();
+    // t2 alone: |(t2)_ref| = 4 (degreeFrom + 3 subproperties); t3: 3.
+    let scq_terms = {
+        let q1 = db.parse_query(&lubm::motivating_queries()[0].sparql).unwrap();
+        db.answer(&q1, &Strategy::Scq).unwrap().union_terms
+    };
+    let ucq_terms = {
+        let q1 = db.parse_query(&lubm::motivating_queries()[0].sparql).unwrap();
+        db.answer(&q1, &Strategy::Ucq).unwrap().union_terms
+    };
+    // SCQ = t1 + 4 + 3; UCQ = t1 × 4 × 3 (paper: 195 and 2256 with
+    // t1 = 188).
+    let t1 = scq_terms - 7;
+    assert!(t1 > 50, "class-variable atom reformulates widely (got {t1})");
+    assert_eq!(ucq_terms, t1 * 12, "Table 1/2 product arithmetic");
+}
+
+#[test]
+fn table2_cover_sizes_follow_sum_of_products() {
+    let mut db = db();
+    let t1 = q1_terms(&mut db, vec![vec![0], vec![1, 2]]) - 12; // t1 + 4×3
+    let each = [
+        (vec![vec![0, 1, 2]], t1 * 12),             // (t1,t2,t3)
+        (vec![vec![0], vec![1], vec![2]], t1 + 7),  // (t1)(t2)(t3)
+        (vec![vec![0, 1], vec![2]], t1 * 4 + 3),    // (t1,t2)(t3)
+        (vec![vec![0], vec![1, 2]], t1 + 12),       // (t1)(t2,t3)
+        (vec![vec![0, 2], vec![1]], t1 * 3 + 4),    // (t1,t3)(t2)
+        (vec![vec![0, 1], vec![0, 2]], t1 * 4 + t1 * 3),
+        (vec![vec![0, 1], vec![1, 2]], t1 * 4 + 12),
+        (vec![vec![0, 2], vec![1, 2]], t1 * 3 + 12),
+    ];
+    for (fragments, expected) in each {
+        let got = q1_terms(&mut db, fragments.clone());
+        assert_eq!(got, expected, "cover {fragments:?}");
+    }
+}
+
+#[test]
+fn table2_all_covers_return_identical_answers() {
+    let mut db = db();
+    let q1 = db.parse_query(&lubm::motivating_queries()[0].sparql).unwrap();
+    let reference = {
+        let mut r = db.answer(&q1, &Strategy::Saturation).unwrap().rows;
+        r.sort();
+        r
+    };
+    for fragments in [
+        vec![vec![0, 1, 2]],
+        vec![vec![0], vec![1], vec![2]],
+        vec![vec![0, 1], vec![2]],
+        vec![vec![0], vec![1, 2]],
+        vec![vec![0, 2], vec![1]],
+        vec![vec![0, 1], vec![0, 2]],
+        vec![vec![0, 1], vec![1, 2]],
+        vec![vec![0, 2], vec![1, 2]],
+    ] {
+        let cover = Cover::new(&q1, fragments.clone()).unwrap();
+        let mut rows = db.answer(&q1, &Strategy::FixedCover(cover)).unwrap().rows;
+        rows.sort();
+        assert_eq!(rows, reference, "cover {fragments:?} (Theorem 3.1)");
+    }
+}
+
+#[test]
+fn q2_ucq_fails_on_strict_engines_but_jucq_completes() {
+    // The paper: q2's 318,096-member UCQ "could not be evaluated"
+    // (stack-depth error), while the well-grouped JUCQ runs in 524 ms.
+    let graph = lubm::generate(&lubm::LubmConfig { universities: 1, seed: 42 });
+    let mut db = RdfDatabase::from_graph(graph, EngineProfile::db2_like());
+    db.set_cost_constants(Default::default());
+    let q2 = db.parse_query(&lubm::motivating_queries()[1].sparql).unwrap();
+    match db.answer(&q2, &Strategy::Ucq) {
+        Err(AnswerError::Engine(EngineError::UnionTooLarge { terms, limit })) => {
+            assert!(terms > limit);
+        }
+        other => panic!("expected UnionTooLarge, got {other:?}"),
+    }
+    let g = db.answer(&q2, &Strategy::gcov_default()).expect("GCov JUCQ runs");
+    assert!(g.union_terms <= 2_000, "chosen JUCQ fits the engine");
+}
+
+#[test]
+fn overlapping_cover_joins_on_shared_atom_variables() {
+    // Regression for Definition 3.4: in q(w):- (x p y)(y q z)(z r w)
+    // under the overlapping cover {{t1,t2},{t2,t3}}, the shared atom t2
+    // belongs to BOTH fragments, so its variables y and z must be in
+    // both heads. With complement-based heads the fragments join on
+    // nothing and the JUCQ wrongly returns d2.
+    let mut db = RdfDatabase::with_profile(EngineProfile::pg_like());
+    db.set_cost_constants(Default::default());
+    db.load_turtle(
+        r#"
+        <http://a1> <http://p> <http://b1> .
+        <http://b1> <http://q> <http://c1> .
+        <http://b2> <http://q> <http://c2> .
+        <http://c1> <http://r> <http://d1> .
+        <http://c2> <http://r> <http://d2> .
+        "#,
+    )
+    .unwrap();
+    let q = db
+        .parse_query(
+            "SELECT ?w WHERE { ?x <http://p> ?y . ?y <http://q> ?z . ?z <http://r> ?w }",
+        )
+        .unwrap();
+    let sat = db.answer(&q, &Strategy::Saturation).unwrap();
+    assert_eq!(sat.rows.len(), 1, "only d1 is reachable from a1");
+    let cover = Cover::new(&q, vec![vec![0, 1], vec![1, 2]]).unwrap();
+    let r = db.answer(&q, &Strategy::FixedCover(cover)).unwrap();
+    let rows = db.decode_rows(&r.rows);
+    assert_eq!(rows.len(), 1, "overlapping cover must not cross-multiply");
+    assert_eq!(rows[0][0].to_string(), "<http://d1>");
+}
+
+#[test]
+fn q1_reformulated_answers_exceed_direct_evaluation() {
+    // Table 1: (t2) has 0 explicit answers but thousands after
+    // reformulation — here: degreeFrom has no explicit triples (only
+    // its subproperties are asserted).
+    let mut db = db();
+    let sparql = format!(
+        "PREFIX ub: <{}>\nSELECT ?x WHERE {{ ?x ub:degreeFrom <http://www.univ0.jucq.org> }}",
+        lubm::NS
+    );
+    let q = db.parse_query(&sparql).unwrap();
+    let direct = db.plain_store().eval_cq(&q.to_store_cq()).unwrap().relation.len();
+    let reformulated = db.answer(&q, &Strategy::Ucq).unwrap().rows.len();
+    assert_eq!(direct, 0, "degreeFrom is never asserted directly");
+    assert!(reformulated > 0, "answers only exist through the subproperties");
+}

@@ -1,0 +1,139 @@
+//! Property tests of the optimizer layer: the cost model behaves like a
+//! cost model (non-negative, monotone in obvious dimensions), and the
+//! cover-search algorithms return valid covers whose reported costs are
+//! reproducible.
+
+use proptest::prelude::*;
+use std::time::Duration;
+
+use jucq_core::reformulation::reformulate::ReformulationEnv;
+use jucq_core::RdfDatabase;
+use jucq_model::{Graph, Term, Triple, vocab};
+use jucq_optimizer::{ecov, gcov, CostConstants, CoverSearch, PaperCostModel};
+use jucq_reformulation::BgpQuery;
+use jucq_store::{EngineProfile, PatternTerm, StorePattern};
+
+/// A small deterministic dataset with hierarchy and selectivity skew.
+fn database(seed: u64) -> RdfDatabase {
+    let mut g = Graph::new();
+    let t = |s: String, p: String, o: String| {
+        Triple::new(Term::uri(s), Term::uri(p), Term::uri(o))
+    };
+    g.insert(&t("C1".into(), vocab::RDFS_SUBCLASS_OF.into(), "C0".into()));
+    g.insert(&t("C2".into(), vocab::RDFS_SUBCLASS_OF.into(), "C1".into()));
+    g.insert(&t("p1".into(), vocab::RDFS_DOMAIN.into(), "C0".into()));
+    g.insert(&t("p2".into(), vocab::RDFS_RANGE.into(), "C2".into()));
+    g.insert(&t("p3".into(), vocab::RDFS_SUBPROPERTY_OF.into(), "p1".into()));
+    // Data with a seed-dependent skew.
+    let n = 200 + (seed % 100) as usize;
+    for i in 0..n {
+        g.insert(&t(format!("e{i}"), "p1".into(), format!("v{}", i % 7)));
+        if i % 3 == 0 {
+            g.insert(&t(format!("e{i}"), "p2".into(), format!("e{}", (i + 1) % n)));
+        }
+        if i % 11 == 0 {
+            g.insert(&t(format!("e{i}"), "p3".into(), format!("v{}", i % 5)));
+        }
+        g.insert(&t(
+            format!("e{i}"),
+            vocab::RDF_TYPE.into(),
+            format!("C{}", i % 3),
+        ));
+    }
+    let mut db = RdfDatabase::from_graph(g, EngineProfile::pg_like());
+    db.set_cost_constants(CostConstants::default());
+    db.prepare();
+    db
+}
+
+fn three_atom_query(db: &mut RdfDatabase) -> BgpQuery {
+    let ty = db.rdf_type();
+    let c0 = db.intern_uri("C0");
+    let p1 = db.intern_uri("p1");
+    let p2 = db.intern_uri("p2");
+    BgpQuery::new(
+        vec![0],
+        vec![
+            StorePattern::new(PatternTerm::Var(0), PatternTerm::Const(ty), PatternTerm::Const(c0)),
+            StorePattern::new(PatternTerm::Var(0), PatternTerm::Const(p1), PatternTerm::Var(1)),
+            StorePattern::new(PatternTerm::Var(0), PatternTerm::Const(p2), PatternTerm::Var(2)),
+        ],
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn costs_are_positive_and_scale_with_constants(seed in 0u64..50) {
+        let mut db = database(seed);
+        let q = three_atom_query(&mut db);
+        let rdf_type = db.rdf_type();
+        let closure = db.closure().clone();
+        let env = ReformulationEnv { closure: &closure, rdf_type };
+        let store = db.plain_store();
+
+        let base = CostConstants::default();
+        let mut doubled = base;
+        doubled.c_t *= 2.0;
+        doubled.c_j *= 2.0;
+        doubled.c_l *= 2.0;
+        doubled.c_m *= 2.0;
+        doubled.c_k *= 2.0;
+        doubled.c_db *= 2.0;
+
+        let m1 = PaperCostModel::new(store.table(), store.stats(), base);
+        let m2 = PaperCostModel::new(store.table(), store.stats(), doubled);
+        let s1 = CoverSearch::new(&q, env, &m1);
+        let s2 = CoverSearch::new(&q, env, &m2);
+        let c1 = s1.cover_cost(&jucq_reformulation::Cover::singletons(&q).unwrap());
+        let c2 = s2.cover_cost(&jucq_reformulation::Cover::singletons(&q).unwrap());
+        prop_assert!(c1 > 0.0 && c1.is_finite());
+        prop_assert!((c2 / c1 - 2.0).abs() < 1e-6, "cost is linear in the constants: {c2} vs {c1}");
+    }
+
+    #[test]
+    fn gcov_never_beats_its_own_reported_cost(seed in 0u64..50) {
+        let mut db = database(seed);
+        let q = three_atom_query(&mut db);
+        let rdf_type = db.rdf_type();
+        let closure = db.closure().clone();
+        let env = ReformulationEnv { closure: &closure, rdf_type };
+        let store = db.plain_store();
+        let model = PaperCostModel::new(store.table(), store.stats(), CostConstants::default());
+        let search = CoverSearch::new(&q, env, &model);
+        let r = gcov(&search, Duration::from_secs(10), 1_000);
+        // Re-costing the returned cover reproduces the reported value.
+        let again = search.cover_cost(&r.cover);
+        prop_assert!((again - r.estimated_cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ecov_at_least_matches_gcov_estimate(seed in 0u64..50) {
+        let mut db = database(seed);
+        let q = three_atom_query(&mut db);
+        let rdf_type = db.rdf_type();
+        let closure = db.closure().clone();
+        let env = ReformulationEnv { closure: &closure, rdf_type };
+        let store = db.plain_store();
+        let model = PaperCostModel::new(store.table(), store.stats(), CostConstants::default());
+        let s_e = CoverSearch::new(&q, env, &model);
+        let e = ecov(&s_e, Duration::from_secs(10));
+        let s_g = CoverSearch::new(&q, env, &model);
+        let g = gcov(&s_g, Duration::from_secs(10), 1_000);
+        prop_assert!(!e.truncated, "3-atom space is tiny");
+        prop_assert!(
+            e.estimated_cost <= g.estimated_cost + 1e-9,
+            "exhaustive optimum ({}) cannot exceed the greedy one ({})",
+            e.estimated_cost,
+            g.estimated_cost
+        );
+        // Both covers are valid covers of the query's atoms.
+        for r in [&e, &g] {
+            let mut covered: Vec<usize> = r.cover.fragments().into_iter().flatten().collect();
+            covered.sort_unstable();
+            covered.dedup();
+            prop_assert_eq!(covered, vec![0, 1, 2]);
+        }
+    }
+}

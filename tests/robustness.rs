@@ -1,0 +1,81 @@
+//! Robustness properties of the textual front ends: the SPARQL parser
+//! and the Turtle loader must never panic on arbitrary input, and the
+//! Turtle writer must round-trip arbitrary well-formed graphs.
+
+use proptest::prelude::*;
+
+use jucq_core::turtle;
+use jucq_model::{Dictionary, Graph, Term, Triple};
+
+/// URI-safe fragment: no angle brackets, whitespace or control chars
+/// (the loader's documented subset).
+fn uri_fragment() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-zA-Z0-9_/:.#-]{1,24}").expect("valid regex")
+}
+
+/// Literal content: printable, no newlines (one statement per line).
+fn literal_content() -> impl Strategy<Value = String> {
+    proptest::string::string_regex(r#"[ -~]{0,24}"#).expect("valid regex")
+}
+
+fn random_term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        uri_fragment().prop_map(|s| Term::uri(format!("http://t/{s}"))),
+        literal_content().prop_map(Term::literal),
+        proptest::string::string_regex("[a-zA-Z0-9]{1,8}")
+            .expect("valid regex")
+            .prop_map(Term::blank),
+    ]
+}
+
+fn random_triples() -> impl Strategy<Value = Vec<Triple>> {
+    proptest::collection::vec(
+        (random_term(), uri_fragment(), random_term())
+            .prop_map(|(s, p, o)| Triple::new(s, Term::uri(format!("http://t/{p}")), o)),
+        0..20,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn sparql_parser_never_panics(input in ".{0,200}") {
+        let mut dict = Dictionary::new();
+        let _ = jucq_core::parser::parse_query(&mut dict, &input);
+    }
+
+    #[test]
+    fn sparql_parser_handles_query_shaped_garbage(
+        vars in proptest::collection::vec("[a-z]{1,4}", 1..4),
+        body in "[ -~]{0,120}",
+    ) {
+        let mut dict = Dictionary::new();
+        let select: Vec<String> = vars.iter().map(|v| format!("?{v}")).collect();
+        let text = format!("SELECT {} WHERE {{ {} }}", select.join(" "), body);
+        let _ = jucq_core::parser::parse_query(&mut dict, &text);
+    }
+
+    #[test]
+    fn turtle_loader_never_panics(input in ".{0,300}") {
+        let mut g = Graph::new();
+        let _ = turtle::load(&mut g, &input);
+    }
+
+    #[test]
+    fn turtle_write_load_round_trips(triples in random_triples()) {
+        let mut g = Graph::new();
+        g.extend(&triples);
+        let text = turtle::write(&g);
+        let mut g2 = Graph::new();
+        turtle::load(&mut g2, &text).expect("writer output loads");
+        let decode_all = |g: &Graph| {
+            let mut v: Vec<String> =
+                g.data().iter().map(|t| g.decode(t).to_string()).collect();
+            v.sort();
+            v
+        };
+        prop_assert_eq!(decode_all(&g), decode_all(&g2));
+        prop_assert_eq!(g.len(), g2.len());
+    }
+}
