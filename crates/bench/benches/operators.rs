@@ -17,9 +17,8 @@ fn id(i: u32) -> TermId {
 }
 
 fn table(n: u32) -> TripleTable {
-    let triples: Vec<TripleId> = (0..n)
-        .map(|i| TripleId::new(id(i), id(1_000_000 + i % 8), id(i % 1024)))
-        .collect();
+    let triples: Vec<TripleId> =
+        (0..n).map(|i| TripleId::new(id(i), id(1_000_000 + i % 8), id(i % 1024))).collect();
     TripleTable::build(&triples)
 }
 

@@ -8,7 +8,9 @@ use std::hint::black_box;
 use jucq_core::RdfDatabase;
 use jucq_datagen::lubm;
 use jucq_model::SchemaClosure;
-use jucq_reformulation::reformulate::{reformulate_fixpoint, reformulate_with_limit, ReformulationEnv};
+use jucq_reformulation::reformulate::{
+    reformulate_fixpoint, reformulate_with_limit, ReformulationEnv,
+};
 use jucq_reformulation::BgpQuery;
 use jucq_store::EngineProfile;
 
@@ -36,9 +38,7 @@ fn bench_reformulate(c: &mut Criterion) {
     g.sample_size(20);
 
     g.bench_function("type_variable_atom", |b| {
-        b.iter(|| {
-            black_box(reformulate_with_limit(&f.type_atom, &env, usize::MAX).unwrap().len())
-        });
+        b.iter(|| black_box(reformulate_with_limit(&f.type_atom, &env, usize::MAX).unwrap().len()));
     });
     g.bench_function("q1_product_fast_path", |b| {
         b.iter(|| black_box(reformulate_with_limit(&f.q1, &env, usize::MAX).unwrap().len()));

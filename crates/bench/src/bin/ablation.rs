@@ -19,6 +19,7 @@ use jucq_optimizer::{gcov, CoverSearch, PaperCostModel};
 use jucq_store::EngineProfile;
 
 fn main() {
+    let _obs = jucq_bench::harness::obs_sidecar("ablation");
     let universities = arg_scale(1, 4);
     eprintln!("building LUBM-like({universities})...");
     let mut db = lubm_db(universities, EngineProfile::pg_like());
@@ -80,13 +81,7 @@ fn main() {
             Cell::Time { union_terms, .. } => union_terms.to_string(),
             Cell::Failed(_) => "-".into(),
         };
-        rows.push(vec![
-            nq.name.clone(),
-            terms(&full),
-            full.render(),
-            terms(&min),
-            min.render(),
-        ]);
+        rows.push(vec![nq.name.clone(), terms(&full), full.render(), terms(&min), min.render()]);
     }
     println!(
         "{}",

@@ -7,6 +7,7 @@ use jucq_bench::harness::{arg_scale, lubm_db, render_table, switch_profile};
 use jucq_store::EngineProfile;
 
 fn main() {
+    let _obs = jucq_bench::harness::obs_sidecar("calibrate");
     let universities = arg_scale(1, 2);
     eprintln!("building LUBM-like({universities})...");
     let mut db = lubm_db(universities, EngineProfile::pg_like());
@@ -30,7 +31,15 @@ fn main() {
         "{}",
         render_table(
             &format!("Calibrated cost constants ({} triples)", db.graph().len()),
-            &["engine".into(), "c_db".into(), "c_t".into(), "c_j".into(), "c_m".into(), "c_l".into(), "c_k".into()],
+            &[
+                "engine".into(),
+                "c_db".into(),
+                "c_t".into(),
+                "c_j".into(),
+                "c_m".into(),
+                "c_l".into(),
+                "c_k".into()
+            ],
             &rows,
         )
     );

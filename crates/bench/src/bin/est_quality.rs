@@ -27,6 +27,7 @@ fn q_error(est: f64, actual: f64) -> f64 {
 }
 
 fn main() {
+    let _obs = jucq_bench::harness::obs_sidecar("est_quality");
     let universities = arg_scale(1, 2);
     eprintln!("building LUBM-like({universities})...");
     let mut db = lubm_db(universities, EngineProfile::pg_like());
@@ -89,12 +90,7 @@ fn main() {
                 "Estimator q-errors on UCQ result sizes (LUBM-like, {} triples)",
                 db.graph().len()
             ),
-            &[
-                "q".into(),
-                "member-sum q-err".into(),
-                "template q-err".into(),
-                "actual rows".into(),
-            ],
+            &["q".into(), "member-sum q-err".into(), "template q-err".into(), "actual rows".into(),],
             &rows,
         )
     );

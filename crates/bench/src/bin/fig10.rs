@@ -10,9 +10,7 @@
 //!
 //! Run: `cargo run --release -p jucq-bench --bin fig10 [small] [large]`
 
-use jucq_bench::harness::{
-    arg_scale, lubm_db, render_table, run_strategy, switch_profile,
-};
+use jucq_bench::harness::{arg_scale, lubm_db, render_table, run_strategy, switch_profile};
 use jucq_core::Strategy;
 use jucq_datagen::{lubm, NamedQuery};
 use jucq_store::EngineProfile;
@@ -40,7 +38,9 @@ fn run_scale(universities: usize, label: &str) {
     println!(
         "{}",
         render_table(
-            &format!("Figure 10({label}): reformulation vs saturation, LUBM-like ({universities} univ)"),
+            &format!(
+                "Figure 10({label}): reformulation vs saturation, LUBM-like ({universities} univ)"
+            ),
             &[
                 "q".into(),
                 "UCQ (ms)".into(),
@@ -54,6 +54,7 @@ fn run_scale(universities: usize, label: &str) {
 }
 
 fn main() {
+    let _obs = jucq_bench::harness::obs_sidecar("fig10");
     let small = arg_scale(1, 4);
     let large = arg_scale(2, 12);
     run_scale(small, "a");

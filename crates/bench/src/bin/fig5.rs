@@ -12,6 +12,7 @@ use jucq_datagen::{lubm, NamedQuery};
 use jucq_store::EngineProfile;
 
 fn main() {
+    let _obs = jucq_bench::harness::obs_sidecar("fig5");
     let universities = arg_scale(1, 12);
     eprintln!("building LUBM-like({universities})...");
     let mut db = lubm_db(universities, EngineProfile::pg_like());

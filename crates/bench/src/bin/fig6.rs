@@ -12,6 +12,7 @@ use jucq_datagen::dblp;
 use jucq_store::EngineProfile;
 
 fn main() {
+    let _obs = jucq_bench::harness::obs_sidecar("fig6");
     let authors = arg_scale(1, 6_000);
     eprintln!("building DBLP-like({authors} authors)...");
     let mut db = dblp_db(authors, EngineProfile::pg_like());

@@ -50,6 +50,7 @@ fn explore_row(db: &mut RdfDatabase, nq: &NamedQuery) -> Vec<String> {
 }
 
 fn main() {
+    let _obs = jucq_bench::harness::obs_sidecar("fig7");
     let universities = arg_scale(1, 2);
     eprintln!("building LUBM-like({universities})...");
     let mut db = lubm_db(universities, EngineProfile::pg_like());
@@ -65,7 +66,10 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &format!("Figure 7: covers explored & algorithm time, LUBM-like ({} triples)", db.graph().len()),
+            &format!(
+                "Figure 7: covers explored & algorithm time, LUBM-like ({} triples)",
+                db.graph().len()
+            ),
             &[
                 "q".into(),
                 "ECov #covers".into(),

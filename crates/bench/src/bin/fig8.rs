@@ -13,6 +13,7 @@ use jucq_datagen::dblp;
 use jucq_store::EngineProfile;
 
 fn main() {
+    let _obs = jucq_bench::harness::obs_sidecar("fig8");
     let authors = arg_scale(1, 2_000);
     eprintln!("building DBLP-like({authors} authors)...");
     let mut db = dblp_db(authors, EngineProfile::pg_like());
@@ -36,8 +37,17 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &format!("Figure 8: covers explored & algorithm time, DBLP-like ({} triples)", db.graph().len()),
-            &["q".into(), "ECov #covers".into(), "GCov #covers".into(), "ECov (ms)".into(), "GCov (ms)".into()],
+            &format!(
+                "Figure 8: covers explored & algorithm time, DBLP-like ({} triples)",
+                db.graph().len()
+            ),
+            &[
+                "q".into(),
+                "ECov #covers".into(),
+                "GCov #covers".into(),
+                "ECov (ms)".into(),
+                "GCov (ms)".into()
+            ],
             &rows,
         )
     );

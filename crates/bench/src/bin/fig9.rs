@@ -17,6 +17,7 @@ use jucq_datagen::{lubm, NamedQuery};
 use jucq_store::EngineProfile;
 
 fn main() {
+    let _obs = jucq_bench::harness::obs_sidecar("fig9");
     let universities = arg_scale(1, 4);
     eprintln!("building LUBM-like({universities})...");
     let mut db = lubm_db(universities, EngineProfile::pg_like());
@@ -24,9 +25,26 @@ fn main() {
 
     let strategies = [
         ("ECov/paper", Strategy::ECov { budget: Duration::from_secs(30), cost: CostSource::Paper }),
-        ("ECov/engine", Strategy::ECov { budget: Duration::from_secs(30), cost: CostSource::Engine }),
-        ("GCov/paper", Strategy::GCov { budget: Duration::from_secs(10), max_moves: 10_000, cost: CostSource::Paper }),
-        ("GCov/engine", Strategy::GCov { budget: Duration::from_secs(10), max_moves: 10_000, cost: CostSource::Engine }),
+        (
+            "ECov/engine",
+            Strategy::ECov { budget: Duration::from_secs(30), cost: CostSource::Engine },
+        ),
+        (
+            "GCov/paper",
+            Strategy::GCov {
+                budget: Duration::from_secs(10),
+                max_moves: 10_000,
+                cost: CostSource::Paper,
+            },
+        ),
+        (
+            "GCov/engine",
+            Strategy::GCov {
+                budget: Duration::from_secs(10),
+                max_moves: 10_000,
+                cost: CostSource::Engine,
+            },
+        ),
     ];
 
     let queries: Vec<NamedQuery> =
@@ -47,7 +65,10 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &format!("Figure 9: cost model comparison, LUBM-like ({} triples), pg-like engine", db.graph().len()),
+            &format!(
+                "Figure 9: cost model comparison, LUBM-like ({} triples), pg-like engine",
+                db.graph().len()
+            ),
             &header,
             &rows,
         )

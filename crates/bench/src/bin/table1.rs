@@ -14,14 +14,13 @@ use jucq_reformulation::BgpQuery;
 use jucq_store::EngineProfile;
 
 fn main() {
+    let _obs = jucq_bench::harness::obs_sidecar("table1");
     let universities = arg_scale(1, 4);
     eprintln!("building LUBM-like({universities})...");
     let mut db = lubm_db(universities, EngineProfile::pg_like());
     eprintln!("  {} data triples", db.graph().len());
 
-    let q1 = db
-        .parse_query(&lubm::motivating_queries()[0].sparql)
-        .expect("q1 parses");
+    let q1 = db.parse_query(&lubm::motivating_queries()[0].sparql).expect("q1 parses");
 
     let mut rows = Vec::new();
     for (i, atom) in q1.atoms.iter().enumerate() {
@@ -43,10 +42,20 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &format!("Table 1: characteristics of q1 (LUBM-like {universities} univ, {} triples)", db.graph().len()),
-            &["Triple".into(), "#answers".into(), "#reformulations".into(), "#answers after reformulation".into()],
+            &format!(
+                "Table 1: characteristics of q1 (LUBM-like {universities} univ, {} triples)",
+                db.graph().len()
+            ),
+            &[
+                "Triple".into(),
+                "#answers".into(),
+                "#reformulations".into(),
+                "#answers after reformulation".into()
+            ],
             &rows,
         )
     );
-    println!("paper (LUBM 100M): t1 = 18,999,081/188/33,328,108; t2 = 0/4/3,223; t3 = 4,434/3/5,939");
+    println!(
+        "paper (LUBM 100M): t1 = 18,999,081/188/33,328,108; t2 = 0/4/3,223; t3 = 4,434/3/5,939"
+    );
 }

@@ -17,14 +17,13 @@ use jucq_reformulation::Cover;
 use jucq_store::EngineProfile;
 
 fn main() {
+    let _obs = jucq_bench::harness::obs_sidecar("table2");
     let universities = arg_scale(1, 4);
     eprintln!("building LUBM-like({universities})...");
     let mut db = lubm_db(universities, EngineProfile::pg_like());
     eprintln!("  {} data triples", db.graph().len());
 
-    let q1 = db
-        .parse_query(&lubm::motivating_queries()[0].sparql)
-        .expect("q1 parses");
+    let q1 = db.parse_query(&lubm::motivating_queries()[0].sparql).expect("q1 parses");
 
     let covers: Vec<(&str, Vec<Vec<usize>>)> = vec![
         ("(t1,t2,t3)", vec![vec![0, 1, 2]]),
@@ -55,14 +54,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &format!("Table 2: covers of q1 (LUBM-like {universities} univ, {} triples)", db.graph().len()),
+            &format!(
+                "Table 2: covers of q1 (LUBM-like {universities} univ, {} triples)",
+                db.graph().len()
+            ),
             &["Cover".into(), "#reformulations".into(), "exec (ms)".into(), "#answers".into()],
             &rows,
         )
     );
-    println!(
-        "GCov picks {} ({} union terms)",
-        gcov.cover.expect("cover-based"),
-        gcov.union_terms
-    );
+    println!("GCov picks {} ({} union terms)", gcov.cover.expect("cover-based"), gcov.union_terms);
 }

@@ -14,14 +14,13 @@ use jucq_reformulation::BgpQuery;
 use jucq_store::EngineProfile;
 
 fn main() {
+    let _obs = jucq_bench::harness::obs_sidecar("table3");
     let universities = arg_scale(1, 4);
     eprintln!("building LUBM-like({universities})...");
     let mut db = lubm_db(universities, EngineProfile::pg_like());
     eprintln!("  {} data triples", db.graph().len());
 
-    let q2 = db
-        .parse_query(&lubm::motivating_queries()[1].sparql)
-        .expect("q2 parses");
+    let q2 = db.parse_query(&lubm::motivating_queries()[1].sparql).expect("q2 parses");
 
     let mut rows = Vec::new();
     for (i, atom) in q2.atoms.iter().enumerate() {
@@ -43,8 +42,16 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &format!("Table 3: characteristics of q2 (LUBM-like {universities} univ, {} triples)", db.graph().len()),
-            &["Triple".into(), "#answers".into(), "#reformulations".into(), "#answers after reformulation".into()],
+            &format!(
+                "Table 3: characteristics of q2 (LUBM-like {universities} univ, {} triples)",
+                db.graph().len()
+            ),
+            &[
+                "Triple".into(),
+                "#answers".into(),
+                "#reformulations".into(),
+                "#answers after reformulation".into()
+            ],
             &rows,
         )
     );

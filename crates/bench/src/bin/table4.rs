@@ -39,15 +39,14 @@ fn answer_size(db: &mut RdfDatabase, q: &jucq_reformulation::BgpQuery) -> String
 }
 
 fn main() {
+    let _obs = jucq_bench::harness::obs_sidecar("table4");
     let small = arg_scale(1, 2);
     let large = arg_scale(2, 8);
     let authors = arg_scale(3, 4_000);
 
     // --- LUBM ---
-    let queries: Vec<NamedQuery> = lubm::motivating_queries()
-        .into_iter()
-        .chain(lubm::workload())
-        .collect();
+    let queries: Vec<NamedQuery> =
+        lubm::motivating_queries().into_iter().chain(lubm::workload()).collect();
 
     eprintln!("building LUBM-like({small})...");
     let mut db_small = lubm_db(small, EngineProfile::pg_like());
@@ -73,7 +72,12 @@ fn main() {
                 db_small.graph().len(),
                 db_large.graph().len()
             ),
-            &["q".into(), "|q_ref|".into(), format!("|q(db)| ({small}u)"), format!("|q(db)| ({large}u)")],
+            &[
+                "q".into(),
+                "|q_ref|".into(),
+                format!("|q(db)| ({small}u)"),
+                format!("|q(db)| ({large}u)")
+            ],
             &rows,
         )
     );

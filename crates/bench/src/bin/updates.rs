@@ -40,6 +40,7 @@ fn batch(size: usize, tag: &str) -> Vec<Triple> {
 }
 
 fn main() {
+    let _obs = jucq_bench::harness::obs_sidecar("updates");
     let universities = arg_scale(1, 4);
     eprintln!("building LUBM-like({universities})...");
     let mut db = lubm_db(universities, EngineProfile::pg_like());

@@ -12,12 +12,42 @@ use jucq_store::{EngineError, EngineProfile};
 /// runs after two hours; we scale that down with the data).
 pub const EXPERIMENT_TIMEOUT: Duration = Duration::from_secs(10);
 
+/// RAII handle from [`obs_sidecar`]: writes the metrics sidecar when
+/// the experiment finishes (i.e. on drop).
+pub struct ObsSidecar {
+    path: std::path::PathBuf,
+}
+
+/// Opt-in observability for an experiment binary: when the `JUCQ_OBS`
+/// environment variable is set, enable collection and, when the
+/// returned guard drops, write the spans/metrics of the whole run to
+/// `results/<experiment>.metrics.json` — a sidecar next to the
+/// experiment's `results/<experiment>.txt` artifact. Without
+/// `JUCQ_OBS`, collection stays disabled and benchmarks run at full
+/// speed.
+pub fn obs_sidecar(experiment: &str) -> Option<ObsSidecar> {
+    std::env::var_os("JUCQ_OBS")?;
+    jucq_obs::reset();
+    jucq_obs::set_enabled(true);
+    let dir = std::path::Path::new("results");
+    let _ = std::fs::create_dir_all(dir);
+    Some(ObsSidecar { path: dir.join(format!("{experiment}.metrics.json")) })
+}
+
+impl Drop for ObsSidecar {
+    fn drop(&mut self) {
+        jucq_obs::set_enabled(false);
+        let session = jucq_obs::take_session();
+        match std::fs::write(&self.path, jucq_obs::export::to_json(&session)) {
+            Ok(()) => eprintln!("wrote metrics sidecar {}", self.path.display()),
+            Err(e) => eprintln!("failed to write metrics sidecar {}: {e}", self.path.display()),
+        }
+    }
+}
+
 /// Read a positional CLI argument as a scale, with a default.
 pub fn arg_scale(position: usize, default: usize) -> usize {
-    std::env::args()
-        .nth(position)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(default)
+    std::env::args().nth(position).and_then(|a| a.parse().ok()).unwrap_or(default)
 }
 
 /// Build and calibrate a LUBM-like database under `profile`.
@@ -92,12 +122,7 @@ impl Cell {
 
 /// Run one strategy, averaged over `warm` warm executions after one
 /// warm-up (the paper averages over 3 warm executions).
-pub fn run_strategy(
-    db: &mut RdfDatabase,
-    q: &BgpQuery,
-    strategy: &Strategy,
-    warm: u32,
-) -> Cell {
+pub fn run_strategy(db: &mut RdfDatabase, q: &BgpQuery, strategy: &Strategy, warm: u32) -> Cell {
     match db.answer(q, strategy) {
         Err(AnswerError::Engine(e)) => Cell::Failed(e.to_string()),
         Err(AnswerError::Cover(e)) => Cell::Failed(e.to_string()),
@@ -202,7 +227,9 @@ pub fn render_table(title: &str, header: &[String], rows: &[Vec<String>]) -> Str
         cells
             .iter()
             .enumerate()
-            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+            .map(|(i, c)| {
+                format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(c.len()))
+            })
             .collect::<Vec<_>>()
             .join("  ")
     };

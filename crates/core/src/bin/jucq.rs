@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! jucq query <data.ttl> "<SPARQL>" [--strategy S] [--profile P] [--compare]
+//!            [--explain-analyze] [--trace] [--metrics-json PATH]
 //! jucq covers <data.ttl> "<SPARQL>"           # every cover, sized & timed
 //! jucq stats <data.ttl>                       # dataset & schema statistics
 //! jucq repl  <data.ttl>                       # interactive session
@@ -9,6 +10,11 @@
 //!
 //! Strategies: `sat`, `ucq`, `scq`, `ecov`, `gcov` (default).
 //! Profiles: `pg` (default), `db2`, `mysql`, `native`.
+//!
+//! Observability: `--explain-analyze` renders per-node estimated vs.
+//! actual rows with Q-errors instead of the result rows; `--trace`
+//! prints the pipeline span tree to stderr; `--metrics-json PATH`
+//! writes the collected spans and metrics as JSON.
 
 use std::io::{BufRead, Write};
 
@@ -18,7 +24,7 @@ use jucq_core::{AnswerError, RdfDatabase, Strategy};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  jucq query    <data.ttl|.snap> \"<SPARQL>\" [--strategy sat|ucq|scq|ecov|gcov] [--profile pg|db2|mysql|native] [--compare]\n  jucq covers   <data.ttl|.snap> \"<SPARQL>\"\n  jucq stats    <data.ttl|.snap>\n  jucq repl     <data.ttl|.snap> [--profile ...]\n  jucq snapshot <data.ttl> <out.snap>"
+        "usage:\n  jucq query    <data.ttl|.snap> \"<SPARQL>\" [--strategy sat|ucq|scq|ecov|gcov] [--profile pg|db2|mysql|native] [--compare] [--explain-analyze] [--trace] [--metrics-json PATH]\n  jucq covers   <data.ttl|.snap> \"<SPARQL>\"\n  jucq stats    <data.ttl|.snap>\n  jucq repl     <data.ttl|.snap> [--profile ...]\n  jucq snapshot <data.ttl> <out.snap>"
     );
     std::process::exit(2)
 }
@@ -98,14 +104,31 @@ fn run_query(db: &mut RdfDatabase, sparql: &str, strategy: &Strategy, max_rows: 
                 report.union_terms,
                 report.planning_time,
                 report.eval_time,
-                report
-                    .cover
-                    .map(|c| format!(", cover {c}"))
-                    .unwrap_or_default(),
+                report.cover.map(|c| format!(", cover {c}")).unwrap_or_default(),
             );
         }
         Err(AnswerError::Engine(e)) => eprintln!("engine failure: {e}"),
         Err(e) => eprintln!("{e}"),
+    }
+    if let Some(stats) = db.plan_cache_stats() {
+        eprintln!(
+            "-- plan cache: {} hit(s), {} miss(es), {} eviction(s)",
+            stats.hits, stats.misses, stats.evictions
+        );
+    }
+}
+
+fn run_explain_analyze(db: &mut RdfDatabase, sparql: &str, strategy: &Strategy) {
+    let q = match db.parse_query(sparql) {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("{e}");
+            return;
+        }
+    };
+    match db.explain_analyze(&q, strategy) {
+        Ok(text) => print!("{text}"),
+        Err(e) => eprintln!("explain analyze failed: {e}"),
     }
 }
 
@@ -116,6 +139,9 @@ fn cmd_query(mut args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
     let mut strategy = Strategy::gcov_default();
     let mut profile = EngineProfile::pg_like();
     let mut compare = false;
+    let mut explain_analyze = false;
+    let mut trace = false;
+    let mut metrics_json: Option<String> = None;
     let mut positional: Vec<String> = Vec::new();
     while !args.is_empty() {
         let a = args.remove(0);
@@ -131,19 +157,46 @@ fn cmd_query(mut args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
                 profile = parse_profile(&v).unwrap_or_else(|| usage());
             }
             "--compare" => compare = true,
+            "--explain-analyze" => explain_analyze = true,
+            "--trace" => trace = true,
+            "--metrics-json" => {
+                let v = args.first().cloned().unwrap_or_default();
+                args.drain(..1.min(args.len()));
+                if v.is_empty() {
+                    usage();
+                }
+                metrics_json = Some(v);
+            }
             _ => positional.push(a),
         }
     }
     let [path, sparql] = positional.as_slice() else {
         usage();
     };
+    if trace || metrics_json.is_some() {
+        jucq_obs::set_enabled(true);
+    }
     let mut db = load(path, profile)?;
-    if compare {
+    db.enable_plan_cache(64);
+    if explain_analyze {
+        run_explain_analyze(&mut db, sparql, &strategy);
+    } else if compare {
         for s in [Strategy::Saturation, Strategy::Ucq, Strategy::Scq, Strategy::gcov_default()] {
             run_query(&mut db, sparql, &s, 0);
         }
     } else {
         run_query(&mut db, sparql, &strategy, 1000);
+    }
+    if trace || metrics_json.is_some() {
+        jucq_obs::set_enabled(false);
+        let session = jucq_obs::take_session();
+        if trace {
+            eprint!("{}", jucq_obs::export::to_text(&session));
+        }
+        if let Some(path) = &metrics_json {
+            std::fs::write(path, jucq_obs::export::to_json(&session))?;
+            eprintln!("wrote metrics to {path}");
+        }
     }
     Ok(())
 }
@@ -227,6 +280,7 @@ fn cmd_repl(mut args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
     }
     let [path] = positional.as_slice() else { usage() };
     let mut db = load(path, profile)?;
+    db.enable_plan_cache(64);
     let mut strategy = Strategy::gcov_default();
     eprintln!("jucq repl — enter a SPARQL query, or :strategy/:profile/:help/:quit");
     let stdin = std::io::stdin();

@@ -21,10 +21,10 @@ use jucq_optimizer::{
     PaperCostModel,
 };
 use jucq_reformulation::cover::CoverError;
-use jucq_reformulation::reformulate::ReformulationEnv;
-use jucq_reformulation::saturation::{saturate, schema_triples};
 use jucq_reformulation::incremental::IncrementalSaturation;
 use jucq_reformulation::jucq::jucq_for_cover_bounded;
+use jucq_reformulation::reformulate::ReformulationEnv;
+use jucq_reformulation::saturation::{saturate, schema_triples};
 use jucq_reformulation::{BgpQuery, Cover};
 use jucq_store::exec::Counters;
 use jucq_store::{EngineError, EngineProfile, Relation, Store, StoreJucq};
@@ -140,7 +140,13 @@ impl RdfDatabase {
 
     /// An empty database with a specific engine profile.
     pub fn with_profile(profile: EngineProfile) -> Self {
-        RdfDatabase { graph: Graph::new(), profile, constants: None, prepared: None, plan_cache: None }
+        RdfDatabase {
+            graph: Graph::new(),
+            profile,
+            constants: None,
+            prepared: None,
+            plan_cache: None,
+        }
     }
 
     /// Wrap an existing graph.
@@ -220,6 +226,7 @@ impl RdfDatabase {
         if self.prepared.is_some() {
             return;
         }
+        jucq_obs::span!("prepare");
         let closure = self.graph.schema_closure();
         let rdf_type = self.graph.rdf_type();
         let schema_ts = schema_triples(&mut self.graph, &closure);
@@ -236,8 +243,7 @@ impl RdfDatabase {
         sat_triples.dedup();
         let saturated = Store::from_triples(&sat_triples, self.profile.clone());
 
-        let incremental =
-            IncrementalSaturation::new(self.graph.data(), closure.clone(), rdf_type);
+        let incremental = IncrementalSaturation::new(self.graph.data(), closure.clone(), rdf_type);
         let constants = self.constants.unwrap_or_else(|| calibrate(&plain));
         self.prepared = Some(Prepared {
             closure,
@@ -270,16 +276,11 @@ impl RdfDatabase {
     /// cost the paper's §5.3 discussion weighs against reformulation.
     /// Schema statements or new vocabulary fall back to invalidating
     /// the preparation (rebuilt lazily on the next answer).
-    pub fn apply_data_updates(
-        &mut self,
-        inserts: &[Triple],
-        deletes: &[Triple],
-    ) -> UpdateReport {
+    pub fn apply_data_updates(&mut self, inserts: &[Triple], deletes: &[Triple]) -> UpdateReport {
         use jucq_model::{FxHashSet, TripleId};
         // Schema statements cannot be absorbed incrementally.
-        let is_schema = |t: &Triple| {
-            matches!(&t.p, Term::Uri(p) if jucq_model::vocab::is_schema_property(p))
-        };
+        let is_schema =
+            |t: &Triple| matches!(&t.p, Term::Uri(p) if jucq_model::vocab::is_schema_property(p));
         if inserts.iter().chain(deletes).any(is_schema) {
             for t in deletes {
                 // Schema deletion is not supported at the Graph level;
@@ -287,11 +288,8 @@ impl RdfDatabase {
                 let _ = t;
             }
             self.extend(inserts);
-            let del: Vec<TripleId> = deletes
-                .iter()
-                .filter(|t| !is_schema(t))
-                .map(|t| self.encode_triple(t))
-                .collect();
+            let del: Vec<TripleId> =
+                deletes.iter().filter(|t| !is_schema(t)).map(|t| self.encode_triple(t)).collect();
             let del_set: FxHashSet<TripleId> = del.into_iter().collect();
             self.graph.remove_data_batch(&del_set);
             self.invalidate();
@@ -334,11 +332,8 @@ impl RdfDatabase {
                     sat_ins.extend(delta.added);
                 }
             }
-            let present: Vec<TripleId> = del_ids
-                .iter()
-                .filter(|t| self.graph.contains_data(t))
-                .copied()
-                .collect();
+            let present: Vec<TripleId> =
+                del_ids.iter().filter(|t| self.graph.contains_data(t)).copied().collect();
             let present_set: FxHashSet<TripleId> = present.iter().copied().collect();
             report.deleted = self.graph.remove_data_batch(&present_set);
             for t in &present {
@@ -361,14 +356,14 @@ impl RdfDatabase {
     /// The ECov/GCov planning path, shared by the cached and uncached
     /// branches of [`RdfDatabase::answer`].
     #[allow(clippy::type_complexity)]
-    fn run_cover_search<'p>(
+    fn run_cover_search(
         q: &BgpQuery,
         env: &ReformulationEnv<'_>,
-        p: &'p Prepared,
+        p: &Prepared,
         cost: &CostSource,
         strategy: &Strategy,
         limit: usize,
-    ) -> Result<(StoreJucq, Option<Cover>, Option<usize>, &'p Store), AnswerError> {
+    ) -> Result<(StoreJucq, Option<Cover>, Option<usize>), AnswerError> {
         let paper_model = PaperCostModel::new(p.plain.table(), p.plain.stats(), p.constants);
         let engine_model = EngineCostModel::new(&p.plain);
         let estimator: &dyn JucqCostEstimator = match cost {
@@ -383,7 +378,7 @@ impl RdfDatabase {
         };
         let jucq = jucq_for_cover_bounded(q, &result.cover, env, limit)
             .map_err(|n| AnswerError::from(EngineError::UnionTooLarge { terms: n, limit }))?;
-        Ok((jucq, Some(result.cover), Some(result.explored), &p.plain))
+        Ok((jucq, Some(result.cover), Some(result.explored)))
     }
 
     fn encode_triple(&mut self, t: &Triple) -> jucq_model::TripleId {
@@ -438,13 +433,19 @@ impl RdfDatabase {
 
     /// Decode an answer relation's rows to terms, for display.
     pub fn decode_rows(&self, rows: &Relation) -> Vec<Vec<Term>> {
-        rows.rows()
-            .map(|r| r.iter().map(|&id| self.graph.dict().decode(id)).collect())
-            .collect()
+        rows.rows().map(|r| r.iter().map(|&id| self.graph.dict().decode(id)).collect()).collect()
     }
 
-    /// Answer `q` with `strategy`, reporting timings and plan shape.
-    pub fn answer(&mut self, q: &BgpQuery, strategy: &Strategy) -> Result<AnswerReport, AnswerError> {
+    /// Plan `q` under `strategy`: choose (or look up) a cover, build the
+    /// reformulated JUCQ, and report which store evaluates it (`true` =
+    /// the saturated store). Shared by [`RdfDatabase::answer`] and
+    /// [`RdfDatabase::explain_analyze`].
+    #[allow(clippy::type_complexity)]
+    fn plan_jucq(
+        &mut self,
+        q: &BgpQuery,
+        strategy: &Strategy,
+    ) -> Result<(StoreJucq, Option<Cover>, Option<usize>, bool), AnswerError> {
         self.prepare();
         let p = self.prepared.as_ref().expect("prepared");
         let env = ReformulationEnv { closure: &p.closure, rdf_type: p.rdf_type };
@@ -458,22 +459,21 @@ impl RdfDatabase {
                 .map_err(|n| EngineError::UnionTooLarge { terms: n, limit }.into())
         };
 
-        let planning_start = Instant::now();
-        let (jucq, cover, explored, target): (StoreJucq, Option<Cover>, Option<usize>, &Store) =
+        let (jucq, cover, explored, saturated): (StoreJucq, Option<Cover>, Option<usize>, bool) =
             match strategy {
                 Strategy::Saturation => {
                     let cq = q.to_store_cq();
                     let head = q.head.clone();
                     let ucq = jucq_store::StoreUcq::new(vec![cq], head.clone());
-                    (StoreJucq::new(vec![ucq], head), None, None, &p.saturated)
+                    (StoreJucq::new(vec![ucq], head), None, None, true)
                 }
                 Strategy::Ucq => {
                     let cover = Cover::single_fragment(q)?;
-                    (bounded(&cover)?, Some(cover), None, &p.plain)
+                    (bounded(&cover)?, Some(cover), None, false)
                 }
                 Strategy::Scq => {
                     let cover = Cover::singletons(q)?;
-                    (bounded(&cover)?, Some(cover), None, &p.plain)
+                    (bounded(&cover)?, Some(cover), None, false)
                 }
                 Strategy::MinimizedUcq { cap } => {
                     let cover = Cover::single_fragment(q)?;
@@ -486,24 +486,19 @@ impl RdfDatabase {
                             .collect();
                         jucq = StoreJucq::new(minimized, jucq.head);
                     }
-                    (jucq, Some(cover), None, &p.plain)
+                    (jucq, Some(cover), None, false)
                 }
-                Strategy::FixedCover(cover) => {
-                    (bounded(cover)?, Some(cover.clone()), None, &p.plain)
-                }
+                Strategy::FixedCover(cover) => (bounded(cover)?, Some(cover.clone()), None, false),
                 Strategy::ECov { cost, .. } | Strategy::GCov { cost, .. } => {
                     // Plan-cache keys are canonical query forms, so
                     // isomorphic queries (same shape, different variable
                     // names or atom order) share one cached cover; the
                     // cover's atom indices are canonical and translated
                     // through this query's permutation.
-                    let canonical = self
-                        .plan_cache
-                        .is_some()
-                        .then(|| q.canonicalize());
-                    let cache_key = canonical
-                        .as_ref()
-                        .map(|(cq, _)| crate::plan_cache::PlanKey::new(cq.clone(), strategy.name()));
+                    let canonical = self.plan_cache.is_some().then(|| q.canonicalize());
+                    let cache_key = canonical.as_ref().map(|(cq, _)| {
+                        crate::plan_cache::PlanKey::new(cq.clone(), strategy.name())
+                    });
                     if let (Some(cache), Some(key)) = (&mut self.plan_cache, &cache_key) {
                         if let Some((canonical_cover, explored)) = cache.get(key) {
                             let perm = &canonical.as_ref().expect("key implies canonical").1;
@@ -514,13 +509,17 @@ impl RdfDatabase {
                                 .collect();
                             let cover = Cover::new(q, fragments)
                                 .expect("canonical covers translate to valid covers");
-                            let jucq = jucq_for_cover_bounded(q, &cover, &env, limit)
-                                .map_err(|n| AnswerError::from(EngineError::UnionTooLarge { terms: n, limit }))?;
-                            (jucq, Some(cover), explored, &p.plain)
+                            let jucq =
+                                jucq_for_cover_bounded(q, &cover, &env, limit).map_err(|n| {
+                                    AnswerError::from(EngineError::UnionTooLarge {
+                                        terms: n,
+                                        limit,
+                                    })
+                                })?;
+                            (jucq, Some(cover), explored, false)
                         } else {
-                            let (jucq, cover, explored, store) = Self::run_cover_search(
-                                q, &env, p, cost, strategy, limit,
-                            )?;
+                            let (jucq, cover, explored) =
+                                Self::run_cover_search(q, &env, p, cost, strategy, limit)?;
                             if let Some(c) = &cover {
                                 // Store the cover in canonical indices.
                                 let perm = &canonical.as_ref().expect("key implies canonical").1;
@@ -536,30 +535,98 @@ impl RdfDatabase {
                                     cache.put(key.clone(), canonical_cover, explored);
                                 }
                             }
-                            (jucq, cover, explored, store)
+                            (jucq, cover, explored, false)
                         }
                     } else {
-                        Self::run_cover_search(q, &env, p, cost, strategy, limit)?
+                        let (jucq, cover, explored) =
+                            Self::run_cover_search(q, &env, p, cost, strategy, limit)?;
+                        (jucq, cover, explored, false)
                     }
                 }
             };
+        Ok((jucq, cover, explored, saturated))
+    }
+
+    /// Answer `q` with `strategy`, reporting timings and plan shape.
+    pub fn answer(
+        &mut self,
+        q: &BgpQuery,
+        strategy: &Strategy,
+    ) -> Result<AnswerReport, AnswerError> {
+        jucq_obs::span!("answer");
+        let planning_start = Instant::now();
+        let (jucq, cover, explored, saturated) = {
+            jucq_obs::span!("planning");
+            self.plan_jucq(q, strategy)?
+        };
         let planning_time = planning_start.elapsed();
+        let p = self.prepared.as_ref().expect("plan_jucq prepares");
+        let target = if saturated { &p.saturated } else { &p.plain };
 
         let union_terms = jucq.union_terms();
         let mut outcome = target.eval_jucq(&jucq)?;
         if let Some(n) = q.limit {
             outcome.relation.truncate(n);
         }
+
+        let c = outcome.counters;
+        jucq_obs::metrics::counter_add("queries.answered", 1);
+        jucq_obs::metrics::counter_add("exec.tuples_scanned", c.tuples_scanned);
+        jucq_obs::metrics::counter_add("exec.tuples_joined", c.tuples_joined);
+        jucq_obs::metrics::counter_add("exec.tuples_materialized", c.tuples_materialized);
+        jucq_obs::metrics::counter_add("exec.tuples_deduped", c.tuples_deduped);
+        jucq_obs::metrics::histogram_record(
+            "pipeline.planning.ns",
+            planning_time.as_nanos() as u64,
+        );
+        jucq_obs::metrics::histogram_record(
+            "pipeline.execution.ns",
+            outcome.elapsed.as_nanos() as u64,
+        );
+        if let Some(stats) = self.plan_cache_stats() {
+            let lookups = stats.hits + stats.misses;
+            if lookups > 0 {
+                jucq_obs::metrics::gauge_set(
+                    "plan_cache.hit_ratio",
+                    stats.hits as f64 / lookups as f64,
+                );
+            }
+        }
+
         Ok(AnswerReport {
             strategy: strategy.name(),
             rows: outcome.relation,
-            counters: outcome.counters,
+            counters: c,
             eval_time: outcome.elapsed,
             planning_time,
             union_terms,
             cover,
             covers_explored: explored,
         })
+    }
+
+    /// `EXPLAIN ANALYZE`: plan `q` exactly as [`RdfDatabase::answer`]
+    /// would (including the plan cache), then evaluate it with per-node
+    /// profiling and render each plan node's estimated vs. actual rows
+    /// and Q-error.
+    pub fn explain_analyze(
+        &mut self,
+        q: &BgpQuery,
+        strategy: &Strategy,
+    ) -> Result<String, AnswerError> {
+        let (jucq, cover, _, saturated) = self.plan_jucq(q, strategy)?;
+        let p = self.prepared.as_ref().expect("plan_jucq prepares");
+        let target = if saturated { &p.saturated } else { &p.plain };
+        let mut out = format!(
+            "Strategy: {} (target: {} store)\n",
+            strategy.name(),
+            if saturated { "saturated" } else { "plain" }
+        );
+        if let Some(c) = &cover {
+            out.push_str(&format!("Cover: {:?}\n", c.fragments()));
+        }
+        out.push_str(&jucq_store::explain::explain_analyze(target, &jucq)?);
+        Ok(out)
     }
 
     /// Convenience: parse then answer.
@@ -586,7 +653,11 @@ mod tests {
             t("doi1", vocab::RDF_TYPE, Term::uri("Book")),
             t("doi1", "writtenBy", Term::blank("b1")),
             t("doi1", "hasTitle", Term::literal("Game of Thrones")),
-            Triple::new(Term::blank("b1"), Term::uri("hasName"), Term::literal("George R. R. Martin")),
+            Triple::new(
+                Term::blank("b1"),
+                Term::uri("hasName"),
+                Term::literal("George R. R. Martin"),
+            ),
             t("doi1", "publishedIn", Term::literal("1996")),
             t("Book", vocab::RDFS_SUBCLASS_OF, Term::uri("Publication")),
             t("writtenBy", vocab::RDFS_SUBPROPERTY_OF, Term::uri("hasAuthor")),
@@ -608,9 +679,21 @@ mod tests {
         BgpQuery::new(
             vec![2],
             vec![
-                StorePattern::new(PatternTerm::Var(0), PatternTerm::Const(has_author), PatternTerm::Var(1)),
-                StorePattern::new(PatternTerm::Var(1), PatternTerm::Const(has_name), PatternTerm::Var(2)),
-                StorePattern::new(PatternTerm::Var(0), PatternTerm::Var(3), PatternTerm::Const(lit)),
+                StorePattern::new(
+                    PatternTerm::Var(0),
+                    PatternTerm::Const(has_author),
+                    PatternTerm::Var(1),
+                ),
+                StorePattern::new(
+                    PatternTerm::Var(1),
+                    PatternTerm::Const(has_name),
+                    PatternTerm::Var(2),
+                ),
+                StorePattern::new(
+                    PatternTerm::Var(0),
+                    PatternTerm::Var(3),
+                    PatternTerm::Const(lit),
+                ),
             ],
         )
     }
@@ -633,11 +716,7 @@ mod tests {
         }
         // The paper's expected answer: "George R. R. Martin".
         for (name, rows) in &answers {
-            assert_eq!(
-                rows,
-                &vec![vec![Term::literal("George R. R. Martin")]],
-                "strategy {name}"
-            );
+            assert_eq!(rows, &vec![vec![Term::literal("George R. R. Martin")]], "strategy {name}");
         }
     }
 
@@ -700,7 +779,11 @@ mod tests {
         let subclass = d.lookup(&Term::uri(vocab::RDFS_SUBCLASS_OF)).unwrap();
         let q = BgpQuery::new(
             vec![0, 1],
-            vec![StorePattern::new(PatternTerm::Var(0), PatternTerm::Const(subclass), PatternTerm::Var(1))],
+            vec![StorePattern::new(
+                PatternTerm::Var(0),
+                PatternTerm::Const(subclass),
+                PatternTerm::Var(1),
+            )],
         );
         let r = db.answer(&q, &Strategy::Ucq).unwrap();
         assert_eq!(r.rows.len(), 1, "Book ⊑ Publication");
@@ -780,11 +863,7 @@ mod tests {
     fn new_vocabulary_falls_back_to_rebuild() {
         let mut db = paper_db();
         db.prepare();
-        let t = Triple::new(
-            Term::uri("x"),
-            Term::uri("brandNewProperty"),
-            Term::uri("y"),
-        );
+        let t = Triple::new(Term::uri("x"), Term::uri("brandNewProperty"), Term::uri("y"));
         let report = db.apply_data_updates(&[t], &[]);
         assert!(!report.incremental, "unknown property forces a rebuild");
         assert_eq!(report.inserted, 1);
@@ -805,14 +884,61 @@ mod tests {
         let report = db.apply_data_updates(&[t], &[]);
         assert!(!report.incremental);
         // The new superclass is honoured after re-preparation.
-        let mut q = db
-            .parse_query("SELECT ?x WHERE { ?x rdf:type <Document> . }")
-            .unwrap();
+        let mut q = db.parse_query("SELECT ?x WHERE { ?x rdf:type <Document> . }").unwrap();
         let r = db.answer(&q, &Strategy::Ucq).unwrap();
         assert_eq!(r.rows.len(), 1, "doi1 is now a Document");
         q = db.parse_query("SELECT ?x WHERE { ?x rdf:type <Document> . }").unwrap();
         let s = db.answer(&q, &Strategy::Saturation).unwrap();
         assert_eq!(s.rows.len(), 1);
+    }
+
+    #[test]
+    fn explain_analyze_reports_per_node_q_errors() {
+        let mut db = paper_db();
+        let q = example3_query(&mut db);
+        let text = db.explain_analyze(&q, &Strategy::gcov_default()).unwrap();
+        assert!(text.contains("Strategy: GCov"), "{text}");
+        assert!(text.contains("Cover:"), "{text}");
+        assert!(text.contains("EXPLAIN ANALYZE"), "{text}");
+        assert!(text.contains("Q-error"), "{text}");
+        assert!(text.contains("union"), "{text}");
+        assert!(text.contains("dedup"), "{text}");
+        let sat = db.explain_analyze(&q, &Strategy::Saturation).unwrap();
+        assert!(sat.contains("saturated store"), "{sat}");
+    }
+
+    #[test]
+    fn observability_exports_spans_and_plan_cache_metrics() {
+        let mut db = paper_db();
+        db.enable_plan_cache(8);
+        let q = example3_query(&mut db);
+        jucq_obs::reset();
+        jucq_obs::set_enabled(true);
+        db.answer(&q, &Strategy::gcov_default()).unwrap();
+        db.answer(&q, &Strategy::gcov_default()).unwrap();
+        jucq_obs::set_enabled(false);
+        let session = jucq_obs::take_session();
+        jucq_obs::global().reset();
+
+        assert!(session.metrics.counter("plan_cache.hits") >= 1);
+        assert!(session.metrics.counter("plan_cache.misses") >= 1);
+        assert!(session.metrics.counter("queries.answered") >= 2);
+        assert!(session.metrics.counter("exec.tuples_scanned") >= 1);
+        assert!(session.metrics.gauges.contains_key("plan_cache.hit_ratio"));
+        assert!(session.metrics.histograms.contains_key("pipeline.planning.ns"));
+        assert!(session.metrics.histograms.contains_key("pipeline.execution.ns"));
+
+        let names: std::collections::HashSet<&str> = session.spans.iter().map(|s| s.name).collect();
+        for expected in
+            ["answer", "planning", "execution", "reformulation", "cover_search", "cost_estimation"]
+        {
+            assert!(names.contains(expected), "missing span `{expected}` in {names:?}");
+        }
+
+        let json = jucq_obs::export::to_json(&session);
+        assert!(json.contains("\"jucq-obs/1\""));
+        assert!(json.contains("plan_cache.hits"));
+        assert!(json.contains("cover_search"));
     }
 
     #[test]

@@ -19,7 +19,7 @@
 
 use std::fmt;
 
-use jucq_model::{Dictionary, FxHashMap, Term, vocab};
+use jucq_model::{vocab, Dictionary, FxHashMap, Term};
 use jucq_reformulation::BgpQuery;
 use jucq_store::{PatternTerm, StorePattern, VarId};
 
@@ -192,6 +192,7 @@ fn parse_term(
 
 /// Parse a `SELECT … WHERE { … }` query, interning constants in `dict`.
 pub fn parse_query(dict: &mut Dictionary, text: &str) -> Result<BgpQuery, ParseError> {
+    jucq_obs::span!("parse");
     let tokens = tokenize(text)?;
     let mut cur = Cursor { tokens: &tokens, pos: 0 };
     let mut prefixes = builtin_prefixes();
@@ -283,10 +284,8 @@ pub fn parse_query(dict: &mut Dictionary, text: &str) -> Result<BgpQuery, ParseE
         return err("WHERE block has no triples");
     }
 
-    let head: Vec<VarId> = head_names
-        .iter()
-        .map(|n| *vars.get(n).expect("reserved above"))
-        .collect();
+    let head: Vec<VarId> =
+        head_names.iter().map(|n| *vars.get(n).expect("reserved above")).collect();
     // Safety: every head variable must occur in the body.
     let body_vars: Vec<VarId> = atoms.iter().flat_map(StorePattern::variables).collect();
     for (name, &v) in head_names.iter().zip(&head) {
@@ -342,10 +341,8 @@ mod tests {
 
     #[test]
     fn literals_parse_with_spaces() {
-        let (q, dict) = parse(
-            "SELECT ?x WHERE { ?x <http://ex/title> \"Game of Thrones\" }",
-        )
-        .unwrap();
+        let (q, dict) =
+            parse("SELECT ?x WHERE { ?x <http://ex/title> \"Game of Thrones\" }").unwrap();
         let lit = dict.lookup(&Term::literal("Game of Thrones")).unwrap();
         assert_eq!(q.atoms[0].o, PatternTerm::Const(lit));
     }
@@ -361,17 +358,13 @@ mod tests {
 
     #[test]
     fn variables_shared_across_triples_unify() {
-        let (q, _) =
-            parse("SELECT ?x WHERE { ?x <http://p> ?y . ?y <http://p> ?z }").unwrap();
+        let (q, _) = parse("SELECT ?x WHERE { ?x <http://p> ?y . ?y <http://p> ?z }").unwrap();
         assert_eq!(q.atoms[0].o, q.atoms[1].s);
     }
 
     #[test]
     fn errors_are_descriptive() {
-        assert!(parse("SELECT WHERE { ?x <http://p> ?y }")
-            .unwrap_err()
-            .message
-            .contains("SELECT"));
+        assert!(parse("SELECT WHERE { ?x <http://p> ?y }").unwrap_err().message.contains("SELECT"));
         assert!(parse("SELECT ?x WHERE { ?x <http://p> }")
             .unwrap_err()
             .message
@@ -388,10 +381,7 @@ mod tests {
 
     #[test]
     fn distinct_and_limit() {
-        let (q, _) = parse(
-            "SELECT DISTINCT ?x WHERE { ?x <http://p> ?y } LIMIT 25",
-        )
-        .unwrap();
+        let (q, _) = parse("SELECT DISTINCT ?x WHERE { ?x <http://p> ?y } LIMIT 25").unwrap();
         assert_eq!(q.limit, Some(25));
         let (q, _) = parse("SELECT ?x WHERE { ?x <http://p> ?y }").unwrap();
         assert_eq!(q.limit, None);
@@ -400,10 +390,8 @@ mod tests {
 
     #[test]
     fn comments_are_ignored() {
-        let (q, _) = parse(
-            "# find everything\nSELECT ?x WHERE { ?x <http://p> ?y . # body\n }",
-        )
-        .unwrap();
+        let (q, _) =
+            parse("# find everything\nSELECT ?x WHERE { ?x <http://p> ?y . # body\n }").unwrap();
         assert_eq!(q.atoms.len(), 1);
     }
 

@@ -66,10 +66,12 @@ impl PlanCache {
         match self.map.get(key) {
             Some(hit) => {
                 self.stats.hits += 1;
+                jucq_obs::metrics::counter_add("plan_cache.hits", 1);
                 Some(hit.clone())
             }
             None => {
                 self.stats.misses += 1;
+                jucq_obs::metrics::counter_add("plan_cache.misses", 1);
                 None
             }
         }
@@ -85,6 +87,7 @@ impl PlanCache {
             if let Some(old) = self.order.pop_front() {
                 self.map.remove(&old);
                 self.stats.evictions += 1;
+                jucq_obs::metrics::counter_add("plan_cache.evictions", 1);
             }
         }
         self.order.push_back(key.clone());

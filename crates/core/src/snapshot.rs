@@ -53,9 +53,13 @@ impl fmt::Display for SnapshotError {
         match self {
             SnapshotError::BadMagic => write!(f, "not a jucq snapshot (bad magic)"),
             SnapshotError::UnsupportedVersion(v) => write!(f, "unsupported snapshot version {v}"),
-            SnapshotError::Truncated { reading } => write!(f, "truncated snapshot while reading {reading}"),
+            SnapshotError::Truncated { reading } => {
+                write!(f, "truncated snapshot while reading {reading}")
+            }
             SnapshotError::BadString => write!(f, "snapshot contains invalid UTF-8"),
-            SnapshotError::DanglingId(raw) => write!(f, "snapshot references unknown term id {raw:#x}"),
+            SnapshotError::DanglingId(raw) => {
+                write!(f, "snapshot references unknown term id {raw:#x}")
+            }
         }
     }
 }
@@ -103,7 +107,11 @@ pub fn save(graph: &Graph) -> Bytes {
     buf.freeze()
 }
 
-fn get_slice<'a>(buf: &mut &'a [u8], n: usize, what: &'static str) -> Result<&'a [u8], SnapshotError> {
+fn get_slice<'a>(
+    buf: &mut &'a [u8],
+    n: usize,
+    what: &'static str,
+) -> Result<&'a [u8], SnapshotError> {
     if buf.len() < n {
         return Err(SnapshotError::Truncated { reading: what });
     }
@@ -162,12 +170,9 @@ pub fn load(data: &[u8]) -> Result<Graph, SnapshotError> {
     };
 
     let mut schema = Schema::new();
-    for list in [
-        &mut schema.subclass,
-        &mut schema.subproperty,
-        &mut schema.domain,
-        &mut schema.range,
-    ] {
+    for list in
+        [&mut schema.subclass, &mut schema.subproperty, &mut schema.domain, &mut schema.range]
+    {
         let count = get_u32(&mut buf, "schema count")? as usize;
         for _ in 0..count {
             let a = check(get_u32(&mut buf, "schema pair")?)?;

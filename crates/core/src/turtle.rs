@@ -14,7 +14,7 @@
 
 use std::fmt;
 
-use jucq_model::{FxHashMap, Graph, Term, Triple, vocab};
+use jucq_model::{vocab, FxHashMap, Graph, Term, Triple};
 
 /// A load failure, with line number.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -175,8 +175,7 @@ pub fn load(graph: &mut Graph, text: &str) -> Result<usize, TurtleError> {
                 if raw_line[..pos].chars().filter(|&c| c == '"').count() % 2 == 0
                     && raw_line[..pos].matches('<').count()
                         == raw_line[..pos].matches('>').count()
-                    && (pos == 0
-                        || raw_line[..pos].ends_with(char::is_whitespace)) =>
+                    && (pos == 0 || raw_line[..pos].ends_with(char::is_whitespace)) =>
             {
                 &raw_line[..pos]
             }
@@ -259,14 +258,17 @@ mod tests {
     #[test]
     fn duplicate_triples_not_double_counted() {
         let mut g = Graph::new();
-        let n = load(&mut g, "<http://a> <http://p> <http://b> .\n<http://a> <http://p> <http://b> .").unwrap();
+        let n =
+            load(&mut g, "<http://a> <http://p> <http://b> .\n<http://a> <http://p> <http://b> .")
+                .unwrap();
         assert_eq!(n, 1);
     }
 
     #[test]
     fn comments_and_blanks_skipped() {
         let mut g = Graph::new();
-        let n = load(&mut g, "# a comment\n\n<http://a> <http://p> <http://b> . # trailing\n").unwrap();
+        let n =
+            load(&mut g, "# a comment\n\n<http://a> <http://p> <http://b> . # trailing\n").unwrap();
         assert_eq!(n, 1);
     }
 
@@ -338,9 +340,6 @@ mod tests {
         let mut g = Graph::new();
         let n = load(&mut g, "<http://a#frag> <http://p> <http://b> .").unwrap();
         assert_eq!(n, 1);
-        assert!(g
-            .dict()
-            .lookup(&Term::uri("http://a#frag"))
-            .is_some());
+        assert!(g.dict().lookup(&Term::uri("http://a#frag")).is_some());
     }
 }

@@ -87,7 +87,7 @@ impl V {
             year: u("year"),
             title: u("title"),
             person_name: u("personName"),
-        rdf_type: graph.rdf_type(),
+            rdf_type: graph.rdf_type(),
         }
     }
 }
@@ -172,8 +172,7 @@ pub fn generate(config: &DblpConfig) -> Graph {
     let n_pubs = config.authors * 4;
     let mut pubs: Vec<TermId> = Vec::with_capacity(n_pubs);
     for i in 0..n_pubs {
-        let publication =
-            graph.dict_mut().encode_uri(&format!("http://dblp.jucq.org/pub/pub{i}"));
+        let publication = graph.dict_mut().encode_uri(&format!("http://dblp.jucq.org/pub/pub{i}"));
         let class = match rng.gen_range(0..100) {
             0..=44 => v.in_proceedings,
             45..=74 => v.journal_article,
@@ -205,9 +204,8 @@ pub fn generate(config: &DblpConfig) -> Graph {
             add(&mut graph, publication, v.author, a);
         }
         // Year and title.
-        let year = graph
-            .dict_mut()
-            .encode(&Term::literal(format!("{}", 1970 + rng.gen_range(0..45))));
+        let year =
+            graph.dict_mut().encode(&Term::literal(format!("{}", 1970 + rng.gen_range(0..45))));
         add(&mut graph, publication, v.year, year);
         let title = graph.dict_mut().encode(&Term::literal(format!("Title of pub{i}")));
         add(&mut graph, publication, v.title, title);
@@ -266,12 +264,8 @@ mod tests {
         let in_proc = d.lookup(&Term::uri(Ontology::uri("inProceedings"))).unwrap();
         let journal_article = d.lookup(&Term::uri(Ontology::uri("JournalArticle"))).unwrap();
         // No journal article uses inProceedings.
-        let ja: std::collections::HashSet<TermId> = g
-            .data()
-            .iter()
-            .filter(|t| t.p == ty && t.o == journal_article)
-            .map(|t| t.s)
-            .collect();
+        let ja: std::collections::HashSet<TermId> =
+            g.data().iter().filter(|t| t.p == ty && t.o == journal_article).map(|t| t.s).collect();
         assert!(!ja.is_empty());
         for t in g.data() {
             if t.p == in_proc {

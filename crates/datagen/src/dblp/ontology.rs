@@ -6,7 +6,7 @@
 //! properties (`title`, `year`, `pages`, `personName`) carry no class
 //! constraints.
 
-use jucq_model::{Graph, Term, Triple, vocab};
+use jucq_model::{vocab, Graph, Term, Triple};
 
 /// The ontology namespace.
 pub const NS: &str = "http://jucq.example.org/dblp#";
@@ -43,11 +43,8 @@ pub const SUBPROPERTIES: &[(&str, &str)] = &[
 ];
 
 /// `(property, domain class)` pairs.
-pub const DOMAINS: &[(&str, &str)] = &[
-    ("creator", "Document"),
-    ("partOf", "Publication"),
-    ("cites", "Publication"),
-];
+pub const DOMAINS: &[(&str, &str)] =
+    &[("creator", "Document"), ("partOf", "Publication"), ("cites", "Publication")];
 
 /// `(property, range class)` pairs.
 pub const RANGES: &[(&str, &str)] = &[

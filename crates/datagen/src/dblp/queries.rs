@@ -33,10 +33,7 @@ pub fn workload() -> Vec<NamedQuery> {
             "SELECT ?a ?b WHERE { ?x db:author ?a . ?x db:author ?b . ?x a db:InProceedings }",
         ),
         // Q07: citation chain with Publication endpoints.
-        q(
-            "Q07",
-            "SELECT ?x ?y WHERE { ?x db:cites ?y . ?y a db:Book . ?x a db:JournalArticle }",
-        ),
+        q("Q07", "SELECT ?x ?y WHERE { ?x db:cites ?y . ?y a db:Book . ?x a db:JournalArticle }"),
         // Q08: five atoms mixing creator and partOf hierarchies.
         q(
             "Q08",
@@ -44,10 +41,7 @@ pub fn workload() -> Vec<NamedQuery> {
              ?x db:year ?y . ?x db:cites ?z }",
         ),
         // Q09: class variable over cited documents (large union).
-        q(
-            "Q09",
-            "SELECT ?x ?t WHERE { ?x a ?t . ?x db:cites ?y . ?y a db:PhdThesis }",
-        ),
+        q("Q09", "SELECT ?x ?t WHERE { ?x a ?t . ?x db:cites ?y . ?y a db:PhdThesis }"),
         // Q10: ten atoms, two class variables — the workload's monster:
         // a huge UCQ reformulation and a cover space too large for
         // exhaustive search (the paper's ECov misses Q10).

@@ -257,8 +257,7 @@ impl Gen<'_> {
         for (pi, &prof) in professors.iter().enumerate() {
             let n_pubs = self.rng.gen_range(4..=8);
             for k in 0..n_pubs {
-                let publication =
-                    self.entity(format!("{}/pub{pi}-{k}", department_uri(u, d)));
+                let publication = self.entity(format!("{}/pub{pi}-{k}", department_uri(u, d)));
                 let class = match self.rng.gen_range(0..10) {
                     0..=3 => self.v.journal_article,
                     4..=7 => self.v.conference_paper,
@@ -359,11 +358,7 @@ mod tests {
     #[test]
     fn one_university_is_lubm_scale() {
         let g = generate(&LubmConfig::new(1));
-        assert!(
-            (30_000..=120_000).contains(&g.len()),
-            "LUBM(1) ≈ 100k triples; got {}",
-            g.len()
-        );
+        assert!((30_000..=120_000).contains(&g.len()), "LUBM(1) ≈ 100k triples; got {}", g.len());
     }
 
     #[test]
@@ -391,11 +386,7 @@ mod tests {
         let d = g.dict();
         for general in ["Person", "Faculty", "Professor", "Student", "Publication"] {
             if let Some(c) = d.lookup(&Term::uri(Ontology::uri(general))) {
-                let direct = g
-                    .data()
-                    .iter()
-                    .filter(|t| t.p == ty && t.o == c)
-                    .count();
+                let direct = g.data().iter().filter(|t| t.p == ty && t.o == c).count();
                 assert_eq!(direct, 0, "{general} asserted directly");
             }
         }
@@ -408,12 +399,8 @@ mod tests {
         let d = g.dict();
         let chair = d.lookup(&Term::uri(Ontology::uri("Chair"))).unwrap();
         let head_of = d.lookup(&Term::uri(Ontology::uri("headOf"))).unwrap();
-        let chairs: Vec<_> = g
-            .data()
-            .iter()
-            .filter(|t| t.p == ty && t.o == chair)
-            .map(|t| t.s)
-            .collect();
+        let chairs: Vec<_> =
+            g.data().iter().filter(|t| t.p == ty && t.o == chair).map(|t| t.s).collect();
         assert!(!chairs.is_empty());
         for c in chairs {
             assert!(

@@ -10,7 +10,7 @@
 //! distort reformulation sizes (and type literals, see the generalized
 //! triple note in `jucq-reformulation::saturation`).
 
-use jucq_model::{Graph, Term, Triple, vocab};
+use jucq_model::{vocab, Graph, Term, Triple};
 
 /// The ontology namespace.
 pub const NS: &str = "http://jucq.example.org/univ-bench#";
@@ -95,8 +95,7 @@ pub const RANGES: &[(&str, &str)] = &[
 ];
 
 /// Literal-valued properties, constraint-free by design.
-pub const LITERAL_PROPERTIES: &[&str] =
-    &["name", "emailAddress", "telephone", "researchInterest"];
+pub const LITERAL_PROPERTIES: &[&str] = &["name", "emailAddress", "telephone", "researchInterest"];
 
 /// Handle on the ontology vocabulary.
 #[derive(Debug, Clone, Copy, Default)]
@@ -111,11 +110,7 @@ impl Ontology {
     /// Insert every schema constraint into `graph`.
     pub fn declare(graph: &mut Graph) {
         let triple = |s: &str, p: &str, o: &str| {
-            Triple::new(
-                Term::uri(Self::uri(s)),
-                Term::uri(p),
-                Term::uri(Self::uri(o)),
-            )
+            Triple::new(Term::uri(Self::uri(s)), Term::uri(p), Term::uri(Self::uri(o)))
         };
         for &(sub, sup) in SUBCLASSES {
             graph.insert(&triple(sub, vocab::RDFS_SUBCLASS_OF, sup));

@@ -162,8 +162,7 @@ impl Graph {
 
     /// The id of `rdf:type` if it is already interned.
     pub fn rdf_type_id(&self) -> Option<TermId> {
-        self.rdf_type
-            .or_else(|| self.dict.lookup_uri(vocab::RDF_TYPE))
+        self.rdf_type.or_else(|| self.dict.lookup_uri(vocab::RDF_TYPE))
     }
 
     /// Compute the schema closure, extending the class universe with the

@@ -35,5 +35,5 @@ pub use graph::Graph;
 pub use hash::{FxHashMap, FxHashSet};
 pub use schema::{Schema, SchemaClosure};
 pub use term::{Term, TermKind};
-pub use triple::{Triple, TripleId};
 pub use triple::TermId;
+pub use triple::{Triple, TripleId};

@@ -326,10 +326,7 @@ mod tests {
     #[test]
     fn subclass_transitivity() {
         let (a, b, c) = (id(0), id(1), id(2));
-        let schema = Schema {
-            subclass: vec![(a, b), (b, c)],
-            ..Default::default()
-        };
+        let schema = Schema { subclass: vec![(a, b), (b, c)], ..Default::default() };
         let cl = SchemaClosure::new(&schema, [], []);
         assert!(cl.is_subclass(a, b));
         assert!(cl.is_subclass(a, c));
@@ -340,10 +337,7 @@ mod tests {
     #[test]
     fn subproperty_transitivity() {
         let (p, q, r) = (id(0), id(1), id(2));
-        let schema = Schema {
-            subproperty: vec![(p, q), (q, r)],
-            ..Default::default()
-        };
+        let schema = Schema { subproperty: vec![(p, q), (q, r)], ..Default::default() };
         let cl = SchemaClosure::new(&schema, [], []);
         assert!(cl.is_subproperty(p, r));
         assert_eq!(cl.super_properties(p), &[q, r] as &[_]);
@@ -366,11 +360,8 @@ mod tests {
     #[test]
     fn subproperty_inherits_superproperty_domain() {
         let (p, sup, c) = (id(0), id(1), id(2));
-        let schema = Schema {
-            subproperty: vec![(p, sup)],
-            domain: vec![(sup, c)],
-            ..Default::default()
-        };
+        let schema =
+            Schema { subproperty: vec![(p, sup)], domain: vec![(sup, c)], ..Default::default() };
         let cl = SchemaClosure::new(&schema, [], []);
         assert!(cl.domains(p).contains(&c), "dom inherited from superproperty");
         assert!(cl.domains(sup).contains(&c));
@@ -393,10 +384,8 @@ mod tests {
         // B ⊑ A, C ⊑ A, D ⊑ B, D ⊑ C: D's ancestors are {B, C, A},
         // each exactly once.
         let (a, b, c, d) = (id(0), id(1), id(2), id(3));
-        let schema = Schema {
-            subclass: vec![(b, a), (c, a), (d, b), (d, c)],
-            ..Default::default()
-        };
+        let schema =
+            Schema { subclass: vec![(b, a), (c, a), (d, b), (d, c)], ..Default::default() };
         let cl = SchemaClosure::new(&schema, [], []);
         let mut sups: Vec<TermId> = cl.super_classes(d).to_vec();
         sups.sort();
@@ -409,10 +398,7 @@ mod tests {
     #[test]
     fn cycles_do_not_loop_forever() {
         let (a, b) = (id(0), id(1));
-        let schema = Schema {
-            subclass: vec![(a, b), (b, a)],
-            ..Default::default()
-        };
+        let schema = Schema { subclass: vec![(a, b), (b, a)], ..Default::default() };
         let cl = SchemaClosure::new(&schema, [], []);
         assert!(cl.is_subclass(a, b));
         assert!(cl.is_subclass(b, a));
@@ -446,7 +432,9 @@ mod tests {
         assert!(!schema.is_empty());
         let classes = schema.declared_classes();
         assert_eq!(classes.len(), 3);
-        assert!(classes.contains(&book) && classes.contains(&publication) && classes.contains(&person));
+        assert!(
+            classes.contains(&book) && classes.contains(&publication) && classes.contains(&person)
+        );
         let props = schema.declared_properties();
         assert_eq!(props.len(), 2);
         assert!(props.contains(&written_by) && props.contains(&has_author));

@@ -20,12 +20,8 @@ pub const RDFS_DOMAIN: &str = "http://www.w3.org/2000/01/rdf-schema#domain";
 pub const RDFS_RANGE: &str = "http://www.w3.org/2000/01/rdf-schema#range";
 
 /// The four RDFS constraint property URIs (Figure 2, bottom).
-pub const SCHEMA_PROPERTIES: [&str; 4] = [
-    RDFS_SUBCLASS_OF,
-    RDFS_SUBPROPERTY_OF,
-    RDFS_DOMAIN,
-    RDFS_RANGE,
-];
+pub const SCHEMA_PROPERTIES: [&str; 4] =
+    [RDFS_SUBCLASS_OF, RDFS_SUBPROPERTY_OF, RDFS_DOMAIN, RDFS_RANGE];
 
 /// True iff `uri` is one of the four RDFS constraint properties.
 pub fn is_schema_property(uri: &str) -> bool {

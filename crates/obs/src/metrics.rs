@@ -1,0 +1,287 @@
+//! A process-global metrics registry: counters, gauges, and
+//! log₂-bucketed histograms under dotted names.
+//!
+//! Naming convention is `component.metric[.unit]`, e.g.
+//! `plan_cache.hits`, `exec.tuples_scanned`,
+//! `pipeline.cover_search.ns`. Writers go through the free functions
+//! ([`counter_add`], [`gauge_set`], [`histogram_record`]) which no-op
+//! while observability is disabled; readers snapshot the whole registry
+//! at once.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Number of log₂ buckets: values up to 2⁶³ land in a bucket.
+const BUCKETS: usize = 64;
+
+/// A log₂-bucketed histogram of `u64` samples.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { counts: [0; BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+}
+
+/// Bucket index of a sample: 0 holds the value 0, bucket `i` holds
+/// values in `[2^(i-1), 2^i)`.
+fn bucket_of(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// Inclusive-exclusive value range `[lo, hi)` of bucket `i`.
+fn bucket_bounds(i: usize) -> (u64, u64) {
+    if i == 0 {
+        (0, 1)
+    } else {
+        (1u64 << (i - 1), if i >= 64 { u64::MAX } else { 1u64 << i })
+    }
+}
+
+impl Histogram {
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[bucket_of(value).min(BUCKETS - 1)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Upper bound of the bucket containing quantile `q` in `[0, 1]`
+    /// (a conservative estimate; exact values are not retained).
+    pub fn quantile_le(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_bounds(i).1.saturating_sub(1).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// Read-only view of one histogram.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples (saturating).
+    pub sum: u64,
+    /// Smallest sample, 0 if empty.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Conservative 50th-percentile upper bound.
+    pub p50: u64,
+    /// Conservative 90th-percentile upper bound.
+    pub p90: u64,
+    /// Conservative 99th-percentile upper bound.
+    pub p99: u64,
+    /// Non-empty buckets as `(lo, hi_exclusive, count)`.
+    pub buckets: Vec<(u64, u64, u64)>,
+}
+
+impl Histogram {
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: if self.count == 0 { 0 } else { self.min },
+            max: self.max,
+            p50: self.quantile_le(0.50),
+            p90: self.quantile_le(0.90),
+            p99: self.quantile_le(0.99),
+            buckets: self
+                .counts
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| {
+                    let (lo, hi) = bucket_bounds(i);
+                    (lo, hi, c)
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Consistent point-in-time view of the whole registry.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins gauges by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Counter value, defaulting to 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+}
+
+/// The registry backing the free functions; obtain it via [`global`].
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<&'static str, u64>>,
+    gauges: Mutex<BTreeMap<&'static str, f64>>,
+    histograms: Mutex<BTreeMap<&'static str, Histogram>>,
+}
+
+impl Registry {
+    /// Add `delta` to the counter `name`.
+    pub fn counter_add(&self, name: &'static str, delta: u64) {
+        let mut c = self.counters.lock().expect("counters poisoned");
+        *c.entry(name).or_insert(0) += delta;
+    }
+
+    /// Set the gauge `name` to `value`.
+    pub fn gauge_set(&self, name: &'static str, value: f64) {
+        self.gauges.lock().expect("gauges poisoned").insert(name, value);
+    }
+
+    /// Record one histogram sample under `name`.
+    pub fn histogram_record(&self, name: &'static str, value: u64) {
+        let mut h = self.histograms.lock().expect("histograms poisoned");
+        h.entry(name).or_default().record(value);
+    }
+
+    /// Snapshot everything.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .lock()
+                .expect("counters poisoned")
+                .iter()
+                .map(|(&k, &v)| (k.to_owned(), v))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .expect("gauges poisoned")
+                .iter()
+                .map(|(&k, &v)| (k.to_owned(), v))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .expect("histograms poisoned")
+                .iter()
+                .map(|(&k, h)| (k.to_owned(), h.snapshot()))
+                .collect(),
+        }
+    }
+
+    /// Clear all metrics.
+    pub fn reset(&self) {
+        self.counters.lock().expect("counters poisoned").clear();
+        self.gauges.lock().expect("gauges poisoned").clear();
+        self.histograms.lock().expect("histograms poisoned").clear();
+    }
+}
+
+/// The process-global registry.
+pub fn global() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+/// Add to a global counter (no-op while observability is disabled).
+#[inline]
+pub fn counter_add(name: &'static str, delta: u64) {
+    if crate::enabled() {
+        global().counter_add(name, delta);
+    }
+}
+
+/// Set a global gauge (no-op while observability is disabled).
+#[inline]
+pub fn gauge_set(name: &'static str, value: f64) {
+    if crate::enabled() {
+        global().gauge_set(name, value);
+    }
+}
+
+/// Record a global histogram sample (no-op while disabled).
+#[inline]
+pub fn histogram_record(name: &'static str, value: u64) {
+    if crate::enabled() {
+        global().histogram_record(name, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = Histogram::default();
+        for v in [0u64, 1, 1, 3, 8, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 1013);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 1000);
+        // Bucket sanity: value 0 → [0,1), 1 → [1,2), 3 → [2,4), 8 → [8,16).
+        assert!(s.buckets.contains(&(0, 1, 1)));
+        assert!(s.buckets.contains(&(1, 2, 2)));
+        assert!(s.buckets.contains(&(2, 4, 1)));
+        assert!(s.buckets.contains(&(8, 16, 1)));
+        // p50 of [0,1,1,3,8,1000]: 3rd rank lands in the [1,2) bucket.
+        assert!(s.p50 <= 3);
+        assert!(s.p99 >= 512 && s.p99 <= 1000);
+    }
+
+    #[test]
+    fn registry_isolated_instance() {
+        let r = Registry::default();
+        r.counter_add("t.hits", 2);
+        r.counter_add("t.hits", 3);
+        r.gauge_set("t.ratio", 0.5);
+        r.histogram_record("t.lat", 7);
+        let s = r.snapshot();
+        assert_eq!(s.counter("t.hits"), 5);
+        assert_eq!(s.gauges["t.ratio"], 0.5);
+        assert_eq!(s.histograms["t.lat"].count, 1);
+        r.reset();
+        assert!(r.snapshot().is_empty());
+    }
+
+    #[test]
+    fn free_functions_gate_on_enabled() {
+        let _serial = crate::test_lock();
+        crate::set_enabled(false);
+        counter_add("gate.off", 1);
+        assert_eq!(global().snapshot().counter("gate.off"), 0);
+        crate::set_enabled(true);
+        counter_add("gate.on", 1);
+        crate::set_enabled(false);
+        assert_eq!(global().snapshot().counter("gate.on"), 1);
+        global().reset();
+    }
+}

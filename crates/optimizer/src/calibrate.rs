@@ -20,7 +20,7 @@
 
 use std::time::Instant;
 
-use jucq_store::{PatternTerm, Statistics, Store, StoreCq, StoreJucq, StoreUcq, StorePattern};
+use jucq_store::{PatternTerm, Statistics, Store, StoreCq, StoreJucq, StorePattern, StoreUcq};
 
 use crate::cost::CostConstants;
 
@@ -42,10 +42,7 @@ fn calibration_predicates(
     preds.sort_unstable();
     let &(_, small) = preds.first()?;
     let &(_, large) = preds.last()?;
-    let &(_, mid) = preds
-        .iter()
-        .min_by_key(|(n, _)| n.abs_diff(3_000))
-        .expect("non-empty");
+    let &(_, mid) = preds.iter().min_by_key(|(n, _)| n.abs_diff(3_000)).expect("non-empty");
     Some((large, small, mid))
 }
 
@@ -74,7 +71,11 @@ pub fn calibrate(store: &Store) -> CostConstants {
 
     let scan_q = |p: jucq_model::TermId| -> StoreJucq {
         let cq = StoreCq::with_var_head(
-            vec![StorePattern::new(PatternTerm::Var(0), PatternTerm::Const(p), PatternTerm::Var(1))],
+            vec![StorePattern::new(
+                PatternTerm::Var(0),
+                PatternTerm::Const(p),
+                PatternTerm::Var(1),
+            )],
             vec![0, 1],
         );
         StoreJucq::from_ucq(StoreUcq::new(vec![cq], vec![0, 1]))
@@ -151,8 +152,16 @@ pub fn calibrate(store: &Store) -> CostConstants {
     {
         let one_cq = StoreCq::with_var_head(
             vec![
-                StorePattern::new(PatternTerm::Var(0), PatternTerm::Const(big_pred), PatternTerm::Var(1)),
-                StorePattern::new(PatternTerm::Var(0), PatternTerm::Const(small_pred), PatternTerm::Var(2)),
+                StorePattern::new(
+                    PatternTerm::Var(0),
+                    PatternTerm::Const(big_pred),
+                    PatternTerm::Var(1),
+                ),
+                StorePattern::new(
+                    PatternTerm::Var(0),
+                    PatternTerm::Const(small_pred),
+                    PatternTerm::Var(2),
+                ),
             ],
             vec![0],
         );
@@ -160,14 +169,22 @@ pub fn calibrate(store: &Store) -> CostConstants {
         let t_one = time_jucq(store, &q_one, 3);
         let fa = StoreUcq::new(
             vec![StoreCq::with_var_head(
-                vec![StorePattern::new(PatternTerm::Var(0), PatternTerm::Const(big_pred), PatternTerm::Var(1))],
+                vec![StorePattern::new(
+                    PatternTerm::Var(0),
+                    PatternTerm::Const(big_pred),
+                    PatternTerm::Var(1),
+                )],
                 vec![0],
             )],
             vec![0],
         );
         let fb = StoreUcq::new(
             vec![StoreCq::with_var_head(
-                vec![StorePattern::new(PatternTerm::Var(0), PatternTerm::Const(small_pred), PatternTerm::Var(2))],
+                vec![StorePattern::new(
+                    PatternTerm::Var(0),
+                    PatternTerm::Const(small_pred),
+                    PatternTerm::Var(2),
+                )],
                 vec![0],
             )],
             vec![0],

@@ -24,7 +24,9 @@
 use std::cell::RefCell;
 
 use jucq_model::{FxHashMap, FxHashSet};
-use jucq_store::{PatternTerm, Statistics, StoreCq, StoreJucq, StorePattern, StoreUcq, TripleTable, VarId};
+use jucq_store::{
+    PatternTerm, Statistics, StoreCq, StoreJucq, StorePattern, StoreUcq, TripleTable, VarId,
+};
 use serde::{Deserialize, Serialize};
 
 /// The system-dependent constants of the model, "which we determine by
@@ -142,10 +144,7 @@ impl<'a> PaperCostModel<'a> {
 
     /// Total scan volume of one CQ: `Σ_tᵢ |CQ_{tᵢ}|` (exact extents).
     pub fn cq_scan_volume(&self, cq: &StoreCq) -> f64 {
-        cq.patterns
-            .iter()
-            .map(|p| self.stats.pattern_card(self.table, p) as f64)
-            .sum()
+        cq.patterns.iter().map(|p| self.stats.pattern_card(self.table, p) as f64).sum()
     }
 
     /// `c_eval(CQ) = c_scan + c_join = (c_t + c_j)·V` (equation 2),
@@ -172,9 +171,8 @@ impl<'a> PaperCostModel<'a> {
                     .iter()
                     .map(|p| self.stats.pattern_card(self.table, p) as f64)
                     .collect();
-                order.sort_by(|&a, &b| {
-                    extents[a].partial_cmp(&extents[b]).expect("finite extents")
-                });
+                order
+                    .sort_by(|&a, &b| extents[a].partial_cmp(&extents[b]).expect("finite extents"));
                 let mut volume = extents[order[0]];
                 let mut prefix: Vec<StorePattern> = vec![cq.patterns[order[0]]];
                 let mut prefix_ext: Vec<f64> = vec![extents[order[0]]];
@@ -271,10 +269,7 @@ impl<'a> PaperCostModel<'a> {
                         .collect();
                     for &v in &head_vars {
                         let d = self.stats.var_domain_in(&cq.patterns, &extents, v);
-                        domains
-                            .entry(v)
-                            .and_modify(|cur| *cur = cur.max(d))
-                            .or_insert(d);
+                        domains.entry(v).and_modify(|cur| *cur = cur.max(d)).or_insert(d);
                     }
                     for (pos, &v) in head_vars.iter().enumerate() {
                         if let Some(PatternTerm::Const(c)) = cq.head.get(pos) {
@@ -370,11 +365,8 @@ impl<'a> PaperCostModel<'a> {
     /// cover search supplies templates through
     /// [`PaperCostModel::fragment_components_cached`]).
     pub fn cost(&self, jucq: &StoreJucq) -> f64 {
-        let comps: Vec<FragComponents> = jucq
-            .fragments
-            .iter()
-            .map(|u| self.fragment_components(u, None))
-            .collect();
+        let comps: Vec<FragComponents> =
+            jucq.fragments.iter().map(|u| self.fragment_components(u, None)).collect();
         self.combine(&comps)
     }
 }
@@ -403,10 +395,8 @@ mod tests {
     }
 
     fn setup() -> (TripleTable, Statistics) {
-        let triples: Vec<TripleId> = (0..50)
-            .map(|i| t(i, 10, i % 5))
-            .chain((0..10).map(|i| t(i, 11, 100 + i)))
-            .collect();
+        let triples: Vec<TripleId> =
+            (0..50).map(|i| t(i, 10, i % 5)).chain((0..10).map(|i| t(i, 11, 100 + i))).collect();
         let table = TripleTable::build(&triples);
         let stats = Statistics::build(&table);
         (table, stats)
@@ -432,10 +422,7 @@ mod tests {
         let (table, stats) = setup();
         let m = PaperCostModel::new(&table, &stats, CostConstants::default());
         let cq = StoreCq::with_var_head(
-            vec![
-                StorePattern::new(v(0), c(10), v(1)),
-                StorePattern::new(v(0), c(11), v(2)),
-            ],
+            vec![StorePattern::new(v(0), c(10), v(1)), StorePattern::new(v(0), c(11), v(2))],
             vec![0],
         );
         assert_eq!(m.cq_scan_volume(&cq), 60.0);
@@ -448,9 +435,8 @@ mod tests {
         let m = PaperCostModel::new(&table, &stats, constants);
         let f = frag(vec![StorePattern::new(v(0), c(10), v(1))], vec![0, 1]);
         let jucq = StoreJucq::from_ucq(f.clone());
-        let expected = constants.c_db
-            + m.c_eval_ucq(&f)
-            + m.c_unique(stats.est_jucq(&table, &jucq));
+        let expected =
+            constants.c_db + m.c_eval_ucq(&f) + m.c_unique(stats.est_jucq(&table, &jucq));
         assert!((m.cost(&jucq) - expected).abs() < 1e-12);
     }
 
@@ -490,7 +476,8 @@ mod tests {
         let (table, stats) = setup();
         let m = PaperCostModel::new(&table, &stats, CostConstants::default());
         let big = StoreJucq::from_ucq(frag(vec![StorePattern::new(v(0), c(10), v(1))], vec![0, 1]));
-        let small = StoreJucq::from_ucq(frag(vec![StorePattern::new(v(0), c(11), v(1))], vec![0, 1]));
+        let small =
+            StoreJucq::from_ucq(frag(vec![StorePattern::new(v(0), c(11), v(1))], vec![0, 1]));
         assert!(m.cost(&big) > m.cost(&small));
     }
 }

@@ -70,6 +70,7 @@ fn mask_to_vec(mask: u32) -> Vec<usize> {
 
 /// Run ECov: exhaustively enumerate covers and return the cheapest.
 pub fn ecov(search: &CoverSearch<'_>, budget: Duration) -> CoverSearchResult {
+    jucq_obs::span!("cover_search");
     let started = Instant::now();
     let q = search.query();
     let n = q.len();
@@ -112,10 +113,7 @@ pub fn ecov(search: &CoverSearch<'_>, budget: Duration) -> CoverSearchResult {
             }
             // Maintain the antichain property (no fragment included in
             // another).
-            if chosen
-                .iter()
-                .any(|&c| (c & frag) == c || (c & frag) == frag)
-            {
+            if chosen.iter().any(|&c| (c & frag) == c || (c & frag) == frag) {
                 continue;
             }
             let mut next = chosen.clone();

@@ -52,6 +52,7 @@ impl MoveList {
 /// moves; `budget` bounds wall-clock time (the paper notes "one could
 /// easily change the stop condition").
 pub fn gcov(search: &CoverSearch<'_>, budget: Duration, max_moves: usize) -> CoverSearchResult {
+    jucq_obs::span!("cover_search");
     let started = Instant::now();
     let q = search.query();
 
@@ -159,11 +160,19 @@ mod tests {
                 jucq_model::vocab::RDFS_SUBCLASS_OF,
                 Term::uri(format!("C{i}")),
             ));
-            triples.push(t(&format!("d{i}"), jucq_model::vocab::RDFS_DOMAIN, Term::uri(format!("C{i}"))));
+            triples.push(t(
+                &format!("d{i}"),
+                jucq_model::vocab::RDFS_DOMAIN,
+                Term::uri(format!("C{i}")),
+            ));
         }
         for i in 0..200 {
             triples.push(t(&format!("e{i}"), "d0", Term::uri("x")));
-            triples.push(t(&format!("e{i}"), jucq_model::vocab::RDF_TYPE, Term::uri(format!("C{}", i % 6))));
+            triples.push(t(
+                &format!("e{i}"),
+                jucq_model::vocab::RDF_TYPE,
+                Term::uri(format!("C{}", i % 6)),
+            ));
         }
         // p_sel: very selective.
         triples.push(t("e0", "psel", Term::uri("target")));
@@ -181,8 +190,16 @@ mod tests {
         BgpQuery::new(
             vec![0],
             vec![
-                StorePattern::new(PatternTerm::Var(0), PatternTerm::Const(ty), PatternTerm::Const(c0)),
-                StorePattern::new(PatternTerm::Var(0), PatternTerm::Const(psel), PatternTerm::Var(1)),
+                StorePattern::new(
+                    PatternTerm::Var(0),
+                    PatternTerm::Const(ty),
+                    PatternTerm::Const(c0),
+                ),
+                StorePattern::new(
+                    PatternTerm::Var(0),
+                    PatternTerm::Const(psel),
+                    PatternTerm::Var(1),
+                ),
                 StorePattern::new(PatternTerm::Var(0), PatternTerm::Const(d0), PatternTerm::Var(2)),
             ],
         )
@@ -234,12 +251,7 @@ mod tests {
         let g = gcov(&s1, Duration::from_secs(10), 10_000);
         let s2 = CoverSearch::new(&q, env, &model);
         let e = ecov(&s2, Duration::from_secs(10));
-        assert!(
-            g.explored <= e.explored,
-            "gcov {} vs ecov {}",
-            g.explored,
-            e.explored
-        );
+        assert!(g.explored <= e.explored, "gcov {} vs ecov {}", g.explored, e.explored);
         // The greedy result should be close to the exhaustive optimum
         // (paper: "GCov JUCQ performs as well as the ECov one").
         assert!(g.estimated_cost <= e.estimated_cost * 4.0 + 1e-9);
@@ -267,7 +279,11 @@ mod tests {
         let psel = f.graph.dict().lookup(&Term::uri("psel")).unwrap();
         let q = BgpQuery::new(
             vec![0],
-            vec![StorePattern::new(PatternTerm::Var(0), PatternTerm::Const(psel), PatternTerm::Var(1))],
+            vec![StorePattern::new(
+                PatternTerm::Var(0),
+                PatternTerm::Const(psel),
+                PatternTerm::Var(1),
+            )],
         );
         let closure = f.graph.schema_closure();
         let env = ReformulationEnv { closure: &closure, rdf_type: f.rdf_type };

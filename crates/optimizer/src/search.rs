@@ -70,11 +70,8 @@ impl JucqCostEstimator for PaperCostModel<'_> {
             .map(|f| {
                 // Unioned per-atom extents: the scan volume of each
                 // atom's singleton reformulation.
-                let extents: Vec<f64> = f
-                    .atom_singletons
-                    .iter()
-                    .map(|u| self.ucq_scan_volume(u))
-                    .collect();
+                let extents: Vec<f64> =
+                    f.atom_singletons.iter().map(|u| self.ucq_scan_volume(u)).collect();
                 self.fragment_components_cached(f.ucq, Some((f.template_atoms, &extents)))
             })
             .collect();
@@ -216,6 +213,7 @@ impl<'a> CoverSearch<'a> {
     /// Estimated cost of a cover's JUCQ (`+∞` when un-materializable).
     /// Each call counts as one explored cover.
     pub fn cover_cost(&self, cover: &Cover) -> f64 {
+        jucq_obs::span!("cost_estimation");
         *self.explored.borrow_mut() += 1;
         let fragments = cover.fragments();
         let cover_queries = cover.cover_queries(self.query);
@@ -314,8 +312,16 @@ mod tests {
         BgpQuery::new(
             vec![0, 1],
             vec![
-                StorePattern::new(PatternTerm::Var(0), PatternTerm::Const(ty), PatternTerm::Const(book)),
-                StorePattern::new(PatternTerm::Var(0), PatternTerm::Const(written_by), PatternTerm::Var(1)),
+                StorePattern::new(
+                    PatternTerm::Var(0),
+                    PatternTerm::Const(ty),
+                    PatternTerm::Const(book),
+                ),
+                StorePattern::new(
+                    PatternTerm::Var(0),
+                    PatternTerm::Const(written_by),
+                    PatternTerm::Var(1),
+                ),
             ],
         )
     }

@@ -104,10 +104,7 @@ impl BgpQuery {
 
     /// View the query as a store CQ (all-variable head).
     pub fn to_store_cq(&self) -> StoreCq {
-        StoreCq::new(
-            self.atoms.clone(),
-            self.head.iter().map(|&v| PatternTerm::Var(v)).collect(),
-        )
+        StoreCq::new(self.atoms.clone(), self.head.iter().map(|&v| PatternTerm::Var(v)).collect())
     }
 
     /// A canonical form for caching and workload deduplication:
@@ -285,10 +282,7 @@ mod tests {
         // (x p y)(z p w): no shared variables.
         let q = BgpQuery::new(
             vec![0],
-            vec![
-                StorePattern::new(v(0), c(1), v(1)),
-                StorePattern::new(v(2), c(1), v(3)),
-            ],
+            vec![StorePattern::new(v(0), c(1), v(1)), StorePattern::new(v(2), c(1), v(3))],
         );
         assert!(!q.atoms_connected(&[0, 1]));
     }
@@ -311,10 +305,7 @@ mod tests {
         // sides even though y is not distinguished.
         let q = BgpQuery::new(
             vec![0],
-            vec![
-                StorePattern::new(v(0), c(1), v(1)),
-                StorePattern::new(v(1), c(1), v(2)),
-            ],
+            vec![StorePattern::new(v(0), c(1), v(1)), StorePattern::new(v(1), c(1), v(2))],
         );
         let f1 = q.cover_query(&[0]);
         assert_eq!(f1.head, vec![0, 1]);
@@ -327,17 +318,11 @@ mod tests {
         // Same query with different variable ids and atom order.
         let a = BgpQuery::new(
             vec![3],
-            vec![
-                StorePattern::new(v(3), c(1), v(9)),
-                StorePattern::new(v(9), c(2), v(4)),
-            ],
+            vec![StorePattern::new(v(3), c(1), v(9)), StorePattern::new(v(9), c(2), v(4))],
         );
         let b = BgpQuery::new(
             vec![0],
-            vec![
-                StorePattern::new(v(7), c(2), v(2)),
-                StorePattern::new(v(0), c(1), v(7)),
-            ],
+            vec![StorePattern::new(v(7), c(2), v(2)), StorePattern::new(v(0), c(1), v(7))],
         );
         let (ca, perm_a) = a.canonicalize();
         let (cb, perm_b) = b.canonicalize();
@@ -357,17 +342,11 @@ mod tests {
         // (x p y)(y p z) vs (x p y)(x p z): different join shapes.
         let chain = BgpQuery::new(
             vec![0],
-            vec![
-                StorePattern::new(v(0), c(1), v(1)),
-                StorePattern::new(v(1), c(1), v(2)),
-            ],
+            vec![StorePattern::new(v(0), c(1), v(1)), StorePattern::new(v(1), c(1), v(2))],
         );
         let star = BgpQuery::new(
             vec![0],
-            vec![
-                StorePattern::new(v(0), c(1), v(1)),
-                StorePattern::new(v(0), c(1), v(2)),
-            ],
+            vec![StorePattern::new(v(0), c(1), v(1)), StorePattern::new(v(0), c(1), v(2))],
         );
         assert_ne!(chain.canonicalize().0, star.canonicalize().0);
     }
@@ -384,10 +363,7 @@ mod tests {
     fn canonical_head_order_is_preserved() {
         // Head (b, a): canonical head must stay two distinct columns in
         // the same semantic order.
-        let q = BgpQuery::new(
-            vec![5, 2],
-            vec![StorePattern::new(v(2), c(1), v(5))],
-        );
+        let q = BgpQuery::new(vec![5, 2], vec![StorePattern::new(v(2), c(1), v(5))]);
         let (c, _) = q.canonicalize();
         assert_eq!(c.head, vec![0, 1]);
         // Var 5 (first in head) is the object of the atom.

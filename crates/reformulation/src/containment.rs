@@ -44,19 +44,10 @@ fn unify(from: PatternTerm, to: PatternTerm, a: &mut Assignment) -> bool {
 
 /// Backtracking search for a homomorphism mapping every atom of
 /// `container` into some atom of `contained`.
-fn embed(
-    container: &StoreCq,
-    contained: &StoreCq,
-    atom_index: usize,
-    a: &mut Assignment,
-) -> bool {
+fn embed(container: &StoreCq, contained: &StoreCq, atom_index: usize, a: &mut Assignment) -> bool {
     let Some(atom) = container.patterns.get(atom_index) else {
         // All atoms mapped; the head must map exactly.
-        return container
-            .head
-            .iter()
-            .zip(&contained.head)
-            .all(|(&from, &to)| image(from, a) == to);
+        return container.head.iter().zip(&contained.head).all(|(&from, &to)| image(from, a) == to);
     };
     for target in &contained.patterns {
         let snapshot = a.clone();
@@ -110,13 +101,8 @@ pub fn minimize_ucq(ucq: &StoreUcq) -> StoreUcq {
             }
         }
     }
-    let cqs: Vec<StoreCq> = ucq
-        .cqs
-        .iter()
-        .zip(&keep)
-        .filter(|(_, &k)| k)
-        .map(|(cq, _)| cq.clone())
-        .collect();
+    let cqs: Vec<StoreCq> =
+        ucq.cqs.iter().zip(&keep).filter(|(_, &k)| k).map(|(cq, _)| cq.clone()).collect();
     StoreUcq::new(cqs, ucq.head.clone())
 }
 
@@ -163,10 +149,7 @@ mod tests {
         // q_sub(x):- (x p y)(x q z)  ⊑  q_sup(x):- (x p y).
         let sup = cq(vec![StorePattern::new(v(0), c(1), v(1))], vec![v(0)]);
         let sub = cq(
-            vec![
-                StorePattern::new(v(0), c(1), v(1)),
-                StorePattern::new(v(0), c(2), v(2)),
-            ],
+            vec![StorePattern::new(v(0), c(1), v(1)), StorePattern::new(v(0), c(2), v(2))],
             vec![v(0)],
         );
         assert!(is_contained(&sub, &sup));

@@ -122,10 +122,7 @@ impl Cover {
         // Pairwise join requirement.
         if self.fragments.len() > 1 {
             for f in &self.fragments {
-                let f_vars: BTreeSet<_> = f
-                    .iter()
-                    .flat_map(|&i| q.atoms[i].variables())
-                    .collect();
+                let f_vars: BTreeSet<_> = f.iter().flat_map(|&i| q.atoms[i].variables()).collect();
                 let joins_other = self.fragments.iter().any(|g| {
                     g != f
                         && g.iter()
@@ -142,10 +139,7 @@ impl Cover {
 
     /// The fragments, as sorted index vectors.
     pub fn fragments(&self) -> Vec<Vec<usize>> {
-        self.fragments
-            .iter()
-            .map(|f| f.iter().copied().collect())
-            .collect()
+        self.fragments.iter().map(|f| f.iter().copied().collect()).collect()
     }
 
     /// Number of fragments.
@@ -235,9 +229,7 @@ impl Cover {
             // Costliest-first inspection order.
             let mut order: Vec<usize> = (0..frags.len()).collect();
             order.sort_by(|&a, &b| {
-                cost(&frags[b])
-                    .partial_cmp(&cost(&frags[a]))
-                    .unwrap_or(std::cmp::Ordering::Equal)
+                cost(&frags[b]).partial_cmp(&cost(&frags[a])).unwrap_or(std::cmp::Ordering::Equal)
             });
             let mut removed = false;
             for idx in order {
@@ -343,10 +335,7 @@ mod tests {
 
     #[test]
     fn empty_fragment_rejected() {
-        assert_eq!(
-            Cover::new(&q1(), vec![vec![], vec![0, 1, 2]]),
-            Err(CoverError::EmptyFragment)
-        );
+        assert_eq!(Cover::new(&q1(), vec![vec![], vec![0, 1, 2]]), Err(CoverError::EmptyFragment));
     }
 
     #[test]
@@ -373,15 +362,9 @@ mod tests {
         // multi-fragment cover.
         let q = BgpQuery::new(
             vec![0],
-            vec![
-                StorePattern::new(v(0), c(1), v(1)),
-                StorePattern::new(v(2), c(1), v(3)),
-            ],
+            vec![StorePattern::new(v(0), c(1), v(1)), StorePattern::new(v(2), c(1), v(3))],
         );
-        assert_eq!(
-            Cover::new(&q, vec![vec![0], vec![1]]),
-            Err(CoverError::IsolatedFragment)
-        );
+        assert_eq!(Cover::new(&q, vec![vec![0], vec![1]]), Err(CoverError::IsolatedFragment));
     }
 
     #[test]

@@ -95,12 +95,7 @@ impl IncrementalSaturation {
     /// Number of triples in the saturation.
     pub fn len(&self) -> usize {
         // Derived triples that are also explicit must not double-count.
-        self.explicit.len()
-            + self
-                .derived
-                .keys()
-                .filter(|t| !self.explicit.contains(t))
-                .count()
+        self.explicit.len() + self.derived.keys().filter(|t| !self.explicit.contains(t)).count()
     }
 
     /// True iff the saturation is empty.
@@ -166,7 +161,7 @@ impl IncrementalSaturation {
 mod tests {
     use super::*;
     use crate::saturation::saturate_with;
-    use jucq_model::{Graph, Schema, Term, Triple, vocab};
+    use jucq_model::{vocab, Graph, Schema, Term, Triple};
 
     struct Fixture {
         closure: SchemaClosure,
@@ -297,13 +292,8 @@ mod tests {
         // (s p s) with dom(p) = rng(p) = C derives (s τ C) twice; one
         // delete must remove both counts.
         let mut g = Graph::new();
-        let t = |s: &str, p: &str, o: &str| {
-            Triple::new(Term::uri(s), Term::uri(p), Term::uri(o))
-        };
-        g.extend(&[
-            t("p", vocab::RDFS_DOMAIN, "C"),
-            t("p", vocab::RDFS_RANGE, "C"),
-        ]);
+        let t = |s: &str, p: &str, o: &str| Triple::new(Term::uri(s), Term::uri(p), Term::uri(o));
+        g.extend(&[t("p", vocab::RDFS_DOMAIN, "C"), t("p", vocab::RDFS_RANGE, "C")]);
         let closure = g.schema_closure();
         let rdf_type = g.rdf_type();
         let s = g.dict_mut().encode_uri("s");

@@ -17,11 +17,8 @@ use crate::reformulate::{reformulate, ReformulationEnv};
 /// The JUCQ reformulation of `q` for `cover` (Theorem 3.1), compiled to
 /// the engine IR.
 pub fn jucq_for_cover(q: &BgpQuery, cover: &Cover, env: &ReformulationEnv<'_>) -> StoreJucq {
-    let fragments = cover
-        .cover_queries(q)
-        .iter()
-        .map(|cq| reformulate(cq, env))
-        .collect();
+    jucq_obs::span!("reformulation");
+    let fragments = cover.cover_queries(q).iter().map(|cq| reformulate(cq, env)).collect();
     StoreJucq::new(fragments, q.head.clone())
 }
 
@@ -37,6 +34,7 @@ pub fn jucq_for_cover_bounded(
     limit: usize,
 ) -> Result<StoreJucq, usize> {
     use crate::reformulate::reformulate_with_limit;
+    jucq_obs::span!("reformulation");
     let mut fragments = Vec::with_capacity(cover.len());
     let mut total = 0usize;
     for cq in cover.cover_queries(q) {
@@ -53,13 +51,19 @@ pub fn jucq_for_cover_bounded(
 }
 
 /// The classical UCQ reformulation (single-fragment cover).
-pub fn ucq_reformulation(q: &BgpQuery, env: &ReformulationEnv<'_>) -> Result<StoreJucq, CoverError> {
+pub fn ucq_reformulation(
+    q: &BgpQuery,
+    env: &ReformulationEnv<'_>,
+) -> Result<StoreJucq, CoverError> {
     let cover = Cover::single_fragment(q)?;
     Ok(jucq_for_cover(q, &cover, env))
 }
 
 /// The SCQ reformulation of \[13\] (all-singletons cover).
-pub fn scq_reformulation(q: &BgpQuery, env: &ReformulationEnv<'_>) -> Result<StoreJucq, CoverError> {
+pub fn scq_reformulation(
+    q: &BgpQuery,
+    env: &ReformulationEnv<'_>,
+) -> Result<StoreJucq, CoverError> {
     let cover = Cover::singletons(q)?;
     Ok(jucq_for_cover(q, &cover, env))
 }

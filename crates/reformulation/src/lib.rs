@@ -24,16 +24,16 @@
 
 pub mod bgp;
 pub mod containment;
-pub mod incremental;
 pub mod cover;
+pub mod incremental;
 pub mod jucq;
 pub mod reformulate;
 pub mod saturation;
 
 pub use bgp::BgpQuery;
-pub use incremental::IncrementalSaturation;
 pub use containment::{is_contained, minimize_ucq};
 pub use cover::Cover;
+pub use incremental::IncrementalSaturation;
 pub use jucq::{jucq_for_cover, scq_reformulation, ucq_reformulation};
 pub use reformulate::{reformulate, ReformulationEnv};
 pub use saturation::saturate;

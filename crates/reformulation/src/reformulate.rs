@@ -56,11 +56,7 @@ impl WorkCq {
     }
 
     fn max_var(&self) -> Option<VarId> {
-        let body = self
-            .atoms
-            .iter()
-            .flat_map(StorePattern::variables)
-            .max();
+        let body = self.atoms.iter().flat_map(StorePattern::variables).max();
         let head = self.head.iter().filter_map(|t| t.as_var()).max();
         body.max(head)
     }
@@ -80,8 +76,7 @@ fn normalize(mut cq: WorkCq) -> WorkCq {
             PatternTerm::Var(_) => (2, 0),
         }
     };
-    cq.atoms
-        .sort_by_key(|a| [pre_key(&a.s), pre_key(&a.p), pre_key(&a.o)]);
+    cq.atoms.sort_by_key(|a| [pre_key(&a.s), pre_key(&a.p), pre_key(&a.o)]);
 
     let mut rename: FxHashMap<VarId, VarId> = FxHashMap::default();
     let mut next = base;
@@ -429,9 +424,7 @@ mod tests {
 
     fn fixture() -> Fixture {
         let mut graph = Graph::new();
-        let t = |s: &str, p: &str, o: Term| {
-            Triple::new(Term::uri(s), Term::uri(p), o)
-        };
+        let t = |s: &str, p: &str, o: Term| Triple::new(Term::uri(s), Term::uri(p), o);
         graph.extend(&[
             t("doi1", jucq_model::vocab::RDF_TYPE, Term::uri("Book")),
             t("doi1", "writtenBy", Term::blank("b1")),
@@ -462,10 +455,7 @@ mod tests {
         let f = fixture();
         let closure = f.graph.schema_closure();
         let env = ReformulationEnv { closure: &closure, rdf_type: f.rdf_type };
-        let q = BgpQuery::new(
-            vec![0, 1],
-            vec![StorePattern::new(v(0), c(f.rdf_type), v(1))],
-        );
+        let q = BgpQuery::new(vec![0, 1], vec![StorePattern::new(v(0), c(f.rdf_type), v(1))]);
         let ucq = reformulate(&q, &env);
         assert_eq!(ucq.len(), 8, "sound subset of paper Example 4");
 
@@ -490,8 +480,9 @@ mod tests {
             && m.patterns[0].o == v(0)));
         // The unsound (3)/(7)/(10) members must NOT appear: no member
         // uses hasAuthor in a type-deriving position.
-        assert!(!ucq.cqs.iter().any(|m| m.patterns[0].p == c(has_author)
-            && matches!(m.head[1], PatternTerm::Const(_))));
+        assert!(!ucq.cqs.iter().any(
+            |m| m.patterns[0].p == c(has_author) && matches!(m.head[1], PatternTerm::Const(_))
+        ));
     }
 
     #[test]
@@ -502,10 +493,8 @@ mod tests {
         let closure = f.graph.schema_closure();
         let env = ReformulationEnv { closure: &closure, rdf_type: f.rdf_type };
         let publication = uri(&f, "Publication");
-        let q = BgpQuery::new(
-            vec![0],
-            vec![StorePattern::new(v(0), c(f.rdf_type), c(publication))],
-        );
+        let q =
+            BgpQuery::new(vec![0], vec![StorePattern::new(v(0), c(f.rdf_type), c(publication))]);
         let ucq = reformulate(&q, &env);
         assert_eq!(ucq.len(), 3);
         // First member is the original.
@@ -588,10 +577,7 @@ mod tests {
         let f = fixture();
         let closure = f.graph.schema_closure();
         let env = ReformulationEnv { closure: &closure, rdf_type: f.rdf_type };
-        let q = BgpQuery::new(
-            vec![0, 1],
-            vec![StorePattern::new(v(0), c(f.rdf_type), v(1))],
-        );
+        let q = BgpQuery::new(vec![0, 1], vec![StorePattern::new(v(0), c(f.rdf_type), v(1))]);
         match reformulate_with_limit(&q, &env, 3) {
             Err(n) => assert!(n > 3),
             Ok(u) => panic!("expected limit abort, got {} members", u.len()),
@@ -654,10 +640,8 @@ mod tests {
         let closure = f.graph.schema_closure();
         let env = ReformulationEnv { closure: &closure, rdf_type: f.rdf_type };
         let publication = uri(&f, "Publication");
-        let q = BgpQuery::new(
-            vec![0],
-            vec![StorePattern::new(v(0), c(f.rdf_type), c(publication))],
-        );
+        let q =
+            BgpQuery::new(vec![0], vec![StorePattern::new(v(0), c(f.rdf_type), c(publication))]);
         let ucq = reformulate(&q, &env);
         for m in &ucq.cqs {
             assert_eq!(m.head.len(), 1);
@@ -676,14 +660,14 @@ mod tests {
         let ucq = reformulate(&q, &env);
         let written_by = uri(&f, "writtenBy");
         let has_author = uri(&f, "hasAuthor");
-        assert!(ucq.cqs.iter().any(|m| m.head[1] == c(has_author)
-            && m.patterns[0].p == c(written_by)));
-        // And the rdf:type branch with class instantiation.
-        let book = uri(&f, "Book");
         assert!(ucq
             .cqs
             .iter()
-            .any(|m| m.head[1] == c(f.rdf_type) && m.head[2] == c(book)
-                && m.patterns[0].p == c(written_by)));
+            .any(|m| m.head[1] == c(has_author) && m.patterns[0].p == c(written_by)));
+        // And the rdf:type branch with class instantiation.
+        let book = uri(&f, "Book");
+        assert!(ucq.cqs.iter().any(|m| m.head[1] == c(f.rdf_type)
+            && m.head[2] == c(book)
+            && m.patterns[0].p == c(written_by)));
     }
 }

@@ -23,7 +23,7 @@
 //! convention; the benchmark ontologies never declare class ranges on
 //! literal-valued properties, so the case never arises there.
 
-use jucq_model::{FxHashSet, Graph, SchemaClosure, TermId, TripleId, vocab};
+use jucq_model::{vocab, FxHashSet, Graph, SchemaClosure, TermId, TripleId};
 
 /// Saturate the data triples of `graph` (the graph is mutated only to
 /// intern `rdf:type` if absent). The result contains the explicit data
@@ -41,6 +41,7 @@ pub fn saturate_with(
     closure: &SchemaClosure,
     rdf_type: TermId,
 ) -> Vec<TripleId> {
+    jucq_obs::span!("saturation");
     let mut out: FxHashSet<TripleId> = data.iter().copied().collect();
     for t in data {
         if t.p == rdf_type {
@@ -114,7 +115,11 @@ mod tests {
             t("doi1", vocab::RDF_TYPE, Term::uri("Book")),
             t("doi1", "writtenBy", Term::blank("b1")),
             t("doi1", "hasTitle", Term::literal("Game of Thrones")),
-            Triple::new(Term::blank("b1"), Term::uri("hasName"), Term::literal("George R. R. Martin")),
+            Triple::new(
+                Term::blank("b1"),
+                Term::uri("hasName"),
+                Term::literal("George R. R. Martin"),
+            ),
             t("doi1", "publishedIn", Term::literal("1996")),
             t("Book", vocab::RDFS_SUBCLASS_OF, Term::uri("Publication")),
             t("writtenBy", vocab::RDFS_SUBPROPERTY_OF, Term::uri("hasAuthor")),
@@ -126,11 +131,9 @@ mod tests {
 
     fn contains(g: &Graph, sat: &[TripleId], s: &str, p: &str, o: Term) -> bool {
         let d = g.dict();
-        let (Some(s), Some(p), Some(o)) = (
-            d.lookup(&Term::uri(s)),
-            d.lookup(&Term::uri(p)),
-            d.lookup(&o),
-        ) else {
+        let (Some(s), Some(p), Some(o)) =
+            (d.lookup(&Term::uri(s)), d.lookup(&Term::uri(p)), d.lookup(&o))
+        else {
             return false;
         };
         sat.binary_search(&TripleId::new(s, p, o)).is_ok()

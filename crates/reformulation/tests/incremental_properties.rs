@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 
-use jucq_model::{Graph, Term, Triple, TripleId, vocab};
+use jucq_model::{vocab, Graph, Term, Triple, TripleId};
 use jucq_reformulation::incremental::IncrementalSaturation;
 use jucq_reformulation::saturation::saturate_with;
 
@@ -41,9 +41,7 @@ fn ops() -> impl Strategy<Value = Vec<Op>> {
 
 fn build_graph(desc: &SchemaDesc) -> Graph {
     let mut g = Graph::new();
-    let t = |s: String, p: String, o: String| {
-        Triple::new(Term::uri(s), Term::uri(p), Term::uri(o))
-    };
+    let t = |s: String, p: String, o: String| Triple::new(Term::uri(s), Term::uri(p), Term::uri(o));
     for &(a, b) in &desc.subclass {
         g.insert(&t(format!("C{a}"), vocab::RDFS_SUBCLASS_OF.into(), format!("C{b}")));
     }

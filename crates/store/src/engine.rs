@@ -5,7 +5,7 @@ use std::time::Duration;
 use jucq_model::TripleId;
 
 use crate::error::EngineError;
-use crate::exec::{join, union, Counters, ExecContext};
+use crate::exec::{join, union, Counters, ExecContext, NodeProfile};
 use crate::ir::{StoreCq, StoreJucq, StoreUcq};
 use crate::profile::EngineProfile;
 use crate::relation::Relation;
@@ -22,6 +22,42 @@ pub struct EvalOutcome {
     pub counters: Counters,
     /// Wall-clock evaluation time.
     pub elapsed: Duration,
+}
+
+/// One plan node of a profiled run: the measured runtime aggregate plus
+/// the optimizer's cardinality estimate for the same node, when the
+/// node has one (per-member CQ nodes do not).
+#[derive(Debug, Clone)]
+pub struct PlanNodeReport {
+    /// Scoped label, e.g. `fragment[0].union` or `join[1].hash_join`.
+    pub label: String,
+    /// Operator invocations merged into this node.
+    pub invocations: u64,
+    /// Actual output rows across all invocations.
+    pub actual_rows: u64,
+    /// Inclusive wall time across all invocations, in nanoseconds.
+    pub elapsed_ns: u64,
+    /// Estimated output rows, when the cost model estimates this node.
+    pub est_rows: Option<f64>,
+}
+
+impl PlanNodeReport {
+    /// The Q-error `max(est/actual, actual/est)` with both sides
+    /// clamped to at least one row; `None` without an estimate.
+    pub fn q_error(&self) -> Option<f64> {
+        self.est_rows.map(|est| {
+            let est = est.max(1.0);
+            let actual = (self.actual_rows as f64).max(1.0);
+            (est / actual).max(actual / est)
+        })
+    }
+}
+
+/// Per-node runtime profile of one JUCQ evaluation, in plan order.
+#[derive(Debug, Clone, Default)]
+pub struct ExecProfile {
+    /// Profiled plan nodes in execution order.
+    pub nodes: Vec<PlanNodeReport>,
 }
 
 /// A loaded store: triple table + statistics, evaluated under a profile.
@@ -94,20 +130,54 @@ impl Store {
     /// charged as materialized), final projection and duplicate
     /// elimination.
     pub fn eval_jucq(&self, q: &StoreJucq) -> Result<EvalOutcome, EngineError> {
+        self.eval_jucq_inner(q, false).map(|(outcome, _)| outcome)
+    }
+
+    /// Like [`Store::eval_jucq`], additionally collecting per-node
+    /// runtime profiles and pairing each node with the cost model's
+    /// cardinality estimate (the data behind `EXPLAIN ANALYZE`).
+    pub fn eval_jucq_profiled(
+        &self,
+        q: &StoreJucq,
+    ) -> Result<(EvalOutcome, ExecProfile), EngineError> {
+        self.eval_jucq_inner(q, true)
+            .map(|(outcome, profile)| (outcome, profile.unwrap_or_default()))
+    }
+
+    fn eval_jucq_inner(
+        &self,
+        q: &StoreJucq,
+        profiling: bool,
+    ) -> Result<(EvalOutcome, Option<ExecProfile>), EngineError> {
+        jucq_obs::span!("execution");
         let terms = q.union_terms();
         if terms > self.profile.max_union_terms {
             return Err(EngineError::UnionTooLarge { terms, limit: self.profile.max_union_terms });
         }
-        let mut ctx = ExecContext::new(&self.profile);
+        let mut ctx = if profiling {
+            ExecContext::with_profiling(&self.profile)
+        } else {
+            ExecContext::new(&self.profile)
+        };
+        // Optimizer estimates paired with node labels after the run.
+        let mut estimates: Vec<(String, f64)> = Vec::new();
 
         // Evaluate each fragment UCQ.
         let mut frags: Vec<Relation> = Vec::with_capacity(q.fragments.len());
-        for f in &q.fragments {
+        for (i, f) in q.fragments.iter().enumerate() {
+            ctx.set_scope(format!("fragment[{i}]."));
+            if profiling {
+                estimates
+                    .push((format!("fragment[{i}].union"), self.stats.est_ucq(&self.table, f)));
+            }
             frags.push(union::eval_ucq(&self.table, f, &mut ctx)?);
         }
+        ctx.set_scope(String::new());
         if frags.is_empty() {
             let relation = Relation::empty(q.head.clone());
-            return Ok(EvalOutcome { relation, counters: ctx.counters, elapsed: ctx.elapsed() });
+            let outcome = EvalOutcome { relation, counters: ctx.counters, elapsed: ctx.elapsed() };
+            let profile = profiling.then(ExecProfile::default);
+            return Ok((outcome, profile));
         }
 
         // All but the largest-result fragment are materialized (§4.1:
@@ -133,19 +203,62 @@ impl Store {
         remaining.sort_by_key(|&i| frags[i].len());
         let first = remaining.remove(0);
         let mut acc = frags[first].clone();
+        let mut joined: Vec<usize> = vec![first];
+        let mut step = 0usize;
         while !remaining.is_empty() {
             let pos = remaining
                 .iter()
                 .position(|&i| frags[i].vars().iter().any(|v| acc.column_of(*v).is_some()))
                 .unwrap_or(0);
             let next = remaining.remove(pos);
+            ctx.set_scope(format!("join[{step}]."));
+            if profiling {
+                joined.push(next);
+                // Estimate the JUCQ over exactly the fragments joined so
+                // far — the same node the join output materializes.
+                let sub = StoreJucq::new(
+                    joined.iter().map(|&i| q.fragments[i].clone()).collect(),
+                    q.head.clone(),
+                );
+                estimates.push((
+                    format!("join[{step}].{}", join::op_name(self.profile.fragment_join)),
+                    self.stats.est_jucq(&self.table, &sub),
+                ));
+            }
             acc = join::fragment_join(&acc, &frags[next], &mut ctx)?;
+            step += 1;
         }
+        ctx.set_scope(String::new());
 
+        let op = ctx.op_start();
         let mut relation = acc.project(&q.head);
         ctx.counters.tuples_deduped += relation.len() as u64;
         relation.dedup_in_place();
-        Ok(EvalOutcome { relation, counters: ctx.counters, elapsed: ctx.elapsed() })
+        ctx.op_finish(op, "dedup", relation.len() as u64);
+        if profiling {
+            estimates.push(("dedup".to_string(), self.stats.est_jucq(&self.table, q)));
+        }
+
+        let profile = profiling.then(|| {
+            let nodes = ctx
+                .take_nodes()
+                .into_iter()
+                .map(|n: NodeProfile| {
+                    let est_rows =
+                        estimates.iter().find(|(label, _)| *label == n.label).map(|&(_, est)| est);
+                    PlanNodeReport {
+                        label: n.label,
+                        invocations: n.invocations,
+                        actual_rows: n.rows,
+                        elapsed_ns: n.elapsed_ns,
+                        est_rows,
+                    }
+                })
+                .collect();
+            ExecProfile { nodes }
+        });
+        let outcome = EvalOutcome { relation, counters: ctx.counters, elapsed: ctx.elapsed() };
+        Ok((outcome, profile))
     }
 }
 
@@ -175,13 +288,7 @@ mod tests {
     /// people: 1,2 typed 50; 1 works-at 20, 2 works-at 21; 1 knows 2.
     fn store() -> Store {
         Store::from_triples(
-            &[
-                t(1, 10, 50),
-                t(2, 10, 50),
-                t(1, 11, 20),
-                t(2, 11, 21),
-                t(1, 12, 2),
-            ],
+            &[t(1, 10, 50), t(2, 10, 50), t(1, 11, 20), t(2, 11, 21), t(1, 12, 2)],
             EngineProfile::pg_like(),
         )
     }
@@ -202,10 +309,7 @@ mod tests {
         let out = s.eval_jucq(&q).unwrap();
         let mut r = out.relation;
         r.sort();
-        assert_eq!(
-            r.to_rows(),
-            vec![vec![id(1), id(20)], vec![id(2), id(21)]]
-        );
+        assert_eq!(r.to_rows(), vec![vec![id(1), id(20)], vec![id(2), id(21)]]);
     }
 
     #[test]
@@ -213,10 +317,7 @@ mod tests {
         let s = store();
         // (?x 10 50)(?x 11 ?y) as one CQ vs as two fragments.
         let cq = StoreCq::with_var_head(
-            vec![
-                StorePattern::new(v(0), c(10), c(50)),
-                StorePattern::new(v(0), c(11), v(1)),
-            ],
+            vec![StorePattern::new(v(0), c(10), c(50)), StorePattern::new(v(0), c(11), v(1))],
             vec![0, 1],
         );
         let mono = s.eval_cq(&cq).unwrap();
@@ -242,10 +343,7 @@ mod tests {
         s.set_profile(EngineProfile::pg_like().with_max_union_terms(1));
         let member = StoreCq::with_var_head(vec![StorePattern::new(v(0), c(10), c(50))], vec![0]);
         let ucq = StoreUcq::new(vec![member.clone(), member], vec![0]);
-        assert!(matches!(
-            s.eval_ucq(&ucq),
-            Err(EngineError::UnionTooLarge { terms: 2, limit: 1 })
-        ));
+        assert!(matches!(s.eval_ucq(&ucq), Err(EngineError::UnionTooLarge { terms: 2, limit: 1 })));
     }
 
     #[test]
@@ -257,6 +355,37 @@ mod tests {
         let cq = StoreCq::with_var_head(vec![StorePattern::new(v(0), c(10), v(1))], vec![1]);
         let out = s.eval_cq(&cq).unwrap();
         assert_eq!(out.relation.len(), 1, "duplicate class collapsed");
+    }
+
+    #[test]
+    fn profiled_eval_reports_nodes_with_estimates() {
+        let s = store();
+        let fa = StoreUcq::new(
+            vec![StoreCq::with_var_head(vec![StorePattern::new(v(0), c(10), c(50))], vec![0])],
+            vec![0],
+        );
+        let fb = StoreUcq::new(
+            vec![StoreCq::with_var_head(vec![StorePattern::new(v(0), c(11), v(1))], vec![0, 1])],
+            vec![0, 1],
+        );
+        let q = StoreJucq::new(vec![fa, fb], vec![0, 1]);
+        let (outcome, profile) = s.eval_jucq_profiled(&q).unwrap();
+        assert_eq!(outcome.relation.len(), 2);
+        let labels: Vec<&str> = profile.nodes.iter().map(|n| n.label.as_str()).collect();
+        assert!(labels.contains(&"fragment[0].union"), "{labels:?}");
+        assert!(labels.contains(&"fragment[1].union"), "{labels:?}");
+        assert!(labels.contains(&"join[0].hash_join"), "{labels:?}");
+        assert!(labels.contains(&"dedup"), "{labels:?}");
+        let union0 = profile.nodes.iter().find(|n| n.label == "fragment[0].union").unwrap();
+        assert_eq!(union0.actual_rows, 2);
+        assert!(union0.est_rows.is_some());
+        assert!(union0.q_error().unwrap() >= 1.0);
+        // CQ member nodes are profiled but carry no estimate.
+        let cq0 = profile.nodes.iter().find(|n| n.label == "fragment[0].cq").unwrap();
+        assert_eq!(cq0.est_rows, None);
+        // Unprofiled evaluation returns the same answers.
+        let plain = s.eval_jucq(&q).unwrap();
+        assert_eq!(plain.relation.len(), outcome.relation.len());
     }
 
     #[test]
@@ -300,18 +429,12 @@ mod tests {
     #[test]
     fn three_profiles_agree_on_answers() {
         let cq = StoreCq::with_var_head(
-            vec![
-                StorePattern::new(v(0), c(10), c(50)),
-                StorePattern::new(v(0), c(12), v(1)),
-            ],
+            vec![StorePattern::new(v(0), c(10), c(50)), StorePattern::new(v(0), c(12), v(1))],
             vec![0, 1],
         );
         let mut results = Vec::new();
         for p in EngineProfile::rdbms_trio() {
-            let s = Store::from_triples(
-                &[t(1, 10, 50), t(2, 10, 50), t(1, 12, 2)],
-                p,
-            );
+            let s = Store::from_triples(&[t(1, 10, 50), t(2, 10, 50), t(1, 12, 2)], p);
             let mut r = s.eval_cq(&cq).unwrap().relation;
             r.sort();
             results.push(r);

@@ -44,7 +44,10 @@ impl fmt::Display for EngineError {
                 write!(f, "stack depth limit exceeded: union of {terms} terms (limit {limit})")
             }
             EngineError::MemoryBudgetExceeded { tuples, budget } => {
-                write!(f, "failed to materialize intermediate result: {tuples} tuples (budget {budget})")
+                write!(
+                    f,
+                    "failed to materialize intermediate result: {tuples} tuples (budget {budget})"
+                )
             }
             EngineError::Timeout { limit } => write!(f, "evaluation timed out after {limit:?}"),
         }

@@ -31,6 +31,18 @@ pub fn eval_cq(
     out_vars: &[VarId],
     ctx: &mut ExecContext<'_>,
 ) -> Result<Relation, EngineError> {
+    let op = ctx.op_start();
+    let out = eval_cq_inner(table, cq, out_vars, ctx)?;
+    ctx.op_finish(op, "cq", out.len() as u64);
+    Ok(out)
+}
+
+fn eval_cq_inner(
+    table: &TripleTable,
+    cq: &StoreCq,
+    out_vars: &[VarId],
+    ctx: &mut ExecContext<'_>,
+) -> Result<Relation, EngineError> {
     ctx.check_deadline()?;
     debug_assert_eq!(cq.head.len(), out_vars.len(), "head must align with output schema");
     if cq.patterns.is_empty() {
@@ -65,10 +77,9 @@ fn project_head(body: &Relation, head: &[PatternTerm], out_vars: &[VarId]) -> Re
     let sources: Vec<Source> = head
         .iter()
         .map(|t| match t {
-            PatternTerm::Var(v) => Source::Column(
-                body.column_of(*v)
-                    .expect("head variable bound by the body"),
-            ),
+            PatternTerm::Var(v) => {
+                Source::Column(body.column_of(*v).expect("head variable bound by the body"))
+            }
             PatternTerm::Const(c) => Source::Constant(*c),
         })
         .collect();
@@ -97,11 +108,7 @@ fn atom_order(table: &TripleTable, patterns: &[StorePattern]) -> Vec<usize> {
     let mut order = Vec::with_capacity(patterns.len());
     let mut bound_vars: Vec<VarId> = Vec::new();
 
-    let first = remaining
-        .iter()
-        .copied()
-        .min_by_key(|&i| counts[i])
-        .expect("non-empty body");
+    let first = remaining.iter().copied().min_by_key(|&i| counts[i]).expect("non-empty body");
     order.push(first);
     bound_vars.extend(patterns[first].variables());
     remaining.retain(|&i| i != first);
@@ -113,11 +120,7 @@ fn atom_order(table: &TripleTable, patterns: &[StorePattern]) -> Vec<usize> {
             .filter(|&i| patterns[i].variables().iter().any(|v| bound_vars.contains(v)))
             .min_by_key(|&i| counts[i]);
         let next = connected.unwrap_or_else(|| {
-            remaining
-                .iter()
-                .copied()
-                .min_by_key(|&i| counts[i])
-                .expect("remaining non-empty")
+            remaining.iter().copied().min_by_key(|&i| counts[i]).expect("remaining non-empty")
         });
         order.push(next);
         for v in patterns[next].variables() {
@@ -199,7 +202,8 @@ fn eval_inlj(
             .filter(|(_, v)| p_vars.contains(v))
             .map(|(i, &v)| (i, v))
             .collect();
-        let new_vars: Vec<VarId> = p_vars.iter().copied().filter(|v| acc.column_of(*v).is_none()).collect();
+        let new_vars: Vec<VarId> =
+            p_vars.iter().copied().filter(|v| acc.column_of(*v).is_none()).collect();
         let mut out_vars = acc.vars().to_vec();
         out_vars.extend(new_vars.iter().copied());
         let mut out = Relation::empty(out_vars);
@@ -214,10 +218,9 @@ fn eval_inlj(
             for (i, pt) in positions.iter().enumerate() {
                 bound[i] = match pt {
                     PatternTerm::Const(c) => Some(*c),
-                    PatternTerm::Var(v) => shared
-                        .iter()
-                        .find(|(_, sv)| sv == v)
-                        .map(|(col, _)| row[*col]),
+                    PatternTerm::Var(v) => {
+                        shared.iter().find(|(_, sv)| sv == v).map(|(col, _)| row[*col])
+                    }
                 };
             }
             for t in table.scan(&bound) {
@@ -324,10 +327,7 @@ mod tests {
     fn two_hop_join() {
         // ?x -10-> ?y -10-> ?z
         let cq = StoreCq::with_var_head(
-            vec![
-                StorePattern::new(v(0), c(10), v(1)),
-                StorePattern::new(v(1), c(10), v(2)),
-            ],
+            vec![StorePattern::new(v(0), c(10), v(1)), StorePattern::new(v(1), c(10), v(2))],
             vec![0, 2],
         );
         for inlj in [true, false] {
@@ -341,10 +341,7 @@ mod tests {
     fn join_with_selective_constant() {
         // ?x -10-> ?y, ?x -11-> 100  ⇒ x=1, y=2.
         let cq = StoreCq::with_var_head(
-            vec![
-                StorePattern::new(v(0), c(10), v(1)),
-                StorePattern::new(v(0), c(11), c(100)),
-            ],
+            vec![StorePattern::new(v(0), c(10), v(1)), StorePattern::new(v(0), c(11), c(100))],
             vec![0, 1],
         );
         for inlj in [true, false] {
@@ -381,10 +378,7 @@ mod tests {
     fn cartesian_product_when_disconnected() {
         // ?x -11-> 100 (1 row) × ?a -11-> 101 (1 row).
         let cq = StoreCq::with_var_head(
-            vec![
-                StorePattern::new(v(0), c(11), c(100)),
-                StorePattern::new(v(1), c(11), c(101)),
-            ],
+            vec![StorePattern::new(v(0), c(11), c(100)), StorePattern::new(v(1), c(11), c(101))],
             vec![0, 1],
         );
         for inlj in [true, false] {
@@ -416,7 +410,7 @@ mod tests {
     fn order_starts_from_cheapest_atom() {
         let table = sample();
         let patterns = vec![
-            StorePattern::new(v(0), c(10), v(1)), // 4 matches
+            StorePattern::new(v(0), c(10), v(1)),   // 4 matches
             StorePattern::new(v(0), c(11), c(100)), // 1 match
         ];
         let order = atom_order(&table, &patterns);

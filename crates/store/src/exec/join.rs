@@ -20,10 +20,23 @@ pub fn fragment_join(
     right: &Relation,
     ctx: &mut ExecContext<'_>,
 ) -> Result<Relation, EngineError> {
-    match ctx.profile().fragment_join {
+    let algo = ctx.profile().fragment_join;
+    let op = ctx.op_start();
+    let out = match algo {
         JoinAlgo::Hash => hash_join(left, right, ctx),
         JoinAlgo::SortMerge => sort_merge_join(left, right, ctx),
         JoinAlgo::BlockNestedLoop => block_nested_loop_join(left, right, ctx),
+    }?;
+    ctx.op_finish(op, op_name(algo), out.len() as u64);
+    Ok(out)
+}
+
+/// Stable operator name for a join algorithm, used in node labels.
+pub fn op_name(algo: JoinAlgo) -> &'static str {
+    match algo {
+        JoinAlgo::Hash => "hash_join",
+        JoinAlgo::SortMerge => "sort_merge_join",
+        JoinAlgo::BlockNestedLoop => "block_nested_loop_join",
     }
 }
 
@@ -37,14 +50,12 @@ struct JoinPlan {
 }
 
 fn plan(left: &Relation, right: &Relation) -> JoinPlan {
-    let shared: Vec<VarId> = left
-        .vars()
-        .iter()
-        .copied()
-        .filter(|v| right.column_of(*v).is_some())
-        .collect();
-    let left_key: Vec<usize> = shared.iter().map(|v| left.column_of(*v).expect("shared var")).collect();
-    let right_key: Vec<usize> = shared.iter().map(|v| right.column_of(*v).expect("shared var")).collect();
+    let shared: Vec<VarId> =
+        left.vars().iter().copied().filter(|v| right.column_of(*v).is_some()).collect();
+    let left_key: Vec<usize> =
+        shared.iter().map(|v| left.column_of(*v).expect("shared var")).collect();
+    let right_key: Vec<usize> =
+        shared.iter().map(|v| right.column_of(*v).expect("shared var")).collect();
     let right_carry: Vec<usize> = right
         .vars()
         .iter()
@@ -129,9 +140,8 @@ pub fn sort_merge_join(
     if left.is_empty() || right.is_empty() {
         return Ok(out);
     }
-    let key_of = |row: &[TermId], cols: &[usize]| -> Vec<TermId> {
-        cols.iter().map(|&c| row[c]).collect()
-    };
+    let key_of =
+        |row: &[TermId], cols: &[usize]| -> Vec<TermId> { cols.iter().map(|&c| row[c]).collect() };
     let mut lids: Vec<usize> = (0..left.len()).collect();
     lids.sort_unstable_by_key(|&i| key_of(left.row(i), &p.left_key));
     let mut rids: Vec<usize> = (0..right.len()).collect();
@@ -186,11 +196,7 @@ pub fn block_nested_loop_join(
     for lrow in left.rows() {
         for rrow in right.rows() {
             ctx.tick()?;
-            if p.left_key
-                .iter()
-                .zip(&p.right_key)
-                .all(|(&lc, &rc)| lrow[lc] == rrow[rc])
-            {
+            if p.left_key.iter().zip(&p.right_key).all(|(&lc, &rc)| lrow[lc] == rrow[rc]) {
                 ctx.counters.tuples_joined += 1;
                 emit(&mut out, &mut row_buf, lrow, rrow, &p);
             }
@@ -285,6 +291,36 @@ mod tests {
         for res in all_algos(&l, &r) {
             assert_eq!(res.len(), 4, "bag semantics: 2×2 matches");
         }
+    }
+
+    #[test]
+    fn counters_consistent_across_algorithms() {
+        let l = rel(vec![0, 1], &[&[1, 10], &[2, 20], &[3, 30]]);
+        let r = rel(vec![1, 2], &[&[10, 100], &[10, 101], &[30, 300], &[40, 400]]);
+        let profile = EngineProfile::pg_like();
+        let mut joined = Vec::new();
+        let mut materialized = Vec::new();
+        for f in [hash_join, sort_merge_join, block_nested_loop_join] {
+            let mut ctx = ExecContext::new(&profile);
+            let out = f(&l, &r, &mut ctx).expect("join succeeds");
+            assert_eq!(
+                ctx.counters.tuples_joined,
+                out.len() as u64,
+                "tuples_joined counts emitted rows"
+            );
+            assert_eq!(ctx.counters.tuples_scanned, 0, "fragment joins scan no indexes");
+            assert_eq!(ctx.counters.tuples_deduped, 0, "fragment joins do not dedup");
+            joined.push(ctx.counters.tuples_joined);
+            materialized.push(ctx.counters.tuples_materialized);
+        }
+        // The same logical join emits the same rows under every algorithm.
+        assert!(joined.iter().all(|&j| j == joined[0]), "{joined:?}");
+        // Materialization reflects each algorithm's working set: hash
+        // builds on the smaller side, sort-merge sorts both inputs,
+        // block-nested-loop streams both.
+        assert_eq!(materialized[0], l.len().min(r.len()) as u64);
+        assert_eq!(materialized[1], (l.len() + r.len()) as u64);
+        assert_eq!(materialized[2], 0);
     }
 
     #[test]

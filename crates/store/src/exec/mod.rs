@@ -36,6 +36,43 @@ pub struct Counters {
     pub tuples_deduped: u64,
 }
 
+/// Aggregated runtime profile of one plan node (operator × position in
+/// the plan), produced when the context runs with profiling on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeProfile {
+    /// Scoped node label, e.g. `fragment[0].union` or `join[1].hash_join`.
+    pub label: String,
+    /// Operator invocations merged into this node.
+    pub invocations: u64,
+    /// Output rows across all invocations.
+    pub rows: u64,
+    /// Wall time across all invocations, in nanoseconds.
+    pub elapsed_ns: u64,
+}
+
+/// Merges operator samples into per-label [`NodeProfile`]s, preserving
+/// first-seen order (which follows plan order).
+#[derive(Debug, Default)]
+struct NodeRecorder {
+    nodes: Vec<NodeProfile>,
+    by_label: jucq_model::FxHashMap<String, usize>,
+    scope: String,
+}
+
+impl NodeRecorder {
+    fn record(&mut self, op: &str, rows: u64, elapsed_ns: u64) {
+        let label = format!("{}{}", self.scope, op);
+        let ix = *self.by_label.entry(label.clone()).or_insert_with(|| {
+            self.nodes.push(NodeProfile { label, invocations: 0, rows: 0, elapsed_ns: 0 });
+            self.nodes.len() - 1
+        });
+        let node = &mut self.nodes[ix];
+        node.invocations += 1;
+        node.rows += rows;
+        node.elapsed_ns += elapsed_ns;
+    }
+}
+
 /// Shared evaluation state: profile, deadline, counters.
 #[derive(Debug)]
 pub struct ExecContext<'a> {
@@ -44,12 +81,65 @@ pub struct ExecContext<'a> {
     /// Cumulative work counters.
     pub counters: Counters,
     ticks: u64,
+    recorder: Option<NodeRecorder>,
 }
 
 impl<'a> ExecContext<'a> {
     /// Start an evaluation clock for `profile`.
     pub fn new(profile: &'a EngineProfile) -> Self {
-        ExecContext { profile, started: Instant::now(), counters: Counters::default(), ticks: 0 }
+        ExecContext {
+            profile,
+            started: Instant::now(),
+            counters: Counters::default(),
+            ticks: 0,
+            recorder: None,
+        }
+    }
+
+    /// Like [`ExecContext::new`], additionally collecting per-node
+    /// runtime profiles (operators pay for an `Instant` read per call).
+    pub fn with_profiling(profile: &'a EngineProfile) -> Self {
+        let mut ctx = Self::new(profile);
+        ctx.recorder = Some(NodeRecorder::default());
+        ctx
+    }
+
+    /// Whether per-node profiling is on.
+    pub fn profiling(&self) -> bool {
+        self.recorder.is_some()
+    }
+
+    /// Set the label prefix for subsequently recorded operators, e.g.
+    /// `"fragment[0]."`. No-op unless profiling.
+    pub fn set_scope(&mut self, scope: String) {
+        if let Some(r) = &mut self.recorder {
+            r.scope = scope;
+        }
+    }
+
+    /// Start timing one operator invocation; `None` unless profiling,
+    /// so unprofiled runs skip the clock read entirely.
+    #[inline]
+    pub fn op_start(&self) -> Option<Instant> {
+        if self.recorder.is_some() {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Close the invocation opened by [`ExecContext::op_start`],
+    /// merging it into the node `scope + op`.
+    #[inline]
+    pub fn op_finish(&mut self, start: Option<Instant>, op: &str, rows: u64) {
+        if let (Some(start), Some(r)) = (start, &mut self.recorder) {
+            r.record(op, rows, start.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// Take the collected node profiles (empty unless profiling).
+    pub fn take_nodes(&mut self) -> Vec<NodeProfile> {
+        self.recorder.take().map(|r| r.nodes).unwrap_or_default()
     }
 
     /// The governing profile.
@@ -117,6 +207,34 @@ mod tests {
             ctx.check_memory(11),
             Err(EngineError::MemoryBudgetExceeded { tuples: 11, budget: 10 })
         ));
+    }
+
+    #[test]
+    fn node_profiles_merge_by_scoped_label() {
+        let p = EngineProfile::pg_like();
+        let mut ctx = ExecContext::with_profiling(&p);
+        assert!(ctx.profiling());
+        ctx.set_scope("fragment[0].".to_string());
+        let t = ctx.op_start();
+        ctx.op_finish(t, "union", 10);
+        let t = ctx.op_start();
+        ctx.op_finish(t, "union", 5);
+        ctx.set_scope(String::new());
+        let t = ctx.op_start();
+        ctx.op_finish(t, "dedup", 3);
+        let nodes = ctx.take_nodes();
+        assert_eq!(nodes.len(), 2);
+        assert_eq!(nodes[0].label, "fragment[0].union");
+        assert_eq!(nodes[0].invocations, 2);
+        assert_eq!(nodes[0].rows, 15);
+        assert_eq!(nodes[1].label, "dedup");
+        assert_eq!(nodes[1].rows, 3);
+
+        let mut off = ExecContext::new(&p);
+        assert!(off.op_start().is_none());
+        let t = off.op_start();
+        off.op_finish(t, "union", 1);
+        assert!(off.take_nodes().is_empty());
     }
 
     #[test]

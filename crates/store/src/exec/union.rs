@@ -104,6 +104,7 @@ pub fn eval_ucq(
     ucq: &StoreUcq,
     ctx: &mut ExecContext<'_>,
 ) -> Result<Relation, EngineError> {
+    let op = ctx.op_start();
     let mut acc = DedupAccumulator::new(ucq.head.clone());
     for member in &ucq.cqs {
         ctx.check_deadline()?;
@@ -121,6 +122,7 @@ pub fn eval_ucq(
         ctx.check_memory(out.len())?;
         out = out.clone();
     }
+    ctx.op_finish(op, "union", out.len() as u64);
     Ok(out)
 }
 
@@ -200,7 +202,8 @@ mod tests {
     #[test]
     fn memory_budget_counts_distinct_rows_only() {
         let table = sample();
-        let member = StoreCq::with_var_head(vec![StorePattern::new(v(0), v(1), v(2))], vec![0, 1, 2]);
+        let member =
+            StoreCq::with_var_head(vec![StorePattern::new(v(0), v(1), v(2))], vec![0, 1, 2]);
         let ucq = StoreUcq::new(vec![member.clone(), member.clone()], vec![0, 1, 2]);
         // 4 + 4 rows accumulate to 4 distinct: budget 4 passes...
         let profile = EngineProfile::pg_like().with_memory_budget(4);

@@ -7,9 +7,24 @@
 
 use std::fmt::Write as _;
 
+use crate::error::EngineError;
 use crate::internal_cost;
 use crate::ir::StoreJucq;
 use crate::Store;
+
+/// Estimated peak materialized intermediate of `q`, in tuples: the
+/// larger of the biggest single fragment (each union accumulates its
+/// distinct rows) and the sum of the fragments materialized for the
+/// join (all but the largest, §4.1).
+fn est_peak_materialized(store: &Store, q: &StoreJucq) -> f64 {
+    let stats = store.stats();
+    let table = store.table();
+    let cards: Vec<f64> = q.fragments.iter().map(|f| stats.est_ucq(table, f)).collect();
+    let per_fragment_peak = cards.iter().copied().fold(0.0, f64::max);
+    let materialized_sum =
+        if cards.len() > 1 { cards.iter().sum::<f64>() - per_fragment_peak } else { 0.0 };
+    per_fragment_peak.max(materialized_sum)
+}
 
 /// Render the evaluation plan for `q` under the store's profile.
 pub fn explain(store: &Store, q: &StoreJucq) -> String {
@@ -23,12 +38,28 @@ pub fn explain(store: &Store, q: &StoreJucq) -> String {
     if terms > profile.max_union_terms {
         let _ = writeln!(
             out,
-            "ADMISSION: REJECTED — union of {terms} terms exceeds the {} limit ({})",
+            "ADMISSION: REJECTED — union of {terms} terms exceeds the {} limit ({}) \
+             (constraint: max_union_terms)",
             profile.max_union_terms, profile.name
         );
         return out;
     }
+    let est_peak = est_peak_materialized(store, q);
+    if est_peak > profile.memory_budget_tuples as f64 {
+        let _ = writeln!(
+            out,
+            "ADMISSION: REJECTED — est. peak materialized intermediate of {est_peak:.0} tuples \
+             exceeds the {} tuple budget ({}) (constraint: memory_budget_tuples)",
+            profile.memory_budget_tuples, profile.name
+        );
+        return out;
+    }
     let _ = writeln!(out, "ADMISSION: accepted under profile `{}`", profile.name);
+    let _ = writeln!(
+        out,
+        "  Memory: est. peak materialized intermediate {est_peak:.0} tuples (budget {})",
+        profile.memory_budget_tuples
+    );
 
     let volumes: Vec<f64> = q
         .fragments
@@ -85,6 +116,67 @@ pub fn explain(store: &Store, q: &StoreJucq) -> String {
     out
 }
 
+/// Format a nanosecond duration with a unit fitting its magnitude.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// `EXPLAIN ANALYZE` — run `q` with per-node profiling and render each
+/// plan node's estimated vs. actual output rows with its Q-error
+/// (`max(est/actual, actual/est)`, both clamped to ≥ 1 row). Errors
+/// surface exactly as in [`Store::eval_jucq`] (rejection, timeout, …).
+pub fn explain_analyze(store: &Store, q: &StoreJucq) -> Result<String, EngineError> {
+    let (outcome, exec_profile) = store.eval_jucq_profiled(q)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "EXPLAIN ANALYZE under profile `{}` ({} fragment(s), {} union term(s))",
+        store.profile().name,
+        q.fragments.len(),
+        q.union_terms()
+    );
+    let _ = writeln!(
+        out,
+        "  {:<34} {:>12} {:>12} {:>8} {:>10} {:>6}",
+        "node", "est. rows", "actual rows", "Q-error", "time", "calls"
+    );
+    for node in &exec_profile.nodes {
+        let est = node.est_rows.map_or_else(|| "-".to_string(), |e| format!("{e:.0}"));
+        let qerr = node.q_error().map_or_else(|| "-".to_string(), |e| format!("{e:.2}"));
+        let _ = writeln!(
+            out,
+            "  {:<34} {:>12} {:>12} {:>8} {:>10} {:>6}",
+            node.label,
+            est,
+            node.actual_rows,
+            qerr,
+            fmt_ns(node.elapsed_ns),
+            node.invocations
+        );
+    }
+    let c = outcome.counters;
+    let _ = writeln!(
+        out,
+        "  Total: {} row(s) in {}",
+        outcome.relation.len(),
+        fmt_ns(outcome.elapsed.as_nanos() as u64)
+    );
+    let _ = writeln!(
+        out,
+        "  Counters: scanned {}, joined {}, materialized {}, deduped {}",
+        c.tuples_scanned, c.tuples_joined, c.tuples_materialized, c.tuples_deduped
+    );
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,9 +190,8 @@ mod tests {
     }
 
     fn store() -> Store {
-        let triples: Vec<TripleId> = (0..20)
-            .map(|i| TripleId::new(id(i), id(100), id(i % 3)))
-            .collect();
+        let triples: Vec<TripleId> =
+            (0..20).map(|i| TripleId::new(id(i), id(100), id(i % 3))).collect();
         Store::from_triples(&triples, EngineProfile::pg_like())
     }
 
@@ -142,7 +233,46 @@ mod tests {
         s.set_profile(EngineProfile::pg_like().with_max_union_terms(1));
         let text = explain(&s, &sample_jucq(5));
         assert!(text.contains("REJECTED"));
+        assert!(text.contains("constraint: max_union_terms"), "{text}");
         assert!(!text.contains("Fragment 0"), "no plan detail after rejection");
+    }
+
+    #[test]
+    fn explains_memory_budget_rejections() {
+        let mut s = store();
+        s.set_profile(EngineProfile::pg_like().with_memory_budget(3));
+        let text = explain(&s, &sample_jucq(2));
+        assert!(text.contains("REJECTED"), "{text}");
+        assert!(text.contains("constraint: memory_budget_tuples"), "{text}");
+        assert!(!text.contains("Fragment 0"), "no plan detail after rejection");
+        // A comfortable budget is accepted and reported.
+        s.set_profile(EngineProfile::pg_like());
+        let text = explain(&s, &sample_jucq(2));
+        assert!(text.contains("ADMISSION: accepted"), "{text}");
+        assert!(text.contains("Memory: est. peak materialized intermediate"), "{text}");
+    }
+
+    #[test]
+    fn explain_analyze_reports_q_errors_per_node() {
+        let s = store();
+        let text = explain_analyze(&s, &sample_jucq(2)).unwrap();
+        assert!(text.contains("EXPLAIN ANALYZE"), "{text}");
+        assert!(text.contains("Q-error"), "{text}");
+        assert!(text.contains("fragment[0].union"), "{text}");
+        assert!(text.contains("join[0].hash_join"), "{text}");
+        assert!(text.contains("dedup"), "{text}");
+        assert!(text.contains("Total:"), "{text}");
+        assert!(text.contains("Counters: scanned"), "{text}");
+    }
+
+    #[test]
+    fn explain_analyze_surfaces_rejections_as_errors() {
+        let mut s = store();
+        s.set_profile(EngineProfile::pg_like().with_max_union_terms(1));
+        assert!(matches!(
+            explain_analyze(&s, &sample_jucq(5)),
+            Err(EngineError::UnionTooLarge { .. })
+        ));
     }
 
     #[test]

@@ -68,11 +68,7 @@ pub fn estimate(store: &Store, q: &StoreJucq) -> f64 {
     let mat: f64 = if q.fragments.len() <= 1 && !profile.materialize_all_unions {
         0.0
     } else {
-        let largest = frag_cards
-            .iter()
-            .cloned()
-            .fold(f64::NEG_INFINITY, f64::max)
-            .max(0.0);
+        let largest = frag_cards.iter().cloned().fold(f64::NEG_INFINITY, f64::max).max(0.0);
         let total: f64 = frag_cards.iter().sum();
         let charged = if profile.materialize_all_unions { total } else { total - largest };
         CPU_MATERIALIZE * charged.max(0.0)
@@ -125,10 +121,8 @@ mod tests {
     }
 
     fn store(profile: EngineProfile) -> Store {
-        let triples: Vec<TripleId> = (0..100)
-            .map(|i| t(i, 10, i % 7))
-            .chain((0..10).map(|i| t(i, 11, 99)))
-            .collect();
+        let triples: Vec<TripleId> =
+            (0..100).map(|i| t(i, 10, i % 7)).chain((0..10).map(|i| t(i, 11, 99))).collect();
         Store::from_triples(&triples, profile)
     }
 
@@ -167,10 +161,7 @@ mod tests {
         let q = StoreJucq::new(vec![fa, fb], vec![0, 1, 2]);
         let hash_cost = estimate(&store(EngineProfile::pg_like()), &q);
         let bnl_cost = estimate(&store(EngineProfile::mysql_like()), &q);
-        assert!(
-            bnl_cost > hash_cost,
-            "BNL {bnl_cost} should exceed hash {hash_cost}"
-        );
+        assert!(bnl_cost > hash_cost, "BNL {bnl_cost} should exceed hash {hash_cost}");
     }
 
     #[test]
@@ -178,8 +169,11 @@ mod tests {
         let s = store(EngineProfile::pg_like());
         let q = StoreJucq::from_ucq(one_fragment(vec![StorePattern::new(v(0), c(99), v(1))]));
         let cost = estimate(&s, &q);
-        assert!(cost < estimate(&s, &StoreJucq::from_ucq(one_fragment(vec![
-            StorePattern::new(v(0), c(10), v(1)),
-        ]))));
+        assert!(
+            cost < estimate(
+                &s,
+                &StoreJucq::from_ucq(one_fragment(vec![StorePattern::new(v(0), c(10), v(1)),]))
+            )
+        );
     }
 }

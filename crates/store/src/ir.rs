@@ -97,11 +97,7 @@ impl StorePattern {
     /// True iff some variable occurs twice (e.g. `?x p ?x`), requiring a
     /// post-scan equality filter.
     pub fn has_repeated_var(&self) -> bool {
-        let vs: Vec<VarId> = self
-            .positions()
-            .iter()
-            .filter_map(|p| p.as_var())
-            .collect();
+        let vs: Vec<VarId> = self.positions().iter().filter_map(|p| p.as_var()).collect();
         match vs.as_slice() {
             [a, b] => a == b,
             [a, b, c] => a == b || a == c || b == c,
@@ -264,10 +260,7 @@ mod tests {
     #[test]
     fn cq_body_variables() {
         let cq = StoreCq::with_var_head(
-            vec![
-                StorePattern::new(v(0), c(1), v(1)),
-                StorePattern::new(v(1), c(2), v(2)),
-            ],
+            vec![StorePattern::new(v(0), c(1), v(1)), StorePattern::new(v(1), c(2), v(2))],
             vec![0, 2],
         );
         assert_eq!(cq.body_variables(), vec![0, 1, 2]);

@@ -36,8 +36,8 @@
 
 pub mod engine;
 pub mod error;
-pub mod explain;
 pub mod exec;
+pub mod explain;
 pub mod internal_cost;
 pub mod ir;
 pub mod profile;
@@ -45,7 +45,7 @@ pub mod relation;
 pub mod stats;
 pub mod table;
 
-pub use engine::Store;
+pub use engine::{ExecProfile, PlanNodeReport, Store};
 pub use error::EngineError;
 pub use ir::{PatternTerm, StoreCq, StoreJucq, StorePattern, StoreUcq, VarId};
 pub use profile::{EngineProfile, JoinAlgo};

@@ -146,7 +146,8 @@ mod tests {
 
     #[test]
     fn presets_have_distinct_names() {
-        let names: Vec<String> = EngineProfile::rdbms_trio().iter().map(|p| p.name.clone()).collect();
+        let names: Vec<String> =
+            EngineProfile::rdbms_trio().iter().map(|p| p.name.clone()).collect();
         assert_eq!(names, vec!["db2-like", "pg-like", "mysql-like"]);
     }
 

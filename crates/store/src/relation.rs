@@ -74,9 +74,7 @@ impl Relation {
     pub fn rows(&self) -> impl Iterator<Item = &[TermId]> + '_ {
         let zero_width = self.vars.is_empty();
         let width = if zero_width { 1 } else { self.vars.len() };
-        self.data
-            .chunks_exact(width)
-            .map(move |chunk| if zero_width { &chunk[..0] } else { chunk })
+        self.data.chunks_exact(width).map(move |chunk| if zero_width { &chunk[..0] } else { chunk })
     }
 
     /// Row access by index. Zero-width (boolean) relations yield empty
@@ -103,10 +101,8 @@ impl Relation {
         if head == self.vars {
             return self.clone();
         }
-        let cols: Vec<usize> = head
-            .iter()
-            .map(|v| self.column_of(*v).expect("projection variable present"))
-            .collect();
+        let cols: Vec<usize> =
+            head.iter().map(|v| self.column_of(*v).expect("projection variable present")).collect();
         let mut out = Relation::with_capacity(head.to_vec(), self.len());
         let mut row_buf: Vec<TermId> = Vec::with_capacity(head.len());
         for row in self.rows() {
@@ -167,7 +163,8 @@ impl Relation {
             return;
         }
         let width = self.vars.len();
-        let mut rows: Vec<Vec<TermId>> = self.data.chunks_exact(width).map(<[TermId]>::to_vec).collect();
+        let mut rows: Vec<Vec<TermId>> =
+            self.data.chunks_exact(width).map(<[TermId]>::to_vec).collect();
         rows.sort_unstable();
         self.data.clear();
         for r in rows {
@@ -254,10 +251,7 @@ mod tests {
     fn sort_orders_rows() {
         let mut r = rel(vec![0, 1], &[&[3, 1], &[1, 2], &[2, 0]]);
         r.sort();
-        assert_eq!(
-            r.to_rows(),
-            vec![vec![id(1), id(2)], vec![id(2), id(0)], vec![id(3), id(1)]]
-        );
+        assert_eq!(r.to_rows(), vec![vec![id(1), id(2)], vec![id(2), id(0)], vec![id(3), id(1)]]);
     }
 
     #[test]

@@ -127,10 +127,7 @@ impl Statistics {
                 continue;
             }
             let d = match (i, pred) {
-                (0, Some(p)) => self
-                    .predicates
-                    .get(&p)
-                    .map_or(1, |st| st.distinct_subjects),
+                (0, Some(p)) => self.predicates.get(&p).map_or(1, |st| st.distinct_subjects),
                 (2, Some(p)) => self.predicates.get(&p).map_or(1, |st| st.distinct_objects),
                 (0, None) => self.distinct_subjects.max(1),
                 (2, None) => self.distinct_objects.max(1),
@@ -148,11 +145,8 @@ impl Statistics {
     /// all but the smallest of its per-atom domains (containment of
     /// value sets).
     pub fn est_cq(&self, table: &TripleTable, cq: &StoreCq) -> f64 {
-        let cards: Vec<f64> = cq
-            .patterns
-            .iter()
-            .map(|p| self.pattern_card(table, p) as f64)
-            .collect();
+        let cards: Vec<f64> =
+            cq.patterns.iter().map(|p| self.pattern_card(table, p) as f64).collect();
         self.est_with_extents(&cq.patterns, &cards)
     }
 
@@ -175,10 +169,7 @@ impl Statistics {
         let mut var_occurrences: FxHashMap<VarId, Vec<f64>> = FxHashMap::default();
         for (p, &card) in atoms.iter().zip(extents) {
             for v in p.variables() {
-                var_occurrences
-                    .entry(v)
-                    .or_default()
-                    .push(self.var_domain_f(p, v, card));
+                var_occurrences.entry(v).or_default().push(self.var_domain_f(p, v, card));
             }
         }
         for (_, mut domains) in var_occurrences {
@@ -220,8 +211,7 @@ impl Statistics {
         if jucq.fragments.is_empty() {
             return 0.0;
         }
-        let frag_cards: Vec<f64> =
-            jucq.fragments.iter().map(|u| self.est_ucq(table, u)).collect();
+        let frag_cards: Vec<f64> = jucq.fragments.iter().map(|u| self.est_ucq(table, u)).collect();
         if frag_cards.contains(&0.0) {
             return 0.0;
         }
@@ -246,10 +236,7 @@ impl Statistics {
                             continue;
                         }
                         let d = self.var_domain_f(p, v, card as f64);
-                        per_var
-                            .entry(v)
-                            .and_modify(|cur| *cur = cur.max(d))
-                            .or_insert(d);
+                        per_var.entry(v).and_modify(|cur| *cur = cur.max(d)).or_insert(d);
                     }
                 }
                 for (pos, &v) in frag.head.iter().enumerate() {
@@ -260,10 +247,7 @@ impl Statistics {
             }
             for (v, consts) in head_consts {
                 let d = consts.len() as f64;
-                per_var
-                    .entry(v)
-                    .and_modify(|cur| *cur = cur.max(d))
-                    .or_insert(d);
+                per_var.entry(v).and_modify(|cur| *cur = cur.max(d)).or_insert(d);
             }
             for (v, d) in per_var {
                 var_domains.entry(v).or_default().push(d.min(fcard.max(1.0)));
@@ -344,10 +328,7 @@ mod tests {
     fn zero_extent_pattern_estimates_zero() {
         let (table, stats) = setup();
         let cq = StoreCq::with_var_head(
-            vec![
-                StorePattern::new(v(0), c(99), v(1)),
-                StorePattern::new(v(0), c(10), v(2)),
-            ],
+            vec![StorePattern::new(v(0), c(99), v(1)), StorePattern::new(v(0), c(10), v(2))],
             vec![0],
         );
         assert_eq!(stats.est_cq(&table, &cq), 0.0);
@@ -359,10 +340,7 @@ mod tests {
         // ?x 10 ?y ⋈ ?x 11 ?z: 3 × 3 = 9 before selectivity; shared var
         // x has domains {2, 3} ⇒ divide by 3 ⇒ 3.
         let cq = StoreCq::with_var_head(
-            vec![
-                StorePattern::new(v(0), c(10), v(1)),
-                StorePattern::new(v(0), c(11), v(2)),
-            ],
+            vec![StorePattern::new(v(0), c(10), v(1)), StorePattern::new(v(0), c(11), v(2))],
             vec![0, 1, 2],
         );
         let est = stats.est_cq(&table, &cq);

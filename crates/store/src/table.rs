@@ -63,11 +63,8 @@ impl Perm {
     /// The bound-position prefix of the lookup key for this permutation
     /// (`None` marks the unconstrained tail).
     fn prefix(self, bound: &[Option<TermId>; 3]) -> [Option<u32>; 3] {
-        let (s, p, o) = (
-            bound[0].map(TermId::raw),
-            bound[1].map(TermId::raw),
-            bound[2].map(TermId::raw),
-        );
+        let (s, p, o) =
+            (bound[0].map(TermId::raw), bound[1].map(TermId::raw), bound[2].map(TermId::raw));
         match self {
             Perm::Spo => [s, p, o],
             Perm::Sop => [s, o, p],
@@ -171,11 +168,8 @@ impl TripleTable {
     ) -> TripleTable {
         let mut indexes: [Vec<TripleId>; 6] = Default::default();
         for (slot, perm) in indexes.iter_mut().zip(Perm::ALL) {
-            let mut ins: Vec<TripleId> = inserts
-                .iter()
-                .filter(|t| !deletes.contains(t))
-                .copied()
-                .collect();
+            let mut ins: Vec<TripleId> =
+                inserts.iter().filter(|t| !deletes.contains(t)).copied().collect();
             ins.sort_unstable_by_key(|t| perm.key(t));
             ins.dedup();
             let old = self.index(perm);
@@ -374,7 +368,8 @@ mod tests {
         deletes.insert(t(3, 12, 103));
         let inserts = vec![t(7, 7, 7)];
         let merged = tbl.apply_delta(&inserts, &deletes);
-        let mut full: Vec<TripleId> = tbl.all().iter().filter(|x| !deletes.contains(x)).copied().collect();
+        let mut full: Vec<TripleId> =
+            tbl.all().iter().filter(|x| !deletes.contains(x)).copied().collect();
         full.extend(&inserts);
         let rebuilt = TripleTable::build(&full);
         assert_eq!(merged.all(), rebuilt.all());

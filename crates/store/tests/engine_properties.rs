@@ -19,11 +19,7 @@ fn random_triples() -> impl Strategy<Value = Vec<TripleId>> {
 }
 
 fn random_mask() -> impl Strategy<Value = [Option<u32>; 3]> {
-    (
-        proptest::option::of(0u32..12),
-        proptest::option::of(0u32..6),
-        proptest::option::of(0u32..12),
-    )
+    (proptest::option::of(0u32..12), proptest::option::of(0u32..6), proptest::option::of(0u32..12))
         .prop_map(|(s, p, o)| [s, p, o])
 }
 

@@ -23,8 +23,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let constants = calibrate(db.plain_store());
         db.set_cost_constants(constants);
         println!("[{name}] calibrated constants:");
-        println!("  c_db = {:.3e}s  c_t = {:.3e}s/t  c_j = {:.3e}s/t", constants.c_db, constants.c_t, constants.c_j);
-        println!("  c_m  = {:.3e}s/t  c_l = {:.3e}s/t  c_k = {:.3e}s/t", constants.c_m, constants.c_l, constants.c_k);
+        println!(
+            "  c_db = {:.3e}s  c_t = {:.3e}s/t  c_j = {:.3e}s/t",
+            constants.c_db, constants.c_t, constants.c_j
+        );
+        println!(
+            "  c_m  = {:.3e}s/t  c_l = {:.3e}s/t  c_k = {:.3e}s/t",
+            constants.c_m, constants.c_l, constants.c_k
+        );
 
         // Predict vs measure on the three covers of a two-atom query.
         let sparql = format!(
@@ -49,9 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 let report = db.answer(&q, &Strategy::FixedCover(cover.clone()))?;
                 (predicted, report.eval_time.as_secs_f64())
             };
-            println!(
-                "    {label:<18} predicted {predicted:>9.4}s   measured {measured:>9.4}s"
-            );
+            println!("    {label:<18} predicted {predicted:>9.4}s   measured {measured:>9.4}s");
         }
         println!();
     }

@@ -8,11 +8,7 @@ use jucq_datagen::dblp;
 use jucq_store::EngineProfile;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let authors: usize = std::env::args()
-        .nth(1)
-        .map(|a| a.parse())
-        .transpose()?
-        .unwrap_or(2_000);
+    let authors: usize = std::env::args().nth(1).map(|a| a.parse()).transpose()?.unwrap_or(2_000);
 
     eprintln!("generating DBLP-like data for {authors} authors...");
     let graph = dblp::generate(&dblp::DblpConfig::new(authors));
@@ -28,12 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for nq in dblp::workload() {
         let q = db.parse_query(&nq.sparql)?;
         print!("{:<4}", nq.name);
-        for s in [
-            Strategy::Saturation,
-            Strategy::Ucq,
-            Strategy::Scq,
-            Strategy::gcov_default(),
-        ] {
+        for s in [Strategy::Saturation, Strategy::Ucq, Strategy::Scq, Strategy::gcov_default()] {
             match db.answer(&q, &s) {
                 Ok(r) => print!(" {:>10.1}", r.eval_time.as_secs_f64() * 1e3),
                 Err(AnswerError::Engine(_)) => print!(" {:>10}", "F"),

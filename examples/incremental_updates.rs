@@ -8,8 +8,8 @@
 //!
 //! Run with: `cargo run --release --example incremental_updates`
 
-use jucq_core::{RdfDatabase, Strategy};
 use jucq_core::model::{Term, Triple};
+use jucq_core::{RdfDatabase, Strategy};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut db = RdfDatabase::new();
@@ -26,9 +26,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     db.prepare();
 
     let q = db.parse_query("SELECT ?x WHERE { ?x rdf:type <http://example.org/Person> . }")?;
-    let count = |db: &mut RdfDatabase, q, s: &Strategy| {
-        db.answer(q, s).map(|r| r.rows.len()).unwrap_or(0)
-    };
+    let count =
+        |db: &mut RdfDatabase, q, s: &Strategy| db.answer(q, s).map(|r| r.rows.len()).unwrap_or(0);
     println!(
         "people before update: SAT={} GCov={}",
         count(&mut db, &q, &Strategy::Saturation),

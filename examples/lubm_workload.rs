@@ -12,11 +12,7 @@ use jucq_datagen::lubm;
 use jucq_store::EngineProfile;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let universities: usize = std::env::args()
-        .nth(1)
-        .map(|a| a.parse())
-        .transpose()?
-        .unwrap_or(1);
+    let universities: usize = std::env::args().nth(1).map(|a| a.parse()).transpose()?.unwrap_or(1);
 
     eprintln!("generating LUBM-like data for {universities} university(ies)...");
     let graph = lubm::generate(&lubm::LubmConfig::new(universities));
@@ -42,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         queries.extend(lubm::workload().into_iter().filter(|q| q.name == name));
     }
 
-    println!("\n{:<4} {:>12} {:>12} {:>12} {:>12}   (evaluation ms; F = engine failure)", "", "SAT", "UCQ", "SCQ", "GCov");
+    println!(
+        "\n{:<4} {:>12} {:>12} {:>12} {:>12}   (evaluation ms; F = engine failure)",
+        "", "SAT", "UCQ", "SCQ", "GCov"
+    );
     for nq in &queries {
         let q = db.parse_query(&nq.sparql)?;
         print!("{:<4}", nq.name);

@@ -1,0 +1,241 @@
+//! Offline shim for `criterion`: a real (if minimal) wall-clock
+//! benchmark harness behind the criterion API subset the benches use.
+//!
+//! Each benchmark runs a short calibration to pick an iteration batch,
+//! then `sample_size` timed batches; the median per-iteration time is
+//! reported on stdout as
+//! `bench <group>/<name> ... median <t> (min <t>, mean <t>)`.
+//! Passing `--bench` (as `cargo bench` does) is accepted and ignored;
+//! a positional substring filters benchmark names like the real crate.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time per timed batch.
+const TARGET_BATCH: Duration = Duration::from_millis(20);
+/// Default number of timed batches.
+const DEFAULT_SAMPLES: usize = 30;
+
+/// Re-exported for convenience (the real crate has its own; the
+/// benches here use `std::hint::black_box` directly).
+pub use std::hint::black_box;
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Identifier with a function name and a parameter rendering.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { name: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Identifier from a parameter only.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { name: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { name: s }
+    }
+}
+
+/// Passed to the closure of [`Criterion::bench_function`]; `iter` times
+/// the supplied routine.
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration nanoseconds of the last `iter` run.
+    last_median_ns: f64,
+    last_min_ns: f64,
+    last_mean_ns: f64,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher { samples, last_median_ns: 0.0, last_min_ns: 0.0, last_mean_ns: 0.0 }
+    }
+
+    /// Time `routine`: calibrate a batch size reaching ~[`TARGET_BATCH`],
+    /// then run `samples` timed batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibration: grow the batch until it takes long enough to time.
+        let mut batch: u64 = 1;
+        let mut calib;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            calib = start.elapsed();
+            if calib >= TARGET_BATCH / 4 || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 4;
+        }
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            per_iter.push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        self.last_median_ns = per_iter[per_iter.len() / 2];
+        self.last_min_ns = per_iter[0];
+        self.last_mean_ns = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// The harness entry point.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` invokes with `--bench` plus optional filters;
+        // keep the first non-flag argument as a name filter.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    fn runs(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: &str, samples: usize, mut f: F) {
+        if !self.runs(name) {
+            return;
+        }
+        let mut b = Bencher::new(samples);
+        f(&mut b);
+        println!(
+            "bench {name:<48} median {:>10}  (min {}, mean {})",
+            fmt_ns(b.last_median_ns),
+            fmt_ns(b.last_min_ns),
+            fmt_ns(b.last_mean_ns),
+        );
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) {
+        self.run_one(name, DEFAULT_SAMPLES, f);
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, name: name.into(), samples: DEFAULT_SAMPLES }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'c> {
+    c: &'c mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed batches per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().name);
+        self.c.run_one(&full, self.samples, f);
+        self
+    }
+
+    /// Run one benchmark with an input reference.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().name);
+        self.c.run_one(&full, self.samples, |b| f(b, input));
+        self
+    }
+
+    /// Close the group (a no-op; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declare the benchmark `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::new(5);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..100u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert!(b.last_median_ns > 0.0);
+        assert!(b.last_min_ns <= b.last_median_ns);
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        let id = BenchmarkId::new("scan", 1000);
+        assert_eq!(id.name, "scan/1000");
+    }
+}

@@ -1,0 +1,822 @@
+//! Offline shim for `proptest`: a deterministic property-testing runner
+//! covering the API subset this workspace's tests use.
+//!
+//! Differences from the real crate, by design:
+//! - **No shrinking.** A failing case reports its seed; re-running is
+//!   deterministic, so the case reproduces exactly.
+//! - Strategies are simple generator objects (`generate(&mut TestRng)`);
+//!   there is no value tree.
+//! - The regex string strategy supports the subset actually used:
+//!   literals, `.`, character classes (`[a-z0-9_-]`, ranges, leading or
+//!   trailing `-`), and `{m}` / `{m,n}` repetition.
+//!
+//! Seeds are derived from the test name and case index, so runs are
+//! reproducible without an environment variable protocol.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// Deterministic generator handed to strategies (SplitMix64 core).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Build from a 64-bit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next uniform 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// Uniform `usize` in `[lo, hi]` (inclusive).
+    pub fn usize_inclusive(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi);
+        lo + self.below((hi - lo + 1) as u64) as usize
+    }
+
+    /// Bernoulli trial.
+    pub fn chance(&mut self, p: f64) -> bool {
+        ((self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)) < p
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Test-case outcome
+// ---------------------------------------------------------------------------
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed; the whole property fails.
+    Fail(String),
+    /// The case did not satisfy an assumption; retried with a new seed.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Construct a failure with a rendered message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Construct a rejection with a rendered message.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "assertion failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "case rejected: {m}"),
+        }
+    }
+}
+
+/// Result alias used by generated test bodies.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+// ---------------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Always yields a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// One weighted arm of a [`Union`]: a weight plus a boxed generator.
+pub type UnionArm<V> = (u32, Box<dyn Fn(&mut TestRng) -> V>);
+
+/// Weighted choice among strategies yielding one value type
+/// (the engine behind [`prop_oneof!`]).
+pub struct Union<V> {
+    arms: Vec<UnionArm<V>>,
+    total: u32,
+}
+
+impl<V> Union<V> {
+    /// Build from `(weight, generator)` arms; weights must not all be 0.
+    pub fn new(arms: Vec<UnionArm<V>>) -> Self {
+        let total = arms.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof! needs a positive total weight");
+        Union { arms, total }
+    }
+
+    /// Box one weighted arm (used by the [`prop_oneof!`] expansion).
+    pub fn arm<S>(weight: u32, strategy: S) -> UnionArm<V>
+    where
+        S: Strategy<Value = V> + 'static,
+    {
+        (weight, Box::new(move |rng| strategy.generate(rng)))
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let mut pick = rng.below(self.total as u64) as u32;
+        for (w, gen) in &self.arms {
+            if pick < *w {
+                return gen(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights sum covered above")
+    }
+}
+
+/// Strategy for "any value" of a type (see [`any`]).
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Types with a canonical full-domain strategy.
+pub trait ArbitraryValue: Sized {
+    /// Sample one value from the full domain.
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for `T`'s full domain.
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any { _marker: std::marker::PhantomData }
+}
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary_value(rng)
+    }
+}
+
+impl ArbitraryValue for bool {
+    fn arbitrary_value(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl ArbitraryValue for $t {
+            fn arbitrary_value(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// ---------------------------------------------------------------------------
+// collection / option / string modules
+// ---------------------------------------------------------------------------
+
+/// Strategies for collections.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// An inclusive element-count range for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_incl: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max_incl: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange { min: r.start, max_incl: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty vec size range");
+            SizeRange { min: *r.start(), max_incl: *r.end() }
+        }
+    }
+
+    /// The result of [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A vector of values from `element`, sized within `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.usize_inclusive(self.size.min, self.size.max_incl);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Strategies for `Option`.
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// The result of [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `Some` of the inner strategy half the time, `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.chance(0.5) {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Regex-driven string strategies (supported subset: literals, `.`,
+/// character classes with ranges, `{m}` / `{m,n}` repetition).
+pub mod string {
+    use super::{Strategy, TestRng};
+
+    /// One compiled regex unit.
+    #[derive(Debug, Clone)]
+    enum Unit {
+        Literal(char),
+        /// `.`: any printable ASCII char, with occasional other chars so
+        /// robustness tests still see newlines/unicode.
+        AnyChar,
+        Class(Vec<(char, char)>),
+    }
+
+    /// A compiled pattern: units with inclusive repetition bounds.
+    #[derive(Debug, Clone)]
+    pub struct RegexGeneratorStrategy {
+        parts: Vec<(Unit, usize, usize)>,
+    }
+
+    /// Error for unsupported or malformed patterns.
+    #[derive(Debug, Clone)]
+    pub struct Error(pub String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "unsupported regex pattern: {}", self.0)
+        }
+    }
+
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<Unit, Error> {
+        let mut ranges: Vec<(char, char)> = Vec::new();
+        let mut pending: Option<char> = None;
+        loop {
+            let c = chars.next().ok_or_else(|| Error("unterminated class".into()))?;
+            match c {
+                ']' => {
+                    if let Some(p) = pending {
+                        ranges.push((p, p));
+                    }
+                    if ranges.is_empty() {
+                        return Err(Error("empty character class".into()));
+                    }
+                    return Ok(Unit::Class(ranges));
+                }
+                '-' => {
+                    // A range if a char is pending and the next is not `]`.
+                    match (pending.take(), chars.peek()) {
+                        (Some(lo), Some(&hi)) if hi != ']' => {
+                            chars.next();
+                            if lo > hi {
+                                return Err(Error(format!("inverted range {lo}-{hi}")));
+                            }
+                            ranges.push((lo, hi));
+                        }
+                        (p, _) => {
+                            if let Some(p) = p {
+                                ranges.push((p, p));
+                            }
+                            ranges.push(('-', '-'));
+                        }
+                    }
+                }
+                '\\' => {
+                    let esc = chars.next().ok_or_else(|| Error("dangling escape".into()))?;
+                    if let Some(p) = pending.replace(esc) {
+                        ranges.push((p, p));
+                    }
+                }
+                other => {
+                    if let Some(p) = pending.replace(other) {
+                        ranges.push((p, p));
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_repeat(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    ) -> Result<(usize, usize), Error> {
+        // Called after consuming `{`.
+        let mut digits = String::new();
+        let mut min: Option<usize> = None;
+        loop {
+            let c = chars.next().ok_or_else(|| Error("unterminated repetition".into()))?;
+            match c {
+                '}' => {
+                    let n: usize =
+                        digits.parse().map_err(|_| Error("bad repetition bound".into()))?;
+                    return match min {
+                        Some(m) => Ok((m, n)),
+                        None => Ok((n, n)),
+                    };
+                }
+                ',' => {
+                    min = Some(digits.parse().map_err(|_| Error("bad repetition bound".into()))?);
+                    digits.clear();
+                }
+                d if d.is_ascii_digit() => digits.push(d),
+                other => return Err(Error(format!("bad repetition char {other:?}"))),
+            }
+        }
+    }
+
+    /// Compile `pattern` into a string strategy.
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        let mut chars = pattern.chars().peekable();
+        let mut parts: Vec<(Unit, usize, usize)> = Vec::new();
+        while let Some(c) = chars.next() {
+            let unit = match c {
+                '[' => parse_class(&mut chars)?,
+                '.' => Unit::AnyChar,
+                '\\' => {
+                    let esc = chars.next().ok_or_else(|| Error("dangling escape".into()))?;
+                    Unit::Literal(esc)
+                }
+                '{' | '}' | '*' | '+' | '?' | '(' | ')' | '|' | '^' | '$' => {
+                    return Err(Error(format!("unsupported metachar {c:?} in {pattern:?}")));
+                }
+                lit => Unit::Literal(lit),
+            };
+            let (min, max) = if chars.peek() == Some(&'{') {
+                chars.next();
+                parse_repeat(&mut chars)?
+            } else {
+                (1, 1)
+            };
+            parts.push((unit, min, max));
+        }
+        Ok(RegexGeneratorStrategy { parts })
+    }
+
+    fn gen_any_char(rng: &mut TestRng) -> char {
+        match rng.below(20) {
+            // Mostly printable ASCII; sprinkle whitespace and unicode so
+            // parser-robustness properties see hostile input too.
+            0 => '\n',
+            1 => '\t',
+            2 => char::from_u32(0x80 + rng.below(0xFFF) as u32).unwrap_or('¿'),
+            _ => (0x20 + rng.below(0x5F) as u8) as char,
+        }
+    }
+
+    fn gen_class(ranges: &[(char, char)], rng: &mut TestRng) -> char {
+        let total: u64 = ranges.iter().map(|&(lo, hi)| (hi as u64) - (lo as u64) + 1).sum();
+        let mut pick = rng.below(total);
+        for &(lo, hi) in ranges {
+            let span = (hi as u64) - (lo as u64) + 1;
+            if pick < span {
+                return char::from_u32(lo as u32 + pick as u32)
+                    .expect("class range in scalar space");
+            }
+            pick -= span;
+        }
+        unreachable!("pick bounded by total")
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for (unit, min, max) in &self.parts {
+                let n = rng.usize_inclusive(*min, *max);
+                for _ in 0..n {
+                    match unit {
+                        Unit::Literal(c) => out.push(*c),
+                        Unit::AnyChar => out.push(gen_any_char(rng)),
+                        Unit::Class(ranges) => out.push(gen_class(ranges, rng)),
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Bare string literals act as regex strategies (panics on a pattern
+/// outside the supported subset, like the real crate's `new_tree` would
+/// fail the test).
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        string::string_regex(self).expect("string literal strategy").generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+/// Per-property configuration (struct-update syntax supported).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of passing cases required.
+    pub cases: u32,
+    /// Total rejected cases tolerated before the property errors out.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_global_rejects: 4096 }
+    }
+}
+
+/// Test-runner internals used by the [`proptest!`] macro expansion.
+pub mod test_runner {
+    pub use super::{ProptestConfig, TestCaseError, TestRng};
+
+    fn name_hash(name: &str) -> u64 {
+        // FNV-1a, stable across runs and platforms.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Drive one property: run `config.cases` passing cases, retrying
+    /// rejected ones, panicking on the first failure with its seed.
+    pub fn run<F>(config: &ProptestConfig, name: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let base = name_hash(name);
+        let mut rejects: u32 = 0;
+        let mut attempt: u64 = 0;
+        let mut passed: u32 = 0;
+        while passed < config.cases {
+            let seed = base ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            attempt += 1;
+            let mut rng = TestRng::from_seed(seed);
+            match case(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(msg)) => {
+                    rejects += 1;
+                    if rejects > config.max_global_rejects {
+                        panic!(
+                            "property {name}: too many rejected cases \
+                             ({rejects}); last: {msg}"
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("property {name} failed at case {passed} (seed {seed:#018x}):\n{msg}");
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            #[test]
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let __config: $crate::ProptestConfig = $config;
+                $(let $arg = $strat;)+
+                $crate::test_runner::run(&__config, stringify!($name), |__rng| {
+                    $(let $arg = $crate::Strategy::generate(&$arg, __rng);)+
+                    $body
+                    ::std::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+    (
+        $(
+            #[test]
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                #[test]
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "prop_assert!({}) at {}:{}",
+                stringify!($cond), file!(), line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "prop_assert!({}) at {}:{}: {}",
+                stringify!($cond), file!(), line!(), format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "prop_assert_eq!({}, {}) at {}:{}\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), file!(), line!(), l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "prop_assert_eq!({}, {}) at {}:{}: {}\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), file!(), line!(),
+                format!($($fmt)+), l, r
+            )));
+        }
+    }};
+}
+
+/// Fail the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l != r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "prop_assert_ne!({}, {}) at {}:{}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                file!(),
+                line!(),
+                l
+            )));
+        }
+    }};
+}
+
+/// Reject (and retry) the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// Choose among strategies, optionally weighted (`w => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $($crate::Union::arm($weight as u32, $strat)),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $($crate::Union::arm(1u32, $strat)),+
+        ])
+    };
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+
+    /// Alias module mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::{collection, option, string};
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    #[test]
+    fn regex_subset_generates_in_language() {
+        let s = crate::string::string_regex("[a-zA-Z0-9_/:.#-]{1,24}").unwrap();
+        let mut rng = TestRng::from_seed(5);
+        for _ in 0..500 {
+            let v = crate::Strategy::generate(&s, &mut rng);
+            assert!((1..=24).contains(&v.chars().count()), "bad len: {v:?}");
+            assert!(
+                v.chars().all(|c| c.is_ascii_alphanumeric() || "_/:.#-".contains(c)),
+                "bad char in {v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn dot_pattern_length_bounds() {
+        let mut rng = TestRng::from_seed(9);
+        for _ in 0..200 {
+            let v = crate::Strategy::generate(&".{0,200}", &mut rng);
+            assert!(v.chars().count() <= 200);
+        }
+    }
+
+    #[test]
+    fn oneof_respects_weights_roughly() {
+        let s = prop_oneof![
+            3 => Just(0u8),
+            1 => Just(1u8),
+        ];
+        let mut rng = TestRng::from_seed(11);
+        let n = 4000;
+        let ones = (0..n).filter(|_| crate::Strategy::generate(&s, &mut rng) == 1).count();
+        // Expect ~25%; accept a broad band.
+        assert!((n / 8..n / 2).contains(&ones), "ones = {ones}");
+    }
+
+    #[test]
+    fn vec_sizes_within_range() {
+        let s = crate::collection::vec(0u32..5, 2..6);
+        let mut rng = TestRng::from_seed(13);
+        for _ in 0..300 {
+            let v = crate::Strategy::generate(&s, &mut rng);
+            assert!((2..=5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+        #[test]
+        fn macro_end_to_end(a in 0u64..100, b in any::<bool>()) {
+            prop_assume!(a != 13);
+            prop_assert!(a < 100);
+            prop_assert_eq!(b, b);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline shim for `serde`: marker traits plus no-op derives.
+//!
+//! Nothing in this workspace serializes through serde (the snapshot
+//! format and the observability JSON exporter are hand-rolled), but
+//! several types carry `#[derive(Serialize, Deserialize)]` so the real
+//! crate can be dropped back in. The traits are blanket-implemented
+//! so the derives can expand to nothing.
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -14,7 +14,8 @@ fn graph() -> jucq_model::Graph {
 
 #[test]
 fn union_limit_failure_is_typed() {
-    let mut db = RdfDatabase::from_graph(graph(), EngineProfile::pg_like().with_max_union_terms(10));
+    let mut db =
+        RdfDatabase::from_graph(graph(), EngineProfile::pg_like().with_max_union_terms(10));
     db.set_cost_constants(Default::default());
     let q = db.parse_query(&lubm::motivating_queries()[0].sparql).unwrap();
     match db.answer(&q, &Strategy::Ucq) {

@@ -17,9 +17,7 @@ fn db() -> RdfDatabase {
     let graph = lubm::generate(&lubm::LubmConfig { universities: 1, seed: 42 });
     let mut db = RdfDatabase::from_graph(
         graph,
-        EngineProfile::pg_like()
-            .with_max_union_terms(1_000_000)
-            .with_memory_budget(100_000_000),
+        EngineProfile::pg_like().with_max_union_terms(1_000_000).with_memory_budget(100_000_000),
     );
     db.set_cost_constants(Default::default());
     db
@@ -27,9 +25,7 @@ fn db() -> RdfDatabase {
 
 /// Per-fragment union sizes for q1, computed through FixedCover runs.
 fn q1_terms(db: &mut RdfDatabase, fragments: Vec<Vec<usize>>) -> usize {
-    let q1 = db
-        .parse_query(&lubm::motivating_queries()[0].sparql)
-        .unwrap();
+    let q1 = db.parse_query(&lubm::motivating_queries()[0].sparql).unwrap();
     let cover = Cover::new(&q1, fragments).unwrap();
     db.answer(&q1, &Strategy::FixedCover(cover)).unwrap().union_terms
 }
@@ -58,11 +54,11 @@ fn table2_cover_sizes_follow_sum_of_products() {
     let mut db = db();
     let t1 = q1_terms(&mut db, vec![vec![0], vec![1, 2]]) - 12; // t1 + 4×3
     let each = [
-        (vec![vec![0, 1, 2]], t1 * 12),             // (t1,t2,t3)
-        (vec![vec![0], vec![1], vec![2]], t1 + 7),  // (t1)(t2)(t3)
-        (vec![vec![0, 1], vec![2]], t1 * 4 + 3),    // (t1,t2)(t3)
-        (vec![vec![0], vec![1, 2]], t1 + 12),       // (t1)(t2,t3)
-        (vec![vec![0, 2], vec![1]], t1 * 3 + 4),    // (t1,t3)(t2)
+        (vec![vec![0, 1, 2]], t1 * 12),            // (t1,t2,t3)
+        (vec![vec![0], vec![1], vec![2]], t1 + 7), // (t1)(t2)(t3)
+        (vec![vec![0, 1], vec![2]], t1 * 4 + 3),   // (t1,t2)(t3)
+        (vec![vec![0], vec![1, 2]], t1 + 12),      // (t1)(t2,t3)
+        (vec![vec![0, 2], vec![1]], t1 * 3 + 4),   // (t1,t3)(t2)
         (vec![vec![0, 1], vec![0, 2]], t1 * 4 + t1 * 3),
         (vec![vec![0, 1], vec![1, 2]], t1 * 4 + 12),
         (vec![vec![0, 2], vec![1, 2]], t1 * 3 + 12),
@@ -137,9 +133,7 @@ fn overlapping_cover_joins_on_shared_atom_variables() {
     )
     .unwrap();
     let q = db
-        .parse_query(
-            "SELECT ?w WHERE { ?x <http://p> ?y . ?y <http://q> ?z . ?z <http://r> ?w }",
-        )
+        .parse_query("SELECT ?w WHERE { ?x <http://p> ?y . ?y <http://q> ?z . ?z <http://r> ?w }")
         .unwrap();
     let sat = db.answer(&q, &Strategy::Saturation).unwrap();
     assert_eq!(sat.rows.len(), 1, "only d1 is reachable from a1");

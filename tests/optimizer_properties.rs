@@ -8,7 +8,7 @@ use std::time::Duration;
 
 use jucq_core::reformulation::reformulate::ReformulationEnv;
 use jucq_core::RdfDatabase;
-use jucq_model::{Graph, Term, Triple, vocab};
+use jucq_model::{vocab, Graph, Term, Triple};
 use jucq_optimizer::{ecov, gcov, CostConstants, CoverSearch, PaperCostModel};
 use jucq_reformulation::BgpQuery;
 use jucq_store::{EngineProfile, PatternTerm, StorePattern};
@@ -16,9 +16,7 @@ use jucq_store::{EngineProfile, PatternTerm, StorePattern};
 /// A small deterministic dataset with hierarchy and selectivity skew.
 fn database(seed: u64) -> RdfDatabase {
     let mut g = Graph::new();
-    let t = |s: String, p: String, o: String| {
-        Triple::new(Term::uri(s), Term::uri(p), Term::uri(o))
-    };
+    let t = |s: String, p: String, o: String| Triple::new(Term::uri(s), Term::uri(p), Term::uri(o));
     g.insert(&t("C1".into(), vocab::RDFS_SUBCLASS_OF.into(), "C0".into()));
     g.insert(&t("C2".into(), vocab::RDFS_SUBCLASS_OF.into(), "C1".into()));
     g.insert(&t("p1".into(), vocab::RDFS_DOMAIN.into(), "C0".into()));
@@ -34,11 +32,7 @@ fn database(seed: u64) -> RdfDatabase {
         if i % 11 == 0 {
             g.insert(&t(format!("e{i}"), "p3".into(), format!("v{}", i % 5)));
         }
-        g.insert(&t(
-            format!("e{i}"),
-            vocab::RDF_TYPE.into(),
-            format!("C{}", i % 3),
-        ));
+        g.insert(&t(format!("e{i}"), vocab::RDF_TYPE.into(), format!("C{}", i % 3)));
     }
     let mut db = RdfDatabase::from_graph(g, EngineProfile::pg_like());
     db.set_cost_constants(CostConstants::default());

@@ -10,7 +10,7 @@
 use proptest::prelude::*;
 
 use jucq_core::{RdfDatabase, Strategy as Answering};
-use jucq_model::{Graph, Term, Triple, vocab};
+use jucq_model::{vocab, Graph, Term, Triple};
 use jucq_reformulation::{BgpQuery, Cover};
 use jucq_store::{EngineProfile, PatternTerm, StorePattern, VarId};
 
@@ -118,9 +118,8 @@ fn build_db(desc: &RandomDb) -> RdfDatabase {
     for &(e, c) in &desc.types {
         g.insert(&t(entity_uri(e), vocab::RDF_TYPE.into(), class_uri(c)));
     }
-    let profile = EngineProfile::pg_like()
-        .with_max_union_terms(1_000_000)
-        .with_memory_budget(50_000_000);
+    let profile =
+        EngineProfile::pg_like().with_max_union_terms(1_000_000).with_memory_budget(50_000_000);
     let mut db = RdfDatabase::from_graph(g, profile);
     db.set_cost_constants(Default::default());
     db

@@ -6,7 +6,7 @@
 use proptest::prelude::*;
 
 use jucq_core::{RdfDatabase, Strategy as Answering};
-use jucq_model::{Graph, Term, Triple, vocab};
+use jucq_model::{vocab, Graph, Term, Triple};
 use jucq_store::EngineProfile;
 
 const ENTITIES: usize = 8;
@@ -31,7 +31,11 @@ fn op_triple(op: &(usize, usize, usize)) -> Triple {
     if p == 3 {
         Triple::new(subject, Term::uri(vocab::RDF_TYPE), Term::uri(format!("http://u/C{}", o % 3)))
     } else {
-        Triple::new(subject, Term::uri(format!("http://u/p{p}")), Term::uri(format!("http://u/e{o}")))
+        Triple::new(
+            subject,
+            Term::uri(format!("http://u/p{p}")),
+            Term::uri(format!("http://u/e{o}")),
+        )
     }
 }
 
@@ -39,9 +43,7 @@ fn op_triple(op: &(usize, usize, usize)) -> Triple {
 /// introduce new classes/properties (staying on the incremental path).
 fn base_graph() -> Graph {
     let mut g = Graph::new();
-    let t = |s: String, p: String, o: String| {
-        Triple::new(Term::uri(s), Term::uri(p), Term::uri(o))
-    };
+    let t = |s: String, p: String, o: String| Triple::new(Term::uri(s), Term::uri(p), Term::uri(o));
     g.insert(&t("http://u/C1".into(), vocab::RDFS_SUBCLASS_OF.into(), "http://u/C0".into()));
     g.insert(&t("http://u/C2".into(), vocab::RDFS_SUBCLASS_OF.into(), "http://u/C1".into()));
     g.insert(&t("http://u/p1".into(), vocab::RDFS_SUBPROPERTY_OF.into(), "http://u/p0".into()));
