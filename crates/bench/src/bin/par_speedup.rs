@@ -1,0 +1,174 @@
+//! Parallel-execution speedup: sequential vs multi-threaded JUCQ
+//! evaluation on a reformulation-heavy LUBM workload.
+//!
+//! Runs the UCQ and GCov strategies at parallelism 1 (the strictly
+//! sequential engine) and 4 (the issue's reference worker count) over
+//! the LUBM workload, and records per-strategy wall times plus the
+//! aggregate speedup in `results/BENCH_par_speedup.json`. The sidecar
+//! also captures the host's available hardware concurrency: on a
+//! single-core host the worker pool cannot physically speed anything
+//! up, and the recorded speedup will honestly hover around 1.0×.
+//!
+//! Run: `cargo run --release -p jucq-bench --bin par_speedup [universities]`
+
+use std::time::{Duration, Instant};
+
+use jucq_bench::harness::{arg_scale, lubm_db, parse_workload, render_table};
+use jucq_core::Strategy;
+use jucq_datagen::lubm;
+use jucq_store::EngineProfile;
+
+const SEQUENTIAL: usize = 1;
+const PARALLEL: usize = 4;
+const WARM: u32 = 2;
+
+struct Measurement {
+    query: String,
+    strategy: &'static str,
+    seq: Option<Duration>,
+    par: Option<Duration>,
+}
+
+/// Average warm evaluation time of one query, or `None` on failure.
+fn measure(
+    db: &mut jucq_core::RdfDatabase,
+    q: &jucq_reformulation::BgpQuery,
+    strategy: &Strategy,
+) -> Option<Duration> {
+    db.answer(q, strategy).ok()?; // warm-up
+    let mut total = Duration::ZERO;
+    for _ in 0..WARM {
+        let started = Instant::now();
+        db.answer(q, strategy).ok()?;
+        total += started.elapsed();
+    }
+    Some(total / WARM)
+}
+
+fn ms(d: Option<Duration>) -> String {
+    d.map(|d| format!("{:.1}", d.as_secs_f64() * 1e3)).unwrap_or_else(|| "-".into())
+}
+
+fn json_ms(d: Option<Duration>) -> String {
+    d.map(|d| format!("{:.3}", d.as_secs_f64() * 1e3)).unwrap_or_else(|| "null".into())
+}
+
+fn main() {
+    let _obs = jucq_bench::harness::obs_sidecar("par_speedup");
+    let universities = arg_scale(1, 2);
+    eprintln!("building LUBM-like({universities} universities)...");
+    let mut db = lubm_db(universities, EngineProfile::pg_like());
+    eprintln!("  {} data triples", db.graph().len());
+
+    let queries = parse_workload(&mut db, &lubm::workload());
+    let strategies: [(&'static str, Strategy); 2] =
+        [("UCQ", Strategy::Ucq), ("GCov", Strategy::gcov_default())];
+
+    let mut measurements: Vec<Measurement> = Vec::new();
+    for (threads, slot) in [(SEQUENTIAL, 0usize), (PARALLEL, 1usize)] {
+        eprintln!("[parallelism {threads}] running workload...");
+        db.set_profile(EngineProfile::pg_like().with_parallelism(threads));
+        for (name, q) in &queries {
+            for (label, strategy) in &strategies {
+                let t = measure(&mut db, q, strategy);
+                if slot == 0 {
+                    measurements.push(Measurement {
+                        query: name.clone(),
+                        strategy: label,
+                        seq: t,
+                        par: None,
+                    });
+                } else {
+                    let m = measurements
+                        .iter_mut()
+                        .find(|m| &m.query == name && &m.strategy == label)
+                        .expect("sequential pass recorded this cell");
+                    m.par = t;
+                }
+            }
+        }
+    }
+
+    // Aggregate speedup over the cells where both runs completed.
+    let (mut seq_total, mut par_total) = (Duration::ZERO, Duration::ZERO);
+    for m in &measurements {
+        if let (Some(s), Some(p)) = (m.seq, m.par) {
+            seq_total += s;
+            par_total += p;
+        }
+    }
+    let speedup =
+        if par_total.is_zero() { 1.0 } else { seq_total.as_secs_f64() / par_total.as_secs_f64() };
+    let hardware = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    let rows: Vec<Vec<String>> = measurements
+        .iter()
+        .map(|m| {
+            let ratio = match (m.seq, m.par) {
+                (Some(s), Some(p)) if !p.is_zero() => {
+                    format!("{:.2}", s.as_secs_f64() / p.as_secs_f64())
+                }
+                _ => "-".into(),
+            };
+            vec![m.query.clone(), m.strategy.to_owned(), ms(m.seq), ms(m.par), ratio]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &format!(
+                "Parallel speedup: {SEQUENTIAL} vs {PARALLEL} workers \
+                 ({hardware} hardware threads)"
+            ),
+            &[
+                "q".into(),
+                "strategy".into(),
+                "seq (ms)".into(),
+                "par (ms)".into(),
+                "speedup".into()
+            ],
+            &rows,
+        )
+    );
+    println!(
+        "total: seq {:.1} ms, par {:.1} ms, speedup {speedup:.2}x",
+        seq_total.as_secs_f64() * 1e3,
+        par_total.as_secs_f64() * 1e3,
+    );
+
+    jucq_obs::metrics::gauge_set("bench.par_speedup.sequential_ms", seq_total.as_secs_f64() * 1e3);
+    jucq_obs::metrics::gauge_set("bench.par_speedup.parallel_ms", par_total.as_secs_f64() * 1e3);
+    jucq_obs::metrics::gauge_set("bench.par_speedup.speedup", speedup);
+
+    // Always write the machine-readable sidecar: the speedup number is
+    // the experiment's artifact, not an optional trace.
+    let mut json = String::from("{\n");
+    json.push_str("  \"experiment\": \"par_speedup\",\n");
+    json.push_str(&format!("  \"universities\": {universities},\n"));
+    json.push_str(&format!("  \"hardware_threads\": {hardware},\n"));
+    json.push_str(&format!("  \"sequential_parallelism\": {SEQUENTIAL},\n"));
+    json.push_str(&format!("  \"parallel_parallelism\": {PARALLEL},\n"));
+    json.push_str(&format!("  \"sequential_total_ms\": {:.3},\n", seq_total.as_secs_f64() * 1e3));
+    json.push_str(&format!("  \"parallel_total_ms\": {:.3},\n", par_total.as_secs_f64() * 1e3));
+    json.push_str(&format!("  \"speedup\": {speedup:.4},\n"));
+    json.push_str("  \"queries\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"query\": \"{}\", \"strategy\": \"{}\", \
+             \"sequential_ms\": {}, \"parallel_ms\": {}}}{}\n",
+            m.query,
+            m.strategy,
+            json_ms(m.seq),
+            json_ms(m.par),
+            if i + 1 < measurements.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let dir = std::path::Path::new("results");
+    let _ = std::fs::create_dir_all(dir);
+    let path = dir.join("BENCH_par_speedup.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! jucq query <data.ttl> "<SPARQL>" [--strategy S] [--profile P] [--compare]
-//!            [--explain-analyze] [--trace] [--metrics-json PATH]
+//!            [--threads N] [--explain-analyze] [--trace] [--metrics-json PATH]
 //! jucq covers <data.ttl> "<SPARQL>"           # every cover, sized & timed
 //! jucq stats <data.ttl>                       # dataset & schema statistics
 //! jucq repl  <data.ttl>                       # interactive session
@@ -10,6 +10,9 @@
 //!
 //! Strategies: `sat`, `ucq`, `scq`, `ecov`, `gcov` (default).
 //! Profiles: `pg` (default), `db2`, `mysql`, `native`.
+//! Threads: `--threads N` (or the `JUCQ_THREADS` environment variable)
+//! sizes the worker pool for union/fragment evaluation and cover
+//! scoring; the default is the machine's available parallelism.
 //!
 //! Observability: `--explain-analyze` renders per-node estimated vs.
 //! actual rows with Q-errors instead of the result rows; `--trace`
@@ -24,7 +27,7 @@ use jucq_core::{AnswerError, RdfDatabase, Strategy};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  jucq query    <data.ttl|.snap> \"<SPARQL>\" [--strategy sat|ucq|scq|ecov|gcov] [--profile pg|db2|mysql|native] [--compare] [--explain-analyze] [--trace] [--metrics-json PATH]\n  jucq covers   <data.ttl|.snap> \"<SPARQL>\"\n  jucq stats    <data.ttl|.snap>\n  jucq repl     <data.ttl|.snap> [--profile ...]\n  jucq snapshot <data.ttl> <out.snap>"
+        "usage:\n  jucq query    <data.ttl|.snap> \"<SPARQL>\" [--strategy sat|ucq|scq|ecov|gcov] [--profile pg|db2|mysql|native] [--threads N] [--compare] [--explain-analyze] [--trace] [--metrics-json PATH]\n  jucq covers   <data.ttl|.snap> \"<SPARQL>\"\n  jucq stats    <data.ttl|.snap>\n  jucq repl     <data.ttl|.snap> [--profile ...] [--threads N]\n  jucq snapshot <data.ttl> <out.snap>"
     );
     std::process::exit(2)
 }
@@ -138,6 +141,7 @@ fn cmd_query(mut args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
     }
     let mut strategy = Strategy::gcov_default();
     let mut profile = EngineProfile::pg_like();
+    let mut threads: Option<usize> = None;
     let mut compare = false;
     let mut explain_analyze = false;
     let mut trace = false;
@@ -156,6 +160,11 @@ fn cmd_query(mut args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
                 args.drain(..1.min(args.len()));
                 profile = parse_profile(&v).unwrap_or_else(|| usage());
             }
+            "--threads" => {
+                let v = args.first().cloned().unwrap_or_default();
+                args.drain(..1.min(args.len()));
+                threads = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
             "--compare" => compare = true,
             "--explain-analyze" => explain_analyze = true,
             "--trace" => trace = true,
@@ -173,6 +182,9 @@ fn cmd_query(mut args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
     let [path, sparql] = positional.as_slice() else {
         usage();
     };
+    if let Some(n) = threads {
+        profile = profile.with_parallelism(n);
+    }
     if trace || metrics_json.is_some() {
         jucq_obs::set_enabled(true);
     }
@@ -267,6 +279,7 @@ fn cmd_stats(args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
 
 fn cmd_repl(mut args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
     let mut profile = EngineProfile::pg_like();
+    let mut threads: Option<usize> = None;
     let mut positional = Vec::new();
     while !args.is_empty() {
         let a = args.remove(0);
@@ -274,11 +287,18 @@ fn cmd_repl(mut args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
             let v = args.first().cloned().unwrap_or_default();
             args.drain(..1.min(args.len()));
             profile = parse_profile(&v).unwrap_or_else(|| usage());
+        } else if a == "--threads" {
+            let v = args.first().cloned().unwrap_or_default();
+            args.drain(..1.min(args.len()));
+            threads = Some(v.parse().unwrap_or_else(|_| usage()));
         } else {
             positional.push(a);
         }
     }
     let [path] = positional.as_slice() else { usage() };
+    if let Some(n) = threads {
+        profile = profile.with_parallelism(n);
+    }
     let mut db = load(path, profile)?;
     db.enable_plan_cache(64);
     let mut strategy = Strategy::gcov_default();

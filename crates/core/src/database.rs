@@ -366,11 +366,13 @@ impl RdfDatabase {
     ) -> Result<(StoreJucq, Option<Cover>, Option<usize>), AnswerError> {
         let paper_model = PaperCostModel::new(p.plain.table(), p.plain.stats(), p.constants);
         let engine_model = EngineCostModel::new(&p.plain);
-        let estimator: &dyn JucqCostEstimator = match cost {
+        let estimator: &(dyn JucqCostEstimator + Sync) = match cost {
             CostSource::Paper => &paper_model,
             CostSource::Engine => &engine_model,
         };
-        let search = CoverSearch::new(q, *env, estimator).with_union_limit(limit);
+        let search = CoverSearch::new(q, *env, estimator)
+            .with_union_limit(limit)
+            .with_parallelism(p.plain.profile().effective_parallelism());
         let result = match strategy {
             Strategy::ECov { budget, .. } => ecov(&search, *budget),
             Strategy::GCov { budget, max_moves, .. } => gcov(&search, *budget, *max_moves),

@@ -21,7 +21,7 @@
 //! statistics layer: exact per-triple extents, estimated UCQ/JUCQ
 //! result sizes.
 
-use std::cell::RefCell;
+use std::sync::RwLock;
 
 use jucq_model::{FxHashMap, FxHashSet};
 use jucq_store::{
@@ -107,7 +107,9 @@ pub struct PaperCostModel<'a> {
     stats: &'a Statistics,
     constants: CostConstants,
     eval_model: EvalModel,
-    cache: RefCell<FxHashMap<Vec<StorePattern>, FragComponents>>,
+    /// Fragment-component memo; `RwLock` so concurrent scoring workers
+    /// share the hot read path without exclusive locking.
+    cache: RwLock<FxHashMap<Vec<StorePattern>, FragComponents>>,
 }
 
 impl<'a> PaperCostModel<'a> {
@@ -118,7 +120,7 @@ impl<'a> PaperCostModel<'a> {
             stats,
             constants,
             eval_model: EvalModel::IndexPipeline,
-            cache: RefCell::new(FxHashMap::default()),
+            cache: RwLock::new(FxHashMap::default()),
         }
     }
 
@@ -300,11 +302,11 @@ impl<'a> PaperCostModel<'a> {
         let Some((atoms, _)) = template else {
             return self.fragment_components(ucq, template);
         };
-        if let Some(hit) = self.cache.borrow().get(atoms) {
+        if let Some(hit) = self.cache.read().expect("component cache lock").get(atoms) {
             return hit.clone();
         }
         let comps = self.fragment_components(ucq, template);
-        self.cache.borrow_mut().insert(atoms.to_vec(), comps.clone());
+        self.cache.write().expect("component cache lock").insert(atoms.to_vec(), comps.clone());
         comps
     }
 

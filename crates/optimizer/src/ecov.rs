@@ -82,6 +82,24 @@ pub fn ecov(search: &CoverSearch<'_>, budget: Duration) -> CoverSearchResult {
     let mut states = 0usize;
     let mut truncated = false;
 
+    // Complete covers are batched (in discovery order) and scored by
+    // the search's worker pool; folding the in-order costs with the
+    // same strict `<` keeps the selected cover identical to scoring
+    // each cover inline at discovery.
+    let batch_cap = (search.parallelism() * 8).max(32);
+    let mut pending: Vec<Cover> = Vec::new();
+    let flush = |pending: &mut Vec<Cover>, best: &mut Option<(Cover, f64)>| {
+        if pending.is_empty() {
+            return;
+        }
+        let costs = search.cover_costs(pending);
+        for (cover, cost) in pending.drain(..).zip(costs) {
+            if best.as_ref().is_none_or(|(_, c)| cost < *c) {
+                *best = Some((cover, cost));
+            }
+        }
+    };
+
     // DFS state: chosen fragments (antichain) + covered mask.
     let mut stack: Vec<(Vec<u32>, u32)> = vec![(Vec::new(), 0)];
     while let Some((chosen, covered)) = stack.pop() {
@@ -99,9 +117,9 @@ pub fn ecov(search: &CoverSearch<'_>, budget: Duration) -> CoverSearchResult {
             let Ok(cover) = Cover::new(q, frags) else {
                 continue;
             };
-            let cost = search.cover_cost(&cover);
-            if best.as_ref().is_none_or(|(_, c)| cost < *c) {
-                best = Some((cover, cost));
+            pending.push(cover);
+            if pending.len() >= batch_cap {
+                flush(&mut pending, &mut best);
             }
             continue;
         }
@@ -121,6 +139,10 @@ pub fn ecov(search: &CoverSearch<'_>, budget: Duration) -> CoverSearchResult {
             stack.push((next, covered | frag));
         }
     }
+
+    // Score whatever the DFS discovered before completing (or being
+    // truncated): the search stays anytime.
+    flush(&mut pending, &mut best);
 
     let (cover, estimated_cost) = best.unwrap_or_else(|| {
         // Degenerate fallback: the single-fragment cover always exists

@@ -66,12 +66,17 @@ pub fn gcov(search: &CoverSearch<'_>, budget: Duration, max_moves: usize) -> Cov
     let mut truncated = false;
 
     // Develop the moves available from a cover; push those not worse
-    // than the current best.
+    // than the current best. Candidates are gathered first (generation
+    // and the analysed-dedup stay sequential, so the candidate order is
+    // exactly the sequential one), then batch-scored on the search's
+    // worker pool; pushing in candidate order preserves the move list's
+    // insertion-order tiebreak.
     let develop = |cover: &Cover,
                    best_cost: f64,
                    analysed: &mut FxHashSet<Cover>,
                    moves: &mut MoveList,
                    strict: bool| {
+        let mut candidates: Vec<Cover> = Vec::new();
         for (fi, frag) in cover.fragments().iter().enumerate() {
             for t in 0..q.len() {
                 if frag.contains(&t) {
@@ -91,11 +96,14 @@ pub fn gcov(search: &CoverSearch<'_>, budget: Duration, max_moves: usize) -> Cov
                 if !analysed.insert(next.clone()) {
                     continue;
                 }
-                let cost = search.cover_cost(&next);
-                let keep = if strict { cost < best_cost } else { cost <= best_cost };
-                if keep {
-                    moves.push(cost, next);
-                }
+                candidates.push(next);
+            }
+        }
+        let costs = search.cover_costs(&candidates);
+        for (next, cost) in candidates.into_iter().zip(costs) {
+            let keep = if strict { cost < best_cost } else { cost <= best_cost };
+            if keep {
+                moves.push(cost, next);
             }
         }
     };

@@ -8,8 +8,8 @@
 //! ([`crate::cost::PaperCostModel`]) or the engine's internal estimator
 //! ([`EngineCostModel`], the Figure 9 alternative).
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
 use std::time::Duration;
 
 use jucq_model::FxHashMap;
@@ -100,7 +100,7 @@ impl JucqCostEstimator for EngineCostModel<'_> {
 
 /// A cached fragment reformulation: the UCQ, or `None` when it blew the
 /// materialization limit (treated as infinitely expensive).
-type FragmentEntry = Option<Rc<StoreUcq>>;
+type FragmentEntry = Option<Arc<StoreUcq>>;
 
 /// Cache key for a reformulated cover query: its atoms *and* head
 /// (Definition 3.4 heads vary with the cover for overlapping covers, so
@@ -111,7 +111,7 @@ type FragmentKey = (Vec<jucq_store::StorePattern>, Vec<VarId>);
 pub struct CoverSearch<'a> {
     query: &'a BgpQuery,
     env: ReformulationEnv<'a>,
-    estimator: &'a dyn JucqCostEstimator,
+    estimator: &'a (dyn JucqCostEstimator + Sync),
     /// Cap on the number of member CQs materialized per fragment; a
     /// fragment beyond it costs `+∞` (no engine accepts it anyway).
     reformulation_limit: usize,
@@ -119,10 +119,18 @@ pub struct CoverSearch<'a> {
     /// it are infeasible (the engine would reject the JUCQ at
     /// admission), so they cost `+∞` and the search routes around them.
     union_limit: usize,
-    cache: RefCell<FxHashMap<FragmentKey, FragmentEntry>>,
+    /// Worker threads for batch cover scoring ([`CoverSearch::cover_costs`]).
+    parallelism: usize,
+    /// Fragment memos are read far more often than written (repeated
+    /// fragments across candidate covers): `RwLock` keeps the hot hit
+    /// path a shared, non-exclusive read usable from scoring workers.
+    cache: RwLock<FxHashMap<FragmentKey, FragmentEntry>>,
+    /// Per-fragment standalone cost memo (the GCov redundancy-pruning
+    /// order re-asks the same fragments constantly).
+    cost_cache: RwLock<FxHashMap<FragmentKey, f64>>,
     /// Covers whose cost was estimated so far (the "number of query
     /// covers explored" of Figures 7–8).
-    explored: RefCell<usize>,
+    explored: AtomicUsize,
 }
 
 /// The outcome of a cover search.
@@ -147,7 +155,7 @@ impl<'a> CoverSearch<'a> {
     pub fn new(
         query: &'a BgpQuery,
         env: ReformulationEnv<'a>,
-        estimator: &'a dyn JucqCostEstimator,
+        estimator: &'a (dyn JucqCostEstimator + Sync),
     ) -> Self {
         CoverSearch {
             query,
@@ -155,8 +163,10 @@ impl<'a> CoverSearch<'a> {
             estimator,
             reformulation_limit: 400_000,
             union_limit: usize::MAX,
-            cache: RefCell::new(FxHashMap::default()),
-            explored: RefCell::new(0),
+            parallelism: 1,
+            cache: RwLock::new(FxHashMap::default()),
+            cost_cache: RwLock::new(FxHashMap::default()),
+            explored: AtomicUsize::new(0),
         }
     }
 
@@ -176,6 +186,17 @@ impl<'a> CoverSearch<'a> {
         self
     }
 
+    /// Use up to `threads` workers for batch cover scoring.
+    pub fn with_parallelism(mut self, threads: usize) -> Self {
+        self.parallelism = threads.max(1);
+        self
+    }
+
+    /// The configured scoring parallelism.
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+
     /// The query under optimization.
     pub fn query(&self) -> &BgpQuery {
         self.query
@@ -183,20 +204,24 @@ impl<'a> CoverSearch<'a> {
 
     /// Number of covers costed so far.
     pub fn explored(&self) -> usize {
-        *self.explored.borrow()
+        self.explored.load(Ordering::Relaxed)
     }
 
     /// The (cached) UCQ reformulation of one cover query.
     pub fn fragment_ucq(&self, cq: &BgpQuery) -> FragmentEntry {
         let key: FragmentKey = (cq.atoms.clone(), cq.head.clone());
-        if let Some(hit) = self.cache.borrow().get(&key) {
+        if let Some(hit) = self.cache.read().expect("cache lock").get(&key) {
+            jucq_obs::metrics::counter_add("cover_search.reformulation_cache.hits", 1);
             return hit.clone();
         }
+        jucq_obs::metrics::counter_add("cover_search.reformulation_cache.misses", 1);
         let entry = match reformulate_with_limit(cq, &self.env, self.reformulation_limit) {
-            Ok(ucq) => Some(Rc::new(ucq)),
+            Ok(ucq) => Some(Arc::new(ucq)),
             Err(_) => None,
         };
-        self.cache.borrow_mut().insert(key, entry.clone());
+        // Two workers may race to fill the same key; both compute the
+        // same value, so last-write-wins is harmless.
+        self.cache.write().expect("cache lock").insert(key, entry.clone());
         entry
     }
 
@@ -214,15 +239,15 @@ impl<'a> CoverSearch<'a> {
     /// Each call counts as one explored cover.
     pub fn cover_cost(&self, cover: &Cover) -> f64 {
         jucq_obs::span!("cost_estimation");
-        *self.explored.borrow_mut() += 1;
+        self.explored.fetch_add(1, Ordering::Relaxed);
         let fragments = cover.fragments();
         let cover_queries = cover.cover_queries(self.query);
         // Resolve every fragment UCQ and the per-atom singleton
         // reformulations first; any over-limit fragment makes the cover
         // infeasible. Singleton *extent* queries use all-variable heads
         // (extent sums are head-insensitive; one cache entry per atom).
-        let mut frag_ucqs: Vec<Rc<StoreUcq>> = Vec::with_capacity(fragments.len());
-        let mut singleton_ucqs: Vec<Vec<Rc<StoreUcq>>> = Vec::with_capacity(fragments.len());
+        let mut frag_ucqs: Vec<Arc<StoreUcq>> = Vec::with_capacity(fragments.len());
+        let mut singleton_ucqs: Vec<Vec<Arc<StoreUcq>>> = Vec::with_capacity(fragments.len());
         let mut total_terms = 0usize;
         for (f, cq) in fragments.iter().zip(&cover_queries) {
             let Some(ucq) = self.fragment_ucq(cq) else {
@@ -254,7 +279,7 @@ impl<'a> CoverSearch<'a> {
                     key: f.as_slice(),
                     ucq: frag_ucqs[i].as_ref(),
                     template_atoms: &cover_queries[i].atoms,
-                    atom_singletons: singleton_ucqs[i].iter().map(Rc::as_ref).collect(),
+                    atom_singletons: singleton_ucqs[i].iter().map(Arc::as_ref).collect(),
                 })
                 .collect(),
         };
@@ -263,17 +288,62 @@ impl<'a> CoverSearch<'a> {
 
     /// Cost of a single fragment's reformulated UCQ alone (used by the
     /// redundancy pruning order in GCov). Uses the complement-context
-    /// head — adequate for ordering.
+    /// head — adequate for ordering. Memoized: candidate covers repeat
+    /// the same fragments constantly, so each is costed once.
     pub fn fragment_cost(&self, fragment: &[usize]) -> f64 {
         let cq = self.query.cover_query(fragment);
-        match self.fragment_ucq(&cq) {
+        let key: FragmentKey = (cq.atoms.clone(), cq.head.clone());
+        if let Some(&hit) = self.cost_cache.read().expect("cost cache lock").get(&key) {
+            jucq_obs::metrics::counter_add("cover_search.fragment_cost_cache.hits", 1);
+            return hit;
+        }
+        jucq_obs::metrics::counter_add("cover_search.fragment_cost_cache.misses", 1);
+        let cost = match self.fragment_ucq(&cq) {
             Some(ucq) => {
                 let head = ucq.head.clone();
                 let jucq = StoreJucq::new(vec![ucq.as_ref().clone()], head);
                 self.estimator.estimate(&jucq)
             }
             None => f64::INFINITY,
+        };
+        self.cost_cache.write().expect("cost cache lock").insert(key, cost);
+        cost
+    }
+
+    /// Score a batch of covers, in input order, using up to the
+    /// configured parallelism worker threads. Scheduling only changes
+    /// *when* each cover is costed, never its cost (estimators are pure
+    /// functions of the statistics), so callers folding the returned
+    /// vector in order make exactly the sequential decisions.
+    pub fn cover_costs(&self, covers: &[Cover]) -> Vec<f64> {
+        let workers = self.parallelism.min(covers.len());
+        if workers <= 1 {
+            return covers.iter().map(|c| self.cover_cost(c)).collect();
         }
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let mut costs = vec![f64::INFINITY; covers.len()];
+        let scored: Vec<Vec<(usize, f64)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= covers.len() {
+                                break;
+                            }
+                            out.push((i, self.cover_cost(&covers[i])));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("scoring worker panicked")).collect()
+        });
+        for (i, c) in scored.into_iter().flatten() {
+            costs[i] = c;
+        }
+        costs
     }
 }
 
@@ -337,7 +407,38 @@ mod tests {
         let cq = q.cover_query(&[0]);
         let a = search.fragment_ucq(&cq).unwrap();
         let b = search.fragment_ucq(&cq).unwrap();
-        assert!(Rc::ptr_eq(&a, &b), "second lookup is a cache hit");
+        assert!(Arc::ptr_eq(&a, &b), "second lookup is a cache hit");
+    }
+
+    #[test]
+    fn fragment_cost_is_memoized() {
+        let f = fixture();
+        let closure = f.graph.schema_closure();
+        let env = ReformulationEnv { closure: &closure, rdf_type: f.rdf_type };
+        let q = query(&f);
+        let model = PaperCostModel::new(f.store.table(), f.store.stats(), CostConstants::default());
+        let search = CoverSearch::new(&q, env, &model);
+        let a = search.fragment_cost(&[0]);
+        let b = search.fragment_cost(&[0]);
+        assert_eq!(a.to_bits(), b.to_bits(), "memo returns the identical cost");
+        assert_eq!(search.cost_cache.read().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn parallel_cover_costs_match_sequential_order() {
+        let f = fixture();
+        let closure = f.graph.schema_closure();
+        let env = ReformulationEnv { closure: &closure, rdf_type: f.rdf_type };
+        let q = query(&f);
+        let model = PaperCostModel::new(f.store.table(), f.store.stats(), CostConstants::default());
+        let covers = vec![Cover::single_fragment(&q).unwrap(), Cover::singletons(&q).unwrap()];
+        let seq_search = CoverSearch::new(&q, env, &model);
+        let seq: Vec<f64> = covers.iter().map(|c| seq_search.cover_cost(c)).collect();
+        let par_search = CoverSearch::new(&q, env, &model).with_parallelism(4);
+        let par = par_search.cover_costs(&covers);
+        let bits = |v: &[f64]| v.iter().map(|c| c.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&seq), bits(&par), "costs identical and in input order");
+        assert_eq!(par_search.explored(), 2);
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::time::Duration;
 use jucq_model::TripleId;
 
 use crate::error::EngineError;
-use crate::exec::{join, union, Counters, ExecContext, NodeProfile};
+use crate::exec::{join, parallel, Counters, ExecContext, NodeProfile};
 use crate::ir::{StoreCq, StoreJucq, StoreUcq};
 use crate::profile::EngineProfile;
 use crate::relation::Relation;
@@ -162,17 +162,22 @@ impl Store {
         // Optimizer estimates paired with node labels after the run.
         let mut estimates: Vec<(String, f64)> = Vec::new();
 
-        // Evaluate each fragment UCQ.
-        let mut frags: Vec<Relation> = Vec::with_capacity(q.fragments.len());
-        for (i, f) in q.fragments.iter().enumerate() {
-            ctx.set_scope(format!("fragment[{i}]."));
-            if profiling {
+        if profiling {
+            for (i, f) in q.fragments.iter().enumerate() {
                 estimates
                     .push((format!("fragment[{i}].union"), self.stats.est_ucq(&self.table, f)));
             }
-            frags.push(union::eval_ucq(&self.table, f, &mut ctx)?);
         }
-        ctx.set_scope(String::new());
+        // Evaluate each fragment UCQ, fanning the flattened
+        // (fragment, member) task list across the profile's worker pool
+        // when it has more than one thread; `eval_fragments` falls back
+        // to the strictly sequential path for one worker or one task.
+        let frags: Vec<Relation> = parallel::eval_fragments(
+            &self.table,
+            &q.fragments,
+            &mut ctx,
+            self.profile.effective_parallelism(),
+        )?;
         if frags.is_empty() {
             let relation = Relation::empty(q.head.clone());
             let outcome = EvalOutcome { relation, counters: ctx.counters, elapsed: ctx.elapsed() };

@@ -342,8 +342,9 @@ mod tests {
         let l = rel(vec![0], &slices);
         let r = rel(vec![1], &slices);
         let profile = EngineProfile::mysql_like().with_timeout(Duration::from_millis(0));
-        std::thread::sleep(Duration::from_millis(1));
+        // Pre-expired backdated clock: deterministic without sleeping.
         let mut ctx = ExecContext::new(&profile);
+        ctx.backdate(Duration::from_millis(1));
         assert!(matches!(
             block_nested_loop_join(&l, &r, &mut ctx),
             Err(EngineError::Timeout { .. })

@@ -13,9 +13,12 @@
 
 pub mod cq;
 pub mod join;
+pub mod parallel;
 pub mod union;
 
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use crate::error::EngineError;
 use crate::profile::EngineProfile;
@@ -62,14 +65,48 @@ struct NodeRecorder {
 impl NodeRecorder {
     fn record(&mut self, op: &str, rows: u64, elapsed_ns: u64) {
         let label = format!("{}{}", self.scope, op);
-        let ix = *self.by_label.entry(label.clone()).or_insert_with(|| {
-            self.nodes.push(NodeProfile { label, invocations: 0, rows: 0, elapsed_ns: 0 });
+        self.merge(NodeProfile { label, invocations: 1, rows, elapsed_ns });
+    }
+
+    /// Merge an already-labelled profile (e.g. from a worker context)
+    /// into the per-label aggregate, ignoring the current scope.
+    fn merge(&mut self, profile: NodeProfile) {
+        let ix = *self.by_label.entry(profile.label.clone()).or_insert_with(|| {
+            self.nodes.push(NodeProfile {
+                label: profile.label.clone(),
+                invocations: 0,
+                rows: 0,
+                elapsed_ns: 0,
+            });
             self.nodes.len() - 1
         });
         let node = &mut self.nodes[ix];
-        node.invocations += 1;
-        node.rows += rows;
-        node.elapsed_ns += elapsed_ns;
+        node.invocations += profile.invocations;
+        node.rows += profile.rows;
+        node.elapsed_ns += profile.elapsed_ns;
+    }
+}
+
+/// Cross-thread evaluation state shared by every worker context of one
+/// query: a cooperative cancel flag (set on the first failure, polled by
+/// the amortized tick) and the total tuples currently held by worker
+/// results, charged against the profile's memory budget *globally* so a
+/// parallel run cannot hold more than a sequential one is allowed to.
+#[derive(Debug, Default)]
+pub struct ExecShared {
+    cancel: AtomicBool,
+    held_tuples: AtomicU64,
+}
+
+impl ExecShared {
+    /// Ask every sibling context to stop at its next poll.
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether a sibling context requested a stop.
+    pub fn cancelled(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed)
     }
 }
 
@@ -82,6 +119,7 @@ pub struct ExecContext<'a> {
     pub counters: Counters,
     ticks: u64,
     recorder: Option<NodeRecorder>,
+    shared: Arc<ExecShared>,
 }
 
 impl<'a> ExecContext<'a> {
@@ -93,6 +131,7 @@ impl<'a> ExecContext<'a> {
             counters: Counters::default(),
             ticks: 0,
             recorder: None,
+            shared: Arc::new(ExecShared::default()),
         }
     }
 
@@ -147,12 +186,67 @@ impl<'a> ExecContext<'a> {
         self.profile
     }
 
-    /// Cheap, amortized deadline check; call once per produced tuple.
+    /// A [`WorkerSpawner`] capturing everything worker threads need to
+    /// open sibling contexts: the profile, the *same* start instant (the
+    /// deadline is global) and the shared cancel/budget state.
+    pub fn spawner(&self) -> WorkerSpawner<'a> {
+        WorkerSpawner {
+            profile: self.profile,
+            started: self.started,
+            shared: Arc::clone(&self.shared),
+            profiling: self.recorder.is_some(),
+        }
+    }
+
+    /// Fold a finished worker context into this one: counters add up
+    /// (they are commutative sums, so aggregate totals are independent
+    /// of scheduling) and node profiles merge by their recorded labels.
+    pub fn absorb(&mut self, mut worker: ExecContext<'_>) {
+        self.counters.tuples_scanned += worker.counters.tuples_scanned;
+        self.counters.tuples_joined += worker.counters.tuples_joined;
+        self.counters.tuples_materialized += worker.counters.tuples_materialized;
+        self.counters.tuples_deduped += worker.counters.tuples_deduped;
+        if let Some(r) = &mut self.recorder {
+            for node in worker.take_nodes() {
+                r.merge(node);
+            }
+        }
+    }
+
+    /// The cross-thread shared state (cancel flag + held-tuples budget).
+    pub fn shared(&self) -> &Arc<ExecShared> {
+        &self.shared
+    }
+
+    /// Charge `tuples` held worker-result tuples against the *global*
+    /// memory budget (the cross-thread sum, not one intermediate).
+    /// Release with [`ExecContext::release_memory`] once merged.
+    pub fn reserve_memory(&self, tuples: usize) -> Result<(), EngineError> {
+        let total =
+            self.shared.held_tuples.fetch_add(tuples as u64, Ordering::Relaxed) + tuples as u64;
+        if total > self.profile.memory_budget_tuples as u64 {
+            Err(EngineError::MemoryBudgetExceeded {
+                tuples: total as usize,
+                budget: self.profile.memory_budget_tuples,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Return `tuples` previously charged by [`ExecContext::reserve_memory`].
+    pub fn release_memory(&self, tuples: usize) {
+        self.shared.held_tuples.fetch_sub(tuples as u64, Ordering::Relaxed);
+    }
+
+    /// Cheap, amortized liveness check; call once per produced tuple.
+    /// Every poll window it checks the deadline and the shared cancel
+    /// flag, so a failure on one worker stops all of them promptly.
     #[inline]
     pub fn tick(&mut self) -> Result<(), EngineError> {
         self.ticks += 1;
         if self.ticks & DEADLINE_POLL_MASK == 0 {
-            self.check_deadline()?;
+            self.check_live()?;
         }
         Ok(())
     }
@@ -163,6 +257,25 @@ impl<'a> ExecContext<'a> {
             Err(EngineError::Timeout { limit: self.profile.timeout })
         } else {
             Ok(())
+        }
+    }
+
+    /// Deadline check plus cross-thread cancellation: errors with
+    /// [`EngineError::Cancelled`] when a sibling worker already failed.
+    pub fn check_live(&self) -> Result<(), EngineError> {
+        if self.shared.cancelled() {
+            return Err(EngineError::Cancelled);
+        }
+        self.check_deadline()
+    }
+
+    /// Shift the evaluation clock `by` into the past, as if the context
+    /// had been created earlier. Test support for deterministic deadline
+    /// coverage: a zero timeout plus any positive backdate is expired
+    /// without sleeping.
+    pub fn backdate(&mut self, by: Duration) {
+        if let Some(t) = self.started.checked_sub(by) {
+            self.started = t;
         }
     }
 
@@ -185,6 +298,38 @@ impl<'a> ExecContext<'a> {
     }
 }
 
+/// Everything a worker thread needs to open a sibling [`ExecContext`]
+/// of a running evaluation. `Sync`, so one spawner can be borrowed by
+/// every thread of a [`std::thread::scope`].
+#[derive(Debug)]
+pub struct WorkerSpawner<'a> {
+    profile: &'a EngineProfile,
+    started: Instant,
+    shared: Arc<ExecShared>,
+    profiling: bool,
+}
+
+impl<'a> WorkerSpawner<'a> {
+    /// Open a sibling context: fresh counters/profiles, but the same
+    /// profile, start instant (global deadline) and shared cancel/budget
+    /// state as the originating context.
+    pub fn context(&self) -> ExecContext<'a> {
+        ExecContext {
+            profile: self.profile,
+            started: self.started,
+            counters: Counters::default(),
+            ticks: 0,
+            recorder: self.profiling.then(NodeRecorder::default),
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// The shared cross-thread state.
+    pub fn shared(&self) -> &ExecShared {
+        &self.shared
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,10 +337,15 @@ mod tests {
 
     #[test]
     fn deadline_enforced() {
+        // Backdated clock instead of sleeping: deterministic under any
+        // scheduler load.
         let p = EngineProfile::pg_like().with_timeout(Duration::from_millis(0));
-        let ctx = ExecContext::new(&p);
-        std::thread::sleep(Duration::from_millis(2));
+        let mut ctx = ExecContext::new(&p);
+        ctx.backdate(Duration::from_millis(2));
         assert!(matches!(ctx.check_deadline(), Err(EngineError::Timeout { .. })));
+        let generous = EngineProfile::pg_like();
+        let fresh = ExecContext::new(&generous);
+        assert!(fresh.check_deadline().is_ok(), "generous deadline passes");
     }
 
     #[test]
@@ -241,7 +391,7 @@ mod tests {
     fn tick_is_cheap_and_eventually_polls() {
         let p = EngineProfile::pg_like().with_timeout(Duration::from_millis(0));
         let mut ctx = ExecContext::new(&p);
-        std::thread::sleep(Duration::from_millis(2));
+        ctx.backdate(Duration::from_millis(2));
         let mut failed = false;
         for _ in 0..=DEADLINE_POLL_MASK {
             if ctx.tick().is_err() {
@@ -250,5 +400,71 @@ mod tests {
             }
         }
         assert!(failed, "deadline must surface within one poll window");
+    }
+
+    #[test]
+    fn worker_contexts_share_deadline_and_cancel() {
+        let p = EngineProfile::pg_like().with_timeout(Duration::from_millis(0));
+        let mut ctx = ExecContext::new(&p);
+        ctx.backdate(Duration::from_millis(2));
+        // A worker opened from an expired context is itself expired.
+        let worker = ctx.spawner().context();
+        assert!(matches!(worker.check_deadline(), Err(EngineError::Timeout { .. })));
+
+        let p = EngineProfile::pg_like();
+        let ctx = ExecContext::new(&p);
+        let spawner = ctx.spawner();
+        let a = spawner.context();
+        let b = spawner.context();
+        assert!(a.check_live().is_ok());
+        b.shared().cancel();
+        assert!(matches!(a.check_live(), Err(EngineError::Cancelled)));
+        assert!(matches!(ctx.check_live(), Err(EngineError::Cancelled)));
+    }
+
+    #[test]
+    fn reserved_memory_is_charged_globally() {
+        let p = EngineProfile::pg_like().with_memory_budget(10);
+        let ctx = ExecContext::new(&p);
+        let spawner = ctx.spawner();
+        let a = spawner.context();
+        let b = spawner.context();
+        assert!(a.reserve_memory(6).is_ok());
+        // Each worker is within budget alone, but the cross-thread sum
+        // is not.
+        assert!(matches!(
+            b.reserve_memory(6),
+            Err(EngineError::MemoryBudgetExceeded { tuples: 12, budget: 10 })
+        ));
+        // Releasing the breached reservation restores headroom.
+        b.release_memory(6);
+        a.release_memory(6);
+        assert!(ctx.reserve_memory(10).is_ok());
+    }
+
+    #[test]
+    fn absorb_sums_counters_and_merges_nodes() {
+        let p = EngineProfile::pg_like();
+        let mut ctx = ExecContext::with_profiling(&p);
+        let t = ctx.op_start();
+        ctx.op_finish(t, "dedup", 3);
+        ctx.counters.tuples_scanned = 5;
+
+        let spawner = ctx.spawner();
+        let mut w = spawner.context();
+        assert!(w.profiling(), "workers inherit profiling");
+        w.set_scope("fragment[0].".to_string());
+        let t = w.op_start();
+        w.op_finish(t, "cq", 7);
+        w.counters.tuples_scanned = 2;
+        w.counters.tuples_joined = 4;
+
+        ctx.absorb(w);
+        assert_eq!(ctx.counters.tuples_scanned, 7);
+        assert_eq!(ctx.counters.tuples_joined, 4);
+        let nodes = ctx.take_nodes();
+        let labels: Vec<&str> = nodes.iter().map(|n| n.label.as_str()).collect();
+        assert_eq!(labels, vec!["dedup", "fragment[0].cq"]);
+        assert_eq!(nodes[1].rows, 7);
     }
 }

@@ -1,0 +1,260 @@
+//! Parallel fragment/member evaluation over the immutable triple table.
+//!
+//! Reformulated queries fan out into unions of hundreds–thousands of
+//! member CQs per fragment; each member is an independent read-only
+//! query over the [`TripleTable`], so the whole (fragment, member)
+//! matrix is flattened into one task list and pulled by a pool of
+//! `std::thread::scope` workers. Determinism is preserved by keeping
+//! the *merge* sequential: worker results are stored per task slot and
+//! folded into each fragment's streaming dedup accumulator in member
+//! order, so rows, counters and node profiles are identical to a
+//! sequential run regardless of scheduling.
+//!
+//! The engine profile's limits stay global across threads: every worker
+//! context shares the originating context's start instant (deadline)
+//! and an atomic held-tuples budget, and the first failure flips a
+//! shared cancel flag that all siblings poll from their amortized tick.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::error::EngineError;
+use crate::exec::union::DedupAccumulator;
+use crate::exec::{cq, union, ExecContext};
+use crate::ir::StoreUcq;
+use crate::relation::Relation;
+use crate::table::TripleTable;
+
+/// Evaluate every fragment UCQ of a JUCQ, using up to `threads` worker
+/// threads across the flattened (fragment, member) task list. With one
+/// worker (or at most one task) this is exactly the sequential path.
+pub fn eval_fragments(
+    table: &TripleTable,
+    fragments: &[StoreUcq],
+    ctx: &mut ExecContext<'_>,
+    threads: usize,
+) -> Result<Vec<Relation>, EngineError> {
+    let tasks: Vec<(usize, usize)> = fragments
+        .iter()
+        .enumerate()
+        .flat_map(|(fi, f)| (0..f.cqs.len()).map(move |mi| (fi, mi)))
+        .collect();
+    let workers = threads.min(tasks.len()).max(1);
+    if workers <= 1 {
+        let mut out = Vec::with_capacity(fragments.len());
+        for (i, f) in fragments.iter().enumerate() {
+            ctx.set_scope(format!("fragment[{i}]."));
+            out.push(union::eval_ucq(table, f, ctx)?);
+        }
+        ctx.set_scope(String::new());
+        return Ok(out);
+    }
+
+    // Work-stealing claim counter: assignment is nondeterministic, but
+    // results land in per-task slots, so the merge below is not.
+    let spawner = ctx.spawner();
+    let next = AtomicUsize::new(0);
+    type Slot<'s> = Option<(Result<Relation, EngineError>, ExecContext<'s>)>;
+    let mut slots: Vec<Slot<'_>> = (0..tasks.len()).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut produced = Vec::new();
+                    loop {
+                        let t = next.fetch_add(1, Ordering::Relaxed);
+                        if t >= tasks.len() || spawner.shared().cancelled() {
+                            break;
+                        }
+                        let (fi, mi) = tasks[t];
+                        let frag = &fragments[fi];
+                        let mut wctx = spawner.context();
+                        wctx.set_scope(format!("fragment[{fi}]."));
+                        let r = wctx
+                            .check_live()
+                            .and_then(|()| cq::eval_cq(table, &frag.cqs[mi], &frag.head, &mut wctx))
+                            .and_then(|rel| {
+                                // Charge the held member result against
+                                // the *global* budget until it is merged.
+                                wctx.reserve_memory(rel.len())?;
+                                Ok(rel)
+                            });
+                        if r.is_err() {
+                            spawner.shared().cancel();
+                        }
+                        produced.push((t, r, wctx));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for h in handles {
+            for (t, r, wctx) in h.join().expect("worker thread panicked") {
+                slots[t] = Some((r, wctx));
+            }
+        }
+    });
+
+    // Surface the originating failure (in task order), never the
+    // secondary `Cancelled`s it provoked on sibling workers.
+    if slots.iter().any(|s| matches!(s, Some((Err(_), _))) || s.is_none()) {
+        for slot in &slots {
+            if let Some((Err(e), _)) = slot {
+                if !matches!(e, EngineError::Cancelled) {
+                    return Err(e.clone());
+                }
+            }
+        }
+        return Err(EngineError::Cancelled);
+    }
+
+    // Deterministic order-stable merge: fold member results into each
+    // fragment's dedup accumulator in member order, absorbing worker
+    // counters/profiles in the same order the sequential path would
+    // produce them.
+    let mut out = Vec::with_capacity(fragments.len());
+    let mut iter = slots.into_iter();
+    for (fi, f) in fragments.iter().enumerate() {
+        ctx.set_scope(format!("fragment[{fi}]."));
+        let op = ctx.op_start();
+        let mut acc = DedupAccumulator::new(f.head.clone());
+        for _ in 0..f.cqs.len() {
+            let (r, wctx) = iter.next().expect("one slot per member").expect("task claimed");
+            let rel = r.expect("errors surfaced above");
+            ctx.absorb(wctx);
+            union::merge_member(&mut acc, &rel, ctx)?;
+            ctx.release_memory(rel.len());
+        }
+        out.push(union::finish_union(acc, op, ctx)?);
+    }
+    ctx.set_scope(String::new());
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Counters;
+    use crate::ir::{PatternTerm, StoreCq, StorePattern, VarId};
+    use crate::profile::EngineProfile;
+    use jucq_model::term::TermKind;
+    use jucq_model::{TermId, TripleId};
+    use std::time::Duration;
+
+    fn id(i: u32) -> TermId {
+        TermId::new(TermKind::Uri, i)
+    }
+
+    fn t(s: u32, p: u32, o: u32) -> TripleId {
+        TripleId::new(id(s), id(p), id(o))
+    }
+
+    fn c(i: u32) -> PatternTerm {
+        PatternTerm::Const(id(i))
+    }
+
+    fn v(i: VarId) -> PatternTerm {
+        PatternTerm::Var(i)
+    }
+
+    /// 40 predicates × 50 subjects, with heavy overlap across members.
+    fn table() -> TripleTable {
+        let mut triples = Vec::new();
+        for p in 0..40u32 {
+            for s in 0..50u32 {
+                triples.push(t(s, 100 + p, s % 7));
+            }
+        }
+        TripleTable::build(&triples)
+    }
+
+    /// A UCQ of one member per predicate (overlapping object columns).
+    fn wide_ucq() -> StoreUcq {
+        let cqs = (0..40u32)
+            .map(|p| {
+                StoreCq::with_var_head(vec![StorePattern::new(v(0), c(100 + p), v(1))], vec![0, 1])
+            })
+            .collect();
+        StoreUcq::new(cqs, vec![0, 1])
+    }
+
+    fn eval(
+        fragments: &[StoreUcq],
+        profile: &EngineProfile,
+        threads: usize,
+    ) -> Result<(Vec<Relation>, Counters), EngineError> {
+        let mut ctx = ExecContext::new(profile);
+        let rels = eval_fragments(&table(), fragments, &mut ctx, threads)?;
+        Ok((rels, ctx.counters))
+    }
+
+    #[test]
+    fn parallel_union_matches_sequential_exactly() {
+        let fragments = vec![wide_ucq()];
+        let profile = EngineProfile::pg_like();
+        let (seq, seq_counters) = eval(&fragments, &profile, 1).unwrap();
+        for threads in [2, 4, 8] {
+            let (par, par_counters) = eval(&fragments, &profile, threads).unwrap();
+            // Bit-identical, not just set-equal: the order-stable merge
+            // reproduces the sequential accumulator row order.
+            assert_eq!(seq, par, "rows differ at {threads} threads");
+            assert_eq!(seq_counters, par_counters, "counters differ at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn multi_fragment_parallel_matches_sequential() {
+        let fa = wide_ucq();
+        let fb = StoreUcq::new(
+            vec![StoreCq::with_var_head(vec![StorePattern::new(v(0), c(101), v(2))], vec![0, 2])],
+            vec![0, 2],
+        );
+        let fragments = vec![fa, fb];
+        let profile = EngineProfile::mysql_like();
+        let (seq, seq_counters) = eval(&fragments, &profile, 1).unwrap();
+        let (par, par_counters) = eval(&fragments, &profile, 8).unwrap();
+        assert_eq!(seq, par);
+        assert_eq!(seq_counters, par_counters);
+    }
+
+    #[test]
+    fn budget_breach_on_one_worker_aborts_the_query() {
+        // Each member yields 50 rows; the shared budget admits a couple
+        // of held member results but not the fleet, so some worker's
+        // reservation must push the cross-thread sum over the top and
+        // the whole query aborts with the *originating* error.
+        let fragments = vec![wide_ucq()];
+        let profile = EngineProfile::pg_like().with_memory_budget(120);
+        let err = eval(&fragments, &profile, 4).unwrap_err();
+        assert!(
+            matches!(err, EngineError::MemoryBudgetExceeded { .. }),
+            "expected a budget breach, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn expired_deadline_aborts_all_workers() {
+        let fragments = vec![wide_ucq()];
+        let profile = EngineProfile::pg_like().with_timeout(Duration::from_millis(0));
+        let mut ctx = ExecContext::new(&profile);
+        ctx.backdate(Duration::from_millis(2));
+        let err = eval_fragments(&table(), &fragments, &mut ctx, 4).unwrap_err();
+        assert!(matches!(err, EngineError::Timeout { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn profiled_parallel_run_reports_sequential_node_shape() {
+        let fragments = vec![wide_ucq()];
+        let profile = EngineProfile::pg_like();
+        let run = |threads: usize| {
+            let mut ctx = ExecContext::with_profiling(&profile);
+            eval_fragments(&table(), &fragments, &mut ctx, threads).unwrap();
+            ctx.take_nodes()
+        };
+        let seq = run(1);
+        let par = run(8);
+        let shape = |nodes: &[crate::exec::NodeProfile]| {
+            nodes.iter().map(|n| (n.label.clone(), n.invocations, n.rows)).collect::<Vec<_>>()
+        };
+        assert_eq!(shape(&seq), shape(&par), "labels, invocations and rows match");
+    }
+}

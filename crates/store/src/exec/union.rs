@@ -17,7 +17,7 @@ use crate::table::TripleTable;
 /// Open-addressing set of row indices into an accumulating relation,
 /// with Fx hashing over the row's ids. Avoids one allocation per row
 /// (the rows live in the relation's flat buffer).
-struct DedupAccumulator {
+pub(crate) struct DedupAccumulator {
     rel: Relation,
     /// 0 = empty slot, otherwise row index + 1.
     slots: Vec<u32>,
@@ -36,7 +36,7 @@ fn hash_row(row: &[TermId]) -> u64 {
 }
 
 impl DedupAccumulator {
-    fn new(vars: Vec<crate::ir::VarId>) -> Self {
+    pub(crate) fn new(vars: Vec<crate::ir::VarId>) -> Self {
         DedupAccumulator { rel: Relation::empty(vars), slots: vec![0; 64], mask: 63 }
     }
 
@@ -90,9 +90,45 @@ impl DedupAccumulator {
         self.rel
     }
 
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         self.rel.len()
     }
+}
+
+/// Merge one member's result into the accumulating union: count the
+/// examined rows as deduplicated work, insert each (ticking the
+/// liveness poll) and enforce the memory budget on the distinct rows
+/// held so far. Shared by the sequential and parallel union paths so
+/// both charge identical work.
+pub(crate) fn merge_member(
+    acc: &mut DedupAccumulator,
+    r: &Relation,
+    ctx: &mut ExecContext<'_>,
+) -> Result<(), EngineError> {
+    ctx.counters.tuples_deduped += r.len() as u64;
+    for row in r.rows() {
+        ctx.tick()?;
+        acc.insert(row);
+    }
+    ctx.check_memory(acc.len())
+}
+
+/// Close an accumulated union: apply the profile's derived-table
+/// materialization (an extra full copy) when configured, and record the
+/// `union` operator node.
+pub(crate) fn finish_union(
+    acc: DedupAccumulator,
+    op: Option<std::time::Instant>,
+    ctx: &mut ExecContext<'_>,
+) -> Result<Relation, EngineError> {
+    let mut out = acc.into_relation();
+    if ctx.profile().materialize_all_unions {
+        ctx.counters.tuples_materialized += out.len() as u64;
+        ctx.check_memory(out.len())?;
+        out = out.clone();
+    }
+    ctx.op_finish(op, "union", out.len() as u64);
+    Ok(out)
 }
 
 /// Evaluate a UCQ: evaluate every member CQ, merging rows into a
@@ -109,21 +145,9 @@ pub fn eval_ucq(
     for member in &ucq.cqs {
         ctx.check_deadline()?;
         let r = cq::eval_cq(table, member, &ucq.head, ctx)?;
-        ctx.counters.tuples_deduped += r.len() as u64;
-        for row in r.rows() {
-            ctx.tick()?;
-            acc.insert(row);
-        }
-        ctx.check_memory(acc.len())?;
+        merge_member(&mut acc, &r, ctx)?;
     }
-    let mut out = acc.into_relation();
-    if ctx.profile().materialize_all_unions {
-        ctx.counters.tuples_materialized += out.len() as u64;
-        ctx.check_memory(out.len())?;
-        out = out.clone();
-    }
-    ctx.op_finish(op, "union", out.len() as u64);
-    Ok(out)
+    finish_union(acc, op, ctx)
 }
 
 #[cfg(test)]

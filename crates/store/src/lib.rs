@@ -47,8 +47,9 @@ pub mod table;
 
 pub use engine::{ExecProfile, PlanNodeReport, Store};
 pub use error::EngineError;
+pub use exec::Counters;
 pub use ir::{PatternTerm, StoreCq, StoreJucq, StorePattern, StoreUcq, VarId};
-pub use profile::{EngineProfile, JoinAlgo};
+pub use profile::{default_parallelism, EngineProfile, JoinAlgo};
 pub use relation::Relation;
 pub use stats::Statistics;
 pub use table::TripleTable;

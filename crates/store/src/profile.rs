@@ -49,6 +49,22 @@ pub struct EngineProfile {
     pub index_nested_loop_cq: bool,
     /// Default per-query deadline.
     pub timeout: Duration,
+    /// Worker threads for union-member / fragment evaluation and cover
+    /// scoring. `1` evaluates strictly sequentially; parallel runs merge
+    /// order-stably, so results and counters are identical either way.
+    pub parallelism: usize,
+}
+
+/// The default worker-pool width: the `JUCQ_THREADS` environment
+/// variable when set to a positive integer, otherwise the machine's
+/// available parallelism.
+pub fn default_parallelism() -> usize {
+    if let Some(n) = std::env::var("JUCQ_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
+        if n >= 1 {
+            return n;
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
 impl EngineProfile {
@@ -63,6 +79,7 @@ impl EngineProfile {
             materialize_all_unions: false,
             index_nested_loop_cq: true,
             timeout: Duration::from_secs(30),
+            parallelism: default_parallelism(),
         }
     }
 
@@ -77,6 +94,7 @@ impl EngineProfile {
             materialize_all_unions: false,
             index_nested_loop_cq: true,
             timeout: Duration::from_secs(30),
+            parallelism: default_parallelism(),
         }
     }
 
@@ -91,6 +109,7 @@ impl EngineProfile {
             materialize_all_unions: true,
             index_nested_loop_cq: true,
             timeout: Duration::from_secs(30),
+            parallelism: default_parallelism(),
         }
     }
 
@@ -107,6 +126,7 @@ impl EngineProfile {
             materialize_all_unions: false,
             index_nested_loop_cq: true,
             timeout: Duration::from_secs(30),
+            parallelism: default_parallelism(),
         }
     }
 
@@ -131,6 +151,17 @@ impl EngineProfile {
     pub fn with_max_union_terms(mut self, terms: usize) -> Self {
         self.max_union_terms = terms;
         self
+    }
+
+    /// Replace the worker-pool width (clamped to at least one).
+    pub fn with_parallelism(mut self, threads: usize) -> Self {
+        self.parallelism = threads.max(1);
+        self
+    }
+
+    /// The effective worker count: at least one.
+    pub fn effective_parallelism(&self) -> usize {
+        self.parallelism.max(1)
     }
 }
 
@@ -179,5 +210,14 @@ mod tests {
     #[test]
     fn default_is_pg_like() {
         assert_eq!(EngineProfile::default().name, "pg-like");
+    }
+
+    #[test]
+    fn parallelism_clamps_to_one() {
+        let p = EngineProfile::pg_like().with_parallelism(0);
+        assert_eq!(p.effective_parallelism(), 1);
+        let p = EngineProfile::pg_like().with_parallelism(8);
+        assert_eq!(p.effective_parallelism(), 8);
+        assert!(EngineProfile::pg_like().effective_parallelism() >= 1);
     }
 }
