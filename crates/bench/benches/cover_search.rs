@@ -54,32 +54,32 @@ fn bench_search(c: &mut Criterion) {
     g.bench_function("gcov_q1_paper_model", |b| {
         b.iter(|| {
             let search = CoverSearch::new(&f.q1, env, &paper);
-            black_box(gcov(&search, budget, 10_000).explored)
+            black_box(gcov(&search, budget, 10_000).expect("connected query").explored)
         });
     });
     g.bench_function("ecov_q1_paper_model", |b| {
         b.iter(|| {
             let search = CoverSearch::new(&f.q1, env, &paper);
-            black_box(ecov(&search, budget).explored)
+            black_box(ecov(&search, budget).expect("connected query").explored)
         });
     });
     g.bench_function("gcov_q22_6atoms", |b| {
         b.iter(|| {
             let search = CoverSearch::new(&f.q22, env, &paper);
-            black_box(gcov(&search, budget, 10_000).explored)
+            black_box(gcov(&search, budget, 10_000).expect("connected query").explored)
         });
     });
     g.bench_function("ecov_q22_6atoms", |b| {
         b.iter(|| {
             let search = CoverSearch::new(&f.q22, env, &paper);
-            black_box(ecov(&search, budget).explored)
+            black_box(ecov(&search, budget).expect("connected query").explored)
         });
     });
     // Ablation: engine-internal estimator instead of the paper model.
     g.bench_function("gcov_q1_engine_model", |b| {
         b.iter(|| {
             let search = CoverSearch::new(&f.q1, env, &engine);
-            black_box(gcov(&search, budget, 10_000).explored)
+            black_box(gcov(&search, budget, 10_000).expect("connected query").explored)
         });
     });
     g.finish();

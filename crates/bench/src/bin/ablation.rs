@@ -44,7 +44,8 @@ fn main() {
                 let model = PaperCostModel::new(store.table(), store.stats(), constants)
                     .with_eval_model(eval_model);
                 let search = CoverSearch::new(&q, env, &model);
-                let result = gcov(&search, Duration::from_secs(20), 10_000);
+                let result =
+                    gcov(&search, Duration::from_secs(20), 10_000).expect("connected query");
                 covers.push(result.cover);
             }
         }

@@ -374,8 +374,8 @@ impl RdfDatabase {
             .with_union_limit(limit)
             .with_parallelism(p.plain.profile().effective_parallelism());
         let result = match strategy {
-            Strategy::ECov { budget, .. } => ecov(&search, *budget),
-            Strategy::GCov { budget, max_moves, .. } => gcov(&search, *budget, *max_moves),
+            Strategy::ECov { budget, .. } => ecov(&search, *budget)?,
+            Strategy::GCov { budget, max_moves, .. } => gcov(&search, *budget, *max_moves)?,
             _ => unreachable!("callers narrow to ECov/GCov"),
         };
         let jucq = jucq_for_cover_bounded(q, &result.cover, env, limit)
@@ -431,6 +431,13 @@ impl RdfDatabase {
     /// does not invalidate prepared stores (ids are append-only).
     pub fn intern_uri(&mut self, uri: &str) -> TermId {
         self.graph.dict_mut().encode_uri(uri)
+    }
+
+    /// Intern any term (URI, blank, or literal), for building queries
+    /// programmatically. Like [`RdfDatabase::intern_uri`], does not
+    /// invalidate prepared stores.
+    pub fn intern_term(&mut self, term: &Term) -> TermId {
+        self.graph.dict_mut().encode(term)
     }
 
     /// Decode an answer relation's rows to terms, for display.
@@ -556,6 +563,24 @@ impl RdfDatabase {
         strategy: &Strategy,
     ) -> Result<AnswerReport, AnswerError> {
         jucq_obs::span!("answer");
+        // A zero-atom query short-circuits to a clean empty answer for
+        // *every* strategy: an empty body has no cover (UCQ's single
+        // fragment would be empty, SCQ's cover has no fragments), and
+        // letting each strategy improvise its own degenerate behaviour
+        // made them disagree. No atoms, no answers — uniformly.
+        if q.is_empty() {
+            jucq_obs::metrics::counter_add("queries.answered", 1);
+            return Ok(AnswerReport {
+                strategy: strategy.name(),
+                rows: Relation::empty(q.head.clone()),
+                counters: Counters::default(),
+                eval_time: Duration::ZERO,
+                planning_time: Duration::ZERO,
+                union_terms: 0,
+                cover: None,
+                covers_explored: None,
+            });
+        }
         let planning_start = Instant::now();
         let (jucq, cover, explored, saturated) = {
             jucq_obs::span!("planning");
@@ -616,6 +641,12 @@ impl RdfDatabase {
         q: &BgpQuery,
         strategy: &Strategy,
     ) -> Result<String, AnswerError> {
+        if q.is_empty() {
+            return Ok(format!(
+                "Strategy: {} (empty query: no atoms, no answers)\n",
+                strategy.name()
+            ));
+        }
         let (jucq, cover, _, saturated) = self.plan_jucq(q, strategy)?;
         let p = self.prepared.as_ref().expect("plan_jucq prepares");
         let target = if saturated { &p.saturated } else { &p.plain };
@@ -911,6 +942,7 @@ mod tests {
 
     #[test]
     fn observability_exports_spans_and_plan_cache_metrics() {
+        let _serial = crate::obs_test_lock();
         let mut db = paper_db();
         db.enable_plan_cache(8);
         let q = example3_query(&mut db);
@@ -1035,6 +1067,113 @@ mod tests {
         a.sort();
         b.sort();
         assert_eq!(a, b, "answers unchanged");
+    }
+
+    fn all_strategies() -> Vec<Strategy> {
+        vec![
+            Strategy::Saturation,
+            Strategy::Ucq,
+            Strategy::Scq,
+            Strategy::minimized_ucq_default(),
+            Strategy::ecov_default(),
+            Strategy::gcov_default(),
+        ]
+    }
+
+    #[test]
+    fn empty_database_answers_cleanly() {
+        let mut db = RdfDatabase::new();
+        db.set_cost_constants(CostConstants::default());
+        let p = db.intern_uri("nosuch");
+        let q = BgpQuery::new(
+            vec![0],
+            vec![StorePattern::new(
+                PatternTerm::Var(0),
+                PatternTerm::Const(p),
+                PatternTerm::Var(1),
+            )],
+        );
+        for s in all_strategies() {
+            let r = db.answer(&q, &s).unwrap_or_else(|e| panic!("{}: {e}", s.name()));
+            assert!(r.rows.is_empty(), "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn absent_vocabulary_answers_empty() {
+        // Predicate/class never seen in the data or schema: every
+        // strategy must return a clean empty result, not an error.
+        let mut db = paper_db();
+        let ty = db.rdf_type();
+        let ghost_class = db.intern_uri("GhostClass");
+        let ghost_prop = db.intern_uri("ghostProp");
+        let q = BgpQuery::new(
+            vec![0],
+            vec![
+                StorePattern::new(
+                    PatternTerm::Var(0),
+                    PatternTerm::Const(ty),
+                    PatternTerm::Const(ghost_class),
+                ),
+                StorePattern::new(
+                    PatternTerm::Var(0),
+                    PatternTerm::Const(ghost_prop),
+                    PatternTerm::Var(1),
+                ),
+            ],
+        );
+        for s in all_strategies() {
+            let r = db.answer(&q, &s).unwrap_or_else(|e| panic!("{}: {e}", s.name()));
+            assert!(r.rows.is_empty(), "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn zero_atom_query_answers_empty_for_every_strategy() {
+        let mut db = paper_db();
+        let q = BgpQuery::new(vec![], vec![]);
+        for s in all_strategies() {
+            let r = db.answer(&q, &s).unwrap_or_else(|e| panic!("{}: {e}", s.name()));
+            assert!(r.rows.is_empty(), "{}", s.name());
+            assert_eq!(r.union_terms, 0, "{}", s.name());
+            assert!(r.cover.is_none(), "{}", s.name());
+        }
+        let text = db.explain_analyze(&q, &Strategy::Ucq).unwrap();
+        assert!(text.contains("empty query"), "{text}");
+    }
+
+    #[test]
+    fn disconnected_query_reports_cover_error_not_panic() {
+        // A cartesian-product body has no valid cover (Definition 3.3
+        // forbids isolated fragments); saturation still answers, and
+        // every cover-based strategy reports a CoverError instead of
+        // panicking.
+        let mut db = paper_db();
+        db.prepare();
+        let d = db.graph().dict();
+        let has_name = d.lookup(&Term::uri("hasName")).unwrap();
+        let published = d.lookup(&Term::uri("publishedIn")).unwrap();
+        let q = BgpQuery::new(
+            vec![0],
+            vec![
+                StorePattern::new(
+                    PatternTerm::Var(0),
+                    PatternTerm::Const(has_name),
+                    PatternTerm::Var(1),
+                ),
+                StorePattern::new(
+                    PatternTerm::Var(2),
+                    PatternTerm::Const(published),
+                    PatternTerm::Var(3),
+                ),
+            ],
+        );
+        assert!(db.answer(&q, &Strategy::Saturation).is_ok());
+        for s in [Strategy::Ucq, Strategy::Scq, Strategy::ecov_default(), Strategy::gcov_default()]
+        {
+            let err = db.answer(&q, &s).unwrap_err();
+            assert!(matches!(err, AnswerError::Cover(_)), "{}: {err}", s.name());
+        }
     }
 
     #[test]

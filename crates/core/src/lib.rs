@@ -49,3 +49,10 @@ pub use jucq_model as model;
 pub use jucq_optimizer as optimizer;
 pub use jucq_reformulation as reformulation;
 pub use jucq_store as store;
+
+/// Serializes tests that poke the process-global jucq-obs state.
+#[cfg(test)]
+pub(crate) fn obs_test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}

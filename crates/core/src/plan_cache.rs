@@ -8,8 +8,12 @@
 //! updates; at worst it drifts from the cost optimum as statistics
 //! move. The cache is therefore kept through incremental updates and
 //! only dropped on re-preparation (schema/vocabulary changes).
+//!
+//! Covers are held behind [`Arc`], so a hit hands out a shared pointer
+//! instead of deep-cloning the fragment sets on the hot path.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use jucq_model::FxHashMap;
 use jucq_reformulation::{BgpQuery, Cover};
@@ -43,7 +47,7 @@ pub struct PlanCacheStats {
 /// A bounded FIFO cover cache.
 #[derive(Debug)]
 pub struct PlanCache {
-    map: FxHashMap<PlanKey, (Cover, Option<usize>)>,
+    map: FxHashMap<PlanKey, (Arc<Cover>, Option<usize>)>,
     order: VecDeque<PlanKey>,
     capacity: usize,
     stats: PlanCacheStats,
@@ -60,14 +64,19 @@ impl PlanCache {
         }
     }
 
+    fn publish_size(&self) {
+        jucq_obs::metrics::gauge_set("plan_cache.size", self.map.len() as f64);
+    }
+
     /// Look up a cached cover (and the covers-explored count of the
-    /// original search, for reporting).
-    pub fn get(&mut self, key: &PlanKey) -> Option<(Cover, Option<usize>)> {
+    /// original search, for reporting). Hits share the stored cover —
+    /// no deep clone.
+    pub fn get(&mut self, key: &PlanKey) -> Option<(Arc<Cover>, Option<usize>)> {
         match self.map.get(key) {
-            Some(hit) => {
+            Some((cover, explored)) => {
                 self.stats.hits += 1;
                 jucq_obs::metrics::counter_add("plan_cache.hits", 1);
-                Some(hit.clone())
+                Some((Arc::clone(cover), *explored))
             }
             None => {
                 self.stats.misses += 1;
@@ -80,7 +89,7 @@ impl PlanCache {
     /// Store a cover under `key`, evicting the oldest entry when full.
     pub fn put(&mut self, key: PlanKey, cover: Cover, explored: Option<usize>) {
         if let Some(slot) = self.map.get_mut(&key) {
-            *slot = (cover, explored);
+            *slot = (Arc::new(cover), explored);
             return;
         }
         if self.map.len() >= self.capacity {
@@ -91,13 +100,15 @@ impl PlanCache {
             }
         }
         self.order.push_back(key.clone());
-        self.map.insert(key, (cover, explored));
+        self.map.insert(key, (Arc::new(cover), explored));
+        self.publish_size();
     }
 
     /// Drop every entry (keeps counters).
     pub fn clear(&mut self) {
         self.map.clear();
         self.order.clear();
+        self.publish_size();
     }
 
     /// Cached plan count.
@@ -146,10 +157,23 @@ mod tests {
         assert!(c.get(&key).is_none());
         c.put(key.clone(), cover(&q), Some(7));
         let (got, explored) = c.get(&key).unwrap();
-        assert_eq!(got, cover(&q));
+        assert_eq!(*got, cover(&q));
         assert_eq!(explored, Some(7));
         assert_eq!(c.stats().hits, 1);
         assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn hits_share_one_cover_allocation() {
+        let mut c = PlanCache::new(4);
+        let q = query(1);
+        let key = PlanKey::new(q.clone(), "GCov");
+        c.put(key.clone(), cover(&q), None);
+        let (a, _) = c.get(&key).unwrap();
+        let (b, _) = c.get(&key).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "hits return the same shared cover");
+        // Two borrows out plus the cache's own: three strong refs.
+        assert_eq!(Arc::strong_count(&a), 3);
     }
 
     #[test]
@@ -183,6 +207,26 @@ mod tests {
         c.clear();
         assert!(c.is_empty());
         assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
+    fn size_gauge_tracks_put_evict_and_clear() {
+        let _serial = crate::obs_test_lock();
+        jucq_obs::reset();
+        jucq_obs::set_enabled(true);
+        let mut c = PlanCache::new(2);
+        for p in 1..=3u32 {
+            let q = query(p);
+            c.put(PlanKey::new(q.clone(), "GCov"), cover(&q), None);
+        }
+        // Capacity 2, three puts: one eviction, size stays 2.
+        assert_eq!(jucq_obs::global().snapshot().gauges["plan_cache.size"], 2.0);
+        c.clear();
+        let snap = jucq_obs::global().snapshot();
+        jucq_obs::set_enabled(false);
+        jucq_obs::reset();
+        assert_eq!(snap.gauges["plan_cache.size"], 0.0, "clear() resets the gauge");
+        assert_eq!(snap.counter("plan_cache.evictions"), 1);
     }
 
     #[test]

@@ -18,9 +18,11 @@
 pub mod export;
 pub mod metrics;
 pub mod span;
+pub mod warn;
 
 pub use metrics::{global, HistogramSnapshot, MetricsSnapshot, Registry};
 pub use span::{span, take_spans, SpanGuard, SpanRecord};
+pub use warn::warn_once;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 

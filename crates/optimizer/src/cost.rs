@@ -96,6 +96,34 @@ pub struct FragComponents {
     pub var_domains: Vec<(VarId, f64)>,
 }
 
+impl FragComponents {
+    /// Debug-mode sanity check: every ingredient must be finite and
+    /// non-negative, or cover comparison silently corrupts (NaN breaks
+    /// `<`; negative costs invert the greedy search's preferences).
+    pub fn debug_check(&self) {
+        debug_assert!(
+            self.eval.is_finite() && self.eval >= 0.0,
+            "fragment eval cost not finite/non-negative: {}",
+            self.eval
+        );
+        debug_assert!(
+            self.volume.is_finite() && self.volume >= 0.0,
+            "fragment volume not finite/non-negative: {}",
+            self.volume
+        );
+        debug_assert!(
+            self.card.is_finite() && self.card >= 0.0,
+            "fragment cardinality not finite/non-negative: {}",
+            self.card
+        );
+        debug_assert!(
+            self.var_domains.iter().all(|&(_, d)| d.is_finite() && d >= 0.0),
+            "fragment var domain not finite/non-negative: {:?}",
+            self.var_domains
+        );
+    }
+}
+
 /// Member-sampling threshold: fragments beyond this many member CQs are
 /// estimated on an evenly-strided sample, scaled back up.
 const MEMBER_SAMPLE_CAP: usize = 4096;
@@ -136,7 +164,15 @@ impl<'a> PaperCostModel<'a> {
     }
 
     /// `c_unique`: duplicate elimination over `n` tuples.
+    ///
+    /// Degenerate cardinalities are guarded: a NaN or negative estimate
+    /// (which would otherwise poison every comparison downstream — NaN
+    /// breaks `<` ordering in the cover search) is treated as an empty
+    /// input, and the `n·log n` branch clamps `n` to 2 before the log so
+    /// `n ≤ 1` cannot produce a negative or `-inf` factor.
     pub fn c_unique(&self, n: f64) -> f64 {
+        debug_assert!(!n.is_nan(), "c_unique over NaN cardinality");
+        let n = if n.is_nan() { 0.0 } else { n.max(0.0) };
         if n <= self.constants.sort_threshold {
             self.constants.c_l * n
         } else {
@@ -208,7 +244,10 @@ impl<'a> PaperCostModel<'a> {
         } else {
             let stride = n.div_ceil(MEMBER_SAMPLE_CAP / 2);
             let sample: Vec<&StoreCq> = ucq.cqs.iter().step_by(stride).collect();
-            let scale = n as f64 / sample.len() as f64;
+            // `step_by` over a non-empty list always yields at least one
+            // member, but guard the ratio anyway: an empty sample must
+            // scale by 1, not by n/0 = inf.
+            let scale = if sample.is_empty() { 1.0 } else { n as f64 / sample.len() as f64 };
             (sample, scale)
         }
     }
@@ -288,7 +327,9 @@ impl<'a> PaperCostModel<'a> {
                 }
             }
         }
-        FragComponents { eval, volume, card, var_domains }
+        let comps = FragComponents { eval, volume, card, var_domains };
+        comps.debug_check();
+        comps
     }
 
     /// [`PaperCostModel::fragment_components`] memoized by the
@@ -358,7 +399,12 @@ impl<'a> PaperCostModel<'a> {
         // explode on many-fragment covers, and every JUCQ of one query
         // has the same true result anyway.
         let final_card = est.min(total_volume.max(1.0));
-        c.c_db + eval + join + mat + self.c_unique(final_card)
+        let total = c.c_db + eval + join + mat + self.c_unique(final_card);
+        debug_assert!(
+            total.is_finite() && total >= 0.0,
+            "combined JUCQ cost not finite/non-negative: {total}"
+        );
+        total
     }
 
     /// Full JUCQ cost (equation 1 with equations 2–4 injected),

@@ -16,7 +16,7 @@ use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
 
 use jucq_model::FxHashSet;
-use jucq_reformulation::Cover;
+use jucq_reformulation::{Cover, CoverError};
 
 use crate::search::{CoverSearch, CoverSearchResult};
 
@@ -69,7 +69,11 @@ fn mask_to_vec(mask: u32) -> Vec<usize> {
 }
 
 /// Run ECov: exhaustively enumerate covers and return the cheapest.
-pub fn ecov(search: &CoverSearch<'_>, budget: Duration) -> CoverSearchResult {
+///
+/// A query with no valid cover at all — a disconnected body — returns
+/// the [`CoverError`] from the single-fragment fallback instead of
+/// panicking.
+pub fn ecov(search: &CoverSearch<'_>, budget: Duration) -> Result<CoverSearchResult, CoverError> {
     jucq_obs::span!("cover_search");
     let started = Instant::now();
     let q = search.query();
@@ -144,20 +148,24 @@ pub fn ecov(search: &CoverSearch<'_>, budget: Duration) -> CoverSearchResult {
     // truncated): the search stays anytime.
     flush(&mut pending, &mut best);
 
-    let (cover, estimated_cost) = best.unwrap_or_else(|| {
-        // Degenerate fallback: the single-fragment cover always exists
-        // for connected queries.
-        let cover = Cover::single_fragment(q).expect("connected query");
-        let cost = search.cover_cost(&cover);
-        (cover, cost)
-    });
-    CoverSearchResult {
+    let (cover, estimated_cost) = match best {
+        Some(found) => found,
+        None => {
+            // Degenerate fallback: the single-fragment cover exists for
+            // every connected query; a disconnected one has no valid
+            // cover, and the error propagates.
+            let cover = Cover::single_fragment(q)?;
+            let cost = search.cover_cost(&cover);
+            (cover, cost)
+        }
+    };
+    Ok(CoverSearchResult {
         cover,
         estimated_cost,
         explored: search.explored(),
         elapsed: started.elapsed(),
         truncated,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -212,7 +220,7 @@ mod tests {
         let env = ReformulationEnv { closure: &closure, rdf_type: f.rdf_type };
         let model = PaperCostModel::new(f.store.table(), f.store.stats(), CostConstants::default());
         let search = CoverSearch::new(q, env, &model);
-        ecov(&search, budget)
+        ecov(&search, budget).unwrap()
     }
 
     #[test]
@@ -253,7 +261,7 @@ mod tests {
         let env = ReformulationEnv { closure: &closure, rdf_type: f.rdf_type };
         let model = PaperCostModel::new(f.store.table(), f.store.stats(), CostConstants::default());
         let search = CoverSearch::new(&q, env, &model);
-        let r = ecov(&search, Duration::from_secs(5));
+        let r = ecov(&search, Duration::from_secs(5)).unwrap();
         // Re-costing the returned cover must reproduce the reported cost.
         let recost = search.cover_cost(&r.cover);
         assert!((recost - r.estimated_cost).abs() < 1e-9);

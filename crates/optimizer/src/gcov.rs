@@ -15,7 +15,7 @@ use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 use jucq_model::FxHashSet;
-use jucq_reformulation::Cover;
+use jucq_reformulation::{Cover, CoverError};
 
 use crate::search::{CoverSearch, CoverSearchResult};
 
@@ -31,8 +31,13 @@ impl MoveList {
     }
 
     fn push(&mut self, cost: f64, cover: Cover) {
-        // f64 bits of non-negative finite costs order consistently.
-        let key = (cost.max(0.0).to_bits(), self.counter);
+        // f64 bits of non-negative costs (incl. +inf) order
+        // consistently. NaN is mapped to +inf explicitly: `max(0.0)`
+        // would silently turn it into the bits of 0.0, making a poisoned
+        // estimate the *cheapest* move in the list.
+        debug_assert!(!cost.is_nan(), "NaN cover cost pushed to move list");
+        let cost = if cost.is_nan() { f64::INFINITY } else { cost.max(0.0) };
+        let key = (cost.to_bits(), self.counter);
         self.counter += 1;
         self.map.insert(key, cover);
     }
@@ -51,12 +56,21 @@ impl MoveList {
 /// Run GCov (Algorithm 1). `max_moves` bounds the number of applied
 /// moves; `budget` bounds wall-clock time (the paper notes "one could
 /// easily change the stop condition").
-pub fn gcov(search: &CoverSearch<'_>, budget: Duration, max_moves: usize) -> CoverSearchResult {
+///
+/// Queries with no valid starting cover — a disconnected body, whose
+/// singleton fragments would be mutually isolated — return the
+/// [`CoverError`] instead of panicking; the caller decides whether to
+/// fall back to saturation or surface the error.
+pub fn gcov(
+    search: &CoverSearch<'_>,
+    budget: Duration,
+    max_moves: usize,
+) -> Result<CoverSearchResult, CoverError> {
     jucq_obs::span!("cover_search");
     let started = Instant::now();
     let q = search.query();
 
-    let c0 = Cover::singletons(q).expect("connected query body");
+    let c0 = Cover::singletons(q)?;
     let mut best_cost = search.cover_cost(&c0);
     let mut best = c0.clone();
 
@@ -129,13 +143,13 @@ pub fn gcov(search: &CoverSearch<'_>, budget: Duration, max_moves: usize) -> Cov
         develop(&cover, best_cost, &mut analysed, &mut moves, true);
     }
 
-    CoverSearchResult {
+    Ok(CoverSearchResult {
         cover: best,
         estimated_cost: best_cost,
         explored: search.explored(),
         elapsed: started.elapsed(),
         truncated,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -221,7 +235,7 @@ mod tests {
         let env = ReformulationEnv { closure: &closure, rdf_type: f.rdf_type };
         let model = PaperCostModel::new(f.store.table(), f.store.stats(), CostConstants::default());
         let search = CoverSearch::new(&q, env, &model);
-        let r = gcov(&search, Duration::from_secs(10), 10_000);
+        let r = gcov(&search, Duration::from_secs(10), 10_000).unwrap();
         assert!(!r.truncated);
         assert!(r.estimated_cost.is_finite());
         // All atoms covered.
@@ -242,7 +256,7 @@ mod tests {
         let env = ReformulationEnv { closure: &closure, rdf_type: f.rdf_type };
         let model = PaperCostModel::new(f.store.table(), f.store.stats(), CostConstants::default());
         let search = CoverSearch::new(&q, env, &model);
-        let r = gcov(&search, Duration::from_secs(10), 10_000);
+        let r = gcov(&search, Duration::from_secs(10), 10_000).unwrap();
         let scq_cost = search.cover_cost(&Cover::singletons(&q).unwrap());
         assert!(r.estimated_cost <= scq_cost + 1e-12);
     }
@@ -256,9 +270,9 @@ mod tests {
         let model = PaperCostModel::new(f.store.table(), f.store.stats(), CostConstants::default());
 
         let s1 = CoverSearch::new(&q, env, &model);
-        let g = gcov(&s1, Duration::from_secs(10), 10_000);
+        let g = gcov(&s1, Duration::from_secs(10), 10_000).unwrap();
         let s2 = CoverSearch::new(&q, env, &model);
-        let e = ecov(&s2, Duration::from_secs(10));
+        let e = ecov(&s2, Duration::from_secs(10)).unwrap();
         assert!(g.explored <= e.explored, "gcov {} vs ecov {}", g.explored, e.explored);
         // The greedy result should be close to the exhaustive optimum
         // (paper: "GCov JUCQ performs as well as the ECov one").
@@ -297,7 +311,7 @@ mod tests {
         let env = ReformulationEnv { closure: &closure, rdf_type: f.rdf_type };
         let model = PaperCostModel::new(f.store.table(), f.store.stats(), CostConstants::default());
         let search = CoverSearch::new(&q, env, &model);
-        let r = gcov(&search, Duration::from_secs(5), 100);
+        let r = gcov(&search, Duration::from_secs(5), 100).unwrap();
         assert_eq!(r.cover.len(), 1);
         assert_eq!(r.explored, 1, "no moves available");
     }

@@ -6,6 +6,7 @@
 //! jucq covers <data.ttl> "<SPARQL>"           # every cover, sized & timed
 //! jucq stats <data.ttl>                       # dataset & schema statistics
 //! jucq repl  <data.ttl>                       # interactive session
+//! jucq fuzz  [--seed S] [--cases N] [--profile P|all]   # differential fuzzing
 //! ```
 //!
 //! Strategies: `sat`, `ucq`, `scq`, `ecov`, `gcov` (default).
@@ -27,7 +28,7 @@ use jucq_core::{AnswerError, RdfDatabase, Strategy};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  jucq query    <data.ttl|.snap> \"<SPARQL>\" [--strategy sat|ucq|scq|ecov|gcov] [--profile pg|db2|mysql|native] [--threads N] [--compare] [--explain-analyze] [--trace] [--metrics-json PATH]\n  jucq covers   <data.ttl|.snap> \"<SPARQL>\"\n  jucq stats    <data.ttl|.snap>\n  jucq repl     <data.ttl|.snap> [--profile ...] [--threads N]\n  jucq snapshot <data.ttl> <out.snap>"
+        "usage:\n  jucq query    <data.ttl|.snap> \"<SPARQL>\" [--strategy sat|ucq|scq|ecov|gcov] [--profile pg|db2|mysql|native] [--threads N] [--compare] [--explain-analyze] [--trace] [--metrics-json PATH]\n  jucq covers   <data.ttl|.snap> \"<SPARQL>\"\n  jucq stats    <data.ttl|.snap>\n  jucq repl     <data.ttl|.snap> [--profile ...] [--threads N]\n  jucq snapshot <data.ttl> <out.snap>\n  jucq fuzz     [--seed S] [--cases N] [--profile pg|db2|mysql|native|all] [--quiet]"
     );
     std::process::exit(2)
 }
@@ -339,6 +340,52 @@ fn cmd_repl(mut args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+fn cmd_fuzz(mut args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
+    let mut seed: u64 = 1;
+    let mut cases: usize = 500;
+    let mut profile = String::from("all");
+    let mut verbose = true;
+    while !args.is_empty() {
+        let a = args.remove(0);
+        match a.as_str() {
+            "--seed" => {
+                let v = args.first().cloned().unwrap_or_default();
+                args.drain(..1.min(args.len()));
+                seed = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--cases" => {
+                let v = args.first().cloned().unwrap_or_default();
+                args.drain(..1.min(args.len()));
+                cases = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--profile" => {
+                let v = args.first().cloned().unwrap_or_default();
+                args.drain(..1.min(args.len()));
+                profile = v;
+            }
+            "--quiet" => verbose = false,
+            _ => usage(),
+        }
+    }
+    let profiles = jucq_qa::profiles_for(&profile).unwrap_or_else(|| usage());
+    eprintln!("jucq-qa: fuzzing {cases} cases from seed {seed} against profile(s) `{profile}`");
+    let report = jucq_qa::run_fuzz(seed, cases, &profiles, verbose);
+    eprintln!(
+        "jucq-qa: {} cases, {} answers compared, {} covers enumerated, {} failure(s)",
+        report.cases,
+        report.answers_checked,
+        report.covers_enumerated,
+        report.failures.len()
+    );
+    if !report.ok() {
+        for f in &report.failures {
+            eprintln!("jucq-qa: failing seed {} — rerun with `jucq fuzz --seed {} --cases 1 --profile {profile}`", f.seed, f.seed);
+        }
+        std::process::exit(1);
+    }
+    Ok(())
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -351,6 +398,7 @@ fn main() {
         "stats" => cmd_stats(args),
         "repl" => cmd_repl(args),
         "snapshot" => cmd_snapshot(args),
+        "fuzz" => cmd_fuzz(args),
         _ => usage(),
     };
     if let Err(e) = result {

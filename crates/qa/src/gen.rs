@@ -1,0 +1,320 @@
+//! Seeded random generation of RDFS schemas, instance data, and BGP
+//! queries.
+//!
+//! Everything is driven by a single `u64` seed through the workspace's
+//! deterministic `rand` shim, so a failing case is reproduced exactly
+//! by its seed — across machines and across runs.
+//!
+//! The generated universe is deliberately tiny (six classes, five
+//! properties, a dozen individuals, four literals): small vocabularies
+//! force heavy constant reuse, which maximizes join collisions,
+//! reformulation fan-out, and cover-choice diversity per case. Ghost
+//! constants (absent from both schema and data) appear with low
+//! probability to exercise the empty-reformulation paths.
+
+use jucq_model::{vocab, Term, Triple};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A term position of a query atom: a variable or a constant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QTerm {
+    /// A query variable (`?vN`).
+    Var(u16),
+    /// A constant RDF term.
+    Term(Term),
+}
+
+/// One triple pattern of a generated query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtomSpec {
+    /// Subject position.
+    pub s: QTerm,
+    /// Predicate position.
+    pub p: QTerm,
+    /// Object position.
+    pub o: QTerm,
+}
+
+/// A generated BGP query, independent of any dictionary encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuerySpec {
+    /// Distinguished (answer) variables; always a subset of the body
+    /// variables.
+    pub head: Vec<u16>,
+    /// The body triple patterns.
+    pub atoms: Vec<AtomSpec>,
+}
+
+impl QuerySpec {
+    /// All distinct variables of the body, in first-occurrence order.
+    pub fn variables(&self) -> Vec<u16> {
+        let mut out = Vec::new();
+        let mut push = |t: &QTerm| {
+            if let QTerm::Var(v) = t {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+        };
+        for a in &self.atoms {
+            push(&a.s);
+            push(&a.p);
+            push(&a.o);
+        }
+        out
+    }
+}
+
+/// One generated differential-test case: a graph plus a query over it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenCase {
+    /// Schema and instance triples.
+    pub triples: Vec<Triple>,
+    /// The query, as constants and variable ids (encoded per database
+    /// by the oracle).
+    pub query: QuerySpec,
+}
+
+const N_CLASSES: usize = 6;
+const N_PROPS: usize = 5;
+const N_INDIVIDUALS: usize = 12;
+const N_LITERALS: usize = 4;
+
+fn class(i: usize) -> Term {
+    Term::uri(format!("C{i}"))
+}
+
+fn prop(i: usize) -> Term {
+    Term::uri(format!("p{i}"))
+}
+
+fn individual(i: usize) -> Term {
+    Term::uri(format!("i{i}"))
+}
+
+fn literal(i: usize) -> Term {
+    Term::literal(format!("v{i}"))
+}
+
+/// A class constant; 5% of draws are a ghost class absent from the
+/// schema and the data.
+fn any_class(rng: &mut StdRng) -> Term {
+    if rng.gen_bool(0.05) {
+        Term::uri("GhostClass")
+    } else {
+        class(rng.gen_range(0..N_CLASSES))
+    }
+}
+
+fn any_prop(rng: &mut StdRng) -> Term {
+    if rng.gen_bool(0.05) {
+        Term::uri("ghostProp")
+    } else {
+        prop(rng.gen_range(0..N_PROPS))
+    }
+}
+
+fn any_individual(rng: &mut StdRng) -> Term {
+    if rng.gen_bool(0.05) {
+        Term::uri("ghostInd")
+    } else {
+        individual(rng.gen_range(0..N_INDIVIDUALS))
+    }
+}
+
+/// Generate the case for `seed` — the same seed always yields the same
+/// case.
+pub fn gen_case(seed: u64) -> GenCase {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let triples = gen_triples(&mut rng);
+    let query = gen_query(&mut rng);
+    GenCase { triples, query }
+}
+
+/// Random RDFS schema (subClassOf / subPropertyOf DAGs plus domain and
+/// range assignments) and instance triples.
+fn gen_triples(rng: &mut StdRng) -> Vec<Triple> {
+    let t = |s: Term, p: &str, o: Term| Triple::new(s, Term::uri(p), o);
+    let mut out = Vec::new();
+
+    // Class DAG: edges only point to lower indexes, so it is acyclic by
+    // construction; multiple parents are allowed.
+    for i in 1..N_CLASSES {
+        if rng.gen_bool(0.6) {
+            out.push(t(class(i), vocab::RDFS_SUBCLASS_OF, class(rng.gen_range(0..i))));
+        }
+        if i >= 2 && rng.gen_bool(0.2) {
+            out.push(t(class(i), vocab::RDFS_SUBCLASS_OF, class(rng.gen_range(0..i))));
+        }
+    }
+    // Property DAG, same shape.
+    for i in 1..N_PROPS {
+        if rng.gen_bool(0.5) {
+            out.push(t(prop(i), vocab::RDFS_SUBPROPERTY_OF, prop(rng.gen_range(0..i))));
+        }
+    }
+    // Domain / range constraints.
+    for i in 0..N_PROPS {
+        if rng.gen_bool(0.5) {
+            out.push(t(prop(i), vocab::RDFS_DOMAIN, class(rng.gen_range(0..N_CLASSES))));
+        }
+        if rng.gen_bool(0.4) {
+            out.push(t(prop(i), vocab::RDFS_RANGE, class(rng.gen_range(0..N_CLASSES))));
+        }
+    }
+
+    // Instance triples.
+    let n = rng.gen_range(0..=28usize);
+    for _ in 0..n {
+        if rng.gen_bool(0.35) {
+            out.push(t(
+                individual(rng.gen_range(0..N_INDIVIDUALS)),
+                vocab::RDF_TYPE,
+                class(rng.gen_range(0..N_CLASSES)),
+            ));
+        } else {
+            let o = if rng.gen_bool(0.35) {
+                literal(rng.gen_range(0..N_LITERALS))
+            } else {
+                individual(rng.gen_range(0..N_INDIVIDUALS))
+            };
+            out.push(Triple::new(
+                individual(rng.gen_range(0..N_INDIVIDUALS)),
+                prop(rng.gen_range(0..N_PROPS)),
+                o,
+            ));
+        }
+    }
+    out
+}
+
+/// Random BGP query: 0–4 atoms; mostly connected (each atom after the
+/// first reuses an earlier variable), occasionally disconnected on
+/// purpose (the oracle then demands a consistent `CoverError` from
+/// every cover strategy), rarely zero-atom.
+fn gen_query(rng: &mut StdRng) -> QuerySpec {
+    let roll = rng.gen_range(0..100u32);
+    let n_atoms = match roll {
+        0..=2 => 0,
+        3..=29 => 1,
+        30..=59 => 2,
+        60..=84 => 3,
+        _ => 4,
+    };
+    if n_atoms == 0 {
+        return QuerySpec { head: Vec::new(), atoms: Vec::new() };
+    }
+    let disconnected = n_atoms >= 2 && rng.gen_bool(0.08);
+
+    let mut next_var: u16 = 0;
+    let mut vars: Vec<u16> = Vec::new();
+    let fresh = |vars: &mut Vec<u16>, next_var: &mut u16| -> u16 {
+        let v = *next_var;
+        *next_var += 1;
+        vars.push(v);
+        v
+    };
+
+    let mut atoms = Vec::with_capacity(n_atoms);
+    for k in 0..n_atoms {
+        // The join variable tying this atom to the earlier ones. The
+        // first atom, and every atom of a deliberately disconnected
+        // query, starts its own component.
+        let link: Option<u16> = if k == 0 || disconnected || vars.is_empty() {
+            None
+        } else {
+            Some(vars[rng.gen_range(0..vars.len())])
+        };
+
+        if rng.gen_bool(0.35) {
+            // Class atom: ?s rdf:type C.
+            let s = link.unwrap_or_else(|| fresh(&mut vars, &mut next_var));
+            atoms.push(AtomSpec {
+                s: QTerm::Var(s),
+                p: QTerm::Term(Term::uri(vocab::RDF_TYPE)),
+                o: QTerm::Term(any_class(rng)),
+            });
+        } else {
+            // Property atom: s p o with the link on a random end. The
+            // object's shape is decided first so that a link aimed at a
+            // constant object slot falls back to the subject instead of
+            // stranding a fresh variable.
+            let link_on_subject = rng.gen_bool(0.7);
+            let o_roll = rng.gen_range(0..10u32);
+            let o_is_var = o_roll <= 4;
+            let s = if link_on_subject || !o_is_var {
+                link.unwrap_or_else(|| fresh(&mut vars, &mut next_var))
+            } else {
+                fresh(&mut vars, &mut next_var)
+            };
+            let p = if rng.gen_bool(0.05) {
+                QTerm::Var(fresh(&mut vars, &mut next_var))
+            } else {
+                QTerm::Term(any_prop(rng))
+            };
+            let o = if o_is_var {
+                let v = if !link_on_subject {
+                    link.unwrap_or_else(|| fresh(&mut vars, &mut next_var))
+                } else {
+                    fresh(&mut vars, &mut next_var)
+                };
+                QTerm::Var(v)
+            } else if o_roll <= 7 {
+                QTerm::Term(any_individual(rng))
+            } else {
+                QTerm::Term(literal(rng.gen_range(0..N_LITERALS)))
+            };
+            atoms.push(AtomSpec { s: QTerm::Var(s), p, o });
+        }
+    }
+
+    let spec = QuerySpec { head: Vec::new(), atoms };
+    let body_vars = spec.variables();
+    // Non-empty random subset of the body variables as the head.
+    let mut head: Vec<u16> = body_vars.iter().copied().filter(|_| rng.gen_bool(0.6)).collect();
+    if head.is_empty() {
+        head.push(body_vars[rng.gen_range(0..body_vars.len())]);
+    }
+    QuerySpec { head, atoms: spec.atoms }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_case() {
+        for seed in [0u64, 1, 42, 0xdead_beef] {
+            assert_eq!(gen_case(seed), gen_case(seed));
+        }
+    }
+
+    #[test]
+    fn head_is_subset_of_body_vars() {
+        for seed in 0..500u64 {
+            let case = gen_case(seed);
+            let vars = case.query.variables();
+            for h in &case.query.head {
+                assert!(vars.contains(h), "seed {seed}: head var ?v{h} not in body");
+            }
+            if !case.query.atoms.is_empty() {
+                assert!(!case.query.head.is_empty(), "seed {seed}: empty head");
+            }
+        }
+    }
+
+    #[test]
+    fn generates_every_shape() {
+        let (mut zero, mut one, mut four) = (false, false, false);
+        for seed in 0..500u64 {
+            match gen_case(seed).query.atoms.len() {
+                0 => zero = true,
+                1 => one = true,
+                4 => four = true,
+                _ => {}
+            }
+        }
+        assert!(zero && one && four, "generator covers 0/1/4-atom queries");
+    }
+}

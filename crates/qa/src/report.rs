@@ -1,0 +1,57 @@
+//! Ready-to-paste reproducers for failing cases.
+//!
+//! A shrunk counterexample is rendered as a complete `#[test]` function
+//! over the textual spec format, so fixing a fuzz find is: paste the
+//! emitted test into `tests/fuzz_regressions.rs`, watch it fail, fix
+//! the engine, watch it pass — and it stays checked in.
+
+use crate::gen::GenCase;
+
+fn string_list(items: &[String], indent: &str) -> String {
+    if items.is_empty() {
+        return "&[]".to_string();
+    }
+    let mut out = String::from("&[\n");
+    for it in items {
+        out.push_str(indent);
+        out.push_str("    ");
+        out.push_str(&format!("{it:?}"));
+        out.push_str(",\n");
+    }
+    out.push_str(indent);
+    out.push(']');
+    out
+}
+
+/// Render a `#[test]` reproducing this (ideally shrunk) case. The
+/// failure message goes in as a comment so the regression file
+/// documents what each seed once broke.
+pub fn reproducer_test(case: &GenCase, seed: u64, message: &str) -> String {
+    let (triples, atoms, head) = case.to_spec();
+    let mut comment = String::new();
+    for line in message.lines() {
+        comment.push_str(&format!("    // {line}\n"));
+    }
+    format!(
+        "#[test]\nfn fuzz_seed_{seed}() {{\n{comment}    let case = jucq_qa::GenCase::from_spec(\n        {},\n        {},\n        {},\n    );\n    jucq_qa::check_case(&case).unwrap();\n}}\n",
+        string_list(&triples, "        "),
+        string_list(&atoms, "        "),
+        string_list(&head, "        "),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproducer_contains_spec_and_seed() {
+        let case = GenCase::from_spec(&["i0 p0 i1"], &["?v0 p0 ?v1"], &["?v0"]);
+        let t = reproducer_test(&case, 7, "UCQ mismatched SAT");
+        assert!(t.contains("fn fuzz_seed_7()"));
+        assert!(t.contains("\"i0 p0 i1\""));
+        assert!(t.contains("\"?v0 p0 ?v1\""));
+        assert!(t.contains("// UCQ mismatched SAT"));
+        assert!(t.contains("check_case(&case).unwrap()"));
+    }
+}

@@ -1,0 +1,90 @@
+//! Greedy counterexample shrinking.
+//!
+//! A freshly generated failing case carries dozens of irrelevant
+//! triples and atoms. The shrinker repeatedly tries removing one
+//! element — triples first, then query atoms — keeping a removal
+//! whenever the shrunk case *still fails* the oracle, and loops until a
+//! full pass removes nothing. The result is 1-minimal: dropping any
+//! single remaining element makes the failure disappear.
+//!
+//! Removing an atom can orphan head variables, so the head is re-cut to
+//! the surviving body variables after each atom removal (dropping the
+//! head entirely only for queries that lost all their atoms).
+
+use jucq_store::EngineProfile;
+
+use crate::gen::GenCase;
+use crate::oracle::check_case_with;
+
+/// Re-cut the head to the variables still present in the body.
+fn fix_head(case: &mut GenCase) {
+    let vars = case.query.variables();
+    case.query.head.retain(|v| vars.contains(v));
+}
+
+fn still_fails(case: &GenCase, profiles: &[EngineProfile]) -> bool {
+    check_case_with(case, profiles).is_err()
+}
+
+/// Shrink a failing case to a 1-minimal reproducer. `case` must fail
+/// `check_case_with` under `profiles`; the returned case still does.
+pub fn shrink(case: &GenCase, profiles: &[EngineProfile]) -> GenCase {
+    debug_assert!(still_fails(case, profiles), "shrink() called on a passing case");
+    let mut cur = case.clone();
+    loop {
+        let mut progressed = false;
+
+        let mut i = 0;
+        while i < cur.triples.len() {
+            let mut cand = cur.clone();
+            cand.triples.remove(i);
+            if still_fails(&cand, profiles) {
+                cur = cand;
+                progressed = true;
+            } else {
+                i += 1;
+            }
+        }
+
+        let mut i = 0;
+        while i < cur.query.atoms.len() {
+            let mut cand = cur.clone();
+            cand.query.atoms.remove(i);
+            fix_head(&mut cand);
+            if still_fails(&cand, profiles) {
+                cur = cand;
+                progressed = true;
+            } else {
+                i += 1;
+            }
+        }
+
+        if !progressed {
+            return cur;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{AtomSpec, QTerm, QuerySpec};
+    use jucq_model::Term;
+
+    #[test]
+    fn fix_head_drops_orphaned_vars() {
+        let mut case = GenCase {
+            triples: Vec::new(),
+            query: QuerySpec {
+                head: vec![0, 1],
+                atoms: vec![AtomSpec {
+                    s: QTerm::Var(0),
+                    p: QTerm::Term(Term::uri("p0")),
+                    o: QTerm::Term(Term::uri("i0")),
+                }],
+            },
+        };
+        fix_head(&mut case);
+        assert_eq!(case.query.head, vec![0]);
+    }
+}

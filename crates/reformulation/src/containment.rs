@@ -31,14 +31,24 @@ fn image(t: PatternTerm, a: &Assignment) -> PatternTerm {
 
 /// Try to unify term `from` (of the container query) with term `to`
 /// (of the contained query) under `a`; extends `a` on success.
+///
+/// A variable already mapped — whether to a constant or to a variable
+/// of the contained query — must map to exactly `to` again; matching
+/// on the *image* here instead would drop into the variable arm when
+/// the image is a variable and silently rebind it under the contained
+/// query's id, accepting homomorphisms that break join variables
+/// (found by the differential fuzzer: minimization then drops
+/// non-redundant union members).
 fn unify(from: PatternTerm, to: PatternTerm, a: &mut Assignment) -> bool {
-    match image(from, a) {
-        PatternTerm::Const(c) => to == PatternTerm::Const(c),
-        PatternTerm::Var(v) => {
-            // `from` is an unmapped variable: bind it.
-            a.insert(v, to);
-            true
-        }
+    match from {
+        PatternTerm::Const(_) => to == from,
+        PatternTerm::Var(v) => match a.get(&v) {
+            Some(&mapped) => mapped == to,
+            None => {
+                a.insert(v, to);
+                true
+            }
+        },
     }
 }
 
@@ -198,6 +208,25 @@ mod tests {
         assert_eq!(min.len(), 2);
         assert_eq!(min.cqs[0], general);
         assert_eq!(min.cqs[1], derived);
+    }
+
+    #[test]
+    fn join_variable_cannot_be_rebound() {
+        // sup(x):- (x p y)(y q z) joins its atoms on y; sub(x):-
+        // (x p y)(z q w) does not, so sub ⋢ sup — any homomorphism
+        // must map y to both y and z at once. The converse embedding
+        // exists (y ↦ y for the p-atom, z ↦ y for the q-atom's
+        // subject), so sup ⊑ sub.
+        let sup = cq(
+            vec![StorePattern::new(v(0), c(1), v(1)), StorePattern::new(v(1), c(2), v(2))],
+            vec![v(0)],
+        );
+        let sub = cq(
+            vec![StorePattern::new(v(0), c(1), v(1)), StorePattern::new(v(2), c(2), v(3))],
+            vec![v(0)],
+        );
+        assert!(!is_contained(&sub, &sup), "join on y must block the embedding");
+        assert!(is_contained(&sup, &sub));
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub mod saturation;
 
 pub use bgp::BgpQuery;
 pub use containment::{is_contained, minimize_ucq};
-pub use cover::Cover;
+pub use cover::{Cover, CoverError};
 pub use incremental::IncrementalSaturation;
 pub use jucq::{jucq_for_cover, scq_reformulation, ucq_reformulation};
 pub use reformulate::{reformulate, ReformulationEnv};

@@ -56,12 +56,29 @@ pub struct EngineProfile {
 }
 
 /// The default worker-pool width: the `JUCQ_THREADS` environment
-/// variable when set to a positive integer, otherwise the machine's
-/// available parallelism.
+/// variable when set, otherwise the machine's available parallelism.
+///
+/// `JUCQ_THREADS=0` means strictly sequential (consistent with
+/// [`EngineProfile::with_parallelism`], which clamps 0 to 1); an
+/// unparsable value warns once through `jucq-obs` and falls back to the
+/// hardware width.
 pub fn default_parallelism() -> usize {
-    if let Some(n) = std::env::var("JUCQ_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
-        if n >= 1 {
-            return n;
+    match std::env::var("JUCQ_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) => return n.max(1),
+            Err(_) => {
+                jucq_obs::warn_once(
+                    "warn.jucq_threads_invalid",
+                    &format!("ignoring unparsable JUCQ_THREADS={v:?}; using hardware parallelism"),
+                );
+            }
+        },
+        Err(std::env::VarError::NotPresent) => {}
+        Err(std::env::VarError::NotUnicode(_)) => {
+            jucq_obs::warn_once(
+                "warn.jucq_threads_invalid",
+                "ignoring non-unicode JUCQ_THREADS; using hardware parallelism",
+            );
         }
     }
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
@@ -210,6 +227,36 @@ mod tests {
     #[test]
     fn default_is_pg_like() {
         assert_eq!(EngineProfile::default().name, "pg-like");
+    }
+
+    /// Serializes tests that mutate the process environment.
+    fn env_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn jucq_threads_zero_means_sequential() {
+        let _serial = env_lock();
+        std::env::set_var("JUCQ_THREADS", "0");
+        assert_eq!(default_parallelism(), 1);
+        std::env::set_var("JUCQ_THREADS", "3");
+        assert_eq!(default_parallelism(), 3);
+        std::env::remove_var("JUCQ_THREADS");
+    }
+
+    #[test]
+    fn jucq_threads_junk_warns_once_and_falls_back() {
+        let _serial = env_lock();
+        jucq_obs::warn::reset_for_test();
+        std::env::set_var("JUCQ_THREADS", "banana");
+        let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        assert_eq!(default_parallelism(), hw);
+        assert!(jucq_obs::warn::warned("warn.jucq_threads_invalid"));
+        // Second call with junk does not re-print (warn_once dedupes).
+        assert_eq!(default_parallelism(), hw);
+        std::env::remove_var("JUCQ_THREADS");
+        jucq_obs::warn::reset_for_test();
     }
 
     #[test]

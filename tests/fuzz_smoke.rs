@@ -1,0 +1,33 @@
+//! Tier-1 smoke pass of the differential fuzzer: 100 seeded cases
+//! against the full engine-profile trio must produce zero mismatches.
+//! CI runs the wider sweep (`jucq fuzz`, 500 cases per profile); this
+//! keeps every `cargo test` honest.
+
+use jucq_qa::run_fuzz;
+use jucq_store::EngineProfile;
+
+#[test]
+fn one_hundred_seeded_cases_agree_across_strategies() {
+    let report = run_fuzz(1, 100, &EngineProfile::rdbms_trio(), false);
+    assert_eq!(report.cases, 100);
+    assert!(
+        report.ok(),
+        "differential mismatches:\n{}",
+        report
+            .failures
+            .iter()
+            .map(|f| format!("seed {}: {}\n{}", f.seed, f.message, f.reproducer))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn native_profile_smoke() {
+    let report = run_fuzz(512, 25, &[EngineProfile::native_like()], false);
+    assert!(
+        report.ok(),
+        "native-profile mismatch: {:?}",
+        report.failures.first().map(|f| &f.message)
+    );
+}

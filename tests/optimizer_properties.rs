@@ -96,7 +96,7 @@ proptest! {
         let store = db.plain_store();
         let model = PaperCostModel::new(store.table(), store.stats(), CostConstants::default());
         let search = CoverSearch::new(&q, env, &model);
-        let r = gcov(&search, Duration::from_secs(10), 1_000);
+        let r = gcov(&search, Duration::from_secs(10), 1_000).unwrap();
         // Re-costing the returned cover reproduces the reported value.
         let again = search.cover_cost(&r.cover);
         prop_assert!((again - r.estimated_cost).abs() < 1e-9);
@@ -112,9 +112,9 @@ proptest! {
         let store = db.plain_store();
         let model = PaperCostModel::new(store.table(), store.stats(), CostConstants::default());
         let s_e = CoverSearch::new(&q, env, &model);
-        let e = ecov(&s_e, Duration::from_secs(10));
+        let e = ecov(&s_e, Duration::from_secs(10)).unwrap();
         let s_g = CoverSearch::new(&q, env, &model);
-        let g = gcov(&s_g, Duration::from_secs(10), 1_000);
+        let g = gcov(&s_g, Duration::from_secs(10), 1_000).unwrap();
         prop_assert!(!e.truncated, "3-atom space is tiny");
         prop_assert!(
             e.estimated_cost <= g.estimated_cost + 1e-9,
