@@ -65,7 +65,8 @@ fn main() {
                 .atoms
                 .iter()
                 .map(|a| {
-                    let single = jucq_reformulation::BgpQuery::new(a.variables(), vec![*a]);
+                    let single =
+                        jucq_reformulation::BgpQuery::new(a.variables().to_vec(), vec![*a]);
                     match jucq_core::reformulation::reformulate::reformulate_with_limit(
                         &single, &env, 100_000,
                     ) {

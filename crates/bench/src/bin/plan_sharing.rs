@@ -1,0 +1,155 @@
+//! Cross-member scan sharing: how much scan work the planner's
+//! common-scan factoring pass saves on the LUBM workload.
+//!
+//! Answers every workload query under the UCQ and GCov strategies with
+//! `EngineProfile::share_scans` on and off, and records per-query
+//! `tuples_scanned` plus the aggregate reduction in
+//! `results/BENCH_plan_sharing.json`. Reformulation-heavy queries put
+//! many union members over the same handful of scans, so factoring
+//! those scans into the plan-wide shared table should strictly reduce
+//! the scan volume; the answers themselves must be identical.
+//!
+//! Run: `cargo run --release -p jucq-bench --bin plan_sharing [universities]`
+
+use jucq_bench::harness::{arg_scale, lubm_db, parse_workload, render_table};
+use jucq_core::Strategy;
+use jucq_datagen::lubm;
+use jucq_store::EngineProfile;
+
+struct Measurement {
+    query: String,
+    strategy: &'static str,
+    shared: Option<u64>,
+    unshared: Option<u64>,
+    rows_agree: bool,
+}
+
+fn profile(share: bool) -> EngineProfile {
+    EngineProfile::pg_like().with_parallelism(1).with_scan_sharing(share)
+}
+
+fn fmt(v: Option<u64>) -> String {
+    v.map(|v| v.to_string()).unwrap_or_else(|| "-".into())
+}
+
+fn json_u64(v: Option<u64>) -> String {
+    v.map(|v| v.to_string()).unwrap_or_else(|| "null".into())
+}
+
+fn main() {
+    let _obs = jucq_bench::harness::obs_sidecar("plan_sharing");
+    let universities = arg_scale(1, 2);
+    eprintln!("building LUBM-like({universities} universities)...");
+    let mut db = lubm_db(universities, profile(true));
+    eprintln!("  {} data triples", db.graph().len());
+
+    let queries = parse_workload(&mut db, &lubm::workload());
+    let strategies: [(&'static str, Strategy); 2] =
+        [("UCQ", Strategy::Ucq), ("GCov", Strategy::gcov_default())];
+
+    let mut measurements: Vec<Measurement> = Vec::new();
+    for (name, q) in &queries {
+        for (label, strategy) in &strategies {
+            db.set_profile(profile(true));
+            let shared = db.answer(q, strategy).ok();
+            db.set_profile(profile(false));
+            let unshared = db.answer(q, strategy).ok();
+            let rows_agree = match (&shared, &unshared) {
+                (Some(s), Some(u)) => {
+                    let mut a: Vec<_> = s.rows.rows().map(|r| r.to_vec()).collect();
+                    let mut b: Vec<_> = u.rows.rows().map(|r| r.to_vec()).collect();
+                    a.sort();
+                    b.sort();
+                    a == b
+                }
+                // A query that fails the same way under both settings
+                // (timeout/budget) is consistent; one-sided failure is not.
+                (None, None) => true,
+                _ => false,
+            };
+            measurements.push(Measurement {
+                query: name.clone(),
+                strategy: label,
+                shared: shared.map(|r| r.counters.tuples_scanned),
+                unshared: unshared.map(|r| r.counters.tuples_scanned),
+                rows_agree,
+            });
+        }
+    }
+
+    let agree = measurements.iter().all(|m| m.rows_agree);
+    let shared_total: u64 = measurements.iter().filter_map(|m| m.shared).sum();
+    let unshared_total: u64 = measurements.iter().filter_map(|m| m.unshared).sum();
+    let reduction =
+        if unshared_total == 0 { 0.0 } else { 1.0 - shared_total as f64 / unshared_total as f64 };
+
+    let rows: Vec<Vec<String>> = measurements
+        .iter()
+        .map(|m| {
+            let saved = match (m.shared, m.unshared) {
+                (Some(s), Some(u)) if u > 0 => {
+                    format!("{:.1}%", (1.0 - s as f64 / u as f64) * 100.0)
+                }
+                _ => "-".into(),
+            };
+            vec![m.query.clone(), m.strategy.to_owned(), fmt(m.unshared), fmt(m.shared), saved]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &format!(
+                "Scan sharing: tuples scanned with common-scan factoring off vs on, \
+                 LUBM-like ({} triples)",
+                db.graph().len()
+            ),
+            &[
+                "q".into(),
+                "strategy".into(),
+                "scanned (off)".into(),
+                "scanned (on)".into(),
+                "saved".into()
+            ],
+            &rows,
+        )
+    );
+    println!(
+        "total: unshared {unshared_total}, shared {shared_total}, reduction {:.1}%, \
+         answers agree: {agree}",
+        reduction * 100.0
+    );
+
+    jucq_obs::metrics::gauge_set("bench.plan_sharing.unshared_scanned", unshared_total as f64);
+    jucq_obs::metrics::gauge_set("bench.plan_sharing.shared_scanned", shared_total as f64);
+    jucq_obs::metrics::gauge_set("bench.plan_sharing.reduction", reduction);
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"experiment\": \"plan_sharing\",\n");
+    json.push_str(&format!("  \"universities\": {universities},\n"));
+    json.push_str(&format!("  \"unshared_tuples_scanned\": {unshared_total},\n"));
+    json.push_str(&format!("  \"shared_tuples_scanned\": {shared_total},\n"));
+    json.push_str(&format!("  \"reduction\": {reduction:.4},\n"));
+    json.push_str(&format!("  \"answers_agree\": {agree},\n"));
+    json.push_str("  \"queries\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"query\": \"{}\", \"strategy\": \"{}\", \
+             \"unshared_scanned\": {}, \"shared_scanned\": {}, \"answers_agree\": {}}}{}\n",
+            m.query,
+            m.strategy,
+            json_u64(m.unshared),
+            json_u64(m.shared),
+            m.rows_agree,
+            if i + 1 < measurements.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let dir = std::path::Path::new("results");
+    let _ = std::fs::create_dir_all(dir);
+    let path = dir.join("BENCH_plan_sharing.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
+    assert!(agree, "scan sharing changed the answers");
+}

@@ -24,7 +24,7 @@ fn main() {
 
     let mut rows = Vec::new();
     for (i, atom) in q2.atoms.iter().enumerate() {
-        let single = BgpQuery::new(atom.variables(), vec![*atom]);
+        let single = BgpQuery::new(atom.variables().to_vec(), vec![*atom]);
         let direct = db
             .plain_store()
             .eval_cq(&single.to_store_cq())

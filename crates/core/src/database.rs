@@ -184,11 +184,21 @@ impl RdfDatabase {
 
     /// Switch the engine profile (keeps data; rebuilds stores lazily
     /// with the same triples but new execution behaviour).
+    ///
+    /// The cost constants calibrated under the old profile are stale —
+    /// they encode the old join algorithm and materialization policy —
+    /// so unless they were pinned with
+    /// [`RdfDatabase::set_cost_constants`] they are recalibrated
+    /// against the new profile. Cached covers and physical plans are
+    /// keyed by profile name, so entries chosen for the old profile
+    /// simply stop matching (and keep serving if the profile is
+    /// switched back).
     pub fn set_profile(&mut self, profile: EngineProfile) {
         self.profile = profile.clone();
         if let Some(p) = &mut self.prepared {
             p.plain.set_profile(profile.clone());
             p.saturated.set_profile(profile);
+            p.constants = self.constants.unwrap_or_else(|| calibrate(&p.plain));
         }
     }
 
@@ -350,6 +360,12 @@ impl RdfDatabase {
             p.plain = p.plain.apply_delta(&plain_ins, &plain_del);
             p.saturated = p.saturated.apply_delta(&sat_ins, &sat_del);
         }
+        // Covers stay sound across data updates (Theorem 3.1), but the
+        // physical plans lowered from them baked in join orders and
+        // shared-scan choices from the old statistics snapshot.
+        if let Some(cache) = &mut self.plan_cache {
+            cache.clear_plans();
+        }
         report
     }
 
@@ -447,14 +463,19 @@ impl RdfDatabase {
 
     /// Plan `q` under `strategy`: choose (or look up) a cover, build the
     /// reformulated JUCQ, and report which store evaluates it (`true` =
-    /// the saturated store). Shared by [`RdfDatabase::answer`] and
+    /// the saturated store) plus the plan-cache key used (when caching
+    /// applies), so [`RdfDatabase::answer`] can reuse the entry's
+    /// physical plan. Shared by [`RdfDatabase::answer`] and
     /// [`RdfDatabase::explain_analyze`].
     #[allow(clippy::type_complexity)]
     fn plan_jucq(
         &mut self,
         q: &BgpQuery,
         strategy: &Strategy,
-    ) -> Result<(StoreJucq, Option<Cover>, Option<usize>, bool), AnswerError> {
+    ) -> Result<
+        (StoreJucq, Option<Cover>, Option<usize>, bool, Option<crate::plan_cache::PlanKey>),
+        AnswerError,
+    > {
         self.prepare();
         let p = self.prepared.as_ref().expect("prepared");
         let env = ReformulationEnv { closure: &p.closure, rdf_type: p.rdf_type };
@@ -468,6 +489,7 @@ impl RdfDatabase {
                 .map_err(|n| EngineError::UnionTooLarge { terms: n, limit }.into())
         };
 
+        let mut used_key: Option<crate::plan_cache::PlanKey> = None;
         let (jucq, cover, explored, saturated): (StoreJucq, Option<Cover>, Option<usize>, bool) =
             match strategy {
                 Strategy::Saturation => {
@@ -503,11 +525,17 @@ impl RdfDatabase {
                     // isomorphic queries (same shape, different variable
                     // names or atom order) share one cached cover; the
                     // cover's atom indices are canonical and translated
-                    // through this query's permutation.
+                    // through this query's permutation. The profile name
+                    // keys cost-model-dependent choices apart.
                     let canonical = self.plan_cache.is_some().then(|| q.canonicalize());
                     let cache_key = canonical.as_ref().map(|(cq, _)| {
-                        crate::plan_cache::PlanKey::new(cq.clone(), strategy.name())
+                        crate::plan_cache::PlanKey::new(
+                            cq.clone(),
+                            strategy.name(),
+                            &self.profile.name,
+                        )
                     });
+                    used_key = cache_key.clone();
                     if let (Some(cache), Some(key)) = (&mut self.plan_cache, &cache_key) {
                         if let Some((canonical_cover, explored)) = cache.get(key) {
                             let perm = &canonical.as_ref().expect("key implies canonical").1;
@@ -553,7 +581,7 @@ impl RdfDatabase {
                     }
                 }
             };
-        Ok((jucq, cover, explored, saturated))
+        Ok((jucq, cover, explored, saturated, used_key))
     }
 
     /// Answer `q` with `strategy`, reporting timings and plan shape.
@@ -582,7 +610,7 @@ impl RdfDatabase {
             });
         }
         let planning_start = Instant::now();
-        let (jucq, cover, explored, saturated) = {
+        let (jucq, cover, explored, saturated, cache_key) = {
             jucq_obs::span!("planning");
             self.plan_jucq(q, strategy)?
         };
@@ -591,7 +619,21 @@ impl RdfDatabase {
         let target = if saturated { &p.saturated } else { &p.plain };
 
         let union_terms = jucq.union_terms();
-        let mut outcome = target.eval_jucq(&jucq)?;
+        // Reuse the cache entry's lowered physical plan when it was
+        // built for exactly this query under this profile; otherwise
+        // lower one and attach it for the next repetition.
+        let mut outcome = match (&mut self.plan_cache, &cache_key) {
+            (Some(cache), Some(key)) => {
+                if let Some(plan) = cache.get_plan(key, q) {
+                    target.eval_plan(&plan)?
+                } else {
+                    let plan = std::sync::Arc::new(target.plan_jucq(&jucq)?);
+                    cache.attach_plan(key, q.clone(), std::sync::Arc::clone(&plan));
+                    target.eval_plan(&plan)?
+                }
+            }
+            _ => target.eval_jucq(&jucq)?,
+        };
         if let Some(n) = q.limit {
             outcome.relation.truncate(n);
         }
@@ -632,6 +674,32 @@ impl RdfDatabase {
         })
     }
 
+    /// `EXPLAIN`: plan `q` exactly as [`RdfDatabase::answer`] would
+    /// (cover choice, reformulation, physical lowering) and render the
+    /// admission decision plus the physical operator tree — without
+    /// executing anything.
+    pub fn explain(&mut self, q: &BgpQuery, strategy: &Strategy) -> Result<String, AnswerError> {
+        if q.is_empty() {
+            return Ok(format!(
+                "Strategy: {} (empty query: no atoms, no answers)\n",
+                strategy.name()
+            ));
+        }
+        let (jucq, cover, _, saturated, _) = self.plan_jucq(q, strategy)?;
+        let p = self.prepared.as_ref().expect("plan_jucq prepares");
+        let target = if saturated { &p.saturated } else { &p.plain };
+        let mut out = format!(
+            "Strategy: {} (target: {} store)\n",
+            strategy.name(),
+            if saturated { "saturated" } else { "plain" }
+        );
+        if let Some(c) = &cover {
+            out.push_str(&format!("Cover: {:?}\n", c.fragments()));
+        }
+        out.push_str(&jucq_store::explain::explain(target, &jucq));
+        Ok(out)
+    }
+
     /// `EXPLAIN ANALYZE`: plan `q` exactly as [`RdfDatabase::answer`]
     /// would (including the plan cache), then evaluate it with per-node
     /// profiling and render each plan node's estimated vs. actual rows
@@ -647,7 +715,7 @@ impl RdfDatabase {
                 strategy.name()
             ));
         }
-        let (jucq, cover, _, saturated) = self.plan_jucq(q, strategy)?;
+        let (jucq, cover, _, saturated, _) = self.plan_jucq(q, strategy)?;
         let p = self.prepared.as_ref().expect("plan_jucq prepares");
         let target = if saturated { &p.saturated } else { &p.plain };
         let mut out = format!(
@@ -1174,6 +1242,94 @@ mod tests {
             let err = db.answer(&q, &s).unwrap_err();
             assert!(matches!(err, AnswerError::Cover(_)), "{}: {err}", s.name());
         }
+    }
+
+    #[test]
+    fn set_profile_rekeys_the_plan_cache_pg_to_mysql() {
+        // Regression: covers (and physical plans) chosen under the
+        // pg-like cost model must not be served after switching to
+        // mysql-like — and switching back must find the pg entries
+        // again instead of re-searching.
+        let mut db = paper_db();
+        db.enable_plan_cache(8);
+        let q = example3_query(&mut db);
+        let pg = db.answer(&q, &Strategy::gcov_default()).unwrap();
+        assert_eq!(db.plan_cache_stats().unwrap().misses, 1);
+
+        db.set_profile(EngineProfile::mysql_like());
+        let my = db.answer(&q, &Strategy::gcov_default()).unwrap();
+        let stats = db.plan_cache_stats().unwrap();
+        assert_eq!(stats.misses, 2, "mysql-like key misses the pg-like entry");
+        assert_eq!(stats.hits, 0);
+
+        db.set_profile(EngineProfile::pg_like());
+        db.answer(&q, &Strategy::gcov_default()).unwrap();
+        assert_eq!(db.plan_cache_stats().unwrap().hits, 1, "pg-like entry still cached");
+
+        let mut a = pg.rows;
+        let mut b = my.rows;
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "profiles agree on the answer");
+    }
+
+    #[test]
+    fn set_profile_keeps_pinned_constants_and_recalibrates_otherwise() {
+        // Pinned constants survive a profile switch untouched.
+        let mut db = paper_db();
+        db.prepare();
+        let pinned = db.cost_constants();
+        db.set_profile(EngineProfile::mysql_like());
+        assert_eq!(db.cost_constants(), pinned, "pinned constants are kept");
+        // Unpinned constants are recalibrated for the new profile (the
+        // values are measured, so assert only that answering still
+        // works against the refreshed model).
+        let mut db = RdfDatabase::new();
+        let t = |s: &str, p: &str, o: Term| Triple::new(Term::uri(s), Term::uri(p), o);
+        db.extend(&[
+            t("doi1", "writtenBy", Term::uri("a1")),
+            t("a1", "hasName", Term::literal("One")),
+            t("writtenBy", vocab::RDFS_SUBPROPERTY_OF, Term::uri("hasAuthor")),
+        ]);
+        db.prepare();
+        db.set_profile(EngineProfile::mysql_like());
+        let q = db.parse_query("SELECT ?n WHERE { ?b <hasAuthor> ?a . ?a <hasName> ?n }").unwrap();
+        let r = db.answer(&q, &Strategy::gcov_default()).unwrap();
+        assert_eq!(r.rows.len(), 1);
+    }
+
+    #[test]
+    fn physical_plans_are_cached_and_cleared_on_updates() {
+        let mut db = paper_db();
+        db.enable_plan_cache(8);
+        let q = example3_query(&mut db);
+        let first = db.answer(&q, &Strategy::gcov_default()).unwrap();
+        let second = db.answer(&q, &Strategy::gcov_default()).unwrap();
+        let stats = db.plan_cache_stats().unwrap();
+        assert_eq!(stats.plan_misses, 1, "first run lowers the plan");
+        assert_eq!(stats.plan_hits, 1, "second run reuses it");
+        let mut a = first.rows;
+        let mut b = second.rows;
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        // An incremental data update keeps the cover but drops the
+        // lowered plan (its join orders reflect the old statistics).
+        let t = |s: &str, p: &str, o: Term| Triple::new(Term::uri(s), Term::uri(p), o);
+        let report = db.apply_data_updates(
+            &[
+                t("doi9", "writtenBy", Term::uri("a9")),
+                t("a9", "hasName", Term::literal("Nine")),
+                t("doi9", "publishedIn", Term::literal("1996")),
+            ],
+            &[],
+        );
+        assert!(report.incremental);
+        let r = db.answer(&q, &Strategy::gcov_default()).unwrap();
+        let stats = db.plan_cache_stats().unwrap();
+        assert_eq!(stats.hits, 2, "cover reused across the update");
+        assert_eq!(stats.plan_misses, 2, "plan re-lowered after the update");
+        assert_eq!(r.rows.len(), 2, "fresh plan sees the new data");
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Plan caching: amortize cover-search time across repeated queries.
+//! Plan caching: amortize cover-search and physical-planning time
+//! across repeated queries.
 //!
 //! GCov/ECov planning is cheap next to a bad evaluation, but it is not
 //! free (Figures 7–8: up to seconds on reformulation-heavy queries). A
@@ -9,45 +10,76 @@
 //! move. The cache is therefore kept through incremental updates and
 //! only dropped on re-preparation (schema/vocabulary changes).
 //!
-//! Covers are held behind [`Arc`], so a hit hands out a shared pointer
-//! instead of deep-cloning the fragment sets on the hot path.
+//! Each entry is keyed by `(query, strategy, profile)`: the cost model
+//! guiding the search — and the physical plan lowered from the chosen
+//! cover — both depend on the engine profile, so switching profiles
+//! must not resurrect plans chosen for another engine's strengths.
+//!
+//! Alongside the cover, an entry can carry the **physical plan** the
+//! store lowered for the reformulated JUCQ ([`jucq_store::Plan`]).
+//! Unlike covers, physical plans bake in join orders and shared-scan
+//! choices derived from the statistics snapshot, so they are dropped
+//! (covers kept) whenever the data changes — see
+//! [`PlanCache::clear_plans`].
+//!
+//! Covers and plans are held behind [`Arc`], so a hit hands out a
+//! shared pointer instead of deep-cloning on the hot path.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
 
 use jucq_model::FxHashMap;
 use jucq_reformulation::{BgpQuery, Cover};
+use jucq_store::Plan;
 
-/// The cache key: the exact query plus the strategy family that chose
-/// the cover (ECov and GCov choices are cached separately).
+/// The cache key: the exact query, the strategy family that chose the
+/// cover (ECov and GCov choices are cached separately), and the engine
+/// profile the cost model scored under.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PlanKey {
     query: BgpQuery,
     strategy: &'static str,
+    profile: String,
 }
 
 impl PlanKey {
     /// Build a key.
-    pub fn new(query: BgpQuery, strategy: &'static str) -> Self {
-        PlanKey { query, strategy }
+    pub fn new(query: BgpQuery, strategy: &'static str, profile: &str) -> Self {
+        PlanKey { query, strategy, profile: profile.to_string() }
     }
 }
 
 /// Hit/miss counters, for diagnostics.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct PlanCacheStats {
-    /// Lookups answered from the cache.
+    /// Cover lookups answered from the cache.
     pub hits: usize,
-    /// Lookups that required a fresh search.
+    /// Cover lookups that required a fresh search.
     pub misses: usize,
     /// Entries evicted by the FIFO bound.
     pub evictions: usize,
+    /// Physical-plan lookups answered from the cache.
+    pub plan_hits: usize,
+    /// Physical-plan lookups that required fresh lowering.
+    pub plan_misses: usize,
 }
 
-/// A bounded FIFO cover cache.
+/// One cached entry: the chosen cover plus, optionally, the physical
+/// plan lowered for one exact (non-canonical) query form. The plan slot
+/// remembers which exact query it was lowered for: canonical keys are
+/// shared by isomorphic queries, but a physical plan's variable ids are
+/// those of one concrete query.
+#[derive(Debug)]
+struct Entry {
+    cover: Arc<Cover>,
+    explored: Option<usize>,
+    plan: Option<(BgpQuery, Arc<Plan>)>,
+}
+
+/// A bounded FIFO cover + physical-plan cache.
 #[derive(Debug)]
 pub struct PlanCache {
-    map: FxHashMap<PlanKey, (Arc<Cover>, Option<usize>)>,
+    map: FxHashMap<PlanKey, Entry>,
     order: VecDeque<PlanKey>,
     capacity: usize,
     stats: PlanCacheStats,
@@ -73,10 +105,10 @@ impl PlanCache {
     /// no deep clone.
     pub fn get(&mut self, key: &PlanKey) -> Option<(Arc<Cover>, Option<usize>)> {
         match self.map.get(key) {
-            Some((cover, explored)) => {
+            Some(e) => {
                 self.stats.hits += 1;
                 jucq_obs::metrics::counter_add("plan_cache.hits", 1);
-                Some((Arc::clone(cover), *explored))
+                Some((Arc::clone(&e.cover), e.explored))
             }
             None => {
                 self.stats.misses += 1;
@@ -87,9 +119,10 @@ impl PlanCache {
     }
 
     /// Store a cover under `key`, evicting the oldest entry when full.
+    /// Replacing a cover drops any physical plan lowered for the old one.
     pub fn put(&mut self, key: PlanKey, cover: Cover, explored: Option<usize>) {
         if let Some(slot) = self.map.get_mut(&key) {
-            *slot = (Arc::new(cover), explored);
+            *slot = Entry { cover: Arc::new(cover), explored, plan: None };
             return;
         }
         if self.map.len() >= self.capacity {
@@ -100,8 +133,48 @@ impl PlanCache {
             }
         }
         self.order.push_back(key.clone());
-        self.map.insert(key, (Arc::new(cover), explored));
+        self.map.insert(key, Entry { cover: Arc::new(cover), explored, plan: None });
         self.publish_size();
+    }
+
+    /// Look up the physical plan cached for `key`, provided it was
+    /// lowered for exactly `query` (isomorphic-but-renamed queries share
+    /// the cover, not the plan). Counts a plan hit or miss.
+    pub fn get_plan(&mut self, key: &PlanKey, query: &BgpQuery) -> Option<Arc<Plan>> {
+        let hit = self
+            .map
+            .get(key)
+            .and_then(|e| e.plan.as_ref())
+            .filter(|(q, _)| q == query)
+            .map(|(_, p)| Arc::clone(p));
+        if hit.is_some() {
+            self.stats.plan_hits += 1;
+            jucq_obs::metrics::counter_add("plan_cache.plan_hits", 1);
+        } else {
+            self.stats.plan_misses += 1;
+            jucq_obs::metrics::counter_add("plan_cache.plan_misses", 1);
+        }
+        hit
+    }
+
+    /// Attach the physical plan lowered for `query` to the entry at
+    /// `key`. No-op when the entry is absent (evicted between the cover
+    /// search and the lowering).
+    pub fn attach_plan(&mut self, key: &PlanKey, query: BgpQuery, plan: Arc<Plan>) {
+        if let Some(e) = self.map.get_mut(key) {
+            e.plan = Some((query, plan));
+        }
+    }
+
+    /// Drop every cached physical plan, keeping the covers. Called when
+    /// the data (hence the statistics snapshot) changes: covers stay
+    /// sound (Theorem 3.1) but join orders and shared-scan choices baked
+    /// into lowered plans may no longer be the ones the planner would
+    /// pick.
+    pub fn clear_plans(&mut self) {
+        for e in self.map.values_mut() {
+            e.plan = None;
+        }
     }
 
     /// Drop every entry (keeps counters).
@@ -132,7 +205,7 @@ mod tests {
     use super::*;
     use jucq_model::term::TermKind;
     use jucq_model::TermId;
-    use jucq_store::{PatternTerm, StorePattern};
+    use jucq_store::{EngineProfile, PatternTerm, Planner, Store, StorePattern};
 
     fn query(p: u32) -> BgpQuery {
         BgpQuery::new(
@@ -149,11 +222,24 @@ mod tests {
         Cover::single_fragment(q).unwrap()
     }
 
+    fn key(q: &BgpQuery, strategy: &'static str) -> PlanKey {
+        PlanKey::new(q.clone(), strategy, "pg-like")
+    }
+
+    fn physical_plan(q: &BgpQuery) -> Arc<Plan> {
+        let store = Store::from_triples(&[], EngineProfile::pg_like());
+        let jucq = jucq_store::StoreJucq::from_ucq(jucq_store::StoreUcq::new(
+            vec![q.to_store_cq()],
+            q.head.clone(),
+        ));
+        Arc::new(Planner::new(store.table(), store.stats(), store.profile()).plan(&jucq))
+    }
+
     #[test]
     fn hit_after_put() {
         let mut c = PlanCache::new(4);
         let q = query(1);
-        let key = PlanKey::new(q.clone(), "GCov");
+        let key = key(&q, "GCov");
         assert!(c.get(&key).is_none());
         c.put(key.clone(), cover(&q), Some(7));
         let (got, explored) = c.get(&key).unwrap();
@@ -167,7 +253,7 @@ mod tests {
     fn hits_share_one_cover_allocation() {
         let mut c = PlanCache::new(4);
         let q = query(1);
-        let key = PlanKey::new(q.clone(), "GCov");
+        let key = key(&q, "GCov");
         c.put(key.clone(), cover(&q), None);
         let (a, _) = c.get(&key).unwrap();
         let (b, _) = c.get(&key).unwrap();
@@ -180,9 +266,21 @@ mod tests {
     fn strategies_cached_separately() {
         let mut c = PlanCache::new(4);
         let q = query(1);
-        c.put(PlanKey::new(q.clone(), "GCov"), cover(&q), None);
-        assert!(c.get(&PlanKey::new(q.clone(), "ECov")).is_none());
-        assert!(c.get(&PlanKey::new(q, "GCov")).is_some());
+        c.put(key(&q, "GCov"), cover(&q), None);
+        assert!(c.get(&key(&q, "ECov")).is_none());
+        assert!(c.get(&key(&q, "GCov")).is_some());
+    }
+
+    #[test]
+    fn profiles_cached_separately() {
+        let mut c = PlanCache::new(4);
+        let q = query(1);
+        c.put(PlanKey::new(q.clone(), "GCov", "pg-like"), cover(&q), None);
+        assert!(
+            c.get(&PlanKey::new(q.clone(), "GCov", "mysql-like")).is_none(),
+            "a cover chosen under pg-like costs must not serve mysql-like"
+        );
+        assert!(c.get(&PlanKey::new(q, "GCov", "pg-like")).is_some());
     }
 
     #[test]
@@ -190,23 +288,83 @@ mod tests {
         let mut c = PlanCache::new(2);
         for p in 1..=3u32 {
             let q = query(p);
-            c.put(PlanKey::new(q.clone(), "GCov"), cover(&q), None);
+            c.put(key(&q, "GCov"), cover(&q), None);
         }
         assert_eq!(c.len(), 2);
         assert_eq!(c.stats().evictions, 1);
-        assert!(c.get(&PlanKey::new(query(1), "GCov")).is_none(), "oldest evicted");
-        assert!(c.get(&PlanKey::new(query(3), "GCov")).is_some());
+        assert!(c.get(&key(&query(1), "GCov")).is_none(), "oldest evicted");
+        assert!(c.get(&key(&query(3), "GCov")).is_some());
     }
 
     #[test]
     fn clear_keeps_counters() {
         let mut c = PlanCache::new(2);
         let q = query(1);
-        c.put(PlanKey::new(q.clone(), "GCov"), cover(&q), None);
-        c.get(&PlanKey::new(q, "GCov"));
+        c.put(key(&q, "GCov"), cover(&q), None);
+        c.get(&key(&q, "GCov"));
         c.clear();
         assert!(c.is_empty());
         assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
+    fn physical_plan_round_trips_for_the_exact_query() {
+        let mut c = PlanCache::new(4);
+        let q = query(1);
+        let k = key(&q, "GCov");
+        c.put(k.clone(), cover(&q), None);
+        assert!(c.get_plan(&k, &q).is_none(), "no plan attached yet");
+        let plan = physical_plan(&q);
+        c.attach_plan(&k, q.clone(), Arc::clone(&plan));
+        let got = c.get_plan(&k, &q).unwrap();
+        assert!(Arc::ptr_eq(&got, &plan), "plan hits share one allocation");
+        assert_eq!(c.stats().plan_hits, 1);
+        assert_eq!(c.stats().plan_misses, 1);
+    }
+
+    #[test]
+    fn physical_plan_misses_for_a_different_exact_query() {
+        // Same canonical key, different concrete query (renamed vars):
+        // the cover is shared, the physical plan is not.
+        let mut c = PlanCache::new(4);
+        let q = query(1);
+        let k = key(&q, "GCov");
+        c.put(k.clone(), cover(&q), None);
+        c.attach_plan(&k, q.clone(), physical_plan(&q));
+        let renamed = BgpQuery::new(
+            vec![5],
+            vec![StorePattern::new(
+                PatternTerm::Var(5),
+                PatternTerm::Const(TermId::new(TermKind::Uri, 1)),
+                PatternTerm::Var(6),
+            )],
+        );
+        assert!(c.get_plan(&k, &renamed).is_none());
+        assert_eq!(c.stats().plan_misses, 1);
+    }
+
+    #[test]
+    fn clear_plans_keeps_covers() {
+        let mut c = PlanCache::new(4);
+        let q = query(1);
+        let k = key(&q, "GCov");
+        c.put(k.clone(), cover(&q), Some(3));
+        c.attach_plan(&k, q.clone(), physical_plan(&q));
+        c.clear_plans();
+        assert!(c.get_plan(&k, &q).is_none(), "plans dropped");
+        assert!(c.get(&k).is_some(), "covers survive");
+    }
+
+    #[test]
+    fn replacing_a_cover_drops_its_plan() {
+        let mut c = PlanCache::new(4);
+        let q = query(1);
+        let k = key(&q, "GCov");
+        c.put(k.clone(), cover(&q), Some(1));
+        c.attach_plan(&k, q.clone(), physical_plan(&q));
+        c.put(k.clone(), cover(&q), Some(2));
+        assert!(c.get_plan(&k, &q).is_none(), "stale plan gone with the old cover");
+        assert_eq!(c.get(&k).unwrap().1, Some(2));
     }
 
     #[test]
@@ -217,7 +375,7 @@ mod tests {
         let mut c = PlanCache::new(2);
         for p in 1..=3u32 {
             let q = query(p);
-            c.put(PlanKey::new(q.clone(), "GCov"), cover(&q), None);
+            c.put(key(&q, "GCov"), cover(&q), None);
         }
         // Capacity 2, three puts: one eviction, size stays 2.
         assert_eq!(jucq_obs::global().snapshot().gauges["plan_cache.size"], 2.0);
@@ -233,10 +391,10 @@ mod tests {
     fn reinsert_updates_in_place() {
         let mut c = PlanCache::new(2);
         let q = query(1);
-        let key = PlanKey::new(q.clone(), "GCov");
-        c.put(key.clone(), cover(&q), Some(1));
-        c.put(key.clone(), cover(&q), Some(2));
+        let k = key(&q, "GCov");
+        c.put(k.clone(), cover(&q), Some(1));
+        c.put(k.clone(), cover(&q), Some(2));
         assert_eq!(c.len(), 1);
-        assert_eq!(c.get(&key).unwrap().1, Some(2));
+        assert_eq!(c.get(&k).unwrap().1, Some(2));
     }
 }

@@ -262,7 +262,7 @@ impl<'a> CoverSearch<'a> {
             let mut singles = Vec::with_capacity(f.len());
             for &i in f {
                 let atom = self.query.atoms[i];
-                let extent_q = BgpQuery::new(atom.variables(), vec![atom]);
+                let extent_q = BgpQuery::new(atom.variables().to_vec(), vec![atom]);
                 let Some(s) = self.fragment_ucq(&extent_q) else {
                     return f64::INFINITY;
                 };

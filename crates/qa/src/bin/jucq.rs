@@ -3,6 +3,8 @@
 //! ```text
 //! jucq query <data.ttl> "<SPARQL>" [--strategy S] [--profile P] [--compare]
 //!            [--threads N] [--explain-analyze] [--trace] [--metrics-json PATH]
+//! jucq explain <data.ttl> "<SPARQL>" [--analyze] [--strategy S] [--profile P]
+//!              [--threads N]           # physical plan (est vs actual with --analyze)
 //! jucq covers <data.ttl> "<SPARQL>"           # every cover, sized & timed
 //! jucq stats <data.ttl>                       # dataset & schema statistics
 //! jucq repl  <data.ttl>                       # interactive session
@@ -28,7 +30,7 @@ use jucq_core::{AnswerError, RdfDatabase, Strategy};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  jucq query    <data.ttl|.snap> \"<SPARQL>\" [--strategy sat|ucq|scq|ecov|gcov] [--profile pg|db2|mysql|native] [--threads N] [--compare] [--explain-analyze] [--trace] [--metrics-json PATH]\n  jucq covers   <data.ttl|.snap> \"<SPARQL>\"\n  jucq stats    <data.ttl|.snap>\n  jucq repl     <data.ttl|.snap> [--profile ...] [--threads N]\n  jucq snapshot <data.ttl> <out.snap>\n  jucq fuzz     [--seed S] [--cases N] [--profile pg|db2|mysql|native|all] [--quiet]"
+        "usage:\n  jucq query    <data.ttl|.snap> \"<SPARQL>\" [--strategy sat|ucq|scq|ecov|gcov] [--profile pg|db2|mysql|native] [--threads N] [--compare] [--explain-analyze] [--trace] [--metrics-json PATH]\n  jucq explain  <data.ttl|.snap> \"<SPARQL>\" [--analyze] [--strategy ...] [--profile ...] [--threads N]\n  jucq covers   <data.ttl|.snap> \"<SPARQL>\"\n  jucq stats    <data.ttl|.snap>\n  jucq repl     <data.ttl|.snap> [--profile ...] [--threads N]\n  jucq snapshot <data.ttl> <out.snap>\n  jucq fuzz     [--seed S] [--cases N] [--profile pg|db2|mysql|native|all] [--quiet]"
     );
     std::process::exit(2)
 }
@@ -214,6 +216,48 @@ fn cmd_query(mut args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+fn cmd_explain(mut args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
+    let mut strategy = Strategy::gcov_default();
+    let mut profile = EngineProfile::pg_like();
+    let mut threads: Option<usize> = None;
+    let mut analyze = false;
+    let mut positional: Vec<String> = Vec::new();
+    while !args.is_empty() {
+        let a = args.remove(0);
+        match a.as_str() {
+            "--strategy" => {
+                let v = args.first().cloned().unwrap_or_default();
+                args.drain(..1.min(args.len()));
+                strategy = parse_strategy(&v).unwrap_or_else(|| usage());
+            }
+            "--profile" => {
+                let v = args.first().cloned().unwrap_or_default();
+                args.drain(..1.min(args.len()));
+                profile = parse_profile(&v).unwrap_or_else(|| usage());
+            }
+            "--threads" => {
+                let v = args.first().cloned().unwrap_or_default();
+                args.drain(..1.min(args.len()));
+                threads = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
+            "--analyze" => analyze = true,
+            _ => positional.push(a),
+        }
+    }
+    let [path, sparql] = positional.as_slice() else {
+        usage();
+    };
+    if let Some(n) = threads {
+        profile = profile.with_parallelism(n);
+    }
+    let mut db = load(path, profile)?;
+    let q = db.parse_query(sparql)?;
+    let text =
+        if analyze { db.explain_analyze(&q, &strategy)? } else { db.explain(&q, &strategy)? };
+    print!("{text}");
+    Ok(())
+}
+
 fn cmd_covers(args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
     let [path, sparql] = args.as_slice() else {
         usage();
@@ -394,6 +438,7 @@ fn main() {
     let cmd = args.remove(0);
     let result = match cmd.as_str() {
         "query" => cmd_query(args),
+        "explain" => cmd_explain(args),
         "covers" => cmd_covers(args),
         "stats" => cmd_stats(args),
         "repl" => cmd_repl(args),

@@ -272,7 +272,7 @@ fn reformulate_product(
     let mut total: usize = 1;
     for (ai, atom) in q.atoms.iter().enumerate() {
         let atom_vars = atom.variables();
-        let sub_q = BgpQuery { head: atom_vars.clone(), atoms: vec![*atom], limit: None };
+        let sub_q = BgpQuery { head: atom_vars.to_vec(), atoms: vec![*atom], limit: None };
         let ucq = reformulate_fixpoint(&sub_q, env, limit)?;
         let mut members = Vec::with_capacity(ucq.len());
         for m in &ucq.cqs {

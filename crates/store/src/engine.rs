@@ -5,8 +5,9 @@ use std::time::Duration;
 use jucq_model::TripleId;
 
 use crate::error::EngineError;
-use crate::exec::{join, parallel, Counters, ExecContext, NodeProfile};
+use crate::exec::{Counters, ExecContext, NodeProfile};
 use crate::ir::{StoreCq, StoreJucq, StoreUcq};
+use crate::plan::{self, Plan, Planner};
 use crate::profile::EngineProfile;
 use crate::relation::Relation;
 use crate::stats::Statistics;
@@ -125,132 +126,75 @@ impl Store {
         self.eval_jucq(&StoreJucq::from_ucq(ucq.clone()))
     }
 
-    /// Evaluate a JUCQ: admission control (union-term limit), fragment
-    /// evaluation, fragment joins (largest fragment pipelined, the rest
-    /// charged as materialized), final projection and duplicate
-    /// elimination.
+    /// Lower a JUCQ to a physical [`Plan`] after admission control
+    /// (union-term limit): the planner's rewrite-pass pipeline prunes
+    /// provably empty members, deduplicates and subsumes union members,
+    /// factors common scans, fixes join orders and annotates every node
+    /// with a cardinality estimate.
+    pub fn plan_jucq(&self, q: &StoreJucq) -> Result<Plan, EngineError> {
+        let terms = q.union_terms();
+        if terms > self.profile.max_union_terms {
+            return Err(EngineError::UnionTooLarge { terms, limit: self.profile.max_union_terms });
+        }
+        Ok(Planner::new(&self.table, &self.stats, &self.profile).plan(q))
+    }
+
+    /// Evaluate a JUCQ: plan it, then execute the plan.
     pub fn eval_jucq(&self, q: &StoreJucq) -> Result<EvalOutcome, EngineError> {
-        self.eval_jucq_inner(q, false).map(|(outcome, _)| outcome)
+        let plan = self.plan_jucq(q)?;
+        self.eval_plan(&plan)
     }
 
     /// Like [`Store::eval_jucq`], additionally collecting per-node
-    /// runtime profiles and pairing each node with the cost model's
+    /// runtime profiles and pairing each node with the planner's
     /// cardinality estimate (the data behind `EXPLAIN ANALYZE`).
     pub fn eval_jucq_profiled(
         &self,
         q: &StoreJucq,
     ) -> Result<(EvalOutcome, ExecProfile), EngineError> {
-        self.eval_jucq_inner(q, true)
+        let plan = self.plan_jucq(q)?;
+        self.eval_plan_profiled(&plan)
+    }
+
+    /// Execute a previously lowered plan (e.g. one served from a plan
+    /// cache). The plan must have been produced by this store's planner
+    /// under the current profile.
+    pub fn eval_plan(&self, plan: &Plan) -> Result<EvalOutcome, EngineError> {
+        self.eval_plan_inner(plan, false).map(|(outcome, _)| outcome)
+    }
+
+    /// Execute a plan with per-node runtime profiling.
+    pub fn eval_plan_profiled(
+        &self,
+        plan: &Plan,
+    ) -> Result<(EvalOutcome, ExecProfile), EngineError> {
+        self.eval_plan_inner(plan, true)
             .map(|(outcome, profile)| (outcome, profile.unwrap_or_default()))
     }
 
-    fn eval_jucq_inner(
+    fn eval_plan_inner(
         &self,
-        q: &StoreJucq,
+        plan: &Plan,
         profiling: bool,
     ) -> Result<(EvalOutcome, Option<ExecProfile>), EngineError> {
         jucq_obs::span!("execution");
-        let terms = q.union_terms();
-        if terms > self.profile.max_union_terms {
-            return Err(EngineError::UnionTooLarge { terms, limit: self.profile.max_union_terms });
-        }
         let mut ctx = if profiling {
             ExecContext::with_profiling(&self.profile)
         } else {
             ExecContext::new(&self.profile)
         };
-        // Optimizer estimates paired with node labels after the run.
-        let mut estimates: Vec<(String, f64)> = Vec::new();
-
-        if profiling {
-            for (i, f) in q.fragments.iter().enumerate() {
-                estimates
-                    .push((format!("fragment[{i}].union"), self.stats.est_ucq(&self.table, f)));
-            }
-        }
-        // Evaluate each fragment UCQ, fanning the flattened
-        // (fragment, member) task list across the profile's worker pool
-        // when it has more than one thread; `eval_fragments` falls back
-        // to the strictly sequential path for one worker or one task.
-        let frags: Vec<Relation> = parallel::eval_fragments(
-            &self.table,
-            &q.fragments,
-            &mut ctx,
-            self.profile.effective_parallelism(),
-        )?;
-        if frags.is_empty() {
-            let relation = Relation::empty(q.head.clone());
-            let outcome = EvalOutcome { relation, counters: ctx.counters, elapsed: ctx.elapsed() };
-            let profile = profiling.then(ExecProfile::default);
-            return Ok((outcome, profile));
-        }
-
-        // All but the largest-result fragment are materialized (§4.1:
-        // "the largest-result sub-query ... is the one pipelined").
-        if frags.len() > 1 {
-            let largest = frags
-                .iter()
-                .enumerate()
-                .max_by_key(|(_, r)| r.len())
-                .map(|(i, _)| i)
-                .expect("non-empty fragments");
-            for (i, f) in frags.iter().enumerate() {
-                if i != largest {
-                    ctx.counters.tuples_materialized += f.len() as u64;
-                    ctx.check_memory(f.len())?;
-                }
-            }
-        }
-
-        // Join order: start anywhere, always join a fragment connected
-        // (sharing a variable) to the accumulated schema, smallest first.
-        let mut remaining: Vec<usize> = (0..frags.len()).collect();
-        remaining.sort_by_key(|&i| frags[i].len());
-        let first = remaining.remove(0);
-        let mut acc = frags[first].clone();
-        let mut joined: Vec<usize> = vec![first];
-        let mut step = 0usize;
-        while !remaining.is_empty() {
-            let pos = remaining
-                .iter()
-                .position(|&i| frags[i].vars().iter().any(|v| acc.column_of(*v).is_some()))
-                .unwrap_or(0);
-            let next = remaining.remove(pos);
-            ctx.set_scope(format!("join[{step}]."));
-            if profiling {
-                joined.push(next);
-                // Estimate the JUCQ over exactly the fragments joined so
-                // far — the same node the join output materializes.
-                let sub = StoreJucq::new(
-                    joined.iter().map(|&i| q.fragments[i].clone()).collect(),
-                    q.head.clone(),
-                );
-                estimates.push((
-                    format!("join[{step}].{}", join::op_name(self.profile.fragment_join)),
-                    self.stats.est_jucq(&self.table, &sub),
-                ));
-            }
-            acc = join::fragment_join(&acc, &frags[next], &mut ctx)?;
-            step += 1;
-        }
-        ctx.set_scope(String::new());
-
-        let op = ctx.op_start();
-        let mut relation = acc.project(&q.head);
-        ctx.counters.tuples_deduped += relation.len() as u64;
-        relation.dedup_in_place();
-        ctx.op_finish(op, "dedup", relation.len() as u64);
-        if profiling {
-            estimates.push(("dedup".to_string(), self.stats.est_jucq(&self.table, q)));
-        }
-
+        let relation =
+            plan::exec::execute(&self.table, plan, &mut ctx, self.profile.effective_parallelism())?;
         let profile = profiling.then(|| {
             let nodes = ctx
                 .take_nodes()
                 .into_iter()
                 .map(|n: NodeProfile| {
-                    let est_rows =
-                        estimates.iter().find(|(label, _)| *label == n.label).map(|&(_, est)| est);
+                    let est_rows = plan
+                        .estimates
+                        .iter()
+                        .find(|(label, _)| *label == n.label)
+                        .map(|&(_, est)| est);
                     PlanNodeReport {
                         label: n.label,
                         invocations: n.invocations,
@@ -429,6 +373,61 @@ mod tests {
         assert_eq!(s2.stats().total(), s.stats().total());
         // Original store is untouched (copy-on-write semantics).
         assert_eq!(s.eval_cq(&cq).unwrap().relation.len(), 2);
+    }
+
+    #[test]
+    fn shared_scans_reduce_scan_counters_without_changing_answers() {
+        // Two members probing different chains off the same cheap leaf
+        // scan: with sharing the leaf extent is scanned once.
+        let triples: Vec<TripleId> =
+            (0..20).map(|i| t(i, 10, i + 1)).chain((0..20).map(|i| t(i, 11, 50))).collect();
+        let member_a = StoreCq::with_var_head(
+            vec![StorePattern::new(v(0), c(11), c(50)), StorePattern::new(v(0), c(10), v(1))],
+            vec![0, 1],
+        );
+        let member_b = StoreCq::with_var_head(
+            vec![StorePattern::new(v(0), c(11), c(50)), StorePattern::new(v(1), c(10), v(0))],
+            vec![0, 1],
+        );
+        let ucq = StoreUcq::new(vec![member_a, member_b], vec![0, 1]);
+        let on = Store::from_triples(&triples, EngineProfile::pg_like());
+        let off = Store::from_triples(&triples, EngineProfile::pg_like().with_scan_sharing(false));
+        let shared = on.eval_ucq(&ucq).unwrap();
+        let unshared = off.eval_ucq(&ucq).unwrap();
+        let mut a = shared.relation;
+        let mut b = unshared.relation;
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "sharing never changes answers");
+        assert!(
+            shared.counters.tuples_scanned < unshared.counters.tuples_scanned,
+            "shared {} vs unshared {}",
+            shared.counters.tuples_scanned,
+            unshared.counters.tuples_scanned
+        );
+    }
+
+    #[test]
+    fn plan_jucq_exposes_the_physical_plan() {
+        let s = store();
+        let fa = StoreUcq::new(
+            vec![StoreCq::with_var_head(vec![StorePattern::new(v(0), c(10), c(50))], vec![0])],
+            vec![0],
+        );
+        let fb = StoreUcq::new(
+            vec![StoreCq::with_var_head(vec![StorePattern::new(v(0), c(11), v(1))], vec![0, 1])],
+            vec![0, 1],
+        );
+        let q = StoreJucq::new(vec![fa, fb], vec![0, 1]);
+        let plan = s.plan_jucq(&q).unwrap();
+        assert!(!plan.is_const_empty());
+        assert_eq!(plan.unions().len(), 2);
+        assert!(plan.pipelined.is_some());
+        // The cached plan replays to the same answers as planning fresh.
+        let via_plan = s.eval_plan(&plan).unwrap();
+        let direct = s.eval_jucq(&q).unwrap();
+        assert_eq!(via_plan.relation, direct.relation);
+        assert_eq!(via_plan.counters, direct.counters);
     }
 
     #[test]

@@ -1,75 +1,115 @@
-//! Conjunctive-query evaluation over the triple table.
+//! Union-member (CQ) operators: interpreting the access-path subtree of
+//! a physical plan member.
 //!
-//! A CQ body is a join of triple patterns. Two physical strategies are
-//! provided, selected by the engine profile:
+//! A member is a [`PlanNode::Project`] (or [`PlanNode::TrueRow`]) over an
+//! access chain the planner lowered from the CQ body. Two shapes exist,
+//! chosen by the profile at planning time:
 //!
-//! * **index-nested-loop** (`index_nested_loop_cq = true`): atoms are
-//!   ordered greedily (cheapest exact-cardinality atom first, then
-//!   always a join-connected atom); each atom extends the current
-//!   binding set by probing the best permutation index with the bound
-//!   values. This is how an RDBMS with all six `(s,p,o)` indexes
+//! * **index-nested-loop** (`index_nested_loop_cq = true`): a single
+//!   leaf scan extended by [`PlanNode::Inlj`] probes — each probe
+//!   extends the current binding set against the best permutation
+//!   index. This is how an RDBMS with all six `(s,p,o)` indexes
 //!   evaluates these queries.
-//! * **hash** (`false`): each pattern's extent is scanned once and the
-//!   extents are hash-joined left-deep in the same greedy order.
+//! * **hash** (`false`): every atom's extent is scanned (leaf nodes)
+//!   and hash-joined left-deep via member-internal
+//!   [`PlanNode::HashJoin`] nodes.
+//!
+//! Leaf scans are either private [`PlanNode::IndexScan`]s or references
+//! into the plan's shared-scan table ([`PlanNode::SharedScan`]), already
+//! materialized by the driver; shared extents are borrowed, never
+//! copied, and charge no scan counters here.
+
+use std::borrow::Cow;
 
 use jucq_model::{TermId, TripleId};
 
 use crate::error::EngineError;
 use crate::exec::{join, ExecContext};
-use crate::ir::{PatternTerm, StoreCq, StorePattern, VarId};
+use crate::ir::{PatternTerm, StorePattern, VarId};
+use crate::plan::PlanNode;
 use crate::relation::Relation;
 use crate::table::TripleTable;
 
-/// Evaluate `cq` against `table`, projecting onto its head. The result
-/// schema is `out_vars` (the enclosing UCQ's head), positionally aligned
-/// with `cq.head`; constant head positions emit the constant.
-/// Bag semantics: duplicates arising from the projection are *not*
-/// removed here (the union layer deduplicates).
-pub fn eval_cq(
+/// Evaluate one lowered union member against `table`, with `shared`
+/// holding the plan's materialized shared scans. Bag semantics:
+/// duplicates arising from the head projection are *not* removed here
+/// (the union layer deduplicates).
+pub(crate) fn eval_member(
     table: &TripleTable,
-    cq: &StoreCq,
-    out_vars: &[VarId],
+    member: &PlanNode,
+    shared: &[Relation],
     ctx: &mut ExecContext<'_>,
 ) -> Result<Relation, EngineError> {
     let op = ctx.op_start();
-    let out = eval_cq_inner(table, cq, out_vars, ctx)?;
+    let out = eval_member_inner(table, member, shared, ctx)?;
     ctx.op_finish(op, "cq", out.len() as u64);
     Ok(out)
 }
 
-fn eval_cq_inner(
+fn eval_member_inner(
     table: &TripleTable,
-    cq: &StoreCq,
-    out_vars: &[VarId],
+    member: &PlanNode,
+    shared: &[Relation],
     ctx: &mut ExecContext<'_>,
 ) -> Result<Relation, EngineError> {
     ctx.check_deadline()?;
-    debug_assert_eq!(cq.head.len(), out_vars.len(), "head must align with output schema");
-    if cq.patterns.is_empty() {
-        // An empty body denotes the always-true query with no bindings.
-        let mut r = Relation::empty(out_vars.to_vec());
-        if out_vars.is_empty() {
-            r.push_row(&[]);
+    match member {
+        PlanNode::TrueRow { out_vars } => {
+            // An empty body denotes the always-true query with no
+            // bindings.
+            let mut r = Relation::empty(out_vars.clone());
+            if out_vars.is_empty() {
+                r.push_row(&[]);
+            }
+            Ok(r)
         }
-        return Ok(r);
+        PlanNode::Project { input, head, out_vars } => {
+            let body = eval_access(table, input, shared, ctx)?;
+            if body.is_empty() {
+                // Pipelines short-circuit on an empty intermediate, so
+                // `body` may lack columns for later atoms' variables;
+                // the projection of nothing is nothing.
+                return Ok(Relation::empty(out_vars.clone()));
+            }
+            Ok(project_head(&body, head, out_vars))
+        }
+        other => Ok(eval_access(table, other, shared, ctx)?.into_owned()),
     }
-    let order = atom_order(table, &cq.patterns);
-    let result = if ctx.profile().index_nested_loop_cq {
-        eval_inlj(table, &cq.patterns, &order, ctx)?
-    } else {
-        eval_hash(table, &cq.patterns, &order, ctx)?
-    };
-    if result.is_empty() {
-        // Pipelines short-circuit on an empty intermediate, so `result`
-        // may lack columns for later atoms' variables; the projection
-        // of nothing is nothing.
-        return Ok(Relation::empty(out_vars.to_vec()));
+}
+
+/// Evaluate an access-path node to a relation over its distinct
+/// variables. Shared scans are borrowed from the plan-wide table.
+fn eval_access<'s>(
+    table: &TripleTable,
+    node: &PlanNode,
+    shared: &'s [Relation],
+    ctx: &mut ExecContext<'_>,
+) -> Result<Cow<'s, Relation>, EngineError> {
+    match node {
+        PlanNode::IndexScan { pattern, .. } => Ok(Cow::Owned(scan_pattern(table, pattern, ctx)?)),
+        // `scan_pattern` applies the repeated-variable filter inline;
+        // the Filter node documents it in the plan tree.
+        PlanNode::Filter { input, .. } => eval_access(table, input, shared, ctx),
+        PlanNode::SharedScan { id, .. } => Ok(Cow::Borrowed(&shared[*id])),
+        PlanNode::Inlj { input, pattern } => {
+            let acc = eval_access(table, input, shared, ctx)?;
+            Ok(Cow::Owned(probe_extend(table, &acc, pattern, ctx)?))
+        }
+        PlanNode::HashJoin { left, right, step: None, .. } => {
+            let l = eval_access(table, left, shared, ctx)?;
+            if l.is_empty() {
+                // Short-circuit: the right subtree is never scanned.
+                return Ok(l);
+            }
+            let r = eval_access(table, right, shared, ctx)?;
+            Ok(Cow::Owned(join::hash_join(&l, &r, ctx)?))
+        }
+        other => unreachable!("not an access-path node: {other:?}"),
     }
-    Ok(project_head(&result, &cq.head, out_vars))
 }
 
 /// Project a body result onto a head of variables and constants.
-fn project_head(body: &Relation, head: &[PatternTerm], out_vars: &[VarId]) -> Relation {
+pub(crate) fn project_head(body: &Relation, head: &[PatternTerm], out_vars: &[VarId]) -> Relation {
     enum Source {
         Column(usize),
         Constant(TermId),
@@ -98,41 +138,6 @@ fn project_head(body: &Relation, head: &[PatternTerm], out_vars: &[VarId]) -> Re
     out
 }
 
-/// Greedy atom ordering: start from the atom with the smallest exact
-/// extent; repeatedly append the connected atom (sharing a variable with
-/// the bound set) of smallest extent; fall back to the globally smallest
-/// remaining atom when the body is disconnected (cartesian product).
-fn atom_order(table: &TripleTable, patterns: &[StorePattern]) -> Vec<usize> {
-    let counts: Vec<usize> = patterns.iter().map(|p| table.count(&p.bound())).collect();
-    let mut remaining: Vec<usize> = (0..patterns.len()).collect();
-    let mut order = Vec::with_capacity(patterns.len());
-    let mut bound_vars: Vec<VarId> = Vec::new();
-
-    let first = remaining.iter().copied().min_by_key(|&i| counts[i]).expect("non-empty body");
-    order.push(first);
-    bound_vars.extend(patterns[first].variables());
-    remaining.retain(|&i| i != first);
-
-    while !remaining.is_empty() {
-        let connected = remaining
-            .iter()
-            .copied()
-            .filter(|&i| patterns[i].variables().iter().any(|v| bound_vars.contains(v)))
-            .min_by_key(|&i| counts[i]);
-        let next = connected.unwrap_or_else(|| {
-            remaining.iter().copied().min_by_key(|&i| counts[i]).expect("remaining non-empty")
-        });
-        order.push(next);
-        for v in patterns[next].variables() {
-            if !bound_vars.contains(&v) {
-                bound_vars.push(v);
-            }
-        }
-        remaining.retain(|&i| i != next);
-    }
-    order
-}
-
 /// A triple matches a pattern's variable structure iff repeated
 /// variables bind equal values.
 #[inline]
@@ -152,13 +157,13 @@ fn repeated_vars_consistent(p: &StorePattern, t: &TripleId) -> bool {
 }
 
 /// Scan one pattern into a relation over its distinct variables.
-fn scan_pattern(
+pub(crate) fn scan_pattern(
     table: &TripleTable,
     p: &StorePattern,
     ctx: &mut ExecContext<'_>,
 ) -> Result<Relation, EngineError> {
     let vars = p.variables();
-    let mut out = Relation::empty(vars.clone());
+    let mut out = Relation::empty(vars.to_vec());
     let mut row: Vec<TermId> = Vec::with_capacity(vars.len());
     for t in table.scan(&p.bound()) {
         ctx.tick()?;
@@ -168,7 +173,7 @@ fn scan_pattern(
         }
         row.clear();
         let val = [t.s, t.p, t.o];
-        for &v in &vars {
+        for v in vars {
             let i = p
                 .positions()
                 .iter()
@@ -182,97 +187,74 @@ fn scan_pattern(
     Ok(out)
 }
 
-/// Index-nested-loop pipeline: extend the binding relation atom by atom
-/// through index probes.
-fn eval_inlj(
+/// One index-nested-loop step: extend the binding relation `acc` by
+/// probing the best permutation index for `p` with the bound values of
+/// each row.
+fn probe_extend(
     table: &TripleTable,
-    patterns: &[StorePattern],
-    order: &[usize],
+    acc: &Relation,
+    p: &StorePattern,
     ctx: &mut ExecContext<'_>,
 ) -> Result<Relation, EngineError> {
-    let mut acc = scan_pattern(table, &patterns[order[0]], ctx)?;
-    for &pi in &order[1..] {
-        let p = &patterns[pi];
-        let p_vars = p.variables();
-        // Columns of `acc` that bind variables of `p`.
-        let shared: Vec<(usize, VarId)> = acc
-            .vars()
-            .iter()
-            .enumerate()
-            .filter(|(_, v)| p_vars.contains(v))
-            .map(|(i, &v)| (i, v))
-            .collect();
-        let new_vars: Vec<VarId> =
-            p_vars.iter().copied().filter(|v| acc.column_of(*v).is_none()).collect();
-        let mut out_vars = acc.vars().to_vec();
-        out_vars.extend(new_vars.iter().copied());
-        let mut out = Relation::empty(out_vars);
-        let positions = p.positions();
-        let mut row_buf: Vec<TermId> = Vec::with_capacity(out.width());
+    let p_vars = p.variables();
+    // Columns of `acc` that bind variables of `p`.
+    let shared: Vec<(usize, VarId)> = acc
+        .vars()
+        .iter()
+        .enumerate()
+        .filter(|&(_, v)| p_vars.contains(v))
+        .map(|(i, &v)| (i, v))
+        .collect();
+    let new_vars: Vec<VarId> =
+        p_vars.iter().copied().filter(|v| acc.column_of(*v).is_none()).collect();
+    let mut out_vars = acc.vars().to_vec();
+    out_vars.extend(new_vars.iter().copied());
+    let mut out = Relation::empty(out_vars);
+    let positions = p.positions();
+    let mut row_buf: Vec<TermId> = Vec::with_capacity(out.width());
 
-        for row in acc.rows() {
+    for row in acc.rows() {
+        ctx.tick()?;
+        // Build the probe key: pattern constants plus variables bound
+        // by the current row.
+        let mut bound: [Option<TermId>; 3] = [None, None, None];
+        for (i, pt) in positions.iter().enumerate() {
+            bound[i] = match pt {
+                PatternTerm::Const(c) => Some(*c),
+                PatternTerm::Var(v) => {
+                    shared.iter().find(|(_, sv)| sv == v).map(|(col, _)| row[*col])
+                }
+            };
+        }
+        for t in table.scan(&bound) {
             ctx.tick()?;
-            // Build the probe key: pattern constants plus variables bound
-            // by the current row.
-            let mut bound: [Option<TermId>; 3] = [None, None, None];
-            for (i, pt) in positions.iter().enumerate() {
-                bound[i] = match pt {
-                    PatternTerm::Const(c) => Some(*c),
-                    PatternTerm::Var(v) => {
-                        shared.iter().find(|(_, sv)| sv == v).map(|(col, _)| row[*col])
-                    }
-                };
+            ctx.counters.tuples_scanned += 1;
+            if !repeated_vars_consistent(p, t) {
+                continue;
             }
-            for t in table.scan(&bound) {
-                ctx.tick()?;
-                ctx.counters.tuples_scanned += 1;
-                if !repeated_vars_consistent(p, t) {
-                    continue;
-                }
-                let val = [t.s, t.p, t.o];
-                row_buf.clear();
-                row_buf.extend_from_slice(row);
-                for &v in &new_vars {
-                    let i = positions
-                        .iter()
-                        .position(|pt| pt.as_var() == Some(v))
-                        .expect("new var occurs in pattern");
-                    row_buf.push(val[i]);
-                }
-                ctx.counters.tuples_joined += 1;
-                out.push_row(&row_buf);
+            let val = [t.s, t.p, t.o];
+            row_buf.clear();
+            row_buf.extend_from_slice(row);
+            for &v in &new_vars {
+                let i = positions
+                    .iter()
+                    .position(|pt| pt.as_var() == Some(v))
+                    .expect("new var occurs in pattern");
+                row_buf.push(val[i]);
             }
-        }
-        ctx.check_memory(out.len())?;
-        acc = out;
-        if acc.is_empty() {
-            break;
+            ctx.counters.tuples_joined += 1;
+            out.push_row(&row_buf);
         }
     }
-    Ok(acc)
-}
-
-/// Hash strategy: scan all extents, hash-join left-deep.
-fn eval_hash(
-    table: &TripleTable,
-    patterns: &[StorePattern],
-    order: &[usize],
-    ctx: &mut ExecContext<'_>,
-) -> Result<Relation, EngineError> {
-    let mut acc = scan_pattern(table, &patterns[order[0]], ctx)?;
-    for &pi in &order[1..] {
-        let right = scan_pattern(table, &patterns[pi], ctx)?;
-        acc = join::hash_join(&acc, &right, ctx)?;
-        if acc.is_empty() {
-            break;
-        }
-    }
-    Ok(acc)
+    ctx.check_memory(out.len())?;
+    Ok(out)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::Store;
+    use crate::ir::StoreCq;
     use crate::profile::EngineProfile;
     use jucq_model::term::TermKind;
 
@@ -293,23 +275,22 @@ mod tests {
     }
 
     /// advisor edges: 1-\[10\]->2, 2-\[10\]->3, 3-\[10\]->1, plus names 1-\[11\]->100.
-    fn sample() -> TripleTable {
-        TripleTable::build(&[
+    fn sample_triples() -> Vec<TripleId> {
+        vec![
             t(1, 10, 2),
             t(2, 10, 3),
             t(3, 10, 1),
             t(1, 11, 100),
             t(2, 11, 101),
             t(4, 10, 4), // self-loop
-        ])
+        ]
     }
 
     fn run(cq: &StoreCq, inlj: bool) -> Relation {
-        let table = sample();
         let mut profile = EngineProfile::pg_like();
         profile.index_nested_loop_cq = inlj;
-        let mut ctx = ExecContext::new(&profile);
-        let mut r = eval_cq(&table, cq, &cq.head_vars(), &mut ctx).expect("evaluation succeeds");
+        let s = Store::from_triples(&sample_triples(), profile);
+        let mut r = s.eval_cq(cq).expect("evaluation succeeds").relation;
         r.sort();
         r
     }
@@ -388,9 +369,9 @@ mod tests {
     }
 
     #[test]
-    fn projection_to_subset_keeps_bag_semantics() {
-        // ?x -10-> ?y projected to () per head [] is boolean-ish; use
-        // head [1]: objects of 10 with duplicates kept (none here).
+    fn projection_to_distinct_subset() {
+        // Objects of predicate 10 are all distinct here, so the head
+        // projection keeps all four rows even under set semantics.
         let cq = StoreCq::with_var_head(vec![StorePattern::new(v(0), c(10), v(1))], vec![1]);
         let r = run(&cq, true);
         assert_eq!(r.len(), 4);
@@ -404,17 +385,6 @@ mod tests {
             let r = run(&cq, inlj);
             assert_eq!(r.to_rows(), vec![vec![id(1), id(11)]], "inlj={inlj}");
         }
-    }
-
-    #[test]
-    fn order_starts_from_cheapest_atom() {
-        let table = sample();
-        let patterns = vec![
-            StorePattern::new(v(0), c(10), v(1)),   // 4 matches
-            StorePattern::new(v(0), c(11), c(100)), // 1 match
-        ];
-        let order = atom_order(&table, &patterns);
-        assert_eq!(order[0], 1);
     }
 
     #[test]
@@ -437,15 +407,12 @@ mod tests {
 
     #[test]
     fn all_constant_pattern_is_boolean_row() {
+        let s = Store::from_triples(&sample_triples(), EngineProfile::pg_like());
         let cq = StoreCq::with_var_head(vec![StorePattern::new(c(1), c(10), c(2))], vec![]);
-        let table = sample();
-        let profile = EngineProfile::pg_like();
-        let mut ctx = ExecContext::new(&profile);
-        let r = eval_cq(&table, &cq, &[], &mut ctx).unwrap();
+        let r = s.eval_cq(&cq).unwrap().relation;
         assert_eq!(r.len(), 1, "the triple exists");
         let missing = StoreCq::with_var_head(vec![StorePattern::new(c(1), c(10), c(99))], vec![]);
-        let mut ctx = ExecContext::new(&profile);
-        let r = eval_cq(&table, &missing, &[], &mut ctx).unwrap();
+        let r = s.eval_cq(&missing).unwrap().relation;
         assert_eq!(r.len(), 0, "the triple does not exist");
     }
 
@@ -467,11 +434,9 @@ mod tests {
 
     #[test]
     fn empty_body_boolean_true() {
-        let table = sample();
-        let profile = EngineProfile::pg_like();
-        let mut ctx = ExecContext::new(&profile);
+        let s = Store::from_triples(&sample_triples(), EngineProfile::pg_like());
         let cq = StoreCq::with_var_head(vec![], vec![]);
-        let r = eval_cq(&table, &cq, &cq.head_vars(), &mut ctx).unwrap();
+        let r = s.eval_cq(&cq).unwrap().relation;
         assert_eq!(r.len(), 1);
     }
 }

@@ -14,13 +14,14 @@ use crate::ir::VarId;
 use crate::profile::JoinAlgo;
 use crate::relation::Relation;
 
-/// Join `left` and `right` with the profile's fragment-join algorithm.
+/// Join `left` and `right` with `algo` (the plan node's fragment-join
+/// algorithm, chosen from the profile at planning time).
 pub fn fragment_join(
+    algo: JoinAlgo,
     left: &Relation,
     right: &Relation,
     ctx: &mut ExecContext<'_>,
 ) -> Result<Relation, EngineError> {
-    let algo = ctx.profile().fragment_join;
     let op = ctx.op_start();
     let out = match algo {
         JoinAlgo::Hash => hash_join(left, right, ctx),

@@ -1,12 +1,13 @@
-//! Parallel fragment/member evaluation over the immutable triple table.
+//! Parallel union/member evaluation over the immutable triple table.
 //!
 //! Reformulated queries fan out into unions of hundreds–thousands of
-//! member CQs per fragment; each member is an independent read-only
-//! query over the [`TripleTable`], so the whole (fragment, member)
+//! member CQs per fragment; each lowered member is an independent
+//! read-only plan subtree over the [`TripleTable`] (plus the plan's
+//! already-materialized shared scans), so the whole (union, member)
 //! matrix is flattened into one task list and pulled by a pool of
 //! `std::thread::scope` workers. Determinism is preserved by keeping
 //! the *merge* sequential: worker results are stored per task slot and
-//! folded into each fragment's streaming dedup accumulator in member
+//! folded into each union's streaming dedup accumulator in member
 //! order, so rows, counters and node profiles are identical to a
 //! sequential run regardless of scheduling.
 //!
@@ -20,30 +21,52 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use crate::error::EngineError;
 use crate::exec::union::DedupAccumulator;
 use crate::exec::{cq, union, ExecContext};
-use crate::ir::StoreUcq;
+use crate::ir::VarId;
+use crate::plan::PlanNode;
 use crate::relation::Relation;
 use crate::table::TripleTable;
 
-/// Evaluate every fragment UCQ of a JUCQ, using up to `threads` worker
-/// threads across the flattened (fragment, member) task list. With one
-/// worker (or at most one task) this is exactly the sequential path.
-pub fn eval_fragments(
+/// One fragment union of a physical plan, ready to evaluate: the
+/// fragment's index (for node labels), output schema and lowered
+/// members.
+pub(crate) struct UnionTask<'p> {
+    /// Fragment index, used in `fragment[{idx}].` node scopes.
+    pub idx: usize,
+    /// The union's output schema (the fragment head).
+    pub head: &'p [VarId],
+    /// Lowered member plans.
+    pub members: &'p [PlanNode],
+}
+
+/// Evaluate every fragment union of a plan, using up to `threads`
+/// worker threads across the flattened (union, member) task list. With
+/// one worker (or at most one task) this is exactly the sequential
+/// path. `shared` is the plan's materialized shared-scan table.
+pub(crate) fn eval_unions(
     table: &TripleTable,
-    fragments: &[StoreUcq],
+    unions: &[UnionTask<'_>],
+    shared: &[Relation],
     ctx: &mut ExecContext<'_>,
     threads: usize,
 ) -> Result<Vec<Relation>, EngineError> {
-    let tasks: Vec<(usize, usize)> = fragments
+    let tasks: Vec<(usize, usize)> = unions
         .iter()
         .enumerate()
-        .flat_map(|(fi, f)| (0..f.cqs.len()).map(move |mi| (fi, mi)))
+        .flat_map(|(ui, u)| (0..u.members.len()).map(move |mi| (ui, mi)))
         .collect();
     let workers = threads.min(tasks.len()).max(1);
     if workers <= 1 {
-        let mut out = Vec::with_capacity(fragments.len());
-        for (i, f) in fragments.iter().enumerate() {
-            ctx.set_scope(format!("fragment[{i}]."));
-            out.push(union::eval_ucq(table, f, ctx)?);
+        let mut out = Vec::with_capacity(unions.len());
+        for u in unions {
+            ctx.set_scope(format!("fragment[{}].", u.idx));
+            let op = ctx.op_start();
+            let mut acc = DedupAccumulator::new(u.head.to_vec());
+            for m in u.members {
+                ctx.check_deadline()?;
+                let r = cq::eval_member(table, m, shared, ctx)?;
+                union::merge_member(&mut acc, &r, ctx)?;
+            }
+            out.push(union::finish_union(acc, op, ctx)?);
         }
         ctx.set_scope(String::new());
         return Ok(out);
@@ -65,13 +88,15 @@ pub fn eval_fragments(
                         if t >= tasks.len() || spawner.shared().cancelled() {
                             break;
                         }
-                        let (fi, mi) = tasks[t];
-                        let frag = &fragments[fi];
+                        let (ui, mi) = tasks[t];
+                        let u = &unions[ui];
                         let mut wctx = spawner.context();
-                        wctx.set_scope(format!("fragment[{fi}]."));
+                        wctx.set_scope(format!("fragment[{}].", u.idx));
                         let r = wctx
                             .check_live()
-                            .and_then(|()| cq::eval_cq(table, &frag.cqs[mi], &frag.head, &mut wctx))
+                            .and_then(|()| {
+                                cq::eval_member(table, &u.members[mi], shared, &mut wctx)
+                            })
                             .and_then(|rel| {
                                 // Charge the held member result against
                                 // the *global* budget until it is merged.
@@ -108,16 +133,16 @@ pub fn eval_fragments(
     }
 
     // Deterministic order-stable merge: fold member results into each
-    // fragment's dedup accumulator in member order, absorbing worker
+    // union's dedup accumulator in member order, absorbing worker
     // counters/profiles in the same order the sequential path would
     // produce them.
-    let mut out = Vec::with_capacity(fragments.len());
+    let mut out = Vec::with_capacity(unions.len());
     let mut iter = slots.into_iter();
-    for (fi, f) in fragments.iter().enumerate() {
-        ctx.set_scope(format!("fragment[{fi}]."));
+    for u in unions {
+        ctx.set_scope(format!("fragment[{}].", u.idx));
         let op = ctx.op_start();
-        let mut acc = DedupAccumulator::new(f.head.clone());
-        for _ in 0..f.cqs.len() {
+        let mut acc = DedupAccumulator::new(u.head.to_vec());
+        for _ in 0..u.members.len() {
             let (r, wctx) = iter.next().expect("one slot per member").expect("task claimed");
             let rel = r.expect("errors surfaced above");
             ctx.absorb(wctx);
@@ -134,8 +159,10 @@ pub fn eval_fragments(
 mod tests {
     use super::*;
     use crate::exec::Counters;
-    use crate::ir::{PatternTerm, StoreCq, StorePattern, VarId};
+    use crate::ir::{PatternTerm, StoreCq, StoreJucq, StorePattern, StoreUcq};
+    use crate::plan::Planner;
     use crate::profile::EngineProfile;
+    use crate::stats::Statistics;
     use jucq_model::term::TermKind;
     use jucq_model::{TermId, TripleId};
     use std::time::Duration;
@@ -178,22 +205,25 @@ mod tests {
     }
 
     fn eval(
-        fragments: &[StoreUcq],
+        q: &StoreJucq,
         profile: &EngineProfile,
         threads: usize,
-    ) -> Result<(Vec<Relation>, Counters), EngineError> {
+    ) -> Result<(Relation, Counters), EngineError> {
+        let table = table();
+        let stats = Statistics::build(&table);
+        let plan = Planner::new(&table, &stats, profile).plan(q);
         let mut ctx = ExecContext::new(profile);
-        let rels = eval_fragments(&table(), fragments, &mut ctx, threads)?;
-        Ok((rels, ctx.counters))
+        let rel = crate::plan::exec::execute(&table, &plan, &mut ctx, threads)?;
+        Ok((rel, ctx.counters))
     }
 
     #[test]
     fn parallel_union_matches_sequential_exactly() {
-        let fragments = vec![wide_ucq()];
+        let q = StoreJucq::from_ucq(wide_ucq());
         let profile = EngineProfile::pg_like();
-        let (seq, seq_counters) = eval(&fragments, &profile, 1).unwrap();
+        let (seq, seq_counters) = eval(&q, &profile, 1).unwrap();
         for threads in [2, 4, 8] {
-            let (par, par_counters) = eval(&fragments, &profile, threads).unwrap();
+            let (par, par_counters) = eval(&q, &profile, threads).unwrap();
             // Bit-identical, not just set-equal: the order-stable merge
             // reproduces the sequential accumulator row order.
             assert_eq!(seq, par, "rows differ at {threads} threads");
@@ -208,10 +238,10 @@ mod tests {
             vec![StoreCq::with_var_head(vec![StorePattern::new(v(0), c(101), v(2))], vec![0, 2])],
             vec![0, 2],
         );
-        let fragments = vec![fa, fb];
+        let q = StoreJucq::new(vec![fa, fb], vec![0, 1, 2]);
         let profile = EngineProfile::mysql_like();
-        let (seq, seq_counters) = eval(&fragments, &profile, 1).unwrap();
-        let (par, par_counters) = eval(&fragments, &profile, 8).unwrap();
+        let (seq, seq_counters) = eval(&q, &profile, 1).unwrap();
+        let (par, par_counters) = eval(&q, &profile, 8).unwrap();
         assert_eq!(seq, par);
         assert_eq!(seq_counters, par_counters);
     }
@@ -222,9 +252,9 @@ mod tests {
         // of held member results but not the fleet, so some worker's
         // reservation must push the cross-thread sum over the top and
         // the whole query aborts with the *originating* error.
-        let fragments = vec![wide_ucq()];
+        let q = StoreJucq::from_ucq(wide_ucq());
         let profile = EngineProfile::pg_like().with_memory_budget(120);
-        let err = eval(&fragments, &profile, 4).unwrap_err();
+        let err = eval(&q, &profile, 4).unwrap_err();
         assert!(
             matches!(err, EngineError::MemoryBudgetExceeded { .. }),
             "expected a budget breach, got {err:?}"
@@ -233,21 +263,27 @@ mod tests {
 
     #[test]
     fn expired_deadline_aborts_all_workers() {
-        let fragments = vec![wide_ucq()];
+        let q = StoreJucq::from_ucq(wide_ucq());
         let profile = EngineProfile::pg_like().with_timeout(Duration::from_millis(0));
+        let table = table();
+        let stats = Statistics::build(&table);
+        let plan = Planner::new(&table, &stats, &profile).plan(&q);
         let mut ctx = ExecContext::new(&profile);
         ctx.backdate(Duration::from_millis(2));
-        let err = eval_fragments(&table(), &fragments, &mut ctx, 4).unwrap_err();
+        let err = crate::plan::exec::execute(&table, &plan, &mut ctx, 4).unwrap_err();
         assert!(matches!(err, EngineError::Timeout { .. }), "got {err:?}");
     }
 
     #[test]
     fn profiled_parallel_run_reports_sequential_node_shape() {
-        let fragments = vec![wide_ucq()];
+        let q = StoreJucq::from_ucq(wide_ucq());
         let profile = EngineProfile::pg_like();
+        let table = table();
+        let stats = Statistics::build(&table);
+        let plan = Planner::new(&table, &stats, &profile).plan(&q);
         let run = |threads: usize| {
             let mut ctx = ExecContext::with_profiling(&profile);
-            eval_fragments(&table(), &fragments, &mut ctx, threads).unwrap();
+            crate::plan::exec::execute(&table, &plan, &mut ctx, threads).unwrap();
             ctx.take_nodes()
         };
         let seq = run(1);

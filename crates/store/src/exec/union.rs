@@ -1,18 +1,19 @@
-//! Union evaluation: a UCQ fragment's result under set semantics.
+//! Union evaluation support: a UCQ fragment's result under set
+//! semantics.
 //!
 //! Member results are deduplicated **streamingly** (hash-aggregation
 //! style, like the engines the paper targets): peak memory is the
 //! number of *distinct* rows, not the sum of member result sizes —
 //! which for reformulated unions differ by orders of magnitude, since
-//! members overlap heavily.
+//! members overlap heavily. The union driver itself lives in
+//! [`crate::exec::parallel`], which folds lowered member plans into the
+//! accumulator defined here, sequentially or across a worker pool.
 
 use jucq_model::TermId;
 
 use crate::error::EngineError;
-use crate::exec::{cq, ExecContext};
-use crate::ir::StoreUcq;
+use crate::exec::ExecContext;
 use crate::relation::Relation;
-use crate::table::TripleTable;
 
 /// Open-addressing set of row indices into an accumulating relation,
 /// with Fx hashing over the row's ids. Avoids one allocation per row
@@ -131,29 +132,12 @@ pub(crate) fn finish_union(
     Ok(out)
 }
 
-/// Evaluate a UCQ: evaluate every member CQ, merging rows into a
-/// streaming hash-deduplicated accumulator ("set semantics"). If the
-/// profile materializes all unions, an extra full copy of the result is
-/// made, mirroring derived-table behaviour.
-pub fn eval_ucq(
-    table: &TripleTable,
-    ucq: &StoreUcq,
-    ctx: &mut ExecContext<'_>,
-) -> Result<Relation, EngineError> {
-    let op = ctx.op_start();
-    let mut acc = DedupAccumulator::new(ucq.head.clone());
-    for member in &ucq.cqs {
-        ctx.check_deadline()?;
-        let r = cq::eval_cq(table, member, &ucq.head, ctx)?;
-        merge_member(&mut acc, &r, ctx)?;
-    }
-    finish_union(acc, op, ctx)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ir::{PatternTerm, StoreCq, StorePattern, VarId};
+    use crate::engine::Store;
+    use crate::error::EngineError;
+    use crate::ir::{PatternTerm, StoreCq, StorePattern, StoreUcq, VarId};
     use crate::profile::EngineProfile;
     use jucq_model::term::TermKind;
     use jucq_model::{TermId, TripleId};
@@ -174,14 +158,14 @@ mod tests {
         PatternTerm::Var(i)
     }
 
-    fn sample() -> TripleTable {
-        TripleTable::build(&[t(1, 10, 2), t(1, 11, 2), t(3, 10, 4), t(5, 12, 6)])
+    fn store(profile: EngineProfile) -> Store {
+        Store::from_triples(&[t(1, 10, 2), t(1, 11, 2), t(3, 10, 4), t(5, 12, 6)], profile)
     }
 
     #[test]
     fn union_merges_and_dedups() {
         // {?x 10 ?y} ∪ {?x 11 ?y}: (1,2) appears via both members.
-        let table = sample();
+        let s = store(EngineProfile::pg_like());
         let ucq = StoreUcq::new(
             vec![
                 StoreCq::with_var_head(vec![StorePattern::new(v(0), c(10), v(1))], vec![0, 1]),
@@ -189,67 +173,51 @@ mod tests {
             ],
             vec![0, 1],
         );
-        let profile = EngineProfile::pg_like();
-        let mut ctx = ExecContext::new(&profile);
-        let mut r = eval_ucq(&table, &ucq, &mut ctx).unwrap();
+        let mut r = s.eval_ucq(&ucq).unwrap().relation;
         r.sort();
         assert_eq!(r.to_rows(), vec![vec![id(1), id(2)], vec![id(3), id(4)]]);
     }
 
     #[test]
     fn empty_union_yields_empty_relation() {
-        let table = sample();
+        let s = store(EngineProfile::pg_like());
         let ucq = StoreUcq::new(vec![], vec![0]);
-        let profile = EngineProfile::pg_like();
-        let mut ctx = ExecContext::new(&profile);
-        let r = eval_ucq(&table, &ucq, &mut ctx).unwrap();
+        let r = s.eval_ucq(&ucq).unwrap().relation;
         assert!(r.is_empty());
         assert_eq!(r.vars(), &[0]);
     }
 
     #[test]
     fn materializing_profile_counts_extra_copy() {
-        let table = sample();
         let ucq = StoreUcq::new(
             vec![StoreCq::with_var_head(vec![StorePattern::new(v(0), c(10), v(1))], vec![0, 1])],
             vec![0, 1],
         );
-        let pg = EngineProfile::pg_like();
-        let my = EngineProfile::mysql_like();
-        let mut ctx_pg = ExecContext::new(&pg);
-        let mut ctx_my = ExecContext::new(&my);
-        eval_ucq(&table, &ucq, &mut ctx_pg).unwrap();
-        eval_ucq(&table, &ucq, &mut ctx_my).unwrap();
-        assert!(ctx_my.counters.tuples_materialized > ctx_pg.counters.tuples_materialized);
+        let pg = store(EngineProfile::pg_like()).eval_ucq(&ucq).unwrap();
+        let my = store(EngineProfile::mysql_like()).eval_ucq(&ucq).unwrap();
+        assert!(my.counters.tuples_materialized > pg.counters.tuples_materialized);
     }
 
     #[test]
     fn memory_budget_counts_distinct_rows_only() {
-        let table = sample();
         let member =
             StoreCq::with_var_head(vec![StorePattern::new(v(0), v(1), v(2))], vec![0, 1, 2]);
         let ucq = StoreUcq::new(vec![member.clone(), member.clone()], vec![0, 1, 2]);
-        // 4 + 4 rows accumulate to 4 distinct: budget 4 passes...
-        let profile = EngineProfile::pg_like().with_memory_budget(4);
-        let mut ctx = ExecContext::new(&profile);
-        assert_eq!(eval_ucq(&table, &ucq, &mut ctx).unwrap().len(), 4);
+        // The members accumulate to 4 distinct rows: budget 4 passes...
+        let s = store(EngineProfile::pg_like().with_memory_budget(4));
+        assert_eq!(s.eval_ucq(&ucq).unwrap().relation.len(), 4);
         // ...and budget 3 fails (streaming dedup, not sum-of-members).
-        let profile = EngineProfile::pg_like().with_memory_budget(3);
-        let mut ctx = ExecContext::new(&profile);
-        assert!(matches!(
-            eval_ucq(&table, &ucq, &mut ctx),
-            Err(EngineError::MemoryBudgetExceeded { .. })
-        ));
+        let s = store(EngineProfile::pg_like().with_memory_budget(3));
+        assert!(matches!(s.eval_ucq(&ucq), Err(EngineError::MemoryBudgetExceeded { .. })));
     }
 
     #[test]
     fn boolean_unions_collapse_to_one_marker() {
-        let table = sample();
+        let s = store(EngineProfile::pg_like());
         let member = StoreCq::new(vec![StorePattern::new(v(0), c(10), v(1))], vec![]);
-        let ucq = StoreUcq::new(vec![member.clone(), member], vec![]);
-        let profile = EngineProfile::pg_like();
-        let mut ctx = ExecContext::new(&profile);
-        let r = eval_ucq(&table, &ucq, &mut ctx).unwrap();
+        let distinct = StoreCq::new(vec![StorePattern::new(v(0), c(12), v(1))], vec![]);
+        let ucq = StoreUcq::new(vec![member, distinct], vec![]);
+        let r = s.eval_ucq(&ucq).unwrap().relation;
         assert_eq!(r.len(), 1);
     }
 

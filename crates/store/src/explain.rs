@@ -10,6 +10,7 @@ use std::fmt::Write as _;
 use crate::error::EngineError;
 use crate::internal_cost;
 use crate::ir::StoreJucq;
+use crate::plan::Planner;
 use crate::Store;
 
 /// Estimated peak materialized intermediate of `q`, in tuples: the
@@ -61,6 +62,10 @@ pub fn explain(store: &Store, q: &StoreJucq) -> String {
         profile.memory_budget_tuples
     );
 
+    // The physical plan the executor will actually run (rewrite passes
+    // applied, join orders fixed, shared scans factored).
+    let plan = Planner::new(table, stats, profile).plan(q);
+
     let volumes: Vec<f64> = q
         .fragments
         .iter()
@@ -72,14 +77,9 @@ pub fn explain(store: &Store, q: &StoreJucq) -> String {
                 .sum()
         })
         .collect();
-    let largest = volumes
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite volume"))
-        .map(|(i, _)| i);
     for (i, frag) in q.fragments.iter().enumerate() {
         let card = stats.est_ucq(table, frag);
-        let pipelined = Some(i) == largest && q.fragments.len() > 1;
+        let pipelined = Some(i) == plan.pipelined;
         let _ = writeln!(
             out,
             "  Fragment {i}: {} member CQ(s), head {:?}, scan volume {:.0}, est. rows {:.0}{}",
@@ -113,6 +113,10 @@ pub fn explain(store: &Store, q: &StoreJucq) -> String {
         stats.est_jucq(table, q)
     );
     let _ = writeln!(out, "  Internal cost estimate: {:.1}", internal_cost::estimate(store, q));
+    let _ = writeln!(out, "  Physical plan ({} node(s)):", plan.node_count());
+    for line in plan.render(3).lines() {
+        let _ = writeln!(out, "    {line}");
+    }
     out
 }
 
@@ -225,6 +229,19 @@ mod tests {
         assert!(text.contains("Internal cost estimate"));
         assert!(text.contains("[pipelined]"));
         assert!(text.contains("[materialized]"));
+    }
+
+    #[test]
+    fn explain_renders_the_physical_plan_tree() {
+        let s = store();
+        let text = explain(&s, &sample_jucq(2));
+        assert!(text.contains("Physical plan"), "{text}");
+        assert!(text.contains("Dedup"), "{text}");
+        assert!(text.contains("HashUnion fragment[0]"), "{text}");
+        assert!(text.contains("IndexScan"), "{text}");
+        // The duplicate member of fragment 0 was eliminated by the
+        // dedup_members pass: the rendered union has a single member.
+        assert!(text.contains("— 1 member"), "{text}");
     }
 
     #[test]

@@ -11,8 +11,10 @@
 //! The two models legitimately disagree in places, which is precisely
 //! what the figure studies.
 
-use crate::ir::{StoreCq, StoreJucq, StoreUcq};
-use crate::profile::JoinAlgo;
+use jucq_model::FxHashMap;
+
+use crate::ir::{StoreCq, StoreJucq, StorePattern, StoreUcq};
+use crate::profile::{EngineProfile, JoinAlgo};
 use crate::stats::Statistics;
 use crate::table::TripleTable;
 use crate::Store;
@@ -54,6 +56,43 @@ fn ucq_cost(stats: &Statistics, table: &TripleTable, ucq: &StoreUcq) -> f64 {
     members + CPU_DEDUP * card + STARTUP * ucq.cqs.len() as f64
 }
 
+/// Scan work the planner's common-scan factoring saves: each distinct
+/// pattern scanned by `k > 1` members is computed once instead of `k`
+/// times. Mirrors the planner's scan-position prediction (the
+/// first-minimum-extent leaf per member under INLJ, every atom under
+/// the hash strategy) but stays deliberately cheap — `estimate` runs
+/// inside cover-search scoring loops, so no full plan lowering here.
+fn sharing_savings(table: &TripleTable, profile: &EngineProfile, q: &StoreJucq) -> f64 {
+    if !profile.share_scans {
+        return 0.0;
+    }
+    let mut uses: FxHashMap<StorePattern, (usize, f64)> = FxHashMap::default();
+    let mut count_use = |p: StorePattern| {
+        let e = uses.entry(p).or_insert_with(|| (0, table.count(&p.bound()) as f64));
+        e.0 += 1;
+    };
+    for frag in &q.fragments {
+        for cq in &frag.cqs {
+            if cq.patterns.is_empty() {
+                continue;
+            }
+            if profile.index_nested_loop_cq {
+                let leaf = cq
+                    .patterns
+                    .iter()
+                    .min_by_key(|p| table.count(&p.bound()))
+                    .expect("non-empty body");
+                count_use(*leaf);
+            } else {
+                for p in &cq.patterns {
+                    count_use(*p);
+                }
+            }
+        }
+    }
+    uses.values().filter(|(k, _)| *k > 1).map(|(k, card)| (*k - 1) as f64 * CPU_PROBE * card).sum()
+}
+
 /// Estimate the internal cost of a whole JUCQ under the store's profile.
 pub fn estimate(store: &Store, q: &StoreJucq) -> f64 {
     let stats = store.stats();
@@ -93,7 +132,8 @@ pub fn estimate(store: &Store, q: &StoreJucq) -> f64 {
     }
 
     let final_card = stats.est_jucq(table, q);
-    frag_costs + mat + join_cost + CPU_DEDUP * final_card + STARTUP
+    let savings = sharing_savings(table, profile, q);
+    (frag_costs - savings).max(0.0) + mat + join_cost + CPU_DEDUP * final_card + STARTUP
 }
 
 #[cfg(test)]
@@ -162,6 +202,25 @@ mod tests {
         let hash_cost = estimate(&store(EngineProfile::pg_like()), &q);
         let bnl_cost = estimate(&store(EngineProfile::mysql_like()), &q);
         assert!(bnl_cost > hash_cost, "BNL {bnl_cost} should exceed hash {hash_cost}");
+    }
+
+    #[test]
+    fn scan_sharing_lowers_the_estimate() {
+        // Two members sharing the same cheap leaf (?0 11 99): the
+        // factored plan scans it once, and the internal model credits
+        // the saving when the profile shares scans.
+        let member_a = StoreCq::with_var_head(
+            vec![StorePattern::new(v(0), c(11), c(99)), StorePattern::new(v(0), c(10), v(1))],
+            vec![0, 1],
+        );
+        let member_b = StoreCq::with_var_head(
+            vec![StorePattern::new(v(0), c(11), c(99)), StorePattern::new(v(1), c(10), v(0))],
+            vec![0, 1],
+        );
+        let q = StoreJucq::from_ucq(StoreUcq::new(vec![member_a, member_b], vec![0, 1]));
+        let shared = estimate(&store(EngineProfile::pg_like()), &q);
+        let unshared = estimate(&store(EngineProfile::pg_like().with_scan_sharing(false)), &q);
+        assert!(shared < unshared, "shared {shared} should undercut unshared {unshared}");
     }
 
     #[test]

@@ -17,6 +17,67 @@ use serde::{Deserialize, Serialize};
 /// A query variable, dense within one [`StoreJucq`].
 pub type VarId = u16;
 
+/// The distinct variables of one triple pattern, held inline.
+///
+/// A pattern has at most three variable positions, so the planner's hot
+/// loops (join ordering, scan factoring, connectivity checks) never need
+/// a heap allocation to look at them. Derefs to `&[VarId]` and iterates
+/// by value, so it drops into most places a `Vec<VarId>` used to go.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PatternVars {
+    vars: [VarId; 3],
+    len: u8,
+}
+
+impl PatternVars {
+    /// An empty variable list.
+    pub const EMPTY: PatternVars = PatternVars { vars: [0; 3], len: 0 };
+
+    /// Append a variable if it is not already present.
+    fn push_dedup(&mut self, v: VarId) {
+        if !self.as_slice().contains(&v) {
+            self.vars[self.len as usize] = v;
+            self.len += 1;
+        }
+    }
+
+    /// The variables as a slice, in first-occurrence position order.
+    pub fn as_slice(&self) -> &[VarId] {
+        &self.vars[..self.len as usize]
+    }
+
+    /// Copy into an owned `Vec` (for APIs that store the list).
+    pub fn to_vec(&self) -> Vec<VarId> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl std::ops::Deref for PatternVars {
+    type Target = [VarId];
+
+    fn deref(&self) -> &[VarId] {
+        self.as_slice()
+    }
+}
+
+impl IntoIterator for PatternVars {
+    type Item = VarId;
+    type IntoIter = std::iter::Take<std::array::IntoIter<VarId, 3>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.vars.into_iter().take(self.len as usize)
+    }
+}
+
+impl<'a> IntoIterator for &'a PatternVars {
+    type Item = VarId;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, VarId>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter().copied()
+    }
+}
+
 /// One position of a triple pattern: a constant or a variable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum PatternTerm {
@@ -75,14 +136,13 @@ impl StorePattern {
         [self.s, self.p, self.o]
     }
 
-    /// The distinct variables of the pattern, in position order.
-    pub fn variables(&self) -> Vec<VarId> {
-        let mut out = Vec::with_capacity(3);
+    /// The distinct variables of the pattern, in position order. Stack
+    /// allocated: calling this in a planning loop costs nothing.
+    pub fn variables(&self) -> PatternVars {
+        let mut out = PatternVars::EMPTY;
         for pos in self.positions() {
             if let PatternTerm::Var(v) = pos {
-                if !out.contains(&v) {
-                    out.push(v);
-                }
+                out.push_dedup(v);
             }
         }
         out
@@ -97,12 +157,8 @@ impl StorePattern {
     /// True iff some variable occurs twice (e.g. `?x p ?x`), requiring a
     /// post-scan equality filter.
     pub fn has_repeated_var(&self) -> bool {
-        let vs: Vec<VarId> = self.positions().iter().filter_map(|p| p.as_var()).collect();
-        match vs.as_slice() {
-            [a, b] => a == b,
-            [a, b, c] => a == b || a == c || b == c,
-            _ => false,
-        }
+        let free = self.positions().iter().filter(|p| p.as_var().is_some()).count();
+        free > self.variables().len()
     }
 }
 
@@ -145,16 +201,26 @@ impl StoreCq {
 
     /// All distinct variables occurring in the body, in first-occurrence
     /// order.
+    ///
+    /// The outer collection is unbounded (bodies can be arbitrarily
+    /// long) so it stays a `Vec`, but the inner per-pattern walk goes
+    /// through the allocation-free [`StorePattern::variables`]. Callers
+    /// that only need to *visit* the variables should prefer
+    /// [`StoreCq::body_var_iter`].
     pub fn body_variables(&self) -> Vec<VarId> {
-        let mut out = Vec::new();
-        for p in &self.patterns {
-            for v in p.variables() {
-                if !out.contains(&v) {
-                    out.push(v);
-                }
+        let mut out = Vec::with_capacity(self.patterns.len() + 1);
+        for v in self.body_var_iter() {
+            if !out.contains(&v) {
+                out.push(v);
             }
         }
         out
+    }
+
+    /// Every variable occurrence in the body, in position order and
+    /// **without** cross-pattern deduplication — zero allocation.
+    pub fn body_var_iter(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.patterns.iter().flat_map(|p| p.variables())
     }
 }
 
@@ -236,9 +302,11 @@ mod tests {
     #[test]
     fn pattern_variables_are_deduped_in_order() {
         let p = StorePattern::new(v(2), c(0), v(1));
-        assert_eq!(p.variables(), vec![2, 1]);
+        assert_eq!(p.variables().as_slice(), &[2, 1]);
         let q = StorePattern::new(v(3), v(3), v(3));
-        assert_eq!(q.variables(), vec![3]);
+        assert_eq!(q.variables().as_slice(), &[3]);
+        assert_eq!(q.variables().into_iter().collect::<Vec<_>>(), vec![3]);
+        assert!(StorePattern::new(c(0), c(1), c(2)).variables().is_empty());
     }
 
     #[test]

@@ -24,10 +24,16 @@
 //! * [`profile::EngineProfile`] — knobs emulating the behavioural
 //!   differences between the paper's three RDBMSs (join algorithm,
 //!   materialization policy, union-size limits, memory budget);
-//! * [`engine::Store`] — the facade: load a graph, evaluate plans under
-//!   a deadline, expose failures (`stack depth`-style errors, memory
-//!   exhaustion, timeouts) as typed [`error::EngineError`]s so the
-//!   experiment harness can render the paper's "missing bars";
+//! * [`plan`] — the physical plan layer: a typed plan tree
+//!   ([`plan::Plan`]) produced by the rewrite-pass [`plan::Planner`]
+//!   (empty-member pruning, member dedup/subsumption, common-scan
+//!   factoring, join-order selection, operator choice), interpreted by
+//!   the executor;
+//! * [`engine::Store`] — the facade: load a graph, plan and evaluate
+//!   queries under a deadline, expose failures (`stack depth`-style
+//!   errors, memory exhaustion, timeouts) as typed
+//!   [`error::EngineError`]s so the experiment harness can render the
+//!   paper's "missing bars";
 //! * [`internal_cost`] — the engine's *own* cost estimator, playing the
 //!   role of "the RDBMS's internal cost estimation function" that
 //!   Figure 9 compares against the paper's analytic model.
@@ -40,6 +46,7 @@ pub mod exec;
 pub mod explain;
 pub mod internal_cost;
 pub mod ir;
+pub mod plan;
 pub mod profile;
 pub mod relation;
 pub mod stats;
@@ -49,6 +56,7 @@ pub use engine::{ExecProfile, PlanNodeReport, Store};
 pub use error::EngineError;
 pub use exec::Counters;
 pub use ir::{PatternTerm, StoreCq, StoreJucq, StorePattern, StoreUcq, VarId};
+pub use plan::{Plan, PlanNode, Planner, SharedScanDef};
 pub use profile::{default_parallelism, EngineProfile, JoinAlgo};
 pub use relation::Relation;
 pub use stats::Statistics;

@@ -1,0 +1,113 @@
+//! Driving a physical [`Plan`]: shared-scan materialization, fragment
+//! union evaluation (sequential or parallel — both interpret the same
+//! plan), the fragment join tree, and the final projection and
+//! duplicate elimination.
+
+use crate::error::EngineError;
+use crate::exec::{cq, join, parallel, ExecContext};
+use crate::plan::node::{Plan, PlanNode};
+use crate::profile::JoinAlgo;
+use crate::relation::Relation;
+use crate::table::TripleTable;
+
+/// Execute `plan` against `table` with up to `threads` union workers.
+pub(crate) fn execute(
+    table: &TripleTable,
+    plan: &Plan,
+    ctx: &mut ExecContext<'_>,
+    threads: usize,
+) -> Result<Relation, EngineError> {
+    if plan.is_const_empty() {
+        return Ok(Relation::empty(plan.head.clone()));
+    }
+
+    // Materialize the plan-wide shared scans once, on the driver
+    // context: every member referencing one borrows the same extent, so
+    // scan counters are charged exactly once per distinct pattern
+    // regardless of how many members use it or how many workers run.
+    // The held extents are charged against the global memory budget
+    // until the query completes.
+    let mut shared: Vec<Relation> = Vec::with_capacity(plan.shared.len());
+    for (i, def) in plan.shared.iter().enumerate() {
+        let op = ctx.op_start();
+        let rel = cq::scan_pattern(table, &def.pattern, ctx)?;
+        ctx.reserve_memory(rel.len())?;
+        ctx.op_finish(op, &format!("shared_scan[{i}]"), rel.len() as u64);
+        shared.push(rel);
+    }
+    let shared_held: usize = shared.iter().map(|r| r.len()).sum();
+
+    let unions = plan.unions();
+    let tasks: Vec<parallel::UnionTask<'_>> = unions
+        .iter()
+        .map(|u| {
+            let (idx, head, members) = u.as_union().expect("collected by Plan::unions");
+            parallel::UnionTask { idx, head, members }
+        })
+        .collect();
+    // The planner numbers unions by fragment position, so slot i is
+    // fragment i.
+    debug_assert!(tasks.iter().enumerate().all(|(i, t)| i == t.idx));
+    let frags = parallel::eval_unions(table, &tasks, &shared, ctx, threads)?;
+
+    // All but the pipelined (largest-estimate) fragment are charged as
+    // materialized (§4.1: "the largest-result sub-query ... is the one
+    // pipelined").
+    if frags.len() > 1 {
+        for (i, f) in frags.iter().enumerate() {
+            if Some(i) != plan.pipelined {
+                ctx.counters.tuples_materialized += f.len() as u64;
+                ctx.check_memory(f.len())?;
+            }
+        }
+    }
+
+    let mut slots: Vec<Option<Relation>> = frags.into_iter().map(Some).collect();
+    let tree = match &plan.root {
+        PlanNode::Dedup { input, .. } => match &**input {
+            PlanNode::Project { input, .. } => &**input,
+            other => other,
+        },
+        other => other,
+    };
+    let acc = fold_joins(tree, &mut slots, ctx)?;
+
+    let op = ctx.op_start();
+    let mut relation = acc.project(&plan.head);
+    ctx.counters.tuples_deduped += relation.len() as u64;
+    relation.dedup_in_place();
+    ctx.op_finish(op, "dedup", relation.len() as u64);
+
+    ctx.release_memory(shared_held);
+    Ok(relation)
+}
+
+/// Recursively evaluate the fragment-level join tree, taking each
+/// union's materialized result out of its slot.
+fn fold_joins(
+    node: &PlanNode,
+    slots: &mut [Option<Relation>],
+    ctx: &mut ExecContext<'_>,
+) -> Result<Relation, EngineError> {
+    let (algo, left, right, step) = match node {
+        PlanNode::HashUnion { idx, .. } => {
+            return Ok(slots[*idx].take().expect("each union consumed once"));
+        }
+        PlanNode::HashJoin { left, right, step: Some(step), .. } => {
+            (JoinAlgo::Hash, left, right, *step)
+        }
+        PlanNode::MergeJoin { left, right, step, .. } => {
+            (JoinAlgo::SortMerge, left, right, step.expect("fragment join has a step"))
+        }
+        PlanNode::NestedLoopJoin { left, right, step, .. } => {
+            (JoinAlgo::BlockNestedLoop, left, right, step.expect("fragment join has a step"))
+        }
+        other => unreachable!("not a fragment-level node: {other:?}"),
+    };
+    let l = fold_joins(left, slots, ctx)?;
+    let r = fold_joins(right, slots, ctx)?;
+    ctx.set_scope(format!("join[{step}]."));
+    let out = join::fragment_join(algo, &l, &r, ctx);
+    ctx.set_scope(String::new());
+    out
+}

@@ -1,0 +1,14 @@
+//! The physical plan layer: a typed plan tree, the rewrite-pass
+//! planner that lowers logical [`crate::ir::StoreJucq`]s into it, and
+//! the executor driving a plan sequentially or in parallel.
+//!
+//! See `DESIGN.md` §4e for the pass ordering, `SharedScan` semantics
+//! and plan-cache keying.
+
+mod node;
+mod planner;
+
+pub(crate) mod exec;
+
+pub use node::{Plan, PlanNode, SharedScanDef};
+pub use planner::Planner;

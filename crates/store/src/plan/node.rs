@@ -1,0 +1,340 @@
+//! The typed physical plan tree.
+//!
+//! A [`Plan`] is what the [`Planner`](crate::plan::Planner) lowers a
+//! [`StoreJucq`](crate::ir::StoreJucq) into and what the executor
+//! interprets: a tree of physical operators plus a plan-wide table of
+//! factored [`SharedScanDef`]s. The same plan drives the sequential and
+//! the parallel execution path, `explain` rendering, and the per-node
+//! estimate column of `explain_analyze`.
+
+use std::fmt::Write as _;
+
+use crate::ir::{PatternTerm, StorePattern, VarId};
+
+/// One physical operator node.
+///
+/// Shape invariants maintained by the planner (the executor relies on
+/// them):
+/// * the root is [`PlanNode::Empty`], or [`PlanNode::Dedup`] over a
+///   [`PlanNode::Project`] over a left-deep tree of fragment-level join
+///   nodes (`step: Some(_)`) whose leaves are [`PlanNode::HashUnion`]s;
+/// * every union member is a [`PlanNode::Project`] (or
+///   [`PlanNode::TrueRow`] for an empty body) over an access chain of
+///   scans, [`PlanNode::Inlj`] probes and member-internal hash joins
+///   (`step: None`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanNode {
+    /// Scan one triple pattern's extent off the best permutation index.
+    IndexScan {
+        /// The pattern scanned.
+        pattern: StorePattern,
+        /// Exact extent cardinality (index lookup at plan time).
+        est: Option<f64>,
+    },
+    /// Reference entry `id` of the plan's shared-scan table: the extent
+    /// is materialized once per query and reused by every referencing
+    /// member.
+    SharedScan {
+        /// Index into [`Plan::shared`].
+        id: usize,
+        /// The pattern (duplicated here for rendering).
+        pattern: StorePattern,
+        /// Exact extent cardinality.
+        est: Option<f64>,
+    },
+    /// Equality filter for a repeated-variable pattern (`?x p ?x`),
+    /// fused into the scan beneath it at execution time.
+    Filter {
+        /// The repeated-variable pattern whose equality is enforced.
+        pattern: StorePattern,
+        /// The scan being filtered.
+        input: Box<PlanNode>,
+    },
+    /// Index-nested-loop step: probe `pattern`'s best index once per
+    /// input row, binding the pattern's variables already present in the
+    /// input (repeated-variable consistency is checked in the probe).
+    Inlj {
+        /// The binding relation being extended.
+        input: Box<PlanNode>,
+        /// The probed pattern.
+        pattern: StorePattern,
+    },
+    /// Hash join. `step: Some(k)` marks fragment-level join step `k`
+    /// (recorded as the `join[k].hash_join` node); `None` marks a
+    /// member-internal join of scanned extents.
+    HashJoin {
+        /// Left (accumulated) input.
+        left: Box<PlanNode>,
+        /// Right input.
+        right: Box<PlanNode>,
+        /// Fragment-level join step, if any.
+        step: Option<usize>,
+        /// Estimated output rows (fragment-level joins only).
+        est: Option<f64>,
+    },
+    /// Sort-merge join of two fragment results.
+    MergeJoin {
+        /// Left input.
+        left: Box<PlanNode>,
+        /// Right input.
+        right: Box<PlanNode>,
+        /// Fragment-level join step.
+        step: Option<usize>,
+        /// Estimated output rows.
+        est: Option<f64>,
+    },
+    /// Block-nested-loop join of two fragment results (the MySQL-like
+    /// profile's deliberately weak algorithm).
+    NestedLoopJoin {
+        /// Left input.
+        left: Box<PlanNode>,
+        /// Right input.
+        right: Box<PlanNode>,
+        /// Fragment-level join step.
+        step: Option<usize>,
+        /// Estimated output rows.
+        est: Option<f64>,
+    },
+    /// Projection onto a head of variables and constants. At the top of
+    /// every union member; also (all-variable) directly under the root
+    /// [`PlanNode::Dedup`].
+    Project {
+        /// The projected input.
+        input: Box<PlanNode>,
+        /// Output terms, positionally aligned with `out_vars`.
+        head: Vec<PatternTerm>,
+        /// The output schema.
+        out_vars: Vec<VarId>,
+    },
+    /// The always-true zero-pattern member: one empty row when the
+    /// output schema is empty, no rows otherwise.
+    TrueRow {
+        /// The output schema.
+        out_vars: Vec<VarId>,
+    },
+    /// Streaming hash-deduplicating union of member results — one per
+    /// JUCQ fragment.
+    HashUnion {
+        /// The fragment index (drives the `fragment[i].` node scope).
+        idx: usize,
+        /// The union's output schema (the fragment head).
+        head: Vec<VarId>,
+        /// Member plans, in member order.
+        members: Vec<PlanNode>,
+        /// Estimated output rows.
+        est: Option<f64>,
+    },
+    /// Final duplicate elimination (set semantics) over the projected
+    /// join of fragments.
+    Dedup {
+        /// The input (a [`PlanNode::Project`]).
+        input: Box<PlanNode>,
+        /// Estimated output rows.
+        est: Option<f64>,
+    },
+    /// A plan proven empty at plan time (a fragment lost every member to
+    /// empty-extent pruning, or the query has no fragments).
+    Empty {
+        /// The output schema.
+        head: Vec<VarId>,
+    },
+}
+
+impl PlanNode {
+    /// Number of nodes in this subtree (the rewrite passes' metric).
+    pub fn node_count(&self) -> usize {
+        1 + match self {
+            PlanNode::Filter { input, .. }
+            | PlanNode::Inlj { input, .. }
+            | PlanNode::Project { input, .. }
+            | PlanNode::Dedup { input, .. } => input.node_count(),
+            PlanNode::HashJoin { left, right, .. }
+            | PlanNode::MergeJoin { left, right, .. }
+            | PlanNode::NestedLoopJoin { left, right, .. } => {
+                left.node_count() + right.node_count()
+            }
+            PlanNode::HashUnion { members, .. } => members.iter().map(PlanNode::node_count).sum(),
+            PlanNode::IndexScan { .. }
+            | PlanNode::SharedScan { .. }
+            | PlanNode::TrueRow { .. }
+            | PlanNode::Empty { .. } => 0,
+        }
+    }
+
+    /// The fragment-union view of a [`PlanNode::HashUnion`] node.
+    pub fn as_union(&self) -> Option<(usize, &[VarId], &[PlanNode])> {
+        match self {
+            PlanNode::HashUnion { idx, head, members, .. } => Some((*idx, head, members)),
+            _ => None,
+        }
+    }
+
+    fn collect_unions<'a>(&'a self, out: &mut Vec<&'a PlanNode>) {
+        match self {
+            PlanNode::HashUnion { .. } => out.push(self),
+            PlanNode::Filter { input, .. }
+            | PlanNode::Inlj { input, .. }
+            | PlanNode::Project { input, .. }
+            | PlanNode::Dedup { input, .. } => input.collect_unions(out),
+            PlanNode::HashJoin { left, right, .. }
+            | PlanNode::MergeJoin { left, right, .. }
+            | PlanNode::NestedLoopJoin { left, right, .. } => {
+                left.collect_unions(out);
+                right.collect_unions(out);
+            }
+            _ => {}
+        }
+    }
+
+    fn render_into(&self, out: &mut String, indent: usize, max_members: usize) {
+        let pad = "  ".repeat(indent);
+        let est = |e: &Option<f64>| e.map(|e| format!(" (est {e:.1})")).unwrap_or_default();
+        match self {
+            PlanNode::IndexScan { pattern, est: e } => {
+                let _ = writeln!(out, "{pad}IndexScan {pattern}{}", est(e));
+            }
+            PlanNode::SharedScan { id, pattern, est: e } => {
+                let _ = writeln!(out, "{pad}SharedScan #{id} {pattern}{}", est(e));
+            }
+            PlanNode::Filter { pattern, input } => {
+                let _ = writeln!(out, "{pad}Filter repeated-vars {pattern}");
+                input.render_into(out, indent + 1, max_members);
+            }
+            PlanNode::Inlj { input, pattern } => {
+                let _ = writeln!(out, "{pad}Inlj probe {pattern}");
+                input.render_into(out, indent + 1, max_members);
+            }
+            PlanNode::HashJoin { left, right, step, est: e } => {
+                let tag = step.map(|k| format!(" join[{k}]")).unwrap_or_default();
+                let _ = writeln!(out, "{pad}HashJoin{tag}{}", est(e));
+                left.render_into(out, indent + 1, max_members);
+                right.render_into(out, indent + 1, max_members);
+            }
+            PlanNode::MergeJoin { left, right, step, est: e } => {
+                let tag = step.map(|k| format!(" join[{k}]")).unwrap_or_default();
+                let _ = writeln!(out, "{pad}MergeJoin{tag}{}", est(e));
+                left.render_into(out, indent + 1, max_members);
+                right.render_into(out, indent + 1, max_members);
+            }
+            PlanNode::NestedLoopJoin { left, right, step, est: e } => {
+                let tag = step.map(|k| format!(" join[{k}]")).unwrap_or_default();
+                let _ = writeln!(out, "{pad}NestedLoopJoin{tag}{}", est(e));
+                left.render_into(out, indent + 1, max_members);
+                right.render_into(out, indent + 1, max_members);
+            }
+            PlanNode::Project { input, head, .. } => {
+                let cols: Vec<String> = head.iter().map(|t| t.to_string()).collect();
+                let _ = writeln!(out, "{pad}Project [{}]", cols.join(", "));
+                input.render_into(out, indent + 1, max_members);
+            }
+            PlanNode::TrueRow { .. } => {
+                let _ = writeln!(out, "{pad}TrueRow");
+            }
+            PlanNode::HashUnion { idx, members, est: e, .. } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}HashUnion fragment[{idx}] — {} member{}{}",
+                    members.len(),
+                    if members.len() == 1 { "" } else { "s" },
+                    est(e)
+                );
+                for m in members.iter().take(max_members) {
+                    m.render_into(out, indent + 1, max_members);
+                }
+                if members.len() > max_members {
+                    let _ = writeln!(
+                        out,
+                        "{}… {} more members",
+                        "  ".repeat(indent + 1),
+                        members.len() - max_members
+                    );
+                }
+            }
+            PlanNode::Dedup { input, est: e } => {
+                let _ = writeln!(out, "{pad}Dedup{}", est(e));
+                input.render_into(out, indent + 1, max_members);
+            }
+            PlanNode::Empty { .. } => {
+                let _ = writeln!(out, "{pad}Empty");
+            }
+        }
+    }
+}
+
+/// One factored common scan: a distinct [`StorePattern`] access path
+/// referenced by two or more scan positions across the plan's union
+/// members. The executor materializes it once (charging `tuples_scanned`
+/// once) before fragment evaluation begins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SharedScanDef {
+    /// The factored pattern.
+    pub pattern: StorePattern,
+    /// How many scan positions reference it.
+    pub uses: usize,
+    /// Exact extent cardinality.
+    pub est: Option<f64>,
+}
+
+/// A complete physical plan for one [`StoreJucq`](crate::ir::StoreJucq).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// The operator tree (see [`PlanNode`] for the shape invariants).
+    pub root: PlanNode,
+    /// The plan-wide table of factored common scans.
+    pub shared: Vec<SharedScanDef>,
+    /// The query's output variables.
+    pub head: Vec<VarId>,
+    /// The fragment index whose union result is pipelined into the first
+    /// join (every other fragment is charged as materialized); `None`
+    /// with fewer than two fragments.
+    pub pipelined: Option<usize>,
+    /// Per-node cardinality estimates keyed by the executor's node
+    /// labels (`fragment[i].union`, `join[k].hash_join`, `dedup`,
+    /// `shared_scan[i]`), paired with measured rows by
+    /// `explain_analyze`.
+    pub estimates: Vec<(String, f64)>,
+}
+
+impl Plan {
+    /// True iff the plan was proven empty at plan time.
+    pub fn is_const_empty(&self) -> bool {
+        matches!(self.root, PlanNode::Empty { .. })
+    }
+
+    /// The fragment [`PlanNode::HashUnion`] nodes, in fragment order.
+    pub fn unions(&self) -> Vec<&PlanNode> {
+        let mut out = Vec::new();
+        self.root.collect_unions(&mut out);
+        out.sort_by_key(|n| n.as_union().map(|(i, _, _)| i).unwrap_or(usize::MAX));
+        out
+    }
+
+    /// Total plan size: tree nodes plus shared-scan table entries.
+    pub fn node_count(&self) -> usize {
+        self.root.node_count() + self.shared.len()
+    }
+
+    /// Render the plan as an indented operator tree, truncating each
+    /// union to its first `max_members` members.
+    pub fn render(&self, max_members: usize) -> String {
+        let mut out = String::new();
+        if !self.shared.is_empty() {
+            out.push_str("Shared scans:\n");
+            for (i, def) in self.shared.iter().enumerate() {
+                let est = def.est.map(|e| format!(", est {e:.1}")).unwrap_or_default();
+                let _ = writeln!(
+                    out,
+                    "  [{i}] {} — {} use{}{est}",
+                    def.pattern,
+                    def.uses,
+                    if def.uses == 1 { "" } else { "s" }
+                );
+            }
+        }
+        if let Some(i) = self.pipelined {
+            let _ = writeln!(out, "Pipelined fragment: {i}");
+        }
+        self.root.render_into(&mut out, 0, max_members);
+        out
+    }
+}

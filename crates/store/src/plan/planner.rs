@@ -1,0 +1,710 @@
+//! Lowering `StoreJucq → Plan` through an ordered rewrite-pass pipeline.
+//!
+//! Passes run in a fixed order, each wrapped in a `jucq-obs` span and
+//! reporting before/after node counts to the metrics registry:
+//!
+//! 1. **prune_empty** — drop union members containing a pattern with an
+//!    empty extent (exact index cardinality); a fragment that loses all
+//!    members proves the whole JUCQ empty (`∅ ⋈ X = ∅`).
+//! 2. **dedup_members** — drop exact-duplicate members, then members
+//!    subsumed by another member of the same fragment (same head terms,
+//!    body pattern superset): reformulation stamps both out routinely.
+//! 3. **factor_scans** — count how often each distinct [`StorePattern`]
+//!    is scanned across all members of all fragments (under the INLJ
+//!    strategy only each member's leaf atom is a scan; under the hash
+//!    strategy every atom is); patterns scanned twice or more become
+//!    [`SharedScanDef`]s computed once per query.
+//! 4. **join_order** — greedy per-member atom ordering (cheapest exact
+//!    extent first, then always a join-connected atom), baked into the
+//!    plan instead of re-derived at execution time.
+//! 5. **lower** — physical operator choice from the profile (INLJ chain
+//!    vs. member hash joins; hash / sort-merge / block-nested-loop
+//!    fragment joins), fragment join order (smallest estimate first,
+//!    connected-first), the pipelined-fragment choice (largest
+//!    estimate, §4.1), and cardinality estimates on every plan node.
+
+use jucq_model::{FxHashMap, FxHashSet};
+
+use crate::exec::join;
+use crate::ir::{PatternTerm, StoreCq, StoreJucq, StorePattern, StoreUcq, VarId};
+use crate::plan::node::{Plan, PlanNode, SharedScanDef};
+use crate::profile::{EngineProfile, JoinAlgo};
+use crate::stats::Statistics;
+use crate::table::TripleTable;
+
+/// The O(members²) subsumption sweep is skipped beyond this union width
+/// (exact-duplicate elimination still runs; it is linear).
+const SUBSUMPTION_MEMBER_LIMIT: usize = 2_000;
+
+/// Lowers logical [`StoreJucq`]s to physical [`Plan`]s for one store.
+pub struct Planner<'a> {
+    table: &'a TripleTable,
+    stats: &'a Statistics,
+    profile: &'a EngineProfile,
+}
+
+/// One union member mid-rewrite: the CQ plus its exact per-atom extents
+/// and (after the join-order pass) its scan/probe order.
+struct DraftMember {
+    cq: StoreCq,
+    counts: Vec<usize>,
+    order: Vec<usize>,
+}
+
+/// One fragment mid-rewrite.
+struct DraftFragment {
+    head: Vec<VarId>,
+    members: Vec<DraftMember>,
+}
+
+/// Logical node count of the draft (fragments + members + atoms), the
+/// unit of the per-pass before/after metrics.
+fn draft_nodes(draft: &[DraftFragment]) -> usize {
+    draft.iter().map(|f| 1 + f.members.iter().map(|m| 1 + m.cq.patterns.len()).sum::<usize>()).sum()
+}
+
+/// First index of the minimum value (ties keep the earliest atom, the
+/// same rule `Iterator::min_by_key` applies in the join-order pass).
+fn cheapest_atom(counts: &[usize]) -> usize {
+    let mut best = 0;
+    for (i, &c) in counts.iter().enumerate() {
+        if c < counts[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// `a ⊆ b` over sorted, deduplicated pattern vectors.
+fn is_subset(a: &[StorePattern], b: &[StorePattern]) -> bool {
+    let mut j = 0;
+    for p in a {
+        while j < b.len() && b[j] < *p {
+            j += 1;
+        }
+        if j >= b.len() || b[j] != *p {
+            return false;
+        }
+        j += 1;
+    }
+    true
+}
+
+impl<'a> Planner<'a> {
+    /// Bind a planner to a store's table, statistics and profile.
+    pub fn new(table: &'a TripleTable, stats: &'a Statistics, profile: &'a EngineProfile) -> Self {
+        Planner { table, stats, profile }
+    }
+
+    /// Lower `q` through the full rewrite pipeline. Infallible:
+    /// admission control (union-term limits) happens before planning,
+    /// resource limits during execution.
+    pub fn plan(&self, q: &StoreJucq) -> Plan {
+        jucq_obs::span!("physical_planning");
+        let mut draft: Vec<DraftFragment> = q
+            .fragments
+            .iter()
+            .map(|f| DraftFragment {
+                head: f.head.clone(),
+                members: f
+                    .cqs
+                    .iter()
+                    .map(|cq| DraftMember {
+                        counts: cq.patterns.iter().map(|p| self.table.count(&p.bound())).collect(),
+                        cq: cq.clone(),
+                        order: Vec::new(),
+                    })
+                    .collect(),
+            })
+            .collect();
+
+        self.prune_empty_members(&mut draft);
+        self.dedup_members(&mut draft);
+        let shared = self.factor_common_scans(&draft);
+        self.select_join_orders(&mut draft);
+        self.lower(q, &draft, shared)
+    }
+
+    /// Pass 1: a member containing a zero-extent pattern can never
+    /// produce a row — drop it. Fragments are never removed: a fragment
+    /// left without members makes the whole plan constant-empty.
+    fn prune_empty_members(&self, draft: &mut [DraftFragment]) {
+        jucq_obs::span!("plan.prune_empty");
+        let before = draft_nodes(draft);
+        for frag in draft.iter_mut() {
+            frag.members.retain(|m| !m.counts.contains(&0));
+        }
+        let after = draft_nodes(draft);
+        jucq_obs::metrics::counter_add("planner.prune_empty.nodes_before", before as u64);
+        jucq_obs::metrics::counter_add("planner.prune_empty.nodes_after", after as u64);
+    }
+
+    /// Pass 2: drop exact-duplicate members, then members subsumed by
+    /// another member of the same fragment — same head term sequence and
+    /// a body pattern set that is a superset of the other's (every
+    /// valuation satisfying the superset body satisfies the subset body,
+    /// so under set semantics the superset member contributes nothing).
+    fn dedup_members(&self, draft: &mut [DraftFragment]) {
+        jucq_obs::span!("plan.dedup_members");
+        let before = draft_nodes(draft);
+        for frag in draft.iter_mut() {
+            let mut seen: FxHashSet<StoreCq> = FxHashSet::default();
+            let mut kept: Vec<DraftMember> = Vec::with_capacity(frag.members.len());
+            for m in std::mem::take(&mut frag.members) {
+                if seen.insert(m.cq.clone()) {
+                    kept.push(m);
+                }
+            }
+            if kept.len() > 1 && kept.len() <= SUBSUMPTION_MEMBER_LIMIT {
+                let sorted: Vec<Vec<StorePattern>> = kept
+                    .iter()
+                    .map(|m| {
+                        let mut v = m.cq.patterns.clone();
+                        v.sort_unstable();
+                        v.dedup();
+                        v
+                    })
+                    .collect();
+                let mut drop = vec![false; kept.len()];
+                for a in 0..kept.len() {
+                    for b in 0..kept.len() {
+                        if a == b || kept[b].cq.head != kept[a].cq.head {
+                            continue;
+                        }
+                        // Strict subset, or equal sets keeping the first.
+                        if is_subset(&sorted[b], &sorted[a])
+                            && (sorted[b].len() < sorted[a].len() || b < a)
+                        {
+                            drop[a] = true;
+                            break;
+                        }
+                    }
+                }
+                let mut it = drop.iter();
+                kept.retain(|_| !*it.next().expect("one flag per member"));
+            }
+            frag.members = kept;
+        }
+        let after = draft_nodes(draft);
+        jucq_obs::metrics::counter_add("planner.dedup_members.nodes_before", before as u64);
+        jucq_obs::metrics::counter_add("planner.dedup_members.nodes_after", after as u64);
+    }
+
+    /// Pass 3: factor the scans several members share. A scan position
+    /// is each member's leaf atom under the INLJ strategy (later atoms
+    /// are index probes, not extent scans) and every atom under the hash
+    /// strategy; the leaf prediction uses the same first-minimum rule as
+    /// the join-order pass, so the factored set matches the lowered plan
+    /// exactly.
+    fn factor_common_scans(&self, draft: &[DraftFragment]) -> Vec<SharedScanDef> {
+        jucq_obs::span!("plan.factor_scans");
+        let before = draft_nodes(draft);
+        let mut defs: Vec<SharedScanDef> = Vec::new();
+        if self.profile.share_scans {
+            let mut uses: FxHashMap<StorePattern, usize> = FxHashMap::default();
+            let mut order: Vec<StorePattern> = Vec::new();
+            let mut count_use = |p: StorePattern| {
+                let n = uses.entry(p).or_insert(0);
+                if *n == 0 {
+                    order.push(p);
+                }
+                *n += 1;
+            };
+            for frag in draft {
+                for m in &frag.members {
+                    if m.cq.patterns.is_empty() {
+                        continue;
+                    }
+                    if self.profile.index_nested_loop_cq {
+                        count_use(m.cq.patterns[cheapest_atom(&m.counts)]);
+                    } else {
+                        for p in &m.cq.patterns {
+                            count_use(*p);
+                        }
+                    }
+                }
+            }
+            defs = order
+                .into_iter()
+                .filter(|p| uses[p] >= 2)
+                .map(|p| SharedScanDef {
+                    pattern: p,
+                    uses: uses[&p],
+                    est: Some(self.table.count(&p.bound()) as f64),
+                })
+                .collect();
+        }
+        let saved: usize = defs.iter().map(|d| d.uses - 1).sum();
+        jucq_obs::metrics::counter_add("planner.factor_scans.nodes_before", before as u64);
+        jucq_obs::metrics::counter_add(
+            "planner.factor_scans.nodes_after",
+            (before + defs.len()) as u64,
+        );
+        jucq_obs::metrics::counter_add("planner.factor_scans.shared_defs", defs.len() as u64);
+        jucq_obs::metrics::counter_add("planner.factor_scans.scan_uses_saved", saved as u64);
+        defs
+    }
+
+    /// Pass 4: greedy per-member atom order — cheapest exact extent
+    /// first, then repeatedly the connected atom (sharing a variable
+    /// with the bound set) of smallest extent, falling back to the
+    /// globally smallest remaining atom for disconnected bodies.
+    fn select_join_orders(&self, draft: &mut [DraftFragment]) {
+        jucq_obs::span!("plan.join_order");
+        let before = draft_nodes(draft);
+        for frag in draft.iter_mut() {
+            for m in &mut frag.members {
+                m.order = atom_order(&m.cq.patterns, &m.counts);
+            }
+        }
+        jucq_obs::metrics::counter_add("planner.join_order.nodes_before", before as u64);
+        jucq_obs::metrics::counter_add("planner.join_order.nodes_after", before as u64);
+    }
+
+    /// Pass 5: physical lowering — see the module docs for the choices
+    /// made here.
+    fn lower(&self, q: &StoreJucq, draft: &[DraftFragment], shared: Vec<SharedScanDef>) -> Plan {
+        jucq_obs::span!("plan.lower");
+        let before = draft_nodes(draft) + shared.len();
+
+        if draft.is_empty() || draft.iter().any(|f| f.members.is_empty()) {
+            let plan = Plan {
+                root: PlanNode::Empty { head: q.head.clone() },
+                shared: Vec::new(),
+                head: q.head.clone(),
+                pipelined: None,
+                estimates: Vec::new(),
+            };
+            jucq_obs::metrics::counter_add("planner.lower.nodes_before", before as u64);
+            jucq_obs::metrics::counter_add("planner.lower.nodes_after", plan.node_count() as u64);
+            return plan;
+        }
+
+        let shared_ix: FxHashMap<StorePattern, usize> =
+            shared.iter().enumerate().map(|(i, d)| (d.pattern, i)).collect();
+        let mut estimates: Vec<(String, f64)> = Vec::new();
+        for (i, def) in shared.iter().enumerate() {
+            estimates.push((format!("shared_scan[{i}]"), def.est.unwrap_or(0.0)));
+        }
+
+        // Estimates over the *rewritten* members (what actually runs).
+        let pruned_ucqs: Vec<StoreUcq> = draft
+            .iter()
+            .map(|f| {
+                StoreUcq::new(f.members.iter().map(|m| m.cq.clone()).collect(), f.head.clone())
+            })
+            .collect();
+        let frag_est: Vec<f64> =
+            pruned_ucqs.iter().map(|u| self.stats.est_ucq(self.table, u)).collect();
+        for (i, est) in frag_est.iter().enumerate() {
+            estimates.push((format!("fragment[{i}].union"), *est));
+        }
+
+        let mut union_nodes: Vec<Option<PlanNode>> = draft
+            .iter()
+            .enumerate()
+            .map(|(i, f)| {
+                let members: Vec<PlanNode> =
+                    f.members.iter().map(|m| self.lower_member(m, &f.head, &shared_ix)).collect();
+                Some(PlanNode::HashUnion {
+                    idx: i,
+                    head: f.head.clone(),
+                    members,
+                    est: Some(frag_est[i]),
+                })
+            })
+            .collect();
+
+        // §4.1: the largest-result fragment is the one pipelined.
+        let pipelined = if draft.len() > 1 {
+            frag_est.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i)
+        } else {
+            None
+        };
+
+        // Fragment join order: smallest estimate first, then always a
+        // fragment connected (sharing a head variable) to the schema
+        // accumulated so far; disconnected inputs fall back to the
+        // smallest remaining (cartesian product).
+        let algo = self.profile.fragment_join;
+        let mut remaining: Vec<usize> = (0..draft.len()).collect();
+        remaining.sort_by(|&a, &b| frag_est[a].total_cmp(&frag_est[b]));
+        let first = remaining.remove(0);
+        let mut acc_vars: Vec<VarId> = draft[first].head.clone();
+        let mut tree = union_nodes[first].take().expect("each fragment lowered once");
+        let mut joined: Vec<usize> = vec![first];
+        let mut step = 0usize;
+        while !remaining.is_empty() {
+            let pos = remaining
+                .iter()
+                .position(|&i| draft[i].head.iter().any(|v| acc_vars.contains(v)))
+                .unwrap_or(0);
+            let next = remaining.remove(pos);
+            joined.push(next);
+            for &v in &draft[next].head {
+                if !acc_vars.contains(&v) {
+                    acc_vars.push(v);
+                }
+            }
+            // Estimate the JUCQ over exactly the fragments joined so far
+            // — the same node the join output materializes.
+            let sub = StoreJucq::new(
+                joined.iter().map(|&i| pruned_ucqs[i].clone()).collect(),
+                q.head.clone(),
+            );
+            let est = self.stats.est_jucq(self.table, &sub);
+            estimates.push((format!("join[{step}].{}", join::op_name(algo)), est));
+            let right = union_nodes[next].take().expect("each fragment lowered once");
+            tree = make_join(algo, tree, right, step, est);
+            step += 1;
+        }
+
+        let final_est =
+            self.stats.est_jucq(self.table, &StoreJucq::new(pruned_ucqs, q.head.clone()));
+        estimates.push(("dedup".to_string(), final_est));
+        let root = PlanNode::Dedup {
+            input: Box::new(PlanNode::Project {
+                input: Box::new(tree),
+                head: q.head.iter().map(|&v| PatternTerm::Var(v)).collect(),
+                out_vars: q.head.clone(),
+            }),
+            est: Some(final_est),
+        };
+        let plan = Plan { root, shared, head: q.head.clone(), pipelined, estimates };
+        jucq_obs::metrics::counter_add("planner.lower.nodes_before", before as u64);
+        jucq_obs::metrics::counter_add("planner.lower.nodes_after", plan.node_count() as u64);
+        plan
+    }
+
+    /// Lower one union member to its access chain: a leaf scan (shared
+    /// or private, filtered when the pattern repeats a variable) extended
+    /// by INLJ probes, or member-internal hash joins of scanned extents,
+    /// topped by the head projection.
+    fn lower_member(
+        &self,
+        m: &DraftMember,
+        frag_head: &[VarId],
+        shared_ix: &FxHashMap<StorePattern, usize>,
+    ) -> PlanNode {
+        if m.cq.patterns.is_empty() {
+            return PlanNode::TrueRow { out_vars: frag_head.to_vec() };
+        }
+        let leaf = |pi: usize| -> PlanNode {
+            let p = m.cq.patterns[pi];
+            match shared_ix.get(&p) {
+                Some(&id) => {
+                    PlanNode::SharedScan { id, pattern: p, est: Some(m.counts[pi] as f64) }
+                }
+                None => {
+                    let scan = PlanNode::IndexScan { pattern: p, est: Some(m.counts[pi] as f64) };
+                    if p.has_repeated_var() {
+                        PlanNode::Filter { pattern: p, input: Box::new(scan) }
+                    } else {
+                        scan
+                    }
+                }
+            }
+        };
+        let mut node = leaf(m.order[0]);
+        for &pi in &m.order[1..] {
+            node = if self.profile.index_nested_loop_cq {
+                PlanNode::Inlj { input: Box::new(node), pattern: m.cq.patterns[pi] }
+            } else {
+                PlanNode::HashJoin {
+                    left: Box::new(node),
+                    right: Box::new(leaf(pi)),
+                    step: None,
+                    est: None,
+                }
+            };
+        }
+        PlanNode::Project {
+            input: Box::new(node),
+            head: m.cq.head.clone(),
+            out_vars: frag_head.to_vec(),
+        }
+    }
+}
+
+/// Greedy atom ordering over precomputed exact extents: start from the
+/// smallest atom; repeatedly append the connected atom (sharing a
+/// variable with the bound set) of smallest extent; fall back to the
+/// globally smallest remaining atom when the body is disconnected.
+fn atom_order(patterns: &[StorePattern], counts: &[usize]) -> Vec<usize> {
+    if patterns.is_empty() {
+        return Vec::new();
+    }
+    let mut remaining: Vec<usize> = (0..patterns.len()).collect();
+    let mut order = Vec::with_capacity(patterns.len());
+    let mut bound_vars: Vec<VarId> = Vec::new();
+
+    let first = remaining.iter().copied().min_by_key(|&i| counts[i]).expect("non-empty body");
+    order.push(first);
+    bound_vars.extend(patterns[first].variables());
+    remaining.retain(|&i| i != first);
+
+    while !remaining.is_empty() {
+        let connected = remaining
+            .iter()
+            .copied()
+            .filter(|&i| patterns[i].variables().iter().any(|v| bound_vars.contains(v)))
+            .min_by_key(|&i| counts[i]);
+        let next = connected.unwrap_or_else(|| {
+            remaining.iter().copied().min_by_key(|&i| counts[i]).expect("remaining non-empty")
+        });
+        order.push(next);
+        for v in patterns[next].variables() {
+            if !bound_vars.contains(&v) {
+                bound_vars.push(v);
+            }
+        }
+        remaining.retain(|&i| i != next);
+    }
+    order
+}
+
+/// Build the fragment-level join node matching `algo`.
+fn make_join(algo: JoinAlgo, left: PlanNode, right: PlanNode, step: usize, est: f64) -> PlanNode {
+    let (left, right, step, est) = (Box::new(left), Box::new(right), Some(step), Some(est));
+    match algo {
+        JoinAlgo::Hash => PlanNode::HashJoin { left, right, step, est },
+        JoinAlgo::SortMerge => PlanNode::MergeJoin { left, right, step, est },
+        JoinAlgo::BlockNestedLoop => PlanNode::NestedLoopJoin { left, right, step, est },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::EngineProfile;
+    use jucq_model::term::TermKind;
+    use jucq_model::{TermId, TripleId};
+
+    fn id(i: u32) -> TermId {
+        TermId::new(TermKind::Uri, i)
+    }
+
+    fn t(s: u32, p: u32, o: u32) -> TripleId {
+        TripleId::new(id(s), id(p), id(o))
+    }
+
+    fn c(i: u32) -> PatternTerm {
+        PatternTerm::Const(id(i))
+    }
+
+    fn v(i: VarId) -> PatternTerm {
+        PatternTerm::Var(i)
+    }
+
+    fn table() -> TripleTable {
+        TripleTable::build(&[
+            t(1, 10, 2),
+            t(2, 10, 3),
+            t(3, 10, 1),
+            t(1, 11, 100),
+            t(2, 11, 101),
+            t(4, 10, 4),
+        ])
+    }
+
+    fn plan_of(q: &StoreJucq, profile: &EngineProfile) -> Plan {
+        let table = table();
+        let stats = Statistics::build(&table);
+        Planner::new(&table, &stats, profile).plan(q)
+    }
+
+    fn one_pattern_member(p: StorePattern, head: Vec<VarId>) -> StoreCq {
+        StoreCq::with_var_head(vec![p], head)
+    }
+
+    #[test]
+    fn order_starts_from_cheapest_atom() {
+        let patterns = vec![
+            StorePattern::new(v(0), c(10), v(1)),   // 4 matches
+            StorePattern::new(v(0), c(11), c(100)), // 1 match
+        ];
+        let counts = vec![4, 1];
+        let order = atom_order(&patterns, &counts);
+        assert_eq!(order[0], 1);
+    }
+
+    #[test]
+    fn order_prefers_connected_atoms() {
+        // The connected atom (?0 10 ?1, 4 matches) beats the cheaper
+        // but disconnected (?2 11 101, 1 match): connectivity trumps
+        // extent size once a variable is bound.
+        let patterns = vec![
+            StorePattern::new(v(0), c(11), c(100)), // 1 match, binds ?0
+            StorePattern::new(v(0), c(10), v(1)),   // 4 matches, connected
+            StorePattern::new(v(2), c(11), c(101)), // 1 match, disconnected
+        ];
+        let counts = vec![1, 4, 1];
+        let order = atom_order(&patterns, &counts);
+        assert_eq!(order, vec![0, 1, 2], "connected beats cheaper disconnected");
+    }
+
+    #[test]
+    fn empty_extent_member_is_pruned_to_const_empty_plan() {
+        let frag = StoreUcq::new(
+            vec![one_pattern_member(StorePattern::new(v(0), c(99), v(1)), vec![0])],
+            vec![0],
+        );
+        let plan = plan_of(&StoreJucq::new(vec![frag], vec![0]), &EngineProfile::pg_like());
+        assert!(plan.is_const_empty());
+        assert!(plan.estimates.is_empty());
+    }
+
+    #[test]
+    fn duplicate_and_subsumed_members_are_dropped() {
+        let narrow = one_pattern_member(StorePattern::new(v(0), c(10), v(1)), vec![0, 1]);
+        let superset = StoreCq::with_var_head(
+            vec![StorePattern::new(v(0), c(10), v(1)), StorePattern::new(v(0), c(11), c(100))],
+            vec![0, 1],
+        );
+        let frag = StoreUcq::new(vec![narrow.clone(), narrow.clone(), superset], vec![0, 1]);
+        let plan = plan_of(&StoreJucq::from_ucq(frag), &EngineProfile::pg_like());
+        let unions = plan.unions();
+        let (_, _, members) = unions[0].as_union().unwrap();
+        assert_eq!(members.len(), 1, "duplicate and subsumed members dropped");
+    }
+
+    #[test]
+    fn subsumption_requires_equal_heads() {
+        let a = one_pattern_member(StorePattern::new(v(0), c(10), v(1)), vec![0, 1]);
+        // Same body superset but a constant head: different output.
+        let b = StoreCq::new(
+            vec![StorePattern::new(v(0), c(10), v(1)), StorePattern::new(v(0), c(11), c(100))],
+            vec![PatternTerm::Var(0), PatternTerm::Const(id(7))],
+        );
+        let frag = StoreUcq::new(vec![a, b], vec![0, 1]);
+        let plan = plan_of(&StoreJucq::from_ucq(frag), &EngineProfile::pg_like());
+        let unions = plan.unions();
+        let (_, _, members) = unions[0].as_union().unwrap();
+        assert_eq!(members.len(), 2, "different heads are never subsumed");
+    }
+
+    #[test]
+    fn common_leaf_scans_are_factored() {
+        // Two members whose cheapest atom is the same pattern.
+        let shared_leaf = StorePattern::new(v(0), c(11), c(100)); // 1 match
+        let a = StoreCq::with_var_head(
+            vec![shared_leaf, StorePattern::new(v(0), c(10), v(1))],
+            vec![0, 1],
+        );
+        let b = StoreCq::with_var_head(
+            vec![shared_leaf, StorePattern::new(v(1), c(10), v(0))],
+            vec![0, 1],
+        );
+        let frag = StoreUcq::new(vec![a, b], vec![0, 1]);
+        let plan = plan_of(&StoreJucq::from_ucq(frag), &EngineProfile::pg_like());
+        assert_eq!(plan.shared.len(), 1);
+        assert_eq!(plan.shared[0].pattern, shared_leaf);
+        assert_eq!(plan.shared[0].uses, 2);
+        assert!(plan.estimates.iter().any(|(l, _)| l == "shared_scan[0]"));
+    }
+
+    #[test]
+    fn scan_sharing_can_be_disabled() {
+        let shared_leaf = StorePattern::new(v(0), c(11), c(100));
+        let a = StoreCq::with_var_head(
+            vec![shared_leaf, StorePattern::new(v(0), c(10), v(1))],
+            vec![0, 1],
+        );
+        let b = StoreCq::with_var_head(
+            vec![shared_leaf, StorePattern::new(v(1), c(10), v(0))],
+            vec![0, 1],
+        );
+        let frag = StoreUcq::new(vec![a, b], vec![0, 1]);
+        let profile = EngineProfile::pg_like().with_scan_sharing(false);
+        let plan = plan_of(&StoreJucq::from_ucq(frag), &profile);
+        assert!(plan.shared.is_empty());
+    }
+
+    #[test]
+    fn hash_strategy_factors_all_scan_positions() {
+        // Neither member's pattern set contains the other's, so both
+        // survive the subsumption pass and both scan `pat`.
+        let pat = StorePattern::new(v(0), c(10), v(1));
+        let a = StoreCq::with_var_head(vec![pat, StorePattern::new(v(0), c(11), v(3))], vec![0, 1]);
+        let b = StoreCq::with_var_head(vec![pat, StorePattern::new(v(1), c(11), v(2))], vec![0, 1]);
+        let mut profile = EngineProfile::pg_like();
+        profile.index_nested_loop_cq = false;
+        let frag = StoreUcq::new(vec![a, b], vec![0, 1]);
+        let plan = plan_of(&StoreJucq::from_ucq(frag), &profile);
+        assert_eq!(plan.shared.len(), 1, "(?0 #u10 ?1) scanned by both members");
+        // Member b's plan contains a member-internal hash join.
+        let unions = plan.unions();
+        let (_, _, members) = unions[0].as_union().unwrap();
+        let has_member_join = members.iter().any(|m| {
+            matches!(
+                m,
+                PlanNode::Project { input, .. }
+                    if matches!(**input, PlanNode::HashJoin { step: None, .. })
+            )
+        });
+        assert!(has_member_join, "hash strategy lowers member joins");
+    }
+
+    #[test]
+    fn fragment_join_algo_follows_profile() {
+        let fa = StoreUcq::new(
+            vec![one_pattern_member(StorePattern::new(v(0), c(10), v(1)), vec![0, 1])],
+            vec![0, 1],
+        );
+        let fb = StoreUcq::new(
+            vec![one_pattern_member(StorePattern::new(v(0), c(11), v(2)), vec![0, 2])],
+            vec![0, 2],
+        );
+        let q = StoreJucq::new(vec![fa, fb], vec![0, 1, 2]);
+        let hash = plan_of(&q, &EngineProfile::pg_like());
+        let bnl = plan_of(&q, &EngineProfile::mysql_like());
+        let top_join = |p: &Plan| match &p.root {
+            PlanNode::Dedup { input, .. } => match &**input {
+                PlanNode::Project { input, .. } => (**input).clone(),
+                other => other.clone(),
+            },
+            other => other.clone(),
+        };
+        assert!(matches!(top_join(&hash), PlanNode::HashJoin { step: Some(0), .. }));
+        assert!(matches!(top_join(&bnl), PlanNode::NestedLoopJoin { step: Some(0), .. }));
+        assert!(hash.pipelined.is_some());
+        assert!(hash.estimates.iter().any(|(l, _)| l == "join[0].hash_join"));
+        assert!(bnl.estimates.iter().any(|(l, _)| l == "join[0].block_nested_loop_join"));
+    }
+
+    #[test]
+    fn repeated_var_scan_gets_a_filter_node() {
+        let frag = StoreUcq::new(
+            vec![one_pattern_member(StorePattern::new(v(0), c(10), v(0)), vec![0])],
+            vec![0],
+        );
+        let plan = plan_of(&StoreJucq::from_ucq(frag), &EngineProfile::pg_like());
+        let unions = plan.unions();
+        let (_, _, members) = unions[0].as_union().unwrap();
+        assert!(matches!(
+            &members[0],
+            PlanNode::Project { input, .. } if matches!(**input, PlanNode::Filter { .. })
+        ));
+    }
+
+    #[test]
+    fn render_shows_shared_table_and_tree() {
+        let shared_leaf = StorePattern::new(v(0), c(11), c(100));
+        let a = StoreCq::with_var_head(
+            vec![shared_leaf, StorePattern::new(v(0), c(10), v(1))],
+            vec![0, 1],
+        );
+        let b = StoreCq::with_var_head(
+            vec![shared_leaf, StorePattern::new(v(1), c(10), v(0))],
+            vec![0, 1],
+        );
+        let frag = StoreUcq::new(vec![a, b], vec![0, 1]);
+        let plan = plan_of(&StoreJucq::from_ucq(frag), &EngineProfile::pg_like());
+        let text = plan.render(3);
+        assert!(text.contains("Shared scans:"), "{text}");
+        assert!(text.contains("SharedScan #0"), "{text}");
+        assert!(text.contains("Dedup"), "{text}");
+        assert!(text.contains("HashUnion fragment[0]"), "{text}");
+        assert!(text.contains("Inlj probe"), "{text}");
+    }
+}

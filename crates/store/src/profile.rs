@@ -53,6 +53,20 @@ pub struct EngineProfile {
     /// scoring. `1` evaluates strictly sequentially; parallel runs merge
     /// order-stably, so results and counters are identical either way.
     pub parallelism: usize,
+    /// If true (the default), the planner factors triple-pattern scans
+    /// that several union members share into a plan-wide `SharedScan`
+    /// table: each distinct access path is computed once and its
+    /// materialized extent is reused by every member referencing it.
+    /// Disable to measure the unshared baseline (`BENCH_plan_sharing`).
+    #[serde(default = "default_share_scans")]
+    pub share_scans: bool,
+}
+
+// Referenced by the `#[serde(default)]` attribute, which only expands
+// when the real serde crate replaces the offline shim.
+#[allow(dead_code)]
+fn default_share_scans() -> bool {
+    true
 }
 
 /// The default worker-pool width: the `JUCQ_THREADS` environment
@@ -97,6 +111,7 @@ impl EngineProfile {
             index_nested_loop_cq: true,
             timeout: Duration::from_secs(30),
             parallelism: default_parallelism(),
+            share_scans: true,
         }
     }
 
@@ -112,6 +127,7 @@ impl EngineProfile {
             index_nested_loop_cq: true,
             timeout: Duration::from_secs(30),
             parallelism: default_parallelism(),
+            share_scans: true,
         }
     }
 
@@ -127,6 +143,7 @@ impl EngineProfile {
             index_nested_loop_cq: true,
             timeout: Duration::from_secs(30),
             parallelism: default_parallelism(),
+            share_scans: true,
         }
     }
 
@@ -144,6 +161,7 @@ impl EngineProfile {
             index_nested_loop_cq: true,
             timeout: Duration::from_secs(30),
             parallelism: default_parallelism(),
+            share_scans: true,
         }
     }
 
@@ -173,6 +191,18 @@ impl EngineProfile {
     /// Replace the worker-pool width (clamped to at least one).
     pub fn with_parallelism(mut self, threads: usize) -> Self {
         self.parallelism = threads.max(1);
+        self
+    }
+
+    /// Replace the fragment-level join algorithm.
+    pub fn with_fragment_join(mut self, algo: JoinAlgo) -> Self {
+        self.fragment_join = algo;
+        self
+    }
+
+    /// Enable or disable common-scan factoring across union members.
+    pub fn with_scan_sharing(mut self, share: bool) -> Self {
+        self.share_scans = share;
         self
     }
 

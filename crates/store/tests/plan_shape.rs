@@ -1,0 +1,205 @@
+//! Plan-shape snapshots: the exact rendered physical plan for a set of
+//! fixed queries over a fixed micro-dataset. These pin the planner's
+//! observable output — pass ordering, shared-scan factoring, pipelining
+//! choice, operator selection — so an accidental behaviour change shows
+//! up as a readable diff, not a silent perf regression.
+
+use jucq_model::term::TermKind;
+use jucq_model::{TermId, TripleId};
+use jucq_store::{
+    EngineProfile, JoinAlgo, PatternTerm, Store, StoreCq, StoreJucq, StorePattern, StoreUcq, VarId,
+};
+
+fn id(i: u32) -> TermId {
+    TermId::new(TermKind::Uri, i)
+}
+
+fn t(s: u32, p: u32, o: u32) -> TripleId {
+    TripleId::new(id(s), id(p), id(o))
+}
+
+fn c(i: u32) -> PatternTerm {
+    PatternTerm::Const(id(i))
+}
+
+fn v(i: VarId) -> PatternTerm {
+    PatternTerm::Var(i)
+}
+
+/// A p10 chain, two p11 self-loops, and p12 fan-out.
+fn store(profile: EngineProfile) -> Store {
+    let mut data = Vec::new();
+    for i in 0..6 {
+        data.push(t(i, 10, i + 1));
+    }
+    data.push(t(0, 11, 0));
+    data.push(t(2, 11, 2));
+    for i in 0..6 {
+        data.push(t(i, 12, i % 2));
+    }
+    Store::from_triples(&data, profile)
+}
+
+fn member(patterns: Vec<StorePattern>, head: Vec<VarId>) -> StoreCq {
+    StoreCq::with_var_head(patterns, head)
+}
+
+fn render(q: &StoreJucq, profile: EngineProfile) -> String {
+    let s = store(profile);
+    s.plan_jucq(q).expect("admitted").render(10)
+}
+
+/// Two members of one fragment share the cheap (?0 #u11 ?1) leaf: the
+/// factoring pass lifts it into the shared-scan table and both members
+/// reference entry #0.
+#[test]
+fn shared_scan_factoring_snapshot() {
+    let frag = StoreUcq::new(
+        vec![
+            member(
+                vec![StorePattern::new(v(0), c(11), v(2)), StorePattern::new(v(0), c(10), v(1))],
+                vec![0, 1],
+            ),
+            member(
+                vec![StorePattern::new(v(0), c(11), v(2)), StorePattern::new(v(1), c(10), v(0))],
+                vec![0, 1],
+            ),
+        ],
+        vec![0, 1],
+    );
+    let q = StoreJucq::from_ucq(frag);
+    let got = render(&q, EngineProfile::pg_like());
+    let want = "\
+Shared scans:
+  [0] (?0 #u11 ?2) — 2 uses, est 2.0
+Dedup (est 4.0)
+  Project [?0, ?1]
+    HashUnion fragment[0] — 2 members (est 4.0)
+      Project [?0, ?1]
+        Inlj probe (?0 #u10 ?1)
+          SharedScan #0 (?0 #u11 ?2) (est 2.0)
+      Project [?0, ?1]
+        Inlj probe (?1 #u10 ?0)
+          SharedScan #0 (?0 #u11 ?2) (est 2.0)
+";
+    assert_eq!(got, want, "got:\n{got}");
+}
+
+/// Disabling scan sharing produces the same tree with plain index
+/// scans and no shared table.
+#[test]
+fn unshared_baseline_snapshot() {
+    let frag = StoreUcq::new(
+        vec![
+            member(
+                vec![StorePattern::new(v(0), c(11), v(2)), StorePattern::new(v(0), c(10), v(1))],
+                vec![0, 1],
+            ),
+            member(
+                vec![StorePattern::new(v(0), c(11), v(2)), StorePattern::new(v(1), c(10), v(0))],
+                vec![0, 1],
+            ),
+        ],
+        vec![0, 1],
+    );
+    let q = StoreJucq::from_ucq(frag);
+    let got = render(&q, EngineProfile::pg_like().with_scan_sharing(false));
+    let want = "\
+Dedup (est 4.0)
+  Project [?0, ?1]
+    HashUnion fragment[0] — 2 members (est 4.0)
+      Project [?0, ?1]
+        Inlj probe (?0 #u10 ?1)
+          IndexScan (?0 #u11 ?2) (est 2.0)
+      Project [?0, ?1]
+        Inlj probe (?1 #u10 ?0)
+          IndexScan (?0 #u11 ?2) (est 2.0)
+";
+    assert_eq!(got, want, "got:\n{got}");
+}
+
+/// Two fragments: the larger-estimate fragment is pipelined, the other
+/// materialized; the fragment-level join follows the profile (hash for
+/// pg-like, block-nested-loop for mysql-like).
+#[test]
+fn two_fragment_join_snapshot_pg_vs_mysql() {
+    let fa = StoreUcq::new(
+        vec![member(vec![StorePattern::new(v(0), c(10), v(1))], vec![0, 1])],
+        vec![0, 1],
+    );
+    let fb = StoreUcq::new(
+        vec![member(vec![StorePattern::new(v(0), c(11), v(2))], vec![0, 2])],
+        vec![0, 2],
+    );
+    let q = StoreJucq::new(vec![fa, fb], vec![0, 1, 2]);
+
+    let pg = render(&q, EngineProfile::pg_like());
+    let want_pg = "\
+Pipelined fragment: 0
+Dedup (est 2.0)
+  Project [?0, ?1, ?2]
+    HashJoin join[0] (est 2.0)
+      HashUnion fragment[1] — 1 member (est 2.0)
+        Project [?0, ?2]
+          IndexScan (?0 #u11 ?2) (est 2.0)
+      HashUnion fragment[0] — 1 member (est 6.0)
+        Project [?0, ?1]
+          IndexScan (?0 #u10 ?1) (est 6.0)
+";
+    assert_eq!(pg, want_pg, "got:\n{pg}");
+
+    // mysql-like swaps the join algorithm; its derived-table copies are
+    // charged per union at execution time (`finish_union`), so the
+    // join-level pipelining choice is rendered the same way.
+    let my = render(&q, EngineProfile::mysql_like());
+    assert!(my.contains("NestedLoopJoin join[0]"), "mysql uses BNL:\n{my}");
+    assert!(my.contains("Pipelined fragment: 0"), "{my}");
+}
+
+/// Duplicate members and empty-extent members disappear from the plan;
+/// a repeated-variable pattern gets its Filter node.
+#[test]
+fn rewrite_passes_snapshot() {
+    let keep = member(vec![StorePattern::new(v(0), c(11), v(0))], vec![0]);
+    let dup = keep.clone();
+    let empty = member(vec![StorePattern::new(v(0), c(99), v(0))], vec![0]);
+    let q = StoreJucq::from_ucq(StoreUcq::new(vec![keep, dup, empty], vec![0]));
+    let got = render(&q, EngineProfile::pg_like());
+    // The estimator does not model repeated-variable selectivity, so
+    // the union estimate stays at the scan extent (2.0).
+    let want = "\
+Dedup (est 2.0)
+  Project [?0]
+    HashUnion fragment[0] — 1 member (est 2.0)
+      Project [?0]
+        Filter repeated-vars (?0 #u11 ?0)
+          IndexScan (?0 #u11 ?0) (est 2.0)
+";
+    assert_eq!(got, want, "got:\n{got}");
+}
+
+/// The hash CQ strategy lowers member-internal joins instead of Inlj
+/// probes; sort-merge fragment joins render as MergeJoin.
+#[test]
+fn hash_members_and_merge_join_snapshot() {
+    let fa = StoreUcq::new(
+        vec![member(
+            vec![StorePattern::new(v(0), c(10), v(1)), StorePattern::new(v(1), c(12), v(2))],
+            vec![0, 1],
+        )],
+        vec![0, 1],
+    );
+    let fb = StoreUcq::new(
+        vec![member(vec![StorePattern::new(v(0), c(11), v(3))], vec![0, 3])],
+        vec![0, 3],
+    );
+    let q = StoreJucq::new(vec![fa, fb], vec![0, 1, 3]);
+    let mut profile = EngineProfile::pg_like().with_fragment_join(JoinAlgo::SortMerge);
+    profile.index_nested_loop_cq = false;
+    let got = render(&q, profile);
+    assert!(got.contains("MergeJoin join[0]"), "{got}");
+    assert!(
+        got.contains("HashJoin\n") || got.contains("HashJoin (est"),
+        "member-internal join:\n{got}"
+    );
+}

@@ -1,18 +1,18 @@
 //! No-op `Serialize`/`Deserialize` derives. The shim `serde` crate
 //! blanket-implements both traits for every type, so the derives have
-//! nothing to emit — they exist only so `#[derive(Serialize)]`
-//! resolves.
+//! nothing to emit — they exist only so `#[derive(Serialize)]` and
+//! `#[serde(...)]` field/container attributes resolve.
 
 use proc_macro::TokenStream;
 
 /// Emits nothing; `serde::Serialize` is blanket-implemented.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
 
 /// Emits nothing; `serde::Deserialize` is blanket-implemented.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
