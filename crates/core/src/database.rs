@@ -190,9 +190,10 @@ impl RdfDatabase {
     /// so unless they were pinned with
     /// [`RdfDatabase::set_cost_constants`] they are recalibrated
     /// against the new profile. Cached covers and physical plans are
-    /// keyed by profile name, so entries chosen for the old profile
-    /// simply stop matching (and keep serving if the profile is
-    /// switched back).
+    /// keyed by the profile's plan-affecting fingerprint (name plus
+    /// join, materialization, sharing, batch and SIP knobs), so
+    /// entries chosen for the old settings simply stop matching (and
+    /// keep serving if the profile is switched back).
     pub fn set_profile(&mut self, profile: EngineProfile) {
         self.profile = profile.clone();
         if let Some(p) = &mut self.prepared {
@@ -525,14 +526,18 @@ impl RdfDatabase {
                     // isomorphic queries (same shape, different variable
                     // names or atom order) share one cached cover; the
                     // cover's atom indices are canonical and translated
-                    // through this query's permutation. The profile name
-                    // keys cost-model-dependent choices apart.
+                    // through this query's permutation. The profile's
+                    // plan-affecting fingerprint (name plus the join,
+                    // materialization, sharing, batch and SIP knobs)
+                    // keys cost-model- and executor-dependent choices
+                    // apart, so toggling `JUCQ_BATCH` or `sip_filters`
+                    // can never serve a plan lowered for the old knobs.
                     let canonical = self.plan_cache.is_some().then(|| q.canonicalize());
                     let cache_key = canonical.as_ref().map(|(cq, _)| {
                         crate::plan_cache::PlanKey::new(
                             cq.clone(),
                             strategy.name(),
-                            &self.profile.name,
+                            &self.profile.plan_cache_key(),
                         )
                     });
                     used_key = cache_key.clone();
@@ -1271,6 +1276,40 @@ mod tests {
         a.sort();
         b.sort();
         assert_eq!(a, b, "profiles agree on the answer");
+    }
+
+    #[test]
+    fn toggling_batch_or_sip_knobs_rekeys_the_plan_cache() {
+        // Same staleness class as the pg↔mysql switch above: a physical
+        // plan lowered with SIP filters (or a given batch setting) must
+        // not replay after the knob changes, since the staged driver
+        // and the lowered `Plan::sip` table differ.
+        let mut db = paper_db();
+        db.enable_plan_cache(8);
+        let q = example3_query(&mut db);
+        let base = db.answer(&q, &Strategy::gcov_default()).unwrap();
+        assert_eq!(db.plan_cache_stats().unwrap().misses, 1);
+
+        db.set_profile(EngineProfile::pg_like().with_sip_filters(false));
+        let no_sip = db.answer(&q, &Strategy::gcov_default()).unwrap();
+        assert_eq!(db.plan_cache_stats().unwrap().misses, 2, "sip toggle misses");
+
+        db.set_profile(EngineProfile::pg_like().with_batch_size(0));
+        let row_mode = db.answer(&q, &Strategy::gcov_default()).unwrap();
+        assert_eq!(db.plan_cache_stats().unwrap().misses, 3, "batch toggle misses");
+
+        db.set_profile(EngineProfile::pg_like());
+        db.answer(&q, &Strategy::gcov_default()).unwrap();
+        assert_eq!(db.plan_cache_stats().unwrap().hits, 1, "original entry still cached");
+
+        let mut base = base.rows;
+        let mut no_sip = no_sip.rows;
+        let mut row_mode = row_mode.rows;
+        base.sort();
+        no_sip.sort();
+        row_mode.sort();
+        assert_eq!(base, no_sip, "answers agree without SIP");
+        assert_eq!(base, row_mode, "answers agree row-at-a-time");
     }
 
     #[test]

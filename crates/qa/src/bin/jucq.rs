@@ -2,9 +2,10 @@
 //!
 //! ```text
 //! jucq query <data.ttl> "<SPARQL>" [--strategy S] [--profile P] [--compare]
-//!            [--threads N] [--explain-analyze] [--trace] [--metrics-json PATH]
+//!            [--threads N] [--batch-size N] [--explain-analyze] [--trace]
+//!            [--metrics-json PATH]
 //! jucq explain <data.ttl> "<SPARQL>" [--analyze] [--strategy S] [--profile P]
-//!              [--threads N]           # physical plan (est vs actual with --analyze)
+//!              [--threads N] [--batch-size N]  # physical plan (est vs actual with --analyze)
 //! jucq covers <data.ttl> "<SPARQL>"           # every cover, sized & timed
 //! jucq stats <data.ttl>                       # dataset & schema statistics
 //! jucq repl  <data.ttl>                       # interactive session
@@ -16,6 +17,9 @@
 //! Threads: `--threads N` (or the `JUCQ_THREADS` environment variable)
 //! sizes the worker pool for union/fragment evaluation and cover
 //! scoring; the default is the machine's available parallelism.
+//! Batching: `--batch-size N` (or the `JUCQ_BATCH` environment
+//! variable) sets the vectorized executor's rows-per-batch target; `0`
+//! disables vectorization and runs the row-at-a-time kernels.
 //!
 //! Observability: `--explain-analyze` renders per-node estimated vs.
 //! actual rows with Q-errors instead of the result rows; `--trace`
@@ -30,7 +34,7 @@ use jucq_core::{AnswerError, RdfDatabase, Strategy};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  jucq query    <data.ttl|.snap> \"<SPARQL>\" [--strategy sat|ucq|scq|ecov|gcov] [--profile pg|db2|mysql|native] [--threads N] [--compare] [--explain-analyze] [--trace] [--metrics-json PATH]\n  jucq explain  <data.ttl|.snap> \"<SPARQL>\" [--analyze] [--strategy ...] [--profile ...] [--threads N]\n  jucq covers   <data.ttl|.snap> \"<SPARQL>\"\n  jucq stats    <data.ttl|.snap>\n  jucq repl     <data.ttl|.snap> [--profile ...] [--threads N]\n  jucq snapshot <data.ttl> <out.snap>\n  jucq fuzz     [--seed S] [--cases N] [--profile pg|db2|mysql|native|all] [--quiet]"
+        "usage:\n  jucq query    <data.ttl|.snap> \"<SPARQL>\" [--strategy sat|ucq|scq|ecov|gcov] [--profile pg|db2|mysql|native] [--threads N] [--batch-size N] [--compare] [--explain-analyze] [--trace] [--metrics-json PATH]\n  jucq explain  <data.ttl|.snap> \"<SPARQL>\" [--analyze] [--strategy ...] [--profile ...] [--threads N] [--batch-size N]\n  jucq covers   <data.ttl|.snap> \"<SPARQL>\"\n  jucq stats    <data.ttl|.snap>\n  jucq repl     <data.ttl|.snap> [--profile ...] [--threads N] [--batch-size N]\n  jucq snapshot <data.ttl> <out.snap>\n  jucq fuzz     [--seed S] [--cases N] [--profile pg|db2|mysql|native|all] [--quiet]"
     );
     std::process::exit(2)
 }
@@ -145,6 +149,7 @@ fn cmd_query(mut args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
     let mut strategy = Strategy::gcov_default();
     let mut profile = EngineProfile::pg_like();
     let mut threads: Option<usize> = None;
+    let mut batch_size: Option<usize> = None;
     let mut compare = false;
     let mut explain_analyze = false;
     let mut trace = false;
@@ -168,6 +173,11 @@ fn cmd_query(mut args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
                 args.drain(..1.min(args.len()));
                 threads = Some(v.parse().unwrap_or_else(|_| usage()));
             }
+            "--batch-size" => {
+                let v = args.first().cloned().unwrap_or_default();
+                args.drain(..1.min(args.len()));
+                batch_size = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
             "--compare" => compare = true,
             "--explain-analyze" => explain_analyze = true,
             "--trace" => trace = true,
@@ -187,6 +197,9 @@ fn cmd_query(mut args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
     };
     if let Some(n) = threads {
         profile = profile.with_parallelism(n);
+    }
+    if let Some(n) = batch_size {
+        profile = profile.with_batch_size(n);
     }
     if trace || metrics_json.is_some() {
         jucq_obs::set_enabled(true);
@@ -220,6 +233,7 @@ fn cmd_explain(mut args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> 
     let mut strategy = Strategy::gcov_default();
     let mut profile = EngineProfile::pg_like();
     let mut threads: Option<usize> = None;
+    let mut batch_size: Option<usize> = None;
     let mut analyze = false;
     let mut positional: Vec<String> = Vec::new();
     while !args.is_empty() {
@@ -240,6 +254,11 @@ fn cmd_explain(mut args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> 
                 args.drain(..1.min(args.len()));
                 threads = Some(v.parse().unwrap_or_else(|_| usage()));
             }
+            "--batch-size" => {
+                let v = args.first().cloned().unwrap_or_default();
+                args.drain(..1.min(args.len()));
+                batch_size = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
             "--analyze" => analyze = true,
             _ => positional.push(a),
         }
@@ -249,6 +268,9 @@ fn cmd_explain(mut args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> 
     };
     if let Some(n) = threads {
         profile = profile.with_parallelism(n);
+    }
+    if let Some(n) = batch_size {
+        profile = profile.with_batch_size(n);
     }
     let mut db = load(path, profile)?;
     let q = db.parse_query(sparql)?;
@@ -325,6 +347,7 @@ fn cmd_stats(args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
 fn cmd_repl(mut args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
     let mut profile = EngineProfile::pg_like();
     let mut threads: Option<usize> = None;
+    let mut batch_size: Option<usize> = None;
     let mut positional = Vec::new();
     while !args.is_empty() {
         let a = args.remove(0);
@@ -336,6 +359,10 @@ fn cmd_repl(mut args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
             let v = args.first().cloned().unwrap_or_default();
             args.drain(..1.min(args.len()));
             threads = Some(v.parse().unwrap_or_else(|_| usage()));
+        } else if a == "--batch-size" {
+            let v = args.first().cloned().unwrap_or_default();
+            args.drain(..1.min(args.len()));
+            batch_size = Some(v.parse().unwrap_or_else(|_| usage()));
         } else {
             positional.push(a);
         }
@@ -343,6 +370,9 @@ fn cmd_repl(mut args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
     let [path] = positional.as_slice() else { usage() };
     if let Some(n) = threads {
         profile = profile.with_parallelism(n);
+    }
+    if let Some(n) = batch_size {
+        profile = profile.with_batch_size(n);
     }
     let mut db = load(path, profile)?;
     db.enable_plan_cache(64);

@@ -5,7 +5,7 @@ use std::time::Duration;
 use jucq_model::TripleId;
 
 use crate::error::EngineError;
-use crate::exec::{Counters, ExecContext, NodeProfile};
+use crate::exec::{Counters, ExecContext, NodeProfile, SipFilterStat};
 use crate::ir::{StoreCq, StoreJucq, StoreUcq};
 use crate::plan::{self, Plan, Planner};
 use crate::profile::EngineProfile;
@@ -59,6 +59,9 @@ impl PlanNodeReport {
 pub struct ExecProfile {
     /// Profiled plan nodes in execution order.
     pub nodes: Vec<PlanNodeReport>,
+    /// Per-filter sideways-information-passing selectivity (probes and
+    /// drops per planned SIP filter); empty when the plan had none.
+    pub sip: Vec<SipFilterStat>,
 }
 
 /// A loaded store: triple table + statistics, evaluated under a profile.
@@ -185,6 +188,10 @@ impl Store {
         };
         let relation =
             plan::exec::execute(&self.table, plan, &mut ctx, self.profile.effective_parallelism())?;
+        if ctx.counters.sip_probes > 0 {
+            jucq_obs::metrics::counter_add("exec.sip.probes", ctx.counters.sip_probes);
+            jucq_obs::metrics::counter_add("exec.sip.drops", ctx.counters.sip_drops);
+        }
         let profile = profiling.then(|| {
             let nodes = ctx
                 .take_nodes()
@@ -204,7 +211,7 @@ impl Store {
                     }
                 })
                 .collect();
-            ExecProfile { nodes }
+            ExecProfile { nodes, sip: ctx.take_sip_stats() }
         });
         let outcome = EvalOutcome { relation, counters: ctx.counters, elapsed: ctx.elapsed() };
         Ok((outcome, profile))
@@ -335,6 +342,30 @@ mod tests {
         // Unprofiled evaluation returns the same answers.
         let plain = s.eval_jucq(&q).unwrap();
         assert_eq!(plain.relation.len(), outcome.relation.len());
+    }
+
+    #[test]
+    fn profiled_eval_reports_sip_selectivity() {
+        let s = store();
+        let fa = StoreUcq::new(
+            vec![StoreCq::with_var_head(vec![StorePattern::new(v(0), c(10), c(50))], vec![0])],
+            vec![0],
+        );
+        let fb = StoreUcq::new(
+            vec![StoreCq::with_var_head(vec![StorePattern::new(v(0), c(11), v(1))], vec![0, 1])],
+            vec![0, 1],
+        );
+        let q = StoreJucq::new(vec![fa, fb], vec![0, 1]);
+        let (_, profile) = s.eval_jucq_profiled(&q).unwrap();
+        assert_eq!(profile.sip.len(), 1, "one planned filter: {:?}", profile.sip);
+        assert!(profile.sip[0].label.ends_with(".sip_filter"), "{:?}", profile.sip);
+        assert!(profile.sip[0].probes > 0);
+        assert!(profile.sip[0].drops <= profile.sip[0].probes);
+        // With the knob off, no filters run and none are reported.
+        let mut off = store();
+        off.set_profile(EngineProfile::pg_like().with_sip_filters(false));
+        let (_, profile) = off.eval_jucq_profiled(&q).unwrap();
+        assert!(profile.sip.is_empty(), "{:?}", profile.sip);
     }
 
     #[test]

@@ -1,0 +1,686 @@
+//! Batched (vectorized) operator kernels and the sideways-information-
+//! passing (SIP) Bloom filter.
+//!
+//! The row-at-a-time kernels in [`cq`](crate::exec::cq),
+//! [`join`](crate::exec::join) and [`union`](crate::exec::union) pay a
+//! per-tuple price three times over: a liveness tick per produced
+//! tuple, a variable-position search per gathered column, and a key
+//! allocation per hashed or compared row. The kernels here process
+//! `EngineProfile::batch_rows` tuples per step instead: column
+//! positions and probe-key templates are resolved once per operator,
+//! rows are gathered into a flat batch buffer flushed in one bulk
+//! append, hash-join keys are u64 hashes (verified on probe) instead of
+//! per-row `Vec` keys, sort-merge keys are materialized once per side,
+//! and the liveness poll ([`ExecContext::tick_n`]) and memory check run
+//! once per batch.
+//!
+//! **Contract**: for the same plan, every batched kernel produces the
+//! exact row sequence *and* the exact [`Counters`](crate::exec::Counters)
+//! of its row-at-a-time twin — only the poll cadence (still at least
+//! once per 16384 tuples) and constant factors differ. The differential
+//! matrix test in `tests/vectorized_differential.rs` locks this.
+//!
+//! [`SipFilter`] rides on top of batches: when the staged plan driver
+//! (see `plan/exec.rs`) finishes the accumulated left side of a
+//! fragment join step, it publishes a Bloom filter over the join-key
+//! columns; the next fragment's union members probe it batch-at-a-time
+//! ([`apply_sip_filter`]) and drop tuples that cannot join before they
+//! are merged or joined. False positives only let a non-joining tuple
+//! through to the join (which discards it), so answers are unchanged;
+//! drops are counted per filter for `explain_analyze`.
+
+use jucq_model::{FxHashMap, TermId};
+
+use crate::error::EngineError;
+use crate::exec::cq::repeated_vars_consistent;
+use crate::exec::union::DedupAccumulator;
+use crate::exec::{join, ExecContext};
+use crate::ir::{PatternTerm, StorePattern, VarId};
+use crate::relation::Relation;
+use crate::table::TripleTable;
+
+const HASH_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Order-independent-free (position-sensitive) hash of selected row
+/// columns — the same mixing the union dedup accumulator uses.
+#[inline]
+fn hash_cols(row: &[TermId], cols: &[usize]) -> u64 {
+    let mut h: u64 = cols.len() as u64;
+    for &c in cols {
+        h = (h.rotate_left(5) ^ u64::from(row[c].raw())).wrapping_mul(HASH_SEED);
+    }
+    h
+}
+
+#[inline]
+fn keys_equal(a: &[TermId], a_cols: &[usize], b: &[TermId], b_cols: &[usize]) -> bool {
+    a_cols.iter().zip(b_cols).all(|(&ac, &bc)| a[ac] == b[bc])
+}
+
+/// A Bloom filter over join-key tuples, published by a completed
+/// fragment-join build side and probed by downstream fragments' union
+/// members. Sized at ~10 bits per key (two probe positions), so the
+/// false-positive rate stays in the low percent range; false positives
+/// are harmless (the join discards them), false negatives impossible.
+pub(crate) struct SipFilter {
+    /// The join-key variables the filter covers.
+    pub(crate) keys: Vec<VarId>,
+    /// The filter's node label (`fragment[target].sip_filter`).
+    pub(crate) label: String,
+    bits: Vec<u64>,
+    mask: u64,
+}
+
+impl SipFilter {
+    /// Build the filter from the key columns of `source` (the join's
+    /// accumulated left side).
+    pub(crate) fn build(source: &Relation, keys: &[VarId], label: String) -> Self {
+        let cols: Vec<usize> = keys
+            .iter()
+            .map(|&v| source.column_of(v).expect("SIP key bound by the build side"))
+            .collect();
+        let nbits = source.len().saturating_mul(10).next_power_of_two().max(1024);
+        let mut bits = vec![0u64; nbits / 64];
+        let mask = (nbits - 1) as u64;
+        for row in source.rows() {
+            let h = hash_cols(row, &cols);
+            for b in Self::probe_bits(h, mask) {
+                bits[(b / 64) as usize] |= 1 << (b % 64);
+            }
+        }
+        SipFilter { keys: keys.to_vec(), label, bits, mask }
+    }
+
+    #[inline]
+    fn probe_bits(h: u64, mask: u64) -> [u64; 2] {
+        // Double hashing: derive the second position from the high bits
+        // so the two probes are decorrelated.
+        let g = (h >> 32) | 1;
+        [h & mask, h.wrapping_add(g.wrapping_mul(HASH_SEED)) & mask]
+    }
+
+    /// Whether a row whose key columns hash to `h` may join (no = never).
+    #[inline]
+    fn may_contain(&self, h: u64) -> bool {
+        Self::probe_bits(h, self.mask)
+            .iter()
+            .all(|&b| self.bits[(b / 64) as usize] & (1 << (b % 64)) != 0)
+    }
+
+    /// The number of distinct keys this filter was sized for — the
+    /// build-side row count rounded into bits (diagnostic only).
+    #[cfg(test)]
+    pub(crate) fn bit_len(&self) -> usize {
+        self.bits.len() * 64
+    }
+}
+
+/// Probe every row of `rel` against `filter`, dropping rows whose join
+/// key cannot be present on the build side. Counts probes/drops into
+/// the context's counters and per-filter stats and records the
+/// `sip_filter` operator node (under the caller's `fragment[i].` scope).
+pub(crate) fn apply_sip_filter(
+    rel: &mut Relation,
+    filter: &SipFilter,
+    ctx: &mut ExecContext<'_>,
+) -> Result<(), EngineError> {
+    if rel.width() == 0 {
+        // Boolean member results carry no key columns to probe.
+        return Ok(());
+    }
+    let cols: Vec<usize> = filter
+        .keys
+        .iter()
+        .map(|&v| rel.column_of(v).expect("SIP key bound by the member head"))
+        .collect();
+    let probes = rel.len() as u64;
+    let op = ctx.op_start();
+    ctx.tick_n(probes)?;
+    let kept = rel.retain_rows(|row| filter.may_contain(hash_cols(row, &cols))) as u64;
+    ctx.counters.sip_probes += probes;
+    ctx.counters.sip_drops += probes - kept;
+    ctx.record_sip(&filter.label, probes, probes - kept);
+    ctx.op_finish(op, "sip_filter", kept);
+    Ok(())
+}
+
+/// Batched scan: same rows and `tuples_scanned` as
+/// [`cq::scan_pattern`](crate::exec::cq::scan_pattern), with the
+/// variable-position map resolved once, rows gathered into a flat batch
+/// buffer, and ticks/memory checks amortized per batch.
+pub(crate) fn scan_pattern_batched(
+    table: &TripleTable,
+    p: &StorePattern,
+    ctx: &mut ExecContext<'_>,
+) -> Result<Relation, EngineError> {
+    let vars = p.variables();
+    let positions = p.positions();
+    let var_pos: Vec<usize> = vars
+        .iter()
+        .map(|&v| {
+            positions.iter().position(|pt| pt.as_var() == Some(v)).expect("var occurs in pattern")
+        })
+        .collect();
+    let check_repeats = p.has_repeated_var();
+    let extent = table.scan(&p.bound());
+    let batch = ctx.profile().effective_batch_rows();
+    let mut out = Relation::with_capacity(vars.to_vec(), extent.len());
+    let zero_width = vars.is_empty();
+    let mut flat: Vec<TermId> = Vec::with_capacity(batch * vars.len());
+    for chunk in extent.chunks(batch) {
+        ctx.counters.tuples_scanned += chunk.len() as u64;
+        ctx.tick_n(chunk.len() as u64)?;
+        for t in chunk {
+            if check_repeats && !repeated_vars_consistent(p, t) {
+                continue;
+            }
+            if zero_width {
+                out.push_row(&[]);
+            } else {
+                let val = [t.s, t.p, t.o];
+                flat.extend(var_pos.iter().map(|&i| val[i]));
+            }
+        }
+        if !flat.is_empty() {
+            out.append_flat(&flat);
+            flat.clear();
+        }
+        ctx.check_memory(out.len())?;
+    }
+    ctx.check_memory(out.len())?;
+    Ok(out)
+}
+
+/// What fills each probe-key position of an index-nested-loop step:
+/// resolved once per operator instead of searched per row.
+enum ProbeSlot {
+    /// A pattern constant.
+    Const(TermId),
+    /// A column of the accumulated binding relation.
+    Col(usize),
+    /// A free variable (scan wildcard).
+    Free,
+}
+
+/// Batched index-nested-loop step: same rows and counters as the
+/// row-at-a-time `probe_extend`, with the probe-key template and
+/// new-variable positions resolved once and ticks amortized.
+pub(crate) fn probe_extend_batched(
+    table: &TripleTable,
+    acc: &Relation,
+    p: &StorePattern,
+    ctx: &mut ExecContext<'_>,
+) -> Result<Relation, EngineError> {
+    let p_vars = p.variables();
+    let positions = p.positions();
+    let slots: Vec<ProbeSlot> = positions
+        .iter()
+        .map(|pt| match pt {
+            PatternTerm::Const(c) => ProbeSlot::Const(*c),
+            PatternTerm::Var(v) => match acc.column_of(*v) {
+                Some(col) => ProbeSlot::Col(col),
+                None => ProbeSlot::Free,
+            },
+        })
+        .collect();
+    let new_vars: Vec<VarId> =
+        p_vars.iter().copied().filter(|&v| acc.column_of(v).is_none()).collect();
+    let new_pos: Vec<usize> = new_vars
+        .iter()
+        .map(|&v| {
+            positions
+                .iter()
+                .position(|pt| pt.as_var() == Some(v))
+                .expect("new var occurs in pattern")
+        })
+        .collect();
+    let mut out_vars = acc.vars().to_vec();
+    out_vars.extend(new_vars.iter().copied());
+    let width = out_vars.len();
+    let zero_width = width == 0;
+    let check_repeats = p.has_repeated_var();
+    let mut out = Relation::empty(out_vars);
+    let batch = ctx.profile().effective_batch_rows();
+    let mut flat: Vec<TermId> = Vec::with_capacity(batch * width);
+    let mut pending: u64 = 0;
+
+    for arow in acc.rows() {
+        pending += 1;
+        let mut bound: [Option<TermId>; 3] = [None, None, None];
+        for (i, slot) in slots.iter().enumerate() {
+            bound[i] = match slot {
+                ProbeSlot::Const(c) => Some(*c),
+                ProbeSlot::Col(col) => Some(arow[*col]),
+                ProbeSlot::Free => None,
+            };
+        }
+        let matches = table.scan(&bound);
+        ctx.counters.tuples_scanned += matches.len() as u64;
+        pending += matches.len() as u64;
+        for t in matches {
+            if check_repeats && !repeated_vars_consistent(p, t) {
+                continue;
+            }
+            ctx.counters.tuples_joined += 1;
+            if zero_width {
+                out.push_row(&[]);
+            } else {
+                let val = [t.s, t.p, t.o];
+                flat.extend_from_slice(arow);
+                flat.extend(new_pos.iter().map(|&i| val[i]));
+            }
+        }
+        if pending >= batch as u64 {
+            ctx.tick_n(pending)?;
+            pending = 0;
+            if !flat.is_empty() {
+                out.append_flat(&flat);
+                flat.clear();
+            }
+            ctx.check_memory(out.len())?;
+        }
+    }
+    ctx.tick_n(pending)?;
+    if !flat.is_empty() {
+        out.append_flat(&flat);
+    }
+    ctx.check_memory(out.len())?;
+    Ok(out)
+}
+
+/// Batched head projection: sources resolved once (as in the row path),
+/// rows gathered through a flat batch buffer with an amortized liveness
+/// poll.
+pub(crate) fn project_head_batched(
+    body: &Relation,
+    head: &[PatternTerm],
+    out_vars: &[VarId],
+    ctx: &mut ExecContext<'_>,
+) -> Result<Relation, EngineError> {
+    enum Source {
+        Column(usize),
+        Constant(TermId),
+    }
+    let sources: Vec<Source> = head
+        .iter()
+        .map(|t| match t {
+            PatternTerm::Var(v) => {
+                Source::Column(body.column_of(*v).expect("head variable bound by the body"))
+            }
+            PatternTerm::Const(c) => Source::Constant(*c),
+        })
+        .collect();
+    let mut out = Relation::with_capacity(out_vars.to_vec(), body.len());
+    if out_vars.is_empty() {
+        let n = body.len();
+        ctx.tick_n(n as u64)?;
+        for _ in 0..n {
+            out.push_row(&[]);
+        }
+        return Ok(out);
+    }
+    let batch = ctx.profile().effective_batch_rows();
+    let mut flat: Vec<TermId> = Vec::with_capacity(batch * out_vars.len());
+    let mut in_batch = 0usize;
+    for row in body.rows() {
+        for s in &sources {
+            flat.push(match s {
+                Source::Column(c) => row[*c],
+                Source::Constant(c) => *c,
+            });
+        }
+        in_batch += 1;
+        if in_batch == batch {
+            ctx.tick_n(in_batch as u64)?;
+            out.append_flat(&flat);
+            flat.clear();
+            in_batch = 0;
+        }
+    }
+    ctx.tick_n(in_batch as u64)?;
+    if !flat.is_empty() {
+        out.append_flat(&flat);
+    }
+    Ok(out)
+}
+
+/// Batched hash join: the build table is keyed by u64 key hashes
+/// (bucket entries verified against the actual key columns on probe)
+/// instead of one allocated `Vec` key per row; emission goes through a
+/// flat batch buffer with amortized ticks. Row order, `tuples_joined`
+/// and `tuples_materialized` are identical to the row path: bucket
+/// candidates are stored in build order, and filtering them by exact
+/// key equality yields exactly the equal-key rows in that order.
+pub(crate) fn hash_join_batched(
+    left: &Relation,
+    right: &Relation,
+    ctx: &mut ExecContext<'_>,
+) -> Result<Relation, EngineError> {
+    ctx.check_deadline()?;
+    let p = join::plan(left, right);
+    let mut out = Relation::empty(p.out_vars.clone());
+    if left.is_empty() || right.is_empty() {
+        return Ok(out);
+    }
+    let build_left = left.len() <= right.len();
+    let (build, probe) = if build_left { (left, right) } else { (right, left) };
+    let (build_key, probe_key) =
+        if build_left { (&p.left_key, &p.right_key) } else { (&p.right_key, &p.left_key) };
+    let mut table: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+    table.reserve(build.len());
+    for (i, row) in build.rows().enumerate() {
+        table.entry(hash_cols(row, build_key)).or_default().push(i as u32);
+    }
+    ctx.tick_n(build.len() as u64)?;
+    ctx.counters.tuples_materialized += build.len() as u64;
+    ctx.check_memory(build.len())?;
+
+    let width = out.width();
+    let zero_width = width == 0;
+    let batch = ctx.profile().effective_batch_rows();
+    let mut flat: Vec<TermId> = Vec::with_capacity(batch * width);
+    let mut pending: u64 = 0;
+    for prow in probe.rows() {
+        pending += 1;
+        if let Some(cands) = table.get(&hash_cols(prow, probe_key)) {
+            for &bi in cands {
+                let brow = build.row(bi as usize);
+                if !keys_equal(brow, build_key, prow, probe_key) {
+                    continue;
+                }
+                pending += 1;
+                ctx.counters.tuples_joined += 1;
+                let (lrow, rrow) = if build_left { (brow, prow) } else { (prow, brow) };
+                if zero_width {
+                    out.push_row(&[]);
+                } else {
+                    flat.extend_from_slice(lrow);
+                    flat.extend(p.right_carry.iter().map(|&i| rrow[i]));
+                }
+            }
+        }
+        if pending >= batch as u64 {
+            ctx.tick_n(pending)?;
+            pending = 0;
+            if !flat.is_empty() {
+                out.append_flat(&flat);
+                flat.clear();
+            }
+            ctx.check_memory(out.len())?;
+        }
+    }
+    ctx.tick_n(pending)?;
+    if !flat.is_empty() {
+        out.append_flat(&flat);
+    }
+    ctx.check_memory(out.len())?;
+    Ok(out)
+}
+
+/// Gather the key columns of every row into one flat buffer (`k` values
+/// per row) so sort comparisons read contiguous slices instead of
+/// allocating a key `Vec` per comparison.
+fn gather_keys(rel: &Relation, cols: &[usize]) -> Vec<TermId> {
+    let mut keys = Vec::with_capacity(rel.len() * cols.len());
+    for row in rel.rows() {
+        keys.extend(cols.iter().map(|&c| row[c]));
+    }
+    keys
+}
+
+/// Batched sort-merge join: both sides' keys are materialized once into
+/// flat buffers (the row path allocates a key `Vec` per comparison),
+/// then sorted and merged with batched emission. The sort comparator
+/// orders exactly like the row path's, so the output row sequence is
+/// identical.
+pub(crate) fn sort_merge_join_batched(
+    left: &Relation,
+    right: &Relation,
+    ctx: &mut ExecContext<'_>,
+) -> Result<Relation, EngineError> {
+    ctx.check_deadline()?;
+    let p = join::plan(left, right);
+    let mut out = Relation::empty(p.out_vars.clone());
+    if left.is_empty() || right.is_empty() {
+        return Ok(out);
+    }
+    let k = p.left_key.len();
+    let lkeys = gather_keys(left, &p.left_key);
+    let rkeys = gather_keys(right, &p.right_key);
+    fn slice_key(keys: &[TermId], i: usize, k: usize) -> &[TermId] {
+        &keys[i * k..i * k + k]
+    }
+    let mut lids: Vec<u32> = (0..left.len() as u32).collect();
+    lids.sort_unstable_by(|&a, &b| {
+        slice_key(&lkeys, a as usize, k).cmp(slice_key(&lkeys, b as usize, k))
+    });
+    let mut rids: Vec<u32> = (0..right.len() as u32).collect();
+    rids.sort_unstable_by(|&a, &b| {
+        slice_key(&rkeys, a as usize, k).cmp(slice_key(&rkeys, b as usize, k))
+    });
+    ctx.tick_n((left.len() + right.len()) as u64)?;
+    ctx.counters.tuples_materialized += (left.len() + right.len()) as u64;
+    ctx.check_memory(left.len() + right.len())?;
+
+    let width = out.width();
+    let zero_width = width == 0;
+    let batch = ctx.profile().effective_batch_rows();
+    let mut flat: Vec<TermId> = Vec::with_capacity(batch * width);
+    let mut pending: u64 = 0;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < lids.len() && j < rids.len() {
+        let lk = slice_key(&lkeys, lids[i] as usize, k);
+        let rk = slice_key(&rkeys, rids[j] as usize, k);
+        match lk.cmp(rk) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let i_end = (i..lids.len())
+                    .find(|&x| slice_key(&lkeys, lids[x] as usize, k) != lk)
+                    .unwrap_or(lids.len());
+                let j_end = (j..rids.len())
+                    .find(|&x| slice_key(&rkeys, rids[x] as usize, k) != rk)
+                    .unwrap_or(rids.len());
+                for &li in &lids[i..i_end] {
+                    for &rj in &rids[j..j_end] {
+                        pending += 1;
+                        ctx.counters.tuples_joined += 1;
+                        if zero_width {
+                            out.push_row(&[]);
+                        } else {
+                            flat.extend_from_slice(left.row(li as usize));
+                            let rrow = right.row(rj as usize);
+                            flat.extend(p.right_carry.iter().map(|&c| rrow[c]));
+                        }
+                        if pending >= batch as u64 {
+                            ctx.tick_n(pending)?;
+                            pending = 0;
+                            if !flat.is_empty() {
+                                out.append_flat(&flat);
+                                flat.clear();
+                            }
+                        }
+                    }
+                }
+                ctx.check_memory(out.len() + flat.len() / width.max(1))?;
+                i = i_end;
+                j = j_end;
+            }
+        }
+    }
+    ctx.tick_n(pending)?;
+    if !flat.is_empty() {
+        out.append_flat(&flat);
+    }
+    ctx.check_memory(out.len())?;
+    Ok(out)
+}
+
+/// Batched block-nested-loop join: same quadratic comparison pattern as
+/// the row path (the MySQL-like profile's deliberate weak spot keeps
+/// its cost shape), but with amortized ticks and batched emission.
+pub(crate) fn block_nested_loop_join_batched(
+    left: &Relation,
+    right: &Relation,
+    ctx: &mut ExecContext<'_>,
+) -> Result<Relation, EngineError> {
+    ctx.check_deadline()?;
+    let p = join::plan(left, right);
+    let mut out = Relation::empty(p.out_vars.clone());
+    let width = out.width();
+    let zero_width = width == 0;
+    let batch = ctx.profile().effective_batch_rows();
+    let mut flat: Vec<TermId> = Vec::with_capacity(batch * width);
+    let mut pending: u64 = 0;
+    for lrow in left.rows() {
+        for rrow in right.rows() {
+            pending += 1;
+            if keys_equal(lrow, &p.left_key, rrow, &p.right_key) {
+                ctx.counters.tuples_joined += 1;
+                if zero_width {
+                    out.push_row(&[]);
+                } else {
+                    flat.extend_from_slice(lrow);
+                    flat.extend(p.right_carry.iter().map(|&i| rrow[i]));
+                }
+            }
+            if pending >= batch as u64 {
+                ctx.tick_n(pending)?;
+                pending = 0;
+                if !flat.is_empty() {
+                    out.append_flat(&flat);
+                    flat.clear();
+                }
+            }
+        }
+        // The row path enforces the budget once per outer row; keep the
+        // same granularity so breach timing stays in the same class.
+        ctx.check_memory(out.len() + flat.len() / width.max(1))?;
+    }
+    ctx.tick_n(pending)?;
+    if !flat.is_empty() {
+        out.append_flat(&flat);
+    }
+    ctx.check_memory(out.len())?;
+    Ok(out)
+}
+
+/// Batched union merge: identical `tuples_deduped` and accumulator
+/// contents to the row path, with the liveness poll amortized per
+/// batch.
+pub(crate) fn merge_member_batched(
+    acc: &mut DedupAccumulator,
+    r: &Relation,
+    ctx: &mut ExecContext<'_>,
+) -> Result<(), EngineError> {
+    ctx.counters.tuples_deduped += r.len() as u64;
+    let batch = ctx.profile().effective_batch_rows();
+    let mut in_batch = 0u64;
+    for row in r.rows() {
+        acc.insert(row);
+        in_batch += 1;
+        if in_batch == batch as u64 {
+            ctx.tick_n(in_batch)?;
+            in_batch = 0;
+        }
+    }
+    ctx.tick_n(in_batch)?;
+    ctx.check_memory(acc.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::EngineProfile;
+    use jucq_model::term::TermKind;
+
+    fn id(i: u32) -> TermId {
+        TermId::new(TermKind::Uri, i)
+    }
+
+    fn rel(vars: Vec<VarId>, rows: &[&[u32]]) -> Relation {
+        let mut r = Relation::empty(vars);
+        for row in rows {
+            let ids: Vec<TermId> = row.iter().map(|&x| id(x)).collect();
+            r.push_row(&ids);
+        }
+        r
+    }
+
+    #[test]
+    fn bloom_filter_has_no_false_negatives() {
+        let mut source = Relation::empty(vec![0, 1]);
+        for i in 0..1000u32 {
+            source.push_row(&[id(i), id(i % 13)]);
+        }
+        let f = SipFilter::build(&source, &[0], "fragment[1].sip_filter".to_string());
+        assert!(f.bit_len() >= 1024);
+        let cols = [0usize];
+        for i in 0..1000u32 {
+            let row = [id(i), id(0)];
+            assert!(f.may_contain(hash_cols(&row, &cols)), "present key {i} must pass");
+        }
+        // Far-away keys are mostly rejected (probabilistic, but with
+        // 10 bits/key the miss rate on 1000 foreign keys is tiny — well
+        // under half even with margin for unlucky seeds).
+        let rejected =
+            (100_000..101_000u32).filter(|&i| !f.may_contain(hash_cols(&[id(i)], &[0]))).count();
+        assert!(rejected > 500, "only {rejected}/1000 foreign keys rejected");
+    }
+
+    #[test]
+    fn apply_sip_filter_drops_only_non_joining_rows() {
+        let build = rel(vec![0], &[&[1], &[2], &[3]]);
+        let f = SipFilter::build(&build, &[0], "fragment[1].sip_filter".to_string());
+        let mut member = rel(vec![0, 1], &[&[1, 10], &[50, 20], &[3, 30], &[60, 40]]);
+        let profile = EngineProfile::pg_like();
+        let mut ctx = ExecContext::new(&profile);
+        apply_sip_filter(&mut member, &f, &mut ctx).unwrap();
+        // Keys 1 and 3 must survive (no false negatives); 50 and 60 are
+        // *allowed* to survive as false positives but the counters must
+        // reconcile either way.
+        assert!(member.to_rows().contains(&vec![id(1), id(10)]));
+        assert!(member.to_rows().contains(&vec![id(3), id(30)]));
+        assert_eq!(ctx.counters.sip_probes, 4);
+        assert_eq!(ctx.counters.sip_drops, 4 - member.len() as u64);
+        let stats = ctx.take_sip_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].probes, 4);
+    }
+
+    #[test]
+    fn zero_width_member_is_never_filtered() {
+        let build = rel(vec![0], &[&[1]]);
+        let f = SipFilter::build(&build, &[0], "fragment[1].sip_filter".to_string());
+        let mut boolean = Relation::empty(vec![]);
+        boolean.push_row(&[]);
+        let profile = EngineProfile::pg_like();
+        let mut ctx = ExecContext::new(&profile);
+        apply_sip_filter(&mut boolean, &f, &mut ctx).unwrap();
+        assert_eq!(boolean.len(), 1);
+        assert_eq!(ctx.counters.sip_probes, 0);
+    }
+
+    #[test]
+    fn batched_joins_match_row_joins_exactly() {
+        let l = rel(vec![0, 1], &[&[1, 10], &[2, 20], &[3, 30], &[1, 11]]);
+        let r = rel(vec![1, 2], &[&[10, 100], &[10, 101], &[30, 300], &[40, 400]]);
+        let row_profile = EngineProfile::pg_like().with_batch_size(0);
+        let batch_profile = EngineProfile::pg_like().with_batch_size(2);
+        type JoinFn =
+            fn(&Relation, &Relation, &mut ExecContext<'_>) -> Result<Relation, EngineError>;
+        let pairs: [(JoinFn, JoinFn); 3] = [
+            (join::hash_join, hash_join_batched),
+            (join::sort_merge_join, sort_merge_join_batched),
+            (join::block_nested_loop_join, block_nested_loop_join_batched),
+        ];
+        for (row_f, batch_f) in pairs {
+            let mut rctx = ExecContext::new(&row_profile);
+            let rows = row_f(&l, &r, &mut rctx).unwrap();
+            let mut bctx = ExecContext::new(&batch_profile);
+            let batched = batch_f(&l, &r, &mut bctx).unwrap();
+            assert_eq!(rows, batched, "identical rows in identical order");
+            assert_eq!(rctx.counters, bctx.counters, "identical counters");
+        }
+    }
+}

@@ -24,7 +24,7 @@ use std::borrow::Cow;
 use jucq_model::{TermId, TripleId};
 
 use crate::error::EngineError;
-use crate::exec::{join, ExecContext};
+use crate::exec::{batch, join, ExecContext};
 use crate::ir::{PatternTerm, StorePattern, VarId};
 use crate::plan::PlanNode;
 use crate::relation::Relation;
@@ -70,6 +70,9 @@ fn eval_member_inner(
                 // `body` may lack columns for later atoms' variables;
                 // the projection of nothing is nothing.
                 return Ok(Relation::empty(out_vars.clone()));
+            }
+            if ctx.profile().vectorized {
+                return batch::project_head_batched(&body, head, out_vars, ctx);
             }
             Ok(project_head(&body, head, out_vars))
         }
@@ -141,7 +144,7 @@ pub(crate) fn project_head(body: &Relation, head: &[PatternTerm], out_vars: &[Va
 /// A triple matches a pattern's variable structure iff repeated
 /// variables bind equal values.
 #[inline]
-fn repeated_vars_consistent(p: &StorePattern, t: &TripleId) -> bool {
+pub(crate) fn repeated_vars_consistent(p: &StorePattern, t: &TripleId) -> bool {
     let pos = p.positions();
     let val = [t.s, t.p, t.o];
     for i in 0..3 {
@@ -162,6 +165,9 @@ pub(crate) fn scan_pattern(
     p: &StorePattern,
     ctx: &mut ExecContext<'_>,
 ) -> Result<Relation, EngineError> {
+    if ctx.profile().vectorized {
+        return batch::scan_pattern_batched(table, p, ctx);
+    }
     let vars = p.variables();
     let mut out = Relation::empty(vars.to_vec());
     let mut row: Vec<TermId> = Vec::with_capacity(vars.len());
@@ -196,6 +202,9 @@ fn probe_extend(
     p: &StorePattern,
     ctx: &mut ExecContext<'_>,
 ) -> Result<Relation, EngineError> {
+    if ctx.profile().vectorized {
+        return batch::probe_extend_batched(table, acc, p, ctx);
+    }
     let p_vars = p.variables();
     // Columns of `acc` that bind variables of `p`.
     let shared: Vec<(usize, VarId)> = acc

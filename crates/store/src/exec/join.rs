@@ -9,7 +9,7 @@
 use jucq_model::{FxHashMap, TermId};
 
 use crate::error::EngineError;
-use crate::exec::ExecContext;
+use crate::exec::{batch, ExecContext};
 use crate::ir::VarId;
 use crate::profile::JoinAlgo;
 use crate::relation::Relation;
@@ -42,15 +42,16 @@ pub fn op_name(algo: JoinAlgo) -> &'static str {
 }
 
 /// The join plan shared by all algorithms: key columns on both sides and
-/// the output schema (left columns ++ right non-key columns).
-struct JoinPlan {
-    left_key: Vec<usize>,
-    right_key: Vec<usize>,
-    right_carry: Vec<usize>,
-    out_vars: Vec<VarId>,
+/// the output schema (left columns ++ right non-key columns). Shared
+/// with the batched kernels in [`crate::exec::batch`].
+pub(crate) struct JoinPlan {
+    pub(crate) left_key: Vec<usize>,
+    pub(crate) right_key: Vec<usize>,
+    pub(crate) right_carry: Vec<usize>,
+    pub(crate) out_vars: Vec<VarId>,
 }
 
-fn plan(left: &Relation, right: &Relation) -> JoinPlan {
+pub(crate) fn plan(left: &Relation, right: &Relation) -> JoinPlan {
     let shared: Vec<VarId> =
         left.vars().iter().copied().filter(|v| right.column_of(*v).is_some()).collect();
     let left_key: Vec<usize> =
@@ -88,6 +89,9 @@ pub fn hash_join(
     right: &Relation,
     ctx: &mut ExecContext<'_>,
 ) -> Result<Relation, EngineError> {
+    if ctx.profile().vectorized {
+        return batch::hash_join_batched(left, right, ctx);
+    }
     ctx.check_deadline()?;
     let p = plan(left, right);
     let mut out = Relation::empty(p.out_vars.clone());
@@ -135,6 +139,9 @@ pub fn sort_merge_join(
     right: &Relation,
     ctx: &mut ExecContext<'_>,
 ) -> Result<Relation, EngineError> {
+    if ctx.profile().vectorized {
+        return batch::sort_merge_join_batched(left, right, ctx);
+    }
     ctx.check_deadline()?;
     let p = plan(left, right);
     let mut out = Relation::empty(p.out_vars.clone());
@@ -190,6 +197,9 @@ pub fn block_nested_loop_join(
     right: &Relation,
     ctx: &mut ExecContext<'_>,
 ) -> Result<Relation, EngineError> {
+    if ctx.profile().vectorized {
+        return batch::block_nested_loop_join_batched(left, right, ctx);
+    }
     ctx.check_deadline()?;
     let p = plan(left, right);
     let mut out = Relation::empty(p.out_vars.clone());

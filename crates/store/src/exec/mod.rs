@@ -11,6 +11,7 @@
 //! profile's deadline and memory budget and records the counters the
 //! calibration layer fits cost constants against.
 
+pub mod batch;
 pub mod cq;
 pub mod join;
 pub mod parallel;
@@ -37,6 +38,23 @@ pub struct Counters {
     pub tuples_materialized: u64,
     /// Tuples examined by duplicate elimination.
     pub tuples_deduped: u64,
+    /// Tuples probed against sideways-information-passing filters.
+    pub sip_probes: u64,
+    /// Tuples dropped by sideways-information-passing filters before
+    /// reaching their fragment join.
+    pub sip_drops: u64,
+}
+
+/// Per-filter probe/drop totals of one sideways-information-passing
+/// Bloom filter, keyed by its node label (`fragment[i].sip_filter`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SipFilterStat {
+    /// The filter's node label.
+    pub label: String,
+    /// Tuples probed against the filter.
+    pub probes: u64,
+    /// Tuples dropped (probe missed: they cannot join).
+    pub drops: u64,
 }
 
 /// Aggregated runtime profile of one plan node (operator × position in
@@ -119,6 +137,7 @@ pub struct ExecContext<'a> {
     pub counters: Counters,
     ticks: u64,
     recorder: Option<NodeRecorder>,
+    sip_stats: Vec<SipFilterStat>,
     shared: Arc<ExecShared>,
 }
 
@@ -131,6 +150,7 @@ impl<'a> ExecContext<'a> {
             counters: Counters::default(),
             ticks: 0,
             recorder: None,
+            sip_stats: Vec::new(),
             shared: Arc::new(ExecShared::default()),
         }
     }
@@ -181,6 +201,26 @@ impl<'a> ExecContext<'a> {
         self.recorder.take().map(|r| r.nodes).unwrap_or_default()
     }
 
+    /// Merge one filter application into the per-filter SIP statistics
+    /// (always collected — there are at most a handful of filters per
+    /// plan, so this is far off the per-tuple hot path).
+    pub fn record_sip(&mut self, label: &str, probes: u64, drops: u64) {
+        match self.sip_stats.iter_mut().find(|s| s.label == label) {
+            Some(s) => {
+                s.probes += probes;
+                s.drops += drops;
+            }
+            None => {
+                self.sip_stats.push(SipFilterStat { label: label.to_string(), probes, drops });
+            }
+        }
+    }
+
+    /// Take the per-filter SIP statistics accumulated so far.
+    pub fn take_sip_stats(&mut self) -> Vec<SipFilterStat> {
+        std::mem::take(&mut self.sip_stats)
+    }
+
     /// The governing profile.
     pub fn profile(&self) -> &EngineProfile {
         self.profile
@@ -206,6 +246,11 @@ impl<'a> ExecContext<'a> {
         self.counters.tuples_joined += worker.counters.tuples_joined;
         self.counters.tuples_materialized += worker.counters.tuples_materialized;
         self.counters.tuples_deduped += worker.counters.tuples_deduped;
+        self.counters.sip_probes += worker.counters.sip_probes;
+        self.counters.sip_drops += worker.counters.sip_drops;
+        for s in worker.take_sip_stats() {
+            self.record_sip(&s.label, s.probes, s.drops);
+        }
         if let Some(r) = &mut self.recorder {
             for node in worker.take_nodes() {
                 r.merge(node);
@@ -246,6 +291,21 @@ impl<'a> ExecContext<'a> {
     pub fn tick(&mut self) -> Result<(), EngineError> {
         self.ticks += 1;
         if self.ticks & DEADLINE_POLL_MASK == 0 {
+            self.check_live()?;
+        }
+        Ok(())
+    }
+
+    /// Amortized liveness check for a whole batch of `n` produced
+    /// tuples: advances the tick counter in one step and polls once per
+    /// crossed poll window, so batched operators keep the same
+    /// poll-at-least-every-16384-tuples cadence as the row-at-a-time
+    /// path without one branch per tuple.
+    #[inline]
+    pub fn tick_n(&mut self, n: u64) -> Result<(), EngineError> {
+        let before = self.ticks;
+        self.ticks = self.ticks.wrapping_add(n);
+        if self.ticks / (DEADLINE_POLL_MASK + 1) != before / (DEADLINE_POLL_MASK + 1) {
             self.check_live()?;
         }
         Ok(())
@@ -320,6 +380,7 @@ impl<'a> WorkerSpawner<'a> {
             counters: Counters::default(),
             ticks: 0,
             recorder: self.profiling.then(NodeRecorder::default),
+            sip_stats: Vec::new(),
             shared: Arc::clone(&self.shared),
         }
     }
@@ -400,6 +461,50 @@ mod tests {
             }
         }
         assert!(failed, "deadline must surface within one poll window");
+    }
+
+    #[test]
+    fn tick_n_polls_once_per_crossed_window() {
+        let p = EngineProfile::pg_like().with_timeout(Duration::from_millis(0));
+        let mut ctx = ExecContext::new(&p);
+        ctx.backdate(Duration::from_millis(2));
+        // Inside the first poll window nothing is checked...
+        assert!(ctx.tick_n(DEADLINE_POLL_MASK).is_ok());
+        // ...crossing the boundary surfaces the expired deadline.
+        assert!(matches!(ctx.tick_n(1), Err(EngineError::Timeout { .. })));
+
+        // A single huge batch crosses a window by itself.
+        let mut ctx = ExecContext::new(&p);
+        ctx.backdate(Duration::from_millis(2));
+        assert!(matches!(
+            ctx.tick_n(10 * (DEADLINE_POLL_MASK + 1)),
+            Err(EngineError::Timeout { .. })
+        ));
+    }
+
+    #[test]
+    fn sip_stats_merge_by_label_and_absorb() {
+        let p = EngineProfile::pg_like();
+        let mut ctx = ExecContext::new(&p);
+        ctx.record_sip("fragment[1].sip_filter", 10, 4);
+        ctx.record_sip("fragment[1].sip_filter", 5, 1);
+
+        let spawner = ctx.spawner();
+        let mut w = spawner.context();
+        w.record_sip("fragment[2].sip_filter", 7, 7);
+        w.counters.sip_probes = 7;
+        w.counters.sip_drops = 7;
+        ctx.absorb(w);
+
+        assert_eq!(ctx.counters.sip_probes, 7);
+        assert_eq!(ctx.counters.sip_drops, 7);
+        let stats = ctx.take_sip_stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].label, "fragment[1].sip_filter");
+        assert_eq!(stats[0].probes, 15);
+        assert_eq!(stats[0].drops, 5);
+        assert_eq!(stats[1].label, "fragment[2].sip_filter");
+        assert!(ctx.take_sip_stats().is_empty(), "take drains the stats");
     }
 
     #[test]

@@ -20,7 +20,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::error::EngineError;
 use crate::exec::union::DedupAccumulator;
-use crate::exec::{cq, union, ExecContext};
+use crate::exec::{batch, cq, union, ExecContext};
 use crate::ir::VarId;
 use crate::plan::PlanNode;
 use crate::relation::Relation;
@@ -36,6 +36,10 @@ pub(crate) struct UnionTask<'p> {
     pub head: &'p [VarId],
     /// Lowered member plans.
     pub members: &'p [PlanNode],
+    /// Sideways-information-passing filter published by an upstream
+    /// fragment join: each member result is probed against it (and
+    /// non-joining rows dropped) before merging into the union.
+    pub filter: Option<&'p batch::SipFilter>,
 }
 
 /// Evaluate every fragment union of a plan, using up to `threads`
@@ -63,7 +67,10 @@ pub(crate) fn eval_unions(
             let mut acc = DedupAccumulator::new(u.head.to_vec());
             for m in u.members {
                 ctx.check_deadline()?;
-                let r = cq::eval_member(table, m, shared, ctx)?;
+                let mut r = cq::eval_member(table, m, shared, ctx)?;
+                if let Some(f) = u.filter {
+                    batch::apply_sip_filter(&mut r, f, ctx)?;
+                }
                 union::merge_member(&mut acc, &r, ctx)?;
             }
             out.push(union::finish_union(acc, op, ctx)?);
@@ -97,7 +104,10 @@ pub(crate) fn eval_unions(
                             .and_then(|()| {
                                 cq::eval_member(table, &u.members[mi], shared, &mut wctx)
                             })
-                            .and_then(|rel| {
+                            .and_then(|mut rel| {
+                                if let Some(f) = u.filter {
+                                    batch::apply_sip_filter(&mut rel, f, &mut wctx)?;
+                                }
                                 // Charge the held member result against
                                 // the *global* budget until it is merged.
                                 wctx.reserve_memory(rel.len())?;

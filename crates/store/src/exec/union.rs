@@ -56,7 +56,7 @@ impl DedupAccumulator {
     }
 
     /// Insert `row` if unseen; returns `true` when it was new.
-    fn insert(&mut self, row: &[TermId]) -> bool {
+    pub(crate) fn insert(&mut self, row: &[TermId]) -> bool {
         // Zero-width (boolean) rows: keep at most one presence marker.
         if row.is_empty() && self.rel.vars().is_empty() {
             if self.rel.is_empty() {
@@ -106,6 +106,9 @@ pub(crate) fn merge_member(
     r: &Relation,
     ctx: &mut ExecContext<'_>,
 ) -> Result<(), EngineError> {
+    if ctx.profile().vectorized {
+        return crate::exec::batch::merge_member_batched(acc, r, ctx);
+    }
     ctx.counters.tuples_deduped += r.len() as u64;
     for row in r.rows() {
         ctx.tick()?;

@@ -175,9 +175,26 @@ pub fn explain_analyze(store: &Store, q: &StoreJucq) -> Result<String, EngineErr
     );
     let _ = writeln!(
         out,
-        "  Counters: scanned {}, joined {}, materialized {}, deduped {}",
-        c.tuples_scanned, c.tuples_joined, c.tuples_materialized, c.tuples_deduped
+        "  Counters: scanned {}, joined {}, materialized {}, deduped {}, \
+         sip probed {}, sip dropped {}",
+        c.tuples_scanned,
+        c.tuples_joined,
+        c.tuples_materialized,
+        c.tuples_deduped,
+        c.sip_probes,
+        c.sip_drops
     );
+    if !exec_profile.sip.is_empty() {
+        let _ = writeln!(out, "  SIP filters:");
+        for f in &exec_profile.sip {
+            let pct = if f.probes > 0 { 100.0 * f.drops as f64 / f.probes as f64 } else { 0.0 };
+            let _ = writeln!(
+                out,
+                "    {}: probed {}, dropped {} ({pct:.0}% dropped before the join)",
+                f.label, f.probes, f.drops
+            );
+        }
+    }
     Ok(out)
 }
 
@@ -280,6 +297,11 @@ mod tests {
         assert!(text.contains("dedup"), "{text}");
         assert!(text.contains("Total:"), "{text}");
         assert!(text.contains("Counters: scanned"), "{text}");
+        assert!(text.contains("sip probed"), "{text}");
+        // The two fragments join on ?0, so a SIP filter ran and its
+        // selectivity is reported.
+        assert!(text.contains("SIP filters:"), "{text}");
+        assert!(text.contains(".sip_filter: probed"), "{text}");
     }
 
     #[test]

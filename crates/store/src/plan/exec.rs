@@ -2,9 +2,17 @@
 //! union evaluation (sequential or parallel — both interpret the same
 //! plan), the fragment join tree, and the final projection and
 //! duplicate elimination.
+//!
+//! Plans with sideways-information-passing filters (`plan.sip`
+//! non-empty) are executed **staged**: fragments run one at a time in
+//! join order, so each join step's accumulated left side exists when
+//! its target fragment starts and can publish a Bloom filter the
+//! fragment's members probe. Plans without SIP run all fragments
+//! up-front (possibly across one worker pool) and then fold the join
+//! tree — byte-identical to the pre-SIP driver.
 
 use crate::error::EngineError;
-use crate::exec::{cq, join, parallel, ExecContext};
+use crate::exec::{batch, cq, join, parallel, ExecContext};
 use crate::plan::node::{Plan, PlanNode};
 use crate::profile::JoinAlgo;
 use crate::relation::Relation;
@@ -37,32 +45,6 @@ pub(crate) fn execute(
     }
     let shared_held: usize = shared.iter().map(|r| r.len()).sum();
 
-    let unions = plan.unions();
-    let tasks: Vec<parallel::UnionTask<'_>> = unions
-        .iter()
-        .map(|u| {
-            let (idx, head, members) = u.as_union().expect("collected by Plan::unions");
-            parallel::UnionTask { idx, head, members }
-        })
-        .collect();
-    // The planner numbers unions by fragment position, so slot i is
-    // fragment i.
-    debug_assert!(tasks.iter().enumerate().all(|(i, t)| i == t.idx));
-    let frags = parallel::eval_unions(table, &tasks, &shared, ctx, threads)?;
-
-    // All but the pipelined (largest-estimate) fragment are charged as
-    // materialized (§4.1: "the largest-result sub-query ... is the one
-    // pipelined").
-    if frags.len() > 1 {
-        for (i, f) in frags.iter().enumerate() {
-            if Some(i) != plan.pipelined {
-                ctx.counters.tuples_materialized += f.len() as u64;
-                ctx.check_memory(f.len())?;
-            }
-        }
-    }
-
-    let mut slots: Vec<Option<Relation>> = frags.into_iter().map(Some).collect();
     let tree = match &plan.root {
         PlanNode::Dedup { input, .. } => match &**input {
             PlanNode::Project { input, .. } => &**input,
@@ -70,16 +52,123 @@ pub(crate) fn execute(
         },
         other => other,
     };
-    let acc = fold_joins(tree, &mut slots, ctx)?;
+
+    let acc = if plan.sip.is_empty() {
+        let unions = plan.unions();
+        let tasks: Vec<parallel::UnionTask<'_>> = unions
+            .iter()
+            .map(|u| {
+                let (idx, head, members) = u.as_union().expect("collected by Plan::unions");
+                parallel::UnionTask { idx, head, members, filter: None }
+            })
+            .collect();
+        // The planner numbers unions by fragment position, so slot i is
+        // fragment i.
+        debug_assert!(tasks.iter().enumerate().all(|(i, t)| i == t.idx));
+        let frags = parallel::eval_unions(table, &tasks, &shared, ctx, threads)?;
+
+        // All but the pipelined (largest-estimate) fragment are charged
+        // as materialized (§4.1: "the largest-result sub-query ... is
+        // the one pipelined").
+        if frags.len() > 1 {
+            for (i, f) in frags.iter().enumerate() {
+                if Some(i) != plan.pipelined {
+                    ctx.counters.tuples_materialized += f.len() as u64;
+                    ctx.check_memory(f.len())?;
+                }
+            }
+        }
+
+        let mut slots: Vec<Option<Relation>> = frags.into_iter().map(Some).collect();
+        fold_joins(tree, &mut slots, ctx)?
+    } else {
+        execute_staged(table, plan, tree, &shared, ctx, threads)?
+    };
 
     let op = ctx.op_start();
     let mut relation = acc.project(&plan.head);
     ctx.counters.tuples_deduped += relation.len() as u64;
-    relation.dedup_in_place();
+    if ctx.profile().vectorized {
+        relation.dedup_in_place_hashed();
+    } else {
+        relation.dedup_in_place();
+    }
     ctx.op_finish(op, "dedup", relation.len() as u64);
 
     ctx.release_memory(shared_held);
     Ok(relation)
+}
+
+/// Staged execution of a multi-fragment plan with SIP filters:
+/// fragments are evaluated one at a time in join order (each union
+/// still fans its members across the worker pool). When a join step has
+/// a planned [`SipFilterDef`](crate::plan::SipFilterDef), the
+/// accumulated left side is hashed into a Bloom filter first and the
+/// right fragment's members probe it as they complete.
+fn execute_staged(
+    table: &TripleTable,
+    plan: &Plan,
+    tree: &PlanNode,
+    shared: &[Relation],
+    ctx: &mut ExecContext<'_>,
+    threads: usize,
+) -> Result<Relation, EngineError> {
+    // Linearize the left-deep join tree into its execution order: the
+    // base fragment, then one (algo, step, right-fragment) per join.
+    let mut steps: Vec<(JoinAlgo, usize, &PlanNode)> = Vec::new();
+    let mut node = tree;
+    let base = loop {
+        match node {
+            PlanNode::HashUnion { .. } => break node,
+            PlanNode::HashJoin { left, right, step: Some(step), .. } => {
+                steps.push((JoinAlgo::Hash, *step, right));
+                node = left;
+            }
+            PlanNode::MergeJoin { left, right, step, .. } => {
+                steps.push((JoinAlgo::SortMerge, step.expect("fragment join has a step"), right));
+                node = left;
+            }
+            PlanNode::NestedLoopJoin { left, right, step, .. } => {
+                steps.push((
+                    JoinAlgo::BlockNestedLoop,
+                    step.expect("fragment join has a step"),
+                    right,
+                ));
+                node = left;
+            }
+            other => unreachable!("not a fragment-level node: {other:?}"),
+        }
+    };
+    steps.reverse();
+
+    let eval_fragment = |u: &PlanNode,
+                         filter: Option<&batch::SipFilter>,
+                         ctx: &mut ExecContext<'_>|
+     -> Result<Relation, EngineError> {
+        let (idx, head, members) = u.as_union().expect("fragment join input is a union");
+        let task = parallel::UnionTask { idx, head, members, filter };
+        let mut frags =
+            parallel::eval_unions(table, std::slice::from_ref(&task), shared, ctx, threads)?;
+        let rel = frags.pop().expect("one task, one result");
+        if Some(idx) != plan.pipelined {
+            ctx.counters.tuples_materialized += rel.len() as u64;
+            ctx.check_memory(rel.len())?;
+        }
+        Ok(rel)
+    };
+
+    let mut acc = eval_fragment(base, None, ctx)?;
+    for (algo, step, right_node) in steps {
+        let filter = plan.sip.iter().find(|d| d.step == step).map(|d| {
+            batch::SipFilter::build(&acc, &d.keys, format!("fragment[{}].sip_filter", d.target))
+        });
+        let r = eval_fragment(right_node, filter.as_ref(), ctx)?;
+        ctx.set_scope(format!("join[{step}]."));
+        let out = join::fragment_join(algo, &acc, &r, ctx);
+        ctx.set_scope(String::new());
+        acc = out?;
+    }
+    Ok(acc)
 }
 
 /// Recursively evaluate the fragment-level join tree, taking each

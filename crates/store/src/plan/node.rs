@@ -275,6 +275,23 @@ pub struct SharedScanDef {
     pub est: Option<f64>,
 }
 
+/// One planned sideways-information-passing filter: after fragment join
+/// step `step`'s left (accumulated) input is complete, a Bloom filter
+/// over `keys` is built from it and fragment `target`'s union members
+/// are probed against it before they reach the join. Planned only when
+/// the profile's `sip_filters` knob is on and the target fragment
+/// shares at least one head variable with the accumulated schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SipFilterDef {
+    /// The fragment join step whose accumulated left side feeds the
+    /// filter.
+    pub step: usize,
+    /// The fragment whose members probe the filter.
+    pub target: usize,
+    /// The join-key variables the filter covers.
+    pub keys: Vec<VarId>,
+}
+
 /// A complete physical plan for one [`StoreJucq`](crate::ir::StoreJucq).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Plan {
@@ -293,6 +310,12 @@ pub struct Plan {
     /// `shared_scan[i]`), paired with measured rows by
     /// `explain_analyze`.
     pub estimates: Vec<(String, f64)>,
+    /// Planned sideways-information-passing filters, in join-step
+    /// order; empty when `sip_filters` is off or the plan has a single
+    /// fragment. Non-empty plans are executed *staged* (fragments in
+    /// join order) so each filter's build side exists before its target
+    /// fragment runs.
+    pub sip: Vec<SipFilterDef>,
 }
 
 impl Plan {
@@ -333,6 +356,19 @@ impl Plan {
         }
         if let Some(i) = self.pipelined {
             let _ = writeln!(out, "Pipelined fragment: {i}");
+        }
+        if !self.sip.is_empty() {
+            out.push_str("SIP filters:\n");
+            for def in &self.sip {
+                let keys: Vec<String> = def.keys.iter().map(|v| format!("?{v}")).collect();
+                let _ = writeln!(
+                    out,
+                    "  join[{}] build → fragment[{}] probe on [{}]",
+                    def.step,
+                    def.target,
+                    keys.join(", ")
+                );
+            }
         }
         self.root.render_into(&mut out, 0, max_members);
         out

@@ -27,7 +27,7 @@ use jucq_model::{FxHashMap, FxHashSet};
 
 use crate::exec::join;
 use crate::ir::{PatternTerm, StoreCq, StoreJucq, StorePattern, StoreUcq, VarId};
-use crate::plan::node::{Plan, PlanNode, SharedScanDef};
+use crate::plan::node::{Plan, PlanNode, SharedScanDef, SipFilterDef};
 use crate::profile::{EngineProfile, JoinAlgo};
 use crate::stats::Statistics;
 use crate::table::TripleTable;
@@ -274,6 +274,7 @@ impl<'a> Planner<'a> {
                 head: q.head.clone(),
                 pipelined: None,
                 estimates: Vec::new(),
+                sip: Vec::new(),
             };
             jucq_obs::metrics::counter_add("planner.lower.nodes_before", before as u64);
             jucq_obs::metrics::counter_add("planner.lower.nodes_after", plan.node_count() as u64);
@@ -333,6 +334,7 @@ impl<'a> Planner<'a> {
         let mut acc_vars: Vec<VarId> = draft[first].head.clone();
         let mut tree = union_nodes[first].take().expect("each fragment lowered once");
         let mut joined: Vec<usize> = vec![first];
+        let mut sip: Vec<SipFilterDef> = Vec::new();
         let mut step = 0usize;
         while !remaining.is_empty() {
             let pos = remaining
@@ -341,6 +343,17 @@ impl<'a> Planner<'a> {
                 .unwrap_or(0);
             let next = remaining.remove(pos);
             joined.push(next);
+            if self.profile.sip_filters {
+                // The filter keys are exactly the join keys of this
+                // step: head variables of the incoming fragment already
+                // bound by the accumulated schema. A disconnected
+                // fragment (cartesian product) gets no filter.
+                let keys: Vec<VarId> =
+                    draft[next].head.iter().copied().filter(|v| acc_vars.contains(v)).collect();
+                if !keys.is_empty() {
+                    sip.push(SipFilterDef { step, target: next, keys });
+                }
+            }
             for &v in &draft[next].head {
                 if !acc_vars.contains(&v) {
                     acc_vars.push(v);
@@ -370,7 +383,7 @@ impl<'a> Planner<'a> {
             }),
             est: Some(final_est),
         };
-        let plan = Plan { root, shared, head: q.head.clone(), pipelined, estimates };
+        let plan = Plan { root, shared, head: q.head.clone(), pipelined, estimates, sip };
         jucq_obs::metrics::counter_add("planner.lower.nodes_before", before as u64);
         jucq_obs::metrics::counter_add("planner.lower.nodes_after", plan.node_count() as u64);
         plan

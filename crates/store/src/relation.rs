@@ -147,6 +147,103 @@ impl Relation {
         removed
     }
 
+    /// Remove duplicate rows without the snapshot copy of
+    /// [`Relation::dedup_in_place`]: open-addressing over row indices
+    /// into the already-compacted prefix (kept rows sit at or before the
+    /// candidate, so probing only ever reads settled data). Same result
+    /// and first-occurrence order as the snapshot version; used by the
+    /// vectorized execution path.
+    pub fn dedup_in_place_hashed(&mut self) -> usize {
+        if self.vars.is_empty() {
+            let before = self.data.len();
+            self.data.truncate(1.min(before));
+            return before - self.data.len();
+        }
+        let width = self.vars.len();
+        let n = self.len();
+        if n == 0 {
+            return 0;
+        }
+        // ≤ 50% load factor; slot 0 = empty, else kept-row index + 1.
+        let mut slots: Vec<u32> = vec![0; (n * 2).next_power_of_two()];
+        let mask = slots.len() - 1;
+        let hash = |row: &[TermId]| -> usize {
+            let mut h: u64 = row.len() as u64;
+            for t in row {
+                h = (h.rotate_left(5) ^ u64::from(t.raw())).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+            }
+            h as usize
+        };
+        let mut write = 0usize;
+        let mut removed = 0usize;
+        for i in 0..n {
+            let start = i * width;
+            let mut slot = hash(&self.data[start..start + width]) & mask;
+            let mut dup = false;
+            loop {
+                match slots[slot] {
+                    0 => {
+                        slots[slot] = write as u32 + 1;
+                        break;
+                    }
+                    idx => {
+                        let j = (idx as usize - 1) * width;
+                        if self.data[j..j + width] == self.data[start..start + width] {
+                            dup = true;
+                            break;
+                        }
+                        slot = (slot + 1) & mask;
+                    }
+                }
+            }
+            if dup {
+                removed += 1;
+            } else {
+                if write != i {
+                    self.data.copy_within(start..start + width, write * width);
+                }
+                write += 1;
+            }
+        }
+        self.data.truncate(write * width);
+        removed
+    }
+
+    /// Keep only the rows satisfying `pred`, preserving order; returns
+    /// the number of rows kept. Zero-width (boolean) relations are left
+    /// untouched — their rows carry no values to test.
+    pub fn retain_rows(&mut self, mut pred: impl FnMut(&[TermId]) -> bool) -> usize {
+        if self.vars.is_empty() {
+            return self.len();
+        }
+        let width = self.vars.len();
+        let n = self.len();
+        let mut write = 0usize;
+        for i in 0..n {
+            let start = i * width;
+            if pred(&self.data[start..start + width]) {
+                if write != i {
+                    self.data.copy_within(start..start + width, write * width);
+                }
+                write += 1;
+            }
+        }
+        self.data.truncate(write * width);
+        write
+    }
+
+    /// Append width-aligned row data in one bulk copy (the batched
+    /// kernels' flush path).
+    ///
+    /// # Panics
+    /// Panics (debug) if the relation is zero-width or the data length
+    /// is not a multiple of the width.
+    pub(crate) fn append_flat(&mut self, flat: &[TermId]) {
+        debug_assert!(!self.vars.is_empty(), "zero-width rows are presence markers, not data");
+        debug_assert_eq!(flat.len() % self.vars.len(), 0);
+        self.data.extend_from_slice(flat);
+    }
+
     /// Concatenate another relation with the same schema.
     ///
     /// # Panics
@@ -236,7 +333,38 @@ mod tests {
     fn dedup_on_empty_is_noop() {
         let mut r = Relation::empty(vec![0, 1]);
         assert_eq!(r.dedup_in_place(), 0);
+        assert_eq!(r.dedup_in_place_hashed(), 0);
         assert!(r.is_empty());
+    }
+
+    #[test]
+    fn hashed_dedup_matches_snapshot_dedup() {
+        let mut snap = Relation::empty(vec![0, 1]);
+        for i in 0..300u32 {
+            snap.push_row(&[id(i % 40), id(i % 7)]);
+        }
+        let mut hashed = snap.clone();
+        assert_eq!(snap.dedup_in_place(), hashed.dedup_in_place_hashed());
+        assert_eq!(snap, hashed, "same survivors in the same order");
+
+        let mut boolean = Relation::empty(vec![]);
+        boolean.push_row(&[]);
+        boolean.push_row(&[]);
+        assert_eq!(boolean.dedup_in_place_hashed(), 1);
+        assert_eq!(boolean.len(), 1);
+    }
+
+    #[test]
+    fn retain_rows_compacts_in_order() {
+        let mut r = rel(vec![0, 1], &[&[1, 2], &[3, 4], &[5, 6], &[7, 8]]);
+        let kept = r.retain_rows(|row| row[0] != id(3) && row[0] != id(7));
+        assert_eq!(kept, 2);
+        assert_eq!(r.to_rows(), vec![vec![id(1), id(2)], vec![id(5), id(6)]]);
+
+        let mut boolean = Relation::empty(vec![]);
+        boolean.push_row(&[]);
+        assert_eq!(boolean.retain_rows(|_| false), 1, "boolean rows are never filtered");
+        assert_eq!(boolean.len(), 1);
     }
 
     #[test]

@@ -136,6 +136,8 @@ fn two_fragment_join_snapshot_pg_vs_mysql() {
     let pg = render(&q, EngineProfile::pg_like());
     let want_pg = "\
 Pipelined fragment: 0
+SIP filters:
+  join[0] build → fragment[0] probe on [?0]
 Dedup (est 2.0)
   Project [?0, ?1, ?2]
     HashJoin join[0] (est 2.0)
@@ -154,6 +156,47 @@ Dedup (est 2.0)
     let my = render(&q, EngineProfile::mysql_like());
     assert!(my.contains("NestedLoopJoin join[0]"), "mysql uses BNL:\n{my}");
     assert!(my.contains("Pipelined fragment: 0"), "{my}");
+}
+
+/// SIP filter placement: a planned filter targets the fragment joined
+/// in at each step, keyed on the step's shared variables, and renders
+/// in its own plan section; turning the knob off removes the section,
+/// and a disconnected (cartesian) join step plans no filter.
+#[test]
+fn sip_filter_placement_snapshot() {
+    let fa = StoreUcq::new(
+        vec![member(vec![StorePattern::new(v(0), c(10), v(1))], vec![0, 1])],
+        vec![0, 1],
+    );
+    let fb = StoreUcq::new(
+        vec![member(vec![StorePattern::new(v(0), c(11), v(2))], vec![0, 2])],
+        vec![0, 2],
+    );
+    let fc = StoreUcq::new(
+        vec![member(vec![StorePattern::new(v(1), c(12), v(3))], vec![1, 3])],
+        vec![1, 3],
+    );
+    let q = StoreJucq::new(vec![fa.clone(), fb.clone(), fc], vec![0, 1, 2, 3]);
+    let got = render(&q, EngineProfile::pg_like());
+    let sip_section = "\
+SIP filters:
+  join[0] build → fragment[0] probe on [?0]
+  join[1] build → fragment[2] probe on [?1]
+";
+    assert!(got.contains(sip_section), "got:\n{got}");
+
+    let off = render(&q, EngineProfile::pg_like().with_sip_filters(false));
+    assert!(!off.contains("SIP filters:"), "knob off removes the section:\n{off}");
+
+    // Disconnected fragments (no shared head variable) join as a
+    // cartesian product — no key, no filter.
+    let fd = StoreUcq::new(
+        vec![member(vec![StorePattern::new(v(5), c(12), v(6))], vec![5, 6])],
+        vec![5, 6],
+    );
+    let disconnected = StoreJucq::new(vec![fa, fd], vec![0, 1, 5, 6]);
+    let got = render(&disconnected, EngineProfile::pg_like());
+    assert!(!got.contains("SIP filters:"), "cartesian step plans no filter:\n{got}");
 }
 
 /// Duplicate members and empty-extent members disappear from the plan;
