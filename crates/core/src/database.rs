@@ -590,11 +590,64 @@ impl RdfDatabase {
     }
 
     /// Answer `q` with `strategy`, reporting timings and plan shape.
+    ///
+    /// When a query-log sink is installed (`--query-log` /
+    /// `JUCQ_QUERY_LOG`; see [`jucq_obs::record`]), the run is profiled
+    /// per node and a structured [`jucq_obs::QueryRecord`] is submitted
+    /// to the sink.
     pub fn answer(
         &mut self,
         q: &BgpQuery,
         strategy: &Strategy,
     ) -> Result<AnswerReport, AnswerError> {
+        if !jucq_obs::record::installed() {
+            return self.answer_impl(q, strategy, false).map(|(report, _)| report);
+        }
+        let (result, record) = self.answer_recorded(q, strategy);
+        if let Some(rec) = record {
+            jucq_obs::record::submit(rec);
+        }
+        result
+    }
+
+    /// Answer `q` and also build — but do not submit — its query-log
+    /// record. [`RdfDatabase::answer`] submits the record when a sink
+    /// is installed; the replay harness ([`crate::telemetry::replay`])
+    /// compares records instead of logging them. The record is `None`
+    /// only for the empty-body short-circuit, which has nothing to
+    /// profile.
+    pub fn answer_recorded(
+        &mut self,
+        q: &BgpQuery,
+        strategy: &Strategy,
+    ) -> (Result<AnswerReport, AnswerError>, Option<jucq_obs::QueryRecord>) {
+        if q.is_empty() {
+            return (self.answer_impl(q, strategy, false).map(|(report, _)| report), None);
+        }
+        let before = self.plan_cache_stats();
+        let result = self.answer_impl(q, strategy, true);
+        let after = self.plan_cache_stats();
+        let record = crate::telemetry::build_record(
+            self,
+            q,
+            strategy,
+            &result,
+            before.as_ref(),
+            after.as_ref(),
+        );
+        (result.map(|(report, _)| report), Some(record))
+    }
+
+    /// The shared answering pipeline. With `profiled`, evaluation runs
+    /// with per-node runtime profiling and the [`ExecProfile`] is
+    /// returned alongside the report (the data behind query-log
+    /// records); without, evaluation takes the unprofiled fast path.
+    fn answer_impl(
+        &mut self,
+        q: &BgpQuery,
+        strategy: &Strategy,
+        profiled: bool,
+    ) -> Result<(AnswerReport, Option<jucq_store::ExecProfile>), AnswerError> {
         jucq_obs::span!("answer");
         // A zero-atom query short-circuits to a clean empty answer for
         // *every* strategy: an empty body has no cover (UCQ's single
@@ -603,16 +656,19 @@ impl RdfDatabase {
         // made them disagree. No atoms, no answers — uniformly.
         if q.is_empty() {
             jucq_obs::metrics::counter_add("queries.answered", 1);
-            return Ok(AnswerReport {
-                strategy: strategy.name(),
-                rows: Relation::empty(q.head.clone()),
-                counters: Counters::default(),
-                eval_time: Duration::ZERO,
-                planning_time: Duration::ZERO,
-                union_terms: 0,
-                cover: None,
-                covers_explored: None,
-            });
+            return Ok((
+                AnswerReport {
+                    strategy: strategy.name(),
+                    rows: Relation::empty(q.head.clone()),
+                    counters: Counters::default(),
+                    eval_time: Duration::ZERO,
+                    planning_time: Duration::ZERO,
+                    union_terms: 0,
+                    cover: None,
+                    covers_explored: None,
+                },
+                None,
+            ));
         }
         let planning_start = Instant::now();
         let (jucq, cover, explored, saturated, cache_key) = {
@@ -627,17 +683,34 @@ impl RdfDatabase {
         // Reuse the cache entry's lowered physical plan when it was
         // built for exactly this query under this profile; otherwise
         // lower one and attach it for the next repetition.
+        let mut exec_profile = None;
         let mut outcome = match (&mut self.plan_cache, &cache_key) {
             (Some(cache), Some(key)) => {
-                if let Some(plan) = cache.get_plan(key, q) {
-                    target.eval_plan(&plan)?
+                let plan = match cache.get_plan(key, q) {
+                    Some(plan) => plan,
+                    None => {
+                        let plan = std::sync::Arc::new(target.plan_jucq(&jucq)?);
+                        cache.attach_plan(key, q.clone(), std::sync::Arc::clone(&plan));
+                        plan
+                    }
+                };
+                if profiled {
+                    let (outcome, profile) = target.eval_plan_profiled(&plan)?;
+                    exec_profile = Some(profile);
+                    outcome
                 } else {
-                    let plan = std::sync::Arc::new(target.plan_jucq(&jucq)?);
-                    cache.attach_plan(key, q.clone(), std::sync::Arc::clone(&plan));
                     target.eval_plan(&plan)?
                 }
             }
-            _ => target.eval_jucq(&jucq)?,
+            _ => {
+                if profiled {
+                    let (outcome, profile) = target.eval_jucq_profiled(&jucq)?;
+                    exec_profile = Some(profile);
+                    outcome
+                } else {
+                    target.eval_jucq(&jucq)?
+                }
+            }
         };
         if let Some(n) = q.limit {
             outcome.relation.truncate(n);
@@ -667,16 +740,19 @@ impl RdfDatabase {
             }
         }
 
-        Ok(AnswerReport {
-            strategy: strategy.name(),
-            rows: outcome.relation,
-            counters: c,
-            eval_time: outcome.elapsed,
-            planning_time,
-            union_terms,
-            cover,
-            covers_explored: explored,
-        })
+        Ok((
+            AnswerReport {
+                strategy: strategy.name(),
+                rows: outcome.relation,
+                counters: c,
+                eval_time: outcome.elapsed,
+                planning_time,
+                union_terms,
+                cover,
+                covers_explored: explored,
+            },
+            exec_profile,
+        ))
     }
 
     /// `EXPLAIN`: plan `q` exactly as [`RdfDatabase::answer`] would

@@ -28,6 +28,8 @@
 //!   paper's Section 5: saturation, UCQ, SCQ, ECov/GCov JUCQs, fixed
 //!   covers;
 //! * [`parser`] — a SPARQL-BGP subset parser (`SELECT … WHERE { … }`);
+//! * [`telemetry`] — the workload telemetry pipeline: query-log record
+//!   construction and the `jucq replay` regression harness;
 //! * [`turtle`] — a Turtle-subset loader for examples and tests.
 
 #![warn(missing_docs)]
@@ -37,11 +39,13 @@ pub mod parser;
 pub mod plan_cache;
 pub mod snapshot;
 pub mod strategy;
+pub mod telemetry;
 pub mod turtle;
 
 pub use database::{AnswerError, AnswerReport, RdfDatabase};
 pub use plan_cache::{PlanCache, PlanCacheStats};
 pub use strategy::{CostSource, Strategy};
+pub use telemetry::{replay, LatencyPercentiles, ReplayEntry, ReplayReport};
 
 // Re-export the lower layers so downstream users need a single
 // dependency.

@@ -14,7 +14,7 @@
 //!   "gauges": {"plan_cache.hit_ratio": 0.75},
 //!   "histograms": {"pipeline.execution.ns":
 //!       {"count": 4, "sum": 100, "min": 10, "max": 40,
-//!        "p50": 31, "p90": 63, "p99": 63,
+//!        "p50": 31, "p90": 63, "p95": 63, "p99": 63,
 //!        "buckets": [[16, 32, 2], [32, 64, 2]]}}
 //! }
 //! ```
@@ -92,7 +92,7 @@ pub fn to_json(session: &ObsSession) -> String {
         let _ = write!(
             out,
             "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\
-             \"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[",
+             \"p50\":{},\"p90\":{},\"p95\":{},\"p99\":{},\"buckets\":[",
             escape_json(k),
             h.count,
             h.sum,
@@ -100,6 +100,7 @@ pub fn to_json(session: &ObsSession) -> String {
             h.max,
             h.p50,
             h.p90,
+            h.p95,
             h.p99,
         );
         for (j, (lo, hi, c)) in h.buckets.iter().enumerate() {
@@ -184,8 +185,8 @@ pub fn to_text(session: &ObsSession) -> String {
         for (k, h) in &session.metrics.histograms {
             let _ = writeln!(
                 out,
-                "  {k:<40} n={} p50≤{} p90≤{} p99≤{} max={}",
-                h.count, h.p50, h.p90, h.p99, h.max
+                "  {k:<40} n={} p50≤{} p90≤{} p95≤{} p99≤{} max={}",
+                h.count, h.p50, h.p90, h.p95, h.p99, h.max
             );
         }
     }
@@ -367,6 +368,7 @@ mod tests {
         assert!(j.contains("\"plan_cache.hits\":3"));
         assert!(j.contains("\"schema\":\"jucq-obs/1\""));
         assert!(j.contains("execution \\\"quoted\\\""));
+        assert!(j.contains("\"p95\":"), "percentile snapshot includes p95");
     }
 
     #[test]

@@ -10,18 +10,31 @@
 //!   (`plan_cache.hits`, `exec.tuples_scanned`, ...).
 //! - [`export`]: text and JSON renderings of the collected spans and
 //!   metrics, shared by the CLI and the bench harness.
+//! - [`record`]: the structured query log — one [`record::QueryRecord`]
+//!   per answered query, appended as JSONL to a ring-buffered sink
+//!   (`JUCQ_QUERY_LOG` / `--query-log`), the input of `jucq replay`.
+//! - [`trace_export`]: Chrome-trace-event (catapult JSON) rendering of
+//!   a span session, for Perfetto / `about://tracing` (`--trace-out`).
+//! - [`json`]: the matching zero-dependency JSON reader, shared by the
+//!   query-log parser and the replay harness.
 //!
 //! The master switch is [`set_enabled`]; [`take_session`] drains
 //! everything collected so far (spans, metrics, drop counts) into an
-//! [`ObsSession`] ready for export.
+//! [`ObsSession`] ready for export. The query-log sink is independent
+//! of the switch: installing it is its own opt-in.
 
 pub mod export;
+pub mod json;
 pub mod metrics;
+pub mod record;
 pub mod span;
+pub mod trace_export;
 pub mod warn;
 
 pub use metrics::{global, HistogramSnapshot, MetricsSnapshot, Registry};
+pub use record::{NodeRecord, QueryLogConfig, QueryRecord, RecordCounters};
 pub use span::{span, take_spans, SpanGuard, SpanRecord};
+pub use trace_export::to_chrome_trace;
 pub use warn::warn_once;
 
 use std::sync::atomic::{AtomicBool, Ordering};

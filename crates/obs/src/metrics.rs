@@ -88,6 +88,8 @@ pub struct HistogramSnapshot {
     pub p50: u64,
     /// Conservative 90th-percentile upper bound.
     pub p90: u64,
+    /// Conservative 95th-percentile upper bound.
+    pub p95: u64,
     /// Conservative 99th-percentile upper bound.
     pub p99: u64,
     /// Non-empty buckets as `(lo, hi_exclusive, count)`.
@@ -103,6 +105,7 @@ impl Histogram {
             max: self.max,
             p50: self.quantile_le(0.50),
             p90: self.quantile_le(0.90),
+            p95: self.quantile_le(0.95),
             p99: self.quantile_le(0.99),
             buckets: self
                 .counts
@@ -255,6 +258,10 @@ mod tests {
         // p50 of [0,1,1,3,8,1000]: 3rd rank lands in the [1,2) bucket.
         assert!(s.p50 <= 3);
         assert!(s.p99 >= 512 && s.p99 <= 1000);
+        // The percentile chain is monotone: p50 ≤ p90 ≤ p95 ≤ p99 ≤ max.
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+        // p95 of 6 samples is the 6th rank: the [512,1024) bucket.
+        assert!(s.p95 >= 512 && s.p95 <= 1000);
     }
 
     #[test]

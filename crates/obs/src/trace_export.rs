@@ -1,0 +1,184 @@
+//! Chrome-trace-event (catapult JSON) export of a span session.
+//!
+//! Perfetto and `about://tracing` both load the catapult "JSON Trace
+//! Event Format": an object with a `traceEvents` array of events. We
+//! emit one complete (`"ph":"X"`) event per recorded span — timestamps
+//! and durations in *microseconds* per the format — with the span's
+//! thread index as `tid`, so a query's span tree opens as a per-thread
+//! flame chart. Events are sorted by start time, which the format does
+//! not require but some viewers load faster with.
+
+use std::fmt::Write as _;
+
+use crate::export::escape_json;
+use crate::ObsSession;
+
+/// Process id used for all events (one trace = one jucq process).
+const PID: u64 = 1;
+
+/// Render `session`'s spans as a catapult JSON trace document.
+pub fn to_chrome_trace(session: &ObsSession) -> String {
+    let mut spans: Vec<&crate::SpanRecord> = session.spans.iter().collect();
+    spans.sort_by_key(|s| (s.start_ns, s.id));
+    let mut out = String::with_capacity(256 + spans.len() * 128);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    // A metadata event naming the process, per the format.
+    let _ = write!(
+        out,
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{PID},\"tid\":0,\"ts\":0,\
+         \"args\":{{\"name\":\"jucq\"}}}}"
+    );
+    for s in &spans {
+        let _ = write!(
+            out,
+            ",{{\"name\":\"{}\",\"cat\":\"jucq\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":{PID},\"tid\":{},\"args\":{{\"id\":{},\"parent\":{}}}}}",
+            escape_json(s.name),
+            micros(s.start_ns),
+            micros(s.dur_ns),
+            s.thread,
+            s.id,
+            s.parent.map_or("null".to_owned(), |p| p.to_string()),
+        );
+    }
+    if session.dropped_spans > 0 {
+        let _ = write!(
+            out,
+            ",{{\"name\":\"dropped_spans\",\"ph\":\"M\",\"pid\":{PID},\"tid\":0,\"ts\":0,\
+             \"args\":{{\"count\":{}}}}}",
+            session.dropped_spans
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Nanoseconds as a microsecond decimal with nanosecond precision
+/// (catapult timestamps are float microseconds).
+fn micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Validate `text` against the catapult schema subset this exporter
+/// relies on: a `traceEvents` array whose events carry
+/// `name`/`ph`/`pid`/`tid`, whose complete (`"X"`) events carry
+/// non-negative `ts`/`dur`, and whose `ts` sequence is monotone
+/// non-decreasing. Returns the number of complete events. Used by the
+/// crate's tests and the CI record→replay smoke.
+pub fn validate_catapult(text: &str) -> Result<usize, String> {
+    use crate::json::{self, Value};
+    let doc = json::parse(text).map_err(|e| e.to_string())?;
+    let events =
+        doc.get("traceEvents").and_then(Value::as_arr).ok_or("missing `traceEvents` array")?;
+    let mut last_ts = f64::MIN;
+    let mut complete = 0;
+    for (i, e) in events.iter().enumerate() {
+        let ph = e.get("ph").and_then(Value::as_str).ok_or(format!("event {i} missing `ph`"))?;
+        e.get("name").and_then(Value::as_str).ok_or(format!("event {i} missing `name`"))?;
+        e.get("pid").and_then(Value::as_u64).ok_or(format!("event {i} missing `pid`"))?;
+        e.get("tid").and_then(Value::as_u64).ok_or(format!("event {i} missing `tid`"))?;
+        if ph == "X" {
+            let ts =
+                e.get("ts").and_then(Value::as_f64).ok_or(format!("event {i} missing `ts`"))?;
+            let dur =
+                e.get("dur").and_then(Value::as_f64).ok_or(format!("event {i} missing `dur`"))?;
+            if ts < 0.0 || dur < 0.0 {
+                return Err(format!("event {i} has negative ts/dur"));
+            }
+            if ts < last_ts {
+                return Err(format!("event {i} breaks ts monotonicity"));
+            }
+            last_ts = ts;
+            complete += 1;
+        }
+    }
+    Ok(complete)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{self, Value};
+    use crate::{ObsSession, SpanRecord};
+
+    fn session() -> ObsSession {
+        ObsSession {
+            spans: vec![
+                SpanRecord {
+                    id: 2,
+                    parent: Some(1),
+                    name: "execution",
+                    start_ns: 1_500,
+                    dur_ns: 800,
+                    thread: 1,
+                },
+                SpanRecord {
+                    id: 1,
+                    parent: None,
+                    name: "answer \"q\"",
+                    start_ns: 1_000,
+                    dur_ns: 2_000,
+                    thread: 1,
+                },
+                SpanRecord {
+                    id: 3,
+                    parent: None,
+                    name: "worker",
+                    start_ns: 1_600,
+                    dur_ns: 100,
+                    thread: 2,
+                },
+            ],
+            dropped_spans: 1,
+            metrics: Default::default(),
+        }
+    }
+
+    #[test]
+    fn emits_schema_conformant_events() {
+        let text = to_chrome_trace(&session());
+        let complete = validate_catapult(&text).expect("valid catapult trace");
+        assert_eq!(complete, 3);
+        // Spot-check content: µs conversion and thread mapping.
+        let doc = json::parse(&text).unwrap();
+        let events = doc.get("traceEvents").and_then(Value::as_arr).unwrap();
+        let answer = events
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some("answer \"q\""))
+            .expect("answer event");
+        assert_eq!(answer.get("ts").and_then(Value::as_f64), Some(1.0));
+        assert_eq!(answer.get("dur").and_then(Value::as_f64), Some(2.0));
+        assert_eq!(answer.get("tid").and_then(Value::as_u64), Some(1));
+        let worker = events
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some("worker"))
+            .unwrap();
+        assert_eq!(worker.get("tid").and_then(Value::as_u64), Some(2));
+        // The drop-count metadata event survives.
+        assert!(text.contains("dropped_spans"));
+    }
+
+    #[test]
+    fn empty_session_is_still_valid() {
+        let empty = ObsSession { spans: vec![], dropped_spans: 0, metrics: Default::default() };
+        let text = to_chrome_trace(&empty);
+        assert_eq!(validate_catapult(&text).expect("valid"), 0);
+    }
+
+    #[test]
+    fn events_are_sorted_by_start() {
+        let text = to_chrome_trace(&session());
+        let doc = json::parse(&text).unwrap();
+        let ts: Vec<f64> = doc
+            .get("traceEvents")
+            .and_then(Value::as_arr)
+            .unwrap()
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+            .map(|e| e.get("ts").and_then(Value::as_f64).unwrap())
+            .collect();
+        let mut sorted = ts.clone();
+        sorted.sort_by(f64::total_cmp);
+        assert_eq!(ts, sorted);
+    }
+}

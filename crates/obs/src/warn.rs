@@ -43,6 +43,36 @@ mod tests {
     use super::*;
 
     #[test]
+    fn fires_exactly_once_per_key_across_threads() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::{Arc, Barrier};
+        let _serial = crate::test_lock();
+        reset_for_test();
+        let printed = Arc::new(AtomicUsize::new(0));
+        let barrier = Arc::new(Barrier::new(8));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let printed = Arc::clone(&printed);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    for _ in 0..100 {
+                        if warn_once("warn.cross_thread_key", "raced") {
+                            printed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("warn thread");
+        }
+        assert_eq!(printed.load(Ordering::Relaxed), 1, "exactly one thread printed");
+        assert!(warned("warn.cross_thread_key"));
+        reset_for_test();
+    }
+
+    #[test]
     fn warns_exactly_once_per_key_and_counts_every_call() {
         let _serial = crate::test_lock();
         reset_for_test();

@@ -3,12 +3,14 @@
 //! ```text
 //! jucq query <data.ttl> "<SPARQL>" [--strategy S] [--profile P] [--compare]
 //!            [--threads N] [--batch-size N] [--explain-analyze] [--trace]
-//!            [--metrics-json PATH]
+//!            [--metrics-json PATH] [--query-log PATH] [--slow-ms N]
+//!            [--trace-out PATH]
 //! jucq explain <data.ttl> "<SPARQL>" [--analyze] [--strategy S] [--profile P]
 //!              [--threads N] [--batch-size N]  # physical plan (est vs actual with --analyze)
 //! jucq covers <data.ttl> "<SPARQL>"           # every cover, sized & timed
 //! jucq stats <data.ttl>                       # dataset & schema statistics
 //! jucq repl  <data.ttl>                       # interactive session
+//! jucq replay <data.ttl> <log.jsonl> [--report PATH]    # regression replay
 //! jucq fuzz  [--seed S] [--cases N] [--profile P|all]   # differential fuzzing
 //! ```
 //!
@@ -24,9 +26,19 @@
 //! Observability: `--explain-analyze` renders per-node estimated vs.
 //! actual rows with Q-errors instead of the result rows; `--trace`
 //! prints the pipeline span tree to stderr; `--metrics-json PATH`
-//! writes the collected spans and metrics as JSON.
+//! writes the collected spans and metrics as JSON; `--trace-out PATH`
+//! writes them as a Chrome-trace-event (catapult) file loadable in
+//! Perfetto; `--query-log PATH` appends one structured JSONL record per
+//! answered query (`JUCQ_QUERY_LOG` is the env equivalent) and
+//! `--slow-ms N` additionally embeds the rendered `EXPLAIN ANALYZE`
+//! tree for queries at or above the threshold (`JUCQ_SLOW_MS`).
+//! `jucq replay` re-executes a recorded log and reports row-count
+//! mismatches, latency percentile deltas, and Q-error drift, exiting
+//! non-zero on any mismatch.
 
 use std::io::{BufRead, Write};
+use std::path::PathBuf;
+use std::time::Duration;
 
 use jucq_core::reformulation::Cover;
 use jucq_core::store::EngineProfile;
@@ -34,7 +46,7 @@ use jucq_core::{AnswerError, RdfDatabase, Strategy};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  jucq query    <data.ttl|.snap> \"<SPARQL>\" [--strategy sat|ucq|scq|ecov|gcov] [--profile pg|db2|mysql|native] [--threads N] [--batch-size N] [--compare] [--explain-analyze] [--trace] [--metrics-json PATH]\n  jucq explain  <data.ttl|.snap> \"<SPARQL>\" [--analyze] [--strategy ...] [--profile ...] [--threads N] [--batch-size N]\n  jucq covers   <data.ttl|.snap> \"<SPARQL>\"\n  jucq stats    <data.ttl|.snap>\n  jucq repl     <data.ttl|.snap> [--profile ...] [--threads N] [--batch-size N]\n  jucq snapshot <data.ttl> <out.snap>\n  jucq fuzz     [--seed S] [--cases N] [--profile pg|db2|mysql|native|all] [--quiet]"
+        "usage:\n  jucq query    <data.ttl|.snap> \"<SPARQL>\" [--strategy sat|ucq|scq|ecov|gcov] [--profile pg|db2|mysql|native] [--threads N] [--batch-size N] [--compare] [--explain-analyze] [--trace] [--metrics-json PATH] [--query-log PATH] [--slow-ms N] [--trace-out PATH]\n  jucq explain  <data.ttl|.snap> \"<SPARQL>\" [--analyze] [--strategy ...] [--profile ...] [--threads N] [--batch-size N]\n  jucq covers   <data.ttl|.snap> \"<SPARQL>\"\n  jucq stats    <data.ttl|.snap>\n  jucq repl     <data.ttl|.snap> [--profile ...] [--threads N] [--batch-size N]\n  jucq replay   <data.ttl|.snap> <log.jsonl> [--profile ...] [--threads N] [--batch-size N] [--report PATH]\n  jucq snapshot <data.ttl> <out.snap>\n  jucq fuzz     [--seed S] [--cases N] [--profile pg|db2|mysql|native|all] [--quiet]"
     );
     std::process::exit(2)
 }
@@ -154,6 +166,9 @@ fn cmd_query(mut args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
     let mut explain_analyze = false;
     let mut trace = false;
     let mut metrics_json: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut query_log: Option<String> = None;
+    let mut slow_ms: Option<u64> = None;
     let mut positional: Vec<String> = Vec::new();
     while !args.is_empty() {
         let a = args.remove(0);
@@ -189,6 +204,27 @@ fn cmd_query(mut args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
                 }
                 metrics_json = Some(v);
             }
+            "--trace-out" => {
+                let v = args.first().cloned().unwrap_or_default();
+                args.drain(..1.min(args.len()));
+                if v.is_empty() {
+                    usage();
+                }
+                trace_out = Some(v);
+            }
+            "--query-log" => {
+                let v = args.first().cloned().unwrap_or_default();
+                args.drain(..1.min(args.len()));
+                if v.is_empty() {
+                    usage();
+                }
+                query_log = Some(v);
+            }
+            "--slow-ms" => {
+                let v = args.first().cloned().unwrap_or_default();
+                args.drain(..1.min(args.len()));
+                slow_ms = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
             _ => positional.push(a),
         }
     }
@@ -201,8 +237,22 @@ fn cmd_query(mut args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
     if let Some(n) = batch_size {
         profile = profile.with_batch_size(n);
     }
-    if trace || metrics_json.is_some() {
+    let observing = trace || metrics_json.is_some() || trace_out.is_some();
+    if observing {
         jucq_obs::set_enabled(true);
+    }
+    // CLI flags win over the environment; either installs the sink.
+    let log_path = query_log
+        .map(PathBuf::from)
+        .or_else(|| std::env::var_os("JUCQ_QUERY_LOG").map(PathBuf::from));
+    let slow_threshold =
+        slow_ms.map(Duration::from_millis).or_else(jucq_obs::record::slow_ms_from_env);
+    if log_path.is_some() || slow_threshold.is_some() {
+        jucq_obs::record::install(jucq_obs::QueryLogConfig {
+            path: log_path,
+            ring_capacity: 0,
+            slow_threshold,
+        })?;
     }
     let mut db = load(path, profile)?;
     db.enable_plan_cache(64);
@@ -215,7 +265,7 @@ fn cmd_query(mut args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
     } else {
         run_query(&mut db, sparql, &strategy, 1000);
     }
-    if trace || metrics_json.is_some() {
+    if observing {
         jucq_obs::set_enabled(false);
         let session = jucq_obs::take_session();
         if trace {
@@ -225,6 +275,96 @@ fn cmd_query(mut args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
             std::fs::write(path, jucq_obs::export::to_json(&session))?;
             eprintln!("wrote metrics to {path}");
         }
+        if let Some(path) = &trace_out {
+            std::fs::write(path, jucq_obs::to_chrome_trace(&session))?;
+            eprintln!("wrote catapult trace to {path} (load in Perfetto or about://tracing)");
+        }
+    }
+    jucq_obs::record::uninstall();
+    Ok(())
+}
+
+fn cmd_replay(mut args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
+    let mut profile = EngineProfile::pg_like();
+    let mut threads: Option<usize> = None;
+    let mut batch_size: Option<usize> = None;
+    let mut report_path: Option<String> = None;
+    let mut positional: Vec<String> = Vec::new();
+    while !args.is_empty() {
+        let a = args.remove(0);
+        match a.as_str() {
+            "--profile" => {
+                let v = args.first().cloned().unwrap_or_default();
+                args.drain(..1.min(args.len()));
+                profile = parse_profile(&v).unwrap_or_else(|| usage());
+            }
+            "--threads" => {
+                let v = args.first().cloned().unwrap_or_default();
+                args.drain(..1.min(args.len()));
+                threads = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
+            "--batch-size" => {
+                let v = args.first().cloned().unwrap_or_default();
+                args.drain(..1.min(args.len()));
+                batch_size = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
+            "--report" => {
+                let v = args.first().cloned().unwrap_or_default();
+                args.drain(..1.min(args.len()));
+                if v.is_empty() {
+                    usage();
+                }
+                report_path = Some(v);
+            }
+            _ => positional.push(a),
+        }
+    }
+    let [path, log] = positional.as_slice() else {
+        usage();
+    };
+    if let Some(n) = threads {
+        profile = profile.with_parallelism(n);
+    }
+    if let Some(n) = batch_size {
+        profile = profile.with_batch_size(n);
+    }
+    let text = std::fs::read_to_string(log)?;
+    let (records, errors) = jucq_obs::record::parse_log(&text);
+    for e in &errors {
+        eprintln!("query-log: skipping {e}");
+    }
+    if records.is_empty() {
+        return Err(format!("no replayable records in {log}").into());
+    }
+    let mut db = load(path, profile)?;
+    db.enable_plan_cache(64);
+    let report = jucq_core::telemetry::replay(&mut db, &records);
+    eprintln!(
+        "replayed {} record(s): {} row mismatch(es), {} outcome mismatch(es), {} replay error(s)",
+        report.total, report.row_mismatches, report.outcome_mismatches, report.replay_errors,
+    );
+    let (rec, rep) = (&report.recorded_latency, &report.replayed_latency);
+    eprintln!(
+        "latency p50/p95/p99: recorded {:.3}/{:.3}/{:.3} ms, replayed {:.3}/{:.3}/{:.3} ms",
+        rec.p50 as f64 / 1e6,
+        rec.p95 as f64 / 1e6,
+        rec.p99 as f64 / 1e6,
+        rep.p50 as f64 / 1e6,
+        rep.p95 as f64 / 1e6,
+        rep.p99 as f64 / 1e6,
+    );
+    if let (Some(max), Some(mean)) = (report.max_q_error_drift, report.mean_q_error_drift) {
+        eprintln!("Q-error drift: max {max:.2}, mean {mean:.2}");
+    }
+    match &report_path {
+        Some(p) => {
+            std::fs::write(p, report.to_json())?;
+            eprintln!("wrote replay report to {p}");
+        }
+        None => println!("{}", report.to_json()),
+    }
+    if report.mismatches() > 0 {
+        std::process::exit(1);
     }
     Ok(())
 }
@@ -376,6 +516,9 @@ fn cmd_repl(mut args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
     }
     let mut db = load(path, profile)?;
     db.enable_plan_cache(64);
+    if jucq_obs::record::install_from_env() {
+        eprintln!("query log installed from JUCQ_QUERY_LOG/JUCQ_SLOW_MS");
+    }
     let mut strategy = Strategy::gcov_default();
     eprintln!("jucq repl — enter a SPARQL query, or :strategy/:profile/:help/:quit");
     let stdin = std::io::stdin();
@@ -472,6 +615,7 @@ fn main() {
         "covers" => cmd_covers(args),
         "stats" => cmd_stats(args),
         "repl" => cmd_repl(args),
+        "replay" => cmd_replay(args),
         "snapshot" => cmd_snapshot(args),
         "fuzz" => cmd_fuzz(args),
         _ => usage(),

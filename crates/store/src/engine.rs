@@ -44,13 +44,12 @@ pub struct PlanNodeReport {
 
 impl PlanNodeReport {
     /// The Q-error `max(est/actual, actual/est)` with both sides
-    /// clamped to at least one row; `None` without an estimate.
+    /// clamped to at least one row, so zero estimates or zero actual
+    /// rows stay finite; `None` without an estimate or when the
+    /// estimate is not finite (an overflowed cardinality product must
+    /// not surface as `inf`/`NaN`).
     pub fn q_error(&self) -> Option<f64> {
-        self.est_rows.map(|est| {
-            let est = est.max(1.0);
-            let actual = (self.actual_rows as f64).max(1.0);
-            (est / actual).max(actual / est)
-        })
+        jucq_obs::record::q_error_safe(self.est_rows, self.actual_rows)
     }
 }
 
@@ -366,6 +365,29 @@ mod tests {
         off.set_profile(EngineProfile::pg_like().with_sip_filters(false));
         let (_, profile) = off.eval_jucq_profiled(&q).unwrap();
         assert!(profile.sip.is_empty(), "{:?}", profile.sip);
+    }
+
+    #[test]
+    fn q_error_is_guarded_against_zero_and_non_finite_rows() {
+        let node = |est: Option<f64>, actual: u64| PlanNodeReport {
+            label: "n".into(),
+            invocations: 1,
+            actual_rows: actual,
+            elapsed_ns: 0,
+            est_rows: est,
+        };
+        // Zero actual rows and zero estimates clamp to one row — the
+        // reported Q-error stays finite instead of dividing by zero.
+        assert_eq!(node(Some(0.0), 0).q_error(), Some(1.0));
+        assert_eq!(node(Some(0.0), 8).q_error(), Some(8.0));
+        assert_eq!(node(Some(8.0), 0).q_error(), Some(8.0));
+        // Non-finite estimates (an overflowed cardinality product)
+        // surface as "no estimate", never as inf/NaN.
+        assert_eq!(node(Some(f64::INFINITY), 5).q_error(), None);
+        assert_eq!(node(Some(f64::NAN), 5).q_error(), None);
+        assert_eq!(node(None, 5).q_error(), None);
+        let q = node(Some(1e300), 1).q_error().unwrap();
+        assert!(q.is_finite() && q >= 1.0);
     }
 
     #[test]

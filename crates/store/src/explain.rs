@@ -139,13 +139,36 @@ fn fmt_ns(ns: u64) -> String {
 /// surface exactly as in [`Store::eval_jucq`] (rejection, timeout, …).
 pub fn explain_analyze(store: &Store, q: &StoreJucq) -> Result<String, EngineError> {
     let (outcome, exec_profile) = store.eval_jucq_profiled(q)?;
+    Ok(render_analyze_report(
+        &store.profile().name,
+        q.fragments.len(),
+        q.union_terms(),
+        outcome.relation.len(),
+        outcome.elapsed.as_nanos() as u64,
+        &outcome.counters,
+        &exec_profile,
+    ))
+}
+
+/// Render the `EXPLAIN ANALYZE` report from an already-collected
+/// profiled run, without re-executing anything. Shared by
+/// [`explain_analyze`] and the query log's slow-query path (which
+/// already holds the [`crate::ExecProfile`] of the run that breached
+/// the threshold).
+pub fn render_analyze_report(
+    profile_name: &str,
+    fragments: usize,
+    union_terms: usize,
+    rows: usize,
+    elapsed_ns: u64,
+    counters: &crate::exec::Counters,
+    exec_profile: &crate::ExecProfile,
+) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "EXPLAIN ANALYZE under profile `{}` ({} fragment(s), {} union term(s))",
-        store.profile().name,
-        q.fragments.len(),
-        q.union_terms()
+        "EXPLAIN ANALYZE under profile `{profile_name}` \
+         ({fragments} fragment(s), {union_terms} union term(s))",
     );
     let _ = writeln!(
         out,
@@ -166,23 +189,17 @@ pub fn explain_analyze(store: &Store, q: &StoreJucq) -> Result<String, EngineErr
             node.invocations
         );
     }
-    let c = outcome.counters;
-    let _ = writeln!(
-        out,
-        "  Total: {} row(s) in {}",
-        outcome.relation.len(),
-        fmt_ns(outcome.elapsed.as_nanos() as u64)
-    );
+    let _ = writeln!(out, "  Total: {rows} row(s) in {}", fmt_ns(elapsed_ns));
     let _ = writeln!(
         out,
         "  Counters: scanned {}, joined {}, materialized {}, deduped {}, \
          sip probed {}, sip dropped {}",
-        c.tuples_scanned,
-        c.tuples_joined,
-        c.tuples_materialized,
-        c.tuples_deduped,
-        c.sip_probes,
-        c.sip_drops
+        counters.tuples_scanned,
+        counters.tuples_joined,
+        counters.tuples_materialized,
+        counters.tuples_deduped,
+        counters.sip_probes,
+        counters.sip_drops
     );
     if !exec_profile.sip.is_empty() {
         let _ = writeln!(out, "  SIP filters:");
@@ -195,7 +212,7 @@ pub fn explain_analyze(store: &Store, q: &StoreJucq) -> Result<String, EngineErr
             );
         }
     }
-    Ok(out)
+    out
 }
 
 #[cfg(test)]

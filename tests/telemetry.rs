@@ -1,0 +1,173 @@
+//! End-to-end workload telemetry: record a LUBM workload into the
+//! structured query log, round-trip it through JSONL, replay it against
+//! an identical fresh database with zero mismatches, and validate the
+//! catapult trace export — the acceptance path of `--query-log` /
+//! `jucq replay` / `--trace-out`.
+
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+use jucq_core::{RdfDatabase, Strategy};
+use jucq_datagen::lubm;
+use jucq_obs::record::{self, QueryLogConfig, QueryRecord};
+use jucq_store::EngineProfile;
+
+/// The obs sink and span collector are process-global; serialize the
+/// tests that install them.
+fn obs_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn permissive() -> EngineProfile {
+    EngineProfile::pg_like()
+        .with_max_union_terms(2_000_000)
+        .with_memory_budget(100_000_000)
+        .with_timeout(Duration::from_secs(30))
+}
+
+fn lubm_db() -> RdfDatabase {
+    let graph = lubm::generate(&lubm::LubmConfig { universities: 1, seed: 42 });
+    let mut db = RdfDatabase::from_graph(graph, permissive());
+    db.set_cost_constants(Default::default());
+    db.enable_plan_cache(64);
+    db
+}
+
+fn sample_queries() -> Vec<jucq_datagen::NamedQuery> {
+    lubm::motivating_queries()
+        .into_iter()
+        .chain(lubm::workload())
+        .filter(|q| ["q1", "Q08", "Q15", "Q22"].contains(&q.name.as_str()))
+        .collect()
+}
+
+/// Answer the sample workload with the sink installed, returning the
+/// written log text.
+fn record_workload(log_path: &std::path::Path) -> String {
+    record::install(QueryLogConfig {
+        path: Some(log_path.to_path_buf()),
+        ring_capacity: 0,
+        slow_threshold: None,
+    })
+    .expect("install query-log sink");
+    let mut db = lubm_db();
+    for nq in sample_queries() {
+        let q = db.parse_query(&nq.sparql).expect("workload query parses");
+        for strategy in [Strategy::Saturation, Strategy::Ucq, Strategy::gcov_default()] {
+            db.answer(&q, &strategy).expect("workload query answers");
+        }
+        // A fixed cover exercises the `Cover` replay path (the record
+        // must carry the fragments to rebuild it).
+        let cover = jucq_core::reformulation::Cover::singletons(&q).expect("singleton cover");
+        db.answer(&q, &Strategy::FixedCover(cover)).expect("fixed cover answers");
+    }
+    // Answer one query twice so the plan cache serves the repetition
+    // and the record carries a cache-hit flag.
+    let nq = &sample_queries()[0];
+    let q = db.parse_query(&nq.sparql).unwrap();
+    db.answer(&q, &Strategy::gcov_default()).expect("repeat answers");
+    record::uninstall();
+    std::fs::read_to_string(log_path).expect("query log written")
+}
+
+#[test]
+fn recorded_workload_replays_with_zero_mismatches() {
+    let _serial = obs_lock();
+    let log_path =
+        std::env::temp_dir().join(format!("jucq-telemetry-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&log_path);
+    let text = record_workload(&log_path);
+
+    let (records, errors) = record::parse_log(&text);
+    assert!(errors.is_empty(), "{errors:?}");
+    assert_eq!(records.len(), sample_queries().len() * 4 + 1);
+
+    // Every record round-trips through its JSONL rendering.
+    for rec in &records {
+        let line = rec.to_json_line();
+        let parsed = QueryRecord::from_json_line(&line).expect("round-trips");
+        assert_eq!(&parsed, rec);
+        assert_eq!(rec.outcome, "ok");
+        assert!(!rec.fingerprint.is_empty());
+        assert!(rec.plan_fingerprint.is_some(), "profiled runs carry a plan fingerprint");
+        assert!(!rec.nodes.is_empty(), "profiled runs carry per-node rows");
+        assert!(rec.slow_explain.is_none(), "no threshold, no explain payload");
+    }
+    // The same query shape fingerprints identically across strategies
+    // and the Cover record carries its fragments.
+    let q1: Vec<&QueryRecord> =
+        records.iter().filter(|r| r.fingerprint == records[0].fingerprint).collect();
+    assert!(q1.len() >= 4, "one record per strategy for the first query");
+    assert!(records.iter().any(|r| r.strategy == "Cover" && r.cover.is_some()));
+    // The repeated GCov run hit the plan cache.
+    let last = records.last().unwrap();
+    assert_eq!(last.cover_cache_hit, Some(true), "repeat served from cover cache");
+
+    // Replay against an identical fresh database: zero mismatches.
+    let mut db = lubm_db();
+    let report = jucq_core::replay(&mut db, &records);
+    assert_eq!(report.total, records.len());
+    assert_eq!(report.row_mismatches, 0, "{:#?}", report.entries);
+    assert_eq!(report.outcome_mismatches, 0);
+    assert_eq!(report.replay_errors, 0);
+    assert_eq!(report.mismatches(), 0);
+    assert!(report.recorded_latency.p50 > 0, "recorded percentiles are real timings");
+    assert!(report.replayed_latency.p50 > 0);
+    assert!(report.recorded_latency.p50 <= report.recorded_latency.p95);
+    assert!(report.recorded_latency.p95 <= report.recorded_latency.p99);
+
+    // The report document parses and carries the percentile deltas.
+    let doc = jucq_obs::json::parse(&report.to_json()).expect("report is valid JSON");
+    use jucq_obs::json::Value;
+    assert_eq!(doc.get("schema").and_then(Value::as_str), Some("jucq-replay/1"));
+    assert_eq!(doc.get("row_mismatches").and_then(Value::as_u64), Some(0));
+    for key in ["recorded_latency_ns", "replayed_latency_ns", "latency_delta_ns"] {
+        let pct = doc.get(key).unwrap_or_else(|| panic!("report has `{key}`"));
+        for p in ["p50", "p95", "p99"] {
+            assert!(pct.get(p).and_then(Value::as_f64).is_some(), "{key}.{p}");
+        }
+    }
+    assert_eq!(doc.get("entries").and_then(Value::as_arr).map(<[Value]>::len), Some(records.len()));
+    let _ = std::fs::remove_file(&log_path);
+}
+
+#[test]
+fn slow_threshold_embeds_the_explain_tree() {
+    let _serial = obs_lock();
+    record::install(QueryLogConfig {
+        path: None,
+        ring_capacity: 0,
+        slow_threshold: Some(Duration::ZERO),
+    })
+    .expect("install");
+    let mut db = lubm_db();
+    let nq = &sample_queries()[0];
+    let q = db.parse_query(&nq.sparql).unwrap();
+    db.answer(&q, &Strategy::gcov_default()).expect("answers");
+    let records = record::drain_ring();
+    record::uninstall();
+    assert_eq!(records.len(), 1);
+    let explain = records[0].slow_explain.as_deref().expect("threshold 0 captures every query");
+    assert!(explain.contains("EXPLAIN ANALYZE"), "{explain}");
+    // And the payload survives the JSONL round-trip.
+    let parsed = QueryRecord::from_json_line(&records[0].to_json_line()).expect("round-trips");
+    assert_eq!(parsed.slow_explain.as_deref(), Some(explain));
+}
+
+#[test]
+fn answered_queries_export_a_valid_catapult_trace() {
+    let _serial = obs_lock();
+    jucq_obs::reset();
+    jucq_obs::set_enabled(true);
+    let mut db = lubm_db();
+    let nq = &sample_queries()[0];
+    let q = db.parse_query(&nq.sparql).unwrap();
+    db.answer(&q, &Strategy::gcov_default()).expect("answers");
+    jucq_obs::set_enabled(false);
+    let session = jucq_obs::take_session();
+    let trace = jucq_obs::to_chrome_trace(&session);
+    let complete = jucq_obs::trace_export::validate_catapult(&trace).expect("valid trace");
+    assert!(complete >= 2, "expected at least answer+planning spans, got {complete}");
+    assert!(trace.contains("\"answer\""));
+}
