@@ -65,6 +65,31 @@ impl From<CoverError> for AnswerError {
     }
 }
 
+/// How the database's dictionary assigns ids to URIs.
+///
+/// With [`EncodingMode::Hierarchical`], class and property ids are
+/// re-assigned by DFS interval labeling over the `rdfs:subClassOf` /
+/// `rdfs:subPropertyOf` DAGs (see [`jucq_model::encoding`]) before the
+/// first query-facing id escapes, so a class subtree occupies one
+/// contiguous id block and the planner's range-collapse pass can turn
+/// reformulation unions over it into single interval scans.
+///
+/// The re-encoding runs **once**, at the first of
+/// [`RdfDatabase::prepare`], [`RdfDatabase::parse_query`],
+/// [`RdfDatabase::intern_uri`] or [`RdfDatabase::intern_term`]. Terms
+/// interned after that point get plain append ids and stay outside every
+/// interval until the database is rebuilt (correctness is unaffected —
+/// the collapse pass only merges constants whose ids happen to be
+/// contiguous).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EncodingMode {
+    /// First-seen append order (the default).
+    #[default]
+    Plain,
+    /// Hierarchy-aware interval labeling of classes and properties.
+    Hierarchical,
+}
+
 /// The outcome of a data update (see
 /// [`RdfDatabase::apply_data_updates`]).
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
@@ -102,6 +127,15 @@ pub struct AnswerReport {
     pub cover: Option<Cover>,
     /// Covers explored by the search, when one ran.
     pub covers_explored: Option<usize>,
+    /// Fragments whose union members contained at least one
+    /// consecutive-id run the planner *could* collapse into a
+    /// [`RangeScan`](jucq_store::PlanNode) — detected even when the
+    /// profile's `range_scans` knob is off, so the query log can report
+    /// missed opportunities.
+    pub range_eligible: usize,
+    /// `RangeScan` nodes actually present in the executed plan (0 when
+    /// the knob is off or nothing was contiguous).
+    pub range_scans_planned: usize,
 }
 
 struct Prepared {
@@ -124,6 +158,11 @@ pub struct RdfDatabase {
     constants: Option<CostConstants>,
     prepared: Option<Prepared>,
     plan_cache: Option<crate::plan_cache::PlanCache>,
+    encoding: EncodingMode,
+    /// Whether the hierarchy-aware re-encoding has run (it must run at
+    /// most once: query constants interned afterwards would otherwise
+    /// hold pre-remap ids).
+    encoded: bool,
 }
 
 impl Default for RdfDatabase {
@@ -146,12 +185,64 @@ impl RdfDatabase {
             constants: None,
             prepared: None,
             plan_cache: None,
+            encoding: EncodingMode::Plain,
+            encoded: false,
         }
     }
 
     /// Wrap an existing graph.
     pub fn from_graph(graph: Graph, profile: EngineProfile) -> Self {
-        RdfDatabase { graph, profile, constants: None, prepared: None, plan_cache: None }
+        RdfDatabase {
+            graph,
+            profile,
+            constants: None,
+            prepared: None,
+            plan_cache: None,
+            encoding: EncodingMode::Plain,
+            encoded: false,
+        }
+    }
+
+    /// Select the dictionary [`EncodingMode`]. Call before the first
+    /// query-facing operation; switching modes invalidates prepared
+    /// stores (and, when switching *to* hierarchical after an earlier
+    /// re-encoding, re-runs the labeling over the current schema).
+    pub fn set_encoding(&mut self, mode: EncodingMode) {
+        if self.encoding != mode {
+            self.encoding = mode;
+            self.encoded = false;
+            self.invalidate();
+        }
+    }
+
+    /// Builder-style [`RdfDatabase::set_encoding`].
+    pub fn with_encoding(mut self, mode: EncodingMode) -> Self {
+        self.set_encoding(mode);
+        self
+    }
+
+    /// The dictionary encoding mode in use.
+    pub fn encoding_mode(&self) -> EncodingMode {
+        self.encoding
+    }
+
+    /// The hierarchy encoding's interval table, once the re-encoding has
+    /// run (`None` under [`EncodingMode::Plain`] or before first use).
+    pub fn hierarchy_encoding(&self) -> Option<&jucq_model::HierarchyEncoding> {
+        self.graph.encoding()
+    }
+
+    /// Run the hierarchy-aware re-encoding exactly once, before any
+    /// dictionary id escapes to a caller (query constants and store
+    /// triples must agree on the id space).
+    fn ensure_encoded(&mut self) {
+        if self.encoded || self.encoding == EncodingMode::Plain {
+            return;
+        }
+        jucq_obs::span!("hierarchy_encoding");
+        self.graph.apply_hierarchy_encoding();
+        self.encoded = true;
+        self.invalidate();
     }
 
     /// Insert one triple (invalidates prepared stores).
@@ -237,6 +328,7 @@ impl RdfDatabase {
         if self.prepared.is_some() {
             return;
         }
+        self.ensure_encoded();
         jucq_obs::span!("prepare");
         let closure = self.graph.schema_closure();
         let rdf_type = self.graph.rdf_type();
@@ -381,7 +473,8 @@ impl RdfDatabase {
         strategy: &Strategy,
         limit: usize,
     ) -> Result<(StoreJucq, Option<Cover>, Option<usize>), AnswerError> {
-        let paper_model = PaperCostModel::new(p.plain.table(), p.plain.stats(), p.constants);
+        let paper_model = PaperCostModel::new(p.plain.table(), p.plain.stats(), p.constants)
+            .with_range_pricing(p.plain.profile().range_scans);
         let engine_model = EngineCostModel::new(&p.plain);
         let estimator: &(dyn JucqCostEstimator + Sync) = match cost {
             CostSource::Paper => &paper_model,
@@ -401,6 +494,7 @@ impl RdfDatabase {
     }
 
     fn encode_triple(&mut self, t: &Triple) -> jucq_model::TripleId {
+        self.ensure_encoded();
         let d = self.graph.dict_mut();
         let s = d.encode(&t.s);
         let p = d.encode(&t.p);
@@ -441,12 +535,14 @@ impl RdfDatabase {
     /// Parse a SPARQL-BGP query against this database's dictionary
     /// (interning constants as needed).
     pub fn parse_query(&mut self, text: &str) -> Result<BgpQuery, crate::parser::ParseError> {
+        self.ensure_encoded();
         crate::parser::parse_query(self.graph.dict_mut(), text)
     }
 
     /// Intern a URI, for building queries programmatically. Interning
     /// does not invalidate prepared stores (ids are append-only).
     pub fn intern_uri(&mut self, uri: &str) -> TermId {
+        self.ensure_encoded();
         self.graph.dict_mut().encode_uri(uri)
     }
 
@@ -454,6 +550,7 @@ impl RdfDatabase {
     /// programmatically. Like [`RdfDatabase::intern_uri`], does not
     /// invalidate prepared stores.
     pub fn intern_term(&mut self, term: &Term) -> TermId {
+        self.ensure_encoded();
         self.graph.dict_mut().encode(term)
     }
 
@@ -499,7 +596,11 @@ impl RdfDatabase {
                     let ucq = jucq_store::StoreUcq::new(vec![cq], head.clone());
                     (StoreJucq::new(vec![ucq], head), None, None, true)
                 }
-                Strategy::Ucq => {
+                // Range reformulates exactly like UCQ; the union-to-
+                // interval collapse happens inside the physical planner
+                // (and only when the profile's `range_scans` knob is on,
+                // so with it off Range degenerates to plain UCQ).
+                Strategy::Ucq | Strategy::Range => {
                     let cover = Cover::single_fragment(q)?;
                     (bounded(&cover)?, Some(cover), None, false)
                 }
@@ -666,6 +767,8 @@ impl RdfDatabase {
                     union_terms: 0,
                     cover: None,
                     covers_explored: None,
+                    range_eligible: 0,
+                    range_scans_planned: 0,
                 },
                 None,
             ));
@@ -684,33 +787,24 @@ impl RdfDatabase {
         // built for exactly this query under this profile; otherwise
         // lower one and attach it for the next repetition.
         let mut exec_profile = None;
-        let mut outcome = match (&mut self.plan_cache, &cache_key) {
-            (Some(cache), Some(key)) => {
-                let plan = match cache.get_plan(key, q) {
-                    Some(plan) => plan,
-                    None => {
-                        let plan = std::sync::Arc::new(target.plan_jucq(&jucq)?);
-                        cache.attach_plan(key, q.clone(), std::sync::Arc::clone(&plan));
-                        plan
-                    }
-                };
-                if profiled {
-                    let (outcome, profile) = target.eval_plan_profiled(&plan)?;
-                    exec_profile = Some(profile);
-                    outcome
-                } else {
-                    target.eval_plan(&plan)?
+        let plan = match (&mut self.plan_cache, &cache_key) {
+            (Some(cache), Some(key)) => match cache.get_plan(key, q) {
+                Some(plan) => plan,
+                None => {
+                    let plan = std::sync::Arc::new(target.plan_jucq(&jucq)?);
+                    cache.attach_plan(key, q.clone(), std::sync::Arc::clone(&plan));
+                    plan
                 }
-            }
-            _ => {
-                if profiled {
-                    let (outcome, profile) = target.eval_jucq_profiled(&jucq)?;
-                    exec_profile = Some(profile);
-                    outcome
-                } else {
-                    target.eval_jucq(&jucq)?
-                }
-            }
+            },
+            _ => std::sync::Arc::new(target.plan_jucq(&jucq)?),
+        };
+        let (range_eligible, range_scans_planned) = (plan.range_eligible, plan.range_scans);
+        let mut outcome = if profiled {
+            let (outcome, profile) = target.eval_plan_profiled(&plan)?;
+            exec_profile = Some(profile);
+            outcome
+        } else {
+            target.eval_plan(&plan)?
         };
         if let Some(n) = q.limit {
             outcome.relation.truncate(n);
@@ -750,6 +844,8 @@ impl RdfDatabase {
                 union_terms,
                 cover,
                 covers_explored: explored,
+                range_eligible,
+                range_scans_planned,
             },
             exec_profile,
         ))
@@ -777,7 +873,15 @@ impl RdfDatabase {
         if let Some(c) = &cover {
             out.push_str(&format!("Cover: {:?}\n", c.fragments()));
         }
-        out.push_str(&jucq_store::explain::explain(target, &jucq));
+        // Decode RangeScan interval endpoints through the dictionary so
+        // the plan reads `o∈[#u12, #u12+5) (Publication)` instead of a
+        // bare id interval.
+        let dict = self.graph.dict();
+        let names = |raw: u32| -> Option<String> {
+            let id = jucq_model::TermId::from_raw(raw);
+            dict.contains_id(id).then(|| dict.lexical(id).to_owned())
+        };
+        out.push_str(&jucq_store::explain::explain_with_names(target, &jucq, Some(&names)));
         Ok(out)
     }
 
@@ -1223,10 +1327,131 @@ mod tests {
             Strategy::Saturation,
             Strategy::Ucq,
             Strategy::Scq,
+            Strategy::Range,
             Strategy::minimized_ucq_default(),
             Strategy::ecov_default(),
             Strategy::gcov_default(),
         ]
+    }
+
+    /// A four-level class chain with a property hierarchy, loaded under
+    /// both encodings.
+    fn hierarchy_db(mode: EncodingMode) -> RdfDatabase {
+        let mut db = RdfDatabase::new().with_encoding(mode);
+        let t = |s: &str, p: &str, o: Term| Triple::new(Term::uri(s), Term::uri(p), o);
+        let mut triples = vec![
+            t("Novel", vocab::RDFS_SUBCLASS_OF, Term::uri("Book")),
+            t("Book", vocab::RDFS_SUBCLASS_OF, Term::uri("Publication")),
+            t("Article", vocab::RDFS_SUBCLASS_OF, Term::uri("Publication")),
+            t("Publication", vocab::RDFS_SUBCLASS_OF, Term::uri("Work")),
+            t("writtenBy", vocab::RDFS_SUBPROPERTY_OF, Term::uri("hasAuthor")),
+        ];
+        for (i, class) in
+            ["Novel", "Book", "Article", "Publication", "Work"].into_iter().enumerate()
+        {
+            triples.push(t(&format!("doc{i}"), vocab::RDF_TYPE, Term::uri(class)));
+            triples.push(t(&format!("doc{i}"), "writtenBy", Term::uri(format!("a{i}"))));
+        }
+        db.extend(&triples);
+        db.set_cost_constants(CostConstants::default());
+        db
+    }
+
+    #[test]
+    fn range_strategy_agrees_with_ucq_under_both_encodings() {
+        let q_text = "SELECT ?x WHERE { ?x rdf:type <Work> . }";
+        let mut expected: Option<Vec<Vec<Term>>> = None;
+        for mode in [EncodingMode::Plain, EncodingMode::Hierarchical] {
+            let mut db = hierarchy_db(mode);
+            let q = db.parse_query(q_text).unwrap();
+            for s in [Strategy::Ucq, Strategy::Range, Strategy::Saturation] {
+                let mut r = db.answer(&q, &s).unwrap();
+                r.rows.sort();
+                let decoded = db.decode_rows(&r.rows);
+                match &expected {
+                    None => expected = Some(decoded),
+                    Some(e) => assert_eq!(e, &decoded, "{mode:?}/{}", s.name()),
+                }
+            }
+        }
+        assert_eq!(expected.map(|e| e.len()), Some(5), "all five docs are Works");
+    }
+
+    #[test]
+    fn hierarchical_encoding_collapses_class_subtree_queries() {
+        let mut db = hierarchy_db(EncodingMode::Hierarchical);
+        let q = db.parse_query("SELECT ?x WHERE { ?x rdf:type <Work> . }").unwrap();
+        let r = db.answer(&q, &Strategy::Range).unwrap();
+        assert!(
+            r.counters.range_scans >= 1,
+            "the five-class subtree collapses into a range scan (counters: {:?})",
+            r.counters
+        );
+        let enc = db.hierarchy_encoding().expect("encoding ran");
+        let work = db.graph().dict().lookup(&Term::uri("Work")).unwrap();
+        let range = enc.descendant_range(work).expect("tree-shaped subtree is exact");
+        assert_eq!(range.width(), 5, "Work covers all five classes");
+        // Knob off: Range degenerates to plain UCQ (no range scans).
+        db.set_profile(EngineProfile::pg_like().with_range_scans(false));
+        let q = db.parse_query("SELECT ?x WHERE { ?x rdf:type <Work> . }").unwrap();
+        let off = db.answer(&q, &Strategy::Range).unwrap();
+        assert_eq!(off.counters.range_scans, 0);
+        let mut a = r.rows;
+        let mut b = off.rows;
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "knob off changes nothing but the plan");
+    }
+
+    #[test]
+    fn explain_renders_range_scans_with_decoded_names() {
+        let mut db = hierarchy_db(EncodingMode::Hierarchical);
+        let q = db.parse_query("SELECT ?x WHERE { ?x rdf:type <Work> . }").unwrap();
+        let text = db.explain(&q, &Strategy::Range).unwrap();
+        assert!(text.contains("RangeScan"), "{text}");
+        assert!(text.contains("(Work)"), "decoded subtree-root name:\n{text}");
+        assert!(text.contains("+5)"), "interval width of the five-class subtree:\n{text}");
+        // Knob off: the same query explains as a plain UCQ of
+        // IndexScans — the fallback plan, not a half-collapsed hybrid.
+        db.set_profile(EngineProfile::pg_like().with_range_scans(false));
+        let q = db.parse_query("SELECT ?x WHERE { ?x rdf:type <Work> . }").unwrap();
+        let text = db.explain(&q, &Strategy::Range).unwrap();
+        assert!(!text.contains("RangeScan"), "{text}");
+        assert!(text.contains("IndexScan"), "{text}");
+    }
+
+    #[test]
+    fn answer_report_carries_range_plan_telemetry() {
+        let mut db = hierarchy_db(EncodingMode::Hierarchical);
+        let q = db.parse_query("SELECT ?x WHERE { ?x rdf:type <Work> . }").unwrap();
+        let r = db.answer(&q, &Strategy::Range).unwrap();
+        assert_eq!(r.range_eligible, 1, "the single fragment has a collapsible run");
+        assert!(r.range_scans_planned >= 1, "and the collapse was applied");
+        // Knob off: the opportunity is still reported, unapplied.
+        db.set_profile(EngineProfile::pg_like().with_range_scans(false));
+        let q = db.parse_query("SELECT ?x WHERE { ?x rdf:type <Work> . }").unwrap();
+        let off = db.answer(&q, &Strategy::Range).unwrap();
+        assert_eq!(off.range_eligible, 1);
+        assert_eq!(off.range_scans_planned, 0);
+    }
+
+    #[test]
+    fn range_records_log_and_replay() {
+        let mut db = hierarchy_db(EncodingMode::Hierarchical);
+        let q = db.parse_query("SELECT ?x WHERE { ?x rdf:type <Work> . }").unwrap();
+        let (res, rec) = db.answer_recorded(&q, &Strategy::Range);
+        res.unwrap();
+        let rec = rec.unwrap();
+        assert_eq!(rec.strategy, "Range");
+        assert_eq!(rec.range_eligible, 1);
+        assert!(rec.range_scans_used >= 1, "counters: {:?}", rec.counters);
+        assert_eq!(rec.counters.range_scans, rec.range_scans_used);
+        // The record round-trips through the jucq-log/2 line format and
+        // replays cleanly under its recorded Range strategy.
+        let parsed = jucq_obs::QueryRecord::from_json_line(&rec.to_json_line()).unwrap();
+        assert_eq!(parsed, rec);
+        let report = crate::telemetry::replay(&mut db, &[parsed]);
+        assert_eq!(report.mismatches(), 0, "{:?}", report.entries);
     }
 
     #[test]

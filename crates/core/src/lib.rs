@@ -42,7 +42,7 @@ pub mod strategy;
 pub mod telemetry;
 pub mod turtle;
 
-pub use database::{AnswerError, AnswerReport, RdfDatabase};
+pub use database::{AnswerError, AnswerReport, EncodingMode, RdfDatabase};
 pub use plan_cache::{PlanCache, PlanCacheStats};
 pub use strategy::{CostSource, Strategy};
 pub use telemetry::{replay, LatencyPercentiles, ReplayEntry, ReplayReport};

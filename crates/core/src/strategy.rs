@@ -27,6 +27,14 @@ pub enum Strategy {
     /// The SCQ reformulation of \[13\] (one singleton fragment per
     /// triple).
     Scq,
+    /// The UCQ reformulation with the planner's range-collapse pass
+    /// relied on to merge contiguous-id union members into interval
+    /// scans (LiteMat-style). Reformulates exactly like [`Strategy::Ucq`];
+    /// the collapse happens at plan time and pays off when the store was
+    /// loaded with the hierarchy-aware dictionary encoding (a class or
+    /// property subtree then occupies one contiguous id block). With the
+    /// profile's `range_scans` knob off this degenerates to plain UCQ.
+    Range,
     /// The UCQ reformulation minimized by containment (dropping union
     /// members subsumed by others, as the "minimal" reformulations of
     /// the paper's related work \[14, 15\]). Minimization is quadratic in
@@ -84,6 +92,7 @@ impl Strategy {
             Strategy::Saturation => "SAT",
             Strategy::Ucq => "UCQ",
             Strategy::Scq => "SCQ",
+            Strategy::Range => "Range",
             Strategy::MinimizedUcq { .. } => "UCQmin",
             Strategy::ECov { .. } => "ECov",
             Strategy::GCov { .. } => "GCov",
@@ -101,6 +110,7 @@ mod tests {
         assert_eq!(Strategy::Saturation.name(), "SAT");
         assert_eq!(Strategy::Ucq.name(), "UCQ");
         assert_eq!(Strategy::Scq.name(), "SCQ");
+        assert_eq!(Strategy::Range.name(), "Range");
         assert_eq!(Strategy::ecov_default().name(), "ECov");
         assert_eq!(Strategy::gcov_default().name(), "GCov");
     }

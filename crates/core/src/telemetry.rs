@@ -165,7 +165,10 @@ pub(crate) fn build_record(
         tuples_deduped: c.tuples_deduped,
         sip_probes: c.sip_probes,
         sip_drops: c.sip_drops,
+        range_scans: c.range_scans,
     };
+    rec.range_eligible = report.range_eligible as u64;
+    rec.range_scans_used = c.range_scans;
     if let Some(p) = exec_profile {
         rec.plan_fingerprint = Some(plan_fingerprint(p));
         rec.nodes = p
@@ -364,6 +367,7 @@ fn strategy_for(rec: &QueryRecord, q: &BgpQuery) -> Result<Strategy, String> {
         "SAT" => Ok(Strategy::Saturation),
         "UCQ" => Ok(Strategy::Ucq),
         "SCQ" => Ok(Strategy::Scq),
+        "Range" => Ok(Strategy::Range),
         "UCQmin" => Ok(Strategy::minimized_ucq_default()),
         "ECov" => Ok(Strategy::ecov_default()),
         "GCov" => Ok(Strategy::gcov_default()),

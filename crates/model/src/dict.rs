@@ -29,20 +29,45 @@ impl Dictionary {
         Self::default()
     }
 
+    /// A dictionary pre-sized for roughly `terms` distinct terms (the
+    /// bulk-load path: one hash-table resize instead of log₂ n of them).
+    pub fn with_capacity(terms: usize) -> Self {
+        let mut d = Dictionary::default();
+        d.reserve(terms);
+        d
+    }
+
+    /// Reserve room for `additional` further distinct terms. The value
+    /// index reserves in full; the per-kind lexeme stores split the hint
+    /// evenly, which is close enough for amortization.
+    pub fn reserve(&mut self, additional: usize) {
+        self.by_value.reserve(additional);
+        let per_kind = additional / 3 + 1;
+        self.uris.reserve(per_kind);
+        self.literals.reserve(per_kind);
+        self.blanks.reserve(per_kind);
+    }
+
     /// Intern `term`, returning its (possibly pre-existing) id.
+    ///
+    /// Single hash lookup per call: the entry API probes once and fills
+    /// the vacancy in place on a miss (the old `get`-then-`insert` pair
+    /// hashed every missed term twice — measurable on bulk loads).
     pub fn encode(&mut self, term: &Term) -> TermId {
-        if let Some(&id) = self.by_value.get(term) {
-            return id;
+        use std::collections::hash_map::Entry;
+        match self.by_value.entry(term.clone()) {
+            Entry::Occupied(e) => *e.get(),
+            Entry::Vacant(e) => {
+                let store = match term.kind() {
+                    TermKind::Uri => &mut self.uris,
+                    TermKind::Literal => &mut self.literals,
+                    TermKind::Blank => &mut self.blanks,
+                };
+                let id = TermId::new(term.kind(), store.len() as u32);
+                store.push(term.lexical().to_owned());
+                *e.insert(id)
+            }
         }
-        let store = match term.kind() {
-            TermKind::Uri => &mut self.uris,
-            TermKind::Literal => &mut self.literals,
-            TermKind::Blank => &mut self.blanks,
-        };
-        let id = TermId::new(term.kind(), store.len() as u32);
-        store.push(term.lexical().to_owned());
-        self.by_value.insert(term.clone(), id);
-        id
     }
 
     /// Shorthand: intern a URI by its string form.
@@ -122,6 +147,30 @@ impl Dictionary {
     /// True iff no term has been interned.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Renumber the URI ids in place: `new_of_old[i]` is the new index
+    /// of the URI currently at index `i`. Literal and blank ids are
+    /// untouched. This is the remap step of the hierarchy-aware
+    /// encoding — every id handed out *before* this call is invalidated,
+    /// so callers run it once, before any id escapes.
+    ///
+    /// # Panics
+    /// Panics if `new_of_old` is not a permutation of `0..uri_count`.
+    pub fn apply_uri_permutation(&mut self, new_of_old: &[u32]) {
+        assert_eq!(new_of_old.len(), self.uris.len(), "permutation must cover every URI");
+        let mut new_uris: Vec<Option<String>> = vec![None; self.uris.len()];
+        for (old, s) in std::mem::take(&mut self.uris).into_iter().enumerate() {
+            let slot = &mut new_uris[new_of_old[old] as usize];
+            assert!(slot.is_none(), "duplicate target index {}", new_of_old[old]);
+            *slot = Some(s);
+        }
+        self.uris = new_uris.into_iter().map(|s| s.expect("bijection")).collect();
+        for (term, id) in self.by_value.iter_mut() {
+            if term.kind() == TermKind::Uri {
+                *id = TermId::new(TermKind::Uri, new_of_old[id.index() as usize]);
+            }
+        }
     }
 
     /// Mint a fresh blank node that is guaranteed not to collide with
@@ -206,6 +255,44 @@ mod tests {
         assert!(d.contains_id(u));
         assert!(!d.contains_id(TermId::new(TermKind::Uri, 1)));
         assert!(!d.contains_id(TermId::new(TermKind::Blank, 0)));
+    }
+
+    #[test]
+    fn with_capacity_and_reserve_do_not_change_semantics() {
+        let mut d = Dictionary::with_capacity(100);
+        assert!(d.is_empty());
+        let a = d.encode_uri("a");
+        d.reserve(1000);
+        assert_eq!(d.lookup_uri("a"), Some(a));
+        assert_eq!(d.encode_uri("a"), a, "reserve keeps interned ids");
+    }
+
+    #[test]
+    fn uri_permutation_renumbers_only_uris() {
+        let mut d = Dictionary::new();
+        let a = d.encode_uri("a");
+        let b = d.encode_uri("b");
+        let c = d.encode_uri("c");
+        let l = d.encode_literal("lit");
+        // Rotate: a→2, b→0, c→1.
+        d.apply_uri_permutation(&[2, 0, 1]);
+        assert_eq!(d.lookup_uri("a"), Some(TermId::new(TermKind::Uri, 2)));
+        assert_eq!(d.lookup_uri("b"), Some(TermId::new(TermKind::Uri, 0)));
+        assert_eq!(d.lookup_uri("c"), Some(TermId::new(TermKind::Uri, 1)));
+        assert_eq!(d.lookup(&Term::literal("lit")), Some(l), "literal ids survive");
+        // Decode follows the new numbering.
+        assert_eq!(d.decode(TermId::new(TermKind::Uri, 2)), Term::uri("a"));
+        assert_eq!(d.lexical(TermId::new(TermKind::Uri, 0)), "b");
+        let _ = (a, b, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation must cover every URI")]
+    fn uri_permutation_rejects_wrong_length() {
+        let mut d = Dictionary::new();
+        d.encode_uri("a");
+        d.encode_uri("b");
+        d.apply_uri_permutation(&[0]);
     }
 
     #[test]

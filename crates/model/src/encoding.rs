@@ -1,0 +1,381 @@
+//! LiteMat-style hierarchy-aware dictionary encoding.
+//!
+//! Reformulation turns a query atom over class `C` into one union member
+//! per subclass of `C` — an O(#subclasses) blow-up every strategy of the
+//! paper pays. Following LiteMat (Curé et al.), this module renumbers
+//! the URI dictionary so that each class (and property) hierarchy node
+//! sits immediately before its descendants: "C and everything below it"
+//! then occupies one contiguous [`IdRange`], and the whole union
+//! collapses into a single clustered-index range scan.
+//!
+//! The layout is a DFS preorder walk over the *direct* subclass /
+//! subproperty edges:
+//!
+//! * tree-shaped subhierarchies get **exact** intervals — the interval
+//!   content is precisely the node plus its closed descendants;
+//! * a multi-parent node is attached under one primary parent (its
+//!   smallest direct parent, for determinism) — every other ancestor's
+//!   interval misses it and is recorded as **inexact** with the missing
+//!   descendants kept as explicit `residuals`;
+//! * nodes on subclass cycles are unreachable from any root and get no
+//!   interval at all (they are appended after the laid-out nodes).
+//!
+//! The encoding itself never decides query answers: the planner's union
+//! collapse checks *id contiguity of the actual member constants* at
+//! plan time, which is valid under any numbering. This module only makes
+//! contiguity the common case and exposes the interval bookkeeping
+//! ([`HierarchyEncoding::descendant_range`]) for explain output, cost
+//! estimation and tests.
+
+use crate::hash::{FxHashMap, FxHashSet};
+use crate::schema::{Schema, SchemaClosure};
+use crate::term::TermKind;
+use crate::triple::TermId;
+
+/// A half-open range `[lo, hi)` of raw [`TermId`] values (same-kind ids
+/// with consecutive indexes have consecutive raw values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IdRange {
+    /// First raw id in the range (inclusive).
+    pub lo: u32,
+    /// One past the last raw id (exclusive).
+    pub hi: u32,
+}
+
+impl IdRange {
+    /// Number of ids covered.
+    pub fn width(&self) -> u32 {
+        self.hi - self.lo
+    }
+
+    /// True iff `id` falls inside the range.
+    pub fn contains(&self, id: TermId) -> bool {
+        (self.lo..self.hi).contains(&id.raw())
+    }
+}
+
+/// The interval bookkeeping of one laid-out hierarchy node.
+#[derive(Debug, Clone)]
+pub struct NodeInterval {
+    /// Ids of the node and its interval-resident descendants.
+    pub range: IdRange,
+    /// True iff the interval content is exactly the node plus all its
+    /// closed descendants (tree-shaped below this node).
+    pub exact: bool,
+    /// Closed descendants *outside* the interval — the residual union
+    /// members a multi-parent (or cycle-entangled) hierarchy leaves
+    /// behind.
+    pub residuals: Vec<TermId>,
+}
+
+/// The per-node interval tables of one hierarchy-aware encoding, keyed
+/// by the **post-remap** ids.
+#[derive(Debug, Clone, Default)]
+pub struct HierarchyEncoding {
+    classes: FxHashMap<TermId, NodeInterval>,
+    properties: FxHashMap<TermId, NodeInterval>,
+}
+
+impl HierarchyEncoding {
+    /// The exact descendant interval of `class` — `Some` only when the
+    /// interval is provably `{class} ∪ subclasses⁺(class)`; multi-parent
+    /// and cycle cases answer `None` (callers fall back to the union).
+    pub fn descendant_range(&self, class: TermId) -> Option<IdRange> {
+        self.classes.get(&class).filter(|n| n.exact).map(|n| n.range)
+    }
+
+    /// The exact descendant interval of property `p` (see
+    /// [`HierarchyEncoding::descendant_range`]).
+    pub fn property_descendant_range(&self, p: TermId) -> Option<IdRange> {
+        self.properties.get(&p).filter(|n| n.exact).map(|n| n.range)
+    }
+
+    /// Full interval record of a laid-out class, exact or not.
+    pub fn class_interval(&self, class: TermId) -> Option<&NodeInterval> {
+        self.classes.get(&class)
+    }
+
+    /// Full interval record of a laid-out property.
+    pub fn property_interval(&self, p: TermId) -> Option<&NodeInterval> {
+        self.properties.get(&p)
+    }
+
+    /// `(laid-out, exact)` class counts, for stats output.
+    pub fn class_counts(&self) -> (usize, usize) {
+        (self.classes.len(), self.classes.values().filter(|n| n.exact).count())
+    }
+
+    /// `(laid-out, exact)` property counts, for stats output.
+    pub fn property_counts(&self) -> (usize, usize) {
+        (self.properties.len(), self.properties.values().filter(|n| n.exact).count())
+    }
+}
+
+/// DFS preorder layout of one hierarchy: visit order plus the subtree
+/// position span of every visited node.
+struct Layout {
+    /// Old ids in DFS preorder (cycle nodes excluded).
+    order: Vec<TermId>,
+    /// `old id → [start, end)` positions within `order`.
+    span: FxHashMap<TermId, (usize, usize)>,
+}
+
+/// Lay out `universe` (URI ids only) over the direct `edges`
+/// (`(child, parent)` pairs). Children are visited in ascending old-id
+/// order; a multi-parent child belongs to its smallest parent.
+fn dfs_layout(universe: &[TermId], edges: &[(TermId, TermId)]) -> Layout {
+    let in_universe: FxHashSet<TermId> = universe.iter().copied().collect();
+    let mut children: FxHashMap<TermId, Vec<TermId>> = FxHashMap::default();
+    let mut primary_parent: FxHashMap<TermId, TermId> = FxHashMap::default();
+    for &(child, parent) in edges {
+        if child == parent
+            || !child.is_uri()
+            || !parent.is_uri()
+            || !in_universe.contains(&child)
+            || !in_universe.contains(&parent)
+        {
+            continue;
+        }
+        primary_parent
+            .entry(child)
+            .and_modify(|p| {
+                if parent < *p {
+                    *p = parent;
+                }
+            })
+            .or_insert(parent);
+        let list = children.entry(parent).or_default();
+        if !list.contains(&child) {
+            list.push(child);
+        }
+    }
+    for list in children.values_mut() {
+        list.sort();
+    }
+
+    let mut roots: Vec<TermId> = universe
+        .iter()
+        .copied()
+        .filter(|c| c.is_uri() && !primary_parent.contains_key(c))
+        .collect();
+    roots.sort();
+
+    let mut order = Vec::with_capacity(universe.len());
+    let mut span: FxHashMap<TermId, (usize, usize)> = FxHashMap::default();
+    let mut visited: FxHashSet<TermId> = FxHashSet::default();
+    // Iterative DFS: Enter pushes the node and its children, Exit closes
+    // the subtree span.
+    enum Step {
+        Enter(TermId, TermId),
+        Exit(TermId),
+    }
+    for root in roots {
+        let mut stack = vec![Step::Enter(root, root)];
+        while let Some(step) = stack.pop() {
+            match step {
+                Step::Enter(node, parent) => {
+                    // A multi-parent node descends only from its primary
+                    // parent; every other edge skips it here and records
+                    // it as a residual later.
+                    if primary_parent.get(&node).is_some_and(|p| *p != parent) {
+                        continue;
+                    }
+                    if !visited.insert(node) {
+                        continue;
+                    }
+                    span.insert(node, (order.len(), usize::MAX));
+                    order.push(node);
+                    stack.push(Step::Exit(node));
+                    if let Some(kids) = children.get(&node) {
+                        // Reverse so ascending-id children pop first.
+                        for &k in kids.iter().rev() {
+                            stack.push(Step::Enter(k, node));
+                        }
+                    }
+                }
+                Step::Exit(node) => {
+                    span.get_mut(&node).expect("entered").1 = order.len();
+                }
+            }
+        }
+    }
+    Layout { order, span }
+}
+
+/// Build the hierarchy-aware encoding for a dictionary with `uri_count`
+/// interned URIs. Returns the interval tables (keyed by post-remap ids)
+/// and the URI permutation `new_of_old` to apply via
+/// [`crate::Dictionary::apply_uri_permutation`] /
+/// [`crate::Graph::apply_hierarchy_encoding`].
+///
+/// The new numbering is: classes in subclass-DFS preorder, then
+/// properties in subproperty-DFS preorder (skipping URIs already placed
+/// as classes), then every remaining URI in its old order.
+pub fn build(
+    schema: &Schema,
+    closure: &SchemaClosure,
+    uri_count: usize,
+) -> (HierarchyEncoding, Vec<u32>) {
+    let class_layout = dfs_layout(closure.classes(), &schema.subclass);
+    let prop_layout = dfs_layout(closure.properties(), &schema.subproperty);
+
+    // Assign new indexes: class block, property block, tail.
+    let mut new_index: Vec<Option<u32>> = vec![None; uri_count];
+    let mut next: u32 = 0;
+    {
+        let mut place = |old: TermId| {
+            let slot = &mut new_index[old.index() as usize];
+            if slot.is_none() {
+                *slot = Some(next);
+                next += 1;
+            }
+        };
+        for &c in &class_layout.order {
+            place(c);
+        }
+        for &p in &prop_layout.order {
+            place(p);
+        }
+    }
+    for slot in new_index.iter_mut() {
+        if slot.is_none() {
+            *slot = Some(next);
+            next += 1;
+        }
+    }
+    let new_of_old: Vec<u32> = new_index.into_iter().map(|s| s.expect("filled")).collect();
+    let remap = |old: TermId| TermId::new(TermKind::Uri, new_of_old[old.index() as usize]);
+
+    // Interval bookkeeping per laid-out node, in post-remap ids.
+    let intervals = |layout: &Layout, descendants: &dyn Fn(TermId) -> Vec<TermId>| {
+        let mut out: FxHashMap<TermId, NodeInterval> = FxHashMap::default();
+        for &node in &layout.order {
+            let (start, end) = layout.span[&node];
+            let members: FxHashSet<TermId> =
+                layout.order[start..end].iter().map(|&m| remap(m)).collect();
+            let lo = members.iter().map(|m| m.raw()).min().expect("span non-empty");
+            let hi = members.iter().map(|m| m.raw()).max().expect("span non-empty") + 1;
+            let mut expected: FxHashSet<TermId> =
+                descendants(node).into_iter().filter(|d| d.is_uri()).map(remap).collect();
+            expected.insert(remap(node));
+            let contiguous = hi - lo == members.len() as u32;
+            let exact = contiguous && expected.len() == members.len() && expected == members;
+            let mut residuals: Vec<TermId> = expected.difference(&members).copied().collect();
+            residuals.sort();
+            out.insert(remap(node), NodeInterval { range: IdRange { lo, hi }, exact, residuals });
+        }
+        out
+    };
+    let classes = intervals(&class_layout, &|c| closure.sub_classes(c).to_vec());
+    let properties = intervals(&prop_layout, &|p| closure.sub_properties(p).to_vec());
+
+    (HierarchyEncoding { classes, properties }, new_of_old)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(i: u32) -> TermId {
+        TermId::new(TermKind::Uri, i)
+    }
+
+    fn build_for(
+        schema: &Schema,
+        extra_classes: &[TermId],
+        uris: usize,
+    ) -> (HierarchyEncoding, Vec<u32>) {
+        let closure = SchemaClosure::new(schema, extra_classes.iter().copied(), []);
+        build(schema, &closure, uris)
+    }
+
+    #[test]
+    fn chain_gets_exact_interval() {
+        // C2 ⊑ C1 ⊑ C0, declared over uris 0..=3 (3 is unrelated).
+        let schema =
+            Schema { subclass: vec![(id(2), id(1)), (id(1), id(0))], ..Default::default() };
+        let (enc, perm) = build_for(&schema, &[], 4);
+        let remap = |i: u32| TermId::new(TermKind::Uri, perm[i as usize]);
+        let r0 = enc.descendant_range(remap(0)).expect("root is exact");
+        assert_eq!(r0.width(), 3);
+        assert!(r0.contains(remap(0)) && r0.contains(remap(1)) && r0.contains(remap(2)));
+        assert!(!r0.contains(remap(3)));
+        let r1 = enc.descendant_range(remap(1)).expect("mid is exact");
+        assert_eq!(r1.width(), 2);
+        // Preorder: parent id < child id inside the subtree.
+        assert!(remap(0).raw() < remap(1).raw());
+    }
+
+    #[test]
+    fn diamond_marks_secondary_parent_inexact() {
+        // D ⊑ B, D ⊑ C, B ⊑ A, C ⊑ A (ids: A=0 B=1 C=2 D=3).
+        let schema = Schema {
+            subclass: vec![(id(3), id(1)), (id(3), id(2)), (id(1), id(0)), (id(2), id(0))],
+            ..Default::default()
+        };
+        let (enc, perm) = build_for(&schema, &[], 4);
+        let remap = |i: u32| TermId::new(TermKind::Uri, perm[i as usize]);
+        // The root still covers everything exactly.
+        let ra = enc.descendant_range(remap(0)).expect("root exact");
+        assert_eq!(ra.width(), 4);
+        // D sits under its primary parent B; B is exact, C is not.
+        assert!(enc.descendant_range(remap(1)).is_some(), "primary parent exact");
+        assert_eq!(enc.descendant_range(remap(2)), None, "secondary parent inexact");
+        let c = enc.class_interval(remap(2)).expect("laid out");
+        assert!(!c.exact);
+        assert_eq!(c.residuals, vec![remap(3)], "missing descendant recorded");
+    }
+
+    #[test]
+    fn cycles_get_no_interval() {
+        // A ⊑ B, B ⊑ A plus an honest chain X ⊑ R.
+        let schema = Schema {
+            subclass: vec![(id(0), id(1)), (id(1), id(0)), (id(3), id(2))],
+            ..Default::default()
+        };
+        let (enc, perm) = build_for(&schema, &[], 4);
+        let remap = |i: u32| TermId::new(TermKind::Uri, perm[i as usize]);
+        assert!(enc.class_interval(remap(0)).is_none(), "cycle node not laid out");
+        assert!(enc.class_interval(remap(1)).is_none());
+        assert!(enc.descendant_range(remap(2)).is_some(), "acyclic part still encoded");
+    }
+
+    #[test]
+    fn permutation_is_a_bijection_covering_every_uri() {
+        let schema = Schema {
+            subclass: vec![(id(2), id(0)), (id(4), id(0)), (id(6), id(4))],
+            subproperty: vec![(id(3), id(1))],
+            ..Default::default()
+        };
+        let (_, perm) = build_for(&schema, &[id(8)], 10);
+        assert_eq!(perm.len(), 10);
+        let mut sorted = perm.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..10).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn properties_are_encoded_after_classes() {
+        let schema = Schema {
+            subclass: vec![(id(1), id(0))],
+            subproperty: vec![(id(3), id(2))],
+            ..Default::default()
+        };
+        let (enc, perm) = build_for(&schema, &[], 4);
+        let remap = |i: u32| TermId::new(TermKind::Uri, perm[i as usize]);
+        let pr = enc.property_descendant_range(remap(2)).expect("property root exact");
+        assert_eq!(pr.width(), 2);
+        assert!(pr.contains(remap(3)));
+        // The class block comes first.
+        assert!(remap(0).raw() < remap(2).raw());
+    }
+
+    #[test]
+    fn isolated_classes_are_width_one_exact() {
+        let schema = Schema::default();
+        let (enc, perm) = build_for(&schema, &[id(1)], 3);
+        let remap = |i: u32| TermId::new(TermKind::Uri, perm[i as usize]);
+        let r = enc.descendant_range(remap(1)).expect("isolated class laid out");
+        assert_eq!(r.width(), 1);
+    }
+}

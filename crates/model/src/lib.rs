@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod dict;
+pub mod encoding;
 pub mod graph;
 pub mod hash;
 pub mod schema;
@@ -31,6 +32,7 @@ pub mod triple;
 pub mod vocab;
 
 pub use dict::Dictionary;
+pub use encoding::{HierarchyEncoding, IdRange};
 pub use graph::Graph;
 pub use hash::{FxHashMap, FxHashSet};
 pub use schema::{Schema, SchemaClosure};

@@ -43,6 +43,9 @@ pub struct RecordCounters {
     pub sip_probes: u64,
     /// Probes dropped by SIP filters before the join.
     pub sip_drops: u64,
+    /// Collapsed-interval (`RangeScan`) operator executions
+    /// (`jucq-log/2`; 0 when parsed from a `jucq-log/1` line).
+    pub range_scans: u64,
 }
 
 /// One profiled plan node: the estimate/actual pair behind the Q-error.
@@ -69,8 +72,8 @@ pub struct QueryRecord {
     pub query: String,
     /// Stable fingerprint of the canonicalized query.
     pub fingerprint: String,
-    /// Strategy short name (`SAT`, `UCQ`, `SCQ`, `UCQmin`, `ECov`,
-    /// `GCov`, `Cover`).
+    /// Strategy short name (`SAT`, `UCQ`, `SCQ`, `Range`, `UCQmin`,
+    /// `ECov`, `GCov`, `Cover`).
     pub strategy: String,
     /// The engine profile's plan-affecting knob fingerprint.
     pub profile: String,
@@ -103,6 +106,14 @@ pub struct QueryRecord {
     /// Rendered `explain_analyze` tree, present when the query breached
     /// the slow-query threshold.
     pub slow_explain: Option<String>,
+    /// Fragments the planner found range-collapsible — whether or not
+    /// the collapse was applied (`jucq-log/2`; 0 from `/1` lines).
+    pub range_eligible: u64,
+    /// `RangeScan` nodes in the executed plan (`jucq-log/2`; 0 from
+    /// `/1` lines). `range_eligible > 0 && range_scans_used == 0` marks
+    /// a query that *could* have used interval scans but did not (knob
+    /// off, or the run was broken up by the cover choice).
+    pub range_scans_used: u64,
 }
 
 /// The `inf`-safe Q-error: `max(est/actual, actual/est)` with both
@@ -135,7 +146,7 @@ impl QueryRecord {
         let mut out = String::with_capacity(512);
         let _ = write!(
             out,
-            "{{\"schema\":\"jucq-log/1\",\"seq\":{},\"query\":\"{}\",\"fingerprint\":\"{}\",\
+            "{{\"schema\":\"jucq-log/2\",\"seq\":{},\"query\":\"{}\",\"fingerprint\":\"{}\",\
              \"strategy\":\"{}\",\"profile\":\"{}\",\"outcome\":\"{}\",\"rows\":{},\
              \"union_terms\":{},\"planning_ns\":{},\"eval_ns\":{}",
             self.seq,
@@ -182,13 +193,19 @@ impl QueryRecord {
             out,
             ",\"counters\":{{\"tuples_scanned\":{},\"tuples_joined\":{},\
              \"tuples_materialized\":{},\"tuples_deduped\":{},\"sip_probes\":{},\
-             \"sip_drops\":{}}}",
+             \"sip_drops\":{},\"range_scans\":{}}}",
             c.tuples_scanned,
             c.tuples_joined,
             c.tuples_materialized,
             c.tuples_deduped,
             c.sip_probes,
             c.sip_drops,
+            c.range_scans,
+        );
+        let _ = write!(
+            out,
+            ",\"range_eligible\":{},\"range_scans_used\":{}",
+            self.range_eligible, self.range_scans_used,
         );
         let _ = write!(
             out,
@@ -225,10 +242,15 @@ impl QueryRecord {
     }
 
     /// Parse one JSONL line produced by [`QueryRecord::to_json_line`].
+    ///
+    /// Accepts both `jucq-log/1` (pre-range) and `jucq-log/2` lines —
+    /// replaying an old log against a new build is the whole point of
+    /// the harness. Fields `/1` lacks (`range_eligible`,
+    /// `range_scans_used`, `counters.range_scans`) default to 0.
     pub fn from_json_line(line: &str) -> Result<QueryRecord, String> {
         let v = json::parse(line).map_err(|e| e.to_string())?;
         match v.get("schema").and_then(Value::as_str) {
-            Some("jucq-log/1") => {}
+            Some("jucq-log/1" | "jucq-log/2") => {}
             other => return Err(format!("unsupported query-log schema {other:?}")),
         }
         let str_field = |key: &str| -> Result<String, String> {
@@ -308,12 +330,15 @@ impl QueryRecord {
                 tuples_deduped: counter("tuples_deduped")?,
                 sip_probes: counter("sip_probes")?,
                 sip_drops: counter("sip_drops")?,
+                range_scans: counters_v.get("range_scans").and_then(Value::as_u64).unwrap_or(0),
             },
             cover_cache_hit: opt_bool("cover_cache_hit"),
             plan_cache_hit: opt_bool("plan_cache_hit"),
             max_q_error: opt_f64("max_q_error"),
             nodes,
             slow_explain: v.get("slow_explain").and_then(Value::as_str).map(ToOwned::to_owned),
+            range_eligible: v.get("range_eligible").and_then(Value::as_u64).unwrap_or(0),
+            range_scans_used: v.get("range_scans_used").and_then(Value::as_u64).unwrap_or(0),
         })
     }
 }
@@ -505,6 +530,7 @@ mod tests {
                 tuples_deduped: 3,
                 sip_probes: 10,
                 sip_drops: 4,
+                range_scans: 2,
             },
             cover_cache_hit: Some(false),
             plan_cache_hit: None,
@@ -526,6 +552,8 @@ mod tests {
                 },
             ],
             slow_explain: None,
+            range_eligible: 1,
+            range_scans_used: 2,
         }
     }
 
@@ -541,6 +569,30 @@ mod tests {
         slow.slow_explain = Some("EXPLAIN ANALYZE\n  node \"x\"\t1 row\n".into());
         let parsed = QueryRecord::from_json_line(&slow.to_json_line()).expect("parses back");
         assert_eq!(parsed, slow);
+    }
+
+    #[test]
+    fn v1_lines_still_parse_with_range_fields_defaulted() {
+        // A line exactly as the jucq-log/1 writer produced it: no
+        // `range_eligible`/`range_scans_used`, no `range_scans` counter.
+        let line = sample_record()
+            .to_json_line()
+            .replace("\"schema\":\"jucq-log/2\"", "\"schema\":\"jucq-log/1\"")
+            .replace(",\"range_scans\":2}", "}")
+            .replace(",\"range_eligible\":1,\"range_scans_used\":2", "");
+        assert!(!line.contains("range"), "v1 line must carry no range fields: {line}");
+        let parsed = QueryRecord::from_json_line(&line).expect("v1 parses");
+        assert_eq!(parsed.counters.range_scans, 0);
+        assert_eq!(parsed.range_eligible, 0);
+        assert_eq!(parsed.range_scans_used, 0);
+        let mut expect = sample_record();
+        expect.counters.range_scans = 0;
+        expect.range_eligible = 0;
+        expect.range_scans_used = 0;
+        assert_eq!(parsed, expect);
+        // And the re-rendered line upgrades to /2 losslessly.
+        let upgraded = QueryRecord::from_json_line(&parsed.to_json_line()).expect("v2 parses");
+        assert_eq!(upgraded, expect);
     }
 
     #[test]

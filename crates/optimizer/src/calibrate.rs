@@ -142,6 +142,10 @@ pub fn calibrate(store: &Store) -> CostConstants {
         let extra = (t_join - 2.0 * t_scan - out.c_db).max(0.0);
         out.c_j = (extra / inputs).max(out.c_t * 0.1).max(1e-10);
     }
+    // A collapsed range scan streams the same tuples without the
+    // per-member union setup or dedup pressure — price it at a quarter
+    // of the per-member rate, mirroring the defaults' ratio.
+    out.c_range = (out.c_t + out.c_j) / 4.0;
 
     // (4) c_m from a two-fragment JUCQ of the same atoms, as the
     // *difference* to the single-CQ plan (the extra work is the

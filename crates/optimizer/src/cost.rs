@@ -25,7 +25,8 @@ use std::sync::RwLock;
 
 use jucq_model::{FxHashMap, FxHashSet};
 use jucq_store::{
-    PatternTerm, Statistics, StoreCq, StoreJucq, StorePattern, StoreUcq, TripleTable, VarId,
+    collapsible_runs, PatternTerm, Statistics, StoreCq, StoreJucq, StorePattern, StoreUcq,
+    TripleTable, VarId,
 };
 use serde::{Deserialize, Serialize};
 
@@ -49,6 +50,22 @@ pub struct CostConstants {
     /// Result size beyond which dedup switches from hashing (`c_l`) to
     /// disk merge sort (`c_k n log n`).
     pub sort_threshold: f64,
+    /// Per-tuple cost of streaming one contiguous dictionary interval
+    /// (`c_range`): a collapsed union member's tuples arrive from a
+    /// single index range scan, skipping the per-member lookup setup and
+    /// union-dedup pressure that `c_t + c_j` prices. Defaulted on
+    /// deserialization so constants documents written before the
+    /// hierarchy encoding existed still load.
+    #[serde(default = "default_c_range")]
+    pub c_range: f64,
+}
+
+/// `c_range` for constants documents serialized before the range-scan
+/// collapse existed (and the [`Default`] value): a quarter of the
+/// default `c_t + c_j` — a streamed interval tuple skips the member's
+/// own scan setup and join bookkeeping.
+fn default_c_range() -> f64 {
+    2.5e-8
 }
 
 impl Default for CostConstants {
@@ -62,6 +79,7 @@ impl Default for CostConstants {
             c_l: 8e-8,
             c_k: 2e-8,
             sort_threshold: 5e6,
+            c_range: default_c_range(),
         }
     }
 }
@@ -135,6 +153,13 @@ pub struct PaperCostModel<'a> {
     stats: &'a Statistics,
     constants: CostConstants,
     eval_model: EvalModel,
+    /// Price range-collapse opportunities: a fragment whose members form
+    /// consecutive-constant runs evaluates the collapsed share of its
+    /// volume at `c_range` per tuple instead of `c_t + c_j`. Enabled by
+    /// the engine when the profile's `range_scans` knob is on, so the
+    /// cover search favors collapsible fragments exactly when the
+    /// planner will actually collapse them.
+    price_ranges: bool,
     /// Fragment-component memo; `RwLock` so concurrent scoring workers
     /// share the hot read path without exclusive locking.
     cache: RwLock<FxHashMap<Vec<StorePattern>, FragComponents>>,
@@ -148,6 +173,7 @@ impl<'a> PaperCostModel<'a> {
             stats,
             constants,
             eval_model: EvalModel::IndexPipeline,
+            price_ranges: false,
             cache: RwLock::new(FxHashMap::default()),
         }
     }
@@ -155,6 +181,14 @@ impl<'a> PaperCostModel<'a> {
     /// Select the member-evaluation model (ablation hook).
     pub fn with_eval_model(mut self, eval_model: EvalModel) -> Self {
         self.eval_model = eval_model;
+        self
+    }
+
+    /// Enable or disable range-collapse pricing (see
+    /// [`CostConstants::c_range`]); callers pass the profile's
+    /// `range_scans` knob.
+    pub fn with_range_pricing(mut self, enabled: bool) -> Self {
+        self.price_ranges = enabled;
         self
     }
 
@@ -277,6 +311,21 @@ impl<'a> PaperCostModel<'a> {
         eval *= scale;
         volume *= scale;
         member_card_sum *= scale;
+
+        // Range-collapse discount: the share of members a planner
+        // collapse would eliminate streams its volume at `c_range` per
+        // tuple instead of paying per-member scan + join setup.
+        // Detection only runs below the sampling cap — a strided sample
+        // destroys id-consecutiveness, so larger unions conservatively
+        // keep the undiscounted price.
+        if self.price_ranges && ucq.cqs.len() > 1 && ucq.cqs.len() <= MEMBER_SAMPLE_CAP {
+            let runs = collapsible_runs(ucq.cqs.iter());
+            let collapsed: usize = runs.iter().map(|r| r.members.len() - 1).sum();
+            if collapsed > 0 {
+                let f = collapsed as f64 / ucq.cqs.len() as f64;
+                eval = eval * (1.0 - f) + self.constants.c_range * volume * f;
+            }
+        }
 
         let card = match template {
             Some((atoms, extents)) => {
@@ -510,6 +559,7 @@ mod tests {
             c_k: 0.0,
             c_m: 1.0,
             sort_threshold: f64::MAX,
+            c_range: 0.0,
         };
         let m = PaperCostModel::new(&table, &stats, constants);
         // Volumes: fragment a = 50, fragment b = 10 ⇒ mat cost = 10.
@@ -517,6 +567,46 @@ mod tests {
         let fb = frag(vec![StorePattern::new(v(0), c(11), v(2))], vec![0]);
         let joint = StoreJucq::new(vec![fa, fb], vec![0]);
         assert!((m.cost(&joint) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn range_pricing_discounts_collapsible_fragments() {
+        let (table, stats) = setup();
+        let m_off = PaperCostModel::new(&table, &stats, CostConstants::default());
+        let m_on =
+            PaperCostModel::new(&table, &stats, CostConstants::default()).with_range_pricing(true);
+        // Members differing only in a consecutive object constant
+        // (objects 0..5 of predicate 10 — the planner would collapse
+        // them into one RangeScan).
+        let consecutive = StoreUcq::new(
+            (0..5)
+                .map(|o| {
+                    StoreCq::with_var_head(vec![StorePattern::new(v(0), c(10), c(o))], vec![0])
+                })
+                .collect(),
+            vec![0],
+        );
+        let priced = m_on.fragment_components(&consecutive, None);
+        let plain = m_off.fragment_components(&consecutive, None);
+        assert!(
+            priced.eval < plain.eval,
+            "collapsible fragment not discounted: {} vs {}",
+            priced.eval,
+            plain.eval
+        );
+        // Gapped constants form no run: both models price identically.
+        let gapped = StoreUcq::new(
+            [0u32, 2, 4]
+                .iter()
+                .map(|&o| {
+                    StoreCq::with_var_head(vec![StorePattern::new(v(0), c(10), c(o))], vec![0])
+                })
+                .collect(),
+            vec![0],
+        );
+        let priced = m_on.fragment_components(&gapped, None);
+        let plain = m_off.fragment_components(&gapped, None);
+        assert_eq!(priced.eval, plain.eval, "non-collapsible fragment must not be discounted");
     }
 
     #[test]

@@ -14,8 +14,13 @@
 //! jucq fuzz  [--seed S] [--cases N] [--profile P|all]   # differential fuzzing
 //! ```
 //!
-//! Strategies: `sat`, `ucq`, `scq`, `ecov`, `gcov` (default).
+//! Strategies: `sat`, `ucq`, `scq`, `range`, `ecov`, `gcov` (default).
 //! Profiles: `pg` (default), `db2`, `mysql`, `native`.
+//! Encoding: `--encoding plain|hierarchical` selects the dictionary
+//! id-assignment mode; `hierarchical` remaps ids so class/property
+//! subtrees occupy contiguous blocks, letting the planner collapse
+//! reformulation unions into interval scans (pair it with
+//! `--strategy range`).
 //! Threads: `--threads N` (or the `JUCQ_THREADS` environment variable)
 //! sizes the worker pool for union/fragment evaluation and cover
 //! scoring; the default is the machine's available parallelism.
@@ -42,11 +47,11 @@ use std::time::Duration;
 
 use jucq_core::reformulation::Cover;
 use jucq_core::store::EngineProfile;
-use jucq_core::{AnswerError, RdfDatabase, Strategy};
+use jucq_core::{AnswerError, EncodingMode, RdfDatabase, Strategy};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  jucq query    <data.ttl|.snap> \"<SPARQL>\" [--strategy sat|ucq|scq|ecov|gcov] [--profile pg|db2|mysql|native] [--threads N] [--batch-size N] [--compare] [--explain-analyze] [--trace] [--metrics-json PATH] [--query-log PATH] [--slow-ms N] [--trace-out PATH]\n  jucq explain  <data.ttl|.snap> \"<SPARQL>\" [--analyze] [--strategy ...] [--profile ...] [--threads N] [--batch-size N]\n  jucq covers   <data.ttl|.snap> \"<SPARQL>\"\n  jucq stats    <data.ttl|.snap>\n  jucq repl     <data.ttl|.snap> [--profile ...] [--threads N] [--batch-size N]\n  jucq replay   <data.ttl|.snap> <log.jsonl> [--profile ...] [--threads N] [--batch-size N] [--report PATH]\n  jucq snapshot <data.ttl> <out.snap>\n  jucq fuzz     [--seed S] [--cases N] [--profile pg|db2|mysql|native|all] [--quiet]"
+        "usage:\n  jucq query    <data.ttl|.snap> \"<SPARQL>\" [--strategy sat|ucq|scq|range|ecov|gcov] [--profile pg|db2|mysql|native] [--encoding plain|hierarchical] [--threads N] [--batch-size N] [--compare] [--explain-analyze] [--trace] [--metrics-json PATH] [--query-log PATH] [--slow-ms N] [--trace-out PATH]\n  jucq explain  <data.ttl|.snap> \"<SPARQL>\" [--analyze] [--strategy ...] [--profile ...] [--encoding ...] [--threads N] [--batch-size N]\n  jucq covers   <data.ttl|.snap> \"<SPARQL>\"\n  jucq stats    <data.ttl|.snap>\n  jucq repl     <data.ttl|.snap> [--profile ...] [--encoding ...] [--threads N] [--batch-size N]\n  jucq replay   <data.ttl|.snap> <log.jsonl> [--profile ...] [--encoding ...] [--threads N] [--batch-size N] [--report PATH]\n  jucq snapshot <data.ttl> <out.snap>\n  jucq fuzz     [--seed S] [--cases N] [--profile pg|db2|mysql|native|all] [--quiet]"
     );
     std::process::exit(2)
 }
@@ -56,8 +61,17 @@ fn parse_strategy(name: &str) -> Option<Strategy> {
         "sat" | "saturation" => Some(Strategy::Saturation),
         "ucq" => Some(Strategy::Ucq),
         "scq" => Some(Strategy::Scq),
+        "range" => Some(Strategy::Range),
         "ecov" => Some(Strategy::ecov_default()),
         "gcov" => Some(Strategy::gcov_default()),
+        _ => None,
+    }
+}
+
+fn parse_encoding(name: &str) -> Option<EncodingMode> {
+    match name {
+        "plain" => Some(EncodingMode::Plain),
+        "hier" | "hierarchical" => Some(EncodingMode::Hierarchical),
         _ => None,
     }
 }
@@ -72,10 +86,14 @@ fn parse_profile(name: &str) -> Option<EngineProfile> {
     }
 }
 
-fn load(path: &str, profile: EngineProfile) -> Result<RdfDatabase, Box<dyn std::error::Error>> {
+fn load(
+    path: &str,
+    profile: EngineProfile,
+    encoding: EncodingMode,
+) -> Result<RdfDatabase, Box<dyn std::error::Error>> {
     let bytes = std::fs::read(path)?;
     // Snapshot files self-identify by magic; anything else is Turtle.
-    let db = if bytes.starts_with(b"JUCQSNAP") {
+    let mut db = if bytes.starts_with(b"JUCQSNAP") {
         let graph = jucq_core::snapshot::load(&bytes)?;
         RdfDatabase::from_graph(graph, profile)
     } else {
@@ -84,6 +102,7 @@ fn load(path: &str, profile: EngineProfile) -> Result<RdfDatabase, Box<dyn std::
         db.load_turtle(&text)?;
         db
     };
+    db.set_encoding(encoding);
     eprintln!(
         "loaded {} data triples, {} schema constraints",
         db.graph().len(),
@@ -94,7 +113,7 @@ fn load(path: &str, profile: EngineProfile) -> Result<RdfDatabase, Box<dyn std::
 
 fn cmd_snapshot(args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
     let [input, output] = args.as_slice() else { usage() };
-    let db = load(input, EngineProfile::pg_like())?;
+    let db = load(input, EngineProfile::pg_like(), EncodingMode::Plain)?;
     let bytes = jucq_core::snapshot::save(db.graph());
     std::fs::write(output, &bytes)?;
     eprintln!("wrote {} ({} bytes)", output, bytes.len());
@@ -160,6 +179,7 @@ fn cmd_query(mut args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
     }
     let mut strategy = Strategy::gcov_default();
     let mut profile = EngineProfile::pg_like();
+    let mut encoding = EncodingMode::Plain;
     let mut threads: Option<usize> = None;
     let mut batch_size: Option<usize> = None;
     let mut compare = false;
@@ -182,6 +202,11 @@ fn cmd_query(mut args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
                 let v = args.first().cloned().unwrap_or_default();
                 args.drain(..1.min(args.len()));
                 profile = parse_profile(&v).unwrap_or_else(|| usage());
+            }
+            "--encoding" => {
+                let v = args.first().cloned().unwrap_or_default();
+                args.drain(..1.min(args.len()));
+                encoding = parse_encoding(&v).unwrap_or_else(|| usage());
             }
             "--threads" => {
                 let v = args.first().cloned().unwrap_or_default();
@@ -254,12 +279,18 @@ fn cmd_query(mut args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
             slow_threshold,
         })?;
     }
-    let mut db = load(path, profile)?;
+    let mut db = load(path, profile, encoding)?;
     db.enable_plan_cache(64);
     if explain_analyze {
         run_explain_analyze(&mut db, sparql, &strategy);
     } else if compare {
-        for s in [Strategy::Saturation, Strategy::Ucq, Strategy::Scq, Strategy::gcov_default()] {
+        for s in [
+            Strategy::Saturation,
+            Strategy::Ucq,
+            Strategy::Scq,
+            Strategy::Range,
+            Strategy::gcov_default(),
+        ] {
             run_query(&mut db, sparql, &s, 0);
         }
     } else {
@@ -286,6 +317,7 @@ fn cmd_query(mut args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
 
 fn cmd_replay(mut args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
     let mut profile = EngineProfile::pg_like();
+    let mut encoding = EncodingMode::Plain;
     let mut threads: Option<usize> = None;
     let mut batch_size: Option<usize> = None;
     let mut report_path: Option<String> = None;
@@ -297,6 +329,11 @@ fn cmd_replay(mut args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
                 let v = args.first().cloned().unwrap_or_default();
                 args.drain(..1.min(args.len()));
                 profile = parse_profile(&v).unwrap_or_else(|| usage());
+            }
+            "--encoding" => {
+                let v = args.first().cloned().unwrap_or_default();
+                args.drain(..1.min(args.len()));
+                encoding = parse_encoding(&v).unwrap_or_else(|| usage());
             }
             "--threads" => {
                 let v = args.first().cloned().unwrap_or_default();
@@ -336,7 +373,7 @@ fn cmd_replay(mut args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
     if records.is_empty() {
         return Err(format!("no replayable records in {log}").into());
     }
-    let mut db = load(path, profile)?;
+    let mut db = load(path, profile, encoding)?;
     db.enable_plan_cache(64);
     let report = jucq_core::telemetry::replay(&mut db, &records);
     eprintln!(
@@ -372,6 +409,7 @@ fn cmd_replay(mut args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
 fn cmd_explain(mut args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
     let mut strategy = Strategy::gcov_default();
     let mut profile = EngineProfile::pg_like();
+    let mut encoding = EncodingMode::Plain;
     let mut threads: Option<usize> = None;
     let mut batch_size: Option<usize> = None;
     let mut analyze = false;
@@ -388,6 +426,11 @@ fn cmd_explain(mut args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> 
                 let v = args.first().cloned().unwrap_or_default();
                 args.drain(..1.min(args.len()));
                 profile = parse_profile(&v).unwrap_or_else(|| usage());
+            }
+            "--encoding" => {
+                let v = args.first().cloned().unwrap_or_default();
+                args.drain(..1.min(args.len()));
+                encoding = parse_encoding(&v).unwrap_or_else(|| usage());
             }
             "--threads" => {
                 let v = args.first().cloned().unwrap_or_default();
@@ -412,7 +455,7 @@ fn cmd_explain(mut args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> 
     if let Some(n) = batch_size {
         profile = profile.with_batch_size(n);
     }
-    let mut db = load(path, profile)?;
+    let mut db = load(path, profile, encoding)?;
     let q = db.parse_query(sparql)?;
     let text =
         if analyze { db.explain_analyze(&q, &strategy)? } else { db.explain(&q, &strategy)? };
@@ -424,7 +467,7 @@ fn cmd_covers(args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
     let [path, sparql] = args.as_slice() else {
         usage();
     };
-    let mut db = load(path, EngineProfile::pg_like())?;
+    let mut db = load(path, EngineProfile::pg_like(), EncodingMode::Plain)?;
     let q = db.parse_query(sparql)?;
     // Enumerate two-fragment covers plus the extremes, report sizes and
     // measured times (the Table 2 experience for any query).
@@ -468,7 +511,7 @@ fn cmd_covers(args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
 
 fn cmd_stats(args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
     let [path] = args.as_slice() else { usage() };
-    let mut db = load(path, EngineProfile::pg_like())?;
+    let mut db = load(path, EngineProfile::pg_like(), EncodingMode::Plain)?;
     db.prepare();
     let plain = db.plain_store();
     println!("data triples (plain store): {}", plain.stats().total());
@@ -479,13 +522,14 @@ fn cmd_stats(args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
     println!("classes:                    {}", closure.classes().len());
     println!("properties:                 {}", closure.properties().len());
     let c = db.cost_constants();
-    println!("calibrated constants:       c_db={:.2e} c_t={:.2e} c_j={:.2e} c_m={:.2e} c_l={:.2e} c_k={:.2e}",
-        c.c_db, c.c_t, c.c_j, c.c_m, c.c_l, c.c_k);
+    println!("calibrated constants:       c_db={:.2e} c_t={:.2e} c_j={:.2e} c_m={:.2e} c_l={:.2e} c_k={:.2e} c_range={:.2e}",
+        c.c_db, c.c_t, c.c_j, c.c_m, c.c_l, c.c_k, c.c_range);
     Ok(())
 }
 
 fn cmd_repl(mut args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
     let mut profile = EngineProfile::pg_like();
+    let mut encoding = EncodingMode::Plain;
     let mut threads: Option<usize> = None;
     let mut batch_size: Option<usize> = None;
     let mut positional = Vec::new();
@@ -495,6 +539,10 @@ fn cmd_repl(mut args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
             let v = args.first().cloned().unwrap_or_default();
             args.drain(..1.min(args.len()));
             profile = parse_profile(&v).unwrap_or_else(|| usage());
+        } else if a == "--encoding" {
+            let v = args.first().cloned().unwrap_or_default();
+            args.drain(..1.min(args.len()));
+            encoding = parse_encoding(&v).unwrap_or_else(|| usage());
         } else if a == "--threads" {
             let v = args.first().cloned().unwrap_or_default();
             args.drain(..1.min(args.len()));
@@ -514,7 +562,7 @@ fn cmd_repl(mut args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
     if let Some(n) = batch_size {
         profile = profile.with_batch_size(n);
     }
-    let mut db = load(path, profile)?;
+    let mut db = load(path, profile, encoding)?;
     db.enable_plan_cache(64);
     if jucq_obs::record::install_from_env() {
         eprintln!("query log installed from JUCQ_QUERY_LOG/JUCQ_SLOW_MS");
@@ -546,7 +594,7 @@ fn cmd_repl(mut args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
                     None => eprintln!("unknown profile `{v}`"),
                 },
                 (Some("help"), _) => eprintln!(
-                    ":strategy sat|ucq|scq|ecov|gcov, :profile pg|db2|mysql|native, :quit"
+                    ":strategy sat|ucq|scq|range|ecov|gcov, :profile pg|db2|mysql|native, :quit"
                 ),
                 _ => eprintln!("unknown command; try :help"),
             }

@@ -5,12 +5,20 @@
 //! deterministic `rand` shim, so a failing case is reproduced exactly
 //! by its seed — across machines and across runs.
 //!
-//! The generated universe is deliberately tiny (six classes, five
+//! The generated universe is deliberately tiny (a dozen classes, five
 //! properties, a dozen individuals, four literals): small vocabularies
 //! force heavy constant reuse, which maximizes join collisions,
 //! reformulation fan-out, and cover-choice diversity per case. Ghost
 //! constants (absent from both schema and data) appear with low
 //! probability to exercise the empty-reformulation paths.
+//!
+//! Every case's class hierarchy contains a deterministic backbone —
+//! a subclass chain of depth ≥ 4, a fan-out of ≥ 4 siblings under one
+//! root, and a multi-parent diamond — with random extra edges layered
+//! on top. The backbone guarantees each case exercises the shapes the
+//! hierarchy-aware encoding cares about (deep intervals, wide sibling
+//! blocks, residual unions at diamond joins) instead of leaving them
+//! to the luck of the random DAG.
 
 use jucq_model::{vocab, Term, Triple};
 use rand::rngs::StdRng;
@@ -76,7 +84,7 @@ pub struct GenCase {
     pub query: QuerySpec,
 }
 
-const N_CLASSES: usize = 6;
+const N_CLASSES: usize = 12;
 const N_PROPS: usize = 5;
 const N_INDIVIDUALS: usize = 12;
 const N_LITERALS: usize = 4;
@@ -138,10 +146,23 @@ fn gen_triples(rng: &mut StdRng) -> Vec<Triple> {
     let t = |s: Term, p: &str, o: Term| Triple::new(s, Term::uri(p), o);
     let mut out = Vec::new();
 
-    // Class DAG: edges only point to lower indexes, so it is acyclic by
-    // construction; multiple parents are allowed.
+    // Class hierarchy backbone, present in every case:
+    //   chain   C4 ⊑ C3 ⊑ C2 ⊑ C1 ⊑ C0           (depth ≥ 4)
+    //   fan-out C5, C6, C7, C8 ⊑ C0               (≥ 4 siblings)
+    //   diamond C9 ⊑ C5 and C9 ⊑ C6 (both ⊑ C0)   (multi-parent)
+    for i in 1..=4 {
+        out.push(t(class(i), vocab::RDFS_SUBCLASS_OF, class(i - 1)));
+    }
+    for i in 5..=8 {
+        out.push(t(class(i), vocab::RDFS_SUBCLASS_OF, class(0)));
+    }
+    out.push(t(class(9), vocab::RDFS_SUBCLASS_OF, class(5)));
+    out.push(t(class(9), vocab::RDFS_SUBCLASS_OF, class(6)));
+    // Random extra DAG edges on top: edges only point to lower indexes,
+    // so the graph stays acyclic by construction; additional multiple
+    // parents are allowed (more diamonds, deeper residual unions).
     for i in 1..N_CLASSES {
-        if rng.gen_bool(0.6) {
+        if rng.gen_bool(0.3) {
             out.push(t(class(i), vocab::RDFS_SUBCLASS_OF, class(rng.gen_range(0..i))));
         }
         if i >= 2 && rng.gen_bool(0.2) {
@@ -301,6 +322,28 @@ mod tests {
             if !case.query.atoms.is_empty() {
                 assert!(!case.query.head.is_empty(), "seed {seed}: empty head");
             }
+        }
+    }
+
+    #[test]
+    fn every_case_has_the_hierarchy_backbone() {
+        for seed in [0u64, 7, 42, 9999] {
+            let case = gen_case(seed);
+            let sub = |child: usize, parent: usize| {
+                case.triples.iter().any(|t| {
+                    t.s == class(child)
+                        && t.p == Term::uri(vocab::RDFS_SUBCLASS_OF)
+                        && t.o == class(parent)
+                })
+            };
+            // Depth-4 chain, 4-wide fan-out, and the C9 diamond.
+            for i in 1..=4 {
+                assert!(sub(i, i - 1), "seed {seed}: chain edge C{i} ⊑ C{}", i - 1);
+            }
+            for i in 5..=8 {
+                assert!(sub(i, 0), "seed {seed}: fan-out edge C{i} ⊑ C0");
+            }
+            assert!(sub(9, 5) && sub(9, 6), "seed {seed}: diamond C9 ⊑ C5, C6");
         }
     }
 

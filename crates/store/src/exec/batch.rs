@@ -37,7 +37,7 @@ use crate::exec::union::DedupAccumulator;
 use crate::exec::{join, ExecContext};
 use crate::ir::{PatternTerm, StorePattern, VarId};
 use crate::relation::Relation;
-use crate::table::TripleTable;
+use crate::table::{RangePos, TripleTable};
 
 const HASH_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
 
@@ -191,6 +191,61 @@ pub(crate) fn scan_pattern_batched(
     Ok(out)
 }
 
+/// Batched interval scan: same rows and counters as
+/// [`cq::scan_range`](crate::exec::cq::scan_range)'s row path (the
+/// caller charges `range_scans` before delegating here), with the
+/// variable-position map resolved once and ticks amortized per batch.
+pub(crate) fn scan_range_batched(
+    table: &TripleTable,
+    p: &StorePattern,
+    ranged: RangePos,
+    lo: u32,
+    hi: u32,
+    ctx: &mut ExecContext<'_>,
+) -> Result<Relation, EngineError> {
+    let vars = p.variables();
+    let positions = p.positions();
+    let var_pos: Vec<usize> = vars
+        .iter()
+        .map(|&v| {
+            positions.iter().position(|pt| pt.as_var() == Some(v)).expect("var occurs in pattern")
+        })
+        .collect();
+    let check_repeats = p.has_repeated_var();
+    let mut bound = p.bound();
+    match ranged {
+        RangePos::Predicate => bound[1] = None,
+        RangePos::Object => bound[2] = None,
+    }
+    let extent = table.scan_value_range(&bound, ranged, lo, hi);
+    let batch = ctx.profile().effective_batch_rows();
+    let mut out = Relation::with_capacity(vars.to_vec(), extent.len());
+    let zero_width = vars.is_empty();
+    let mut flat: Vec<TermId> = Vec::with_capacity(batch * vars.len());
+    for chunk in extent.chunks(batch) {
+        ctx.counters.tuples_scanned += chunk.len() as u64;
+        ctx.tick_n(chunk.len() as u64)?;
+        for t in chunk {
+            if check_repeats && !repeated_vars_consistent(p, t) {
+                continue;
+            }
+            if zero_width {
+                out.push_row(&[]);
+            } else {
+                let val = [t.s, t.p, t.o];
+                flat.extend(var_pos.iter().map(|&i| val[i]));
+            }
+        }
+        if !flat.is_empty() {
+            out.append_flat(&flat);
+            flat.clear();
+        }
+        ctx.check_memory(out.len())?;
+    }
+    ctx.check_memory(out.len())?;
+    Ok(out)
+}
+
 /// What fills each probe-key position of an index-nested-loop step:
 /// resolved once per operator instead of searched per row.
 enum ProbeSlot {
@@ -255,6 +310,103 @@ pub(crate) fn probe_extend_batched(
             };
         }
         let matches = table.scan(&bound);
+        ctx.counters.tuples_scanned += matches.len() as u64;
+        pending += matches.len() as u64;
+        for t in matches {
+            if check_repeats && !repeated_vars_consistent(p, t) {
+                continue;
+            }
+            ctx.counters.tuples_joined += 1;
+            if zero_width {
+                out.push_row(&[]);
+            } else {
+                let val = [t.s, t.p, t.o];
+                flat.extend_from_slice(arow);
+                flat.extend(new_pos.iter().map(|&i| val[i]));
+            }
+        }
+        if pending >= batch as u64 {
+            ctx.tick_n(pending)?;
+            pending = 0;
+            if !flat.is_empty() {
+                out.append_flat(&flat);
+                flat.clear();
+            }
+            ctx.check_memory(out.len())?;
+        }
+    }
+    ctx.tick_n(pending)?;
+    if !flat.is_empty() {
+        out.append_flat(&flat);
+    }
+    ctx.check_memory(out.len())?;
+    Ok(out)
+}
+
+/// Batched interval-probe step: same rows and counters as the
+/// row-at-a-time `probe_extend_range` (the caller charges `range_scans`
+/// before delegating here) — one contiguous `scan_value_range` probe per
+/// input row, with the probe-key template resolved once and ticks
+/// amortized.
+pub(crate) fn probe_extend_range_batched(
+    table: &TripleTable,
+    acc: &Relation,
+    p: &StorePattern,
+    ranged: RangePos,
+    lo: u32,
+    hi: u32,
+    ctx: &mut ExecContext<'_>,
+) -> Result<Relation, EngineError> {
+    let p_vars = p.variables();
+    let positions = p.positions();
+    let mut slots: Vec<ProbeSlot> = positions
+        .iter()
+        .map(|pt| match pt {
+            PatternTerm::Const(c) => ProbeSlot::Const(*c),
+            PatternTerm::Var(v) => match acc.column_of(*v) {
+                Some(col) => ProbeSlot::Col(col),
+                None => ProbeSlot::Free,
+            },
+        })
+        .collect();
+    // The ranged position's template constant stands for the whole
+    // interval: unbind it so the probe covers the contiguous index run.
+    slots[match ranged {
+        RangePos::Predicate => 1,
+        RangePos::Object => 2,
+    }] = ProbeSlot::Free;
+    let new_vars: Vec<VarId> =
+        p_vars.iter().copied().filter(|&v| acc.column_of(v).is_none()).collect();
+    let new_pos: Vec<usize> = new_vars
+        .iter()
+        .map(|&v| {
+            positions
+                .iter()
+                .position(|pt| pt.as_var() == Some(v))
+                .expect("new var occurs in pattern")
+        })
+        .collect();
+    let mut out_vars = acc.vars().to_vec();
+    out_vars.extend(new_vars.iter().copied());
+    let width = out_vars.len();
+    let zero_width = width == 0;
+    let check_repeats = p.has_repeated_var();
+    let mut out = Relation::empty(out_vars);
+    let batch = ctx.profile().effective_batch_rows();
+    let mut flat: Vec<TermId> = Vec::with_capacity(batch * width);
+    let mut pending: u64 = 0;
+
+    for arow in acc.rows() {
+        pending += 1;
+        let mut bound: [Option<TermId>; 3] = [None, None, None];
+        for (i, slot) in slots.iter().enumerate() {
+            bound[i] = match slot {
+                ProbeSlot::Const(c) => Some(*c),
+                ProbeSlot::Col(col) => Some(arow[*col]),
+                ProbeSlot::Free => None,
+            };
+        }
+        let matches = table.scan_value_range(&bound, ranged, lo, hi);
         ctx.counters.tuples_scanned += matches.len() as u64;
         pending += matches.len() as u64;
         for t in matches {

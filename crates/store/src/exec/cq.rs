@@ -28,7 +28,7 @@ use crate::exec::{batch, join, ExecContext};
 use crate::ir::{PatternTerm, StorePattern, VarId};
 use crate::plan::PlanNode;
 use crate::relation::Relation;
-use crate::table::TripleTable;
+use crate::table::{RangePos, TripleTable};
 
 /// Evaluate one lowered union member against `table`, with `shared`
 /// holding the plan's materialized shared scans. Bag semantics:
@@ -90,6 +90,9 @@ fn eval_access<'s>(
 ) -> Result<Cow<'s, Relation>, EngineError> {
     match node {
         PlanNode::IndexScan { pattern, .. } => Ok(Cow::Owned(scan_pattern(table, pattern, ctx)?)),
+        PlanNode::RangeScan { pattern, ranged, lo, hi, .. } => {
+            Ok(Cow::Owned(scan_range(table, pattern, *ranged, *lo, *hi, ctx)?))
+        }
         // `scan_pattern` applies the repeated-variable filter inline;
         // the Filter node documents it in the plan tree.
         PlanNode::Filter { input, .. } => eval_access(table, input, shared, ctx),
@@ -97,6 +100,10 @@ fn eval_access<'s>(
         PlanNode::Inlj { input, pattern } => {
             let acc = eval_access(table, input, shared, ctx)?;
             Ok(Cow::Owned(probe_extend(table, &acc, pattern, ctx)?))
+        }
+        PlanNode::RangeProbe { input, pattern, ranged, lo, hi, .. } => {
+            let acc = eval_access(table, input, shared, ctx)?;
+            Ok(Cow::Owned(probe_extend_range(table, &acc, pattern, *ranged, *lo, *hi, ctx)?))
         }
         PlanNode::HashJoin { left, right, step: None, .. } => {
             let l = eval_access(table, left, shared, ctx)?;
@@ -193,6 +200,54 @@ pub(crate) fn scan_pattern(
     Ok(out)
 }
 
+/// Scan one collapsed interval into a relation over the pattern
+/// template's distinct variables: all triples matching the template with
+/// its `ranged` position's constant replaced by any raw id in `[lo, hi)`.
+/// Row-identical (and counter-identical) to unioning the point scans of
+/// every id in the interval, since the underlying permutation index sorts
+/// the interval contiguously.
+pub(crate) fn scan_range(
+    table: &TripleTable,
+    p: &StorePattern,
+    ranged: RangePos,
+    lo: u32,
+    hi: u32,
+    ctx: &mut ExecContext<'_>,
+) -> Result<Relation, EngineError> {
+    ctx.counters.range_scans += 1;
+    if ctx.profile().vectorized {
+        return batch::scan_range_batched(table, p, ranged, lo, hi, ctx);
+    }
+    let mut bound = p.bound();
+    match ranged {
+        RangePos::Predicate => bound[1] = None,
+        RangePos::Object => bound[2] = None,
+    }
+    let vars = p.variables();
+    let mut out = Relation::empty(vars.to_vec());
+    let mut row: Vec<TermId> = Vec::with_capacity(vars.len());
+    for t in table.scan_value_range(&bound, ranged, lo, hi) {
+        ctx.tick()?;
+        ctx.counters.tuples_scanned += 1;
+        if !repeated_vars_consistent(p, t) {
+            continue;
+        }
+        row.clear();
+        let val = [t.s, t.p, t.o];
+        for v in vars {
+            let i = p
+                .positions()
+                .iter()
+                .position(|pt| pt.as_var() == Some(v))
+                .expect("var occurs in pattern");
+            row.push(val[i]);
+        }
+        out.push_row(&row);
+    }
+    ctx.check_memory(out.len())?;
+    Ok(out)
+}
+
 /// One index-nested-loop step: extend the binding relation `acc` by
 /// probing the best permutation index for `p` with the bound values of
 /// each row.
@@ -236,6 +291,81 @@ fn probe_extend(
             };
         }
         for t in table.scan(&bound) {
+            ctx.tick()?;
+            ctx.counters.tuples_scanned += 1;
+            if !repeated_vars_consistent(p, t) {
+                continue;
+            }
+            let val = [t.s, t.p, t.o];
+            row_buf.clear();
+            row_buf.extend_from_slice(row);
+            for &v in &new_vars {
+                let i = positions
+                    .iter()
+                    .position(|pt| pt.as_var() == Some(v))
+                    .expect("new var occurs in pattern");
+                row_buf.push(val[i]);
+            }
+            ctx.counters.tuples_joined += 1;
+            out.push_row(&row_buf);
+        }
+    }
+    ctx.check_memory(out.len())?;
+    Ok(out)
+}
+
+/// One interval-probe step: like [`probe_extend`], but the probed
+/// pattern's `ranged` position matches any raw id in `[lo, hi)` — one
+/// contiguous `scan_value_range` probe per input row where the
+/// uncollapsed union needed one point probe per collapsed member
+/// (LiteMat's "the type check becomes an interval membership test").
+fn probe_extend_range(
+    table: &TripleTable,
+    acc: &Relation,
+    p: &StorePattern,
+    ranged: RangePos,
+    lo: u32,
+    hi: u32,
+    ctx: &mut ExecContext<'_>,
+) -> Result<Relation, EngineError> {
+    ctx.counters.range_scans += 1;
+    if ctx.profile().vectorized {
+        return batch::probe_extend_range_batched(table, acc, p, ranged, lo, hi, ctx);
+    }
+    let p_vars = p.variables();
+    let shared: Vec<(usize, VarId)> = acc
+        .vars()
+        .iter()
+        .enumerate()
+        .filter(|&(_, v)| p_vars.contains(v))
+        .map(|(i, &v)| (i, v))
+        .collect();
+    let new_vars: Vec<VarId> =
+        p_vars.iter().copied().filter(|v| acc.column_of(*v).is_none()).collect();
+    let mut out_vars = acc.vars().to_vec();
+    out_vars.extend(new_vars.iter().copied());
+    let mut out = Relation::empty(out_vars);
+    let positions = p.positions();
+    let mut row_buf: Vec<TermId> = Vec::with_capacity(out.width());
+
+    for row in acc.rows() {
+        ctx.tick()?;
+        let mut bound: [Option<TermId>; 3] = [None, None, None];
+        for (i, pt) in positions.iter().enumerate() {
+            bound[i] = match pt {
+                PatternTerm::Const(c) => Some(*c),
+                PatternTerm::Var(v) => {
+                    shared.iter().find(|(_, sv)| sv == v).map(|(col, _)| row[*col])
+                }
+            };
+        }
+        // The ranged position's template constant stands for the whole
+        // interval: unbind it and probe the contiguous index run.
+        match ranged {
+            RangePos::Predicate => bound[1] = None,
+            RangePos::Object => bound[2] = None,
+        }
+        for t in table.scan_value_range(&bound, ranged, lo, hi) {
             ctx.tick()?;
             ctx.counters.tuples_scanned += 1;
             if !repeated_vars_consistent(p, t) {

@@ -43,6 +43,8 @@ pub struct Counters {
     /// Tuples dropped by sideways-information-passing filters before
     /// reaching their fragment join.
     pub sip_drops: u64,
+    /// Collapsed-interval (`RangeScan`) operator executions.
+    pub range_scans: u64,
 }
 
 /// Per-filter probe/drop totals of one sideways-information-passing
@@ -248,6 +250,7 @@ impl<'a> ExecContext<'a> {
         self.counters.tuples_deduped += worker.counters.tuples_deduped;
         self.counters.sip_probes += worker.counters.sip_probes;
         self.counters.sip_drops += worker.counters.sip_drops;
+        self.counters.range_scans += worker.counters.range_scans;
         for s in worker.take_sip_stats() {
             self.record_sip(&s.label, s.probes, s.drops);
         }

@@ -10,7 +10,7 @@ use std::fmt::Write as _;
 use crate::error::EngineError;
 use crate::internal_cost;
 use crate::ir::StoreJucq;
-use crate::plan::Planner;
+use crate::plan::{Planner, TermNameResolver};
 use crate::Store;
 
 /// Estimated peak materialized intermediate of `q`, in tuples: the
@@ -29,6 +29,18 @@ fn est_peak_materialized(store: &Store, q: &StoreJucq) -> f64 {
 
 /// Render the evaluation plan for `q` under the store's profile.
 pub fn explain(store: &Store, q: &StoreJucq) -> String {
+    explain_with_names(store, q, None)
+}
+
+/// [`explain`] with a term-name resolver: `RangeScan` nodes in the
+/// physical plan additionally print the decoded name of the class or
+/// property whose subtree interval they scan. The store itself has no
+/// dictionary, so the resolver is injected by the calling layer.
+pub fn explain_with_names(
+    store: &Store,
+    q: &StoreJucq,
+    names: Option<&TermNameResolver<'_>>,
+) -> String {
     let profile = store.profile();
     let stats = store.stats();
     let table = store.table();
@@ -114,7 +126,7 @@ pub fn explain(store: &Store, q: &StoreJucq) -> String {
     );
     let _ = writeln!(out, "  Internal cost estimate: {:.1}", internal_cost::estimate(store, q));
     let _ = writeln!(out, "  Physical plan ({} node(s)):", plan.node_count());
-    for line in plan.render(3).lines() {
+    for line in plan.render_with(3, names).lines() {
         let _ = writeln!(out, "    {line}");
     }
     out

@@ -56,8 +56,10 @@ pub use engine::{ExecProfile, PlanNodeReport, Store};
 pub use error::EngineError;
 pub use exec::Counters;
 pub use ir::{PatternTerm, StoreCq, StoreJucq, StorePattern, StoreUcq, VarId};
-pub use plan::{Plan, PlanNode, Planner, SharedScanDef};
+pub use plan::{
+    collapsible_runs, CollapsibleRun, Plan, PlanNode, Planner, SharedScanDef, TermNameResolver,
+};
 pub use profile::{default_parallelism, EngineProfile, JoinAlgo};
 pub use relation::Relation;
 pub use stats::Statistics;
-pub use table::TripleTable;
+pub use table::{RangePos, TripleTable};

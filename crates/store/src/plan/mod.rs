@@ -10,5 +10,5 @@ mod planner;
 
 pub(crate) mod exec;
 
-pub use node::{Plan, PlanNode, SharedScanDef, SipFilterDef};
-pub use planner::Planner;
+pub use node::{Plan, PlanNode, SharedScanDef, SipFilterDef, TermNameResolver};
+pub use planner::{collapsible_runs, CollapsibleRun, Planner};

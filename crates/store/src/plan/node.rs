@@ -10,6 +10,7 @@
 use std::fmt::Write as _;
 
 use crate::ir::{PatternTerm, StorePattern, VarId};
+use crate::table::RangePos;
 
 /// One physical operator node.
 ///
@@ -28,6 +29,29 @@ pub enum PlanNode {
     IndexScan {
         /// The pattern scanned.
         pattern: StorePattern,
+        /// Exact extent cardinality (index lookup at plan time).
+        est: Option<f64>,
+    },
+    /// Scan one *interval* of triple patterns off the permutation index
+    /// that sorts the ranged component contiguously: all triples matching
+    /// `pattern` with its ranged position's constant replaced by any raw
+    /// URI id in `[lo, hi)`. Produced by the planner's collapse pass when
+    /// `members` union members differ only in one contiguous-id constant
+    /// (typically a hierarchically-encoded class or property subtree).
+    RangeScan {
+        /// The pattern template: the first collapsed member's pattern,
+        /// with its original constant still at the ranged position (the
+        /// variables, bound positions and repeated-variable structure are
+        /// shared by every collapsed member).
+        pattern: StorePattern,
+        /// Which component the interval ranges over.
+        ranged: RangePos,
+        /// Inclusive lower raw URI id.
+        lo: u32,
+        /// Exclusive upper raw URI id.
+        hi: u32,
+        /// How many union members this one scan replaces.
+        members: usize,
         /// Exact extent cardinality (index lookup at plan time).
         est: Option<f64>,
     },
@@ -58,6 +82,26 @@ pub enum PlanNode {
         input: Box<PlanNode>,
         /// The probed pattern.
         pattern: StorePattern,
+    },
+    /// Index-nested-loop step over a collapsed interval: like
+    /// [`PlanNode::Inlj`], but the probed pattern's `ranged` position
+    /// matches any raw URI id in `[lo, hi)` — one contiguous index probe
+    /// per input row where the uncollapsed union needed one probe per
+    /// collapsed member. This is what lets a collapsed member keep a
+    /// selective atom at the leaf instead of pinning the interval there.
+    RangeProbe {
+        /// The binding relation being extended.
+        input: Box<PlanNode>,
+        /// The probed pattern template (first collapsed member's pattern).
+        pattern: StorePattern,
+        /// Which component the interval ranges over.
+        ranged: RangePos,
+        /// Inclusive lower raw URI id.
+        lo: u32,
+        /// Exclusive upper raw URI id.
+        hi: u32,
+        /// How many union members this probe's interval replaces.
+        members: usize,
     },
     /// Hash join. `step: Some(k)` marks fragment-level join step `k`
     /// (recorded as the `join[k].hash_join` node); `None` marks a
@@ -146,6 +190,7 @@ impl PlanNode {
         1 + match self {
             PlanNode::Filter { input, .. }
             | PlanNode::Inlj { input, .. }
+            | PlanNode::RangeProbe { input, .. }
             | PlanNode::Project { input, .. }
             | PlanNode::Dedup { input, .. } => input.node_count(),
             PlanNode::HashJoin { left, right, .. }
@@ -155,6 +200,7 @@ impl PlanNode {
             }
             PlanNode::HashUnion { members, .. } => members.iter().map(PlanNode::node_count).sum(),
             PlanNode::IndexScan { .. }
+            | PlanNode::RangeScan { .. }
             | PlanNode::SharedScan { .. }
             | PlanNode::TrueRow { .. }
             | PlanNode::Empty { .. } => 0,
@@ -174,6 +220,7 @@ impl PlanNode {
             PlanNode::HashUnion { .. } => out.push(self),
             PlanNode::Filter { input, .. }
             | PlanNode::Inlj { input, .. }
+            | PlanNode::RangeProbe { input, .. }
             | PlanNode::Project { input, .. }
             | PlanNode::Dedup { input, .. } => input.collect_unions(out),
             PlanNode::HashJoin { left, right, .. }
@@ -186,46 +233,82 @@ impl PlanNode {
         }
     }
 
-    fn render_into(&self, out: &mut String, indent: usize, max_members: usize) {
+    fn render_into(
+        &self,
+        out: &mut String,
+        indent: usize,
+        max_members: usize,
+        names: Option<&TermNameResolver<'_>>,
+    ) {
         let pad = "  ".repeat(indent);
         let est = |e: &Option<f64>| e.map(|e| format!(" (est {e:.1})")).unwrap_or_default();
         match self {
             PlanNode::IndexScan { pattern, est: e } => {
                 let _ = writeln!(out, "{pad}IndexScan {pattern}{}", est(e));
             }
+            PlanNode::RangeScan { pattern, ranged, lo, hi, members, est: e } => {
+                let pos = match ranged {
+                    RangePos::Predicate => 'p',
+                    RangePos::Object => 'o',
+                };
+                let width = hi - lo;
+                let name =
+                    names.and_then(|f| f(*lo)).map(|n| format!(" ({n})")).unwrap_or_default();
+                let _ = writeln!(
+                    out,
+                    "{pad}RangeScan {pattern} {pos}∈[#u{lo}, #u{lo}+{width}){name} — \
+                     {members} members{}",
+                    est(e)
+                );
+            }
             PlanNode::SharedScan { id, pattern, est: e } => {
                 let _ = writeln!(out, "{pad}SharedScan #{id} {pattern}{}", est(e));
             }
             PlanNode::Filter { pattern, input } => {
                 let _ = writeln!(out, "{pad}Filter repeated-vars {pattern}");
-                input.render_into(out, indent + 1, max_members);
+                input.render_into(out, indent + 1, max_members, names);
             }
             PlanNode::Inlj { input, pattern } => {
                 let _ = writeln!(out, "{pad}Inlj probe {pattern}");
-                input.render_into(out, indent + 1, max_members);
+                input.render_into(out, indent + 1, max_members, names);
+            }
+            PlanNode::RangeProbe { input, pattern, ranged, lo, hi, members } => {
+                let pos = match ranged {
+                    RangePos::Predicate => 'p',
+                    RangePos::Object => 'o',
+                };
+                let width = hi - lo;
+                let name =
+                    names.and_then(|f| f(*lo)).map(|n| format!(" ({n})")).unwrap_or_default();
+                let _ = writeln!(
+                    out,
+                    "{pad}RangeProbe {pattern} {pos}∈[#u{lo}, #u{lo}+{width}){name} — \
+                     {members} members"
+                );
+                input.render_into(out, indent + 1, max_members, names);
             }
             PlanNode::HashJoin { left, right, step, est: e } => {
                 let tag = step.map(|k| format!(" join[{k}]")).unwrap_or_default();
                 let _ = writeln!(out, "{pad}HashJoin{tag}{}", est(e));
-                left.render_into(out, indent + 1, max_members);
-                right.render_into(out, indent + 1, max_members);
+                left.render_into(out, indent + 1, max_members, names);
+                right.render_into(out, indent + 1, max_members, names);
             }
             PlanNode::MergeJoin { left, right, step, est: e } => {
                 let tag = step.map(|k| format!(" join[{k}]")).unwrap_or_default();
                 let _ = writeln!(out, "{pad}MergeJoin{tag}{}", est(e));
-                left.render_into(out, indent + 1, max_members);
-                right.render_into(out, indent + 1, max_members);
+                left.render_into(out, indent + 1, max_members, names);
+                right.render_into(out, indent + 1, max_members, names);
             }
             PlanNode::NestedLoopJoin { left, right, step, est: e } => {
                 let tag = step.map(|k| format!(" join[{k}]")).unwrap_or_default();
                 let _ = writeln!(out, "{pad}NestedLoopJoin{tag}{}", est(e));
-                left.render_into(out, indent + 1, max_members);
-                right.render_into(out, indent + 1, max_members);
+                left.render_into(out, indent + 1, max_members, names);
+                right.render_into(out, indent + 1, max_members, names);
             }
             PlanNode::Project { input, head, .. } => {
                 let cols: Vec<String> = head.iter().map(|t| t.to_string()).collect();
                 let _ = writeln!(out, "{pad}Project [{}]", cols.join(", "));
-                input.render_into(out, indent + 1, max_members);
+                input.render_into(out, indent + 1, max_members, names);
             }
             PlanNode::TrueRow { .. } => {
                 let _ = writeln!(out, "{pad}TrueRow");
@@ -239,7 +322,7 @@ impl PlanNode {
                     est(e)
                 );
                 for m in members.iter().take(max_members) {
-                    m.render_into(out, indent + 1, max_members);
+                    m.render_into(out, indent + 1, max_members, names);
                 }
                 if members.len() > max_members {
                     let _ = writeln!(
@@ -252,7 +335,7 @@ impl PlanNode {
             }
             PlanNode::Dedup { input, est: e } => {
                 let _ = writeln!(out, "{pad}Dedup{}", est(e));
-                input.render_into(out, indent + 1, max_members);
+                input.render_into(out, indent + 1, max_members, names);
             }
             PlanNode::Empty { .. } => {
                 let _ = writeln!(out, "{pad}Empty");
@@ -260,6 +343,13 @@ impl PlanNode {
         }
     }
 }
+
+/// Resolves a raw term id to a printable name for plan rendering.
+///
+/// The store has no dictionary, so decoded names (e.g. the class behind
+/// a `RangeScan` interval) are injected by the layer that owns one; the
+/// store-only renderer prints raw `#uN` ids.
+pub type TermNameResolver<'a> = dyn Fn(u32) -> Option<String> + 'a;
 
 /// One factored common scan: a distinct [`StorePattern`] access path
 /// referenced by two or more scan positions across the plan's union
@@ -316,6 +406,14 @@ pub struct Plan {
     /// join order) so each filter's build side exists before its target
     /// fragment runs.
     pub sip: Vec<SipFilterDef>,
+    /// How many fragments had at least one collapsible run of members
+    /// (consecutive-id constants), whether or not the profile's
+    /// `range_scans` knob let the planner rewrite them. Feeds the query
+    /// log's range-eligibility field.
+    pub range_eligible: usize,
+    /// How many [`PlanNode::RangeScan`] nodes the plan contains (one per
+    /// collapsed member).
+    pub range_scans: usize,
 }
 
 impl Plan {
@@ -340,6 +438,13 @@ impl Plan {
     /// Render the plan as an indented operator tree, truncating each
     /// union to its first `max_members` members.
     pub fn render(&self, max_members: usize) -> String {
+        self.render_with(max_members, None)
+    }
+
+    /// [`Plan::render`] with a term-name resolver: `RangeScan` nodes
+    /// additionally print the decoded name of their interval's low
+    /// endpoint (the subtree root, e.g. `(Student)`).
+    pub fn render_with(&self, max_members: usize, names: Option<&TermNameResolver<'_>>) -> String {
         let mut out = String::new();
         if !self.shared.is_empty() {
             out.push_str("Shared scans:\n");
@@ -370,7 +475,7 @@ impl Plan {
                 );
             }
         }
-        self.root.render_into(&mut out, 0, max_members);
+        self.root.render_into(&mut out, 0, max_members, names);
         out
     }
 }

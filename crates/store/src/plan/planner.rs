@@ -30,7 +30,7 @@ use crate::ir::{PatternTerm, StoreCq, StoreJucq, StorePattern, StoreUcq, VarId};
 use crate::plan::node::{Plan, PlanNode, SharedScanDef, SipFilterDef};
 use crate::profile::{EngineProfile, JoinAlgo};
 use crate::stats::Statistics;
-use crate::table::TripleTable;
+use crate::table::{RangePos, TripleTable};
 
 /// The O(members²) subsumption sweep is skipped beyond this union width
 /// (exact-duplicate elimination still runs; it is linear).
@@ -49,6 +49,29 @@ struct DraftMember {
     cq: StoreCq,
     counts: Vec<usize>,
     order: Vec<usize>,
+    /// Set by the range-collapse pass: this member stands in for a whole
+    /// grid of members whose only differences were the constants at
+    /// these atoms' ranged positions. At most one entry per atom.
+    ranges: Vec<RangeAtom>,
+}
+
+/// One collapsed-interval atom: atom `atom`'s constant at the `ranged`
+/// position is replaced by the raw-id interval `[lo, hi)`, which covers
+/// exactly the `members` original constants — consecutive raw ids, or
+/// runs of them separated by gaps whose extent the index proved empty,
+/// so the interval matches no triple the original constants did not.
+struct RangeAtom {
+    atom: usize,
+    ranged: RangePos,
+    lo: u32,
+    hi: u32,
+    members: usize,
+}
+
+/// Fixpoint-collapse scratch state for one surviving union member.
+struct Scratch {
+    ranges: Vec<RangeAtom>,
+    alive: bool,
 }
 
 /// One fragment mid-rewrite.
@@ -73,6 +96,94 @@ fn cheapest_atom(counts: &[usize]) -> usize {
         }
     }
     best
+}
+
+/// One collapsible run over a union member list: the members at
+/// `members` (indices into the input, ascending by the constant's raw
+/// id) differ only in the constant at atom `atom`'s `pos` position, and
+/// those constants are exactly the consecutive raw ids `[lo, hi)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollapsibleRun {
+    /// Atom index within each member's pattern list.
+    pub atom: usize,
+    /// Which position of that atom holds the running constant.
+    pub pos: RangePos,
+    /// Inclusive lower raw id of the run.
+    pub lo: u32,
+    /// Exclusive upper raw id of the run.
+    pub hi: u32,
+    /// Indices of the collapsed members, ascending by raw id.
+    pub members: Vec<usize>,
+}
+
+/// Find member runs collapsible into single range atoms: maximal groups
+/// of ≥ 2 members that share head and body except for one constant — at
+/// some atom's predicate or object position — whose raw ids are
+/// consecutive. Greedy and non-overlapping (a member joins at most one
+/// run), in the planner's deterministic candidate order. This is the
+/// *first pass* of [`Planner::plan`]'s fixpoint collapse: the planner
+/// performs at least these merges and usually more (later passes treat
+/// already-collapsed intervals as mergeable values and bridge raw-id
+/// gaps whose index extent is provably empty), so the result is a lower
+/// bound. Public so the cost model can price a fragment's collapse
+/// opportunity without lowering it.
+pub fn collapsible_runs<'c>(members: impl IntoIterator<Item = &'c StoreCq>) -> Vec<CollapsibleRun> {
+    let members: Vec<&StoreCq> = members.into_iter().collect();
+    // Signature of a (member, slot) candidate: the head, the slot, and
+    // the body with the slot's constant masked out. Two members share
+    // a signature iff they differ only in that constant.
+    type Sig = (Vec<PatternTerm>, usize, RangePos, Vec<StorePattern>);
+    let mut groups: FxHashMap<Sig, Vec<(usize, u32)>> = FxHashMap::default();
+    let mut order: Vec<Sig> = Vec::new();
+    for (mi, cq) in members.iter().enumerate() {
+        for (ai, pat) in cq.patterns.iter().enumerate() {
+            for (pos, term) in [(RangePos::Predicate, pat.p), (RangePos::Object, pat.o)] {
+                let PatternTerm::Const(id) = term else { continue };
+                let mut masked = cq.patterns.clone();
+                match pos {
+                    RangePos::Predicate => masked[ai].p = PatternTerm::Var(VarId::MAX),
+                    RangePos::Object => masked[ai].o = PatternTerm::Var(VarId::MAX),
+                }
+                let sig = (cq.head.clone(), ai, pos, masked);
+                let entry = groups.entry(sig.clone()).or_default();
+                if entry.is_empty() {
+                    order.push(sig);
+                }
+                entry.push((mi, id.raw()));
+            }
+        }
+    }
+    let mut consumed = vec![false; members.len()];
+    let mut runs = Vec::new();
+    for sig in &order {
+        let mut entries: Vec<(usize, u32)> =
+            groups[sig].iter().copied().filter(|&(mi, _)| !consumed[mi]).collect();
+        if entries.len() < 2 {
+            continue;
+        }
+        entries.sort_unstable_by_key(|&(_, raw)| raw);
+        let mut start = 0;
+        while start < entries.len() {
+            let mut end = start + 1;
+            while end < entries.len() && entries[end].1 == entries[end - 1].1 + 1 {
+                end += 1;
+            }
+            if end - start >= 2 {
+                for &(mi, _) in &entries[start..end] {
+                    consumed[mi] = true;
+                }
+                runs.push(CollapsibleRun {
+                    atom: sig.1,
+                    pos: sig.2,
+                    lo: entries[start].1,
+                    hi: entries[end - 1].1 + 1,
+                    members: entries[start..end].iter().map(|&(mi, _)| mi).collect(),
+                });
+            }
+            start = end;
+        }
+    }
+    runs
 }
 
 /// `a ⊆ b` over sorted, deduplicated pattern vectors.
@@ -113,6 +224,7 @@ impl<'a> Planner<'a> {
                         counts: cq.patterns.iter().map(|p| self.table.count(&p.bound())).collect(),
                         cq: cq.clone(),
                         order: Vec::new(),
+                        ranges: Vec::new(),
                     })
                     .collect(),
             })
@@ -120,9 +232,10 @@ impl<'a> Planner<'a> {
 
         self.prune_empty_members(&mut draft);
         self.dedup_members(&mut draft);
+        let range_eligible = self.collapse_ranges(&mut draft);
         let shared = self.factor_common_scans(&draft);
         self.select_join_orders(&mut draft);
-        self.lower(q, &draft, shared)
+        self.lower(q, &draft, shared, range_eligible)
     }
 
     /// Pass 1: a member containing a zero-extent pattern can never
@@ -190,6 +303,218 @@ impl<'a> Planner<'a> {
         jucq_obs::metrics::counter_add("planner.dedup_members.nodes_after", after as u64);
     }
 
+    /// Pass 2b: collapse union members that differ only in constants with
+    /// contiguous raw ids into single members carrying [`RangeAtom`]
+    /// intervals, iterated to a *fixpoint*:
+    ///
+    /// * every constant is a degenerate interval `[c, c+1)` and every
+    ///   already-collapsed slot is its interval, so a second pass can
+    ///   merge along another atom once a first pass made the members
+    ///   textually equal (a k×m grid of members — a class subtree times a
+    ///   property subtree — collapses to *one* member with two intervals);
+    /// * two intervals also merge across a raw-id gap when the index
+    ///   proves the gap empty for the member's atom template (a
+    ///   zero-count `count_value_range` over the gap): ids in the gap
+    ///   match no triple, so widening the interval over them adds no row.
+    ///   Classes without direct instances no longer split a subtree run.
+    ///
+    /// The half-open intervals then match exactly the triples the
+    /// collapsed constants did, so the rewrite is correct under any
+    /// dictionary encoding; the hierarchy-aware encoding merely makes
+    /// contiguous runs likely (a class subtree becomes one raw-id block).
+    /// An atom carries at most one interval (a scan ranges over one
+    /// component).
+    ///
+    /// Always *detects* eligibility (the returned count of fragments the
+    /// fixpoint would shrink feeds telemetry); only *rewrites* when the
+    /// profile's `range_scans` knob is on.
+    fn collapse_ranges(&self, draft: &mut [DraftFragment]) -> usize {
+        jucq_obs::span!("plan.range_collapse");
+        let before = draft_nodes(draft);
+        let apply = self.profile.range_scans;
+        let mut eligible = 0usize;
+        let mut collapsed = 0u64;
+        for frag in draft.iter_mut() {
+            let mut scratch: Vec<Scratch> =
+                frag.members.iter().map(|_| Scratch { ranges: Vec::new(), alive: true }).collect();
+            if !self.collapse_fixpoint(&frag.members, &mut scratch) {
+                continue;
+            }
+            eligible += 1;
+            if !apply {
+                continue;
+            }
+            let orig_len = frag.members.len();
+            let old = std::mem::take(&mut frag.members);
+            let mut kept: Vec<DraftMember> = Vec::with_capacity(old.len());
+            for (s, mut m) in scratch.into_iter().zip(old) {
+                if !s.alive {
+                    continue;
+                }
+                for r in &s.ranges {
+                    let mut bound = m.cq.patterns[r.atom].bound();
+                    match r.ranged {
+                        RangePos::Predicate => bound[1] = None,
+                        RangePos::Object => bound[2] = None,
+                    }
+                    m.counts[r.atom] = self.table.count_value_range(&bound, r.ranged, r.lo, r.hi);
+                }
+                m.ranges = s.ranges;
+                kept.push(m);
+            }
+            collapsed += (orig_len - kept.len()) as u64;
+            frag.members = kept;
+        }
+        let after = draft_nodes(draft);
+        jucq_obs::metrics::counter_add("planner.range_collapse.nodes_before", before as u64);
+        jucq_obs::metrics::counter_add("planner.range_collapse.nodes_after", after as u64);
+        jucq_obs::metrics::counter_add("planner.range_collapse.members_collapsed", collapsed);
+        eligible
+    }
+
+    /// Run the interval-merge passes over `scratch` until nothing merges;
+    /// returns whether any merge happened. Each pass groups the alive
+    /// members' candidate slots (constant or already-ranged predicate /
+    /// object positions) by a signature masking the slot out of the body
+    /// — head, slot coordinates, masked patterns, and the *other* slots'
+    /// intervals — then merges every chain of ≥ 2 interval-adjacent (or
+    /// provably-empty-gap-separated) entries into the lowest-id member.
+    fn collapse_fixpoint(&self, members: &[DraftMember], scratch: &mut [Scratch]) -> bool {
+        type Sig = (
+            Vec<PatternTerm>,
+            usize,
+            RangePos,
+            Vec<StorePattern>,
+            Vec<(usize, RangePos, u32, u32)>,
+        );
+        fn mask(pats: &mut [StorePattern], atom: usize, pos: RangePos) {
+            match pos {
+                RangePos::Predicate => pats[atom].p = PatternTerm::Var(VarId::MAX),
+                RangePos::Object => pats[atom].o = PatternTerm::Var(VarId::MAX),
+            }
+        }
+        let mut merged_any = false;
+        loop {
+            let mut changed = false;
+            // Entries per signature: (scratch index, lo, hi, constants in
+            // the slot's interval so far).
+            let mut groups: FxHashMap<Sig, Vec<(usize, u32, u32, usize)>> = FxHashMap::default();
+            let mut order: Vec<Sig> = Vec::new();
+            for (si, s) in scratch.iter().enumerate() {
+                if !s.alive {
+                    continue;
+                }
+                let cq = &members[si].cq;
+                for (ai, pat) in cq.patterns.iter().enumerate() {
+                    for pos in [RangePos::Predicate, RangePos::Object] {
+                        let existing = s.ranges.iter().find(|r| r.atom == ai);
+                        let (lo, hi, slot_members) = match existing {
+                            Some(r) if r.ranged == pos => (r.lo, r.hi, r.members),
+                            // One interval per atom: the other position of
+                            // an already-ranged atom is not a candidate.
+                            Some(_) => continue,
+                            None => {
+                                let term = match pos {
+                                    RangePos::Predicate => pat.p,
+                                    RangePos::Object => pat.o,
+                                };
+                                let PatternTerm::Const(id) = term else { continue };
+                                (id.raw(), id.raw() + 1, 1)
+                            }
+                        };
+                        let mut masked = cq.patterns.clone();
+                        mask(&mut masked, ai, pos);
+                        let mut others: Vec<(usize, RangePos, u32, u32)> = Vec::new();
+                        for r in &s.ranges {
+                            if r.atom == ai {
+                                continue;
+                            }
+                            // Other ranged slots: mask the (arbitrary)
+                            // template constant, carry the interval in the
+                            // signature instead.
+                            mask(&mut masked, r.atom, r.ranged);
+                            others.push((r.atom, r.ranged, r.lo, r.hi));
+                        }
+                        others.sort_unstable();
+                        let sig = (cq.head.clone(), ai, pos, masked, others);
+                        let entry = groups.entry(sig.clone()).or_default();
+                        if entry.is_empty() {
+                            order.push(sig);
+                        }
+                        entry.push((si, lo, hi, slot_members));
+                    }
+                }
+            }
+            let mut consumed = vec![false; scratch.len()];
+            for sig in &order {
+                let (ai, pos) = (sig.1, sig.2);
+                let mut entries: Vec<(usize, u32, u32, usize)> = groups[sig]
+                    .iter()
+                    .copied()
+                    .filter(|&(si, ..)| scratch[si].alive && !consumed[si])
+                    .collect();
+                if entries.len() < 2 {
+                    continue;
+                }
+                entries.sort_unstable_by_key(|&(_, lo, hi, _)| (lo, hi));
+                let mut start = 0;
+                while start < entries.len() {
+                    let template = &members[entries[start].0].cq.patterns[ai];
+                    let mut end = start + 1;
+                    while end < entries.len() {
+                        let prev_hi = entries[end - 1].2;
+                        let next_lo = entries[end].1;
+                        let joins = next_lo == prev_hi
+                            || (next_lo > prev_hi
+                                && self.gap_is_empty(template, pos, prev_hi, next_lo));
+                        if !joins {
+                            break;
+                        }
+                        end += 1;
+                    }
+                    if end - start >= 2 {
+                        let keep = entries[start].0;
+                        let (lo, hi) = (entries[start].1, entries[end - 1].2);
+                        let total: usize = entries[start..end].iter().map(|e| e.3).sum();
+                        for &(si, ..) in &entries[start + 1..end] {
+                            scratch[si].alive = false;
+                            consumed[si] = true;
+                        }
+                        consumed[keep] = true;
+                        scratch[keep].ranges.retain(|r| r.atom != ai);
+                        scratch[keep].ranges.push(RangeAtom {
+                            atom: ai,
+                            ranged: pos,
+                            lo,
+                            hi,
+                            members: total,
+                        });
+                        changed = true;
+                        merged_any = true;
+                    }
+                    start = end;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        merged_any
+    }
+
+    /// Does the index hold *no* triple matching `pat`'s template with its
+    /// `pos` component in `[lo, hi)`? Variables (and the ranged slot
+    /// itself) relax to unbound, so a zero count is conservative: the gap
+    /// is empty for every binding the member could produce.
+    fn gap_is_empty(&self, pat: &StorePattern, pos: RangePos, lo: u32, hi: u32) -> bool {
+        let mut bound = pat.bound();
+        match pos {
+            RangePos::Predicate => bound[1] = None,
+            RangePos::Object => bound[2] = None,
+        }
+        self.table.count_value_range(&bound, pos, lo, hi) == 0
+    }
+
     /// Pass 3: factor the scans several members share. A scan position
     /// is each member's leaf atom under the INLJ strategy (later atoms
     /// are index probes, not extent scans) and every atom under the hash
@@ -216,9 +541,17 @@ impl<'a> Planner<'a> {
                         continue;
                     }
                     if self.profile.index_nested_loop_cq {
-                        count_use(m.cq.patterns[cheapest_atom(&m.counts)]);
+                        // A ranged leaf is a RangeScan (never shareable
+                        // as a plain extent).
+                        let leaf = cheapest_atom(&m.counts);
+                        if !m.ranges.iter().any(|r| r.atom == leaf) {
+                            count_use(m.cq.patterns[leaf]);
+                        }
                     } else {
-                        for p in &m.cq.patterns {
+                        for (i, p) in m.cq.patterns.iter().enumerate() {
+                            if m.ranges.iter().any(|r| r.atom == i) {
+                                continue;
+                            }
                             count_use(*p);
                         }
                     }
@@ -254,6 +587,9 @@ impl<'a> Planner<'a> {
         let before = draft_nodes(draft);
         for frag in draft.iter_mut() {
             for m in &mut frag.members {
+                // Ranged atoms need no special seeding: an interval can
+                // be the leaf (RangeScan) *or* probed per binding row
+                // (RangeProbe), so the cheapest atom leads as usual.
                 m.order = atom_order(&m.cq.patterns, &m.counts);
             }
         }
@@ -263,9 +599,17 @@ impl<'a> Planner<'a> {
 
     /// Pass 5: physical lowering — see the module docs for the choices
     /// made here.
-    fn lower(&self, q: &StoreJucq, draft: &[DraftFragment], shared: Vec<SharedScanDef>) -> Plan {
+    fn lower(
+        &self,
+        q: &StoreJucq,
+        draft: &[DraftFragment],
+        shared: Vec<SharedScanDef>,
+        range_eligible: usize,
+    ) -> Plan {
         jucq_obs::span!("plan.lower");
         let before = draft_nodes(draft) + shared.len();
+        let range_scans =
+            draft.iter().flat_map(|f| &f.members).map(|m| m.ranges.len()).sum::<usize>();
 
         if draft.is_empty() || draft.iter().any(|f| f.members.is_empty()) {
             let plan = Plan {
@@ -275,6 +619,8 @@ impl<'a> Planner<'a> {
                 pipelined: None,
                 estimates: Vec::new(),
                 sip: Vec::new(),
+                range_eligible,
+                range_scans: 0,
             };
             jucq_obs::metrics::counter_add("planner.lower.nodes_before", before as u64);
             jucq_obs::metrics::counter_add("planner.lower.nodes_after", plan.node_count() as u64);
@@ -383,7 +729,16 @@ impl<'a> Planner<'a> {
             }),
             est: Some(final_est),
         };
-        let plan = Plan { root, shared, head: q.head.clone(), pipelined, estimates, sip };
+        let plan = Plan {
+            root,
+            shared,
+            head: q.head.clone(),
+            pipelined,
+            estimates,
+            sip,
+            range_eligible,
+            range_scans,
+        };
         jucq_obs::metrics::counter_add("planner.lower.nodes_before", before as u64);
         jucq_obs::metrics::counter_add("planner.lower.nodes_after", plan.node_count() as u64);
         plan
@@ -404,6 +759,21 @@ impl<'a> Planner<'a> {
         }
         let leaf = |pi: usize| -> PlanNode {
             let p = m.cq.patterns[pi];
+            if let Some(r) = m.ranges.iter().find(|r| r.atom == pi) {
+                let scan = PlanNode::RangeScan {
+                    pattern: p,
+                    ranged: r.ranged,
+                    lo: r.lo,
+                    hi: r.hi,
+                    members: r.members,
+                    est: Some(m.counts[pi] as f64),
+                };
+                return if p.has_repeated_var() {
+                    PlanNode::Filter { pattern: p, input: Box::new(scan) }
+                } else {
+                    scan
+                };
+            }
             match shared_ix.get(&p) {
                 Some(&id) => {
                     PlanNode::SharedScan { id, pattern: p, est: Some(m.counts[pi] as f64) }
@@ -421,7 +791,18 @@ impl<'a> Planner<'a> {
         let mut node = leaf(m.order[0]);
         for &pi in &m.order[1..] {
             node = if self.profile.index_nested_loop_cq {
-                PlanNode::Inlj { input: Box::new(node), pattern: m.cq.patterns[pi] }
+                if let Some(r) = m.ranges.iter().find(|r| r.atom == pi) {
+                    PlanNode::RangeProbe {
+                        input: Box::new(node),
+                        pattern: m.cq.patterns[pi],
+                        ranged: r.ranged,
+                        lo: r.lo,
+                        hi: r.hi,
+                        members: r.members,
+                    }
+                } else {
+                    PlanNode::Inlj { input: Box::new(node), pattern: m.cq.patterns[pi] }
+                }
             } else {
                 PlanNode::HashJoin {
                     left: Box::new(node),
@@ -698,6 +1079,290 @@ mod tests {
             &members[0],
             PlanNode::Project { input, .. } if matches!(**input, PlanNode::Filter { .. })
         ));
+    }
+
+    #[test]
+    fn consecutive_object_constants_collapse_into_a_range_scan() {
+        // Members (?0 #u10 #uC) for C ∈ {1, 2, 3}: same head, same shape,
+        // consecutive object ids ⇒ one RangeScan o∈[1, 4).
+        let members: Vec<StoreCq> = [1u32, 2, 3]
+            .iter()
+            .map(|&o| one_pattern_member(StorePattern::new(v(0), c(10), c(o)), vec![0]))
+            .collect();
+        let frag = StoreUcq::new(members, vec![0]);
+        let plan = plan_of(&StoreJucq::from_ucq(frag), &EngineProfile::pg_like());
+        assert_eq!(plan.range_eligible, 1);
+        assert_eq!(plan.range_scans, 1);
+        let unions = plan.unions();
+        let (_, _, members) = unions[0].as_union().unwrap();
+        assert_eq!(members.len(), 1, "three members collapsed into one");
+        match &members[0] {
+            PlanNode::Project { input, .. } => match &**input {
+                PlanNode::RangeScan { ranged, lo, hi, members, .. } => {
+                    assert_eq!(*ranged, crate::table::RangePos::Object);
+                    assert_eq!((*lo, *hi), (1, 4));
+                    assert_eq!(*members, 3);
+                }
+                other => panic!("expected RangeScan leaf, got {other:?}"),
+            },
+            other => panic!("expected Project member, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_consecutive_constants_do_not_collapse() {
+        // Objects 1 and 3 are not adjacent raw ids: no run, no rewrite.
+        let members: Vec<StoreCq> = [1u32, 3]
+            .iter()
+            .map(|&o| one_pattern_member(StorePattern::new(v(0), c(10), c(o)), vec![0]))
+            .collect();
+        let frag = StoreUcq::new(members, vec![0]);
+        let plan = plan_of(&StoreJucq::from_ucq(frag), &EngineProfile::pg_like());
+        assert_eq!(plan.range_eligible, 0);
+        assert_eq!(plan.range_scans, 0);
+        let unions = plan.unions();
+        let (_, _, members) = unions[0].as_union().unwrap();
+        assert_eq!(members.len(), 2);
+    }
+
+    #[test]
+    fn range_knob_off_keeps_the_union_but_reports_eligibility() {
+        let members: Vec<StoreCq> = [1u32, 2, 3]
+            .iter()
+            .map(|&o| one_pattern_member(StorePattern::new(v(0), c(10), c(o)), vec![0]))
+            .collect();
+        let frag = StoreUcq::new(members, vec![0]);
+        let profile = EngineProfile::pg_like().with_range_scans(false);
+        let plan = plan_of(&StoreJucq::from_ucq(frag), &profile);
+        assert_eq!(plan.range_eligible, 1, "eligibility is detected even when off");
+        assert_eq!(plan.range_scans, 0);
+        let unions = plan.unions();
+        let (_, _, members) = unions[0].as_union().unwrap();
+        assert_eq!(members.len(), 3, "knob off: plain UCQ member per constant");
+    }
+
+    #[test]
+    fn consecutive_predicate_constants_collapse_in_predicate_position() {
+        // Members (?0 #uP ?1) for P ∈ {10, 11}: consecutive predicates.
+        let members: Vec<StoreCq> = [10u32, 11]
+            .iter()
+            .map(|&p| one_pattern_member(StorePattern::new(v(0), c(p), v(1)), vec![0, 1]))
+            .collect();
+        let frag = StoreUcq::new(members, vec![0, 1]);
+        let plan = plan_of(&StoreJucq::from_ucq(frag), &EngineProfile::pg_like());
+        assert_eq!(plan.range_scans, 1);
+        let unions = plan.unions();
+        let (_, _, members) = unions[0].as_union().unwrap();
+        match &members[0] {
+            PlanNode::Project { input, .. } => match &**input {
+                PlanNode::RangeScan { ranged, lo, hi, .. } => {
+                    assert_eq!(*ranged, crate::table::RangePos::Predicate);
+                    assert_eq!((*lo, *hi), (10, 12));
+                }
+                other => panic!("expected RangeScan leaf, got {other:?}"),
+            },
+            other => panic!("expected Project member, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ranged_atoms_off_the_leaf_become_range_probes() {
+        // Two-atom members differing in the first atom's object const:
+        // the second atom's 1-row extent leads, and the collapsed
+        // interval is probed per binding row instead of being pinned at
+        // the leaf (the old behavior, which conserved all probe work).
+        let members: Vec<StoreCq> = [2u32, 3]
+            .iter()
+            .map(|&o| {
+                StoreCq::with_var_head(
+                    vec![
+                        StorePattern::new(v(0), c(10), c(o)),
+                        StorePattern::new(v(0), c(11), c(100)), // 1 match
+                    ],
+                    vec![0],
+                )
+            })
+            .collect();
+        let frag = StoreUcq::new(members, vec![0]);
+        let plan = plan_of(&StoreJucq::from_ucq(frag), &EngineProfile::pg_like());
+        assert_eq!(plan.range_scans, 1);
+        let unions = plan.unions();
+        let (_, _, members) = unions[0].as_union().unwrap();
+        assert_eq!(members.len(), 1);
+        match &members[0] {
+            PlanNode::Project { input, .. } => match &**input {
+                PlanNode::RangeProbe { input, ranged, lo, hi, members, .. } => {
+                    assert_eq!(*ranged, crate::table::RangePos::Object);
+                    assert_eq!((*lo, *hi), (2, 4));
+                    assert_eq!(*members, 2);
+                    assert!(
+                        matches!(**input, PlanNode::IndexScan { .. }),
+                        "the selective atom stays the leaf"
+                    );
+                }
+                other => panic!("expected RangeProbe over IndexScan, got {other:?}"),
+            },
+            other => panic!("expected Project member, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_atom_grids_collapse_one_slot_per_atom() {
+        // Members (?0 #uP #uO) for P ∈ {10, 11}, O ∈ {2, 3}: the
+        // predicate runs merge (one per object), and since an atom
+        // carries at most one interval the object slot of the merged
+        // atoms stays constant — 4 members become 2, each p∈[10, 12).
+        let table = TripleTable::build(&[t(1, 10, 2), t(2, 10, 3), t(3, 11, 2), t(4, 11, 3)]);
+        let members: Vec<StoreCq> = [(10u32, 2u32), (10, 3), (11, 2), (11, 3)]
+            .iter()
+            .map(|&(p, o)| one_pattern_member(StorePattern::new(v(0), c(p), c(o)), vec![0]))
+            .collect();
+        let frag = StoreUcq::new(members, vec![0]);
+        let q = StoreJucq::from_ucq(frag);
+        let stats = Statistics::build(&table);
+        let profile = EngineProfile::pg_like();
+        let plan = Planner::new(&table, &stats, &profile).plan(&q);
+        let unions = plan.unions();
+        let (_, _, members) = unions[0].as_union().unwrap();
+        assert_eq!(members.len(), 2, "one member per object, predicates collapsed");
+        assert_eq!(plan.range_scans, 2);
+    }
+
+    #[test]
+    fn fixpoint_collapses_a_grid_across_two_atoms() {
+        // Q23's shape: (?0 #uP #u100) ⋈ (?0 #u11 #uC) for P ∈ {10, 11}...
+        // predicates here must not overlap the type predicate, so use
+        // P ∈ {10, 11} on atom 0 and objects C ∈ {100, 101} on a second
+        // atom with fixed predicate. 2×2 = 4 members fix down to ONE
+        // member with an interval on each atom.
+        let table = TripleTable::build(&[t(1, 10, 5), t(2, 11, 5), t(1, 12, 100), t(2, 12, 101)]);
+        let members: Vec<StoreCq> = [(10u32, 100u32), (10, 101), (11, 100), (11, 101)]
+            .iter()
+            .map(|&(p, o)| {
+                StoreCq::with_var_head(
+                    vec![StorePattern::new(v(0), c(p), c(5)), StorePattern::new(v(0), c(12), c(o))],
+                    vec![0],
+                )
+            })
+            .collect();
+        let frag = StoreUcq::new(members, vec![0]);
+        let q = StoreJucq::from_ucq(frag);
+        let stats = Statistics::build(&table);
+        let profile = EngineProfile::pg_like();
+        let plan = Planner::new(&table, &stats, &profile).plan(&q);
+        let unions = plan.unions();
+        let (_, _, members) = unions[0].as_union().unwrap();
+        assert_eq!(members.len(), 1, "2x2 grid fixes down to one member");
+        assert_eq!(plan.range_scans, 2, "one interval per atom");
+    }
+
+    #[test]
+    fn empty_gaps_between_interval_runs_are_bridged() {
+        // Objects 5 and 7 are not adjacent, but no triple matches
+        // (?s #u10 #u6): the gap is provably empty, so the interval
+        // widens over it — o∈[5, 8) — without adding a row.
+        let table = TripleTable::build(&[t(1, 10, 5), t(2, 10, 7), t(3, 11, 6)]);
+        let members: Vec<StoreCq> = [5u32, 7]
+            .iter()
+            .map(|&o| one_pattern_member(StorePattern::new(v(0), c(10), c(o)), vec![0]))
+            .collect();
+        let frag = StoreUcq::new(members, vec![0]);
+        let q = StoreJucq::from_ucq(frag);
+        let stats = Statistics::build(&table);
+        let profile = EngineProfile::pg_like();
+        let plan = Planner::new(&table, &stats, &profile).plan(&q);
+        assert_eq!(plan.range_eligible, 1);
+        assert_eq!(plan.range_scans, 1);
+        let unions = plan.unions();
+        let (_, _, members) = unions[0].as_union().unwrap();
+        assert_eq!(members.len(), 1);
+        match &members[0] {
+            PlanNode::Project { input, .. } => match &**input {
+                PlanNode::RangeScan { lo, hi, members, .. } => {
+                    assert_eq!((*lo, *hi), (5, 8));
+                    assert_eq!(*members, 2);
+                }
+                other => panic!("expected RangeScan leaf, got {other:?}"),
+            },
+            other => panic!("expected Project member, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn range_probe_plans_return_the_same_rows_as_ucq() {
+        use crate::engine::Store;
+        // Two-atom members where the collapsed interval rides a probe:
+        // every (knob × vectorized) combination must agree row-for-row.
+        let members: Vec<StoreCq> = [1u32, 2, 3]
+            .iter()
+            .map(|&o| {
+                StoreCq::with_var_head(
+                    vec![
+                        StorePattern::new(v(0), c(10), c(o)),
+                        StorePattern::new(v(0), c(11), v(1)),
+                    ],
+                    vec![0, 1],
+                )
+            })
+            .collect();
+        let frag = StoreUcq::new(members, vec![0, 1]);
+        let q = StoreJucq::from_ucq(frag);
+        let triples: Vec<TripleId> =
+            vec![t(1, 10, 2), t(2, 10, 3), t(3, 10, 1), t(1, 11, 100), t(2, 11, 101), t(4, 10, 4)];
+        let mut rows_by_mode = Vec::new();
+        for on in [true, false] {
+            for vectorized in [true, false] {
+                let mut profile = EngineProfile::pg_like().with_range_scans(on);
+                profile.vectorized = vectorized;
+                let s = Store::from_triples(&triples, profile);
+                let out = s.eval_jucq(&q).expect("evaluation succeeds");
+                let mut r = out.relation;
+                r.sort();
+                if on {
+                    assert!(
+                        out.counters.range_scans > 0,
+                        "collapsed plan exercises a range kernel (vectorized={vectorized})"
+                    );
+                }
+                rows_by_mode.push(r.to_rows());
+            }
+        }
+        for w in rows_by_mode.windows(2) {
+            assert_eq!(w[0], w[1], "range-probe and UCQ plans are row-identical");
+        }
+    }
+
+    #[test]
+    fn collapsed_plans_return_the_same_rows() {
+        use crate::engine::Store;
+        let members: Vec<StoreCq> = [1u32, 2, 3]
+            .iter()
+            .map(|&o| one_pattern_member(StorePattern::new(v(0), c(10), c(o)), vec![0]))
+            .collect();
+        let frag = StoreUcq::new(members, vec![0]);
+        let q = StoreJucq::from_ucq(frag);
+        let triples: Vec<TripleId> =
+            vec![t(1, 10, 2), t(2, 10, 3), t(3, 10, 1), t(1, 11, 100), t(2, 11, 101), t(4, 10, 4)];
+        let mut rows_by_mode = Vec::new();
+        for on in [true, false] {
+            for vectorized in [true, false] {
+                let mut profile = EngineProfile::pg_like().with_range_scans(on);
+                profile.vectorized = vectorized;
+                let s = Store::from_triples(&triples, profile);
+                let out = s.eval_jucq(&q).expect("evaluation succeeds");
+                let mut r = out.relation;
+                r.sort();
+                assert_eq!(
+                    out.counters.range_scans,
+                    u64::from(on),
+                    "range_scans counter tracks the knob (vectorized={vectorized})"
+                );
+                rows_by_mode.push(r.to_rows());
+            }
+        }
+        for w in rows_by_mode.windows(2) {
+            assert_eq!(w[0], w[1], "range and UCQ plans are row-identical");
+        }
     }
 
     #[test]

@@ -81,6 +81,15 @@ pub struct EngineProfile {
     /// the join itself.
     #[serde(default = "default_sip_filters")]
     pub sip_filters: bool,
+    /// If true (the default), the planner collapses union members that
+    /// differ in exactly one constant whose ids form a contiguous run
+    /// into a single `RangeScan` over that id interval (the LiteMat
+    /// hierarchy-encoding payoff). The collapse checks actual id
+    /// contiguity at plan time, so it is answer-preserving under any
+    /// dictionary numbering; without the hierarchical encoding it simply
+    /// fires rarely. Disable to measure the pure-UCQ baseline.
+    #[serde(default = "default_range_scans")]
+    pub range_scans: bool,
 }
 
 // Referenced by the `#[serde(default)]` attribute, which only expands
@@ -92,6 +101,11 @@ fn default_share_scans() -> bool {
 
 #[allow(dead_code)]
 fn default_sip_filters() -> bool {
+    true
+}
+
+#[allow(dead_code)]
+fn default_range_scans() -> bool {
     true
 }
 
@@ -184,6 +198,7 @@ impl EngineProfile {
             vectorized: default_vectorized(),
             batch_rows: default_batch_rows(),
             sip_filters: true,
+            range_scans: true,
         }
     }
 
@@ -203,6 +218,7 @@ impl EngineProfile {
             vectorized: default_vectorized(),
             batch_rows: default_batch_rows(),
             sip_filters: true,
+            range_scans: true,
         }
     }
 
@@ -222,6 +238,7 @@ impl EngineProfile {
             vectorized: default_vectorized(),
             batch_rows: default_batch_rows(),
             sip_filters: true,
+            range_scans: true,
         }
     }
 
@@ -243,6 +260,7 @@ impl EngineProfile {
             vectorized: default_vectorized(),
             batch_rows: default_batch_rows(),
             sip_filters: true,
+            range_scans: true,
         }
     }
 
@@ -312,6 +330,13 @@ impl EngineProfile {
         self
     }
 
+    /// Enable or disable collapsing contiguous-id union members into
+    /// `RangeScan` nodes.
+    pub fn with_range_scans(mut self, on: bool) -> Self {
+        self.range_scans = on;
+        self
+    }
+
     /// The effective worker count: at least one.
     pub fn effective_parallelism(&self) -> usize {
         self.parallelism.max(1)
@@ -330,7 +355,7 @@ impl EngineProfile {
     /// differ in knobs (the `set_profile` staleness class).
     pub fn plan_cache_key(&self) -> String {
         format!(
-            "{}|join={:?}|mat={}|inlj={}|share={}|vec={}|batch={}|sip={}",
+            "{}|join={:?}|mat={}|inlj={}|share={}|vec={}|batch={}|sip={}|range={}",
             self.name,
             self.fragment_join,
             self.materialize_all_unions,
@@ -339,6 +364,7 @@ impl EngineProfile {
             self.vectorized,
             self.effective_batch_rows(),
             self.sip_filters,
+            self.range_scans,
         )
     }
 }
@@ -464,6 +490,7 @@ mod tests {
             base.clone().with_sip_filters(!base.sip_filters).plan_cache_key(),
             base.clone().with_scan_sharing(false).plan_cache_key(),
             base.clone().with_batch_size(7).plan_cache_key(),
+            base.clone().with_range_scans(!base.range_scans).plan_cache_key(),
         ];
         for i in 0..keys.len() {
             for j in (i + 1)..keys.len() {

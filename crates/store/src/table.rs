@@ -76,6 +76,39 @@ impl Perm {
     }
 }
 
+/// The triple position a [`TripleTable::scan_value_range`] ranges over
+/// (the two positions hierarchy intervals apply to: class objects of
+/// `rdf:type` atoms and predicates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RangePos {
+    /// Range over the property column.
+    Predicate,
+    /// Range over the object column.
+    Object,
+}
+
+impl Perm {
+    /// Pick the permutation whose key puts the bound positions first and
+    /// the ranged position immediately after — so a value range on that
+    /// position is one contiguous slice of the index.
+    pub fn for_range(bound: &[Option<TermId>; 3], ranged: RangePos) -> Perm {
+        match ranged {
+            RangePos::Object => match (bound[0].is_some(), bound[1].is_some()) {
+                (false, false) => Perm::Osp,
+                (true, false) => Perm::Sop,
+                (false, true) => Perm::Pos,
+                (true, true) => Perm::Spo,
+            },
+            RangePos::Predicate => match (bound[0].is_some(), bound[2].is_some()) {
+                (false, false) => Perm::Pso,
+                (true, false) => Perm::Spo,
+                (false, true) => Perm::Ops,
+                (true, true) => Perm::Sop,
+            },
+        }
+    }
+}
+
 /// The triples table plus six clustered permutation indexes.
 #[derive(Debug, Default, Clone)]
 pub struct TripleTable {
@@ -139,6 +172,61 @@ impl TripleTable {
     /// Exact number of triples matching the bound positions (O(log n)).
     pub fn count(&self, bound: &[Option<TermId>; 3]) -> usize {
         self.scan(bound).len()
+    }
+
+    /// The contiguous slice of triples whose `ranged` position has a raw
+    /// id in `[lo, hi)` and whose other positions match `bound` — the σ
+    /// of a hierarchy-collapsed reformulation: one clustered range scan
+    /// instead of one prefix scan per union member.
+    ///
+    /// The ranged position must not itself be bound.
+    pub fn scan_value_range(
+        &self,
+        bound: &[Option<TermId>; 3],
+        ranged: RangePos,
+        lo: u32,
+        hi: u32,
+    ) -> &[TripleId] {
+        debug_assert!(
+            match ranged {
+                RangePos::Predicate => bound[1].is_none(),
+                RangePos::Object => bound[2].is_none(),
+            },
+            "ranged position must be free"
+        );
+        if lo >= hi {
+            return &[];
+        }
+        let perm = Perm::for_range(bound, ranged);
+        let idx = self.index(perm);
+        let prefix = perm.prefix(bound);
+        let k = prefix.iter().take_while(|c| c.is_some()).count();
+        debug_assert_eq!(k, prefix.iter().filter(|c| c.is_some()).count());
+        // The ranged position is key component `k`; pad the tail with 0
+        // and compare strictly, so `hi` stays exclusive.
+        let mut lo_key = [0u32; 3];
+        let mut hi_key = [0u32; 3];
+        for i in 0..k {
+            lo_key[i] = prefix[i].expect("bound prefix");
+            hi_key[i] = lo_key[i];
+        }
+        lo_key[k] = lo;
+        hi_key[k] = hi;
+        let start = idx.partition_point(|t| perm.key(t) < lo_key);
+        let end = idx.partition_point(|t| perm.key(t) < hi_key);
+        &idx[start..end]
+    }
+
+    /// Exact number of triples a [`TripleTable::scan_value_range`] would
+    /// return (O(log n); feeds the cost model).
+    pub fn count_value_range(
+        &self,
+        bound: &[Option<TermId>; 3],
+        ranged: RangePos,
+        lo: u32,
+        hi: u32,
+    ) -> usize {
+        self.scan_value_range(bound, ranged, lo, hi).len()
     }
 
     /// All triples, in SPO order.
@@ -337,6 +425,46 @@ mod tests {
         // Distinct objects for property 10: objects {100, 101}.
         let d_o = tbl.distinct_in_scan(&[None, Some(id(10)), None], |x| x.o);
         assert_eq!(d_o, 2);
+    }
+
+    #[test]
+    fn value_range_scan_equals_union_of_point_scans() {
+        let tbl = sample();
+        // Object range [100, 102) with predicate 10 bound: the union of
+        // o=100 and o=101 point scans.
+        let ranged = tbl.scan_value_range(&[None, Some(id(10)), None], RangePos::Object, 100, 102);
+        assert_eq!(ranged.len(), 3);
+        assert!(ranged.iter().all(|x| x.p == id(10) && (100..102).contains(&x.o.raw())));
+        // Unbound variant ranges over the whole table.
+        let all_o = tbl.scan_value_range(&[None, None, None], RangePos::Object, 100, u32::MAX);
+        assert_eq!(all_o.len(), 6);
+        // Predicate range with subject bound.
+        let preds = tbl.scan_value_range(&[Some(id(1)), None, None], RangePos::Predicate, 10, 12);
+        assert_eq!(preds.len(), 3);
+        // Empty and inverted ranges.
+        assert_eq!(tbl.count_value_range(&[None, None, None], RangePos::Object, 104, 200), 0);
+        assert_eq!(tbl.count_value_range(&[None, None, None], RangePos::Object, 102, 102), 0);
+        assert_eq!(tbl.count_value_range(&[None, None, None], RangePos::Object, 103, 100), 0);
+    }
+
+    #[test]
+    fn range_scans_are_sorted_and_contiguous() {
+        let tbl = sample();
+        for (bound, ranged) in [
+            ([None, None, None], RangePos::Object),
+            ([Some(id(1)), None, None], RangePos::Object),
+            ([None, Some(id(10)), None], RangePos::Object),
+            ([None, None, None], RangePos::Predicate),
+            ([Some(id(2)), None, None], RangePos::Predicate),
+            ([None, None, Some(id(100))], RangePos::Predicate),
+        ] {
+            let perm = Perm::for_range(&bound, ranged);
+            let hits = tbl.scan_value_range(&bound, ranged, 0, u32::MAX);
+            let keys: Vec<[u32; 3]> = hits.iter().map(|x| perm.key(x)).collect();
+            let mut sorted = keys.clone();
+            sorted.sort_unstable();
+            assert_eq!(keys, sorted, "{bound:?} {ranged:?}");
+        }
     }
 
     #[test]
