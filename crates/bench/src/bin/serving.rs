@@ -1,0 +1,372 @@
+//! Concurrent serving throughput: the snapshot serving layer vs a
+//! mutex-serialized baseline under multi-client load.
+//!
+//! The pre-serving way to put `RdfDatabase` behind a server is a
+//! `Mutex<RdfDatabase>`: every request locks the database for its
+//! whole parse + answer (the API needs `&mut self`). The serving layer
+//! removes that serialization — requests pin an immutable snapshot and
+//! answer on `&self`, and a bounded worker pool sized to the hardware
+//! provides admission control so concurrent clients never oversubscribe
+//! the cores (the same shape `jucq serve` deploys: clients enqueue,
+//! workers answer). This bench offers the same fixed workload to both
+//! designs at client counts 1, 2, 4 and 8 and records the throughput
+//! of each, plus the headline ratio of served throughput at 8 clients
+//! over the sequential baseline (the same serving stack driven by one
+//! client at a time). Every
+//! configuration's answers are fingerprinted and asserted identical —
+//! concurrency must never change a result.
+//!
+//! Load generation is closed-loop with think time (the YCSB/TPC-C
+//! client model): each client waits `THINK` between receiving a
+//! response and submitting its next request, standing in for network
+//! turnaround and client-side processing. Both designs and every
+//! client count pay the identical think time; the sequential baseline
+//! pays it inline while a loaded server overlaps it with other
+//! clients' requests — the classic throughput case for concurrent
+//! serving, which holds even on a single core. On multi-core hosts the
+//! pool additionally overlaps whole requests; the JSON records the
+//! hardware thread count so the numbers read in context. Each
+//! configuration is measured best-of-`REPS` with reps interleaved
+//! round-robin, and decoding/fingerprinting stay out of the timed
+//! loop.
+//!
+//! Run: `cargo run --release -p jucq-bench --bin serving [universities]`
+
+use std::collections::VecDeque;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use jucq_bench::harness::{arg_scale, lubm_db, render_table};
+use jucq_core::{RdfDatabase, ServingDb, Strategy};
+use jucq_datagen::lubm;
+use jucq_store::EngineProfile;
+
+const CLIENTS: [usize; 4] = [1, 2, 4, 8];
+const REQUESTS_PER_QUERY: usize = 16;
+const REPS: usize = 5;
+/// Closed-loop client think time between a response and the next
+/// request (simulated network turnaround + client-side processing).
+const THINK: Duration = Duration::from_millis(1);
+
+/// Sorted decoded rows per query — the answer fingerprint each
+/// configuration must reproduce exactly.
+fn fingerprint(rows: Vec<Vec<jucq_model::Term>>) -> Vec<String> {
+    let mut out: Vec<String> = rows
+        .into_iter()
+        .map(|row| row.iter().map(ToString::to_string).collect::<Vec<_>>().join("\t"))
+        .collect();
+    out.sort();
+    out
+}
+
+/// One timed pass: `clients` threads split `requests` round-robin over
+/// the workload, answering through `serve` (which returns the row
+/// count). Returns wall time and the total rows produced — a cheap
+/// checksum that the pass really did the work. Decoding and
+/// fingerprinting stay out of the timed loop so the measurement is the
+/// engine, not the bench's own string allocation.
+fn run_pass<F>(clients: usize, queries: &[String], requests: usize, serve: F) -> (Duration, usize)
+where
+    F: Fn(&str) -> usize + Sync,
+{
+    let serve = &serve;
+    let started = Instant::now();
+    let rows: usize = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|client| {
+                s.spawn(move || {
+                    let mut rows = 0usize;
+                    let mut i = client;
+                    while i < requests {
+                        std::thread::sleep(THINK);
+                        rows += serve(&queries[i % queries.len()]);
+                        i += clients;
+                    }
+                    rows
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).sum()
+    });
+    (started.elapsed(), rows)
+}
+
+/// A request waiting for a serving worker: query index plus the
+/// channel the row count comes back on.
+type Pending = (usize, mpsc::Sender<usize>);
+/// The bounded admission queue: pending requests plus a closed flag,
+/// with a condvar workers park on.
+type Queue = Arc<(Mutex<(VecDeque<Pending>, bool)>, Condvar)>;
+
+/// One timed pass through the serving layer as it actually deploys:
+/// `clients` threads submit requests (one in flight each, like an HTTP
+/// client awaiting its response) to a bounded queue drained by
+/// `workers` pool threads, each answering on a freshly pinned
+/// snapshot. Returns wall time and the total-row checksum.
+fn run_served_pass(
+    clients: usize,
+    queries: &[String],
+    requests: usize,
+    workers: usize,
+    serving: &jucq_core::ServingDb,
+) -> (Duration, usize) {
+    let queue: Queue = Arc::new((Mutex::new((VecDeque::new(), false)), Condvar::new()));
+    let started = Instant::now();
+    let rows: usize = std::thread::scope(|s| {
+        for _ in 0..workers {
+            let queue = Arc::clone(&queue);
+            s.spawn(move || loop {
+                let (lock, cvar) = &*queue;
+                let mut state = lock.lock().expect("queue lock");
+                let (qi, done) = loop {
+                    if let Some(req) = state.0.pop_front() {
+                        break req;
+                    }
+                    if state.1 {
+                        return;
+                    }
+                    state = cvar.wait(state).expect("queue wait");
+                };
+                drop(state);
+                let snapshot = serving.snapshot();
+                let q = snapshot.parse_query(&queries[qi]).expect("workload query parses");
+                let r = snapshot.answer(&q, &Strategy::gcov_default()).expect("served answer");
+                let _ = done.send(r.rows.len());
+            });
+        }
+        let client_rows: Vec<_> = (0..clients)
+            .map(|client| {
+                let queue = Arc::clone(&queue);
+                s.spawn(move || {
+                    let mut rows = 0usize;
+                    let mut i = client;
+                    while i < requests {
+                        std::thread::sleep(THINK);
+                        let (tx, rx) = mpsc::channel();
+                        let (lock, cvar) = &*queue;
+                        lock.lock().expect("queue lock").0.push_back((i % queries.len(), tx));
+                        cvar.notify_one();
+                        rows += rx.recv().expect("response for a submitted request");
+                        i += clients;
+                    }
+                    rows
+                })
+            })
+            .collect();
+        let total = client_rows.into_iter().map(|h| h.join().expect("client thread")).sum();
+        let (lock, cvar) = &*queue;
+        lock.lock().expect("queue lock").1 = true;
+        cvar.notify_all();
+        total
+    });
+    (started.elapsed(), rows)
+}
+
+/// One untimed verification pass: every client fingerprints every
+/// workload query; all observations must agree.
+fn verify_pass<F>(clients: usize, queries: &[String], serve: F) -> Vec<Vec<String>>
+where
+    F: Fn(&str) -> Vec<Vec<jucq_model::Term>> + Sync,
+{
+    let serve = &serve;
+    let fingerprints: Vec<Vec<Vec<String>>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                s.spawn(move || queries.iter().map(|q| fingerprint(serve(q))).collect::<Vec<_>>())
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    let reference = fingerprints[0].clone();
+    for client in &fingerprints[1..] {
+        assert_eq!(&reference, client, "concurrent clients disagree on an answer");
+    }
+    reference
+}
+
+fn throughput(requests: usize, wall: Duration) -> f64 {
+    requests as f64 / wall.as_secs_f64().max(1e-9)
+}
+
+fn main() {
+    let _obs = jucq_bench::harness::obs_sidecar("serving");
+    let universities = arg_scale(1, 1);
+    eprintln!("building LUBM-like({universities} universities)...");
+    let mut db = lubm_db(universities, EngineProfile::pg_like());
+    db.enable_plan_cache(64);
+    eprintln!("  {} data triples", db.graph().len());
+
+    let queries: Vec<String> = lubm::workload().into_iter().map(|nq| nq.sparql).collect();
+    let requests = queries.len() * REQUESTS_PER_QUERY;
+
+    // Baseline: the naive server — one mutex around the mutable
+    // database, every request holds it for parse + answer.
+    let mutex_db = Arc::new(Mutex::new({
+        let mut b = lubm_db(universities, EngineProfile::pg_like());
+        b.enable_plan_cache(64);
+        b.prepare();
+        b
+    }));
+    // Serving layer: immutable snapshots, `&self` answering.
+    let serving = Arc::new(ServingDb::new(db));
+
+    let snapshot_rows = |sparql: &str| {
+        let snapshot = serving.snapshot();
+        let q = snapshot.parse_query(sparql).expect("workload query parses");
+        let r = snapshot.answer(&q, &Strategy::gcov_default()).expect("served answer");
+        snapshot.decode_rows(&r.rows)
+    };
+    let snapshot_serve = |sparql: &str| {
+        let snapshot = serving.snapshot();
+        let q = snapshot.parse_query(sparql).expect("workload query parses");
+        snapshot.answer(&q, &Strategy::gcov_default()).expect("served answer").rows.len()
+    };
+    let mutex_rows = |sparql: &str| {
+        let mut db = mutex_db.lock().expect("baseline lock");
+        let db: &mut RdfDatabase = &mut db;
+        let q = db.parse_query(sparql).expect("workload query parses");
+        let r = db.answer(&q, &Strategy::gcov_default()).expect("baseline answer");
+        db.decode_rows(&r.rows)
+    };
+    let mutex_serve = |sparql: &str| {
+        let mut db = mutex_db.lock().expect("baseline lock");
+        let q = db.parse_query(sparql).expect("workload query parses");
+        db.answer(&q, &Strategy::gcov_default()).expect("baseline answer").rows.len()
+    };
+
+    // Warm both plan caches so every timed pass runs the steady state.
+    for sparql in &queries {
+        let _ = snapshot_serve(sparql);
+        let _ = mutex_serve(sparql);
+    }
+
+    // Correctness first (untimed): every concurrency level, both
+    // designs, one fingerprint per query — all must agree.
+    let mut reference: Vec<Vec<String>> = Vec::new();
+    for &clients in &CLIENTS {
+        let fps = verify_pass(clients, &queries, snapshot_rows);
+        if reference.is_empty() {
+            reference = fps;
+        } else {
+            assert_eq!(reference, fps, "snapshot answers changed at {clients} clients");
+        }
+        let fps = verify_pass(clients, &queries, mutex_rows);
+        assert_eq!(reference, fps, "mutex baseline answers changed at {clients} clients");
+    }
+    eprintln!("answers identical across all concurrency levels and both designs");
+
+    // Timed passes, reps interleaved round-robin across every
+    // configuration so slow ambient drift biases no single cell; each
+    // cell keeps its best (minimum) wall time.
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut expected_rows: Option<usize> = None;
+    let mut served_best: Vec<Option<Duration>> = vec![None; CLIENTS.len()];
+    let mut mutex_best: Vec<Option<Duration>> = vec![None; CLIENTS.len()];
+    for rep in 0..REPS {
+        eprintln!("rep {}/{REPS} ({workers} pool workers)...", rep + 1);
+        for (slot, &clients) in CLIENTS.iter().enumerate() {
+            let (wall, rows) = run_served_pass(clients, &queries, requests, workers, &serving);
+            assert_eq!(rows, *expected_rows.get_or_insert(rows), "row checksum drifted");
+            if served_best[slot].is_none_or(|b| wall < b) {
+                served_best[slot] = Some(wall);
+            }
+            let (wall, rows) = run_pass(clients, &queries, requests, mutex_serve);
+            assert_eq!(rows, expected_rows.unwrap(), "row checksum drifted");
+            if mutex_best[slot].is_none_or(|b| wall < b) {
+                mutex_best[slot] = Some(wall);
+            }
+        }
+    }
+    let snapshot_tp: Vec<(usize, f64)> = CLIENTS
+        .iter()
+        .zip(&served_best)
+        .map(|(&c, w)| (c, throughput(requests, w.expect("measured"))))
+        .collect();
+    let mutex_tp: Vec<(usize, f64)> = CLIENTS
+        .iter()
+        .zip(&mutex_best)
+        .map(|(&c, w)| (c, throughput(requests, w.expect("measured"))))
+        .collect();
+
+    let tp = |list: &[(usize, f64)], clients: usize| {
+        list.iter().find(|(c, _)| *c == clients).map(|(_, t)| *t).unwrap_or(0.0)
+    };
+    // Sequential baseline: the same serving stack driven by one client
+    // at a time. A loaded server beats it even on one core — a full
+    // queue means the pool never idles waiting for a client turnaround.
+    let sequential_baseline = tp(&snapshot_tp, 1);
+    let served_at_8 = tp(&snapshot_tp, 8);
+    let ratio_vs_sequential = served_at_8 / sequential_baseline.max(1e-9);
+    let ratio_vs_mutex_at_8 = served_at_8 / tp(&mutex_tp, 8).max(1e-9);
+    let hardware = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    let rows: Vec<Vec<String>> = CLIENTS
+        .iter()
+        .map(|&c| {
+            vec![
+                c.to_string(),
+                format!("{:.0}", tp(&snapshot_tp, c)),
+                format!("{:.0}", tp(&mutex_tp, c)),
+                format!("{:.2}", tp(&snapshot_tp, c) / tp(&mutex_tp, c).max(1e-9)),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &format!(
+                "Served throughput, {requests} requests/pass, best of {REPS} \
+                 ({hardware} hardware threads)"
+            ),
+            &["clients".into(), "snapshot (q/s)".into(), "mutex (q/s)".into(), "ratio".into()],
+            &rows,
+        )
+    );
+    println!(
+        "8 clients: snapshot {served_at_8:.0} q/s, sequential baseline \
+         {sequential_baseline:.0} q/s, ratio {ratio_vs_sequential:.2}x \
+         (vs mutex at 8: {ratio_vs_mutex_at_8:.2}x)"
+    );
+
+    jucq_obs::metrics::gauge_set("bench.serving.throughput_8_clients", served_at_8);
+    jucq_obs::metrics::gauge_set("bench.serving.sequential_baseline", sequential_baseline);
+    jucq_obs::metrics::gauge_set("bench.serving.ratio", ratio_vs_sequential);
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"experiment\": \"serving\",\n");
+    json.push_str(&format!("  \"universities\": {universities},\n"));
+    json.push_str(&format!("  \"hardware_threads\": {hardware},\n"));
+    json.push_str(&format!("  \"requests_per_pass\": {requests},\n"));
+    json.push_str(&format!("  \"reps\": {REPS},\n"));
+    json.push_str(&format!("  \"client_think_time_ms\": {},\n", THINK.as_millis()));
+    json.push_str("  \"answers_identical_across_concurrency\": true,\n");
+    json.push_str(&format!(
+        "  \"served_throughput_ratio_vs_sequential\": {ratio_vs_sequential:.4},\n"
+    ));
+    json.push_str(&format!(
+        "  \"served_throughput_ratio_vs_mutex_at_8\": {ratio_vs_mutex_at_8:.4},\n"
+    ));
+    json.push_str("  \"levels\": [\n");
+    for (i, &clients) in CLIENTS.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"clients\": {clients}, \"snapshot_qps\": {:.2}, \"mutex_qps\": {:.2}}}{}\n",
+            tp(&snapshot_tp, clients),
+            tp(&mutex_tp, clients),
+            if i + 1 < CLIENTS.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let dir = std::path::Path::new("results");
+    let _ = std::fs::create_dir_all(dir);
+    let path = dir.join("BENCH_serving.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
+
+    assert!(
+        ratio_vs_sequential >= 1.0,
+        "snapshot serving at 8 clients fell below the sequential baseline \
+         ({ratio_vs_sequential:.3}x)"
+    );
+}

@@ -13,6 +13,7 @@
 //! terms, covers explored).
 
 use std::fmt;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use jucq_model::{Graph, SchemaClosure, Term, TermId, Triple};
@@ -74,13 +75,16 @@ impl From<CoverError> for AnswerError {
 /// contiguous id block and the planner's range-collapse pass can turn
 /// reformulation unions over it into single interval scans.
 ///
-/// The re-encoding runs **once**, at the first of
-/// [`RdfDatabase::prepare`], [`RdfDatabase::parse_query`],
-/// [`RdfDatabase::intern_uri`] or [`RdfDatabase::intern_term`]. Terms
-/// interned after that point get plain append ids and stay outside every
-/// interval until the database is rebuilt (correctness is unaffected —
-/// the collapse pass only merges constants whose ids happen to be
-/// contiguous).
+/// The re-encoding runs at the first of [`RdfDatabase::prepare`],
+/// [`RdfDatabase::parse_query`], [`RdfDatabase::intern_uri`] or
+/// [`RdfDatabase::intern_term`] — and runs **again** after any schema
+/// insertion (a new `subClassOf`/`subPropertyOf` edge changes the
+/// interval labeling), so `descendant_range` intervals never go stale.
+/// Queries parsed before a re-encoding must be re-parsed: their
+/// constants hold pre-remap ids. Plain *data* terms interned between
+/// re-encodings get append ids and stay outside every interval until
+/// the next schema change (correctness is unaffected — the collapse
+/// pass only merges constants whose ids happen to be contiguous).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EncodingMode {
     /// First-seen append order (the default).
@@ -138,17 +142,56 @@ pub struct AnswerReport {
     pub range_scans_planned: usize,
 }
 
-struct Prepared {
-    closure: SchemaClosure,
-    rdf_type: TermId,
-    plain: Store,
-    saturated: Store,
-    constants: CostConstants,
+/// Everything one answer needs besides the query: closure, stores,
+/// constants. `Clone` + `Arc` so the serving layer can pin an epoch's
+/// preparation in an immutable snapshot while the writer builds the
+/// next one copy-on-write ([`Arc::make_mut`]).
+#[derive(Clone)]
+pub(crate) struct Prepared {
+    pub(crate) closure: SchemaClosure,
+    pub(crate) rdf_type: TermId,
+    pub(crate) plain: Store,
+    pub(crate) saturated: Store,
+    pub(crate) constants: CostConstants,
     /// The saturation under counting-based maintenance, enabling
     /// incremental data updates (see [`RdfDatabase::apply_data_updates`]).
-    incremental: IncrementalSaturation,
+    pub(crate) incremental: IncrementalSaturation,
     /// The materialized closed-schema triples (shared by both stores).
-    schema_triples: Vec<jucq_model::TripleId>,
+    pub(crate) schema_triples: Vec<jucq_model::TripleId>,
+}
+
+/// The immutable ingredients one answer needs besides the query: the
+/// prepared stores, the engine profile, and (optionally) the shared
+/// plan cache and a per-request execution-limit override. Borrowed
+/// from `&mut RdfDatabase` on the classic path and from a pinned
+/// [`crate::serving::Snapshot`] on the serving path — the pipeline
+/// itself ([`answer_on`]) never mutates anything but the cache, which
+/// sits behind its own lock.
+pub(crate) struct AnswerCtx<'a> {
+    pub(crate) prepared: &'a Prepared,
+    pub(crate) profile: &'a EngineProfile,
+    pub(crate) cache: Option<&'a Mutex<crate::plan_cache::PlanCache>>,
+    /// Execution-only override (deadline / memory budget). Never part
+    /// of plan identity: [`EngineProfile::plan_cache_key`] excludes
+    /// those knobs, so cached plans are shared across requests with
+    /// different limits.
+    pub(crate) exec_profile: Option<&'a EngineProfile>,
+}
+
+/// Lock the shared plan cache, recovering from poisoning: the cache's
+/// operations keep its invariants at every await-free step, so a reader
+/// that panicked mid-request must not wedge every other request.
+pub(crate) fn lock_cache(
+    cache: &Mutex<crate::plan_cache::PlanCache>,
+) -> std::sync::MutexGuard<'_, crate::plan_cache::PlanCache> {
+    cache.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// True iff `t` is an RDFS schema statement. Schema statements change
+/// the class/property hierarchies the interval labeling is computed
+/// from, so inserting one obsoletes the hierarchy encoding.
+fn is_schema_triple(t: &Triple) -> bool {
+    matches!(&t.p, Term::Uri(p) if jucq_model::vocab::is_schema_property(p))
 }
 
 /// An RDF database answering BGP queries under RDFS constraints.
@@ -156,12 +199,14 @@ pub struct RdfDatabase {
     graph: Graph,
     profile: EngineProfile,
     constants: Option<CostConstants>,
-    prepared: Option<Prepared>,
-    plan_cache: Option<crate::plan_cache::PlanCache>,
+    prepared: Option<Arc<Prepared>>,
+    plan_cache: Option<Arc<Mutex<crate::plan_cache::PlanCache>>>,
     encoding: EncodingMode,
-    /// Whether the hierarchy-aware re-encoding has run (it must run at
-    /// most once: query constants interned afterwards would otherwise
-    /// hold pre-remap ids).
+    /// Whether the hierarchy-aware re-encoding is current. Reset when
+    /// the schema grows (a new `subClassOf` edge changes the interval
+    /// labeling), so the next preparation re-runs the encoding; callers
+    /// must re-parse queries afterwards (constants interned before a
+    /// re-encoding hold pre-remap ids).
     encoded: bool,
 }
 
@@ -245,22 +290,36 @@ impl RdfDatabase {
         self.invalidate();
     }
 
-    /// Insert one triple (invalidates prepared stores).
+    /// Insert one triple (invalidates prepared stores; a schema triple
+    /// also obsoletes the hierarchy encoding).
     pub fn insert(&mut self, triple: &Triple) -> bool {
         self.invalidate();
+        if is_schema_triple(triple) {
+            self.encoded = false;
+        }
         self.graph.insert(triple)
     }
 
-    /// Bulk-insert triples (invalidates prepared stores).
+    /// Bulk-insert triples (invalidates prepared stores; schema triples
+    /// also obsolete the hierarchy encoding).
     pub fn extend<'a>(&mut self, triples: impl IntoIterator<Item = &'a Triple>) {
         self.invalidate();
+        let triples: Vec<&Triple> = triples.into_iter().collect();
+        if triples.iter().any(|t| is_schema_triple(t)) {
+            self.encoded = false;
+        }
         self.graph.extend(triples);
     }
 
     /// Load a Turtle-subset document (see [`crate::turtle`]).
     pub fn load_turtle(&mut self, text: &str) -> Result<usize, crate::turtle::TurtleError> {
         self.invalidate();
-        crate::turtle::load(&mut self.graph, text)
+        let schema_before = self.graph.schema().len();
+        let loaded = crate::turtle::load(&mut self.graph, text);
+        if self.graph.schema().len() != schema_before {
+            self.encoded = false;
+        }
+        loaded
     }
 
     /// The underlying graph.
@@ -288,6 +347,7 @@ impl RdfDatabase {
     pub fn set_profile(&mut self, profile: EngineProfile) {
         self.profile = profile.clone();
         if let Some(p) = &mut self.prepared {
+            let p = Arc::make_mut(p);
             p.plain.set_profile(profile.clone());
             p.saturated.set_profile(profile);
             p.constants = self.constants.unwrap_or_else(|| calibrate(&p.plain));
@@ -298,27 +358,60 @@ impl RdfDatabase {
     /// queries reuse the previously chosen cover instead of re-running
     /// the search. Sound across data updates (any valid cover answers
     /// correctly, Theorem 3.1); cleared when the database is re-prepared.
+    ///
+    /// Calling this again on a live cache **resizes** it in place —
+    /// entries and hit/miss counters survive (shrinking evicts
+    /// oldest-first); it never wipes a warm cache.
     pub fn enable_plan_cache(&mut self, capacity: usize) {
-        self.plan_cache = Some(crate::plan_cache::PlanCache::new(capacity));
+        match &self.plan_cache {
+            Some(cache) => lock_cache(cache).resize(capacity),
+            None => {
+                self.plan_cache =
+                    Some(Arc::new(Mutex::new(crate::plan_cache::PlanCache::new(capacity))));
+            }
+        }
     }
 
     /// The plan cache's hit/miss counters, if caching is enabled.
     pub fn plan_cache_stats(&self) -> Option<crate::plan_cache::PlanCacheStats> {
-        self.plan_cache.as_ref().map(|c| c.stats())
+        self.plan_cache.as_ref().map(|c| lock_cache(c).stats())
+    }
+
+    /// The shared plan-cache handle, for snapshots (the cache outlives
+    /// any single epoch: covers stay sound across data updates).
+    pub(crate) fn plan_cache_shared(&self) -> Option<Arc<Mutex<crate::plan_cache::PlanCache>>> {
+        self.plan_cache.clone()
+    }
+
+    /// Swap in a fresh plan cache of the same capacity, leaving the old
+    /// handle to whoever still holds it. The serving layer calls this
+    /// on a non-incremental rebuild: readers pinned to an earlier epoch
+    /// may attach plans lowered from the *old* stores after the rebuild
+    /// cleared the cache, and a rebuild can remap term ids (hierarchy
+    /// re-encoding) — so sharing one cache across that boundary could
+    /// hand a new-epoch reader a stale physical plan. A fresh handle
+    /// makes the race unrepresentable; the old epoch keeps caching
+    /// against its own doomed instance until it drops.
+    pub(crate) fn replace_plan_cache(&mut self) {
+        if let Some(cache) = &self.plan_cache {
+            let capacity = lock_cache(cache).capacity();
+            self.plan_cache =
+                Some(Arc::new(Mutex::new(crate::plan_cache::PlanCache::new(capacity))));
+        }
     }
 
     /// Pin the cost constants instead of calibrating.
     pub fn set_cost_constants(&mut self, constants: CostConstants) {
         self.constants = Some(constants);
         if let Some(p) = &mut self.prepared {
-            p.constants = constants;
+            Arc::make_mut(p).constants = constants;
         }
     }
 
     fn invalidate(&mut self) {
         self.prepared = None;
-        if let Some(cache) = &mut self.plan_cache {
-            cache.clear();
+        if let Some(cache) = &self.plan_cache {
+            lock_cache(cache).clear();
         }
     }
 
@@ -348,7 +441,7 @@ impl RdfDatabase {
 
         let incremental = IncrementalSaturation::new(self.graph.data(), closure.clone(), rdf_type);
         let constants = self.constants.unwrap_or_else(|| calibrate(&plain));
-        self.prepared = Some(Prepared {
+        self.prepared = Some(Arc::new(Prepared {
             closure,
             rdf_type,
             plain,
@@ -356,7 +449,16 @@ impl RdfDatabase {
             constants,
             incremental,
             schema_triples: schema_ts,
-        });
+        }));
+    }
+
+    /// The prepared state as a shared handle (preparing on demand) —
+    /// the serving layer's snapshot ingredient. Published snapshots
+    /// keep this `Arc` alive; subsequent incremental updates mutate a
+    /// private copy ([`Arc::make_mut`]), never the pinned one.
+    pub(crate) fn prepared_shared(&mut self) -> Arc<Prepared> {
+        self.prepare();
+        Arc::clone(self.prepared.as_ref().expect("prepared"))
     }
 
     /// True when `triple` can be absorbed without rebuilding: data-only
@@ -403,7 +505,7 @@ impl RdfDatabase {
         let del_ids: Vec<TripleId> = deletes.iter().map(|t| self.encode_triple(t)).collect();
 
         let absorbable = match &self.prepared {
-            Some(p) => ins_ids.iter().all(|t| self.update_is_incremental(p, t)),
+            Some(p) => ins_ids.iter().all(|t| self.update_is_incremental(p.as_ref(), t)),
             None => false,
         };
         if !absorbable {
@@ -425,7 +527,9 @@ impl RdfDatabase {
         let mut sat_ins: Vec<TripleId> = Vec::new();
         let mut sat_del: FxHashSet<TripleId> = FxHashSet::default();
         {
-            let p = self.prepared.as_mut().expect("absorbable implies prepared");
+            // Copy-on-write: a snapshot pinning the old epoch keeps its
+            // `Arc`; the writer mutates a private copy and publishes it.
+            let p = Arc::make_mut(self.prepared.as_mut().expect("absorbable implies prepared"));
             for &t in &ins_ids {
                 if self.graph.insert_data_encoded(t) {
                     report.inserted += 1;
@@ -456,8 +560,8 @@ impl RdfDatabase {
         // Covers stay sound across data updates (Theorem 3.1), but the
         // physical plans lowered from them baked in join orders and
         // shared-scan choices from the old statistics snapshot.
-        if let Some(cache) = &mut self.plan_cache {
-            cache.clear_plans();
+        if let Some(cache) = &self.plan_cache {
+            lock_cache(cache).clear_plans();
         }
         report
     }
@@ -575,121 +679,276 @@ impl RdfDatabase {
         AnswerError,
     > {
         self.prepare();
-        let p = self.prepared.as_ref().expect("prepared");
-        let env = ReformulationEnv { closure: &p.closure, rdf_type: p.rdf_type };
-
-        // Reformulation is bounded by the engine's union limit: a union
-        // the engine would reject is not materialized at all (the paper's
-        // engines likewise fail during parsing/planning, not execution).
-        let limit = self.profile.max_union_terms;
-        let bounded = |cover: &Cover| -> Result<StoreJucq, AnswerError> {
-            jucq_for_cover_bounded(q, cover, &env, limit)
-                .map_err(|n| EngineError::UnionTooLarge { terms: n, limit }.into())
-        };
-
-        let mut used_key: Option<crate::plan_cache::PlanKey> = None;
-        let (jucq, cover, explored, saturated): (StoreJucq, Option<Cover>, Option<usize>, bool) =
-            match strategy {
-                Strategy::Saturation => {
-                    let cq = q.to_store_cq();
-                    let head = q.head.clone();
-                    let ucq = jucq_store::StoreUcq::new(vec![cq], head.clone());
-                    (StoreJucq::new(vec![ucq], head), None, None, true)
-                }
-                // Range reformulates exactly like UCQ; the union-to-
-                // interval collapse happens inside the physical planner
-                // (and only when the profile's `range_scans` knob is on,
-                // so with it off Range degenerates to plain UCQ).
-                Strategy::Ucq | Strategy::Range => {
-                    let cover = Cover::single_fragment(q)?;
-                    (bounded(&cover)?, Some(cover), None, false)
-                }
-                Strategy::Scq => {
-                    let cover = Cover::singletons(q)?;
-                    (bounded(&cover)?, Some(cover), None, false)
-                }
-                Strategy::MinimizedUcq { cap } => {
-                    let cover = Cover::single_fragment(q)?;
-                    let mut jucq = bounded(&cover)?;
-                    if jucq.union_terms() <= *cap {
-                        let minimized: Vec<_> = jucq
-                            .fragments
-                            .into_iter()
-                            .map(|f| jucq_reformulation::minimize_ucq(&f))
-                            .collect();
-                        jucq = StoreJucq::new(minimized, jucq.head);
-                    }
-                    (jucq, Some(cover), None, false)
-                }
-                Strategy::FixedCover(cover) => (bounded(cover)?, Some(cover.clone()), None, false),
-                Strategy::ECov { cost, .. } | Strategy::GCov { cost, .. } => {
-                    // Plan-cache keys are canonical query forms, so
-                    // isomorphic queries (same shape, different variable
-                    // names or atom order) share one cached cover; the
-                    // cover's atom indices are canonical and translated
-                    // through this query's permutation. The profile's
-                    // plan-affecting fingerprint (name plus the join,
-                    // materialization, sharing, batch and SIP knobs)
-                    // keys cost-model- and executor-dependent choices
-                    // apart, so toggling `JUCQ_BATCH` or `sip_filters`
-                    // can never serve a plan lowered for the old knobs.
-                    let canonical = self.plan_cache.is_some().then(|| q.canonicalize());
-                    let cache_key = canonical.as_ref().map(|(cq, _)| {
-                        crate::plan_cache::PlanKey::new(
-                            cq.clone(),
-                            strategy.name(),
-                            &self.profile.plan_cache_key(),
-                        )
-                    });
-                    used_key = cache_key.clone();
-                    if let (Some(cache), Some(key)) = (&mut self.plan_cache, &cache_key) {
-                        if let Some((canonical_cover, explored)) = cache.get(key) {
-                            let perm = &canonical.as_ref().expect("key implies canonical").1;
-                            let fragments: Vec<Vec<usize>> = canonical_cover
-                                .fragments()
-                                .into_iter()
-                                .map(|f| f.into_iter().map(|i| perm[i]).collect())
-                                .collect();
-                            let cover = Cover::new(q, fragments)
-                                .expect("canonical covers translate to valid covers");
-                            let jucq =
-                                jucq_for_cover_bounded(q, &cover, &env, limit).map_err(|n| {
-                                    AnswerError::from(EngineError::UnionTooLarge {
-                                        terms: n,
-                                        limit,
-                                    })
-                                })?;
-                            (jucq, Some(cover), explored, false)
-                        } else {
-                            let (jucq, cover, explored) =
-                                Self::run_cover_search(q, &env, p, cost, strategy, limit)?;
-                            if let Some(c) = &cover {
-                                // Store the cover in canonical indices.
-                                let perm = &canonical.as_ref().expect("key implies canonical").1;
-                                let inverse: jucq_model::FxHashMap<usize, usize> =
-                                    perm.iter().enumerate().map(|(ci, &oi)| (oi, ci)).collect();
-                                let fragments: Vec<Vec<usize>> = c
-                                    .fragments()
-                                    .into_iter()
-                                    .map(|f| f.into_iter().map(|i| inverse[&i]).collect())
-                                    .collect();
-                                let (cq, _) = canonical.as_ref().expect("canonical");
-                                if let Ok(canonical_cover) = Cover::new(cq, fragments) {
-                                    cache.put(key.clone(), canonical_cover, explored);
-                                }
-                            }
-                            (jucq, cover, explored, false)
-                        }
-                    } else {
-                        let (jucq, cover, explored) =
-                            Self::run_cover_search(q, &env, p, cost, strategy, limit)?;
-                        (jucq, cover, explored, false)
-                    }
-                }
-            };
-        Ok((jucq, cover, explored, saturated, used_key))
+        plan_jucq_on(&self.answer_ctx(), q, strategy)
     }
 
+    /// The borrowed pipeline inputs. Callers must [`RdfDatabase::prepare`]
+    /// first.
+    fn answer_ctx(&self) -> AnswerCtx<'_> {
+        AnswerCtx {
+            prepared: self.prepared.as_deref().expect("prepared"),
+            profile: &self.profile,
+            cache: self.plan_cache.as_deref(),
+            exec_profile: None,
+        }
+    }
+}
+
+/// Plan `q` under `strategy` over borrowed pipeline inputs: choose (or
+/// look up) a cover, build the reformulated JUCQ, and report which
+/// store evaluates it (`true` = the saturated store) plus the
+/// plan-cache key used (when caching applies). The `&self`-compatible
+/// planning stage shared by [`RdfDatabase`] and the serving snapshot
+/// path ([`crate::serving::Snapshot`]).
+#[allow(clippy::type_complexity)]
+pub(crate) fn plan_jucq_on(
+    ctx: &AnswerCtx<'_>,
+    q: &BgpQuery,
+    strategy: &Strategy,
+) -> Result<
+    (StoreJucq, Option<Cover>, Option<usize>, bool, Option<crate::plan_cache::PlanKey>),
+    AnswerError,
+> {
+    let p = ctx.prepared;
+    let env = ReformulationEnv { closure: &p.closure, rdf_type: p.rdf_type };
+
+    // Reformulation is bounded by the engine's union limit: a union
+    // the engine would reject is not materialized at all (the paper's
+    // engines likewise fail during parsing/planning, not execution).
+    let limit = ctx.profile.max_union_terms;
+    let bounded = |cover: &Cover| -> Result<StoreJucq, AnswerError> {
+        jucq_for_cover_bounded(q, cover, &env, limit)
+            .map_err(|n| EngineError::UnionTooLarge { terms: n, limit }.into())
+    };
+
+    let mut used_key: Option<crate::plan_cache::PlanKey> = None;
+    let (jucq, cover, explored, saturated): (StoreJucq, Option<Cover>, Option<usize>, bool) =
+        match strategy {
+            Strategy::Saturation => {
+                let cq = q.to_store_cq();
+                let head = q.head.clone();
+                let ucq = jucq_store::StoreUcq::new(vec![cq], head.clone());
+                (StoreJucq::new(vec![ucq], head), None, None, true)
+            }
+            // Range reformulates exactly like UCQ; the union-to-
+            // interval collapse happens inside the physical planner
+            // (and only when the profile's `range_scans` knob is on,
+            // so with it off Range degenerates to plain UCQ).
+            Strategy::Ucq | Strategy::Range => {
+                let cover = Cover::single_fragment(q)?;
+                (bounded(&cover)?, Some(cover), None, false)
+            }
+            Strategy::Scq => {
+                let cover = Cover::singletons(q)?;
+                (bounded(&cover)?, Some(cover), None, false)
+            }
+            Strategy::MinimizedUcq { cap } => {
+                let cover = Cover::single_fragment(q)?;
+                let mut jucq = bounded(&cover)?;
+                if jucq.union_terms() <= *cap {
+                    let minimized: Vec<_> = jucq
+                        .fragments
+                        .into_iter()
+                        .map(|f| jucq_reformulation::minimize_ucq(&f))
+                        .collect();
+                    jucq = StoreJucq::new(minimized, jucq.head);
+                }
+                (jucq, Some(cover), None, false)
+            }
+            Strategy::FixedCover(cover) => (bounded(cover)?, Some(cover.clone()), None, false),
+            Strategy::ECov { cost, .. } | Strategy::GCov { cost, .. } => {
+                // Plan-cache keys are canonical query forms, so
+                // isomorphic queries (same shape, different variable
+                // names or atom order) share one cached cover; the
+                // cover's atom indices are canonical and translated
+                // through this query's permutation. The profile's
+                // plan-affecting fingerprint (name plus the join,
+                // materialization, sharing, batch and SIP knobs)
+                // keys cost-model- and executor-dependent choices
+                // apart, so toggling `JUCQ_BATCH` or `sip_filters`
+                // can never serve a plan lowered for the old knobs.
+                let canonical = ctx.cache.is_some().then(|| q.canonicalize());
+                let cache_key = canonical.as_ref().map(|(cq, _)| {
+                    crate::plan_cache::PlanKey::new(
+                        cq.clone(),
+                        strategy.name(),
+                        &ctx.profile.plan_cache_key(),
+                    )
+                });
+                used_key = cache_key.clone();
+                if let (Some(cache), Some(key)) = (ctx.cache, &cache_key) {
+                    // Hold the lock only for the lookup — a miss
+                    // runs the cover search unlocked, so concurrent
+                    // requests never serialize behind planning.
+                    let cached = lock_cache(cache).get(key);
+                    if let Some((canonical_cover, explored)) = cached {
+                        let perm = &canonical.as_ref().expect("key implies canonical").1;
+                        let fragments: Vec<Vec<usize>> = canonical_cover
+                            .fragments()
+                            .into_iter()
+                            .map(|f| f.into_iter().map(|i| perm[i]).collect())
+                            .collect();
+                        let cover = Cover::new(q, fragments)
+                            .expect("canonical covers translate to valid covers");
+                        let jucq = jucq_for_cover_bounded(q, &cover, &env, limit).map_err(|n| {
+                            AnswerError::from(EngineError::UnionTooLarge { terms: n, limit })
+                        })?;
+                        (jucq, Some(cover), explored, false)
+                    } else {
+                        let (jucq, cover, explored) =
+                            RdfDatabase::run_cover_search(q, &env, p, cost, strategy, limit)?;
+                        if let Some(c) = &cover {
+                            // Store the cover in canonical indices.
+                            let perm = &canonical.as_ref().expect("key implies canonical").1;
+                            let inverse: jucq_model::FxHashMap<usize, usize> =
+                                perm.iter().enumerate().map(|(ci, &oi)| (oi, ci)).collect();
+                            let fragments: Vec<Vec<usize>> = c
+                                .fragments()
+                                .into_iter()
+                                .map(|f| f.into_iter().map(|i| inverse[&i]).collect())
+                                .collect();
+                            let (cq, _) = canonical.as_ref().expect("canonical");
+                            if let Ok(canonical_cover) = Cover::new(cq, fragments) {
+                                lock_cache(cache).put(key.clone(), canonical_cover, explored);
+                            }
+                        }
+                        (jucq, cover, explored, false)
+                    }
+                } else {
+                    let (jucq, cover, explored) =
+                        RdfDatabase::run_cover_search(q, &env, p, cost, strategy, limit)?;
+                    (jucq, cover, explored, false)
+                }
+            }
+        };
+    Ok((jucq, cover, explored, saturated, used_key))
+}
+
+/// A zero-atom query's uniform answer: clean and empty for *every*
+/// strategy. An empty body has no cover (UCQ's single fragment would be
+/// empty, SCQ's cover has no fragments), and letting each strategy
+/// improvise its own degenerate behaviour made them disagree. No atoms,
+/// no answers — uniformly.
+pub(crate) fn empty_answer(
+    q: &BgpQuery,
+    strategy: &Strategy,
+) -> (AnswerReport, Option<jucq_store::ExecProfile>) {
+    jucq_obs::metrics::counter_add("queries.answered", 1);
+    (
+        AnswerReport {
+            strategy: strategy.name(),
+            rows: Relation::empty(q.head.clone()),
+            counters: Counters::default(),
+            eval_time: Duration::ZERO,
+            planning_time: Duration::ZERO,
+            union_terms: 0,
+            cover: None,
+            covers_explored: None,
+            range_eligible: 0,
+            range_scans_planned: 0,
+        },
+        None,
+    )
+}
+
+/// The shared answering pipeline over borrowed inputs — the `&self`
+/// core of [`RdfDatabase::answer`], also driven by the serving
+/// snapshot path. Callers emit the `answer` span and short-circuit
+/// zero-atom queries through [`empty_answer`] first.
+pub(crate) fn answer_on(
+    ctx: &AnswerCtx<'_>,
+    q: &BgpQuery,
+    strategy: &Strategy,
+    profiled: bool,
+) -> Result<(AnswerReport, Option<jucq_store::ExecProfile>), AnswerError> {
+    let planning_start = Instant::now();
+    let (jucq, cover, explored, saturated, cache_key) = {
+        jucq_obs::span!("planning");
+        plan_jucq_on(ctx, q, strategy)?
+    };
+    let planning_time = planning_start.elapsed();
+    let p = ctx.prepared;
+    let target = if saturated { &p.saturated } else { &p.plain };
+
+    let union_terms = jucq.union_terms();
+    // Reuse the cache entry's lowered physical plan when it was
+    // built for exactly this query under this profile; otherwise
+    // lower one and attach it for the next repetition.
+    let mut exec_profile = None;
+    let plan = match (ctx.cache, &cache_key) {
+        (Some(cache), Some(key)) => {
+            let cached = lock_cache(cache).get_plan(key, q);
+            match cached {
+                Some(plan) => plan,
+                None => {
+                    let plan = Arc::new(target.plan_jucq(&jucq)?);
+                    lock_cache(cache).attach_plan(key, q.clone(), Arc::clone(&plan));
+                    plan
+                }
+            }
+        }
+        _ => Arc::new(target.plan_jucq(&jucq)?),
+    };
+    let (range_eligible, range_scans_planned) = (plan.range_eligible, plan.range_scans);
+    // Per-request limits (deadline, memory budget) override only the
+    // execution context, never the plan: `plan_cache_key` excludes
+    // them by design, so a request with a tight deadline still reuses
+    // the shared plan.
+    let mut outcome = match (profiled, ctx.exec_profile) {
+        (true, Some(limits)) => {
+            let (outcome, profile) = target.eval_plan_profiled_with(&plan, limits)?;
+            exec_profile = Some(profile);
+            outcome
+        }
+        (true, None) => {
+            let (outcome, profile) = target.eval_plan_profiled(&plan)?;
+            exec_profile = Some(profile);
+            outcome
+        }
+        (false, Some(limits)) => target.eval_plan_with(&plan, limits)?,
+        (false, None) => target.eval_plan(&plan)?,
+    };
+    if let Some(n) = q.limit {
+        outcome.relation.truncate(n);
+    }
+
+    let c = outcome.counters;
+    jucq_obs::metrics::counter_add("queries.answered", 1);
+    jucq_obs::metrics::counter_add("exec.tuples_scanned", c.tuples_scanned);
+    jucq_obs::metrics::counter_add("exec.tuples_joined", c.tuples_joined);
+    jucq_obs::metrics::counter_add("exec.tuples_materialized", c.tuples_materialized);
+    jucq_obs::metrics::counter_add("exec.tuples_deduped", c.tuples_deduped);
+    jucq_obs::metrics::histogram_record("pipeline.planning.ns", planning_time.as_nanos() as u64);
+    jucq_obs::metrics::histogram_record("pipeline.execution.ns", outcome.elapsed.as_nanos() as u64);
+    if let Some(cache) = ctx.cache {
+        let stats = lock_cache(cache).stats();
+        let lookups = stats.hits + stats.misses;
+        if lookups > 0 {
+            jucq_obs::metrics::gauge_set(
+                "plan_cache.hit_ratio",
+                stats.hits as f64 / lookups as f64,
+            );
+        }
+    }
+
+    Ok((
+        AnswerReport {
+            strategy: strategy.name(),
+            rows: outcome.relation,
+            counters: c,
+            eval_time: outcome.elapsed,
+            planning_time,
+            union_terms,
+            cover,
+            covers_explored: explored,
+            range_eligible,
+            range_scans_planned,
+        },
+        exec_profile,
+    ))
+}
+
+impl RdfDatabase {
     /// Answer `q` with `strategy`, reporting timings and plan shape.
     ///
     /// When a query-log sink is installed (`--query-log` /
@@ -729,7 +988,8 @@ impl RdfDatabase {
         let result = self.answer_impl(q, strategy, true);
         let after = self.plan_cache_stats();
         let record = crate::telemetry::build_record(
-            self,
+            self.graph.dict(),
+            &self.profile,
             q,
             strategy,
             &result,
@@ -750,105 +1010,11 @@ impl RdfDatabase {
         profiled: bool,
     ) -> Result<(AnswerReport, Option<jucq_store::ExecProfile>), AnswerError> {
         jucq_obs::span!("answer");
-        // A zero-atom query short-circuits to a clean empty answer for
-        // *every* strategy: an empty body has no cover (UCQ's single
-        // fragment would be empty, SCQ's cover has no fragments), and
-        // letting each strategy improvise its own degenerate behaviour
-        // made them disagree. No atoms, no answers — uniformly.
         if q.is_empty() {
-            jucq_obs::metrics::counter_add("queries.answered", 1);
-            return Ok((
-                AnswerReport {
-                    strategy: strategy.name(),
-                    rows: Relation::empty(q.head.clone()),
-                    counters: Counters::default(),
-                    eval_time: Duration::ZERO,
-                    planning_time: Duration::ZERO,
-                    union_terms: 0,
-                    cover: None,
-                    covers_explored: None,
-                    range_eligible: 0,
-                    range_scans_planned: 0,
-                },
-                None,
-            ));
+            return Ok(empty_answer(q, strategy));
         }
-        let planning_start = Instant::now();
-        let (jucq, cover, explored, saturated, cache_key) = {
-            jucq_obs::span!("planning");
-            self.plan_jucq(q, strategy)?
-        };
-        let planning_time = planning_start.elapsed();
-        let p = self.prepared.as_ref().expect("plan_jucq prepares");
-        let target = if saturated { &p.saturated } else { &p.plain };
-
-        let union_terms = jucq.union_terms();
-        // Reuse the cache entry's lowered physical plan when it was
-        // built for exactly this query under this profile; otherwise
-        // lower one and attach it for the next repetition.
-        let mut exec_profile = None;
-        let plan = match (&mut self.plan_cache, &cache_key) {
-            (Some(cache), Some(key)) => match cache.get_plan(key, q) {
-                Some(plan) => plan,
-                None => {
-                    let plan = std::sync::Arc::new(target.plan_jucq(&jucq)?);
-                    cache.attach_plan(key, q.clone(), std::sync::Arc::clone(&plan));
-                    plan
-                }
-            },
-            _ => std::sync::Arc::new(target.plan_jucq(&jucq)?),
-        };
-        let (range_eligible, range_scans_planned) = (plan.range_eligible, plan.range_scans);
-        let mut outcome = if profiled {
-            let (outcome, profile) = target.eval_plan_profiled(&plan)?;
-            exec_profile = Some(profile);
-            outcome
-        } else {
-            target.eval_plan(&plan)?
-        };
-        if let Some(n) = q.limit {
-            outcome.relation.truncate(n);
-        }
-
-        let c = outcome.counters;
-        jucq_obs::metrics::counter_add("queries.answered", 1);
-        jucq_obs::metrics::counter_add("exec.tuples_scanned", c.tuples_scanned);
-        jucq_obs::metrics::counter_add("exec.tuples_joined", c.tuples_joined);
-        jucq_obs::metrics::counter_add("exec.tuples_materialized", c.tuples_materialized);
-        jucq_obs::metrics::counter_add("exec.tuples_deduped", c.tuples_deduped);
-        jucq_obs::metrics::histogram_record(
-            "pipeline.planning.ns",
-            planning_time.as_nanos() as u64,
-        );
-        jucq_obs::metrics::histogram_record(
-            "pipeline.execution.ns",
-            outcome.elapsed.as_nanos() as u64,
-        );
-        if let Some(stats) = self.plan_cache_stats() {
-            let lookups = stats.hits + stats.misses;
-            if lookups > 0 {
-                jucq_obs::metrics::gauge_set(
-                    "plan_cache.hit_ratio",
-                    stats.hits as f64 / lookups as f64,
-                );
-            }
-        }
-
-        Ok((
-            AnswerReport {
-                strategy: strategy.name(),
-                rows: outcome.relation,
-                counters: c,
-                eval_time: outcome.elapsed,
-                planning_time,
-                union_terms,
-                cover,
-                covers_explored: explored,
-                range_eligible,
-                range_scans_planned,
-            },
-            exec_profile,
-        ))
+        self.prepare();
+        answer_on(&self.answer_ctx(), q, strategy, profiled)
     }
 
     /// `EXPLAIN`: plan `q` exactly as [`RdfDatabase::answer`] would
@@ -1401,6 +1567,67 @@ mod tests {
         a.sort();
         b.sort();
         assert_eq!(a, b, "knob off changes nothing but the plan");
+    }
+
+    #[test]
+    fn schema_insert_after_answer_refreshes_hierarchy_encoding() {
+        let t = |s: &str, p: &str, o: Term| Triple::new(Term::uri(s), Term::uri(p), o);
+        let mut db = hierarchy_db(EncodingMode::Hierarchical);
+        let q = db.parse_query("SELECT ?x WHERE { ?x rdf:type <Work> . }").unwrap();
+        let first = db.answer(&q, &Strategy::Range).unwrap();
+        assert!(first.counters.range_scans >= 1);
+        assert_eq!(first.rows.len(), 5);
+
+        // Grow the schema *after* the first answer: a new class under
+        // Publication, plus an instance of it.
+        db.extend(&[
+            t("Thesis", vocab::RDFS_SUBCLASS_OF, Term::uri("Publication")),
+            t("doc9", vocab::RDF_TYPE, Term::uri("Thesis")),
+        ]);
+
+        // Re-parse (the re-encoding remaps ids) and compare Range
+        // against UCQ differentially.
+        let q = db.parse_query("SELECT ?x WHERE { ?x rdf:type <Work> . }").unwrap();
+        let mut range = db.answer(&q, &Strategy::Range).unwrap();
+        let mut ucq = db.answer(&q, &Strategy::Ucq).unwrap();
+        range.rows.sort();
+        ucq.rows.sort();
+        assert_eq!(db.decode_rows(&range.rows), db.decode_rows(&ucq.rows));
+        assert_eq!(range.rows.len(), 6, "doc9 (a Thesis) is a Work now");
+        assert!(
+            range.counters.range_scans >= 1,
+            "collapse re-engages over the refreshed intervals (counters: {:?})",
+            range.counters
+        );
+        // And the interval metadata tells the truth again: before the
+        // fix the encoding never re-ran, so `descendant_range` kept
+        // reporting the pre-update width of 5.
+        let enc = db.hierarchy_encoding().expect("encoding re-ran");
+        let work = db.graph().dict().lookup(&Term::uri("Work")).unwrap();
+        let interval = enc.descendant_range(work).expect("still a tree");
+        assert_eq!(interval.width(), 6, "Work now covers six classes");
+    }
+
+    #[test]
+    fn enable_plan_cache_again_preserves_entries_and_stats() {
+        let mut db = paper_db();
+        db.enable_plan_cache(8);
+        let q = example3_query(&mut db);
+        let s = Strategy::gcov_default();
+        db.answer(&q, &s).unwrap(); // cover miss
+        db.answer(&q, &s).unwrap(); // cover hit
+        let before = db.plan_cache_stats().unwrap();
+        assert_eq!(before.hits, 1);
+        assert_eq!(before.misses, 1);
+        // Re-enabling (e.g. on a profile reload) resizes in place:
+        // entries and counters survive instead of being clobbered.
+        db.enable_plan_cache(16);
+        let after = db.plan_cache_stats().unwrap();
+        assert_eq!(after, before, "re-enable must not drop stats");
+        db.answer(&q, &s).unwrap();
+        let stats = db.plan_cache_stats().unwrap();
+        assert_eq!(stats.hits, 2, "the warm entry still serves after re-enable");
+        assert_eq!(stats.misses, 1);
     }
 
     #[test]

@@ -37,13 +37,16 @@
 pub mod database;
 pub mod parser;
 pub mod plan_cache;
+pub mod serving;
 pub mod snapshot;
 pub mod strategy;
 pub mod telemetry;
 pub mod turtle;
 
+pub use database::UpdateReport;
 pub use database::{AnswerError, AnswerReport, EncodingMode, RdfDatabase};
 pub use plan_cache::{PlanCache, PlanCacheStats};
+pub use serving::{ServingDb, Snapshot};
 pub use strategy::{CostSource, Strategy};
 pub use telemetry::{replay, LatencyPercentiles, ReplayEntry, ReplayReport};
 

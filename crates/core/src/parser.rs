@@ -19,9 +19,42 @@
 
 use std::fmt;
 
-use jucq_model::{vocab, Dictionary, FxHashMap, Term};
+use jucq_model::{vocab, Dictionary, FxHashMap, Term, TermId};
 use jucq_reformulation::BgpQuery;
 use jucq_store::{PatternTerm, StorePattern, VarId};
+
+/// How parsed constants resolve to dictionary ids: interned into a
+/// mutable dictionary (the `&mut RdfDatabase` path) or looked up
+/// read-only against a frozen snapshot dictionary (the serving path,
+/// where concurrent readers share one immutable dictionary).
+enum TermScope<'d> {
+    Interning(&'d mut Dictionary),
+    Frozen {
+        dict: &'d Dictionary,
+        /// Sentinel ids for constants the frozen dictionary has never
+        /// seen: allocated past the per-kind id range (stable per
+        /// lexeme within one parse) so they collide with no data id —
+        /// the atom simply matches nothing, exactly the answers a
+        /// freshly interned id would produce.
+        unknown: FxHashMap<Term, TermId>,
+    },
+}
+
+impl TermScope<'_> {
+    fn resolve(&mut self, term: &Term) -> TermId {
+        match self {
+            TermScope::Interning(dict) => dict.encode(term),
+            TermScope::Frozen { dict, unknown } => {
+                if let Some(id) = dict.lookup(term) {
+                    return id;
+                }
+                let next = dict.kind_len(term.kind()) as u32
+                    + unknown.keys().filter(|t| t.kind() == term.kind()).count() as u32;
+                *unknown.entry(term.clone()).or_insert_with(|| TermId::new(term.kind(), next))
+            }
+        }
+    }
+}
 
 /// A parse failure, with a human-readable description.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -160,12 +193,12 @@ fn builtin_prefixes() -> FxHashMap<String, String> {
 /// Resolve one term token to a pattern term, interning constants.
 fn parse_term(
     token: &str,
-    dict: &mut Dictionary,
+    scope: &mut TermScope<'_>,
     prefixes: &FxHashMap<String, String>,
     vars: &mut FxHashMap<String, VarId>,
 ) -> Result<PatternTerm, ParseError> {
     if token == "a" {
-        return Ok(PatternTerm::Const(dict.encode_uri(vocab::RDF_TYPE)));
+        return Ok(PatternTerm::Const(scope.resolve(&Term::uri(vocab::RDF_TYPE))));
     }
     if let Some(name) = token.strip_prefix('?') {
         if name.is_empty() {
@@ -176,14 +209,14 @@ fn parse_term(
         return Ok(PatternTerm::Var(id));
     }
     if let Some(iri) = token.strip_prefix('<').and_then(|t| t.strip_suffix('>')) {
-        return Ok(PatternTerm::Const(dict.encode_uri(iri)));
+        return Ok(PatternTerm::Const(scope.resolve(&Term::uri(iri))));
     }
     if let Some(lit) = token.strip_prefix('"').and_then(|t| t.strip_suffix('"')) {
-        return Ok(PatternTerm::Const(dict.encode(&Term::literal(lit))));
+        return Ok(PatternTerm::Const(scope.resolve(&Term::literal(lit))));
     }
     if let Some((prefix, local)) = token.split_once(':') {
         if let Some(base) = prefixes.get(prefix) {
-            return Ok(PatternTerm::Const(dict.encode_uri(&format!("{base}{local}"))));
+            return Ok(PatternTerm::Const(scope.resolve(&Term::uri(format!("{base}{local}")))));
         }
         return err(format!("unknown prefix `{prefix}:`"));
     }
@@ -192,6 +225,18 @@ fn parse_term(
 
 /// Parse a `SELECT … WHERE { … }` query, interning constants in `dict`.
 pub fn parse_query(dict: &mut Dictionary, text: &str) -> Result<BgpQuery, ParseError> {
+    parse_query_in(&mut TermScope::Interning(dict), text)
+}
+
+/// Parse against a frozen dictionary without interning — the serving
+/// path, where many readers share one immutable snapshot dictionary.
+/// Constants the dictionary has never seen resolve to sentinel ids
+/// outside the data id range, so their atoms match nothing.
+pub fn parse_query_frozen(dict: &Dictionary, text: &str) -> Result<BgpQuery, ParseError> {
+    parse_query_in(&mut TermScope::Frozen { dict, unknown: FxHashMap::default() }, text)
+}
+
+fn parse_query_in(scope: &mut TermScope<'_>, text: &str) -> Result<BgpQuery, ParseError> {
     jucq_obs::span!("parse");
     let tokens = tokenize(text)?;
     let mut cur = Cursor { tokens: &tokens, pos: 0 };
@@ -255,13 +300,13 @@ pub fn parse_query(dict: &mut Dictionary, text: &str) -> Result<BgpQuery, ParseE
                 cur.next();
             }
             Some(_) => {
-                let s = parse_term(cur.next().expect("peeked"), dict, &prefixes, &mut vars)?;
+                let s = parse_term(cur.next().expect("peeked"), scope, &prefixes, &mut vars)?;
                 let p = match cur.next() {
-                    Some(t) => parse_term(t, dict, &prefixes, &mut vars)?,
+                    Some(t) => parse_term(t, scope, &prefixes, &mut vars)?,
                     None => return err("triple missing its property"),
                 };
                 let o = match cur.next() {
-                    Some(t) => parse_term(t, dict, &prefixes, &mut vars)?,
+                    Some(t) => parse_term(t, scope, &prefixes, &mut vars)?,
                     None => return err("triple missing its object"),
                 };
                 atoms.push(StorePattern::new(s, p, o));
@@ -393,6 +438,34 @@ mod tests {
         let (q, _) =
             parse("# find everything\nSELECT ?x WHERE { ?x <http://p> ?y . # body\n }").unwrap();
         assert_eq!(q.atoms.len(), 1);
+    }
+
+    #[test]
+    fn frozen_parse_agrees_with_interning_and_never_interns() {
+        let text = "SELECT ?x WHERE { ?x a <http://ex/Book> . ?x <http://ex/p> \"v\" }";
+        let mut dict = Dictionary::new();
+        let interned = parse_query(&mut dict, text).unwrap();
+        let before = dict.len();
+        let frozen = parse_query_frozen(&dict, text).unwrap();
+        assert_eq!(frozen, interned, "known constants resolve to the same ids");
+        assert_eq!(dict.len(), before, "frozen parsing never grows the dictionary");
+
+        // Unknown constants get sentinel ids beyond the dictionary's
+        // per-kind range: distinct per lexeme, repeated per occurrence.
+        let q = parse_query_frozen(
+            &dict,
+            "SELECT ?x WHERE { ?x <http://ex/u1> ?y . ?y <http://ex/u2> <http://ex/u1> }",
+        )
+        .unwrap();
+        let PatternTerm::Const(u1) = q.atoms[0].p else { panic!("constant") };
+        let PatternTerm::Const(u2) = q.atoms[1].p else { panic!("constant") };
+        let PatternTerm::Const(u1_again) = q.atoms[1].o else { panic!("constant") };
+        assert_ne!(u1, u2);
+        assert_eq!(u1, u1_again);
+        for id in [u1, u2] {
+            assert!(!dict.contains_id(id), "sentinels sit outside the dictionary");
+        }
+        assert_eq!(dict.len(), before);
     }
 
     #[test]

@@ -166,6 +166,29 @@ impl PlanCache {
         }
     }
 
+    /// Change the capacity **without** dropping entries or counters: a
+    /// no-op at the current capacity, room for more entries when grown,
+    /// FIFO eviction of the oldest entries when shrunk. This is what
+    /// [`enable_plan_cache`](crate::RdfDatabase::enable_plan_cache)
+    /// calls on re-enable, so a profile reload can never silently wipe
+    /// a warm cache.
+    pub fn resize(&mut self, capacity: usize) {
+        self.capacity = capacity.max(1);
+        while self.map.len() > self.capacity {
+            if let Some(old) = self.order.pop_front() {
+                self.map.remove(&old);
+                self.stats.evictions += 1;
+                jucq_obs::metrics::counter_add("plan_cache.evictions", 1);
+            }
+        }
+        self.publish_size();
+    }
+
+    /// The FIFO bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Drop every cached physical plan, keeping the covers. Called when
     /// the data (hence the statistics snapshot) changes: covers stay
     /// sound (Theorem 3.1) but join orders and shared-scan choices baked
@@ -385,6 +408,27 @@ mod tests {
         jucq_obs::reset();
         assert_eq!(snap.gauges["plan_cache.size"], 0.0, "clear() resets the gauge");
         assert_eq!(snap.counter("plan_cache.evictions"), 1);
+    }
+
+    #[test]
+    fn resize_preserves_entries_and_stats() {
+        let mut c = PlanCache::new(4);
+        for p in 1..=3u32 {
+            let q = query(p);
+            c.put(key(&q, "GCov"), cover(&q), None);
+        }
+        c.get(&key(&query(1), "GCov"));
+        // Growing (or restating) the capacity keeps everything.
+        c.resize(8);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.stats().hits, 1);
+        assert!(c.get(&key(&query(1), "GCov")).is_some());
+        // Shrinking evicts oldest-first, still keeping counters.
+        c.resize(1);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.stats().evictions, 2);
+        assert_eq!(c.stats().hits, 2);
+        assert!(c.get(&key(&query(3), "GCov")).is_some(), "newest entry survives");
     }
 
     #[test]

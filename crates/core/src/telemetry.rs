@@ -127,21 +127,24 @@ fn plan_cache_hit(before: Option<&PlanCacheStats>, after: Option<&PlanCacheStats
 }
 
 /// Build the structured log record of one answered (or failed) query.
-/// `seq` is left at 0 — the sink assigns it on submit.
+/// `seq` is left at 0 — the sink assigns it on submit. Takes the
+/// dictionary and profile rather than the database so both the
+/// `&mut RdfDatabase` path and a pinned serving snapshot can build
+/// records.
 pub(crate) fn build_record(
-    db: &RdfDatabase,
+    dict: &jucq_model::Dictionary,
+    profile: &jucq_store::EngineProfile,
     q: &BgpQuery,
     strategy: &Strategy,
     result: &Result<(AnswerReport, Option<ExecProfile>), AnswerError>,
     stats_before: Option<&PlanCacheStats>,
     stats_after: Option<&PlanCacheStats>,
 ) -> QueryRecord {
-    let dict = db.graph().dict();
     let mut rec = QueryRecord {
         query: render_sparql(q, dict),
         fingerprint: query_fingerprint(q, dict),
         strategy: strategy.name().to_owned(),
-        profile: db.profile().plan_cache_key(),
+        profile: profile.plan_cache_key(),
         outcome: outcome_name(result).to_owned(),
         cover_cache_hit: cache_hit(stats_before, stats_after),
         plan_cache_hit: plan_cache_hit(stats_before, stats_after),
@@ -186,7 +189,7 @@ pub(crate) fn build_record(
         if let Some(threshold) = jucq_obs::record::slow_threshold() {
             if report.planning_time + report.eval_time >= threshold {
                 rec.slow_explain = Some(jucq_store::explain::render_analyze_report(
-                    &db.profile().name,
+                    &profile.name,
                     report.cover.as_ref().map_or(1, Cover::len),
                     report.union_terms,
                     report.rows.len(),

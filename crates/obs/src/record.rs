@@ -385,15 +385,32 @@ struct Sink {
     next_seq: u64,
 }
 
+impl Sink {
+    /// Flush buffered writes and force the bytes to disk, so every
+    /// record submitted before a replacement is durable before the old
+    /// handle drops. Failures warn once instead of failing the caller —
+    /// the same policy as [`submit`].
+    fn flush(&mut self) {
+        if let Some(file) = &mut self.file {
+            if file.flush().and_then(|()| file.sync_all()).is_err() {
+                let msg = format!("query-log flush of {:?} failed on sink replacement", self.path);
+                crate::warn_once("warn.query_log_flush_failed", &msg);
+            }
+        }
+    }
+}
+
 static SINK: Mutex<Option<Sink>> = Mutex::new(None);
 
 fn sink() -> std::sync::MutexGuard<'static, Option<Sink>> {
     SINK.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-/// Install the query-log sink (replacing any previous one). With a
+/// Install the query-log sink. A previous sink is flushed to disk and
+/// then dropped — replacement can never lose its tail records. With a
 /// `path`, records are appended to the file as JSONL; the ring always
-/// retains the most recent `ring_capacity` records in memory.
+/// retains the most recent `ring_capacity` records in memory. On open
+/// failure the previous sink stays installed untouched.
 pub fn install(config: QueryLogConfig) -> std::io::Result<()> {
     let file = match &config.path {
         Some(p) => Some(File::options().create(true).append(true).open(p)?),
@@ -401,7 +418,11 @@ pub fn install(config: QueryLogConfig) -> std::io::Result<()> {
     };
     let capacity =
         if config.ring_capacity == 0 { DEFAULT_RING_CAPACITY } else { config.ring_capacity };
-    *sink() = Some(Sink {
+    let mut guard = sink();
+    if let Some(mut old) = guard.take() {
+        old.flush();
+    }
+    *guard = Some(Sink {
         file,
         path: config.path,
         ring: VecDeque::with_capacity(capacity.min(4096)),
@@ -500,9 +521,11 @@ pub fn drain_ring() -> Vec<QueryRecord> {
     }
 }
 
-/// Remove the sink, closing the log file.
+/// Remove the sink, flushing and closing the log file.
 pub fn uninstall() {
-    *sink() = None;
+    if let Some(mut old) = sink().take() {
+        old.flush();
+    }
 }
 
 #[cfg(test)]
@@ -670,5 +693,54 @@ mod tests {
         assert_eq!(records[0].seq, 1);
         assert_eq!(records[1].seq, 2);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn reinstall_flushes_the_previous_sink_before_replacing_it() {
+        let _serial = crate::test_lock();
+        uninstall();
+        let pid = std::process::id();
+        let first = std::env::temp_dir().join(format!("jucq-record-reinstall-a-{pid}.jsonl"));
+        let second = std::env::temp_dir().join(format!("jucq-record-reinstall-b-{pid}.jsonl"));
+        let _ = std::fs::remove_file(&first);
+        let _ = std::fs::remove_file(&second);
+
+        install(QueryLogConfig {
+            path: Some(first.clone()),
+            ring_capacity: 4,
+            slow_threshold: None,
+        })
+        .expect("install first");
+        submit(sample_record());
+        submit(sample_record());
+        // Replace the sink while the first still holds tail records.
+        install(QueryLogConfig {
+            path: Some(second.clone()),
+            ring_capacity: 4,
+            slow_threshold: None,
+        })
+        .expect("install second");
+
+        // Every record submitted before the swap is durable on disk —
+        // without waiting for the process to exit or the file to drop.
+        let text = std::fs::read_to_string(&first).expect("first log written");
+        let (records, errors) = parse_log(&text);
+        assert!(errors.is_empty(), "{errors:?}");
+        assert_eq!(records.len(), 2, "no tail records lost on replacement");
+        assert_eq!(records[0].seq, 1);
+        assert_eq!(records[1].seq, 2);
+
+        // The fresh sink starts clean: its own seq space and ring.
+        submit(sample_record());
+        let drained = drain_ring();
+        assert_eq!(drained.len(), 1, "old ring does not leak into the new sink");
+        assert_eq!(drained[0].seq, 1);
+        uninstall();
+        let text = std::fs::read_to_string(&second).expect("second log written");
+        let (records, errors) = parse_log(&text);
+        assert!(errors.is_empty(), "{errors:?}");
+        assert_eq!(records.len(), 1);
+        let _ = std::fs::remove_file(&first);
+        let _ = std::fs::remove_file(&second);
     }
 }

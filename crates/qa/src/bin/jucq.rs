@@ -12,6 +12,9 @@
 //! jucq repl  <data.ttl>                       # interactive session
 //! jucq replay <data.ttl> <log.jsonl> [--report PATH]    # regression replay
 //! jucq fuzz  [--seed S] [--cases N] [--profile P|all]   # differential fuzzing
+//! jucq serve <data.ttl> [--port N] [--threads N] [--deadline-ms N]
+//!            [--queue-depth N] [--strategy S] [--profile P] [--encoding E]
+//!            [--plan-cache N] [--query-log PATH] [--slow-ms N]  # HTTP endpoint
 //! ```
 //!
 //! Strategies: `sat`, `ucq`, `scq`, `range`, `ecov`, `gcov` (default).
@@ -51,7 +54,7 @@ use jucq_core::{AnswerError, EncodingMode, RdfDatabase, Strategy};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  jucq query    <data.ttl|.snap> \"<SPARQL>\" [--strategy sat|ucq|scq|range|ecov|gcov] [--profile pg|db2|mysql|native] [--encoding plain|hierarchical] [--threads N] [--batch-size N] [--compare] [--explain-analyze] [--trace] [--metrics-json PATH] [--query-log PATH] [--slow-ms N] [--trace-out PATH]\n  jucq explain  <data.ttl|.snap> \"<SPARQL>\" [--analyze] [--strategy ...] [--profile ...] [--encoding ...] [--threads N] [--batch-size N]\n  jucq covers   <data.ttl|.snap> \"<SPARQL>\"\n  jucq stats    <data.ttl|.snap>\n  jucq repl     <data.ttl|.snap> [--profile ...] [--encoding ...] [--threads N] [--batch-size N]\n  jucq replay   <data.ttl|.snap> <log.jsonl> [--profile ...] [--encoding ...] [--threads N] [--batch-size N] [--report PATH]\n  jucq snapshot <data.ttl> <out.snap>\n  jucq fuzz     [--seed S] [--cases N] [--profile pg|db2|mysql|native|all] [--quiet]"
+        "usage:\n  jucq query    <data.ttl|.snap> \"<SPARQL>\" [--strategy sat|ucq|scq|range|ecov|gcov] [--profile pg|db2|mysql|native] [--encoding plain|hierarchical] [--threads N] [--batch-size N] [--compare] [--explain-analyze] [--trace] [--metrics-json PATH] [--query-log PATH] [--slow-ms N] [--trace-out PATH]\n  jucq explain  <data.ttl|.snap> \"<SPARQL>\" [--analyze] [--strategy ...] [--profile ...] [--encoding ...] [--threads N] [--batch-size N]\n  jucq covers   <data.ttl|.snap> \"<SPARQL>\"\n  jucq stats    <data.ttl|.snap>\n  jucq repl     <data.ttl|.snap> [--profile ...] [--encoding ...] [--threads N] [--batch-size N]\n  jucq replay   <data.ttl|.snap> <log.jsonl> [--profile ...] [--encoding ...] [--threads N] [--batch-size N] [--report PATH]\n  jucq snapshot <data.ttl> <out.snap>\n  jucq fuzz     [--seed S] [--cases N] [--profile pg|db2|mysql|native|all] [--quiet]\n  jucq serve    <data.ttl|.snap> [--port N] [--threads N] [--deadline-ms N] [--queue-depth N] [--strategy ...] [--profile ...] [--encoding ...] [--plan-cache N] [--query-log PATH] [--slow-ms N]"
     );
     std::process::exit(2)
 }
@@ -605,6 +608,91 @@ fn cmd_repl(mut args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+fn cmd_serve(mut args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
+    let mut port: u16 = 8677;
+    let mut threads: Option<usize> = None;
+    let mut queue_depth: usize = 64;
+    let mut deadline_ms: Option<u64> = None;
+    let mut strategy = Strategy::gcov_default();
+    let mut profile = EngineProfile::pg_like();
+    let mut encoding = EncodingMode::Plain;
+    let mut plan_cache: usize = 256;
+    let mut query_log: Option<String> = None;
+    let mut slow_ms: Option<u64> = None;
+    let mut positional: Vec<String> = Vec::new();
+    while !args.is_empty() {
+        let a = args.remove(0);
+        let mut flag_value = || {
+            let v = args.first().cloned().unwrap_or_default();
+            args.drain(..1.min(args.len()));
+            if v.is_empty() {
+                usage();
+            }
+            v
+        };
+        match a.as_str() {
+            "--port" => port = flag_value().parse().unwrap_or_else(|_| usage()),
+            "--threads" => threads = Some(flag_value().parse().unwrap_or_else(|_| usage())),
+            "--queue-depth" => queue_depth = flag_value().parse().unwrap_or_else(|_| usage()),
+            "--deadline-ms" => {
+                deadline_ms = Some(flag_value().parse().unwrap_or_else(|_| usage()));
+            }
+            "--strategy" => strategy = parse_strategy(&flag_value()).unwrap_or_else(|| usage()),
+            "--profile" => profile = parse_profile(&flag_value()).unwrap_or_else(|| usage()),
+            "--encoding" => encoding = parse_encoding(&flag_value()).unwrap_or_else(|| usage()),
+            "--plan-cache" => plan_cache = flag_value().parse().unwrap_or_else(|_| usage()),
+            "--query-log" => query_log = Some(flag_value()),
+            "--slow-ms" => slow_ms = Some(flag_value().parse().unwrap_or_else(|_| usage())),
+            _ => positional.push(a),
+        }
+    }
+    let [path] = positional.as_slice() else {
+        usage();
+    };
+
+    jucq_obs::set_enabled(true);
+    let log_path = query_log
+        .map(PathBuf::from)
+        .or_else(|| std::env::var_os("JUCQ_QUERY_LOG").map(PathBuf::from));
+    let slow_threshold =
+        slow_ms.map(Duration::from_millis).or_else(jucq_obs::record::slow_ms_from_env);
+    if log_path.is_some() || slow_threshold.is_some() {
+        jucq_obs::record::install(jucq_obs::QueryLogConfig {
+            path: log_path,
+            ring_capacity: 0,
+            slow_threshold,
+        })?;
+    }
+
+    let mut db = load(path, profile, encoding)?;
+    if plan_cache > 0 {
+        db.enable_plan_cache(plan_cache);
+    }
+    let serving = std::sync::Arc::new(jucq_core::ServingDb::new(db));
+    eprintln!("prepared and published epoch {}", serving.epoch());
+
+    let mut config = jucq_server::ServeConfig {
+        addr: std::net::SocketAddr::from(([127, 0, 0, 1], port)),
+        queue_depth: queue_depth.max(1),
+        deadline: deadline_ms.map(Duration::from_millis),
+        strategy,
+        ..jucq_server::ServeConfig::default()
+    };
+    if let Some(n) = threads {
+        config.threads = n.max(1);
+    }
+    let server = jucq_server::Server::start(serving, config)?;
+    // The listening line goes to stdout so scripts can scrape the port
+    // (`--port 0` lets the OS pick one).
+    println!("listening on http://{}", server.local_addr());
+    println!("endpoints: POST /query  GET /metrics  GET /health");
+    use std::io::Write as _;
+    std::io::stdout().flush()?;
+    loop {
+        std::thread::park();
+    }
+}
+
 fn cmd_fuzz(mut args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
     let mut seed: u64 = 1;
     let mut cases: usize = 500;
@@ -665,6 +753,7 @@ fn main() {
         "repl" => cmd_repl(args),
         "replay" => cmd_replay(args),
         "snapshot" => cmd_snapshot(args),
+        "serve" => cmd_serve(args),
         "fuzz" => cmd_fuzz(args),
         _ => usage(),
     };

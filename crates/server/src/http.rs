@@ -1,0 +1,221 @@
+//! Minimal HTTP/1.1 wire handling over a blocking [`TcpStream`] — just
+//! enough of RFC 9112 for a localhost query endpoint: one request per
+//! connection (`Connection: close`), `Content-Length` bodies only (no
+//! chunked transfer), bounded head and body sizes so a misbehaving
+//! client cannot balloon a worker.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// A parsed request: method, split target, lowercased headers, body.
+#[derive(Debug)]
+pub struct Request {
+    pub method: String,
+    /// The path component of the target, query string stripped.
+    pub path: String,
+    /// Decoded `key=value` pairs from the target's query string.
+    pub query: Vec<(String, String)>,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First query-string value for `key`, if present.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// First header value for `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum RecvError {
+    /// Head or body exceeded the configured bound.
+    TooLarge,
+    /// Not parseable as an HTTP/1.1 request.
+    Malformed,
+    /// The socket failed or closed mid-request.
+    Io(io::Error),
+}
+
+impl From<io::Error> for RecvError {
+    fn from(e: io::Error) -> Self {
+        RecvError::Io(e)
+    }
+}
+
+/// Read and parse one request. `max_head` bounds the request line +
+/// headers; `max_body` bounds the declared `Content-Length`.
+pub fn read_request(
+    stream: &mut TcpStream,
+    max_head: usize,
+    max_body: usize,
+) -> Result<Request, RecvError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > max_head {
+            return Err(RecvError::TooLarge);
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(RecvError::Malformed);
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end]).map_err(|_| RecvError::Malformed)?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().ok_or(RecvError::Malformed)?;
+    let mut parts = request_line.split(' ');
+    let method = parts.next().ok_or(RecvError::Malformed)?.to_owned();
+    let target = parts.next().ok_or(RecvError::Malformed)?;
+    let version = parts.next().ok_or(RecvError::Malformed)?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(RecvError::Malformed);
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line.split_once(':').ok_or(RecvError::Malformed)?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let content_length: usize = match headers.iter().find(|(k, _)| k == "content-length") {
+        Some((_, v)) => v.parse().map_err(|_| RecvError::Malformed)?,
+        None => 0,
+    };
+    if content_length > max_body {
+        return Err(RecvError::TooLarge);
+    }
+
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(RecvError::Malformed);
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_owned(), parse_query_string(q)),
+        None => (target.to_owned(), Vec::new()),
+    };
+
+    Ok(Request { method, path, query, headers, body })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn parse_query_string(q: &str) -> Vec<(String, String)> {
+    q.split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(kv), String::new()),
+        })
+        .collect()
+}
+
+/// Decode `%XX` escapes and `+` (form-style spaces). Invalid escapes
+/// pass through literally — a query endpoint should answer, not nitpick.
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' if i + 2 < bytes.len() => {
+                let hex = &s[i + 1..i + 3];
+                match u8::from_str_radix(hex, 16) {
+                    Ok(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    Err(_) => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Write a complete response and close the write side. Every response
+/// is `Connection: close` — one request per connection keeps the
+/// admission queue the single source of backpressure.
+pub fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_string_decoding() {
+        let q = parse_query_string("strategy=ucq&q=SELECT%20%3Fx+WHERE&flag");
+        assert_eq!(
+            q,
+            vec![
+                ("strategy".into(), "ucq".into()),
+                ("q".into(), "SELECT ?x WHERE".into()),
+                ("flag".into(), String::new()),
+            ]
+        );
+    }
+
+    #[test]
+    fn invalid_escapes_pass_through() {
+        assert_eq!(percent_decode("100%25"), "100%");
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("a%zzb"), "a%zzb");
+    }
+}

@@ -1,0 +1,217 @@
+//! End-to-end tests over a real socket: the endpoint answers exactly
+//! like the library, rejects what it must, and sheds load with 429
+//! when the admission queue is full.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use jucq_core::model::{vocab, Term, Triple};
+use jucq_core::store::EngineProfile;
+use jucq_core::{RdfDatabase, ServingDb, Strategy};
+use jucq_server::{ServeConfig, Server};
+
+fn t(s: &str, p: &str, o: Term) -> Triple {
+    Triple::new(Term::uri(s), Term::uri(p), o)
+}
+
+fn library_db() -> RdfDatabase {
+    let mut db = RdfDatabase::new();
+    let mut triples = vec![
+        t("Novel", vocab::RDFS_SUBCLASS_OF, Term::uri("Book")),
+        t("Book", vocab::RDFS_SUBCLASS_OF, Term::uri("Work")),
+        t("Article", vocab::RDFS_SUBCLASS_OF, Term::uri("Work")),
+    ];
+    for (i, class) in ["Novel", "Book", "Article"].into_iter().enumerate() {
+        triples.push(t(&format!("doc{i}"), vocab::RDF_TYPE, Term::uri(class)));
+    }
+    db.extend(&triples);
+    db
+}
+
+/// One-shot HTTP exchange: returns (status, body).
+fn exchange(addr: std::net::SocketAddr, request: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    stream.write_all(request.as_bytes()).expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("recv");
+    let status: u16 = response
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|r| r.split(' ').next())
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("malformed response: {response:?}"));
+    let body = response.split_once("\r\n\r\n").map(|(_, b)| b.to_owned()).unwrap_or_default();
+    (status, body)
+}
+
+fn post_query(addr: std::net::SocketAddr, target: &str, sparql: &str) -> (u16, String) {
+    let request = format!(
+        "POST {target} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{sparql}",
+        sparql.len()
+    );
+    exchange(addr, &request)
+}
+
+#[test]
+fn endpoint_matches_the_library_and_validates_requests() {
+    let serving = Arc::new(ServingDb::new(library_db()));
+    let config = ServeConfig { threads: 2, ..ServeConfig::default() };
+    let server = Server::start(Arc::clone(&serving), config).expect("bind");
+    let addr = server.local_addr();
+
+    let sparql = "SELECT ?x WHERE { ?x rdf:type <Work> . }";
+    // The library's own answer, decoded the same way the server does.
+    let snapshot = serving.snapshot();
+    let q = snapshot.parse_query(sparql).unwrap();
+    let mut expected: Vec<String> = Vec::new();
+    let report = snapshot.answer(&q, &Strategy::Ucq).unwrap();
+    for row in snapshot.decode_rows(&report.rows) {
+        expected.push(format!("[\"{}\"]", row[0]));
+    }
+    expected.sort();
+    assert_eq!(expected.len(), 3);
+
+    let (status, body) = post_query(addr, "/query?strategy=ucq", sparql);
+    assert_eq!(status, 200, "{body}");
+    let parsed = jucq_obs::json::parse(&body).expect("valid JSON");
+    assert_eq!(parsed.get("epoch").and_then(|v| v.as_u64()), Some(0));
+    assert_eq!(parsed.get("strategy").and_then(|v| v.as_str()), Some("UCQ"));
+    assert_eq!(parsed.get("row_count").and_then(|v| v.as_u64()), Some(3));
+    let mut served: Vec<String> = parsed
+        .get("rows")
+        .and_then(|v| v.as_arr())
+        .expect("rows array")
+        .iter()
+        .map(|row| {
+            let cells: Vec<String> = row
+                .as_arr()
+                .expect("row array")
+                .iter()
+                .map(|c| format!("\"{}\"", c.as_str().expect("string cell")))
+                .collect();
+            format!("[{}]", cells.join(","))
+        })
+        .collect();
+    served.sort();
+    assert_eq!(served, expected, "HTTP rows match the library's");
+
+    // Every listed strategy serves the same complete answer.
+    for strategy in ["sat", "scq", "range", "ecov", "gcov"] {
+        let (status, body) = post_query(addr, &format!("/query?strategy={strategy}"), sparql);
+        assert_eq!(status, 200, "{strategy}: {body}");
+        let parsed = jucq_obs::json::parse(&body).unwrap();
+        assert_eq!(
+            parsed.get("row_count").and_then(|v| v.as_u64()),
+            Some(3),
+            "strategy {strategy}"
+        );
+    }
+
+    // limit truncates rows but reports the full count.
+    let (_, body) = post_query(addr, "/query?strategy=ucq&limit=1", sparql);
+    let parsed = jucq_obs::json::parse(&body).unwrap();
+    assert_eq!(parsed.get("row_count").and_then(|v| v.as_u64()), Some(3));
+    assert_eq!(parsed.get("rows").and_then(|v| v.as_arr()).map(<[_]>::len), Some(1));
+
+    // Malformed SPARQL → 400 with a JSON error.
+    let (status, body) = post_query(addr, "/query", "SELECT WHERE {");
+    assert_eq!(status, 400);
+    assert!(jucq_obs::json::parse(&body).unwrap().get("error").is_some());
+
+    // Unknown strategy → 400; unknown path → 404; bad method → 405.
+    let (status, _) = post_query(addr, "/query?strategy=bogus", sparql);
+    assert_eq!(status, 400);
+    let (status, _) = post_query(addr, "/nope", sparql);
+    assert_eq!(status, 404);
+    let (status, _) =
+        exchange(addr, "DELETE /query HTTP/1.1\r\nHost: localhost\r\nContent-Length: 0\r\n\r\n");
+    assert_eq!(status, 405);
+
+    // /health names the current epoch; /metrics is well-formed
+    // jucq-obs JSON carrying the server counters.
+    let (status, body) = exchange(addr, "GET /health HTTP/1.1\r\nHost: localhost\r\n\r\n");
+    assert_eq!(status, 200);
+    assert!(body.starts_with("ok epoch=0"), "{body}");
+    jucq_obs::set_enabled(true);
+    let (_, _) = post_query(addr, "/query?strategy=ucq", sparql);
+    let (status, body) = exchange(addr, "GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n");
+    assert_eq!(status, 200);
+    let metrics = jucq_obs::json::parse(&body).expect("metrics are valid JSON");
+    assert_eq!(metrics.get("schema").and_then(|v| v.as_str()), Some("jucq-obs/1"));
+    let requests = metrics
+        .get("counters")
+        .and_then(|c| c.get("server.requests"))
+        .and_then(|v| v.as_u64())
+        .unwrap_or(0);
+    assert!(requests >= 1, "server.requests counted while obs enabled");
+    jucq_obs::set_enabled(false);
+
+    // An update publishes a new epoch; subsequent requests see it.
+    serving.apply_data_updates(&[t("doc9", vocab::RDF_TYPE, Term::uri("Novel"))], &[]);
+    let (_, body) = post_query(addr, "/query?strategy=ucq", sparql);
+    let parsed = jucq_obs::json::parse(&body).unwrap();
+    assert_eq!(parsed.get("epoch").and_then(|v| v.as_u64()), Some(1));
+    assert_eq!(parsed.get("row_count").and_then(|v| v.as_u64()), Some(4));
+}
+
+#[test]
+fn full_admission_queue_sheds_load_with_429() {
+    let serving = Arc::new(ServingDb::new(library_db()));
+    let config = ServeConfig {
+        threads: 1,
+        queue_depth: 1,
+        read_timeout: Duration::from_secs(30),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(serving, config).expect("bind");
+    let addr = server.local_addr();
+
+    // Occupy the single worker with a connection that never sends its
+    // request, then fill the depth-1 queue with a second one.
+    let blocker = TcpStream::connect(addr).expect("connect blocker");
+    std::thread::sleep(Duration::from_millis(150));
+    let queued = TcpStream::connect(addr).expect("connect queued");
+    std::thread::sleep(Duration::from_millis(150));
+
+    // The next connection finds the queue full and is turned away at
+    // the door, Retry-After attached.
+    let mut rejected = TcpStream::connect(addr).expect("connect rejected");
+    rejected.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut response = String::new();
+    rejected.read_to_string(&mut response).expect("read 429");
+    assert!(response.starts_with("HTTP/1.1 429 "), "{response:?}");
+    assert!(response.contains("Retry-After: 1"), "{response:?}");
+
+    // Releasing the blockers lets the server drain and shut down.
+    drop(blocker);
+    drop(queued);
+}
+
+#[test]
+fn per_request_deadline_rides_the_profile() {
+    let mut db = library_db();
+    // A generous server-side default; the request tightens it to zero.
+    db.set_profile(EngineProfile::pg_like().with_timeout(Duration::from_secs(30)));
+    let serving = Arc::new(ServingDb::new(db));
+    let server = Server::start(serving, ServeConfig::default()).expect("bind");
+    let addr = server.local_addr();
+
+    let sparql = "SELECT ?x WHERE { ?x rdf:type <Work> . }";
+    let request = format!(
+        "POST /query?strategy=ucq HTTP/1.1\r\nHost: localhost\r\nX-Jucq-Deadline-Ms: 0\r\nContent-Length: {}\r\n\r\n{sparql}",
+        sparql.len()
+    );
+    let (status, body) = exchange(addr, &request);
+    assert_eq!(status, 504, "a zero deadline must time out: {body}");
+    let parsed = jucq_obs::json::parse(&body).unwrap();
+    assert!(
+        parsed.get("error").and_then(|v| v.as_str()).unwrap_or("").contains("timed out"),
+        "{body}"
+    );
+
+    // Without the header the server default applies and the query runs.
+    let (status, _) = post_query(addr, "/query?strategy=ucq", sparql);
+    assert_eq!(status, 200);
+}

@@ -162,7 +162,7 @@ impl Store {
     /// cache). The plan must have been produced by this store's planner
     /// under the current profile.
     pub fn eval_plan(&self, plan: &Plan) -> Result<EvalOutcome, EngineError> {
-        self.eval_plan_inner(plan, false).map(|(outcome, _)| outcome)
+        self.eval_plan_inner(plan, false, None).map(|(outcome, _)| outcome)
     }
 
     /// Execute a plan with per-node runtime profiling.
@@ -170,7 +170,30 @@ impl Store {
         &self,
         plan: &Plan,
     ) -> Result<(EvalOutcome, ExecProfile), EngineError> {
-        self.eval_plan_inner(plan, true)
+        self.eval_plan_inner(plan, true, None)
+            .map(|(outcome, profile)| (outcome, profile.unwrap_or_default()))
+    }
+
+    /// Execute a plan under a caller-supplied profile — the serving
+    /// layer's per-request deadline and memory budget. The plan itself
+    /// is profile-agnostic at this point (it was lowered earlier);
+    /// only the execution context's limits and parallelism come from
+    /// `limits`.
+    pub fn eval_plan_with(
+        &self,
+        plan: &Plan,
+        limits: &EngineProfile,
+    ) -> Result<EvalOutcome, EngineError> {
+        self.eval_plan_inner(plan, false, Some(limits)).map(|(outcome, _)| outcome)
+    }
+
+    /// [`Store::eval_plan_with`] with per-node runtime profiling.
+    pub fn eval_plan_profiled_with(
+        &self,
+        plan: &Plan,
+        limits: &EngineProfile,
+    ) -> Result<(EvalOutcome, ExecProfile), EngineError> {
+        self.eval_plan_inner(plan, true, Some(limits))
             .map(|(outcome, profile)| (outcome, profile.unwrap_or_default()))
     }
 
@@ -178,15 +201,17 @@ impl Store {
         &self,
         plan: &Plan,
         profiling: bool,
+        limits: Option<&EngineProfile>,
     ) -> Result<(EvalOutcome, Option<ExecProfile>), EngineError> {
         jucq_obs::span!("execution");
+        let profile = limits.unwrap_or(&self.profile);
         let mut ctx = if profiling {
-            ExecContext::with_profiling(&self.profile)
+            ExecContext::with_profiling(profile)
         } else {
-            ExecContext::new(&self.profile)
+            ExecContext::new(profile)
         };
         let relation =
-            plan::exec::execute(&self.table, plan, &mut ctx, self.profile.effective_parallelism())?;
+            plan::exec::execute(&self.table, plan, &mut ctx, profile.effective_parallelism())?;
         if ctx.counters.sip_probes > 0 {
             jucq_obs::metrics::counter_add("exec.sip.probes", ctx.counters.sip_probes);
             jucq_obs::metrics::counter_add("exec.sip.drops", ctx.counters.sip_drops);

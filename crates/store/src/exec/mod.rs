@@ -15,6 +15,7 @@ pub mod batch;
 pub mod cq;
 pub mod join;
 pub mod parallel;
+pub mod pool;
 pub mod union;
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};

@@ -20,7 +20,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::error::EngineError;
 use crate::exec::union::DedupAccumulator;
-use crate::exec::{batch, cq, union, ExecContext};
+use crate::exec::{batch, cq, pool, union, ExecContext};
 use crate::ir::VarId;
 use crate::plan::PlanNode;
 use crate::relation::Relation;
@@ -46,6 +46,14 @@ pub(crate) struct UnionTask<'p> {
 /// worker threads across the flattened (union, member) task list. With
 /// one worker (or at most one task) this is exactly the sequential
 /// path. `shared` is the plan's materialized shared-scan table.
+///
+/// The profile's `threads` is a *request*, not a reservation: the
+/// calling thread always works for free, and every extra worker needs
+/// a permit from the process-wide [`pool::PermitPool`]. Under
+/// concurrent queries the pool arbitrates, so inter-query and
+/// intra-query parallelism share one machine-sized budget instead of
+/// multiplying — a busy server degrades each query toward sequential
+/// evaluation rather than oversubscribing every core at once.
 pub(crate) fn eval_unions(
     table: &TripleTable,
     unions: &[UnionTask<'_>],
@@ -58,7 +66,11 @@ pub(crate) fn eval_unions(
         .enumerate()
         .flat_map(|(ui, u)| (0..u.members.len()).map(move |mi| (ui, mi)))
         .collect();
-    let workers = threads.min(tasks.len()).max(1);
+    let desired = threads.min(tasks.len()).max(1);
+    // Non-blocking admission: a zero grant just means "run sequential".
+    let permits =
+        if desired > 1 { Some(pool::PermitPool::global().try_acquire(desired - 1)) } else { None };
+    let workers = 1 + permits.as_ref().map_or(0, pool::Permits::count);
     if workers <= 1 {
         let mut out = Vec::with_capacity(unions.len());
         for u in unions {
@@ -252,6 +264,22 @@ mod tests {
         let profile = EngineProfile::mysql_like();
         let (seq, seq_counters) = eval(&q, &profile, 1).unwrap();
         let (par, par_counters) = eval(&q, &profile, 8).unwrap();
+        assert_eq!(seq, par);
+        assert_eq!(seq_counters, par_counters);
+    }
+
+    #[test]
+    fn exhausted_permit_pool_degrades_to_sequential_correctness() {
+        // Hog the process-wide pool, then run a parallel-profile query:
+        // admission grants zero extra workers, the caller thread does
+        // all the work, and the answer is still bit-identical.
+        let q = StoreJucq::from_ucq(wide_ucq());
+        let profile = EngineProfile::pg_like();
+        let (seq, seq_counters) = eval(&q, &profile, 1).unwrap();
+        let pool = crate::exec::pool::PermitPool::global();
+        let hog = pool.try_acquire(pool.capacity());
+        let (par, par_counters) = eval(&q, &profile, 8).unwrap();
+        drop(hog);
         assert_eq!(seq, par);
         assert_eq!(seq_counters, par_counters);
     }
