@@ -28,7 +28,10 @@ use jucq_reformulation::reformulate::ReformulationEnv;
 use jucq_reformulation::saturation::{saturate, schema_triples};
 use jucq_reformulation::{BgpQuery, Cover};
 use jucq_store::exec::Counters;
-use jucq_store::{EngineError, EngineProfile, Relation, Store, StoreJucq};
+use jucq_store::{
+    DeltaFootprint, EngineError, EngineProfile, Relation, Store, StoreJucq, ViewCatalog,
+    ViewCatalogStats, ViewFootprint, ViewSignature, ViewSource,
+};
 
 use crate::strategy::{CostSource, Strategy};
 
@@ -140,6 +143,10 @@ pub struct AnswerReport {
     /// `RangeScan` nodes actually present in the executed plan (0 when
     /// the knob is off or nothing was contiguous).
     pub range_scans_planned: usize,
+    /// Materialized fragment views resident in the catalog when this
+    /// answer ran (0 when no catalog is enabled). Epoch-exact view
+    /// *resolutions* are in [`Counters::view_hits`].
+    pub view_catalog_size: usize,
 }
 
 /// Everything one answer needs besides the query: closure, stores,
@@ -176,6 +183,15 @@ pub(crate) struct AnswerCtx<'a> {
     /// those knobs, so cached plans are shared across requests with
     /// different limits.
     pub(crate) exec_profile: Option<&'a EngineProfile>,
+    /// The materialized-view catalog, already gated on the profile's
+    /// `view_scans` knob by the ctx builder (`None` when the knob is
+    /// off or no catalog is enabled).
+    pub(crate) views: Option<&'a ViewCatalog>,
+    /// The epoch this answer is pinned to: the snapshot's on the
+    /// serving path, the catalog's own on the classic `&mut self` path
+    /// (where reads and writes are serialized anyway). View resolution
+    /// is exact against this value.
+    pub(crate) epoch: u64,
 }
 
 /// Lock the shared plan cache, recovering from poisoning: the cache's
@@ -201,6 +217,10 @@ pub struct RdfDatabase {
     constants: Option<CostConstants>,
     prepared: Option<Arc<Prepared>>,
     plan_cache: Option<Arc<Mutex<crate::plan_cache::PlanCache>>>,
+    /// The materialized fragment-view catalog, when enabled
+    /// ([`RdfDatabase::enable_views`]). `Arc`-shared with serving
+    /// snapshots; all mutation goes through interior locking.
+    views: Option<Arc<ViewCatalog>>,
     encoding: EncodingMode,
     /// Whether the hierarchy-aware re-encoding is current. Reset when
     /// the schema grows (a new `subClassOf` edge changes the interval
@@ -230,6 +250,7 @@ impl RdfDatabase {
             constants: None,
             prepared: None,
             plan_cache: None,
+            views: None,
             encoding: EncodingMode::Plain,
             encoded: false,
         }
@@ -243,6 +264,7 @@ impl RdfDatabase {
             constants: None,
             prepared: None,
             plan_cache: None,
+            views: None,
             encoding: EncodingMode::Plain,
             encoded: false,
         }
@@ -400,6 +422,97 @@ impl RdfDatabase {
         }
     }
 
+    /// Enable the materialized fragment-view catalog with a tuple
+    /// budget: cover fragments pinned through
+    /// [`RdfDatabase::pin_cover_fragments`] are stored as materialized
+    /// relations, the cover search prices them at `c_view` per tuple,
+    /// and the planner lowers matching fragments to `ViewScan` leaves.
+    /// Calling again on a live catalog replaces it (entries are
+    /// re-pinned by their owners).
+    pub fn enable_views(&mut self, budget_tuples: usize) {
+        let epoch = self.views.as_ref().map(|c| c.epoch()).unwrap_or(0);
+        let catalog = ViewCatalog::new(budget_tuples);
+        catalog.set_epoch(epoch);
+        self.views = Some(Arc::new(catalog));
+    }
+
+    /// The view catalog, if one is enabled.
+    pub fn views(&self) -> Option<&ViewCatalog> {
+        self.views.as_deref()
+    }
+
+    /// The shared catalog handle, for serving snapshots.
+    pub(crate) fn views_shared(&self) -> Option<Arc<ViewCatalog>> {
+        self.views.clone()
+    }
+
+    /// The catalog's aggregate statistics, if views are enabled.
+    pub fn view_stats(&self) -> Option<ViewCatalogStats> {
+        self.views.as_deref().map(|c| c.stats())
+    }
+
+    /// Materialize (pin) cover fragments of `q` under `strategy` into
+    /// the view catalog: each selected fragment's reformulated union is
+    /// evaluated once on the **plain** store — views disabled during
+    /// materialization, so a view never feeds its own definition — and
+    /// the result is stored under the fragment's canonical signature,
+    /// stamped with the catalog's current epoch.
+    ///
+    /// `fragments` selects fragment indices of the chosen cover (out of
+    /// range indices are ignored); `None` pins every fragment. Returns
+    /// the number of fragments newly materialized — already-resident
+    /// fragments and fragments the tuple budget rejects are skipped.
+    /// Saturation plans have no cover fragments, so they pin nothing.
+    ///
+    /// Pinning invalidates cached *physical* plans (covers survive):
+    /// plans lowered before the pin carry no `ViewScan` leaves and
+    /// would keep evaluating the fallback unions forever.
+    pub fn pin_cover_fragments(
+        &mut self,
+        q: &BgpQuery,
+        strategy: &Strategy,
+        fragments: Option<&[usize]>,
+    ) -> Result<usize, AnswerError> {
+        let Some(catalog) = self.views.clone() else {
+            return Ok(0);
+        };
+        if q.is_empty() {
+            return Ok(0);
+        }
+        self.prepare();
+        let (jucq, _, _, saturated, _) = plan_jucq_on(&self.answer_ctx(), q, strategy)?;
+        if saturated {
+            return Ok(0);
+        }
+        let p = Arc::clone(self.prepared.as_ref().expect("prepared"));
+        let target = &p.plain;
+        let mut pinned = 0usize;
+        for (i, frag) in jucq.fragments.iter().enumerate() {
+            if let Some(sel) = fragments {
+                if !sel.contains(&i) {
+                    continue;
+                }
+            }
+            let sig = ViewSignature::of(frag);
+            if catalog.contains_current(&sig).is_some() {
+                continue;
+            }
+            let single = StoreJucq::new(vec![frag.clone()], frag.head.clone());
+            let plan = target.plan_jucq(&single)?;
+            let outcome = target.eval_plan(&plan)?;
+            let footprint = ViewFootprint::of(frag, p.rdf_type);
+            if catalog.insert(sig, ViewSignature::body_of(frag), outcome.relation, footprint) {
+                pinned += 1;
+            }
+        }
+        if pinned > 0 {
+            if let Some(cache) = &self.plan_cache {
+                lock_cache(cache).clear_plans();
+            }
+        }
+        Ok(pinned)
+    }
+
     /// Pin the cost constants instead of calibrating.
     pub fn set_cost_constants(&mut self, constants: CostConstants) {
         self.constants = Some(constants);
@@ -412,6 +525,13 @@ impl RdfDatabase {
         self.prepared = None;
         if let Some(cache) = &self.plan_cache {
             lock_cache(cache).clear();
+        }
+        // A rebuild may remap term ids (hierarchy re-encoding) or change
+        // the schema closure the materialized unions were derived from:
+        // nothing in the catalog survives. The epoch is left for the
+        // owner (the serving layer) to re-align at publish time.
+        if let Some(catalog) = &self.views {
+            catalog.clear();
         }
     }
 
@@ -556,6 +676,22 @@ impl RdfDatabase {
             }
             p.plain = p.plain.apply_delta(&plain_ins, &plain_del);
             p.saturated = p.saturated.apply_delta(&sat_ins, &sat_del);
+
+            // Advance the view catalog one epoch, dropping exactly the
+            // entries whose predicate/class footprint intersects the
+            // *plain-store* delta (views are materialized from the plain
+            // store, so saturation-only churn cannot affect them).
+            // Surviving entries are restamped to the new epoch and keep
+            // serving.
+            if let Some(catalog) = &self.views {
+                let mut touched: Vec<TripleId> = plain_ins.clone();
+                touched.extend(plain_del.iter().copied());
+                let delta = DeltaFootprint::from_triples(&touched, p.rdf_type);
+                let dropped = catalog.advance_epoch(catalog.epoch() + 1, &delta);
+                if !dropped.is_empty() {
+                    jucq_obs::metrics::counter_add("views.invalidated", dropped.len() as u64);
+                }
+            }
         }
         // Covers stay sound across data updates (Theorem 3.1), but the
         // physical plans lowered from them baked in join orders and
@@ -576,9 +712,11 @@ impl RdfDatabase {
         cost: &CostSource,
         strategy: &Strategy,
         limit: usize,
+        views: Option<&ViewCatalog>,
     ) -> Result<(StoreJucq, Option<Cover>, Option<usize>), AnswerError> {
         let paper_model = PaperCostModel::new(p.plain.table(), p.plain.stats(), p.constants)
-            .with_range_pricing(p.plain.profile().range_scans);
+            .with_range_pricing(p.plain.profile().range_scans)
+            .with_view_pricing(views);
         let engine_model = EngineCostModel::new(&p.plain);
         let estimator: &(dyn JucqCostEstimator + Sync) = match cost {
             CostSource::Paper => &paper_model,
@@ -685,11 +823,14 @@ impl RdfDatabase {
     /// The borrowed pipeline inputs. Callers must [`RdfDatabase::prepare`]
     /// first.
     fn answer_ctx(&self) -> AnswerCtx<'_> {
+        let views = if self.profile.view_scans { self.views.as_deref() } else { None };
         AnswerCtx {
             prepared: self.prepared.as_deref().expect("prepared"),
             profile: &self.profile,
             cache: self.plan_cache.as_deref(),
             exec_profile: None,
+            views,
+            epoch: views.map(|c| c.epoch()).unwrap_or(0),
         }
     }
 }
@@ -795,8 +936,9 @@ pub(crate) fn plan_jucq_on(
                         })?;
                         (jucq, Some(cover), explored, false)
                     } else {
-                        let (jucq, cover, explored) =
-                            RdfDatabase::run_cover_search(q, &env, p, cost, strategy, limit)?;
+                        let (jucq, cover, explored) = RdfDatabase::run_cover_search(
+                            q, &env, p, cost, strategy, limit, ctx.views,
+                        )?;
                         if let Some(c) = &cover {
                             // Store the cover in canonical indices.
                             let perm = &canonical.as_ref().expect("key implies canonical").1;
@@ -815,8 +957,9 @@ pub(crate) fn plan_jucq_on(
                         (jucq, cover, explored, false)
                     }
                 } else {
-                    let (jucq, cover, explored) =
-                        RdfDatabase::run_cover_search(q, &env, p, cost, strategy, limit)?;
+                    let (jucq, cover, explored) = RdfDatabase::run_cover_search(
+                        q, &env, p, cost, strategy, limit, ctx.views,
+                    )?;
                     (jucq, cover, explored, false)
                 }
             }
@@ -846,6 +989,7 @@ pub(crate) fn empty_answer(
             covers_explored: None,
             range_eligible: 0,
             range_scans_planned: 0,
+            view_catalog_size: 0,
         },
         None,
     )
@@ -875,44 +1019,49 @@ pub(crate) fn answer_on(
     // built for exactly this query under this profile; otherwise
     // lower one and attach it for the next repetition.
     let mut exec_profile = None;
+    // Views only serve the plain store (they were materialized from
+    // it); a saturation plan never carries `ViewScan` leaves.
+    let catalog = if saturated { None } else { ctx.views };
     let plan = match (ctx.cache, &cache_key) {
         (Some(cache), Some(key)) => {
             let cached = lock_cache(cache).get_plan(key, q);
             match cached {
                 Some(plan) => plan,
                 None => {
-                    let plan = Arc::new(target.plan_jucq(&jucq)?);
+                    let plan = Arc::new(target.plan_jucq_views(&jucq, catalog)?);
                     lock_cache(cache).attach_plan(key, q.clone(), Arc::clone(&plan));
                     plan
                 }
             }
         }
-        _ => Arc::new(target.plan_jucq(&jucq)?),
+        _ => Arc::new(target.plan_jucq_views(&jucq, catalog)?),
     };
     let (range_eligible, range_scans_planned) = (plan.range_eligible, plan.range_scans);
     // Per-request limits (deadline, memory budget) override only the
     // execution context, never the plan: `plan_cache_key` excludes
     // them by design, so a request with a tight deadline still reuses
-    // the shared plan.
-    let mut outcome = match (profiled, ctx.exec_profile) {
-        (true, Some(limits)) => {
-            let (outcome, profile) = target.eval_plan_profiled_with(&plan, limits)?;
-            exec_profile = Some(profile);
-            outcome
-        }
-        (true, None) => {
-            let (outcome, profile) = target.eval_plan_profiled(&plan)?;
-            exec_profile = Some(profile);
-            outcome
-        }
-        (false, Some(limits)) => target.eval_plan_with(&plan, limits)?,
-        (false, None) => target.eval_plan(&plan)?,
+    // the shared plan. View resolution is pinned to the *request's*
+    // epoch: a cached plan's `ViewScan` leaf serves rows only when the
+    // catalog entry was computed at exactly `ctx.epoch`, and falls back
+    // to its embedded union otherwise — so a racing plan-cache entry
+    // can never surface another epoch's rows.
+    let source = catalog.map(|c| ViewSource { catalog: c, epoch: ctx.epoch });
+    let mut outcome = if profiled {
+        let (outcome, profile) =
+            target.eval_plan_views_profiled(&plan, ctx.exec_profile, source.as_ref())?;
+        exec_profile = Some(profile);
+        outcome
+    } else {
+        target.eval_plan_views(&plan, ctx.exec_profile, source.as_ref())?
     };
     if let Some(n) = q.limit {
         outcome.relation.truncate(n);
     }
 
     let c = outcome.counters;
+    if c.view_hits > 0 {
+        jucq_obs::metrics::counter_add("views.hits", c.view_hits);
+    }
     jucq_obs::metrics::counter_add("queries.answered", 1);
     jucq_obs::metrics::counter_add("exec.tuples_scanned", c.tuples_scanned);
     jucq_obs::metrics::counter_add("exec.tuples_joined", c.tuples_joined);
@@ -943,6 +1092,7 @@ pub(crate) fn answer_on(
             covers_explored: explored,
             range_eligible,
             range_scans_planned,
+            view_catalog_size: ctx.views.map(|c| c.stats().entries).unwrap_or(0),
         },
         exec_profile,
     ))

@@ -34,6 +34,7 @@
 
 #![warn(missing_docs)]
 
+pub mod advisor;
 pub mod database;
 pub mod parser;
 pub mod plan_cache;
@@ -43,10 +44,11 @@ pub mod strategy;
 pub mod telemetry;
 pub mod turtle;
 
+pub use advisor::{advise, AdvisorReport, ViewAdvice};
 pub use database::UpdateReport;
 pub use database::{AnswerError, AnswerReport, EncodingMode, RdfDatabase};
 pub use plan_cache::{PlanCache, PlanCacheStats};
-pub use serving::{ServingDb, Snapshot};
+pub use serving::{PinError, ServingDb, Snapshot};
 pub use strategy::{CostSource, Strategy};
 pub use telemetry::{replay, LatencyPercentiles, ReplayEntry, ReplayReport};
 

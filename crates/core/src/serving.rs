@@ -34,7 +34,7 @@ use std::time::Duration;
 
 use jucq_model::{Dictionary, Term, Triple};
 use jucq_reformulation::BgpQuery;
-use jucq_store::{EngineProfile, Relation};
+use jucq_store::{EngineProfile, Relation, ViewCatalog, ViewCatalogStats};
 
 use crate::database::{
     answer_on, empty_answer, lock_cache, AnswerCtx, AnswerError, AnswerReport, Prepared,
@@ -54,6 +54,10 @@ pub struct Snapshot {
     prepared: Arc<Prepared>,
     profile: EngineProfile,
     cache: Option<Arc<Mutex<PlanCache>>>,
+    /// The shared view catalog (entries are epoch-stamped; this
+    /// snapshot's requests resolve only entries stamped with exactly
+    /// `epoch`, so sharing the handle across epochs is safe).
+    views: Option<Arc<ViewCatalog>>,
 }
 
 impl Snapshot {
@@ -154,12 +158,20 @@ impl Snapshot {
         self.cache.as_deref().map(|c| lock_cache(c).stats())
     }
 
+    /// The view catalog's counters, if views are enabled.
+    pub fn view_stats(&self) -> Option<ViewCatalogStats> {
+        self.views.as_deref().map(|c| c.stats())
+    }
+
     fn ctx<'a>(&'a self, limits: Option<&'a EngineProfile>) -> AnswerCtx<'a> {
+        let views = if self.profile.view_scans { self.views.as_deref() } else { None };
         AnswerCtx {
             prepared: &self.prepared,
             profile: &self.profile,
             cache: self.cache.as_deref(),
             exec_profile: limits,
+            views,
+            epoch: self.epoch,
         }
     }
 }
@@ -170,15 +182,75 @@ impl Snapshot {
 pub struct ServingDb {
     current: RwLock<Arc<Snapshot>>,
     writer: Mutex<RdfDatabase>,
+    /// Pinned view definitions, replayed by the writer after every
+    /// published update: fragments still resident (restamped by the
+    /// incremental maintenance) are skipped; invalidated or
+    /// rebuilt-away ones are re-materialized at the new epoch.
+    pins: Mutex<Vec<(String, Strategy)>>,
 }
+
+/// Failures from [`ServingDb::pin_views`].
+#[derive(Debug)]
+pub enum PinError {
+    /// The pinned query text does not parse.
+    Parse(ParseError),
+    /// Planning or materializing a fragment failed.
+    Answer(AnswerError),
+}
+
+impl std::fmt::Display for PinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PinError::Parse(e) => write!(f, "parse: {e}"),
+            PinError::Answer(e) => write!(f, "answer: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PinError {}
 
 impl ServingDb {
     /// Wrap a (loaded, configured) database and publish epoch 0.
     /// Preparation — closure, stores, calibration, optional hierarchy
     /// encoding — happens here, before the first request is admitted.
     pub fn new(mut db: RdfDatabase) -> Self {
+        // Re-align the catalog with the serving epoch numbering:
+        // entries materialized before serving began (at any catalog
+        // epoch) are restamped to epoch 0 so the first snapshot can
+        // resolve them; the empty delta invalidates nothing.
+        if let Some(catalog) = db.views() {
+            catalog.advance_epoch(0, &jucq_store::DeltaFootprint::default());
+        }
         let snapshot = Arc::new(Self::build_snapshot(&mut db, 0));
-        ServingDb { current: RwLock::new(snapshot), writer: Mutex::new(db) }
+        ServingDb {
+            current: RwLock::new(snapshot),
+            writer: Mutex::new(db),
+            pins: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Pin `sparql`'s cover fragments (under `strategy`) as
+    /// materialized views, now and after every future update: the
+    /// definition is recorded and the writer re-materializes whatever
+    /// an update invalidates when it publishes the next epoch. Entries
+    /// are stamped with the *current* epoch, so in-flight requests on
+    /// the current snapshot can resolve them immediately (their cached
+    /// plans are invalidated; covers survive). Returns the number of
+    /// fragments newly materialized.
+    pub fn pin_views(&self, sparql: &str, strategy: &Strategy) -> Result<usize, PinError> {
+        let mut db = self.lock_writer();
+        let q = db.parse_query(sparql).map_err(PinError::Parse)?;
+        let pinned = db.pin_cover_fragments(&q, strategy, None).map_err(PinError::Answer)?;
+        let mut pins = self.lock_pins();
+        if !pins.iter().any(|(s, st)| s == sparql && st == strategy) {
+            pins.push((sparql.to_owned(), strategy.clone()));
+        }
+        Ok(pinned)
+    }
+
+    /// The view catalog's counters, if views are enabled.
+    pub fn view_stats(&self) -> Option<jucq_store::ViewCatalogStats> {
+        self.lock_writer().view_stats()
     }
 
     /// The current snapshot. Requests hold the returned `Arc` for
@@ -208,6 +280,23 @@ impl ServingDb {
             db.replace_plan_cache();
         }
         let epoch = self.read_current().epoch + 1;
+        // Align the catalog with the new epoch. Incremental updates
+        // already advanced it in lock-step (survivors restamped,
+        // intersecting fragments dropped), making this a no-op; a
+        // rebuild cleared the catalog without advancing, so the new
+        // epoch starts empty until the pins below refill it.
+        if let Some(catalog) = db.views() {
+            catalog.set_epoch(epoch);
+        }
+        // Re-materialize pinned definitions the update invalidated;
+        // still-resident fragments are skipped (already stamped with
+        // the new epoch).
+        let pins = self.lock_pins().clone();
+        for (sparql, strategy) in &pins {
+            if let Ok(q) = db.parse_query(sparql) {
+                let _ = db.pin_cover_fragments(&q, strategy, None);
+            }
+        }
         let snapshot = Arc::new(Self::build_snapshot(&mut db, epoch));
         *self.current.write().unwrap_or_else(|e| e.into_inner()) = snapshot;
         report
@@ -221,6 +310,7 @@ impl ServingDb {
             prepared,
             profile: db.profile().clone(),
             cache: db.plan_cache_shared(),
+            views: db.views_shared(),
         }
     }
 
@@ -234,6 +324,10 @@ impl ServingDb {
 
     fn lock_writer(&self) -> MutexGuard<'_, RdfDatabase> {
         self.writer.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn lock_pins(&self) -> MutexGuard<'_, Vec<(String, Strategy)>> {
+        self.pins.lock().unwrap_or_else(|e| e.into_inner())
     }
 }
 

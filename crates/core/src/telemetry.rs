@@ -169,9 +169,11 @@ pub(crate) fn build_record(
         sip_probes: c.sip_probes,
         sip_drops: c.sip_drops,
         range_scans: c.range_scans,
+        view_hits: c.view_hits,
     };
     rec.range_eligible = report.range_eligible as u64;
     rec.range_scans_used = c.range_scans;
+    rec.view_catalog_size = report.view_catalog_size as u64;
     if let Some(p) = exec_profile {
         rec.plan_fingerprint = Some(plan_fingerprint(p));
         rec.nodes = p

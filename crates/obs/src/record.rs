@@ -46,6 +46,9 @@ pub struct RecordCounters {
     /// Collapsed-interval (`RangeScan`) operator executions
     /// (`jucq-log/2`; 0 when parsed from a `jucq-log/1` line).
     pub range_scans: u64,
+    /// Epoch-exact materialized-view resolutions (`ViewScan` leaves
+    /// served from the catalog; `jucq-log/3`, 0 from earlier lines).
+    pub view_hits: u64,
 }
 
 /// One profiled plan node: the estimate/actual pair behind the Q-error.
@@ -114,6 +117,11 @@ pub struct QueryRecord {
     /// a query that *could* have used interval scans but did not (knob
     /// off, or the run was broken up by the cover choice).
     pub range_scans_used: u64,
+    /// Materialized fragment views resident in the catalog when the
+    /// query ran (`jucq-log/3`, 0 from earlier lines). Together with
+    /// `counters.view_hits` this is the advisor's signal: queries with
+    /// a large catalog and zero hits pinned the wrong fragments.
+    pub view_catalog_size: u64,
 }
 
 /// The `inf`-safe Q-error: `max(est/actual, actual/est)` with both
@@ -146,7 +154,7 @@ impl QueryRecord {
         let mut out = String::with_capacity(512);
         let _ = write!(
             out,
-            "{{\"schema\":\"jucq-log/2\",\"seq\":{},\"query\":\"{}\",\"fingerprint\":\"{}\",\
+            "{{\"schema\":\"jucq-log/3\",\"seq\":{},\"query\":\"{}\",\"fingerprint\":\"{}\",\
              \"strategy\":\"{}\",\"profile\":\"{}\",\"outcome\":\"{}\",\"rows\":{},\
              \"union_terms\":{},\"planning_ns\":{},\"eval_ns\":{}",
             self.seq,
@@ -193,7 +201,7 @@ impl QueryRecord {
             out,
             ",\"counters\":{{\"tuples_scanned\":{},\"tuples_joined\":{},\
              \"tuples_materialized\":{},\"tuples_deduped\":{},\"sip_probes\":{},\
-             \"sip_drops\":{},\"range_scans\":{}}}",
+             \"sip_drops\":{},\"range_scans\":{},\"view_hits\":{}}}",
             c.tuples_scanned,
             c.tuples_joined,
             c.tuples_materialized,
@@ -201,11 +209,12 @@ impl QueryRecord {
             c.sip_probes,
             c.sip_drops,
             c.range_scans,
+            c.view_hits,
         );
         let _ = write!(
             out,
-            ",\"range_eligible\":{},\"range_scans_used\":{}",
-            self.range_eligible, self.range_scans_used,
+            ",\"range_eligible\":{},\"range_scans_used\":{},\"view_catalog_size\":{}",
+            self.range_eligible, self.range_scans_used, self.view_catalog_size,
         );
         let _ = write!(
             out,
@@ -243,14 +252,16 @@ impl QueryRecord {
 
     /// Parse one JSONL line produced by [`QueryRecord::to_json_line`].
     ///
-    /// Accepts both `jucq-log/1` (pre-range) and `jucq-log/2` lines —
-    /// replaying an old log against a new build is the whole point of
-    /// the harness. Fields `/1` lacks (`range_eligible`,
-    /// `range_scans_used`, `counters.range_scans`) default to 0.
+    /// Accepts `jucq-log/1` (pre-range), `jucq-log/2` (pre-views) and
+    /// `jucq-log/3` lines — replaying an old log against a new build is
+    /// the whole point of the harness. Fields older versions lack
+    /// (`range_eligible`, `range_scans_used`, `counters.range_scans`
+    /// from `/1`; `view_catalog_size`, `counters.view_hits` from `/1`
+    /// and `/2`) default to 0.
     pub fn from_json_line(line: &str) -> Result<QueryRecord, String> {
         let v = json::parse(line).map_err(|e| e.to_string())?;
         match v.get("schema").and_then(Value::as_str) {
-            Some("jucq-log/1" | "jucq-log/2") => {}
+            Some("jucq-log/1" | "jucq-log/2" | "jucq-log/3") => {}
             other => return Err(format!("unsupported query-log schema {other:?}")),
         }
         let str_field = |key: &str| -> Result<String, String> {
@@ -331,6 +342,7 @@ impl QueryRecord {
                 sip_probes: counter("sip_probes")?,
                 sip_drops: counter("sip_drops")?,
                 range_scans: counters_v.get("range_scans").and_then(Value::as_u64).unwrap_or(0),
+                view_hits: counters_v.get("view_hits").and_then(Value::as_u64).unwrap_or(0),
             },
             cover_cache_hit: opt_bool("cover_cache_hit"),
             plan_cache_hit: opt_bool("plan_cache_hit"),
@@ -339,6 +351,7 @@ impl QueryRecord {
             slow_explain: v.get("slow_explain").and_then(Value::as_str).map(ToOwned::to_owned),
             range_eligible: v.get("range_eligible").and_then(Value::as_u64).unwrap_or(0),
             range_scans_used: v.get("range_scans_used").and_then(Value::as_u64).unwrap_or(0),
+            view_catalog_size: v.get("view_catalog_size").and_then(Value::as_u64).unwrap_or(0),
         })
     }
 }
@@ -554,6 +567,7 @@ mod tests {
                 sip_probes: 10,
                 sip_drops: 4,
                 range_scans: 2,
+                view_hits: 5,
             },
             cover_cache_hit: Some(false),
             plan_cache_hit: None,
@@ -577,6 +591,7 @@ mod tests {
             slow_explain: None,
             range_eligible: 1,
             range_scans_used: 2,
+            view_catalog_size: 3,
         }
     }
 
@@ -597,13 +612,15 @@ mod tests {
     #[test]
     fn v1_lines_still_parse_with_range_fields_defaulted() {
         // A line exactly as the jucq-log/1 writer produced it: no
-        // `range_eligible`/`range_scans_used`, no `range_scans` counter.
+        // `range_eligible`/`range_scans_used`, no `range_scans` or
+        // `view_hits` counters, no `view_catalog_size`.
         let line = sample_record()
             .to_json_line()
-            .replace("\"schema\":\"jucq-log/2\"", "\"schema\":\"jucq-log/1\"")
-            .replace(",\"range_scans\":2}", "}")
-            .replace(",\"range_eligible\":1,\"range_scans_used\":2", "");
+            .replace("\"schema\":\"jucq-log/3\"", "\"schema\":\"jucq-log/1\"")
+            .replace(",\"range_scans\":2,\"view_hits\":5}", "}")
+            .replace(",\"range_eligible\":1,\"range_scans_used\":2,\"view_catalog_size\":3", "");
         assert!(!line.contains("range"), "v1 line must carry no range fields: {line}");
+        assert!(!line.contains("view"), "v1 line must carry no view fields: {line}");
         let parsed = QueryRecord::from_json_line(&line).expect("v1 parses");
         assert_eq!(parsed.counters.range_scans, 0);
         assert_eq!(parsed.range_eligible, 0);
@@ -612,9 +629,35 @@ mod tests {
         expect.counters.range_scans = 0;
         expect.range_eligible = 0;
         expect.range_scans_used = 0;
+        expect.counters.view_hits = 0;
+        expect.view_catalog_size = 0;
         assert_eq!(parsed, expect);
-        // And the re-rendered line upgrades to /2 losslessly.
-        let upgraded = QueryRecord::from_json_line(&parsed.to_json_line()).expect("v2 parses");
+        // And the re-rendered line upgrades to /3 losslessly.
+        let upgraded = QueryRecord::from_json_line(&parsed.to_json_line()).expect("v3 parses");
+        assert_eq!(upgraded, expect);
+    }
+
+    #[test]
+    fn v2_lines_still_parse_with_view_fields_defaulted() {
+        // A line exactly as the jucq-log/2 writer produced it: range
+        // fields present, but no `view_hits` counter and no
+        // `view_catalog_size`.
+        let line = sample_record()
+            .to_json_line()
+            .replace("\"schema\":\"jucq-log/3\"", "\"schema\":\"jucq-log/2\"")
+            .replace(",\"view_hits\":5}", "}")
+            .replace(",\"view_catalog_size\":3", "");
+        assert!(!line.contains("view"), "v2 line must carry no view fields: {line}");
+        let parsed = QueryRecord::from_json_line(&line).expect("v2 parses");
+        assert_eq!(parsed.counters.range_scans, 2, "range fields survive");
+        assert_eq!(parsed.counters.view_hits, 0);
+        assert_eq!(parsed.view_catalog_size, 0);
+        let mut expect = sample_record();
+        expect.counters.view_hits = 0;
+        expect.view_catalog_size = 0;
+        assert_eq!(parsed, expect);
+        // And the re-rendered line upgrades to /3 losslessly.
+        let upgraded = QueryRecord::from_json_line(&parsed.to_json_line()).expect("v3 parses");
         assert_eq!(upgraded, expect);
     }
 

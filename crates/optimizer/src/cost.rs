@@ -26,7 +26,7 @@ use std::sync::RwLock;
 use jucq_model::{FxHashMap, FxHashSet};
 use jucq_store::{
     collapsible_runs, PatternTerm, Statistics, StoreCq, StoreJucq, StorePattern, StoreUcq,
-    TripleTable, VarId,
+    TripleTable, VarId, ViewCatalog, ViewSignature,
 };
 use serde::{Deserialize, Serialize};
 
@@ -58,6 +58,14 @@ pub struct CostConstants {
     /// hierarchy encoding existed still load.
     #[serde(default = "default_c_range")]
     pub c_range: f64,
+    /// Per-tuple cost of copying one tuple out of a materialized
+    /// fragment view (`c_view`): a view-backed fragment skips member
+    /// scans, joins and union dedup entirely — its price is a single
+    /// sequential copy of the stored result. Defaulted on
+    /// deserialization so constants documents written before the view
+    /// catalog existed still load.
+    #[serde(default = "default_c_view")]
+    pub c_view: f64,
 }
 
 /// `c_range` for constants documents serialized before the range-scan
@@ -66,6 +74,14 @@ pub struct CostConstants {
 /// own scan setup and join bookkeeping.
 fn default_c_range() -> f64 {
     2.5e-8
+}
+
+/// `c_view` for constants documents serialized before the view catalog
+/// existed (and the [`Default`] value): below even `c_range` — a view
+/// tuple is a plain copy of an already-deduplicated stored row, with no
+/// index traversal at all.
+fn default_c_view() -> f64 {
+    1.5e-8
 }
 
 impl Default for CostConstants {
@@ -80,6 +96,7 @@ impl Default for CostConstants {
             c_k: 2e-8,
             sort_threshold: 5e6,
             c_range: default_c_range(),
+            c_view: default_c_view(),
         }
     }
 }
@@ -160,6 +177,14 @@ pub struct PaperCostModel<'a> {
     /// cover search favors collapsible fragments exactly when the
     /// planner will actually collapse them.
     price_ranges: bool,
+    /// Price view-backed fragments: a candidate fragment whose *body*
+    /// signature has a current-epoch catalog entry costs `c_view` per
+    /// stored tuple instead of its member scans and joins — so the
+    /// cover search gravitates toward covers the catalog can serve.
+    /// The body signature is head-agnostic (candidate heads are not
+    /// final during search); a false positive only skews an estimate,
+    /// never an answer.
+    price_views: Option<&'a ViewCatalog>,
     /// Fragment-component memo; `RwLock` so concurrent scoring workers
     /// share the hot read path without exclusive locking.
     cache: RwLock<FxHashMap<Vec<StorePattern>, FragComponents>>,
@@ -174,6 +199,7 @@ impl<'a> PaperCostModel<'a> {
             constants,
             eval_model: EvalModel::IndexPipeline,
             price_ranges: false,
+            price_views: None,
             cache: RwLock::new(FxHashMap::default()),
         }
     }
@@ -189,6 +215,18 @@ impl<'a> PaperCostModel<'a> {
     /// `range_scans` knob.
     pub fn with_range_pricing(mut self, enabled: bool) -> Self {
         self.price_ranges = enabled;
+        self
+    }
+
+    /// Enable view-backed fragment pricing (see
+    /// [`CostConstants::c_view`]); callers pass the serving layer's
+    /// catalog when the profile's `view_scans` knob is on. The memo
+    /// cache keys only on template atoms, so bind the catalog before
+    /// the first scoring call and keep it for the model's lifetime —
+    /// [`crate::search`] constructs one model per cover search, which
+    /// satisfies this by construction.
+    pub fn with_view_pricing(mut self, catalog: Option<&'a ViewCatalog>) -> Self {
+        self.price_views = catalog;
         self
     }
 
@@ -376,7 +414,25 @@ impl<'a> PaperCostModel<'a> {
                 }
             }
         }
-        let comps = FragComponents { eval, volume, card, var_domains };
+        let mut comps = FragComponents { eval, volume, card, var_domains };
+
+        // View-backed pricing: if the catalog holds this fragment body
+        // at the current epoch, the fragment's true cost is one
+        // sequential copy of the stored result — and its stored tuple
+        // count is the *exact* result cardinality, better than any
+        // estimate.
+        if let Some(catalog) = self.price_views {
+            if let Some(tuples) = catalog.body_tuples(&ViewSignature::body_of(ucq)) {
+                let t = tuples as f64;
+                comps.eval = self.constants.c_view * t;
+                comps.volume = t;
+                comps.card = t;
+                for d in &mut comps.var_domains {
+                    d.1 = d.1.min(t.max(1.0));
+                }
+            }
+        }
+
         comps.debug_check();
         comps
     }
@@ -560,6 +616,7 @@ mod tests {
             c_m: 1.0,
             sort_threshold: f64::MAX,
             c_range: 0.0,
+            c_view: 0.0,
         };
         let m = PaperCostModel::new(&table, &stats, constants);
         // Volumes: fragment a = 50, fragment b = 10 ⇒ mat cost = 10.
@@ -607,6 +664,52 @@ mod tests {
         let priced = m_on.fragment_components(&gapped, None);
         let plain = m_off.fragment_components(&gapped, None);
         assert_eq!(priced.eval, plain.eval, "non-collapsible fragment must not be discounted");
+    }
+
+    #[test]
+    fn view_pricing_discounts_catalog_backed_fragments() {
+        use jucq_store::{Relation, ViewCatalog, ViewFootprint, ViewSignature};
+
+        let (table, stats) = setup();
+        let f = frag(
+            vec![StorePattern::new(v(0), c(10), v(1)), StorePattern::new(v(0), c(11), v(2))],
+            vec![0],
+        );
+
+        // Materialize a stand-in result for the fragment and register it.
+        let mut rows = Relation::empty(vec![0]);
+        for i in 0..10u32 {
+            rows.push_row(&[id(i)]);
+        }
+        let catalog = ViewCatalog::new(1_000);
+        assert!(catalog.insert(
+            ViewSignature::of(&f),
+            ViewSignature::body_of(&f),
+            rows,
+            ViewFootprint::of(&f, id(9999)),
+        ));
+
+        let plain = PaperCostModel::new(&table, &stats, CostConstants::default());
+        let priced = PaperCostModel::new(&table, &stats, CostConstants::default())
+            .with_view_pricing(Some(&catalog));
+        let without = plain.fragment_components(&f, None);
+        let with = priced.fragment_components(&f, None);
+        assert!(
+            with.eval < without.eval,
+            "view-backed fragment not discounted: {} vs {}",
+            with.eval,
+            without.eval
+        );
+        assert_eq!(with.card, 10.0, "stored tuple count is the exact cardinality");
+        assert_eq!(with.volume, 10.0);
+
+        // A fragment the catalog does not hold prices identically.
+        let other = frag(vec![StorePattern::new(v(0), c(11), v(1))], vec![0]);
+        assert_eq!(
+            plain.fragment_components(&other, None).eval,
+            priced.fragment_components(&other, None).eval,
+            "non-catalog fragment must not be discounted"
+        );
     }
 
     #[test]

@@ -11,10 +11,12 @@
 //! jucq stats <data.ttl>                       # dataset & schema statistics
 //! jucq repl  <data.ttl>                       # interactive session
 //! jucq replay <data.ttl> <log.jsonl> [--report PATH]    # regression replay
+//! jucq advise <log.jsonl> [--budget-tuples N]           # view advisor
 //! jucq fuzz  [--seed S] [--cases N] [--profile P|all]   # differential fuzzing
 //! jucq serve <data.ttl> [--port N] [--threads N] [--deadline-ms N]
 //!            [--queue-depth N] [--strategy S] [--profile P] [--encoding E]
-//!            [--plan-cache N] [--query-log PATH] [--slow-ms N]  # HTTP endpoint
+//!            [--plan-cache N] [--query-log PATH] [--slow-ms N]
+//!            [--view-budget-tuples N] [--auto-views LOG]  # HTTP endpoint
 //! ```
 //!
 //! Strategies: `sat`, `ucq`, `scq`, `range`, `ecov`, `gcov` (default).
@@ -43,6 +45,14 @@
 //! `jucq replay` re-executes a recorded log and reports row-count
 //! mismatches, latency percentile deltas, and Q-error drift, exiting
 //! non-zero on any mismatch.
+//!
+//! Materialized views: `jucq advise <log.jsonl>` aggregates a recorded
+//! workload and prints the cover fragments worth materializing under a
+//! tuple budget (best measured benefit per stored tuple first). `jucq
+//! serve --view-budget-tuples N` enables the view catalog, and
+//! `--auto-views <log.jsonl>` runs the advisor at startup and pins the
+//! advised queries before the first request; pins are re-materialized
+//! automatically after every data update.
 
 use std::io::{BufRead, Write};
 use std::path::PathBuf;
@@ -54,7 +64,7 @@ use jucq_core::{AnswerError, EncodingMode, RdfDatabase, Strategy};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  jucq query    <data.ttl|.snap> \"<SPARQL>\" [--strategy sat|ucq|scq|range|ecov|gcov] [--profile pg|db2|mysql|native] [--encoding plain|hierarchical] [--threads N] [--batch-size N] [--compare] [--explain-analyze] [--trace] [--metrics-json PATH] [--query-log PATH] [--slow-ms N] [--trace-out PATH]\n  jucq explain  <data.ttl|.snap> \"<SPARQL>\" [--analyze] [--strategy ...] [--profile ...] [--encoding ...] [--threads N] [--batch-size N]\n  jucq covers   <data.ttl|.snap> \"<SPARQL>\"\n  jucq stats    <data.ttl|.snap>\n  jucq repl     <data.ttl|.snap> [--profile ...] [--encoding ...] [--threads N] [--batch-size N]\n  jucq replay   <data.ttl|.snap> <log.jsonl> [--profile ...] [--encoding ...] [--threads N] [--batch-size N] [--report PATH]\n  jucq snapshot <data.ttl> <out.snap>\n  jucq fuzz     [--seed S] [--cases N] [--profile pg|db2|mysql|native|all] [--quiet]\n  jucq serve    <data.ttl|.snap> [--port N] [--threads N] [--deadline-ms N] [--queue-depth N] [--strategy ...] [--profile ...] [--encoding ...] [--plan-cache N] [--query-log PATH] [--slow-ms N]"
+        "usage:\n  jucq query    <data.ttl|.snap> \"<SPARQL>\" [--strategy sat|ucq|scq|range|ecov|gcov] [--profile pg|db2|mysql|native] [--encoding plain|hierarchical] [--threads N] [--batch-size N] [--compare] [--explain-analyze] [--trace] [--metrics-json PATH] [--query-log PATH] [--slow-ms N] [--trace-out PATH]\n  jucq explain  <data.ttl|.snap> \"<SPARQL>\" [--analyze] [--strategy ...] [--profile ...] [--encoding ...] [--threads N] [--batch-size N]\n  jucq covers   <data.ttl|.snap> \"<SPARQL>\"\n  jucq stats    <data.ttl|.snap>\n  jucq repl     <data.ttl|.snap> [--profile ...] [--encoding ...] [--threads N] [--batch-size N]\n  jucq replay   <data.ttl|.snap> <log.jsonl> [--profile ...] [--encoding ...] [--threads N] [--batch-size N] [--report PATH]\n  jucq snapshot <data.ttl> <out.snap>\n  jucq advise   <log.jsonl> [--budget-tuples N]\n  jucq fuzz     [--seed S] [--cases N] [--profile pg|db2|mysql|native|all] [--quiet]\n  jucq serve    <data.ttl|.snap> [--port N] [--threads N] [--deadline-ms N] [--queue-depth N] [--strategy ...] [--profile ...] [--encoding ...] [--plan-cache N] [--query-log PATH] [--slow-ms N] [--view-budget-tuples N] [--auto-views LOG]"
     );
     std::process::exit(2)
 }
@@ -409,6 +419,105 @@ fn cmd_replay(mut args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+fn cmd_advise(mut args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
+    let mut budget_tuples: usize = 1_000_000;
+    let mut positional: Vec<String> = Vec::new();
+    while !args.is_empty() {
+        let a = args.remove(0);
+        match a.as_str() {
+            "--budget-tuples" => {
+                let v = args.first().cloned().unwrap_or_default();
+                args.drain(..1.min(args.len()));
+                budget_tuples = v.parse().unwrap_or_else(|_| usage());
+            }
+            _ => positional.push(a),
+        }
+    }
+    let [log] = positional.as_slice() else {
+        usage();
+    };
+    let text = std::fs::read_to_string(log)?;
+    let (records, errors) = jucq_obs::record::parse_log(&text);
+    for e in &errors {
+        eprintln!("query-log: skipping {e}");
+    }
+    if records.is_empty() {
+        return Err(format!("no records in {log}").into());
+    }
+    let report = jucq_core::advisor::advise(&records, budget_tuples);
+    print!("{}", jucq_core::advisor::render(&report));
+    Ok(())
+}
+
+/// Map a query-log strategy short name back to a pinnable [`Strategy`].
+/// `Cover` records carry the cover itself and are rebuilt per query in
+/// [`auto_pin_views`]; `SAT` never reaches here (the advisor filters it).
+fn strategy_from_record_name(name: &str) -> Option<Strategy> {
+    match name {
+        "UCQ" => Some(Strategy::Ucq),
+        "SCQ" => Some(Strategy::Scq),
+        "Range" => Some(Strategy::Range),
+        "UCQmin" => Some(Strategy::minimized_ucq_default()),
+        "ECov" => Some(Strategy::ecov_default()),
+        "GCov" => Some(Strategy::gcov_default()),
+        _ => None,
+    }
+}
+
+/// Run the advisor over `log` and pin each advised query's fragments
+/// into `serving`'s view catalog (one pin per distinct (query,
+/// strategy); the catalog's tuple budget is the hard cap, so a pin that
+/// would overflow it is simply refused at insert time).
+fn auto_pin_views(
+    serving: &jucq_core::ServingDb,
+    log: &str,
+    budget_tuples: usize,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(log)?;
+    let (records, errors) = jucq_obs::record::parse_log(&text);
+    for e in &errors {
+        eprintln!("query-log: skipping {e}");
+    }
+    let report = jucq_core::advisor::advise(&records, budget_tuples);
+    eprint!("{}", jucq_core::advisor::render(&report));
+    let mut seen: Vec<(String, String)> = Vec::new();
+    let mut pinned = 0usize;
+    for a in &report.advice {
+        let key = (a.query.clone(), a.strategy.clone());
+        if seen.contains(&key) {
+            continue;
+        }
+        seen.push(key);
+        let strategy = match a.strategy.as_str() {
+            "Cover" => {
+                let Some(cover) = &a.cover else { continue };
+                let Ok(q) = serving.snapshot().parse_query(&a.query) else { continue };
+                let fragments: Vec<Vec<usize>> =
+                    cover.iter().map(|f| f.iter().map(|&i| i as usize).collect()).collect();
+                match Cover::new(&q, fragments) {
+                    Ok(c) => Strategy::FixedCover(c),
+                    Err(_) => continue,
+                }
+            }
+            name => match strategy_from_record_name(name) {
+                Some(s) => s,
+                None => continue,
+            },
+        };
+        match serving.pin_views(&a.query, &strategy) {
+            Ok(n) => pinned += n,
+            Err(e) => eprintln!("auto-views: skipping `{}`: {e}", a.query),
+        }
+    }
+    if let Some(stats) = serving.view_stats() {
+        eprintln!(
+            "auto-views: {pinned} fragment(s) pinned, catalog {} entr(ies) / {} of {} tuples",
+            stats.entries, stats.total_tuples, stats.budget_tuples
+        );
+    }
+    Ok(())
+}
+
 fn cmd_explain(mut args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
     let mut strategy = Strategy::gcov_default();
     let mut profile = EngineProfile::pg_like();
@@ -619,6 +728,8 @@ fn cmd_serve(mut args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
     let mut plan_cache: usize = 256;
     let mut query_log: Option<String> = None;
     let mut slow_ms: Option<u64> = None;
+    let mut view_budget_tuples: Option<usize> = None;
+    let mut auto_views: Option<String> = None;
     let mut positional: Vec<String> = Vec::new();
     while !args.is_empty() {
         let a = args.remove(0);
@@ -643,6 +754,10 @@ fn cmd_serve(mut args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
             "--plan-cache" => plan_cache = flag_value().parse().unwrap_or_else(|_| usage()),
             "--query-log" => query_log = Some(flag_value()),
             "--slow-ms" => slow_ms = Some(flag_value().parse().unwrap_or_else(|_| usage())),
+            "--view-budget-tuples" => {
+                view_budget_tuples = Some(flag_value().parse().unwrap_or_else(|_| usage()));
+            }
+            "--auto-views" => auto_views = Some(flag_value()),
             _ => positional.push(a),
         }
     }
@@ -668,7 +783,20 @@ fn cmd_serve(mut args: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
     if plan_cache > 0 {
         db.enable_plan_cache(plan_cache);
     }
+    // --auto-views implies a catalog; default its budget if unset.
+    let budget = match (view_budget_tuples, &auto_views) {
+        (Some(n), _) => Some(n),
+        (None, Some(_)) => Some(1_000_000),
+        (None, None) => None,
+    };
+    if let Some(n) = budget {
+        db.enable_views(n);
+        eprintln!("view catalog enabled: budget {n} tuples");
+    }
     let serving = std::sync::Arc::new(jucq_core::ServingDb::new(db));
+    if let (Some(log), Some(n)) = (&auto_views, budget) {
+        auto_pin_views(&serving, log, n)?;
+    }
     eprintln!("prepared and published epoch {}", serving.epoch());
 
     let mut config = jucq_server::ServeConfig {
@@ -752,6 +880,7 @@ fn main() {
         "stats" => cmd_stats(args),
         "repl" => cmd_repl(args),
         "replay" => cmd_replay(args),
+        "advise" => cmd_advise(args),
         "snapshot" => cmd_snapshot(args),
         "serve" => cmd_serve(args),
         "fuzz" => cmd_fuzz(args),

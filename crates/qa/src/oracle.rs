@@ -62,6 +62,13 @@ pub struct CaseStats {
 /// Parallelism levels every strategy is swept over.
 const PAR_LEVELS: [usize; 3] = [1, 2, 8];
 
+/// The view-catalog tuple budget for the differential views leg, from
+/// the `JUCQ_VIEWS` environment variable (the CI fuzz matrix sets it).
+/// Absent, unparsable or `0` → the leg is skipped.
+fn views_budget() -> Option<usize> {
+    std::env::var("JUCQ_VIEWS").ok()?.trim().parse::<usize>().ok().filter(|b| *b > 0)
+}
+
 fn pattern_term(db: &mut RdfDatabase, t: &QTerm) -> PatternTerm {
     match t {
         QTerm::Var(v) => PatternTerm::Var(*v),
@@ -313,6 +320,50 @@ pub fn check_case_with(case: &GenCase, profiles: &[EngineProfile]) -> Result<Cas
                         "[{} par={par}] {label} on a disconnected query: expected a cover error",
                         profile.name
                     ));
+                }
+            }
+        }
+
+        // Materialized fragment views must be answer-invisible. With
+        // `JUCQ_VIEWS=<budget>` in the environment (the CI fuzz matrix
+        // dimension), load the case into a views-enabled database, pin
+        // the query's cover fragments under each view-consulting
+        // strategy, and demand the view-served answers still equal
+        // ground truth. Once per case on the first profile.
+        if pi == 0 {
+            if let Some(budget) = views_budget() {
+                let mut db_v = RdfDatabase::with_profile(
+                    base.clone().with_parallelism(1).with_view_scans(true),
+                );
+                db_v.extend(&case.triples);
+                db_v.enable_views(budget);
+                let q_v = build_query(&mut db_v, &case.query);
+                for strategy in [Strategy::Ucq, Strategy::gcov_default()] {
+                    let label = format!("views/{}", strategy.name());
+                    if coverable && !q_v.is_empty() {
+                        db_v.pin_cover_fragments(&q_v, &strategy, None)
+                            .map_err(|e| format!("[{}] {label} pin failed: {e}", profile.name))?;
+                    }
+                    let got = db_v.answer(&q_v, &strategy);
+                    stats.answers_checked += 1;
+                    if coverable {
+                        let rep =
+                            got.map_err(|e| format!("[{}] {label} failed: {e}", profile.name))?;
+                        let rows = canon_rows(&db_v, &rep.rows);
+                        if rows != *truth_rows {
+                            return Err(format!(
+                                "[{}] {label} answered {} rows, SAT answered {}:\n  {label}: {rows:?}\n  SAT: {truth_rows:?}",
+                                profile.name,
+                                rows.len(),
+                                truth_rows.len()
+                            ));
+                        }
+                    } else if !matches!(got, Err(AnswerError::Cover(_))) {
+                        return Err(format!(
+                            "[{}] {label} on a disconnected query: expected a cover error",
+                            profile.name
+                        ));
+                    }
                 }
             }
         }

@@ -23,8 +23,8 @@
 //!
 //! | Method | Path       | Body / params                                    | Response |
 //! |--------|------------|--------------------------------------------------|----------|
-//! | POST   | `/query`   | SPARQL text; `?strategy=sat\|ucq\|scq\|range\|ecov\|gcov`, `?limit=N`; headers `X-Jucq-Deadline-Ms`, `X-Jucq-Memory-Tuples` | JSON: epoch, strategy, rows |
-//! | GET    | `/metrics` | —                                                | jucq-obs/1 JSON (spans drained, counters cumulative) |
+//! | POST   | `/query`   | SPARQL text; `?strategy=sat\|ucq\|scq\|range\|ecov\|gcov`, `?limit=N`; headers `X-Jucq-Deadline-Ms`, `X-Jucq-Memory-Tuples` | JSON: epoch, strategy, rows; `X-Jucq-Epoch` header (on errors too) |
+//! | GET    | `/metrics` | —                                                | jucq-obs/1 JSON (spans drained, counters cumulative, `serving.epoch` / `views.*` gauges refreshed at scrape) |
 //! | GET    | `/health`  | —                                                | `ok` + current epoch |
 //!
 //! Status codes: `400` unparseable query, `404` unknown path, `405`
@@ -254,6 +254,14 @@ fn handle_connection(serving: &ServingDb, config: &ServeConfig, mut stream: TcpS
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/query") => handle_query(serving, config, &request, &mut stream),
         ("GET", "/metrics") => {
+            // Point-in-time gauges are refreshed at scrape time, so the
+            // exported value is current even if no query ran since the
+            // last epoch change.
+            jucq_obs::metrics::gauge_set("serving.epoch", serving.epoch() as f64);
+            if let Some(stats) = serving.view_stats() {
+                jucq_obs::metrics::gauge_set("views.entries", stats.entries as f64);
+                jucq_obs::metrics::gauge_set("views.tuples", stats.total_tuples as f64);
+            }
             let body = jucq_obs::export::to_json(&jucq_obs::take_session());
             let _ = respond(&mut stream, 200, "OK", "application/json", &[], body.as_bytes());
         }
@@ -277,8 +285,13 @@ fn handle_query(
     request: &Request,
     stream: &mut TcpStream,
 ) {
-    // Pin one epoch for the request's whole lifetime.
+    // Pin one epoch for the request's whole lifetime. Every response
+    // names it in `X-Jucq-Epoch`, success or failure: a client replaying
+    // a mixed read/write workload can tell exactly which database state
+    // answered each request.
     let snapshot: Arc<Snapshot> = serving.snapshot();
+    let epoch = snapshot.epoch().to_string();
+    let epoch_header = ("X-Jucq-Epoch", epoch.as_str());
 
     let strategy = match request.query_param("strategy") {
         Some(name) => match parse_strategy(name) {
@@ -286,7 +299,8 @@ fn handle_query(
             None => {
                 jucq_obs::metrics::counter_add("server.errors", 1);
                 let body = error_json(&format!("unknown strategy `{name}`"));
-                let _ = respond(stream, 400, "Bad Request", "application/json", &[], &body);
+                let _ =
+                    respond(stream, 400, "Bad Request", "application/json", &[epoch_header], &body);
                 return;
             }
         },
@@ -298,7 +312,7 @@ fn handle_query(
         Err(_) => {
             jucq_obs::metrics::counter_add("server.errors", 1);
             let body = error_json("request body is not UTF-8");
-            let _ = respond(stream, 400, "Bad Request", "application/json", &[], &body);
+            let _ = respond(stream, 400, "Bad Request", "application/json", &[epoch_header], &body);
             return;
         }
     };
@@ -307,7 +321,7 @@ fn handle_query(
         Err(e) => {
             jucq_obs::metrics::counter_add("server.errors", 1);
             let body = error_json(&e.to_string());
-            let _ = respond(stream, 400, "Bad Request", "application/json", &[], &body);
+            let _ = respond(stream, 400, "Bad Request", "application/json", &[epoch_header], &body);
             return;
         }
     };
@@ -336,7 +350,7 @@ fn handle_query(
                 .and_then(|v| v.parse::<usize>().ok())
                 .unwrap_or(usize::MAX);
             let body = answer_json(&snapshot, &report, limit);
-            let _ = respond(stream, 200, "OK", "application/json", &[], &body);
+            let _ = respond(stream, 200, "OK", "application/json", &[epoch_header], &body);
         }
         Err(e) => {
             jucq_obs::metrics::counter_add("server.errors", 1);
@@ -347,7 +361,7 @@ fn handle_query(
                 _ => (422, "Unprocessable Content"),
             };
             let body = error_json(&e.to_string());
-            let _ = respond(stream, status, reason, "application/json", &[], &body);
+            let _ = respond(stream, status, reason, "application/json", &[epoch_header], &body);
         }
     }
 }

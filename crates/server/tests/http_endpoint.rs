@@ -30,8 +30,8 @@ fn library_db() -> RdfDatabase {
     db
 }
 
-/// One-shot HTTP exchange: returns (status, body).
-fn exchange(addr: std::net::SocketAddr, request: &str) -> (u16, String) {
+/// One-shot HTTP exchange: returns (status, headers, body).
+fn exchange_full(addr: std::net::SocketAddr, request: &str) -> (u16, String, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
     stream.write_all(request.as_bytes()).expect("send");
@@ -42,7 +42,13 @@ fn exchange(addr: std::net::SocketAddr, request: &str) -> (u16, String) {
         .and_then(|r| r.split(' ').next())
         .and_then(|s| s.parse().ok())
         .unwrap_or_else(|| panic!("malformed response: {response:?}"));
-    let body = response.split_once("\r\n\r\n").map(|(_, b)| b.to_owned()).unwrap_or_default();
+    let (head, body) = response.split_once("\r\n\r\n").unwrap_or((response.as_str(), ""));
+    (status, head.to_owned(), body.to_owned())
+}
+
+/// One-shot HTTP exchange: returns (status, body).
+fn exchange(addr: std::net::SocketAddr, request: &str) -> (u16, String) {
+    let (status, _, body) = exchange_full(addr, request);
     (status, body)
 }
 
@@ -73,8 +79,16 @@ fn endpoint_matches_the_library_and_validates_requests() {
     expected.sort();
     assert_eq!(expected.len(), 3);
 
-    let (status, body) = post_query(addr, "/query?strategy=ucq", sparql);
+    let request = format!(
+        "POST /query?strategy=ucq HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{sparql}",
+        sparql.len()
+    );
+    let (status, head, body) = exchange_full(addr, &request);
     assert_eq!(status, 200, "{body}");
+    assert!(
+        head.contains("X-Jucq-Epoch: 0"),
+        "every /query response names its pinned epoch: {head:?}"
+    );
     let parsed = jucq_obs::json::parse(&body).expect("valid JSON");
     assert_eq!(parsed.get("epoch").and_then(|v| v.as_u64()), Some(0));
     assert_eq!(parsed.get("strategy").and_then(|v| v.as_str()), Some("UCQ"));
@@ -115,9 +129,16 @@ fn endpoint_matches_the_library_and_validates_requests() {
     assert_eq!(parsed.get("row_count").and_then(|v| v.as_u64()), Some(3));
     assert_eq!(parsed.get("rows").and_then(|v| v.as_arr()).map(<[_]>::len), Some(1));
 
-    // Malformed SPARQL → 400 with a JSON error.
-    let (status, body) = post_query(addr, "/query", "SELECT WHERE {");
+    // Malformed SPARQL → 400 with a JSON error (epoch header still set:
+    // the request did pin a snapshot).
+    let bad = "SELECT WHERE {";
+    let request = format!(
+        "POST /query HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{bad}",
+        bad.len()
+    );
+    let (status, head, body) = exchange_full(addr, &request);
     assert_eq!(status, 400);
+    assert!(head.contains("X-Jucq-Epoch: 0"), "{head:?}");
     assert!(jucq_obs::json::parse(&body).unwrap().get("error").is_some());
 
     // Unknown strategy → 400; unknown path → 404; bad method → 405.
@@ -146,14 +167,31 @@ fn endpoint_matches_the_library_and_validates_requests() {
         .and_then(|v| v.as_u64())
         .unwrap_or(0);
     assert!(requests >= 1, "server.requests counted while obs enabled");
+    let epoch_gauge =
+        metrics.get("gauges").and_then(|g| g.get("serving.epoch")).and_then(|v| v.as_f64());
+    assert_eq!(epoch_gauge, Some(0.0), "scrape-time serving.epoch gauge");
     jucq_obs::set_enabled(false);
 
-    // An update publishes a new epoch; subsequent requests see it.
+    // An update publishes a new epoch; subsequent requests see it in
+    // the body, the header, and the scraped gauge.
     serving.apply_data_updates(&[t("doc9", vocab::RDF_TYPE, Term::uri("Novel"))], &[]);
-    let (_, body) = post_query(addr, "/query?strategy=ucq", sparql);
+    let request = format!(
+        "POST /query?strategy=ucq HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{sparql}",
+        sparql.len()
+    );
+    let (_, head, body) = exchange_full(addr, &request);
+    assert!(head.contains("X-Jucq-Epoch: 1"), "{head:?}");
     let parsed = jucq_obs::json::parse(&body).unwrap();
     assert_eq!(parsed.get("epoch").and_then(|v| v.as_u64()), Some(1));
     assert_eq!(parsed.get("row_count").and_then(|v| v.as_u64()), Some(4));
+    jucq_obs::set_enabled(true);
+    let (_, body) = exchange(addr, "GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n");
+    let metrics = jucq_obs::json::parse(&body).unwrap();
+    assert_eq!(
+        metrics.get("gauges").and_then(|g| g.get("serving.epoch")).and_then(|v| v.as_f64()),
+        Some(1.0)
+    );
+    jucq_obs::set_enabled(false);
 }
 
 #[test]

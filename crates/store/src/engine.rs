@@ -134,11 +134,24 @@ impl Store {
     /// factors common scans, fixes join orders and annotates every node
     /// with a cardinality estimate.
     pub fn plan_jucq(&self, q: &StoreJucq) -> Result<Plan, EngineError> {
+        self.plan_jucq_views(q, None)
+    }
+
+    /// [`Store::plan_jucq`] with an optional materialized-view catalog:
+    /// cover fragments whose canonical signature has a current-epoch
+    /// entry are lowered to [`PlanNode::ViewScan`](crate::plan::PlanNode)
+    /// leaves (the fallback union stays embedded, so the plan remains
+    /// valid for requests whose epoch no longer matches the catalog).
+    pub fn plan_jucq_views(
+        &self,
+        q: &StoreJucq,
+        views: Option<&crate::views::ViewCatalog>,
+    ) -> Result<Plan, EngineError> {
         let terms = q.union_terms();
         if terms > self.profile.max_union_terms {
             return Err(EngineError::UnionTooLarge { terms, limit: self.profile.max_union_terms });
         }
-        Ok(Planner::new(&self.table, &self.stats, &self.profile).plan(q))
+        Ok(Planner::new(&self.table, &self.stats, &self.profile).with_views(views).plan(q))
     }
 
     /// Evaluate a JUCQ: plan it, then execute the plan.
@@ -162,7 +175,7 @@ impl Store {
     /// cache). The plan must have been produced by this store's planner
     /// under the current profile.
     pub fn eval_plan(&self, plan: &Plan) -> Result<EvalOutcome, EngineError> {
-        self.eval_plan_inner(plan, false, None).map(|(outcome, _)| outcome)
+        self.eval_plan_inner(plan, false, None, None).map(|(outcome, _)| outcome)
     }
 
     /// Execute a plan with per-node runtime profiling.
@@ -170,7 +183,7 @@ impl Store {
         &self,
         plan: &Plan,
     ) -> Result<(EvalOutcome, ExecProfile), EngineError> {
-        self.eval_plan_inner(plan, true, None)
+        self.eval_plan_inner(plan, true, None, None)
             .map(|(outcome, profile)| (outcome, profile.unwrap_or_default()))
     }
 
@@ -184,7 +197,7 @@ impl Store {
         plan: &Plan,
         limits: &EngineProfile,
     ) -> Result<EvalOutcome, EngineError> {
-        self.eval_plan_inner(plan, false, Some(limits)).map(|(outcome, _)| outcome)
+        self.eval_plan_inner(plan, false, Some(limits), None).map(|(outcome, _)| outcome)
     }
 
     /// [`Store::eval_plan_with`] with per-node runtime profiling.
@@ -193,7 +206,32 @@ impl Store {
         plan: &Plan,
         limits: &EngineProfile,
     ) -> Result<(EvalOutcome, ExecProfile), EngineError> {
-        self.eval_plan_inner(plan, true, Some(limits))
+        self.eval_plan_inner(plan, true, Some(limits), None)
+            .map(|(outcome, profile)| (outcome, profile.unwrap_or_default()))
+    }
+
+    /// Execute a plan resolving its [`PlanNode::ViewScan`](crate::plan::PlanNode)
+    /// leaves through `views` — an epoch-pinned handle on a
+    /// [`ViewCatalog`](crate::views::ViewCatalog). Entries whose epoch
+    /// differs from the handle's never serve; those leaves fall back to
+    /// their embedded union, so answers are identical either way.
+    pub fn eval_plan_views(
+        &self,
+        plan: &Plan,
+        limits: Option<&EngineProfile>,
+        views: Option<&crate::views::ViewSource<'_>>,
+    ) -> Result<EvalOutcome, EngineError> {
+        self.eval_plan_inner(plan, false, limits, views).map(|(outcome, _)| outcome)
+    }
+
+    /// [`Store::eval_plan_views`] with per-node runtime profiling.
+    pub fn eval_plan_views_profiled(
+        &self,
+        plan: &Plan,
+        limits: Option<&EngineProfile>,
+        views: Option<&crate::views::ViewSource<'_>>,
+    ) -> Result<(EvalOutcome, ExecProfile), EngineError> {
+        self.eval_plan_inner(plan, true, limits, views)
             .map(|(outcome, profile)| (outcome, profile.unwrap_or_default()))
     }
 
@@ -202,6 +240,7 @@ impl Store {
         plan: &Plan,
         profiling: bool,
         limits: Option<&EngineProfile>,
+        views: Option<&crate::views::ViewSource<'_>>,
     ) -> Result<(EvalOutcome, Option<ExecProfile>), EngineError> {
         jucq_obs::span!("execution");
         let profile = limits.unwrap_or(&self.profile);
@@ -210,8 +249,13 @@ impl Store {
         } else {
             ExecContext::new(profile)
         };
-        let relation =
-            plan::exec::execute(&self.table, plan, &mut ctx, profile.effective_parallelism())?;
+        let relation = plan::exec::execute(
+            &self.table,
+            plan,
+            &mut ctx,
+            profile.effective_parallelism(),
+            views,
+        )?;
         if ctx.counters.sip_probes > 0 {
             jucq_obs::metrics::counter_add("exec.sip.probes", ctx.counters.sip_probes);
             jucq_obs::metrics::counter_add("exec.sip.drops", ctx.counters.sip_drops);

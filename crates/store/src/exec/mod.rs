@@ -46,6 +46,9 @@ pub struct Counters {
     pub sip_drops: u64,
     /// Collapsed-interval (`RangeScan`) operator executions.
     pub range_scans: u64,
+    /// Fragments served from the materialized-view catalog (epoch-exact
+    /// `ViewScan` resolutions; fallback unions do not count).
+    pub view_hits: u64,
 }
 
 /// Per-filter probe/drop totals of one sideways-information-passing
@@ -252,6 +255,7 @@ impl<'a> ExecContext<'a> {
         self.counters.sip_probes += worker.counters.sip_probes;
         self.counters.sip_drops += worker.counters.sip_drops;
         self.counters.range_scans += worker.counters.range_scans;
+        self.counters.view_hits += worker.counters.view_hits;
         for s in worker.take_sip_stats() {
             self.record_sip(&s.label, s.probes, s.drops);
         }

@@ -235,7 +235,7 @@ mod tests {
         let stats = Statistics::build(&table);
         let plan = Planner::new(&table, &stats, profile).plan(q);
         let mut ctx = ExecContext::new(profile);
-        let rel = crate::plan::exec::execute(&table, &plan, &mut ctx, threads)?;
+        let rel = crate::plan::exec::execute(&table, &plan, &mut ctx, threads, None)?;
         Ok((rel, ctx.counters))
     }
 
@@ -308,7 +308,7 @@ mod tests {
         let plan = Planner::new(&table, &stats, &profile).plan(&q);
         let mut ctx = ExecContext::new(&profile);
         ctx.backdate(Duration::from_millis(2));
-        let err = crate::plan::exec::execute(&table, &plan, &mut ctx, 4).unwrap_err();
+        let err = crate::plan::exec::execute(&table, &plan, &mut ctx, 4, None).unwrap_err();
         assert!(matches!(err, EngineError::Timeout { .. }), "got {err:?}");
     }
 
@@ -321,7 +321,7 @@ mod tests {
         let plan = Planner::new(&table, &stats, &profile).plan(&q);
         let run = |threads: usize| {
             let mut ctx = ExecContext::with_profiling(&profile);
-            crate::plan::exec::execute(&table, &plan, &mut ctx, threads).unwrap();
+            crate::plan::exec::execute(&table, &plan, &mut ctx, threads, None).unwrap();
             ctx.take_nodes()
         };
         let seq = run(1);

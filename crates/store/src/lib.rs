@@ -51,6 +51,7 @@ pub mod profile;
 pub mod relation;
 pub mod stats;
 pub mod table;
+pub mod views;
 
 pub use engine::{ExecProfile, PlanNodeReport, Store};
 pub use error::EngineError;
@@ -63,3 +64,6 @@ pub use profile::{default_parallelism, EngineProfile, JoinAlgo};
 pub use relation::Relation;
 pub use stats::Statistics;
 pub use table::{RangePos, TripleTable};
+pub use views::{
+    DeltaFootprint, ViewCatalog, ViewCatalogStats, ViewFootprint, ViewSignature, ViewSource,
+};

@@ -10,6 +10,14 @@
 //! fragment's members probe. Plans without SIP run all fragments
 //! up-front (possibly across one worker pool) and then fold the join
 //! tree — byte-identical to the pre-SIP driver.
+//!
+//! Fragment leaves may be [`PlanNode::ViewScan`]s: the executor
+//! resolves each through the supplied [`ViewSource`] — epoch-exact, so
+//! a catalog entry computed at any other epoch never serves — and
+//! copies the materialized rows through a scan-priced kernel (batched
+//! or row-at-a-time, matching the profile). A miss, or running with no
+//! view source at all, evaluates the embedded fallback union; answers
+//! are identical either way.
 
 use crate::error::EngineError;
 use crate::exec::{batch, cq, join, parallel, ExecContext};
@@ -17,13 +25,81 @@ use crate::plan::node::{Plan, PlanNode};
 use crate::profile::JoinAlgo;
 use crate::relation::Relation;
 use crate::table::TripleTable;
+use crate::views::ViewSource;
 
-/// Execute `plan` against `table` with up to `threads` union workers.
+/// Copy a resolved view's rows into a fresh relation on `ctx`'s
+/// counters: charged as a scan (`tuples_scanned`, one `view_hits`
+/// resolution), batched when the profile's vectorized kernels are on,
+/// row-at-a-time otherwise — the same liveness-poll cadence as any
+/// other scan.
+fn copy_view_rows(
+    rows: &Relation,
+    idx: usize,
+    head: &[crate::ir::VarId],
+    ctx: &mut ExecContext<'_>,
+) -> Result<Relation, EngineError> {
+    let op = ctx.op_start();
+    let source;
+    let aligned = if rows.vars() == head {
+        rows
+    } else {
+        // Materializer and planner disagree on column order (defensive:
+        // both derive the head from the same fragment UCQ, so this
+        // should not fire); realign before copying.
+        source = rows.project(head);
+        &source
+    };
+    let mut out = Relation::with_capacity(head.to_vec(), aligned.len());
+    if ctx.profile().vectorized {
+        let batch_rows = ctx.profile().effective_batch_rows();
+        let mut done = 0;
+        while done < aligned.len() {
+            let n = batch_rows.min(aligned.len() - done);
+            for r in done..done + n {
+                out.push_row(aligned.row(r));
+            }
+            ctx.tick_n(n as u64)?;
+            done += n;
+        }
+    } else {
+        for r in aligned.rows() {
+            out.push_row(r);
+            ctx.tick()?;
+        }
+    }
+    ctx.counters.tuples_scanned += out.len() as u64;
+    ctx.counters.view_hits += 1;
+    ctx.check_memory(out.len())?;
+    ctx.op_finish(op, &format!("fragment[{idx}].view_scan"), out.len() as u64);
+    Ok(out)
+}
+
+/// Resolve a fragment leaf's view binding, if it has one and the
+/// request's epoch matches.
+fn resolve_view(
+    leaf: &PlanNode,
+    plan: &Plan,
+    views: Option<&ViewSource<'_>>,
+    ctx: &mut ExecContext<'_>,
+) -> Result<Option<Relation>, EngineError> {
+    if let PlanNode::ViewScan { idx, head, view, .. } = leaf {
+        if let Some(src) = views {
+            if let Some(rows) = src.resolve(&plan.views[*view].signature) {
+                return Ok(Some(copy_view_rows(&rows, *idx, head, ctx)?));
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// Execute `plan` against `table` with up to `threads` union workers,
+/// resolving [`PlanNode::ViewScan`] leaves through `views` (when given).
 pub(crate) fn execute(
     table: &TripleTable,
     plan: &Plan,
     ctx: &mut ExecContext<'_>,
     threads: usize,
+    views: Option<&ViewSource<'_>>,
 ) -> Result<Relation, EngineError> {
     if plan.is_const_empty() {
         return Ok(Relation::empty(plan.head.clone()));
@@ -54,24 +130,30 @@ pub(crate) fn execute(
     };
 
     let acc = if plan.sip.is_empty() {
-        let unions = plan.unions();
-        let tasks: Vec<parallel::UnionTask<'_>> = unions
-            .iter()
-            .map(|u| {
-                let (idx, head, members) = u.as_union().expect("collected by Plan::unions");
-                parallel::UnionTask { idx, head, members, filter: None }
-            })
-            .collect();
-        // The planner numbers unions by fragment position, so slot i is
-        // fragment i.
-        debug_assert!(tasks.iter().enumerate().all(|(i, t)| i == t.idx));
+        let leaves = plan.fragment_leaves();
+        let mut slots: Vec<Option<Relation>> = leaves.iter().map(|_| None).collect();
+        let mut tasks: Vec<parallel::UnionTask<'_>> = Vec::new();
+        for leaf in &leaves {
+            if let Some(rel) = resolve_view(leaf, plan, views, ctx)? {
+                let PlanNode::ViewScan { idx, .. } = leaf else { unreachable!() };
+                slots[*idx] = Some(rel);
+                continue;
+            }
+            let (idx, head, members) =
+                leaf.fallback_union().as_union().expect("fragment leaf wraps a union");
+            tasks.push(parallel::UnionTask { idx, head, members, filter: None });
+        }
         let frags = parallel::eval_unions(table, &tasks, &shared, ctx, threads)?;
+        for (task, rel) in tasks.iter().zip(frags) {
+            slots[task.idx] = Some(rel);
+        }
 
         // All but the pipelined (largest-estimate) fragment are charged
         // as materialized (§4.1: "the largest-result sub-query ... is
         // the one pipelined").
-        if frags.len() > 1 {
-            for (i, f) in frags.iter().enumerate() {
+        if slots.len() > 1 {
+            for (i, f) in slots.iter().enumerate() {
+                let f = f.as_ref().expect("every fragment has a result");
                 if Some(i) != plan.pipelined {
                     ctx.counters.tuples_materialized += f.len() as u64;
                     ctx.check_memory(f.len())?;
@@ -79,10 +161,9 @@ pub(crate) fn execute(
             }
         }
 
-        let mut slots: Vec<Option<Relation>> = frags.into_iter().map(Some).collect();
         fold_joins(tree, &mut slots, ctx)?
     } else {
-        execute_staged(table, plan, tree, &shared, ctx, threads)?
+        execute_staged(table, plan, tree, &shared, ctx, threads, views)?
     };
 
     let op = ctx.op_start();
@@ -104,7 +185,10 @@ pub(crate) fn execute(
 /// still fans its members across the worker pool). When a join step has
 /// a planned [`SipFilterDef`](crate::plan::SipFilterDef), the
 /// accumulated left side is hashed into a Bloom filter first and the
-/// right fragment's members probe it as they complete.
+/// right fragment's members probe it as they complete. A view-resolved
+/// fragment skips its filter (the filter only prunes work the copy
+/// kernel does not do; the join itself discards non-matching rows).
+#[allow(clippy::too_many_arguments)]
 fn execute_staged(
     table: &TripleTable,
     plan: &Plan,
@@ -112,6 +196,7 @@ fn execute_staged(
     shared: &[Relation],
     ctx: &mut ExecContext<'_>,
     threads: usize,
+    views: Option<&ViewSource<'_>>,
 ) -> Result<Relation, EngineError> {
     // Linearize the left-deep join tree into its execution order: the
     // base fragment, then one (algo, step, right-fragment) per join.
@@ -119,7 +204,7 @@ fn execute_staged(
     let mut node = tree;
     let base = loop {
         match node {
-            PlanNode::HashUnion { .. } => break node,
+            PlanNode::HashUnion { .. } | PlanNode::ViewScan { .. } => break node,
             PlanNode::HashJoin { left, right, step: Some(step), .. } => {
                 steps.push((JoinAlgo::Hash, *step, right));
                 node = left;
@@ -141,11 +226,20 @@ fn execute_staged(
     };
     steps.reverse();
 
-    let eval_fragment = |u: &PlanNode,
+    let eval_fragment = |leaf: &PlanNode,
                          filter: Option<&batch::SipFilter>,
                          ctx: &mut ExecContext<'_>|
      -> Result<Relation, EngineError> {
-        let (idx, head, members) = u.as_union().expect("fragment join input is a union");
+        if let Some(rel) = resolve_view(leaf, plan, views, ctx)? {
+            let PlanNode::ViewScan { idx, .. } = leaf else { unreachable!() };
+            if Some(*idx) != plan.pipelined {
+                ctx.counters.tuples_materialized += rel.len() as u64;
+                ctx.check_memory(rel.len())?;
+            }
+            return Ok(rel);
+        }
+        let (idx, head, members) =
+            leaf.fallback_union().as_union().expect("fragment join input wraps a union");
         let task = parallel::UnionTask { idx, head, members, filter };
         let mut frags =
             parallel::eval_unions(table, std::slice::from_ref(&task), shared, ctx, threads)?;
@@ -172,15 +266,15 @@ fn execute_staged(
 }
 
 /// Recursively evaluate the fragment-level join tree, taking each
-/// union's materialized result out of its slot.
+/// fragment's materialized result out of its slot.
 fn fold_joins(
     node: &PlanNode,
     slots: &mut [Option<Relation>],
     ctx: &mut ExecContext<'_>,
 ) -> Result<Relation, EngineError> {
     let (algo, left, right, step) = match node {
-        PlanNode::HashUnion { idx, .. } => {
-            return Ok(slots[*idx].take().expect("each union consumed once"));
+        PlanNode::HashUnion { idx, .. } | PlanNode::ViewScan { idx, .. } => {
+            return Ok(slots[*idx].take().expect("each fragment consumed once"));
         }
         PlanNode::HashJoin { left, right, step: Some(step), .. } => {
             (JoinAlgo::Hash, left, right, *step)

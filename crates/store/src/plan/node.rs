@@ -11,6 +11,7 @@ use std::fmt::Write as _;
 
 use crate::ir::{PatternTerm, StorePattern, VarId};
 use crate::table::RangePos;
+use crate::views::ViewSignature;
 
 /// One physical operator node.
 ///
@@ -156,6 +157,27 @@ pub enum PlanNode {
         /// The output schema.
         out_vars: Vec<VarId>,
     },
+    /// A fragment whose union matched the materialized-view catalog at
+    /// plan time. The node carries **no rows** — only an index into
+    /// [`Plan::views`] naming the signature; the executor resolves the
+    /// rows through the catalog with the *request's* epoch at
+    /// evaluation time and evaluates the embedded `fallback` union
+    /// subtree on any mismatch. Plans are therefore safe to cache and
+    /// share across epochs: a stale entry simply stops resolving.
+    ViewScan {
+        /// The fragment index (same numbering as the fallback union).
+        idx: usize,
+        /// The output schema (the fragment head).
+        head: Vec<VarId>,
+        /// Index into [`Plan::views`].
+        view: usize,
+        /// Estimated output rows (the catalog entry's tuple count at
+        /// plan time).
+        est: Option<f64>,
+        /// The full union subtree evaluated when the view does not
+        /// resolve at the request's epoch.
+        fallback: Box<PlanNode>,
+    },
     /// Streaming hash-deduplicating union of member results — one per
     /// JUCQ fragment.
     HashUnion {
@@ -199,6 +221,7 @@ impl PlanNode {
                 left.node_count() + right.node_count()
             }
             PlanNode::HashUnion { members, .. } => members.iter().map(PlanNode::node_count).sum(),
+            PlanNode::ViewScan { fallback, .. } => fallback.node_count(),
             PlanNode::IndexScan { .. }
             | PlanNode::RangeScan { .. }
             | PlanNode::SharedScan { .. }
@@ -215,9 +238,20 @@ impl PlanNode {
         }
     }
 
+    /// The union subtree a fragment leaf evaluates when no view
+    /// resolves: the fallback for a [`PlanNode::ViewScan`], the node
+    /// itself for a [`PlanNode::HashUnion`].
+    pub fn fallback_union(&self) -> &PlanNode {
+        match self {
+            PlanNode::ViewScan { fallback, .. } => fallback,
+            other => other,
+        }
+    }
+
     fn collect_unions<'a>(&'a self, out: &mut Vec<&'a PlanNode>) {
         match self {
             PlanNode::HashUnion { .. } => out.push(self),
+            PlanNode::ViewScan { fallback, .. } => fallback.collect_unions(out),
             PlanNode::Filter { input, .. }
             | PlanNode::Inlj { input, .. }
             | PlanNode::RangeProbe { input, .. }
@@ -333,6 +367,11 @@ impl PlanNode {
                     );
                 }
             }
+            PlanNode::ViewScan { idx, view, est: e, fallback, .. } => {
+                let _ = writeln!(out, "{pad}ViewScan fragment[{idx}] view#{view}{}", est(e));
+                let _ = writeln!(out, "{}fallback:", "  ".repeat(indent + 1));
+                fallback.render_into(out, indent + 2, max_members, names);
+            }
             PlanNode::Dedup { input, est: e } => {
                 let _ = writeln!(out, "{pad}Dedup{}", est(e));
                 input.render_into(out, indent + 1, max_members, names);
@@ -382,6 +421,18 @@ pub struct SipFilterDef {
     pub keys: Vec<VarId>,
 }
 
+/// One view binding of a plan: the canonical signature a
+/// [`PlanNode::ViewScan`] resolves through the catalog at evaluation
+/// time, plus the entry's tuple count at plan time (estimate only —
+/// resolution is epoch-exact regardless).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViewBindingDef {
+    /// The canonical fragment signature.
+    pub signature: ViewSignature,
+    /// The matched entry's tuple count when the plan was lowered.
+    pub tuples: usize,
+}
+
 /// A complete physical plan for one [`StoreJucq`](crate::ir::StoreJucq).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Plan {
@@ -414,6 +465,10 @@ pub struct Plan {
     /// How many [`PlanNode::RangeScan`] nodes the plan contains (one per
     /// collapsed member).
     pub range_scans: usize,
+    /// The plan's view bindings, indexed by
+    /// [`PlanNode::ViewScan`]`::view`. Empty unless the planner matched
+    /// fragments against a catalog.
+    pub views: Vec<ViewBindingDef>,
 }
 
 impl Plan {
@@ -422,12 +477,48 @@ impl Plan {
         matches!(self.root, PlanNode::Empty { .. })
     }
 
-    /// The fragment [`PlanNode::HashUnion`] nodes, in fragment order.
+    /// The fragment [`PlanNode::HashUnion`] nodes, in fragment order
+    /// (descending through [`PlanNode::ViewScan`] fallbacks).
     pub fn unions(&self) -> Vec<&PlanNode> {
         let mut out = Vec::new();
         self.root.collect_unions(&mut out);
         out.sort_by_key(|n| n.as_union().map(|(i, _, _)| i).unwrap_or(usize::MAX));
         out
+    }
+
+    /// The fragment leaves of the join tree, in fragment order: each is
+    /// a [`PlanNode::ViewScan`] (for matched fragments) or a
+    /// [`PlanNode::HashUnion`].
+    pub fn fragment_leaves(&self) -> Vec<&PlanNode> {
+        fn walk<'a>(node: &'a PlanNode, out: &mut Vec<&'a PlanNode>) {
+            match node {
+                PlanNode::HashUnion { .. } | PlanNode::ViewScan { .. } => out.push(node),
+                PlanNode::Filter { input, .. }
+                | PlanNode::Inlj { input, .. }
+                | PlanNode::RangeProbe { input, .. }
+                | PlanNode::Project { input, .. }
+                | PlanNode::Dedup { input, .. } => walk(input, out),
+                PlanNode::HashJoin { left, right, .. }
+                | PlanNode::MergeJoin { left, right, .. }
+                | PlanNode::NestedLoopJoin { left, right, .. } => {
+                    walk(left, out);
+                    walk(right, out);
+                }
+                _ => {}
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.root, &mut out);
+        out.sort_by_key(|n| match n {
+            PlanNode::HashUnion { idx, .. } | PlanNode::ViewScan { idx, .. } => *idx,
+            _ => usize::MAX,
+        });
+        out
+    }
+
+    /// How many fragments the plan serves as [`PlanNode::ViewScan`]s.
+    pub fn view_scans(&self) -> usize {
+        self.views.len()
     }
 
     /// Total plan size: tree nodes plus shared-scan table entries.

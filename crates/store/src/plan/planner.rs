@@ -27,10 +27,11 @@ use jucq_model::{FxHashMap, FxHashSet};
 
 use crate::exec::join;
 use crate::ir::{PatternTerm, StoreCq, StoreJucq, StorePattern, StoreUcq, VarId};
-use crate::plan::node::{Plan, PlanNode, SharedScanDef, SipFilterDef};
+use crate::plan::node::{Plan, PlanNode, SharedScanDef, SipFilterDef, ViewBindingDef};
 use crate::profile::{EngineProfile, JoinAlgo};
 use crate::stats::Statistics;
 use crate::table::{RangePos, TripleTable};
+use crate::views::{ViewCatalog, ViewSignature};
 
 /// The O(members²) subsumption sweep is skipped beyond this union width
 /// (exact-duplicate elimination still runs; it is linear).
@@ -41,6 +42,7 @@ pub struct Planner<'a> {
     table: &'a TripleTable,
     stats: &'a Statistics,
     profile: &'a EngineProfile,
+    views: Option<&'a ViewCatalog>,
 }
 
 /// One union member mid-rewrite: the CQ plus its exact per-atom extents
@@ -204,7 +206,16 @@ fn is_subset(a: &[StorePattern], b: &[StorePattern]) -> bool {
 impl<'a> Planner<'a> {
     /// Bind a planner to a store's table, statistics and profile.
     pub fn new(table: &'a TripleTable, stats: &'a Statistics, profile: &'a EngineProfile) -> Self {
-        Planner { table, stats, profile }
+        Planner { table, stats, profile, views: None }
+    }
+
+    /// Attach a materialized-view catalog: `lower` will match each
+    /// fragment's *logical* (pre-rewrite) UCQ signature against it and
+    /// wrap matched unions in [`PlanNode::ViewScan`]s. A `None` catalog
+    /// or a profile with `view_scans` off plans exactly as before.
+    pub fn with_views(mut self, views: Option<&'a ViewCatalog>) -> Self {
+        self.views = views;
+        self
     }
 
     /// Lower `q` through the full rewrite pipeline. Infallible:
@@ -621,6 +632,7 @@ impl<'a> Planner<'a> {
                 sip: Vec::new(),
                 range_eligible,
                 range_scans: 0,
+                views: Vec::new(),
             };
             jucq_obs::metrics::counter_add("planner.lower.nodes_before", before as u64);
             jucq_obs::metrics::counter_add("planner.lower.nodes_after", plan.node_count() as u64);
@@ -661,6 +673,30 @@ impl<'a> Planner<'a> {
                 })
             })
             .collect();
+
+        // View matching: a fragment whose *logical* (pre-rewrite) UCQ —
+        // the same shape the materializer keyed its entry by — has a
+        // current-epoch catalog entry is wrapped in a `ViewScan` over
+        // its lowered union. The signature travels in the plan; the
+        // rows never do (resolution is epoch-exact at evaluation time).
+        let mut views: Vec<ViewBindingDef> = Vec::new();
+        if let Some(catalog) = self.views.filter(|_| self.profile.view_scans) {
+            for (i, slot) in union_nodes.iter_mut().enumerate() {
+                let signature = ViewSignature::of(&q.fragments[i]);
+                if let Some(tuples) = catalog.contains_current(&signature) {
+                    let fallback = slot.take().expect("union lowered exactly once");
+                    estimates.push((format!("fragment[{i}].view_scan"), tuples as f64));
+                    *slot = Some(PlanNode::ViewScan {
+                        idx: i,
+                        head: draft[i].head.clone(),
+                        view: views.len(),
+                        est: Some(tuples as f64),
+                        fallback: Box::new(fallback),
+                    });
+                    views.push(ViewBindingDef { signature, tuples });
+                }
+            }
+        }
 
         // §4.1: the largest-result fragment is the one pipelined.
         let pipelined = if draft.len() > 1 {
@@ -738,6 +774,7 @@ impl<'a> Planner<'a> {
             sip,
             range_eligible,
             range_scans,
+            views,
         };
         jucq_obs::metrics::counter_add("planner.lower.nodes_before", before as u64);
         jucq_obs::metrics::counter_add("planner.lower.nodes_after", plan.node_count() as u64);

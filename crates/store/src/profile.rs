@@ -90,6 +90,15 @@ pub struct EngineProfile {
     /// fires rarely. Disable to measure the pure-UCQ baseline.
     #[serde(default = "default_range_scans")]
     pub range_scans: bool,
+    /// If true (the default), the planner matches a query's cover
+    /// fragments against the store's materialized-view catalog (when
+    /// one is attached) and lowers matches to `ViewScan` nodes: the
+    /// fragment's rows come from the catalog when the request's epoch
+    /// matches the entry's, and from the embedded fallback union
+    /// otherwise. `JUCQ_VIEWS=0` disables matching entirely (plans
+    /// never contain `ViewScan`s). Answers are identical either way.
+    #[serde(default = "default_view_scans")]
+    pub view_scans: bool,
 }
 
 // Referenced by the `#[serde(default)]` attribute, which only expands
@@ -106,6 +115,34 @@ fn default_sip_filters() -> bool {
 
 #[allow(dead_code)]
 fn default_range_scans() -> bool {
+    true
+}
+
+/// The `JUCQ_VIEWS` environment variable, parsed once per profile
+/// construction: unset or any non-zero number keeps view matching on,
+/// `0` disables it; an unparsable value warns once through `jucq-obs`
+/// and keeps the default. (Numbers above zero double as a tuple budget
+/// for the layers that own a catalog; the profile only cares whether
+/// matching is enabled.)
+pub fn default_view_scans() -> bool {
+    match std::env::var("JUCQ_VIEWS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) => return n != 0,
+            Err(_) => {
+                jucq_obs::warn_once(
+                    "warn.jucq_views_invalid",
+                    &format!("ignoring unparsable JUCQ_VIEWS={v:?}; view matching stays enabled"),
+                );
+            }
+        },
+        Err(std::env::VarError::NotPresent) => {}
+        Err(std::env::VarError::NotUnicode(_)) => {
+            jucq_obs::warn_once(
+                "warn.jucq_views_invalid",
+                "ignoring non-unicode JUCQ_VIEWS; view matching stays enabled",
+            );
+        }
+    }
     true
 }
 
@@ -199,6 +236,7 @@ impl EngineProfile {
             batch_rows: default_batch_rows(),
             sip_filters: true,
             range_scans: true,
+            view_scans: default_view_scans(),
         }
     }
 
@@ -219,6 +257,7 @@ impl EngineProfile {
             batch_rows: default_batch_rows(),
             sip_filters: true,
             range_scans: true,
+            view_scans: default_view_scans(),
         }
     }
 
@@ -239,6 +278,7 @@ impl EngineProfile {
             batch_rows: default_batch_rows(),
             sip_filters: true,
             range_scans: true,
+            view_scans: default_view_scans(),
         }
     }
 
@@ -261,6 +301,7 @@ impl EngineProfile {
             batch_rows: default_batch_rows(),
             sip_filters: true,
             range_scans: true,
+            view_scans: default_view_scans(),
         }
     }
 
@@ -337,6 +378,13 @@ impl EngineProfile {
         self
     }
 
+    /// Enable or disable matching cover fragments against the
+    /// materialized-view catalog.
+    pub fn with_view_scans(mut self, on: bool) -> Self {
+        self.view_scans = on;
+        self
+    }
+
     /// The effective worker count: at least one.
     pub fn effective_parallelism(&self) -> usize {
         self.parallelism.max(1)
@@ -355,7 +403,7 @@ impl EngineProfile {
     /// differ in knobs (the `set_profile` staleness class).
     pub fn plan_cache_key(&self) -> String {
         format!(
-            "{}|join={:?}|mat={}|inlj={}|share={}|vec={}|batch={}|sip={}|range={}",
+            "{}|join={:?}|mat={}|inlj={}|share={}|vec={}|batch={}|sip={}|range={}|views={}",
             self.name,
             self.fragment_join,
             self.materialize_all_unions,
@@ -365,6 +413,7 @@ impl EngineProfile {
             self.effective_batch_rows(),
             self.sip_filters,
             self.range_scans,
+            self.view_scans,
         )
     }
 }
@@ -491,6 +540,7 @@ mod tests {
             base.clone().with_scan_sharing(false).plan_cache_key(),
             base.clone().with_batch_size(7).plan_cache_key(),
             base.clone().with_range_scans(!base.range_scans).plan_cache_key(),
+            base.clone().with_view_scans(!base.view_scans).plan_cache_key(),
         ];
         for i in 0..keys.len() {
             for j in (i + 1)..keys.len() {

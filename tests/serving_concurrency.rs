@@ -4,6 +4,13 @@
 //! single-threaded answer **for the epoch it was served from** — the
 //! snapshot a request pins is the whole consistency story, so a reader
 //! racing the writer may see epoch `e` or `e+1`, but never a blend.
+//!
+//! The served database runs with materialized fragment views pinned for
+//! the whole workload, so the race also covers the catalog: every
+//! update invalidates/re-materializes views mid-flight while readers
+//! resolve them epoch-exactly (or fall back to the embedded union). The
+//! oracle databases never enable a catalog — view-served answers are
+//! checked against view-free ground truth.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -72,10 +79,22 @@ fn concurrent_readers_always_match_their_epochs_oracle() {
         })
         .collect();
 
-    let mut db = RdfDatabase::from_graph(base, Default::default());
+    let mut db =
+        RdfDatabase::from_graph(base, jucq_store::EngineProfile::default().with_view_scans(true));
     db.set_cost_constants(Default::default());
     db.enable_plan_cache(32);
+    db.enable_views(500_000);
     let serving = Arc::new(ServingDb::new(db));
+    // Pin every workload query's fragments under both view-consulting
+    // strategies; the serving layer re-pins them after each update.
+    for sparql in &queries {
+        serving.pin_views(sparql, &Strategy::Ucq).expect("pin ucq");
+        serving.pin_views(sparql, &Strategy::gcov_default()).expect("pin gcov");
+    }
+    assert!(
+        serving.view_stats().expect("views enabled").entries > 0,
+        "the workload pinned at least one fragment"
+    );
     let stop = Arc::new(AtomicBool::new(false));
 
     let strategies = [Strategy::Ucq, Strategy::gcov_default(), Strategy::Saturation];
@@ -137,6 +156,9 @@ fn concurrent_readers_always_match_their_epochs_oracle() {
     });
 
     assert_eq!(serving.epoch() as usize, BATCHES);
+    let stats = serving.view_stats().expect("views enabled");
+    assert!(stats.hits > 0, "pinned views actually served under the race: {stats:?}");
+    assert_eq!(stats.epoch as usize, BATCHES, "catalog epoch tracks serving epoch");
     // The final published epoch answers exactly like the oracle's.
     let snapshot = serving.snapshot();
     for (qi, sparql) in queries.iter().enumerate() {
