@@ -32,6 +32,15 @@ use crate::views::ViewSource;
 /// resolution), batched when the profile's vectorized kernels are on,
 /// row-at-a-time otherwise — the same liveness-poll cadence as any
 /// other scan.
+///
+/// The copy is **positional**: column `k` of the stored relation is the
+/// pinning fragment's `k`-th head variable, and the head-aware canonical
+/// [`ViewSignature`](crate::views::ViewSignature) numbers head variables
+/// first in head order, so any fragment matching the signature binds the
+/// same value at head position `k`. VarIds are per-query (the consuming
+/// query's `head` generally differs from the pinning query's stored
+/// schema), so realigning by VarId would be wrong — only the labels are
+/// taken from `head`.
 fn copy_view_rows(
     rows: &Relation,
     idx: usize,
@@ -39,30 +48,21 @@ fn copy_view_rows(
     ctx: &mut ExecContext<'_>,
 ) -> Result<Relation, EngineError> {
     let op = ctx.op_start();
-    let source;
-    let aligned = if rows.vars() == head {
-        rows
-    } else {
-        // Materializer and planner disagree on column order (defensive:
-        // both derive the head from the same fragment UCQ, so this
-        // should not fire); realign before copying.
-        source = rows.project(head);
-        &source
-    };
-    let mut out = Relation::with_capacity(head.to_vec(), aligned.len());
+    debug_assert_eq!(rows.vars().len(), head.len(), "view arity checked by resolve_view");
+    let mut out = Relation::with_capacity(head.to_vec(), rows.len());
     if ctx.profile().vectorized {
         let batch_rows = ctx.profile().effective_batch_rows();
         let mut done = 0;
-        while done < aligned.len() {
-            let n = batch_rows.min(aligned.len() - done);
+        while done < rows.len() {
+            let n = batch_rows.min(rows.len() - done);
             for r in done..done + n {
-                out.push_row(aligned.row(r));
+                out.push_row(rows.row(r));
             }
             ctx.tick_n(n as u64)?;
             done += n;
         }
     } else {
-        for r in aligned.rows() {
+        for r in rows.rows() {
             out.push_row(r);
             ctx.tick()?;
         }
@@ -85,7 +85,13 @@ fn resolve_view(
     if let PlanNode::ViewScan { idx, head, view, .. } = leaf {
         if let Some(src) = views {
             if let Some(rows) = src.resolve(&plan.views[*view].signature) {
-                return Ok(Some(copy_view_rows(&rows, *idx, head, ctx)?));
+                // An arity mismatch can only mean a signature collision
+                // (the signature encodes the head arity); treat it as a
+                // miss and evaluate the fallback union rather than serve
+                // another fragment's rows.
+                if rows.vars().len() == head.len() {
+                    return Ok(Some(copy_view_rows(&rows, *idx, head, ctx)?));
+                }
             }
         }
     }

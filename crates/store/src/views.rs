@@ -47,7 +47,7 @@ impl std::fmt::Display for ViewSignature {
 }
 
 const FNV_OFFSET_A: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_OFFSET_B: u64 = 0x6c62_272e_07bb_0142;
+const SPLITMIX_SEED: u64 = 0x6c62_272e_07bb_0142;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
 fn fnv(mut h: u64, token: u64) -> u64 {
@@ -56,6 +56,19 @@ fn fnv(mut h: u64, token: u64) -> u64 {
         h = h.wrapping_mul(FNV_PRIME);
     }
     h
+}
+
+/// SplitMix64 finalizer — the second lane's mixing function. Its
+/// structure (shift-xor-multiply) shares nothing with FNV-1a's
+/// byte-wise xor-multiply, so the two lanes evolve as independent
+/// 64-bit streams and the combined signature keeps its intended
+/// ~128-bit collision bound (a signature collision would silently
+/// serve another fragment's rows).
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
 }
 
 /// Encode one term against a variable-renumbering map, assigning the
@@ -132,10 +145,10 @@ impl ViewSignature {
 
     fn hash_tokens(tokens: &[u64]) -> ViewSignature {
         let mut hi = FNV_OFFSET_A;
-        let mut lo = FNV_OFFSET_B;
+        let mut lo = SPLITMIX_SEED;
         for &t in tokens {
             hi = fnv(hi, t);
-            lo = fnv(lo, t.rotate_left(17));
+            lo = splitmix(lo ^ t);
         }
         ViewSignature { hi, lo }
     }
@@ -247,11 +260,35 @@ struct ViewEntry {
 #[derive(Default)]
 struct Inner {
     entries: FxHashMap<ViewSignature, ViewEntry>,
+    /// Secondary index: body signature → full signatures of resident
+    /// entries with that body (several heads can share one body), so
+    /// [`ViewCatalog::body_tuples`] — called once per candidate
+    /// fragment during cover search — is O(1) instead of a linear scan
+    /// of the catalog under the mutex.
+    bodies: FxHashMap<ViewSignature, Vec<ViewSignature>>,
     total_tuples: usize,
     epoch: u64,
     hits: u64,
     misses: u64,
     invalidated: u64,
+}
+
+impl Inner {
+    fn index_body(&mut self, body: ViewSignature, sig: ViewSignature) {
+        let sigs = self.bodies.entry(body).or_default();
+        if !sigs.contains(&sig) {
+            sigs.push(sig);
+        }
+    }
+
+    fn unindex_body(&mut self, body: &ViewSignature, sig: &ViewSignature) {
+        if let Some(sigs) = self.bodies.get_mut(body) {
+            sigs.retain(|s| s != sig);
+            if sigs.is_empty() {
+                self.bodies.remove(body);
+            }
+        }
+    }
 }
 
 /// Aggregate catalog statistics (for `/metrics`, the query log and the
@@ -342,9 +379,15 @@ impl ViewCatalog {
         }
         let epoch = inner.epoch;
         inner.total_tuples = inner.total_tuples - replaced + tuples;
-        inner
+        if let Some(old) = inner
             .entries
-            .insert(sig, ViewEntry { rows: Arc::new(rows), footprint, body, epoch, tuples });
+            .insert(sig, ViewEntry { rows: Arc::new(rows), footprint, body, epoch, tuples })
+        {
+            if old.body != body {
+                inner.unindex_body(&old.body, &sig);
+            }
+        }
+        inner.index_body(body, sig);
         true
     }
 
@@ -360,7 +403,9 @@ impl ViewCatalog {
     /// an estimate, never an answer).
     pub fn body_tuples(&self, body: &ViewSignature) -> Option<usize> {
         let inner = self.lock();
-        inner.entries.values().find(|e| e.epoch == inner.epoch && e.body == *body).map(|e| e.tuples)
+        inner.bodies.get(body)?.iter().find_map(|sig| {
+            inner.entries.get(sig).filter(|e| e.epoch == inner.epoch).map(|e| e.tuples)
+        })
     }
 
     /// Resolve a view for a request pinned to `epoch`: the rows are
@@ -391,17 +436,22 @@ impl ViewCatalog {
         let mut inner = self.lock();
         let stale_epoch = inner.epoch;
         let mut dropped = Vec::new();
+        let mut dropped_bodies = Vec::new();
         inner.entries.retain(|sig, e| {
             // An entry already off-epoch can't be revalidated by
             // restamping — it was computed against some other state.
             if e.epoch != stale_epoch || e.footprint.intersects(delta) {
                 dropped.push(*sig);
+                dropped_bodies.push(e.body);
                 false
             } else {
                 e.epoch = new_epoch;
                 true
             }
         });
+        for (sig, body) in dropped.iter().zip(&dropped_bodies) {
+            inner.unindex_body(body, sig);
+        }
         let freed: usize = dropped.len();
         inner.total_tuples = inner.entries.values().map(|e| e.tuples).sum();
         inner.invalidated += freed as u64;
@@ -416,6 +466,7 @@ impl ViewCatalog {
         let mut inner = self.lock();
         let n = inner.entries.len() as u64;
         inner.entries.clear();
+        inner.bodies.clear();
         inner.total_tuples = 0;
         inner.invalidated += n;
     }
@@ -594,6 +645,8 @@ mod tests {
         assert_eq!(catalog.contains_current(&sig_a), Some(2));
         assert!(catalog.resolve(&sig_a, 0).is_some());
         assert!(catalog.resolve(&sig_a, 1).is_none(), "wrong epoch never resolves");
+        assert_eq!(catalog.body_tuples(&ViewSignature::body_of(&frag_a)), Some(2));
+        assert_eq!(catalog.body_tuples(&ViewSignature::body_of(&frag_b)), None);
 
         // A delta on predicate 10 invalidates exactly frag_a.
         let delta = DeltaFootprint::from_triples(
@@ -605,6 +658,11 @@ mod tests {
         assert!(catalog.resolve(&sig_a, 1).is_none());
         assert_eq!(catalog.stats().entries, 0);
         assert_eq!(catalog.stats().invalidated, 1);
+        assert_eq!(
+            catalog.body_tuples(&ViewSignature::body_of(&frag_a)),
+            None,
+            "the body index drops with the entry"
+        );
 
         // A surviving entry is restamped and resolves at the new epoch.
         assert!(catalog.insert(
@@ -617,5 +675,12 @@ mod tests {
         assert!(dropped.is_empty(), "predicate 11 does not intersect a predicate-10 delta");
         assert!(catalog.resolve(&sig_b, 2).is_some());
         assert!(catalog.resolve(&sig_b, 1).is_none());
+        assert_eq!(
+            catalog.body_tuples(&ViewSignature::body_of(&frag_b)),
+            Some(2),
+            "a restamped survivor still probes by body"
+        );
+        catalog.clear();
+        assert_eq!(catalog.body_tuples(&ViewSignature::body_of(&frag_b)), None);
     }
 }

@@ -78,6 +78,57 @@ fn pinned_views_serve_identical_answers_and_count_hits() {
     assert_eq!(r.view_catalog_size, 1);
 }
 
+/// The catalog is a *cross-query* cache: the canonical signature
+/// renumbers variables, so pinning the `knows` fragment from one query
+/// must serve an isomorphic fragment of a *different* query whose
+/// VarIds differ (here the fragment sits after another atom, so its
+/// variables number 1,2 instead of 0,1). The copy must be positional —
+/// realigning by per-query VarId panics or permutes columns.
+#[test]
+fn cross_query_isomorphic_fragment_serves_from_the_catalog() {
+    const CHAIN_TTL: &str = r#"
+        @prefix ex: <http://example.org/> .
+        ex:advises rdfs:subPropertyOf ex:knows .
+        ex:teaches rdfs:subPropertyOf ex:employs .
+        ex:a1 ex:advises ex:s1 .
+        ex:a2 ex:knows ex:s2 .
+        ex:u1 ex:teaches ex:a1 .
+        ex:u2 ex:employs ex:a2 .
+    "#;
+    const Q_CHAIN: &str = "SELECT ?a ?b ?c WHERE { \
+         ?a <http://example.org/employs> ?b . \
+         ?b <http://example.org/knows> ?c . }";
+
+    let mut db = RdfDatabase::with_profile(EngineProfile::default().with_view_scans(true));
+    db.load_turtle(CHAIN_TTL).expect("schema + data load");
+    db.enable_views(10_000);
+
+    // Pin query A's single `knows` fragment (head VarIds 0, 1).
+    let qa = db.parse_query(Q_KNOWS).unwrap();
+    assert_eq!(db.pin_cover_fragments(&qa, &Strategy::Scq, None).unwrap(), 1);
+
+    // Query B's SCQ cover contains an isomorphic `knows` fragment with
+    // different VarIds; it must hit the pinned entry and the chain join
+    // must still bind the columns correctly.
+    let hits_before = db.view_stats().unwrap().hits;
+    let qb = db.parse_query(Q_CHAIN).unwrap();
+    let r = db.answer(&qb, &Strategy::Scq).expect("cross-query view hit answers");
+    let got = fingerprint(db.decode_rows(&r.rows));
+    assert!(
+        db.view_stats().unwrap().hits > hits_before,
+        "the isomorphic fragment resolved from the catalog"
+    );
+    assert_eq!(got.len(), 2, "both employs∘knows chains bind");
+
+    // Differential check against a view-free database.
+    let mut oracle = RdfDatabase::with_profile(EngineProfile::default().with_view_scans(false));
+    oracle.load_turtle(CHAIN_TTL).unwrap();
+    let q = oracle.parse_query(Q_CHAIN).unwrap();
+    let want_rows = oracle.answer(&q, &Strategy::Scq).unwrap().rows;
+    let want = fingerprint(oracle.decode_rows(&want_rows));
+    assert_eq!(got, want, "view-served chain answer identical to the no-views oracle");
+}
+
 #[test]
 fn saturation_never_consults_the_catalog() {
     let mut db = views_db();
