@@ -20,7 +20,7 @@ use jucq_store::EngineProfile;
 
 const SEQUENTIAL: usize = 1;
 const PARALLEL: usize = 4;
-const WARM: u32 = 2;
+const WARM: u32 = 3;
 
 struct Measurement {
     query: String,
@@ -29,20 +29,22 @@ struct Measurement {
     par: Option<Duration>,
 }
 
-/// Average warm evaluation time of one query, or `None` on failure.
+/// Best-of-`WARM` warm evaluation time of one query, or `None` on
+/// failure — the minimum is the standard noise-robust estimator for a
+/// deterministic computation.
 fn measure(
     db: &mut jucq_core::RdfDatabase,
     q: &jucq_reformulation::BgpQuery,
     strategy: &Strategy,
 ) -> Option<Duration> {
     db.answer(q, strategy).ok()?; // warm-up
-    let mut total = Duration::ZERO;
+    let mut best = Duration::MAX;
     for _ in 0..WARM {
         let started = Instant::now();
         db.answer(q, strategy).ok()?;
-        total += started.elapsed();
+        best = best.min(started.elapsed());
     }
-    Some(total / WARM)
+    Some(best)
 }
 
 fn ms(d: Option<Duration>) -> String {
@@ -64,26 +66,36 @@ fn main() {
     let strategies: [(&'static str, Strategy); 2] =
         [("UCQ", Strategy::Ucq), ("GCov", Strategy::gcov_default())];
 
-    let mut measurements: Vec<Measurement> = Vec::new();
-    for (threads, slot) in [(SEQUENTIAL, 0usize), (PARALLEL, 1usize)] {
-        eprintln!("[parallelism {threads}] running workload...");
-        db.set_profile(EngineProfile::pg_like().with_parallelism(threads));
-        for (name, q) in &queries {
-            for (label, strategy) in &strategies {
-                let t = measure(&mut db, q, strategy);
-                if slot == 0 {
-                    measurements.push(Measurement {
-                        query: name.clone(),
-                        strategy: label,
-                        seq: t,
-                        par: None,
-                    });
-                } else {
-                    let m = measurements
-                        .iter_mut()
-                        .find(|m| &m.query == name && &m.strategy == label)
-                        .expect("sequential pass recorded this cell");
-                    m.par = t;
+    // The two parallelism legs alternate within each round so machine
+    // drift over the run hits both equally; per-cell minima accumulate
+    // across rounds.
+    const ROUNDS: u32 = 3;
+    let mut measurements: Vec<Measurement> = queries
+        .iter()
+        .flat_map(|(name, _)| {
+            strategies.iter().map(|(label, _)| Measurement {
+                query: name.clone(),
+                strategy: label,
+                seq: None,
+                par: None,
+            })
+        })
+        .collect();
+    for round in 0..ROUNDS {
+        eprintln!("round {}/{ROUNDS}...", round + 1);
+        for (threads, slot) in [(SEQUENTIAL, 0usize), (PARALLEL, 1usize)] {
+            db.set_profile(EngineProfile::pg_like().with_parallelism(threads));
+            let mut mi = 0;
+            for (_, q) in &queries {
+                for (_, strategy) in &strategies {
+                    let t = measure(&mut db, q, strategy);
+                    let cell = &mut measurements[mi];
+                    let best = if slot == 0 { &mut cell.seq } else { &mut cell.par };
+                    *best = match (*best, t) {
+                        (Some(a), Some(b)) => Some(a.min(b)),
+                        (prev, fresh) => fresh.or(prev),
+                    };
+                    mi += 1;
                 }
             }
         }
@@ -139,6 +151,19 @@ fn main() {
     jucq_obs::metrics::gauge_set("bench.par_speedup.sequential_ms", seq_total.as_secs_f64() * 1e3);
     jucq_obs::metrics::gauge_set("bench.par_speedup.parallel_ms", par_total.as_secs_f64() * 1e3);
     jucq_obs::metrics::gauge_set("bench.par_speedup.speedup", speedup);
+
+    // Requesting workers must never cost wall time. On a single-core
+    // host `eval_unions` runs the sequential path outright, so the
+    // worker pool's fan-out overhead cannot produce the sub-1.0
+    // "speedups" the seed measured (0.88x at 4 workers on 1 core); on
+    // multi-core hosts the parallel leg should win outright.
+    assert!(
+        speedup >= 0.98,
+        "parallelism regressed the workload: {speedup:.2}x (seq {:.1} ms, par {:.1} ms, \
+         {hardware} hardware threads)",
+        seq_total.as_secs_f64() * 1e3,
+        par_total.as_secs_f64() * 1e3,
+    );
 
     // Always write the machine-readable sidecar: the speedup number is
     // the experiment's artifact, not an optional trace.

@@ -1067,6 +1067,9 @@ pub(crate) fn answer_on(
     jucq_obs::metrics::counter_add("exec.tuples_joined", c.tuples_joined);
     jucq_obs::metrics::counter_add("exec.tuples_materialized", c.tuples_materialized);
     jucq_obs::metrics::counter_add("exec.tuples_deduped", c.tuples_deduped);
+    jucq_obs::metrics::counter_add("exec.sorts_elided", c.sorts_elided);
+    jucq_obs::metrics::counter_add("exec.gallop_seeks", c.gallop_seeks);
+    jucq_obs::metrics::counter_add("exec.scan_rows_borrowed", c.scan_rows_borrowed);
     jucq_obs::metrics::histogram_record("pipeline.planning.ns", planning_time.as_nanos() as u64);
     jucq_obs::metrics::histogram_record("pipeline.execution.ns", outcome.elapsed.as_nanos() as u64);
     if let Some(cache) = ctx.cache {

@@ -49,6 +49,12 @@ pub struct RecordCounters {
     /// Epoch-exact materialized-view resolutions (`ViewScan` leaves
     /// served from the catalog; `jucq-log/3`, 0 from earlier lines).
     pub view_hits: u64,
+    /// Merge-join sort passes skipped because the input already arrived
+    /// in key order (`jucq-log/4`, 0 from earlier lines).
+    pub sorts_elided: u64,
+    /// Galloping (exponential-probe) seeks taken by skewed merge joins
+    /// (`jucq-log/4`, 0 from earlier lines).
+    pub gallop_seeks: u64,
 }
 
 /// One profiled plan node: the estimate/actual pair behind the Q-error.
@@ -154,7 +160,7 @@ impl QueryRecord {
         let mut out = String::with_capacity(512);
         let _ = write!(
             out,
-            "{{\"schema\":\"jucq-log/3\",\"seq\":{},\"query\":\"{}\",\"fingerprint\":\"{}\",\
+            "{{\"schema\":\"jucq-log/4\",\"seq\":{},\"query\":\"{}\",\"fingerprint\":\"{}\",\
              \"strategy\":\"{}\",\"profile\":\"{}\",\"outcome\":\"{}\",\"rows\":{},\
              \"union_terms\":{},\"planning_ns\":{},\"eval_ns\":{}",
             self.seq,
@@ -201,7 +207,8 @@ impl QueryRecord {
             out,
             ",\"counters\":{{\"tuples_scanned\":{},\"tuples_joined\":{},\
              \"tuples_materialized\":{},\"tuples_deduped\":{},\"sip_probes\":{},\
-             \"sip_drops\":{},\"range_scans\":{},\"view_hits\":{}}}",
+             \"sip_drops\":{},\"range_scans\":{},\"view_hits\":{},\"sorts_elided\":{},\
+             \"gallop_seeks\":{}}}",
             c.tuples_scanned,
             c.tuples_joined,
             c.tuples_materialized,
@@ -210,6 +217,8 @@ impl QueryRecord {
             c.sip_drops,
             c.range_scans,
             c.view_hits,
+            c.sorts_elided,
+            c.gallop_seeks,
         );
         let _ = write!(
             out,
@@ -252,16 +261,18 @@ impl QueryRecord {
 
     /// Parse one JSONL line produced by [`QueryRecord::to_json_line`].
     ///
-    /// Accepts `jucq-log/1` (pre-range), `jucq-log/2` (pre-views) and
-    /// `jucq-log/3` lines — replaying an old log against a new build is
-    /// the whole point of the harness. Fields older versions lack
-    /// (`range_eligible`, `range_scans_used`, `counters.range_scans`
-    /// from `/1`; `view_catalog_size`, `counters.view_hits` from `/1`
-    /// and `/2`) default to 0.
+    /// Accepts `jucq-log/1` (pre-range), `jucq-log/2` (pre-views),
+    /// `jucq-log/3` (pre-ordering) and `jucq-log/4` lines — replaying
+    /// an old log against a new build is the whole point of the
+    /// harness. Fields older versions lack (`range_eligible`,
+    /// `range_scans_used`, `counters.range_scans` from `/1`;
+    /// `view_catalog_size`, `counters.view_hits` from `/1` and `/2`;
+    /// `counters.sorts_elided`, `counters.gallop_seeks` from `/1`–`/3`)
+    /// default to 0.
     pub fn from_json_line(line: &str) -> Result<QueryRecord, String> {
         let v = json::parse(line).map_err(|e| e.to_string())?;
         match v.get("schema").and_then(Value::as_str) {
-            Some("jucq-log/1" | "jucq-log/2" | "jucq-log/3") => {}
+            Some("jucq-log/1" | "jucq-log/2" | "jucq-log/3" | "jucq-log/4") => {}
             other => return Err(format!("unsupported query-log schema {other:?}")),
         }
         let str_field = |key: &str| -> Result<String, String> {
@@ -343,6 +354,8 @@ impl QueryRecord {
                 sip_drops: counter("sip_drops")?,
                 range_scans: counters_v.get("range_scans").and_then(Value::as_u64).unwrap_or(0),
                 view_hits: counters_v.get("view_hits").and_then(Value::as_u64).unwrap_or(0),
+                sorts_elided: counters_v.get("sorts_elided").and_then(Value::as_u64).unwrap_or(0),
+                gallop_seeks: counters_v.get("gallop_seeks").and_then(Value::as_u64).unwrap_or(0),
             },
             cover_cache_hit: opt_bool("cover_cache_hit"),
             plan_cache_hit: opt_bool("plan_cache_hit"),
@@ -568,6 +581,8 @@ mod tests {
                 sip_drops: 4,
                 range_scans: 2,
                 view_hits: 5,
+                sorts_elided: 6,
+                gallop_seeks: 9,
             },
             cover_cache_hit: Some(false),
             plan_cache_hit: None,
@@ -612,15 +627,19 @@ mod tests {
     #[test]
     fn v1_lines_still_parse_with_range_fields_defaulted() {
         // A line exactly as the jucq-log/1 writer produced it: no
-        // `range_eligible`/`range_scans_used`, no `range_scans` or
-        // `view_hits` counters, no `view_catalog_size`.
+        // `range_eligible`/`range_scans_used`, no `range_scans`,
+        // `view_hits` or ordering counters, no `view_catalog_size`.
         let line = sample_record()
             .to_json_line()
-            .replace("\"schema\":\"jucq-log/3\"", "\"schema\":\"jucq-log/1\"")
-            .replace(",\"range_scans\":2,\"view_hits\":5}", "}")
+            .replace("\"schema\":\"jucq-log/4\"", "\"schema\":\"jucq-log/1\"")
+            .replace(
+                ",\"range_scans\":2,\"view_hits\":5,\"sorts_elided\":6,\"gallop_seeks\":9}",
+                "}",
+            )
             .replace(",\"range_eligible\":1,\"range_scans_used\":2,\"view_catalog_size\":3", "");
         assert!(!line.contains("range"), "v1 line must carry no range fields: {line}");
         assert!(!line.contains("view"), "v1 line must carry no view fields: {line}");
+        assert!(!line.contains("sorts_elided"), "v1 line must carry no ordering fields: {line}");
         let parsed = QueryRecord::from_json_line(&line).expect("v1 parses");
         assert_eq!(parsed.counters.range_scans, 0);
         assert_eq!(parsed.range_eligible, 0);
@@ -631,21 +650,23 @@ mod tests {
         expect.range_scans_used = 0;
         expect.counters.view_hits = 0;
         expect.view_catalog_size = 0;
+        expect.counters.sorts_elided = 0;
+        expect.counters.gallop_seeks = 0;
         assert_eq!(parsed, expect);
-        // And the re-rendered line upgrades to /3 losslessly.
-        let upgraded = QueryRecord::from_json_line(&parsed.to_json_line()).expect("v3 parses");
+        // And the re-rendered line upgrades to /4 losslessly.
+        let upgraded = QueryRecord::from_json_line(&parsed.to_json_line()).expect("v4 parses");
         assert_eq!(upgraded, expect);
     }
 
     #[test]
     fn v2_lines_still_parse_with_view_fields_defaulted() {
         // A line exactly as the jucq-log/2 writer produced it: range
-        // fields present, but no `view_hits` counter and no
-        // `view_catalog_size`.
+        // fields present, but no `view_hits` or ordering counters and
+        // no `view_catalog_size`.
         let line = sample_record()
             .to_json_line()
-            .replace("\"schema\":\"jucq-log/3\"", "\"schema\":\"jucq-log/2\"")
-            .replace(",\"view_hits\":5}", "}")
+            .replace("\"schema\":\"jucq-log/4\"", "\"schema\":\"jucq-log/2\"")
+            .replace(",\"view_hits\":5,\"sorts_elided\":6,\"gallop_seeks\":9}", "}")
             .replace(",\"view_catalog_size\":3", "");
         assert!(!line.contains("view"), "v2 line must carry no view fields: {line}");
         let parsed = QueryRecord::from_json_line(&line).expect("v2 parses");
@@ -655,9 +676,33 @@ mod tests {
         let mut expect = sample_record();
         expect.counters.view_hits = 0;
         expect.view_catalog_size = 0;
+        expect.counters.sorts_elided = 0;
+        expect.counters.gallop_seeks = 0;
         assert_eq!(parsed, expect);
-        // And the re-rendered line upgrades to /3 losslessly.
-        let upgraded = QueryRecord::from_json_line(&parsed.to_json_line()).expect("v3 parses");
+        // And the re-rendered line upgrades to /4 losslessly.
+        let upgraded = QueryRecord::from_json_line(&parsed.to_json_line()).expect("v4 parses");
+        assert_eq!(upgraded, expect);
+    }
+
+    #[test]
+    fn v3_lines_still_parse_with_ordering_counters_defaulted() {
+        // A line exactly as the jucq-log/3 writer produced it: range and
+        // view fields present, but no `sorts_elided`/`gallop_seeks`.
+        let line = sample_record()
+            .to_json_line()
+            .replace("\"schema\":\"jucq-log/4\"", "\"schema\":\"jucq-log/3\"")
+            .replace(",\"sorts_elided\":6,\"gallop_seeks\":9}", "}");
+        assert!(!line.contains("sorts_elided"), "v3 line must carry no ordering fields: {line}");
+        let parsed = QueryRecord::from_json_line(&line).expect("v3 parses");
+        assert_eq!(parsed.counters.view_hits, 5, "view fields survive");
+        assert_eq!(parsed.counters.sorts_elided, 0);
+        assert_eq!(parsed.counters.gallop_seeks, 0);
+        let mut expect = sample_record();
+        expect.counters.sorts_elided = 0;
+        expect.counters.gallop_seeks = 0;
+        assert_eq!(parsed, expect);
+        // And the re-rendered line upgrades to /4 losslessly.
+        let upgraded = QueryRecord::from_json_line(&parsed.to_json_line()).expect("v4 parses");
         assert_eq!(upgraded, expect);
     }
 

@@ -316,7 +316,11 @@ impl<'a> CoverSearch<'a> {
     /// functions of the statistics), so callers folding the returned
     /// vector in order make exactly the sequential decisions.
     pub fn cover_costs(&self, covers: &[Cover]) -> Vec<f64> {
-        let workers = self.parallelism.min(covers.len());
+        // On single-core hardware scoring workers are pure overhead —
+        // take the sequential path outright, mirroring the executor's
+        // `eval_unions` gate.
+        let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let workers = if hw <= 1 { 1 } else { self.parallelism.min(covers.len()) };
         if workers <= 1 {
             return covers.iter().map(|c| self.cover_cost(c)).collect();
         }

@@ -37,7 +37,7 @@ use crate::exec::union::DedupAccumulator;
 use crate::exec::{join, ExecContext};
 use crate::ir::{PatternTerm, StorePattern, VarId};
 use crate::relation::Relation;
-use crate::table::{RangePos, TripleTable};
+use crate::table::{Perm, RangePos, TripleTable};
 
 const HASH_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
 
@@ -151,6 +151,7 @@ pub(crate) fn apply_sip_filter(
 pub(crate) fn scan_pattern_batched(
     table: &TripleTable,
     p: &StorePattern,
+    perm: Option<Perm>,
     ctx: &mut ExecContext<'_>,
 ) -> Result<Relation, EngineError> {
     let vars = p.variables();
@@ -162,8 +163,10 @@ pub(crate) fn scan_pattern_batched(
         })
         .collect();
     let check_repeats = p.has_repeated_var();
-    let extent = table.scan(&p.bound());
+    let bound = p.bound();
+    let extent = table.scan_with(perm.unwrap_or_else(|| Perm::for_bound(&bound)), &bound);
     let batch = ctx.profile().effective_batch_rows();
+    ctx.counters.rows_reserved += extent.len() as u64;
     let mut out = Relation::with_capacity(vars.to_vec(), extent.len());
     let zero_width = vars.is_empty();
     let mut flat: Vec<TermId> = Vec::with_capacity(batch * vars.len());
@@ -219,6 +222,7 @@ pub(crate) fn scan_range_batched(
     }
     let extent = table.scan_value_range(&bound, ranged, lo, hi);
     let batch = ctx.profile().effective_batch_rows();
+    ctx.counters.rows_reserved += extent.len() as u64;
     let mut out = Relation::with_capacity(vars.to_vec(), extent.len());
     let zero_width = vars.is_empty();
     let mut flat: Vec<TermId> = Vec::with_capacity(batch * vars.len());
@@ -506,11 +510,12 @@ pub(crate) fn project_head_batched(
 pub(crate) fn hash_join_batched(
     left: &Relation,
     right: &Relation,
+    opts: join::JoinOpts,
     ctx: &mut ExecContext<'_>,
 ) -> Result<Relation, EngineError> {
     ctx.check_deadline()?;
     let p = join::plan(left, right);
-    let mut out = Relation::empty(p.out_vars.clone());
+    let mut out = join::sized_output(p.out_vars.clone(), opts.est, ctx);
     if left.is_empty() || right.is_empty() {
         return Ok(out);
     }
@@ -584,15 +589,19 @@ fn gather_keys(rel: &Relation, cols: &[usize]) -> Vec<TermId> {
 /// flat buffers (the row path allocates a key `Vec` per comparison),
 /// then sorted and merged with batched emission. The sort comparator
 /// orders exactly like the row path's, so the output row sequence is
-/// identical.
+/// identical — as are the order-aware effects: sort elision verifies the
+/// same claim on the same key sequence, and galloping fires under the
+/// same size-skew test, so `sorts_elided` / `gallop_seeks` match the
+/// row kernel exactly.
 pub(crate) fn sort_merge_join_batched(
     left: &Relation,
     right: &Relation,
+    opts: join::JoinOpts,
     ctx: &mut ExecContext<'_>,
 ) -> Result<Relation, EngineError> {
     ctx.check_deadline()?;
     let p = join::plan(left, right);
-    let mut out = Relation::empty(p.out_vars.clone());
+    let mut out = join::sized_output(p.out_vars.clone(), opts.est, ctx);
     if left.is_empty() || right.is_empty() {
         return Ok(out);
     }
@@ -602,17 +611,83 @@ pub(crate) fn sort_merge_join_batched(
     fn slice_key(keys: &[TermId], i: usize, k: usize) -> &[TermId] {
         &keys[i * k..i * k + k]
     }
-    let mut lids: Vec<u32> = (0..left.len() as u32).collect();
-    lids.sort_unstable_by(|&a, &b| {
-        slice_key(&lkeys, a as usize, k).cmp(slice_key(&lkeys, b as usize, k))
-    });
-    let mut rids: Vec<u32> = (0..right.len() as u32).collect();
-    rids.sort_unstable_by(|&a, &b| {
-        slice_key(&rkeys, a as usize, k).cmp(slice_key(&rkeys, b as usize, k))
-    });
+    // Mirror of the row kernel's prefix detection: the longest key
+    // prefix the input already arrives sorted on, in one linear pass.
+    let sorted_prefix = |keys: &[TermId], n: usize| -> usize {
+        let mut j = k;
+        for x in 1..n {
+            let (a, b) = (slice_key(keys, x - 1, k), slice_key(keys, x, k));
+            for c in 0..j {
+                match a[c].cmp(&b[c]) {
+                    std::cmp::Ordering::Less => break,
+                    std::cmp::Ordering::Equal => continue,
+                    std::cmp::Ordering::Greater => {
+                        j = c;
+                        break;
+                    }
+                }
+            }
+            if j == 0 {
+                break;
+            }
+        }
+        j
+    };
+    let aware = ctx.profile().order_aware;
+    let order_side = |keys: &[TermId], n: usize, elide: bool| -> (Vec<u32>, bool) {
+        let mut ids: Vec<u32> = (0..n as u32).collect();
+        let cmp_full =
+            |&a: &u32, &b: &u32| slice_key(keys, a as usize, k).cmp(slice_key(keys, b as usize, k));
+        if aware {
+            if n <= 1 {
+                return (ids, elide);
+            }
+            let j = sorted_prefix(keys, n);
+            if j == k {
+                // Fully sorted: merge in input order (only a claimed
+                // elision is counted — see the row kernel).
+                return (ids, elide);
+            }
+            if j > 0 {
+                // Sorted on a strict key prefix: sort only within the
+                // runs of equal prefix — O(n log run) not O(n log n).
+                let mut s = 0;
+                while s < n {
+                    let mut e = s + 1;
+                    while e < n && slice_key(keys, s, k)[..j] == slice_key(keys, e, k)[..j] {
+                        e += 1;
+                    }
+                    ids[s..e].sort_unstable_by(cmp_full);
+                    s = e;
+                }
+                return (ids, false);
+            }
+        } else if elide && (1..n).all(|x| slice_key(keys, x - 1, k) <= slice_key(keys, x, k)) {
+            return (ids, true);
+        }
+        ids.sort_unstable_by(cmp_full);
+        (ids, false)
+    };
+    let (lids, l_elided) = order_side(&lkeys, left.len(), opts.elide.0);
+    let (rids, r_elided) = order_side(&rkeys, right.len(), opts.elide.1);
+    // Mirror of the row kernel: an elided side is merged in input order
+    // and skips the materialization charge.
+    let mut charged = 0usize;
+    for (elided, n) in [(l_elided, left.len()), (r_elided, right.len())] {
+        if elided {
+            ctx.counters.sorts_elided += 1;
+        } else {
+            charged += n;
+        }
+    }
     ctx.tick_n((left.len() + right.len()) as u64)?;
-    ctx.counters.tuples_materialized += (left.len() + right.len()) as u64;
+    ctx.counters.tuples_materialized += charged as u64;
     ctx.check_memory(left.len() + right.len())?;
+    // Mirror of the row kernel: galloping is gated on the order-aware
+    // knob so `JUCQ_ORDER=0` falls back to row-at-a-time stepping.
+    let gallop = ctx.profile().order_aware;
+    let gallop_l = gallop && left.len() >= join::GALLOP_SKEW * right.len();
+    let gallop_r = gallop && right.len() >= join::GALLOP_SKEW * left.len();
 
     let width = out.width();
     let zero_width = width == 0;
@@ -624,8 +699,26 @@ pub(crate) fn sort_merge_join_batched(
         let lk = slice_key(&lkeys, lids[i] as usize, k);
         let rk = slice_key(&rkeys, rids[j] as usize, k);
         match lk.cmp(rk) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Less => {
+                if gallop_l {
+                    i = join::gallop_to(i, lids.len(), |x| {
+                        slice_key(&lkeys, lids[x] as usize, k) >= rk
+                    });
+                    ctx.counters.gallop_seeks += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            std::cmp::Ordering::Greater => {
+                if gallop_r {
+                    j = join::gallop_to(j, rids.len(), |x| {
+                        slice_key(&rkeys, rids[x] as usize, k) >= lk
+                    });
+                    ctx.counters.gallop_seeks += 1;
+                } else {
+                    j += 1;
+                }
+            }
             std::cmp::Ordering::Equal => {
                 let i_end = (i..lids.len())
                     .find(|&x| slice_key(&lkeys, lids[x] as usize, k) != lk)
@@ -819,12 +912,20 @@ mod tests {
         let r = rel(vec![1, 2], &[&[10, 100], &[10, 101], &[30, 300], &[40, 400]]);
         let row_profile = EngineProfile::pg_like().with_batch_size(0);
         let batch_profile = EngineProfile::pg_like().with_batch_size(2);
-        type JoinFn =
-            fn(&Relation, &Relation, &mut ExecContext<'_>) -> Result<Relation, EngineError>;
+        type JoinFn = Box<
+            dyn Fn(&Relation, &Relation, &mut ExecContext<'_>) -> Result<Relation, EngineError>,
+        >;
+        let opts = join::JoinOpts::default();
         let pairs: [(JoinFn, JoinFn); 3] = [
-            (join::hash_join, hash_join_batched),
-            (join::sort_merge_join, sort_merge_join_batched),
-            (join::block_nested_loop_join, block_nested_loop_join_batched),
+            (
+                Box::new(join::hash_join),
+                Box::new(move |l, r, ctx| hash_join_batched(l, r, opts, ctx)),
+            ),
+            (
+                Box::new(join::sort_merge_join),
+                Box::new(move |l, r, ctx| sort_merge_join_batched(l, r, opts, ctx)),
+            ),
+            (Box::new(join::block_nested_loop_join), Box::new(block_nested_loop_join_batched)),
         ];
         for (row_f, batch_f) in pairs {
             let mut rctx = ExecContext::new(&row_profile);
@@ -834,5 +935,40 @@ mod tests {
             assert_eq!(rows, batched, "identical rows in identical order");
             assert_eq!(rctx.counters, bctx.counters, "identical counters");
         }
+    }
+
+    #[test]
+    fn batched_merge_join_mirrors_order_aware_counters() {
+        let l = rel(vec![0, 1], &[&[1, 10], &[2, 20], &[3, 30], &[9, 30]]);
+        let r = rel(vec![1, 2], &[&[10, 100], &[10, 101], &[30, 300], &[40, 400]]);
+        let row_profile = EngineProfile::pg_like().with_batch_size(0);
+        let batch_profile = EngineProfile::pg_like().with_batch_size(2);
+        for elide in [(false, false), (true, false), (false, true), (true, true)] {
+            let opts = join::JoinOpts { elide, est: Some(4.0) };
+            let mut rctx = ExecContext::new(&row_profile);
+            let rows = join::sort_merge_join_opts(&l, &r, opts, &mut rctx).unwrap();
+            let mut bctx = ExecContext::new(&batch_profile);
+            let batched = sort_merge_join_batched(&l, &r, opts, &mut bctx).unwrap();
+            assert_eq!(rows, batched, "elide={elide:?}");
+            assert_eq!(rctx.counters, bctx.counters, "elide={elide:?}");
+        }
+    }
+
+    #[test]
+    fn batched_gallop_counts_match_row_kernel() {
+        let lrows: Vec<Vec<u32>> = (0..512).map(|i| vec![i, i * 2]).collect();
+        let lslices: Vec<&[u32]> = lrows.iter().map(Vec::as_slice).collect();
+        let l = rel(vec![0, 1], &lslices);
+        let r = rel(vec![0, 2], &[&[100, 7], &[400, 8]]);
+        let opts = join::JoinOpts::default();
+        let row_profile = EngineProfile::pg_like().with_batch_size(0);
+        let mut rctx = ExecContext::new(&row_profile);
+        let rows = join::sort_merge_join_opts(&l, &r, opts, &mut rctx).unwrap();
+        let batch_profile = EngineProfile::pg_like().with_batch_size(64);
+        let mut bctx = ExecContext::new(&batch_profile);
+        let batched = sort_merge_join_batched(&l, &r, opts, &mut bctx).unwrap();
+        assert_eq!(rows, batched);
+        assert!(rctx.counters.gallop_seeks > 0);
+        assert_eq!(rctx.counters, bctx.counters);
     }
 }

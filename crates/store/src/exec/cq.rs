@@ -28,7 +28,7 @@ use crate::exec::{batch, join, ExecContext};
 use crate::ir::{PatternTerm, StorePattern, VarId};
 use crate::plan::PlanNode;
 use crate::relation::Relation;
-use crate::table::{RangePos, TripleTable};
+use crate::table::{Perm, RangePos, TripleTable};
 
 /// Evaluate one lowered union member against `table`, with `shared`
 /// holding the plan's materialized shared scans. Bag semantics:
@@ -89,7 +89,9 @@ fn eval_access<'s>(
     ctx: &mut ExecContext<'_>,
 ) -> Result<Cow<'s, Relation>, EngineError> {
     match node {
-        PlanNode::IndexScan { pattern, .. } => Ok(Cow::Owned(scan_pattern(table, pattern, ctx)?)),
+        PlanNode::IndexScan { pattern, perm, .. } => {
+            Ok(Cow::Owned(scan_pattern_with(table, pattern, *perm, ctx)?))
+        }
         PlanNode::RangeScan { pattern, ranged, lo, hi, .. } => {
             Ok(Cow::Owned(scan_range(table, pattern, *ranged, *lo, *hi, ctx)?))
         }
@@ -105,14 +107,15 @@ fn eval_access<'s>(
             let acc = eval_access(table, input, shared, ctx)?;
             Ok(Cow::Owned(probe_extend_range(table, &acc, pattern, *ranged, *lo, *hi, ctx)?))
         }
-        PlanNode::HashJoin { left, right, step: None, .. } => {
+        PlanNode::HashJoin { left, right, step: None, est } => {
             let l = eval_access(table, left, shared, ctx)?;
             if l.is_empty() {
                 // Short-circuit: the right subtree is never scanned.
                 return Ok(l);
             }
             let r = eval_access(table, right, shared, ctx)?;
-            Ok(Cow::Owned(join::hash_join(&l, &r, ctx)?))
+            let opts = join::JoinOpts { elide: (false, false), est: *est };
+            Ok(Cow::Owned(join::hash_join_opts(&l, &r, opts, ctx)?))
         }
         other => unreachable!("not an access-path node: {other:?}"),
     }
@@ -166,19 +169,36 @@ pub(crate) fn repeated_vars_consistent(p: &StorePattern, t: &TripleId) -> bool {
     true
 }
 
-/// Scan one pattern into a relation over its distinct variables.
+/// Scan one pattern into a relation over its distinct variables, using
+/// the default permutation index for the bound positions.
 pub(crate) fn scan_pattern(
     table: &TripleTable,
     p: &StorePattern,
     ctx: &mut ExecContext<'_>,
 ) -> Result<Relation, EngineError> {
+    scan_pattern_with(table, p, None, ctx)
+}
+
+/// [`scan_pattern`] through an explicit permutation index: the
+/// order-aware planner picks `perm` so the scan's output order feeds a
+/// sort-elided merge join. Any candidate perm yields the same row *set*;
+/// only the emission order differs.
+pub(crate) fn scan_pattern_with(
+    table: &TripleTable,
+    p: &StorePattern,
+    perm: Option<Perm>,
+    ctx: &mut ExecContext<'_>,
+) -> Result<Relation, EngineError> {
     if ctx.profile().vectorized {
-        return batch::scan_pattern_batched(table, p, ctx);
+        return batch::scan_pattern_batched(table, p, perm, ctx);
     }
     let vars = p.variables();
-    let mut out = Relation::empty(vars.to_vec());
+    let bound = p.bound();
+    let extent = table.scan_with(perm.unwrap_or_else(|| Perm::for_bound(&bound)), &bound);
+    ctx.counters.rows_reserved += extent.len() as u64;
+    let mut out = Relation::with_capacity(vars.to_vec(), extent.len());
     let mut row: Vec<TermId> = Vec::with_capacity(vars.len());
-    for t in table.scan(&p.bound()) {
+    for t in extent {
         ctx.tick()?;
         ctx.counters.tuples_scanned += 1;
         if !repeated_vars_consistent(p, t) {
@@ -224,9 +244,11 @@ pub(crate) fn scan_range(
         RangePos::Object => bound[2] = None,
     }
     let vars = p.variables();
-    let mut out = Relation::empty(vars.to_vec());
+    let extent = table.scan_value_range(&bound, ranged, lo, hi);
+    ctx.counters.rows_reserved += extent.len() as u64;
+    let mut out = Relation::with_capacity(vars.to_vec(), extent.len());
     let mut row: Vec<TermId> = Vec::with_capacity(vars.len());
-    for t in table.scan_value_range(&bound, ranged, lo, hi) {
+    for t in extent {
         ctx.tick()?;
         ctx.counters.tuples_scanned += 1;
         if !repeated_vars_consistent(p, t) {

@@ -14,18 +14,92 @@ use crate::ir::VarId;
 use crate::profile::JoinAlgo;
 use crate::relation::Relation;
 
+/// Per-join options threaded from the plan node into a fragment join:
+/// the order-aware planner's merge sort-elision flags and the output
+/// cardinality estimate used to pre-size the result.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct JoinOpts {
+    /// Which merge-join inputs (left, right) the planner proved already
+    /// sorted on the join key (ignored by the other algorithms). The
+    /// kernel verifies the claim with one linear pass and falls back to
+    /// sorting if it does not hold, so a wrong flag costs performance,
+    /// never correctness.
+    pub elide: (bool, bool),
+    /// Estimated output rows.
+    pub est: Option<f64>,
+}
+
+/// Input-size skew ratio at which the merge advances the larger side
+/// with galloping (exponential-search) seeks instead of one row at a
+/// time.
+pub(crate) const GALLOP_SKEW: usize = 8;
+
+/// Rows of output capacity to reserve for a cardinality estimate,
+/// clamped so a wild over-estimate cannot allocate unboundedly ahead of
+/// the first memory check.
+pub(crate) fn reserve_rows(est: Option<f64>) -> usize {
+    const MAX_RESERVE: usize = 1 << 20;
+    est.map(|e| (e.max(0.0) as usize).min(MAX_RESERVE)).unwrap_or(0)
+}
+
+/// An output relation pre-sized from the plan estimate, recording the
+/// reservation so reserved-vs-actual can be compared downstream.
+pub(crate) fn sized_output(
+    vars: Vec<VarId>,
+    est: Option<f64>,
+    ctx: &mut ExecContext<'_>,
+) -> Relation {
+    let reserve = reserve_rows(est);
+    ctx.counters.rows_reserved += reserve as u64;
+    Relation::with_capacity(vars, reserve)
+}
+
+/// First index in `[lo, hi)` satisfying `pred`, assuming `pred` is
+/// monotone (false…false, then true…true) and `pred(lo)` is false:
+/// probe at exponentially growing offsets from `lo`, then binary-search
+/// the crossed window. Returns `hi` when no index satisfies `pred`.
+pub(crate) fn gallop_to(lo: usize, hi: usize, pred: impl Fn(usize) -> bool) -> usize {
+    let mut prev = lo;
+    let mut step = 1usize;
+    let mut top = hi;
+    loop {
+        let cand = match lo.checked_add(step) {
+            Some(c) if c < hi => c,
+            _ => break,
+        };
+        if pred(cand) {
+            top = cand;
+            break;
+        }
+        prev = cand;
+        step <<= 1;
+    }
+    // First true index in (prev, top], or `hi` when all remain false.
+    let (mut a, mut b) = (prev + 1, top);
+    while a < b {
+        let m = a + (b - a) / 2;
+        if pred(m) {
+            b = m;
+        } else {
+            a = m + 1;
+        }
+    }
+    a
+}
+
 /// Join `left` and `right` with `algo` (the plan node's fragment-join
 /// algorithm, chosen from the profile at planning time).
 pub fn fragment_join(
     algo: JoinAlgo,
     left: &Relation,
     right: &Relation,
+    opts: JoinOpts,
     ctx: &mut ExecContext<'_>,
 ) -> Result<Relation, EngineError> {
     let op = ctx.op_start();
     let out = match algo {
-        JoinAlgo::Hash => hash_join(left, right, ctx),
-        JoinAlgo::SortMerge => sort_merge_join(left, right, ctx),
+        JoinAlgo::Hash => hash_join_opts(left, right, opts, ctx),
+        JoinAlgo::SortMerge => sort_merge_join_opts(left, right, opts, ctx),
         JoinAlgo::BlockNestedLoop => block_nested_loop_join(left, right, ctx),
     }?;
     ctx.op_finish(op, op_name(algo), out.len() as u64);
@@ -89,12 +163,22 @@ pub fn hash_join(
     right: &Relation,
     ctx: &mut ExecContext<'_>,
 ) -> Result<Relation, EngineError> {
+    hash_join_opts(left, right, JoinOpts::default(), ctx)
+}
+
+/// [`hash_join`] with pre-sized output from the plan estimate.
+pub fn hash_join_opts(
+    left: &Relation,
+    right: &Relation,
+    opts: JoinOpts,
+    ctx: &mut ExecContext<'_>,
+) -> Result<Relation, EngineError> {
     if ctx.profile().vectorized {
-        return batch::hash_join_batched(left, right, ctx);
+        return batch::hash_join_batched(left, right, opts, ctx);
     }
     ctx.check_deadline()?;
     let p = plan(left, right);
-    let mut out = Relation::empty(p.out_vars.clone());
+    let mut out = sized_output(p.out_vars.clone(), opts.est, ctx);
     if left.is_empty() || right.is_empty() {
         return Ok(out);
     }
@@ -139,23 +223,111 @@ pub fn sort_merge_join(
     right: &Relation,
     ctx: &mut ExecContext<'_>,
 ) -> Result<Relation, EngineError> {
+    sort_merge_join_opts(left, right, JoinOpts::default(), ctx)
+}
+
+/// [`sort_merge_join`] with order-aware options: a side the planner
+/// proved sorted skips its sort (after one cheap linear verification —
+/// a violated claim falls back to sorting), and when input sizes are
+/// skewed ≥ [`GALLOP_SKEW`]× the larger side advances with galloping
+/// seeks instead of row-at-a-time stepping.
+pub fn sort_merge_join_opts(
+    left: &Relation,
+    right: &Relation,
+    opts: JoinOpts,
+    ctx: &mut ExecContext<'_>,
+) -> Result<Relation, EngineError> {
     if ctx.profile().vectorized {
-        return batch::sort_merge_join_batched(left, right, ctx);
+        return batch::sort_merge_join_batched(left, right, opts, ctx);
     }
     ctx.check_deadline()?;
     let p = plan(left, right);
-    let mut out = Relation::empty(p.out_vars.clone());
+    let mut out = sized_output(p.out_vars.clone(), opts.est, ctx);
     if left.is_empty() || right.is_empty() {
         return Ok(out);
     }
     let key_of =
         |row: &[TermId], cols: &[usize]| -> Vec<TermId> { cols.iter().map(|&c| row[c]).collect() };
-    let mut lids: Vec<usize> = (0..left.len()).collect();
-    lids.sort_unstable_by_key(|&i| key_of(left.row(i), &p.left_key));
-    let mut rids: Vec<usize> = (0..right.len()).collect();
-    rids.sort_unstable_by_key(|&i| key_of(right.row(i), &p.right_key));
-    ctx.counters.tuples_materialized += (left.len() + right.len()) as u64;
+    // Longest key prefix the input already arrives sorted on, found in
+    // one linear pass (early exit once no prefix survives).
+    let sorted_prefix = |rel: &Relation, key: &[usize]| -> usize {
+        let mut j = key.len();
+        for x in 1..rel.len() {
+            let (a, b) = (rel.row(x - 1), rel.row(x));
+            for (c, &col) in key.iter().enumerate().take(j) {
+                match a[col].cmp(&b[col]) {
+                    std::cmp::Ordering::Less => break,
+                    std::cmp::Ordering::Equal => continue,
+                    std::cmp::Ordering::Greater => {
+                        j = c;
+                        break;
+                    }
+                }
+            }
+            if j == 0 {
+                break;
+            }
+        }
+        j
+    };
+    let aware = ctx.profile().order_aware;
+    let order_side = |rel: &Relation, key: &[usize], elide: bool| -> (Vec<usize>, bool) {
+        let mut ids: Vec<usize> = (0..rel.len()).collect();
+        if aware {
+            if rel.len() <= 1 {
+                return (ids, elide);
+            }
+            let j = sorted_prefix(rel, key);
+            if j == key.len() {
+                // Fully sorted: merge in input order. Only a
+                // planner-claimed elision is counted (and exempted
+                // from the materialization charge) — an input sorted
+                // by coincidence still skips the sort, silently.
+                return (ids, elide);
+            }
+            if j > 0 {
+                // Sorted on a strict key prefix: sort only within the
+                // runs of equal prefix — O(n log run) not O(n log n).
+                let mut s = 0;
+                while s < ids.len() {
+                    let mut e = s + 1;
+                    while e < ids.len()
+                        && key[..j].iter().all(|&c| rel.row(ids[s])[c] == rel.row(ids[e])[c])
+                    {
+                        e += 1;
+                    }
+                    ids[s..e].sort_unstable_by_key(|&i| key_of(rel.row(i), key));
+                    s = e;
+                }
+                return (ids, false);
+            }
+        } else if elide
+            && (1..rel.len()).all(|x| key_of(rel.row(x - 1), key) <= key_of(rel.row(x), key))
+        {
+            return (ids, true);
+        }
+        ids.sort_unstable_by_key(|&i| key_of(rel.row(i), key));
+        (ids, false)
+    };
+    let (lids, l_elided) = order_side(left, &p.left_key, opts.elide.0);
+    let (rids, r_elided) = order_side(right, &p.right_key, opts.elide.1);
+    // An elided side is merged in input order — only sides actually
+    // sorted here are charged as materialized working set.
+    let mut charged = 0usize;
+    for (elided, n) in [(l_elided, left.len()), (r_elided, right.len())] {
+        if elided {
+            ctx.counters.sorts_elided += 1;
+        } else {
+            charged += n;
+        }
+    }
+    ctx.counters.tuples_materialized += charged as u64;
     ctx.check_memory(left.len() + right.len())?;
+    // Galloping is an order-aware execution feature: with the knob off
+    // (`JUCQ_ORDER=0`) the merge steps one row at a time.
+    let gallop = ctx.profile().order_aware;
+    let gallop_l = gallop && left.len() >= GALLOP_SKEW * right.len();
+    let gallop_r = gallop && right.len() >= GALLOP_SKEW * left.len();
 
     let mut row_buf: Vec<TermId> = Vec::with_capacity(out.width());
     let (mut i, mut j) = (0usize, 0usize);
@@ -164,8 +336,24 @@ pub fn sort_merge_join(
         let lk = key_of(left.row(lids[i]), &p.left_key);
         let rk = key_of(right.row(rids[j]), &p.right_key);
         match lk.cmp(&rk) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Less => {
+                if gallop_l {
+                    i = gallop_to(i, lids.len(), |x| key_of(left.row(lids[x]), &p.left_key) >= rk);
+                    ctx.counters.gallop_seeks += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            std::cmp::Ordering::Greater => {
+                if gallop_r {
+                    j = gallop_to(j, rids.len(), |x| {
+                        key_of(right.row(rids[x]), &p.right_key) >= lk
+                    });
+                    ctx.counters.gallop_seeks += 1;
+                } else {
+                    j += 1;
+                }
+            }
             std::cmp::Ordering::Equal => {
                 // Find the equal runs on both sides.
                 let i_end = (i..lids.len())
@@ -332,6 +520,109 @@ mod tests {
         assert_eq!(materialized[0], l.len().min(r.len()) as u64);
         assert_eq!(materialized[1], (l.len() + r.len()) as u64);
         assert_eq!(materialized[2], 0);
+    }
+
+    #[test]
+    fn gallop_to_finds_first_true_index() {
+        for n in [1usize, 2, 3, 7, 8, 9, 100] {
+            for first_true in 1..=n {
+                // pred true from `first_true` on (or never, when == n).
+                let got = gallop_to(0, n, |x| x >= first_true);
+                assert_eq!(got, first_true, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn sort_elision_matrix_matches_hash_join() {
+        // Sorted inputs on the shared var 1 (left col 1, right col 0).
+        let l = rel(vec![0, 1], &[&[3, 10], &[2, 20], &[1, 30], &[9, 30]]);
+        let r = rel(vec![1, 2], &[&[10, 100], &[10, 101], &[30, 300], &[40, 400]]);
+        let profile = EngineProfile::pg_like();
+        let mut hctx = ExecContext::new(&profile);
+        let mut expect = hash_join(&l, &r, &mut hctx).expect("hash join");
+        expect.sort();
+        for elide in [(false, false), (true, false), (false, true), (true, true)] {
+            let mut ctx = ExecContext::new(&profile);
+            let opts = JoinOpts { elide, est: None };
+            let mut got = sort_merge_join_opts(&l, &r, opts, &mut ctx).expect("merge join");
+            got.sort();
+            assert_eq!(got.to_rows(), expect.to_rows(), "elide={elide:?}");
+            let claimed = u64::from(elide.0) + u64::from(elide.1);
+            assert_eq!(ctx.counters.sorts_elided, claimed, "elide={elide:?}");
+            // Only genuinely sorted sides skip the materialization charge.
+            let mut charge = 0u64;
+            if !elide.0 {
+                charge += l.len() as u64;
+            }
+            if !elide.1 {
+                charge += r.len() as u64;
+            }
+            assert_eq!(ctx.counters.tuples_materialized, charge, "elide={elide:?}");
+        }
+    }
+
+    #[test]
+    fn false_elision_claim_falls_back_to_sorting() {
+        // Left is NOT sorted on the shared var: the claim must be
+        // rejected by the verification pass, not trusted.
+        let l = rel(vec![0, 1], &[&[1, 30], &[2, 10], &[3, 20]]);
+        let r = rel(vec![1, 2], &[&[10, 100], &[20, 200], &[30, 300]]);
+        let profile = EngineProfile::pg_like();
+        let mut ctx = ExecContext::new(&profile);
+        let opts = JoinOpts { elide: (true, true), est: None };
+        let mut got = sort_merge_join_opts(&l, &r, opts, &mut ctx).expect("merge join");
+        got.sort();
+        let mut hctx = ExecContext::new(&profile);
+        let mut expect = hash_join(&l, &r, &mut hctx).expect("hash join");
+        expect.sort();
+        assert_eq!(got.to_rows(), expect.to_rows());
+        assert_eq!(ctx.counters.sorts_elided, 1, "only the sorted right side elides");
+        assert_eq!(ctx.counters.tuples_materialized, l.len() as u64);
+    }
+
+    #[test]
+    fn skewed_merge_gallops_and_matches_hash_join() {
+        let lrows: Vec<Vec<u32>> = (0..512).map(|i| vec![i, i * 2]).collect();
+        let lslices: Vec<&[u32]> = lrows.iter().map(Vec::as_slice).collect();
+        let l = rel(vec![0, 1], &lslices);
+        let r = rel(vec![0, 2], &[&[100, 7], &[400, 8]]);
+        assert!(l.len() >= GALLOP_SKEW * r.len());
+        let profile = EngineProfile::pg_like();
+        let mut ctx = ExecContext::new(&profile);
+        let mut got =
+            sort_merge_join_opts(&l, &r, JoinOpts::default(), &mut ctx).expect("merge join");
+        got.sort();
+        assert!(ctx.counters.gallop_seeks > 0, "skewed sides should gallop");
+        let mut hctx = ExecContext::new(&profile);
+        let mut expect = hash_join(&l, &r, &mut hctx).expect("hash join");
+        expect.sort();
+        assert_eq!(got.to_rows(), expect.to_rows());
+
+        // With the order-aware knob off the same merge steps row by
+        // row: identical answer, zero gallop seeks.
+        let off = EngineProfile::pg_like().with_order_aware(false);
+        let mut octx = ExecContext::new(&off);
+        let mut plain =
+            sort_merge_join_opts(&l, &r, JoinOpts::default(), &mut octx).expect("merge join");
+        plain.sort();
+        assert_eq!(octx.counters.gallop_seeks, 0, "knob off must not gallop");
+        assert_eq!(plain.to_rows(), expect.to_rows());
+    }
+
+    #[test]
+    fn estimates_pre_size_join_outputs() {
+        let l = rel(vec![0, 1], &[&[1, 10], &[2, 20]]);
+        let r = rel(vec![1, 2], &[&[10, 100], &[20, 200]]);
+        let profile = EngineProfile::pg_like();
+        let mut ctx = ExecContext::new(&profile);
+        let opts = JoinOpts { elide: (false, false), est: Some(2.0) };
+        hash_join_opts(&l, &r, opts, &mut ctx).expect("hash join");
+        assert_eq!(ctx.counters.rows_reserved, 2);
+        // The clamp bounds pathological estimates.
+        assert_eq!(reserve_rows(Some(f64::MAX)), 1 << 20);
+        assert_eq!(reserve_rows(Some(-5.0)), 0);
+        assert_eq!(reserve_rows(None), 0);
     }
 
     #[test]

@@ -49,6 +49,19 @@ pub struct Counters {
     /// Fragments served from the materialized-view catalog (epoch-exact
     /// `ViewScan` resolutions; fallback unions do not count).
     pub view_hits: u64,
+    /// Merge-join inputs whose sort was skipped because the rows already
+    /// arrived in key order from a clustered permutation index.
+    pub sorts_elided: u64,
+    /// Galloping (exponential-search) seeks taken by skewed merge joins
+    /// in place of linear advancement on the larger side.
+    pub gallop_seeks: u64,
+    /// Scan rows handed to a consumer without the usual dedup/ownership
+    /// pass (zero-copy boundary: provably-distinct scan output).
+    pub scan_rows_borrowed: u64,
+    /// Rows of output capacity reserved up-front from the plan's
+    /// cardinality estimates (compare with actual output tuples to see
+    /// how well pre-sizing tracks reality).
+    pub rows_reserved: u64,
 }
 
 /// Per-filter probe/drop totals of one sideways-information-passing
@@ -256,6 +269,10 @@ impl<'a> ExecContext<'a> {
         self.counters.sip_drops += worker.counters.sip_drops;
         self.counters.range_scans += worker.counters.range_scans;
         self.counters.view_hits += worker.counters.view_hits;
+        self.counters.sorts_elided += worker.counters.sorts_elided;
+        self.counters.gallop_seeks += worker.counters.gallop_seeks;
+        self.counters.scan_rows_borrowed += worker.counters.scan_rows_borrowed;
+        self.counters.rows_reserved += worker.counters.rows_reserved;
         for s in worker.take_sip_stats() {
             self.record_sip(&s.label, s.probes, s.drops);
         }

@@ -36,6 +36,9 @@ pub(crate) struct UnionTask<'p> {
     pub head: &'p [VarId],
     /// Lowered member plans.
     pub members: &'p [PlanNode],
+    /// The planner's union-output estimate, used to pre-size the dedup
+    /// accumulator's row buffer.
+    pub est: Option<f64>,
     /// Sideways-information-passing filter published by an upstream
     /// fragment join: each member result is probed against it (and
     /// non-joining rows dropped) before merging into the union.
@@ -66,7 +69,12 @@ pub(crate) fn eval_unions(
         .enumerate()
         .flat_map(|(ui, u)| (0..u.members.len()).map(move |mi| (ui, mi)))
         .collect();
-    let desired = threads.min(tasks.len()).max(1);
+    // On single-core hardware extra workers are pure overhead (the
+    // process-wide permit pool's floor would still grant them), so the
+    // sequential path is taken outright regardless of the profile's
+    // thread request.
+    let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let desired = if hw <= 1 { 1 } else { threads.min(tasks.len()).max(1) };
     // Non-blocking admission: a zero grant just means "run sequential".
     let permits =
         if desired > 1 { Some(pool::PermitPool::global().try_acquire(desired - 1)) } else { None };
@@ -76,7 +84,16 @@ pub(crate) fn eval_unions(
         for u in unions {
             ctx.set_scope(format!("fragment[{}].", u.idx));
             let op = ctx.op_start();
-            let mut acc = DedupAccumulator::new(u.head.to_vec());
+            if union::borrowable(u.members, ctx) {
+                ctx.check_deadline()?;
+                let mut r = cq::eval_member(table, &u.members[0], shared, ctx)?;
+                if let Some(f) = u.filter {
+                    batch::apply_sip_filter(&mut r, f, ctx)?;
+                }
+                out.push(union::borrow_member(r, op, ctx)?);
+                continue;
+            }
+            let mut acc = DedupAccumulator::with_est(u.head.to_vec(), u.est, ctx);
             for m in u.members {
                 ctx.check_deadline()?;
                 let mut r = cq::eval_member(table, m, shared, ctx)?;
@@ -163,7 +180,15 @@ pub(crate) fn eval_unions(
     for u in unions {
         ctx.set_scope(format!("fragment[{}].", u.idx));
         let op = ctx.op_start();
-        let mut acc = DedupAccumulator::new(u.head.to_vec());
+        if union::borrowable(u.members, ctx) {
+            let (r, wctx) = iter.next().expect("one slot per member").expect("task claimed");
+            let rel = r.expect("errors surfaced above");
+            ctx.absorb(wctx);
+            ctx.release_memory(rel.len());
+            out.push(union::borrow_member(rel, op, ctx)?);
+            continue;
+        }
+        let mut acc = DedupAccumulator::with_est(u.head.to_vec(), u.est, ctx);
         for _ in 0..u.members.len() {
             let (r, wctx) = iter.next().expect("one slot per member").expect("task claimed");
             let rel = r.expect("errors surfaced above");

@@ -37,8 +37,23 @@ fn hash_row(row: &[TermId]) -> u64 {
 }
 
 impl DedupAccumulator {
-    pub(crate) fn new(vars: Vec<crate::ir::VarId>) -> Self {
-        DedupAccumulator { rel: Relation::empty(vars), slots: vec![0; 64], mask: 63 }
+    /// An accumulator whose row buffer is pre-sized from the planner's
+    /// union estimate (clamped by [`crate::exec::join::reserve_rows`]),
+    /// recording the reservation in `rows_reserved`. The slot table
+    /// still starts small and grows on demand — only the flat row
+    /// storage is reserved, since that is where regrowth copies rows.
+    pub(crate) fn with_est(
+        vars: Vec<crate::ir::VarId>,
+        est: Option<f64>,
+        ctx: &mut ExecContext<'_>,
+    ) -> Self {
+        let reserve = crate::exec::join::reserve_rows(est);
+        ctx.counters.rows_reserved += reserve as u64;
+        DedupAccumulator {
+            rel: Relation::with_capacity(vars, reserve),
+            slots: vec![0; 64],
+            mask: 63,
+        }
     }
 
     fn grow(&mut self) {
@@ -115,6 +130,35 @@ pub(crate) fn merge_member(
         acc.insert(row);
     }
     ctx.check_memory(acc.len())
+}
+
+/// Close a **borrowed** union: the zero-copy path for a single-member
+/// fragment whose member plan is
+/// [distinct by construction](crate::plan::PlanNode::distinct_by_construction).
+/// The member result is the union result — no dedup accumulator is
+/// built, no rows are hashed or copied; the borrow is counted in
+/// `scan_rows_borrowed` and the memory budget still sees the held rows.
+/// Taken only when the profile's `order_aware` knob is on and the
+/// profile does not force derived-table materialization.
+pub(crate) fn borrow_member(
+    rel: Relation,
+    op: Option<std::time::Instant>,
+    ctx: &mut ExecContext<'_>,
+) -> Result<Relation, EngineError> {
+    ctx.counters.scan_rows_borrowed += rel.len() as u64;
+    ctx.check_memory(rel.len())?;
+    ctx.op_finish(op, "union", rel.len() as u64);
+    Ok(rel)
+}
+
+/// Whether `task`'s union may take the [`borrow_member`] path: one
+/// member, provably distinct rows, order-aware execution enabled, and
+/// no profile-mandated derived-table copy.
+pub(crate) fn borrowable(members: &[crate::plan::PlanNode], ctx: &ExecContext<'_>) -> bool {
+    ctx.profile().order_aware
+        && !ctx.profile().materialize_all_unions
+        && members.len() == 1
+        && members[0].distinct_by_construction()
 }
 
 /// Close an accumulated union: apply the profile's derived-table
@@ -225,9 +269,64 @@ mod tests {
     }
 
     #[test]
+    fn single_member_scan_union_borrows_rows() {
+        // One member, plain scan chain: the union result is the member
+        // result — no dedup pass, rows counted as borrowed. Knob off
+        // takes the accumulator path and answers identically.
+        let ucq = StoreUcq::new(
+            vec![StoreCq::with_var_head(vec![StorePattern::new(v(0), c(10), v(1))], vec![0, 1])],
+            vec![0, 1],
+        );
+        let on = store(EngineProfile::pg_like()).eval_ucq(&ucq).unwrap();
+        let off = store(EngineProfile::pg_like().with_order_aware(false)).eval_ucq(&ucq).unwrap();
+        assert_eq!(on.counters.scan_rows_borrowed, 2, "both p10 rows borrowed");
+        assert_eq!(off.counters.scan_rows_borrowed, 0, "knob off copies through the accumulator");
+        let (mut a, mut b) = (on.relation, off.relation);
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn multi_member_union_never_borrows() {
+        // Overlapping members must still deduplicate; the borrow path
+        // is reserved for provably distinct single-member fragments.
+        // (Two *distinct* members — identical ones would be collapsed
+        // to a single member by the planner's rewrite pass.)
+        let ucq = StoreUcq::new(
+            vec![
+                StoreCq::with_var_head(vec![StorePattern::new(v(0), c(10), v(1))], vec![0, 1]),
+                StoreCq::with_var_head(vec![StorePattern::new(v(0), c(11), v(1))], vec![0, 1]),
+            ],
+            vec![0, 1],
+        );
+        let out = store(EngineProfile::pg_like()).eval_ucq(&ucq).unwrap();
+        assert_eq!(out.counters.scan_rows_borrowed, 0);
+        assert_eq!(out.relation.len(), 2, "(1,2) reached via both members deduplicated");
+    }
+
+    #[test]
+    fn projection_dropping_a_variable_is_not_distinct() {
+        // (?0 #u12 ?1) with head [?1] projects away ?0: objects repeat
+        // (both 0 and 1 have two p12 edges in `store`), so the member is
+        // not distinct-by-construction and the accumulator must run.
+        let ucq = StoreUcq::new(
+            vec![StoreCq::with_var_head(vec![StorePattern::new(v(0), c(12), v(1))], vec![1])],
+            vec![1],
+        );
+        let s =
+            Store::from_triples(&[t(1, 12, 7), t(2, 12, 7), t(3, 12, 8)], EngineProfile::pg_like());
+        let out = s.eval_ucq(&ucq).unwrap();
+        assert_eq!(out.counters.scan_rows_borrowed, 0, "lossy projection takes the dedup path");
+        assert_eq!(out.relation.len(), 2, "duplicate object deduplicated");
+    }
+
+    #[test]
     fn accumulator_grows_correctly() {
         // Force several growth rounds and verify exact dedup.
-        let mut acc = DedupAccumulator::new(vec![0, 1]);
+        let profile = EngineProfile::pg_like();
+        let mut ctx = crate::exec::ExecContext::new(&profile);
+        let mut acc = DedupAccumulator::with_est(vec![0, 1], None, &mut ctx);
         for i in 0..500u32 {
             let row = [id(i % 250), id(i % 7)];
             acc.insert(&row);

@@ -213,6 +213,14 @@ pub fn render_analyze_report(
         counters.sip_probes,
         counters.sip_drops
     );
+    let _ = writeln!(
+        out,
+        "  Ordering: sorts elided {}, gallop seeks {}, rows borrowed {}, rows reserved {}",
+        counters.sorts_elided,
+        counters.gallop_seeks,
+        counters.scan_rows_borrowed,
+        counters.rows_reserved
+    );
     if !exec_profile.sip.is_empty() {
         let _ = writeln!(out, "  SIP filters:");
         for f in &exec_profile.sip {
@@ -322,11 +330,15 @@ mod tests {
         assert!(text.contains("EXPLAIN ANALYZE"), "{text}");
         assert!(text.contains("Q-error"), "{text}");
         assert!(text.contains("fragment[0].union"), "{text}");
-        assert!(text.contains("join[0].hash_join"), "{text}");
+        assert!(text.contains("join[0].sort_merge_join"), "{text}");
         assert!(text.contains("dedup"), "{text}");
         assert!(text.contains("Total:"), "{text}");
         assert!(text.contains("Counters: scanned"), "{text}");
         assert!(text.contains("sip probed"), "{text}");
+        // The order-aware run elides both merge-join sorts and borrows
+        // the single-member fragments' scan rows straight through.
+        assert!(text.contains("Ordering: sorts elided 2"), "{text}");
+        assert!(text.contains("rows borrowed"), "{text}");
         // The two fragments join on ?0, so a SIP filter ran and its
         // selectivity is reported.
         assert!(text.contains("SIP filters:"), "{text}");

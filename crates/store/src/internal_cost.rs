@@ -40,6 +40,28 @@ const BATCH_CPU_DISCOUNT: f64 = 0.7;
 /// reaches the fragment join, shrinking build and probe inputs.
 const SIP_JOIN_DISCOUNT: f64 = 0.85;
 
+/// Cost of one fragment-join step over inputs of `acc` and `c` rows.
+/// For [`JoinAlgo::SortMerge`], `elide` drops the sort term of a side
+/// that already arrives ordered on the join key (the order-aware
+/// planner's sort elision); the residual linear term is the merge
+/// itself. The other algorithms ignore `elide`.
+pub(crate) fn join_step_cost(algo: JoinAlgo, acc: f64, c: f64, elide: (bool, bool)) -> f64 {
+    match algo {
+        JoinAlgo::Hash => CPU_HASH_BUILD * acc.min(c) + CPU_PROBE * acc.max(c),
+        JoinAlgo::SortMerge => {
+            let sort = |n: f64, elided: bool| {
+                if elided {
+                    0.0
+                } else {
+                    CPU_SORT_FACTOR * n * n.max(2.0).log2()
+                }
+            };
+            sort(acc, elide.0) + sort(c, elide.1) + CPU_TUPLE * (acc + c)
+        }
+        JoinAlgo::BlockNestedLoop => CPU_TUPLE * acc * c,
+    }
+}
+
 /// Estimate the internal cost of evaluating one CQ with the greedy
 /// index-nested-loop pipeline: sum of intermediate result sizes.
 fn cq_cost(stats: &Statistics, table: &TripleTable, cq: &StoreCq) -> f64 {
@@ -129,12 +151,22 @@ pub fn estimate(store: &Store, q: &StoreJucq) -> f64 {
     if q.fragments.len() > 1 {
         let mut acc = frag_cards[0];
         for (i, &c) in frag_cards.iter().enumerate().skip(1) {
-            join_cost += match profile.fragment_join {
-                JoinAlgo::Hash => CPU_HASH_BUILD * acc.min(c) + CPU_PROBE * acc.max(c),
-                JoinAlgo::SortMerge => {
-                    CPU_SORT_FACTOR * (acc * acc.max(2.0).log2() + c * c.max(2.0).log2())
-                }
-                JoinAlgo::BlockNestedLoop => CPU_TUPLE * acc * c,
+            let base = join_step_cost(profile.fragment_join, acc, c, (false, false));
+            join_cost += if profile.order_aware
+                && !matches!(profile.fragment_join, JoinAlgo::BlockNestedLoop)
+            {
+                // Mirror the order-aware planner: a single-member
+                // fragment's scan can feed the join pre-sorted on the
+                // key, dropping that side's sort term, and the planner
+                // takes the cheaper of the profile's algorithm and the
+                // (possibly sort-elided) merge. The left side is only
+                // assumed ordered on the first step, where it is still
+                // a fragment rather than a join output.
+                let elide =
+                    (i == 1 && q.fragments[0].cqs.len() == 1, q.fragments[i].cqs.len() == 1);
+                base.min(join_step_cost(JoinAlgo::SortMerge, acc, c, elide))
+            } else {
+                base
             };
             // Rough running estimate of the accumulated join size.
             let sub = StoreJucq::new(q.fragments[..=i].to_vec(), q.head.clone());

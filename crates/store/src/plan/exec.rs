@@ -145,9 +145,13 @@ pub(crate) fn execute(
                 slots[*idx] = Some(rel);
                 continue;
             }
-            let (idx, head, members) =
-                leaf.fallback_union().as_union().expect("fragment leaf wraps a union");
-            tasks.push(parallel::UnionTask { idx, head, members, filter: None });
+            let union = leaf.fallback_union();
+            let (idx, head, members) = union.as_union().expect("fragment leaf wraps a union");
+            let est = match union {
+                PlanNode::HashUnion { est, .. } => *est,
+                _ => None,
+            };
+            tasks.push(parallel::UnionTask { idx, head, members, est, filter: None });
         }
         let frags = parallel::eval_unions(table, &tasks, &shared, ctx, threads)?;
         for (task, rel) in tasks.iter().zip(frags) {
@@ -205,23 +209,34 @@ fn execute_staged(
     views: Option<&ViewSource<'_>>,
 ) -> Result<Relation, EngineError> {
     // Linearize the left-deep join tree into its execution order: the
-    // base fragment, then one (algo, step, right-fragment) per join.
-    let mut steps: Vec<(JoinAlgo, usize, &PlanNode)> = Vec::new();
+    // base fragment, then one (algo, opts, step, right-fragment) per
+    // join. Merge steps carry the planner's sort-elision flags; every
+    // step carries its output estimate for pre-sizing.
+    let mut steps: Vec<(JoinAlgo, join::JoinOpts, usize, &PlanNode)> = Vec::new();
     let mut node = tree;
     let base = loop {
         match node {
             PlanNode::HashUnion { .. } | PlanNode::ViewScan { .. } => break node,
-            PlanNode::HashJoin { left, right, step: Some(step), .. } => {
-                steps.push((JoinAlgo::Hash, *step, right));
+            PlanNode::HashJoin { left, right, step: Some(step), est } => {
+                let opts = join::JoinOpts { elide: (false, false), est: *est };
+                steps.push((JoinAlgo::Hash, opts, *step, right));
                 node = left;
             }
-            PlanNode::MergeJoin { left, right, step, .. } => {
-                steps.push((JoinAlgo::SortMerge, step.expect("fragment join has a step"), right));
+            PlanNode::MergeJoin { left, right, step, est, sort_elided } => {
+                let opts = join::JoinOpts { elide: *sort_elided, est: *est };
+                steps.push((
+                    JoinAlgo::SortMerge,
+                    opts,
+                    step.expect("fragment join has a step"),
+                    right,
+                ));
                 node = left;
             }
-            PlanNode::NestedLoopJoin { left, right, step, .. } => {
+            PlanNode::NestedLoopJoin { left, right, step, est } => {
+                let opts = join::JoinOpts { elide: (false, false), est: *est };
                 steps.push((
                     JoinAlgo::BlockNestedLoop,
+                    opts,
                     step.expect("fragment join has a step"),
                     right,
                 ));
@@ -244,9 +259,13 @@ fn execute_staged(
             }
             return Ok(rel);
         }
-        let (idx, head, members) =
-            leaf.fallback_union().as_union().expect("fragment join input wraps a union");
-        let task = parallel::UnionTask { idx, head, members, filter };
+        let union = leaf.fallback_union();
+        let (idx, head, members) = union.as_union().expect("fragment join input wraps a union");
+        let est = match union {
+            PlanNode::HashUnion { est, .. } => *est,
+            _ => None,
+        };
+        let task = parallel::UnionTask { idx, head, members, est, filter };
         let mut frags =
             parallel::eval_unions(table, std::slice::from_ref(&task), shared, ctx, threads)?;
         let rel = frags.pop().expect("one task, one result");
@@ -258,13 +277,13 @@ fn execute_staged(
     };
 
     let mut acc = eval_fragment(base, None, ctx)?;
-    for (algo, step, right_node) in steps {
+    for (algo, opts, step, right_node) in steps {
         let filter = plan.sip.iter().find(|d| d.step == step).map(|d| {
             batch::SipFilter::build(&acc, &d.keys, format!("fragment[{}].sip_filter", d.target))
         });
         let r = eval_fragment(right_node, filter.as_ref(), ctx)?;
         ctx.set_scope(format!("join[{step}]."));
-        let out = join::fragment_join(algo, &acc, &r, ctx);
+        let out = join::fragment_join(algo, &acc, &r, opts, ctx);
         ctx.set_scope(String::new());
         acc = out?;
     }
@@ -278,25 +297,28 @@ fn fold_joins(
     slots: &mut [Option<Relation>],
     ctx: &mut ExecContext<'_>,
 ) -> Result<Relation, EngineError> {
-    let (algo, left, right, step) = match node {
+    let (algo, opts, left, right, step) = match node {
         PlanNode::HashUnion { idx, .. } | PlanNode::ViewScan { idx, .. } => {
             return Ok(slots[*idx].take().expect("each fragment consumed once"));
         }
-        PlanNode::HashJoin { left, right, step: Some(step), .. } => {
-            (JoinAlgo::Hash, left, right, *step)
+        PlanNode::HashJoin { left, right, step: Some(step), est } => {
+            let opts = join::JoinOpts { elide: (false, false), est: *est };
+            (JoinAlgo::Hash, opts, left, right, *step)
         }
-        PlanNode::MergeJoin { left, right, step, .. } => {
-            (JoinAlgo::SortMerge, left, right, step.expect("fragment join has a step"))
+        PlanNode::MergeJoin { left, right, step, est, sort_elided } => {
+            let opts = join::JoinOpts { elide: *sort_elided, est: *est };
+            (JoinAlgo::SortMerge, opts, left, right, step.expect("fragment join has a step"))
         }
-        PlanNode::NestedLoopJoin { left, right, step, .. } => {
-            (JoinAlgo::BlockNestedLoop, left, right, step.expect("fragment join has a step"))
+        PlanNode::NestedLoopJoin { left, right, step, est } => {
+            let opts = join::JoinOpts { elide: (false, false), est: *est };
+            (JoinAlgo::BlockNestedLoop, opts, left, right, step.expect("fragment join has a step"))
         }
         other => unreachable!("not a fragment-level node: {other:?}"),
     };
     let l = fold_joins(left, slots, ctx)?;
     let r = fold_joins(right, slots, ctx)?;
     ctx.set_scope(format!("join[{step}]."));
-    let out = join::fragment_join(algo, &l, &r, ctx);
+    let out = join::fragment_join(algo, &l, &r, opts, ctx);
     ctx.set_scope(String::new());
     out
 }

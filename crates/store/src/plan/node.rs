@@ -10,7 +10,7 @@
 use std::fmt::Write as _;
 
 use crate::ir::{PatternTerm, StorePattern, VarId};
-use crate::table::RangePos;
+use crate::table::{Perm, RangePos};
 use crate::views::ViewSignature;
 
 /// One physical operator node.
@@ -30,6 +30,12 @@ pub enum PlanNode {
     IndexScan {
         /// The pattern scanned.
         pattern: StorePattern,
+        /// The permutation index to scan, when the interesting-orders
+        /// pass picked one deliberately (it must cover the pattern's
+        /// bound positions); `None` scans [`Perm::for_bound`]'s default.
+        /// Either way the extent is the same triple set — only the
+        /// physical row order differs.
+        perm: Option<Perm>,
         /// Exact extent cardinality (index lookup at plan time).
         est: Option<f64>,
     },
@@ -127,6 +133,12 @@ pub enum PlanNode {
         step: Option<usize>,
         /// Estimated output rows.
         est: Option<f64>,
+        /// Which inputs (left, right) already arrive sorted on the join
+        /// key — their sort is elided at execution time. Set by the
+        /// order-aware planner from the inputs' order properties; the
+        /// kernels verify cheaply and fall back to sorting if an input
+        /// turns out unsorted (e.g. a view-served fragment).
+        sort_elided: (bool, bool),
     },
     /// Block-nested-loop join of two fragment results (the MySQL-like
     /// profile's deliberately weak algorithm).
@@ -230,6 +242,132 @@ impl PlanNode {
         }
     }
 
+    /// The output variables of this node, in executor column order:
+    /// mirrors how each operator actually lays out its result (scans
+    /// bind a pattern's distinct variables, probes and joins append the
+    /// right side's new variables after the left's).
+    pub fn vars(&self) -> Vec<VarId> {
+        match self {
+            PlanNode::IndexScan { pattern, .. }
+            | PlanNode::RangeScan { pattern, .. }
+            | PlanNode::SharedScan { pattern, .. } => pattern.variables().to_vec(),
+            PlanNode::Filter { input, .. } | PlanNode::Dedup { input, .. } => input.vars(),
+            PlanNode::Inlj { input, pattern } | PlanNode::RangeProbe { input, pattern, .. } => {
+                let mut out = input.vars();
+                for v in pattern.variables() {
+                    if !out.contains(&v) {
+                        out.push(v);
+                    }
+                }
+                out
+            }
+            PlanNode::HashJoin { left, right, .. }
+            | PlanNode::MergeJoin { left, right, .. }
+            | PlanNode::NestedLoopJoin { left, right, .. } => {
+                let mut out = left.vars();
+                for v in right.vars() {
+                    if !out.contains(&v) {
+                        out.push(v);
+                    }
+                }
+                out
+            }
+            PlanNode::Project { out_vars, .. } | PlanNode::TrueRow { out_vars } => out_vars.clone(),
+            PlanNode::ViewScan { head, .. }
+            | PlanNode::HashUnion { head, .. }
+            | PlanNode::Empty { head } => head.clone(),
+        }
+    }
+
+    /// The physical order property: the variable sequence this node's
+    /// rows are sorted by (non-decreasing under lexicographic comparison
+    /// of those variables' values), or empty when no order is
+    /// guaranteed. Seeded at scan leaves from the permutation index's
+    /// key order restricted to variable positions; a node sorted by
+    /// `[a, b, c]` is also sorted by any prefix.
+    pub fn order(&self) -> Vec<VarId> {
+        match self {
+            PlanNode::IndexScan { pattern, perm, .. } => {
+                let perm = perm.unwrap_or_else(|| Perm::for_bound(&pattern.bound()));
+                scan_order(pattern, perm)
+            }
+            // A RangeScan's rows are sorted first by the *ranged*
+            // component, which varies over `[lo, hi)` and is not an
+            // output column — the variable positions are only sorted
+            // within each run, so no global order survives.
+            PlanNode::RangeScan { .. } => Vec::new(),
+            PlanNode::SharedScan { pattern, .. } => {
+                scan_order(pattern, Perm::for_bound(&pattern.bound()))
+            }
+            PlanNode::Filter { input, .. } | PlanNode::Dedup { input, .. } => input.order(),
+            // A probe extends each input row in place, so the input's
+            // order stays the major order of the output.
+            PlanNode::Inlj { input, .. } | PlanNode::RangeProbe { input, .. } => input.order(),
+            PlanNode::HashJoin { .. } | PlanNode::NestedLoopJoin { .. } => Vec::new(),
+            // The merge emits key groups in ascending key order.
+            PlanNode::MergeJoin { left, right, .. } => Self::join_key(left, right),
+            PlanNode::Project { input, out_vars, .. } => {
+                let mut ord = input.order();
+                if let Some(cut) = ord.iter().position(|v| !out_vars.contains(v)) {
+                    ord.truncate(cut);
+                }
+                ord
+            }
+            // View resolution order depends on the catalog entry, not
+            // the fallback plan.
+            PlanNode::TrueRow { .. } | PlanNode::Empty { .. } | PlanNode::ViewScan { .. } => {
+                Vec::new()
+            }
+            // The streaming union concatenates members (dropping
+            // duplicates, which preserves sortedness), so only a
+            // single-member union keeps its member's order.
+            PlanNode::HashUnion { members, .. } => {
+                if members.len() == 1 {
+                    members[0].order()
+                } else {
+                    Vec::new()
+                }
+            }
+        }
+    }
+
+    /// True when this member plan provably emits **distinct** rows, so
+    /// a single-member union can skip its dedup accumulator and borrow
+    /// the member result as-is (the zero-copy path, counted as
+    /// `scan_rows_borrowed`).
+    ///
+    /// The proof obligation: a single-pattern scan binds every triple
+    /// component to either a constant or an output variable, so two
+    /// extent triples with equal variable bindings would be the *same*
+    /// triple — scans emit distinct rows. A repeated-variable filter
+    /// only drops rows; a projection keeps distinctness iff it keeps
+    /// every input variable (it is then a column permutation). A
+    /// [`PlanNode::RangeScan`] does **not** qualify: its ranged
+    /// component is not an output column, so two triples in the
+    /// interval can collapse onto one row.
+    pub fn distinct_by_construction(&self) -> bool {
+        match self {
+            PlanNode::IndexScan { .. } | PlanNode::SharedScan { .. } => true,
+            PlanNode::TrueRow { .. } => true,
+            PlanNode::Filter { input, .. } => input.distinct_by_construction(),
+            PlanNode::Project { input, out_vars, .. } => {
+                input.distinct_by_construction()
+                    && input.vars().iter().all(|v| out_vars.contains(v))
+            }
+            _ => false,
+        }
+    }
+
+    /// The join-key variable sequence of a fragment join of `left` and
+    /// `right`: their shared variables, in left-schema order — exactly
+    /// the key [`join::plan`](crate::exec::join) derives at execution
+    /// time, so an input whose order starts with this sequence can have
+    /// its merge-sort elided.
+    pub fn join_key(left: &PlanNode, right: &PlanNode) -> Vec<VarId> {
+        let rv = right.vars();
+        left.vars().into_iter().filter(|v| rv.contains(v)).collect()
+    }
+
     /// The fragment-union view of a [`PlanNode::HashUnion`] node.
     pub fn as_union(&self) -> Option<(usize, &[VarId], &[PlanNode])> {
         match self {
@@ -277,8 +415,9 @@ impl PlanNode {
         let pad = "  ".repeat(indent);
         let est = |e: &Option<f64>| e.map(|e| format!(" (est {e:.1})")).unwrap_or_default();
         match self {
-            PlanNode::IndexScan { pattern, est: e } => {
-                let _ = writeln!(out, "{pad}IndexScan {pattern}{}", est(e));
+            PlanNode::IndexScan { pattern, perm, est: e } => {
+                let via = perm.map(|p| format!(" via {p:?}")).unwrap_or_default();
+                let _ = writeln!(out, "{pad}IndexScan {pattern}{via}{}", est(e));
             }
             PlanNode::RangeScan { pattern, ranged, lo, hi, members, est: e } => {
                 let pos = match ranged {
@@ -327,9 +466,29 @@ impl PlanNode {
                 left.render_into(out, indent + 1, max_members, names);
                 right.render_into(out, indent + 1, max_members, names);
             }
-            PlanNode::MergeJoin { left, right, step, est: e } => {
+            PlanNode::MergeJoin { left, right, step, est: e, sort_elided } => {
                 let tag = step.map(|k| format!(" join[{k}]")).unwrap_or_default();
-                let _ = writeln!(out, "{pad}MergeJoin{tag}{}", est(e));
+                let mut notes: Vec<&str> = Vec::new();
+                match sort_elided {
+                    (true, true) => notes.push("sort elided"),
+                    (true, false) => notes.push("sort elided: left"),
+                    (false, true) => notes.push("sort elided: right"),
+                    (false, false) => {}
+                }
+                // Gallop eligibility is decided at run time from actual
+                // input sizes; annotate when the estimates already show
+                // the ≥8× skew the kernel looks for.
+                if let (Some(l), Some(r)) = (fragment_est(left), fragment_est(right)) {
+                    if l >= 8.0 * r || r >= 8.0 * l {
+                        notes.push("gallop");
+                    }
+                }
+                let ann = if notes.is_empty() {
+                    String::new()
+                } else {
+                    format!(" ({})", notes.join(", "))
+                };
+                let _ = writeln!(out, "{pad}MergeJoin{tag}{ann}{}", est(e));
                 left.render_into(out, indent + 1, max_members, names);
                 right.render_into(out, indent + 1, max_members, names);
             }
@@ -380,6 +539,42 @@ impl PlanNode {
                 let _ = writeln!(out, "{pad}Empty");
             }
         }
+    }
+}
+
+/// The permutation key order of a scan, restricted to the pattern's
+/// variable positions: the variable sequence the emitted relation's
+/// rows are sorted by. Constants in the key prefix are equal across the
+/// slice (skipped); a repeated variable contributes once — after the
+/// repeated-variable filter its occurrences are equal, so sorting by
+/// the first key occurrence is sorting by the variable.
+pub(crate) fn scan_order(pattern: &StorePattern, perm: Perm) -> Vec<VarId> {
+    let positions = pattern.positions();
+    let mut out = Vec::new();
+    for i in perm.key_positions() {
+        if let Some(v) = positions[i].as_var() {
+            if !out.contains(&v) {
+                out.push(v);
+            }
+        }
+    }
+    out
+}
+
+/// A node's row estimate, when it carries one (fragment leaves and
+/// joins do).
+fn fragment_est(node: &PlanNode) -> Option<f64> {
+    match node {
+        PlanNode::IndexScan { est, .. }
+        | PlanNode::RangeScan { est, .. }
+        | PlanNode::SharedScan { est, .. }
+        | PlanNode::HashJoin { est, .. }
+        | PlanNode::MergeJoin { est, .. }
+        | PlanNode::NestedLoopJoin { est, .. }
+        | PlanNode::ViewScan { est, .. }
+        | PlanNode::HashUnion { est, .. }
+        | PlanNode::Dedup { est, .. } => *est,
+        _ => None,
     }
 }
 

@@ -26,11 +26,12 @@
 use jucq_model::{FxHashMap, FxHashSet};
 
 use crate::exec::join;
+use crate::internal_cost::join_step_cost;
 use crate::ir::{PatternTerm, StoreCq, StoreJucq, StorePattern, StoreUcq, VarId};
-use crate::plan::node::{Plan, PlanNode, SharedScanDef, SipFilterDef, ViewBindingDef};
+use crate::plan::node::{scan_order, Plan, PlanNode, SharedScanDef, SipFilterDef, ViewBindingDef};
 use crate::profile::{EngineProfile, JoinAlgo};
 use crate::stats::Statistics;
-use crate::table::{RangePos, TripleTable};
+use crate::table::{Perm, RangePos, TripleTable};
 use crate::views::{ViewCatalog, ViewSignature};
 
 /// The O(members²) subsumption sweep is skipped beyond this union width
@@ -659,12 +660,26 @@ impl<'a> Planner<'a> {
             estimates.push((format!("fragment[{i}].union"), *est));
         }
 
+        // Interesting orders: the fragment join order depends only on
+        // estimates and heads, so the join key each fragment will be
+        // merged on is known *before* member lowering. Lowering passes
+        // it down so leaf scans can pick the permutation index whose
+        // key order feeds a sort-elided merge join.
+        let desired = if self.profile.order_aware {
+            interesting_orders(draft, &frag_est)
+        } else {
+            vec![Vec::new(); draft.len()]
+        };
+
         let mut union_nodes: Vec<Option<PlanNode>> = draft
             .iter()
             .enumerate()
             .map(|(i, f)| {
-                let members: Vec<PlanNode> =
-                    f.members.iter().map(|m| self.lower_member(m, &f.head, &shared_ix)).collect();
+                let members: Vec<PlanNode> = f
+                    .members
+                    .iter()
+                    .map(|m| self.lower_member(m, &f.head, &shared_ix, &desired[i]))
+                    .collect();
                 Some(PlanNode::HashUnion {
                     idx: i,
                     head: f.head.clone(),
@@ -715,6 +730,7 @@ impl<'a> Planner<'a> {
         let first = remaining.remove(0);
         let mut acc_vars: Vec<VarId> = draft[first].head.clone();
         let mut tree = union_nodes[first].take().expect("each fragment lowered once");
+        let mut acc_est = frag_est[first];
         let mut joined: Vec<usize> = vec![first];
         let mut sip: Vec<SipFilterDef> = Vec::new();
         let mut step = 0usize;
@@ -748,9 +764,19 @@ impl<'a> Planner<'a> {
                 q.head.clone(),
             );
             let est = self.stats.est_jucq(self.table, &sub);
-            estimates.push((format!("join[{step}].{}", join::op_name(algo)), est));
             let right = union_nodes[next].take().expect("each fragment lowered once");
-            tree = make_join(algo, tree, right, step, est);
+            // Order-aware step choice: when the inputs' order properties
+            // make a (possibly sort-elided) merge cheaper than the
+            // profile's algorithm on this step's input estimates, lower
+            // to a merge join — chosen by cost, not forced.
+            let (step_algo, elided) = if self.profile.order_aware {
+                choose_join_algo(algo, &tree, &right, acc_est, frag_est[next])
+            } else {
+                (algo, (false, false))
+            };
+            estimates.push((format!("join[{step}].{}", join::op_name(step_algo)), est));
+            tree = make_join(step_algo, tree, right, step, est, elided);
+            acc_est = est;
             step += 1;
         }
 
@@ -790,6 +816,7 @@ impl<'a> Planner<'a> {
         m: &DraftMember,
         frag_head: &[VarId],
         shared_ix: &FxHashMap<StorePattern, usize>,
+        desired: &[VarId],
     ) -> PlanNode {
         if m.cq.patterns.is_empty() {
             return PlanNode::TrueRow { out_vars: frag_head.to_vec() };
@@ -816,7 +843,9 @@ impl<'a> Planner<'a> {
                     PlanNode::SharedScan { id, pattern: p, est: Some(m.counts[pi] as f64) }
                 }
                 None => {
-                    let scan = PlanNode::IndexScan { pattern: p, est: Some(m.counts[pi] as f64) };
+                    let perm = if self.profile.order_aware { pick_perm(&p, desired) } else { None };
+                    let scan =
+                        PlanNode::IndexScan { pattern: p, perm, est: Some(m.counts[pi] as f64) };
                     if p.has_repeated_var() {
                         PlanNode::Filter { pattern: p, input: Box::new(scan) }
                     } else {
@@ -894,13 +923,126 @@ fn atom_order(patterns: &[StorePattern], counts: &[usize]) -> Vec<usize> {
     order
 }
 
-/// Build the fragment-level join node matching `algo`.
-fn make_join(algo: JoinAlgo, left: PlanNode, right: PlanNode, step: usize, est: f64) -> PlanNode {
+/// Build the fragment-level join node matching `algo`. `elided` marks
+/// which merge-join inputs already arrive sorted on the join key (only
+/// meaningful for [`JoinAlgo::SortMerge`]).
+fn make_join(
+    algo: JoinAlgo,
+    left: PlanNode,
+    right: PlanNode,
+    step: usize,
+    est: f64,
+    elided: (bool, bool),
+) -> PlanNode {
     let (left, right, step, est) = (Box::new(left), Box::new(right), Some(step), Some(est));
     match algo {
         JoinAlgo::Hash => PlanNode::HashJoin { left, right, step, est },
-        JoinAlgo::SortMerge => PlanNode::MergeJoin { left, right, step, est },
+        JoinAlgo::SortMerge => PlanNode::MergeJoin { left, right, step, est, sort_elided: elided },
         JoinAlgo::BlockNestedLoop => PlanNode::NestedLoopJoin { left, right, step, est },
+    }
+}
+
+/// The interesting-orders pass: replay the fragment join order (which
+/// depends only on estimates and heads — the same greedy loop `lower`
+/// runs) and record, per fragment, the join-key sequence it will be
+/// merged on. The base fragment inherits the first step's key (it is
+/// the left side of that merge); every other fragment gets the key of
+/// the step where it joins. Fragments joined by cartesian product keep
+/// an empty desired order.
+fn interesting_orders(draft: &[DraftFragment], frag_est: &[f64]) -> Vec<Vec<VarId>> {
+    let mut desired: Vec<Vec<VarId>> = vec![Vec::new(); draft.len()];
+    if draft.len() < 2 {
+        return desired;
+    }
+    let mut remaining: Vec<usize> = (0..draft.len()).collect();
+    remaining.sort_by(|&a, &b| frag_est[a].total_cmp(&frag_est[b]));
+    let first = remaining.remove(0);
+    let mut acc_vars: Vec<VarId> = draft[first].head.clone();
+    let mut step = 0usize;
+    while !remaining.is_empty() {
+        let pos = remaining
+            .iter()
+            .position(|&i| draft[i].head.iter().any(|v| acc_vars.contains(v)))
+            .unwrap_or(0);
+        let next = remaining.remove(pos);
+        // The join key in accumulated-schema order — exactly what
+        // `PlanNode::join_key` will compute for this step.
+        let key: Vec<VarId> =
+            acc_vars.iter().copied().filter(|v| draft[next].head.contains(v)).collect();
+        desired[next] = key.clone();
+        if step == 0 {
+            desired[first] = key;
+        }
+        for &v in &draft[next].head {
+            if !acc_vars.contains(&v) {
+                acc_vars.push(v);
+            }
+        }
+        step += 1;
+    }
+    desired
+}
+
+/// Pick the permutation index for a leaf scan of `p`: among every
+/// candidate whose bound prefix covers the pattern's constants, the one
+/// whose output order matches the longest prefix of `desired` (the join
+/// key the planner wants this scan sorted on). `None` keeps the default
+/// bound-prefix choice — candidates are tried in declaration order with
+/// the default first, so a tie never deviates from it.
+fn pick_perm(p: &StorePattern, desired: &[VarId]) -> Option<Perm> {
+    if desired.is_empty() {
+        return None;
+    }
+    let bound = p.bound();
+    let default = Perm::for_bound(&bound);
+    let score = |perm: Perm| -> usize {
+        scan_order(p, perm).iter().zip(desired).take_while(|(a, b)| a == b).count()
+    };
+    let mut best = default;
+    let mut best_score = score(default);
+    for perm in Perm::candidates_for_bound(&bound) {
+        let s = score(perm);
+        if s > best_score {
+            best = perm;
+            best_score = s;
+        }
+    }
+    (best != default).then_some(best)
+}
+
+/// Order-aware join-step choice: compute the step's join key and which
+/// inputs already arrive sorted on it, then price the profile's
+/// algorithm against the (possibly sort-elided) merge on the inputs'
+/// estimated sizes. Merge wins only when strictly cheaper — or when the
+/// profile forces it anyway, in which case the elision flags are a free
+/// improvement.
+fn choose_join_algo(
+    profile_algo: JoinAlgo,
+    left: &PlanNode,
+    right: &PlanNode,
+    l_est: f64,
+    r_est: f64,
+) -> (JoinAlgo, (bool, bool)) {
+    if matches!(profile_algo, JoinAlgo::BlockNestedLoop) {
+        // The MySQL-like profile's quadratic join is a modeled weakness
+        // of that engine, not a cost-model oversight — don't rescue it.
+        return (profile_algo, (false, false));
+    }
+    let key = PlanNode::join_key(left, right);
+    if key.is_empty() {
+        // Cartesian product: a merge degenerates and order buys nothing.
+        return (profile_algo, (false, false));
+    }
+    let elide = (left.order().starts_with(&key), right.order().starts_with(&key));
+    if matches!(profile_algo, JoinAlgo::SortMerge) {
+        return (JoinAlgo::SortMerge, elide);
+    }
+    let base = join_step_cost(profile_algo, l_est, r_est, (false, false));
+    let merge = join_step_cost(JoinAlgo::SortMerge, l_est, r_est, elide);
+    if merge < base {
+        (JoinAlgo::SortMerge, elide)
+    } else {
+        (profile_algo, (false, false))
     }
 }
 
@@ -1087,7 +1229,7 @@ mod tests {
             vec![0, 2],
         );
         let q = StoreJucq::new(vec![fa, fb], vec![0, 1, 2]);
-        let hash = plan_of(&q, &EngineProfile::pg_like());
+        let hash = plan_of(&q, &EngineProfile::pg_like().with_order_aware(false));
         let bnl = plan_of(&q, &EngineProfile::mysql_like());
         let top_join = |p: &Plan| match &p.root {
             PlanNode::Dedup { input, .. } => match &**input {
@@ -1097,10 +1239,84 @@ mod tests {
             other => other.clone(),
         };
         assert!(matches!(top_join(&hash), PlanNode::HashJoin { step: Some(0), .. }));
+        // The MySQL-like profile's weak join is never rescued by the
+        // order-aware pass, even with the knob on.
         assert!(matches!(top_join(&bnl), PlanNode::NestedLoopJoin { step: Some(0), .. }));
         assert!(hash.pipelined.is_some());
         assert!(hash.estimates.iter().any(|(l, _)| l == "join[0].hash_join"));
         assert!(bnl.estimates.iter().any(|(l, _)| l == "join[0].block_nested_loop_join"));
+    }
+
+    #[test]
+    fn order_aware_planner_elides_merge_sorts_by_cost() {
+        // Two single-member fragments joining on ?0: both leaf scans can
+        // emit in ?0-first order, so the fully elided merge undercuts
+        // the hash join and wins on cost despite the hash-join profile.
+        let fa = StoreUcq::new(
+            vec![one_pattern_member(StorePattern::new(v(0), c(10), v(1)), vec![0, 1])],
+            vec![0, 1],
+        );
+        let fb = StoreUcq::new(
+            vec![one_pattern_member(StorePattern::new(v(0), c(11), v(2)), vec![0, 2])],
+            vec![0, 2],
+        );
+        let q = StoreJucq::new(vec![fa, fb], vec![0, 1, 2]);
+        let plan = plan_of(&q, &EngineProfile::pg_like());
+        let top_join = |p: &Plan| match &p.root {
+            PlanNode::Dedup { input, .. } => match &**input {
+                PlanNode::Project { input, .. } => (**input).clone(),
+                other => other.clone(),
+            },
+            other => other.clone(),
+        };
+        let join = top_join(&plan);
+        assert!(
+            matches!(join, PlanNode::MergeJoin { step: Some(0), sort_elided: (true, true), .. }),
+            "{join:?}"
+        );
+        assert!(plan.estimates.iter().any(|(l, _)| l == "join[0].sort_merge_join"));
+        // The chosen merge is genuinely ordered: both inputs' order
+        // properties start with the join key.
+        if let PlanNode::MergeJoin { left, right, .. } = &join {
+            let key = PlanNode::join_key(left, right);
+            assert!(!key.is_empty());
+            assert!(left.order().starts_with(&key));
+            assert!(right.order().starts_with(&key));
+        }
+    }
+
+    #[test]
+    fn interesting_orders_steer_leaf_permutation_choice() {
+        // Fragment heads join on ?1 — the *object* of fragment a's
+        // pattern. The default perm for a p-bound pattern (Pso) emits in
+        // subject order; the order-aware planner must flip that leaf to
+        // an object-first permutation so the merge key leads.
+        let fa = StoreUcq::new(
+            vec![one_pattern_member(StorePattern::new(v(0), c(10), v(1)), vec![1])],
+            vec![1],
+        );
+        let fb = StoreUcq::new(
+            vec![one_pattern_member(StorePattern::new(v(1), c(11), v(2)), vec![1, 2])],
+            vec![1, 2],
+        );
+        let q = StoreJucq::new(vec![fa, fb], vec![1, 2]);
+        let plan = plan_of(&q, &EngineProfile::pg_like());
+        let mut saw_pos = false;
+        for u in plan.unions() {
+            let Some((_, head, members)) = u.as_union() else { continue };
+            if head != [1] {
+                continue;
+            }
+            for m in members {
+                if let PlanNode::Project { input, .. } = m {
+                    if let PlanNode::IndexScan { perm, .. } = &**input {
+                        assert_eq!(*perm, Some(Perm::Pos), "object-first perm");
+                        saw_pos = true;
+                    }
+                }
+            }
+        }
+        assert!(saw_pos, "fragment a's leaf scan was lowered with a perm override");
     }
 
     #[test]

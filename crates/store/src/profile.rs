@@ -99,6 +99,17 @@ pub struct EngineProfile {
     /// never contain `ViewScan`s). Answers are identical either way.
     #[serde(default = "default_view_scans")]
     pub view_scans: bool,
+    /// If true (the default), the planner is order-aware: scan leaves
+    /// record which permutation index produced them (and therefore the
+    /// variable order their rows are sorted by), the interesting-orders
+    /// pass picks permutations that feed the next fragment join, and
+    /// joins whose inputs already arrive sorted on the key lower to
+    /// `MergeJoin` with the sort elided — chosen by cost against the
+    /// profile's native algorithm, never forced. `JUCQ_ORDER=0`
+    /// disables the whole pass (plans and costs revert to the
+    /// order-blind baseline). Answers are identical either way.
+    #[serde(default = "default_order_aware")]
+    pub order_aware: bool,
 }
 
 // Referenced by the `#[serde(default)]` attribute, which only expands
@@ -140,6 +151,34 @@ pub fn default_view_scans() -> bool {
             jucq_obs::warn_once(
                 "warn.jucq_views_invalid",
                 "ignoring non-unicode JUCQ_VIEWS; view matching stays enabled",
+            );
+        }
+    }
+    true
+}
+
+/// The `JUCQ_ORDER` environment variable, parsed once per profile
+/// construction: unset or any non-zero number keeps order-aware
+/// planning on, `0` disables it; an unparsable value warns once through
+/// `jucq-obs` and keeps the default.
+pub fn default_order_aware() -> bool {
+    match std::env::var("JUCQ_ORDER") {
+        Ok(v) => {
+            match v.trim().parse::<usize>() {
+                Ok(n) => return n != 0,
+                Err(_) => {
+                    jucq_obs::warn_once(
+                    "warn.jucq_order_invalid",
+                    &format!("ignoring unparsable JUCQ_ORDER={v:?}; order-aware planning stays enabled"),
+                );
+                }
+            }
+        }
+        Err(std::env::VarError::NotPresent) => {}
+        Err(std::env::VarError::NotUnicode(_)) => {
+            jucq_obs::warn_once(
+                "warn.jucq_order_invalid",
+                "ignoring non-unicode JUCQ_ORDER; order-aware planning stays enabled",
             );
         }
     }
@@ -237,6 +276,7 @@ impl EngineProfile {
             sip_filters: true,
             range_scans: true,
             view_scans: default_view_scans(),
+            order_aware: default_order_aware(),
         }
     }
 
@@ -258,6 +298,7 @@ impl EngineProfile {
             sip_filters: true,
             range_scans: true,
             view_scans: default_view_scans(),
+            order_aware: default_order_aware(),
         }
     }
 
@@ -279,6 +320,7 @@ impl EngineProfile {
             sip_filters: true,
             range_scans: true,
             view_scans: default_view_scans(),
+            order_aware: default_order_aware(),
         }
     }
 
@@ -302,6 +344,7 @@ impl EngineProfile {
             sip_filters: true,
             range_scans: true,
             view_scans: default_view_scans(),
+            order_aware: default_order_aware(),
         }
     }
 
@@ -385,6 +428,13 @@ impl EngineProfile {
         self
     }
 
+    /// Enable or disable order-aware planning (interesting orders,
+    /// sort-elided merge joins, zero-copy scan handoff).
+    pub fn with_order_aware(mut self, on: bool) -> Self {
+        self.order_aware = on;
+        self
+    }
+
     /// The effective worker count: at least one.
     pub fn effective_parallelism(&self) -> usize {
         self.parallelism.max(1)
@@ -403,7 +453,7 @@ impl EngineProfile {
     /// differ in knobs (the `set_profile` staleness class).
     pub fn plan_cache_key(&self) -> String {
         format!(
-            "{}|join={:?}|mat={}|inlj={}|share={}|vec={}|batch={}|sip={}|range={}|views={}",
+            "{}|join={:?}|mat={}|inlj={}|share={}|vec={}|batch={}|sip={}|range={}|views={}|order={}",
             self.name,
             self.fragment_join,
             self.materialize_all_unions,
@@ -414,6 +464,7 @@ impl EngineProfile {
             self.sip_filters,
             self.range_scans,
             self.view_scans,
+            self.order_aware,
         )
     }
 }
@@ -522,6 +573,17 @@ mod tests {
     }
 
     #[test]
+    fn jucq_order_env_controls_order_awareness() {
+        let _serial = env_lock();
+        std::env::set_var("JUCQ_ORDER", "0");
+        assert!(!default_order_aware(), "JUCQ_ORDER=0 disables order-aware planning");
+        std::env::set_var("JUCQ_ORDER", "1");
+        assert!(default_order_aware());
+        std::env::remove_var("JUCQ_ORDER");
+        assert!(default_order_aware(), "order-aware planning is on by default");
+    }
+
+    #[test]
     fn batch_size_builder_follows_cli_semantics() {
         let p = EngineProfile::pg_like().with_batch_size(0);
         assert!(!p.vectorized, "0 disables batching");
@@ -541,6 +603,7 @@ mod tests {
             base.clone().with_batch_size(7).plan_cache_key(),
             base.clone().with_range_scans(!base.range_scans).plan_cache_key(),
             base.clone().with_view_scans(!base.view_scans).plan_cache_key(),
+            base.clone().with_order_aware(!base.order_aware).plan_cache_key(),
         ];
         for i in 0..keys.len() {
             for j in (i + 1)..keys.len() {

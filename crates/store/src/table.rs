@@ -60,6 +60,42 @@ impl Perm {
         }
     }
 
+    /// The triple positions (0 = s, 1 = p, 2 = o) in this permutation's
+    /// key order — e.g. `Pos` sorts by property, then object, then
+    /// subject, so its key positions are `[1, 2, 0]`.
+    #[inline]
+    pub fn key_positions(self) -> [usize; 3] {
+        match self {
+            Perm::Spo => [0, 1, 2],
+            Perm::Sop => [0, 2, 1],
+            Perm::Pso => [1, 0, 2],
+            Perm::Pos => [1, 2, 0],
+            Perm::Osp => [2, 0, 1],
+            Perm::Ops => [2, 1, 0],
+        }
+    }
+
+    /// Every permutation whose key prefix covers exactly the bound
+    /// positions of `bound` — the candidate set the interesting-orders
+    /// pass chooses among. Singly-bound patterns have two candidates
+    /// (the residual free pair in either order), the unbound pattern has
+    /// all six; [`Perm::for_bound`]'s pick is always the first entry.
+    pub fn candidates_for_bound(bound: &[Option<TermId>; 3]) -> Vec<Perm> {
+        let default = Perm::for_bound(bound);
+        let k = bound.iter().filter(|c| c.is_some()).count();
+        let mut out = vec![default];
+        for p in Perm::ALL {
+            if p == default {
+                continue;
+            }
+            let pos = p.key_positions();
+            if pos[..k].iter().all(|&i| bound[i].is_some()) {
+                out.push(p);
+            }
+        }
+        out
+    }
+
     /// The bound-position prefix of the lookup key for this permutation
     /// (`None` marks the unconstrained tail).
     fn prefix(self, bound: &[Option<TermId>; 3]) -> [Option<u32>; 3] {
@@ -147,7 +183,16 @@ impl TripleTable {
     /// The contiguous slice of triples matching the bound positions of a
     /// pattern. This is the σ of the engine: an index-range scan.
     pub fn scan(&self, bound: &[Option<TermId>; 3]) -> &[TripleId] {
-        let perm = Perm::for_bound(bound);
+        self.scan_with(Perm::for_bound(bound), bound)
+    }
+
+    /// Like [`TripleTable::scan`], but over an explicitly chosen
+    /// permutation (which must put every bound position in its key
+    /// prefix — any member of [`Perm::candidates_for_bound`]). The
+    /// returned slice is sorted by `perm`'s key order; the
+    /// interesting-orders pass uses this to pick the residual variable
+    /// order a downstream merge join wants.
+    pub fn scan_with(&self, perm: Perm, bound: &[Option<TermId>; 3]) -> &[TripleId] {
         let idx = self.index(perm);
         let prefix = perm.prefix(bound);
         // Number of leading bound key components.
@@ -413,6 +458,100 @@ mod tests {
                 bound.iter().filter(|c| c.is_some()).count(),
                 "mask {mask:#b} perm {perm:?}"
             );
+        }
+    }
+
+    /// A small deterministic LCG so the property sweep is reproducible.
+    fn lcg(seed: &mut u64) -> u32 {
+        *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (*seed >> 33) as u32
+    }
+
+    #[test]
+    fn every_candidate_scan_is_sorted_under_its_key_order() {
+        // Property: for every bound mask and every candidate permutation,
+        // `scan_with` returns the same triple set as `scan`, and the
+        // slice is non-decreasing under the candidate's key order.
+        let mut seed = 0x5eed_cafe_u64;
+        let mut triples = Vec::new();
+        for _ in 0..400 {
+            triples.push(t(
+                lcg(&mut seed) % 13,
+                10 + lcg(&mut seed) % 7,
+                100 + lcg(&mut seed) % 17,
+            ));
+        }
+        let tbl = TripleTable::build(&triples);
+        for mask in 0u8..8 {
+            let bound: [Option<TermId>; 3] = std::array::from_fn(|i| {
+                if mask & (1 << i) != 0 {
+                    Some(id(match i {
+                        0 => 3,
+                        1 => 12,
+                        _ => 105,
+                    }))
+                } else {
+                    None
+                }
+            });
+            let default_hits: Vec<TripleId> = {
+                let mut v = tbl.scan(&bound).to_vec();
+                v.sort_unstable_by_key(|x| Perm::Spo.key(x));
+                v
+            };
+            let candidates = Perm::candidates_for_bound(&bound);
+            assert!(!candidates.is_empty());
+            assert_eq!(candidates[0], Perm::for_bound(&bound), "default pick leads");
+            for perm in candidates {
+                let hits = tbl.scan_with(perm, &bound);
+                let keys: Vec<[u32; 3]> = hits.iter().map(|x| perm.key(x)).collect();
+                assert!(
+                    keys.windows(2).all(|w| w[0] <= w[1]),
+                    "mask {mask:#b} perm {perm:?}: slice not sorted under its key"
+                );
+                let mut set = hits.to_vec();
+                set.sort_unstable_by_key(|x| Perm::Spo.key(x));
+                assert_eq!(set, default_hits, "mask {mask:#b} perm {perm:?}: wrong triple set");
+            }
+        }
+    }
+
+    #[test]
+    fn value_range_scans_are_sorted_under_their_key_order() {
+        let mut seed = 0x5eed_cafe_u64;
+        let mut triples = Vec::new();
+        for _ in 0..300 {
+            triples.push(t(lcg(&mut seed) % 9, 10 + lcg(&mut seed) % 5, 100 + lcg(&mut seed) % 11));
+        }
+        let tbl = TripleTable::build(&triples);
+        for (bound, ranged) in [
+            ([None, None, None], RangePos::Object),
+            ([Some(id(2)), None, None], RangePos::Object),
+            ([None, Some(id(11)), None], RangePos::Object),
+            ([None, None, None], RangePos::Predicate),
+            ([Some(id(4)), None, None], RangePos::Predicate),
+            ([None, None, Some(id(103))], RangePos::Predicate),
+        ] {
+            let perm = Perm::for_range(&bound, ranged);
+            for (lo, hi) in [(0, u32::MAX), (101, 106), (11, 13)] {
+                let hits = tbl.scan_value_range(&bound, ranged, lo, hi);
+                let keys: Vec<[u32; 3]> = hits.iter().map(|x| perm.key(x)).collect();
+                assert!(
+                    keys.windows(2).all(|w| w[0] <= w[1]),
+                    "{bound:?} {ranged:?} [{lo},{hi}): not sorted under {perm:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn key_positions_agree_with_key() {
+        let x = t(5, 6, 7);
+        let raw = [x.s.raw(), x.p.raw(), x.o.raw()];
+        for perm in Perm::ALL {
+            let pos = perm.key_positions();
+            let via_pos: [u32; 3] = std::array::from_fn(|i| raw[pos[i]]);
+            assert_eq!(via_pos, perm.key(&x), "{perm:?}");
         }
     }
 

@@ -133,6 +133,9 @@ fn two_fragment_join_snapshot_pg_vs_mysql() {
     );
     let q = StoreJucq::new(vec![fa, fb], vec![0, 1, 2]);
 
+    // Both single-member fragments emit in join-key order, so the
+    // order-aware pass costs the fully sort-elided merge below the
+    // profile's hash join and lowers a MergeJoin instead.
     let pg = render(&q, EngineProfile::pg_like());
     let want_pg = "\
 Pipelined fragment: 0
@@ -140,7 +143,7 @@ SIP filters:
   join[0] build → fragment[0] probe on [?0]
 Dedup (est 2.0)
   Project [?0, ?1, ?2]
-    HashJoin join[0] (est 2.0)
+    MergeJoin join[0] (sort elided) (est 2.0)
       HashUnion fragment[1] — 1 member (est 2.0)
         Project [?0, ?2]
           IndexScan (?0 #u11 ?2) (est 2.0)
@@ -149,6 +152,10 @@ Dedup (est 2.0)
           IndexScan (?0 #u10 ?1) (est 6.0)
 ";
     assert_eq!(pg, want_pg, "got:\n{pg}");
+
+    // With order-awareness off the profile's hash join is kept.
+    let flat = render(&q, EngineProfile::pg_like().with_order_aware(false));
+    assert!(flat.contains("HashJoin join[0] (est 2.0)"), "knob off keeps hash:\n{flat}");
 
     // mysql-like swaps the join algorithm; its derived-table copies are
     // charged per union at execution time (`finish_union`), so the
